@@ -1,0 +1,35 @@
+use neural::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let data = synth::generate_default(4000, 1234);
+    let (train_set, test_set) = data.split(0.9, 77);
+    let test_set = test_set.take(300);
+    for (lr, m, loss) in [
+        (0.30f32, 0.5f32, Loss::CrossEntropy),
+        (0.10, 0.9, Loss::CrossEntropy),
+    ] {
+        let t0 = Instant::now();
+        let mut mlp = Mlp::paper_benchmark(42);
+        let stats = train(
+            &mut mlp,
+            &train_set,
+            &TrainOptions {
+                epochs: 3,
+                learning_rate: lr,
+                momentum: m,
+                batch_size: 50,
+                lr_decay: 1.0,
+                loss,
+                ..TrainOptions::default()
+            },
+        );
+        let test_acc = accuracy(&mlp, &test_set);
+        println!(
+            "lr={lr} m={m}: epoch accs {:?} test {:.3} ({:.0}s)",
+            stats.iter().map(|s| (s.accuracy * 100.0).round()).collect::<Vec<_>>(),
+            test_acc,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! MNIST IDX file-format loader.
+//!
+//! Parses the classic `idx3-ubyte` (images) and `idx1-ubyte` (labels)
+//! binaries from the original MNIST distribution, so the experiments run on
+//! the paper's actual dataset when the files are present (see
+//! [`super::synth::load_or_generate`]).
+
+use super::{Dataset, DatasetError};
+use std::fs;
+use std::path::Path;
+
+/// IDX magic number for 3-dimensional u8 tensors (images).
+const MAGIC_IMAGES: u32 = 0x0000_0803;
+/// IDX magic number for 1-dimensional u8 tensors (labels).
+const MAGIC_LABELS: u32 = 0x0000_0801;
+
+fn read_u32(bytes: &[u8], offset: usize) -> Result<u32, DatasetError> {
+    bytes
+        .get(offset..offset + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| DatasetError::Format("truncated IDX header".into()))
+}
+
+/// Parses an `idx3-ubyte` image tensor into per-image normalized pixels.
+///
+/// # Errors
+///
+/// [`DatasetError::Format`] for bad magic, truncated payload, or dimension
+/// overflow.
+pub fn parse_images(bytes: &[u8]) -> Result<Vec<Vec<f32>>, DatasetError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != MAGIC_IMAGES {
+        return Err(DatasetError::Format(format!(
+            "bad image magic {magic:#010x}, expected {MAGIC_IMAGES:#010x}"
+        )));
+    }
+    let count = read_u32(bytes, 4)? as usize;
+    let rows = read_u32(bytes, 8)? as usize;
+    let cols = read_u32(bytes, 12)? as usize;
+    let pixels = rows
+        .checked_mul(cols)
+        .ok_or_else(|| DatasetError::Format("image dimensions overflow".into()))?;
+    let need = 16 + count * pixels;
+    if bytes.len() < need {
+        return Err(DatasetError::Format(format!(
+            "image payload truncated: need {need} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    let mut images = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = 16 + i * pixels;
+        images.push(
+            bytes[start..start + pixels]
+                .iter()
+                .map(|&b| b as f32 / 255.0)
+                .collect(),
+        );
+    }
+    Ok(images)
+}
+
+/// Parses an `idx1-ubyte` label tensor.
+///
+/// # Errors
+///
+/// [`DatasetError::Format`] for bad magic or truncated payload.
+pub fn parse_labels(bytes: &[u8]) -> Result<Vec<usize>, DatasetError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != MAGIC_LABELS {
+        return Err(DatasetError::Format(format!(
+            "bad label magic {magic:#010x}, expected {MAGIC_LABELS:#010x}"
+        )));
+    }
+    let count = read_u32(bytes, 4)? as usize;
+    let need = 8 + count;
+    if bytes.len() < need {
+        return Err(DatasetError::Format(format!(
+            "label payload truncated: need {need} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    Ok(bytes[8..8 + count].iter().map(|&b| b as usize).collect())
+}
+
+/// Loads an image/label IDX file pair from disk into a [`Dataset`].
+///
+/// # Errors
+///
+/// [`DatasetError::Format`] for unreadable or malformed files, or when the
+/// two files disagree on the sample count.
+pub fn load_pair(images_path: &Path, labels_path: &Path) -> Result<Dataset, DatasetError> {
+    let image_bytes = fs::read(images_path)
+        .map_err(|e| DatasetError::Format(format!("cannot read {images_path:?}: {e}")))?;
+    let label_bytes = fs::read(labels_path)
+        .map_err(|e| DatasetError::Format(format!("cannot read {labels_path:?}: {e}")))?;
+    let images = parse_images(&image_bytes)?;
+    let labels = parse_labels(&label_bytes)?;
+    let features = images.first().map(Vec::len).unwrap_or(0);
+    Dataset::new(images, labels, features, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a minimal in-memory IDX image file: 2 images of 2x2.
+    fn fake_images() -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&MAGIC_IMAGES.to_be_bytes());
+        v.extend_from_slice(&2u32.to_be_bytes());
+        v.extend_from_slice(&2u32.to_be_bytes());
+        v.extend_from_slice(&2u32.to_be_bytes());
+        v.extend_from_slice(&[0, 128, 255, 64, 10, 20, 30, 40]);
+        v
+    }
+
+    fn fake_labels() -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&MAGIC_LABELS.to_be_bytes());
+        v.extend_from_slice(&2u32.to_be_bytes());
+        v.extend_from_slice(&[3, 7]);
+        v
+    }
+
+    #[test]
+    fn parses_images_and_normalizes() {
+        let images = parse_images(&fake_images()).expect("valid");
+        assert_eq!(images.len(), 2);
+        assert_eq!(images[0].len(), 4);
+        assert!((images[0][2] - 1.0).abs() < 1e-6);
+        assert!((images[0][0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_labels() {
+        let labels = parse_labels(&fake_labels()).expect("valid");
+        assert_eq!(labels, vec![3, 7]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = fake_images();
+        bytes[3] = 0x99;
+        assert!(matches!(
+            parse_images(&bytes),
+            Err(DatasetError::Format(_))
+        ));
+        let mut bytes = fake_labels();
+        bytes[3] = 0x99;
+        assert!(matches!(
+            parse_labels(&bytes),
+            Err(DatasetError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = fake_images();
+        assert!(matches!(
+            parse_images(&bytes[..bytes.len() - 2]),
+            Err(DatasetError::Format(_))
+        ));
+        assert!(matches!(parse_images(&bytes[..10]), Err(DatasetError::Format(_))));
+    }
+
+    #[test]
+    fn load_pair_via_tempfiles() {
+        let dir = std::env::temp_dir().join("sram_ann_repro_idx_test");
+        fs::create_dir_all(&dir).expect("tempdir");
+        let ip = dir.join("imgs");
+        let lp = dir.join("lbls");
+        fs::write(&ip, fake_images()).expect("write");
+        fs::write(&lp, fake_labels()).expect("write");
+        let ds = load_pair(&ip, &lp).expect("load");
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.label(1), 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

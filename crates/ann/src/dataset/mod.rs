@@ -1,0 +1,306 @@
+//! Datasets: container type, the synthetic digit generator, and an MNIST IDX
+//! loader.
+//!
+//! The paper evaluates on MNIST. MNIST itself cannot be bundled in this
+//! offline environment, so [`synth`] procedurally renders MNIST-like 28×28
+//! digit images (centered glyphs, empty borders, random distortions) with
+//! the same geometry — the property the paper's input-layer-resilience
+//! argument rests on. When real MNIST IDX files are available, [`idx`] loads
+//! them instead; every experiment accepts either source. See DESIGN.md §2.
+
+pub mod idx;
+pub mod spectra;
+pub mod synth;
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// Image and label counts differ.
+    CountMismatch {
+        /// Number of images provided.
+        images: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+    /// An image has the wrong number of features.
+    FeatureMismatch {
+        /// Index of the offending image.
+        index: usize,
+        /// Its feature length.
+        got: usize,
+        /// The expected feature length.
+        expected: usize,
+    },
+    /// A label is out of the class range.
+    LabelOutOfRange {
+        /// Index of the offending label.
+        index: usize,
+        /// The label value.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// File-format problems in external loaders.
+    Format(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CountMismatch { images, labels } => {
+                write!(f, "image count {images} does not match label count {labels}")
+            }
+            Self::FeatureMismatch {
+                index,
+                got,
+                expected,
+            } => write!(f, "image {index} has {got} features, expected {expected}"),
+            Self::LabelOutOfRange {
+                index,
+                label,
+                classes,
+            } => write!(f, "label {label} at index {index} out of range for {classes} classes"),
+            Self::Format(msg) => write!(f, "invalid dataset format: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A labelled classification dataset with dense `f32` features in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    features: usize,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Validates and wraps raw data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] when counts, feature widths, or label
+    /// ranges are inconsistent.
+    pub fn new(
+        images: Vec<Vec<f32>>,
+        labels: Vec<usize>,
+        features: usize,
+        classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if images.len() != labels.len() {
+            return Err(DatasetError::CountMismatch {
+                images: images.len(),
+                labels: labels.len(),
+            });
+        }
+        for (i, img) in images.iter().enumerate() {
+            if img.len() != features {
+                return Err(DatasetError::FeatureMismatch {
+                    index: i,
+                    got: img.len(),
+                    expected: features,
+                });
+            }
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            if l >= classes {
+                return Err(DatasetError::LabelOutOfRange {
+                    index: i,
+                    label: l,
+                    classes,
+                });
+            }
+        }
+        Ok(Self {
+            images,
+            labels,
+            features,
+            classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Features per sample.
+    pub fn feature_count(&self) -> usize {
+        self.features
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// One image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn image(&self, i: usize) -> &[f32] {
+        &self.images[i]
+    }
+
+    /// One label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Gathers the rows at `indices` into a batch matrix, a one-hot target
+    /// matrix with `classes` columns, and the raw labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize], classes: usize) -> (Matrix, Matrix, Vec<usize>) {
+        let mut batch = Matrix::zeros(indices.len(), self.features);
+        let mut targets = Matrix::zeros(indices.len(), classes);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (r, &idx) in indices.iter().enumerate() {
+            batch.row_mut(r).copy_from_slice(&self.images[idx]);
+            let label = self.labels[idx];
+            targets.set(r, label, 1.0);
+            labels.push(label);
+        }
+        (batch, targets, labels)
+    }
+
+    /// The whole dataset as one `(batch, labels)` pair, for evaluation.
+    pub fn as_batch(&self) -> (Matrix, &[usize]) {
+        let mut batch = Matrix::zeros(self.len(), self.features);
+        for (r, img) in self.images.iter().enumerate() {
+            batch.row_mut(r).copy_from_slice(img);
+        }
+        (batch, &self.labels)
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of shuffled samples
+    /// in the first part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0,1)"
+        );
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_train = ((self.len() as f64) * train_fraction).round() as usize;
+        let build = |idx: &[usize]| Dataset {
+            images: idx.iter().map(|&i| self.images[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            features: self.features,
+            classes: self.classes,
+        };
+        (build(&order[..n_train]), build(&order[n_train..]))
+    }
+
+    /// A subset with the first `n` samples (cheap truncation for quick runs).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            features: self.features,
+            classes: self.classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]],
+            vec![0, 1, 0],
+            2,
+            2,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        assert!(matches!(
+            Dataset::new(vec![vec![0.0]], vec![], 1, 2),
+            Err(DatasetError::CountMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![0.0, 1.0]], vec![0], 1, 2),
+            Err(DatasetError::FeatureMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![0.0]], vec![5], 1, 2),
+            Err(DatasetError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_builds_one_hot() {
+        let d = tiny();
+        let (batch, targets, labels) = d.gather(&[1, 2], 2);
+        assert_eq!(batch.row(0), &[1.0, 0.0]);
+        assert_eq!(targets.row(0), &[0.0, 1.0]);
+        assert_eq!(targets.row(1), &[1.0, 0.0]);
+        assert_eq!(labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = tiny();
+        let (train, test) = d.split(0.67, 1);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.feature_count(), 2);
+        assert_eq!(test.class_count(), 2);
+    }
+
+    #[test]
+    fn take_truncates() {
+        let d = tiny();
+        assert_eq!(d.take(2).len(), 2);
+        assert_eq!(d.take(99).len(), 3);
+    }
+
+    #[test]
+    fn as_batch_round_trips() {
+        let d = tiny();
+        let (batch, labels) = d.as_batch();
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(labels, &[0, 1, 0]);
+        assert_eq!(batch.row(2), d.image(2));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = DatasetError::LabelOutOfRange {
+            index: 3,
+            label: 12,
+            classes: 10,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Procedural MNIST-like digit generator.
+//!
+//! Each digit class is a glyph built from stroke polylines (line segments and
+//! elliptic arcs) on a normalized canvas. A sample applies a random affine
+//! distortion (rotation, anisotropic scale, shear, translation), renders the
+//! strokes with randomized thickness into a 28×28 grayscale image, and adds
+//! pixel noise — yielding the properties the paper's analysis uses: digits
+//! concentrated in the image center with uninformative border pixels, and
+//! enough intra-class variation that classification is non-trivial.
+
+use super::{Dataset, DatasetError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (MNIST geometry).
+pub const IMAGE_SIDE: usize = 28;
+/// Features per image.
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of digit classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// Distortion and rendering parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthOptions {
+    /// Max rotation in radians (± uniform).
+    pub max_rotation: f64,
+    /// Scale range (uniform per axis).
+    pub scale_range: (f64, f64),
+    /// Max shear coefficient (± uniform).
+    pub max_shear: f64,
+    /// Max translation in normalized units (± uniform per axis).
+    pub max_translation: f64,
+    /// Stroke half-thickness range in normalized units.
+    pub thickness_range: (f64, f64),
+    /// Standard deviation of additive pixel noise.
+    pub pixel_noise: f64,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        Self {
+            max_rotation: 0.20,
+            scale_range: (0.85, 1.10),
+            max_shear: 0.15,
+            max_translation: 0.05,
+            thickness_range: (0.045, 0.075),
+            pixel_noise: 0.04,
+        }
+    }
+}
+
+/// Generates `n` labelled digit images (labels cycle through 0-9).
+///
+/// Deterministic for a given seed.
+pub fn generate(n: usize, seed: u64, options: &SynthOptions) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % NUM_CLASSES;
+        images.push(render_digit(digit, &mut rng, options));
+        labels.push(digit);
+    }
+    Dataset::new(images, labels, IMAGE_PIXELS, NUM_CLASSES)
+        .unwrap_or_else(|e| unreachable!("generator produces consistent data: {e}"))
+}
+
+/// Generates with default options.
+pub fn generate_default(n: usize, seed: u64) -> Dataset {
+    generate(n, seed, &SynthOptions::default())
+}
+
+/// Loads real MNIST if IDX files exist under `dir`, otherwise synthesizes.
+///
+/// The file names follow the standard distribution:
+/// `train-images-idx3-ubyte`, `train-labels-idx1-ubyte`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Format`] only for *corrupt* IDX files; a missing
+/// directory silently falls back to synthesis (that is its purpose).
+pub fn load_or_generate(
+    dir: &std::path::Path,
+    n: usize,
+    seed: u64,
+) -> Result<Dataset, DatasetError> {
+    let images = dir.join("train-images-idx3-ubyte");
+    let labels = dir.join("train-labels-idx1-ubyte");
+    if images.exists() && labels.exists() {
+        let full = super::idx::load_pair(&images, &labels)?;
+        return Ok(full.take(n));
+    }
+    Ok(generate_default(n, seed))
+}
+
+type Point = (f64, f64);
+
+/// Straight-line polyline through the given points.
+fn poly(points: &[Point]) -> Vec<Point> {
+    points.to_vec()
+}
+
+/// Elliptic arc approximated by a polyline. Angles in radians, y-axis down.
+fn arc(cx: f64, cy: f64, rx: f64, ry: f64, a0: f64, a1: f64, n: usize) -> Vec<Point> {
+    (0..=n)
+        .map(|k| {
+            let t = a0 + (a1 - a0) * k as f64 / n as f64;
+            (cx + rx * t.cos(), cy + ry * t.sin())
+        })
+        .collect()
+}
+
+/// Stroke decomposition of each digit glyph on the unit square (y down).
+fn glyph_strokes(digit: usize) -> Vec<Vec<Point>> {
+    use std::f64::consts::PI;
+    match digit {
+        0 => vec![arc(0.5, 0.5, 0.26, 0.38, 0.0, 2.0 * PI, 24)],
+        1 => vec![
+            poly(&[(0.35, 0.25), (0.52, 0.10), (0.52, 0.90)]),
+            poly(&[(0.35, 0.90), (0.68, 0.90)]),
+        ],
+        2 => {
+            let mut top = arc(0.5, 0.32, 0.26, 0.22, -PI, 0.0, 12);
+            top.push((0.24, 0.88));
+            vec![top, poly(&[(0.24, 0.90), (0.78, 0.90)])]
+        }
+        3 => vec![
+            arc(0.46, 0.30, 0.24, 0.20, -0.8 * PI, 0.5 * PI, 14),
+            arc(0.46, 0.70, 0.26, 0.22, -0.5 * PI, 0.8 * PI, 14),
+        ],
+        4 => vec![
+            poly(&[(0.62, 0.10), (0.22, 0.62), (0.82, 0.62)]),
+            poly(&[(0.62, 0.10), (0.62, 0.92)]),
+        ],
+        5 => {
+            let mut belly = arc(0.47, 0.66, 0.27, 0.24, -0.5 * PI, 0.75 * PI, 16);
+            belly.insert(0, (0.28, 0.42));
+            vec![poly(&[(0.75, 0.10), (0.28, 0.10), (0.28, 0.42)]), belly]
+        }
+        6 => {
+            let mut sweep = arc(0.52, 0.64, 0.25, 0.26, -PI, 1.0 * PI, 18);
+            sweep.insert(0, (0.62, 0.08));
+            sweep.insert(1, (0.34, 0.40));
+            vec![sweep]
+        }
+        7 => vec![
+            poly(&[(0.22, 0.12), (0.80, 0.12), (0.42, 0.92)]),
+            poly(&[(0.34, 0.52), (0.68, 0.52)]),
+        ],
+        8 => vec![
+            arc(0.5, 0.30, 0.20, 0.20, 0.0, 2.0 * PI, 18),
+            arc(0.5, 0.70, 0.25, 0.22, 0.0, 2.0 * PI, 18),
+        ],
+        9 => {
+            let mut tail = arc(0.5, 0.32, 0.24, 0.24, 0.0, 2.0 * PI, 18);
+            tail.push((0.74, 0.36));
+            tail.push((0.62, 0.92));
+            vec![tail]
+        }
+        _ => panic!("digit {digit} out of range"),
+    }
+}
+
+/// Renders one distorted digit into a 28×28 image.
+fn render_digit(digit: usize, rng: &mut StdRng, options: &SynthOptions) -> Vec<f32> {
+    let strokes = glyph_strokes(digit);
+
+    // Random affine around the canvas center.
+    let theta = rng.gen_range(-options.max_rotation..=options.max_rotation);
+    let (s_lo, s_hi) = options.scale_range;
+    let sx = rng.gen_range(s_lo..=s_hi);
+    let sy = rng.gen_range(s_lo..=s_hi);
+    let shear = rng.gen_range(-options.max_shear..=options.max_shear);
+    let tx = rng.gen_range(-options.max_translation..=options.max_translation);
+    let ty = rng.gen_range(-options.max_translation..=options.max_translation);
+    let (sin, cos) = theta.sin_cos();
+
+    let transform = |(x, y): Point| -> Point {
+        let (x, y) = (x - 0.5, y - 0.5);
+        let (x, y) = (x * sx + shear * y, y * sy);
+        let (x, y) = (x * cos - y * sin, x * sin + y * cos);
+        (x + 0.5 + tx, y + 0.5 + ty)
+    };
+    let strokes: Vec<Vec<Point>> = strokes
+        .into_iter()
+        .map(|s| s.into_iter().map(transform).collect())
+        .collect();
+
+    let (t_lo, t_hi) = options.thickness_range;
+    let thickness = rng.gen_range(t_lo..=t_hi);
+
+    let mut image = vec![0.0f32; IMAGE_PIXELS];
+    for py in 0..IMAGE_SIDE {
+        for px in 0..IMAGE_SIDE {
+            let x = (px as f64 + 0.5) / IMAGE_SIDE as f64;
+            let y = (py as f64 + 0.5) / IMAGE_SIDE as f64;
+            let mut d = f64::INFINITY;
+            for stroke in &strokes {
+                for seg in stroke.windows(2) {
+                    d = d.min(dist_to_segment((x, y), seg[0], seg[1]));
+                }
+            }
+            // Soft-edged stroke: full intensity inside, fading over half a
+            // thickness outside.
+            let v = if d <= thickness {
+                1.0
+            } else {
+                (1.0 - (d - thickness) / (0.6 * thickness)).max(0.0)
+            };
+            let noise = gaussian(rng) * options.pixel_noise;
+            image[py * IMAGE_SIDE + px] = ((v + noise).clamp(0.0, 1.0)) as f32;
+        }
+    }
+    image
+}
+
+/// Distance from point `p` to segment `ab`.
+fn dist_to_segment(p: Point, a: Point, b: Point) -> f64 {
+    let (px, py) = p;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq < 1e-18 {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+/// One standard-normal draw (Box–Muller, no caching — callers are not hot).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_shape_and_determinism() {
+        let a = generate_default(40, 7);
+        let b = generate_default(40, 7);
+        let c = generate_default(40, 8);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.feature_count(), IMAGE_PIXELS);
+        assert_eq!(a.class_count(), NUM_CLASSES);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_cycle_through_all_digits() {
+        let d = generate_default(20, 1);
+        for i in 0..20 {
+            assert_eq!(d.label(i), i % 10);
+        }
+    }
+
+    #[test]
+    fn pixels_are_normalized() {
+        let d = generate_default(30, 3);
+        for i in 0..d.len() {
+            for &p in d.image(i) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn digits_are_centered_with_quiet_borders() {
+        // The paper's input-layer-resilience argument: border pixels carry
+        // no information. Check the border mean is far below the center mean.
+        let d = generate_default(100, 5);
+        let mut border = 0.0f64;
+        let mut center = 0.0f64;
+        let mut nb = 0usize;
+        let mut nc = 0usize;
+        for i in 0..d.len() {
+            let img = d.image(i);
+            for y in 0..IMAGE_SIDE {
+                for x in 0..IMAGE_SIDE {
+                    let v = img[y * IMAGE_SIDE + x] as f64;
+                    if !(3..IMAGE_SIDE - 3).contains(&x) || !(3..IMAGE_SIDE - 3).contains(&y) {
+                        border += v;
+                        nb += 1;
+                    } else if (8..20).contains(&x) && (8..20).contains(&y) {
+                        center += v;
+                        nc += 1;
+                    }
+                }
+            }
+        }
+        let border_mean = border / nb as f64;
+        let center_mean = center / nc as f64;
+        assert!(
+            center_mean > 4.0 * border_mean,
+            "center {center_mean:.3} vs border {border_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean images of different digits should differ substantially.
+        let d = generate(500, 11, &SynthOptions::default());
+        let mut means = vec![vec![0.0f64; IMAGE_PIXELS]; NUM_CLASSES];
+        let mut counts = vec![0usize; NUM_CLASSES];
+        for i in 0..d.len() {
+            let l = d.label(i);
+            counts[l] += 1;
+            for (m, &p) in means[l].iter_mut().zip(d.image(i)) {
+                *m += p as f64;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f64;
+            }
+        }
+        for a in 0..NUM_CLASSES {
+            for b in (a + 1)..NUM_CLASSES {
+                let dist: f64 = means[a]
+                    .iter()
+                    .zip(&means[b])
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(
+                    dist > 1.0,
+                    "digits {a} and {b} too similar (distance {dist:.2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_generation_when_no_mnist_dir() {
+        let d = load_or_generate(std::path::Path::new("/nonexistent/mnist"), 25, 3)
+            .expect("fallback must not error");
+        assert_eq!(d.len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn glyph_range_checked() {
+        let _ = glyph_strokes(10);
+    }
+}

@@ -1,0 +1,183 @@
+//! Classification evaluation.
+
+use crate::dataset::Dataset;
+use crate::network::Mlp;
+
+/// Classification accuracy of `mlp` on `data`, as a fraction in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or its feature width does not match the
+/// network input.
+pub fn accuracy(mlp: &Mlp, data: &Dataset) -> f64 {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let (batch, labels) = data.as_batch();
+    let predictions = mlp.predict(&batch);
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Per-class confusion matrix: `counts[truth][predicted]`.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or mismatched with the network.
+pub fn confusion_matrix(mlp: &Mlp, data: &Dataset) -> Vec<Vec<usize>> {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let classes = data.class_count();
+    let (batch, labels) = data.as_batch();
+    let predictions = mlp.predict(&batch);
+    let mut counts = vec![vec![0usize; classes]; classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        counts[l][p.min(classes - 1)] += 1;
+    }
+    counts
+}
+
+/// Precision / recall / F1 of one class, derived from a confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassMetrics {
+    /// Fraction of predictions for this class that were right (1.0 when the
+    /// class was never predicted — vacuous but conventional).
+    pub precision: f64,
+    /// Fraction of this class's samples that were found.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub f1: f64,
+}
+
+/// Per-class metrics from a `counts[truth][predicted]` confusion matrix.
+///
+/// Useful for the fault-injection experiments: uniform bit-error injection
+/// degrades classes unevenly (visually confusable digit pairs collapse
+/// first), which the aggregate accuracy number hides.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or ragged.
+pub fn per_class_metrics(confusion: &[Vec<usize>]) -> Vec<ClassMetrics> {
+    let classes = confusion.len();
+    assert!(classes > 0, "empty confusion matrix");
+    for row in confusion {
+        assert_eq!(row.len(), classes, "confusion matrix must be square");
+    }
+    (0..classes)
+        .map(|c| {
+            let true_pos = confusion[c][c];
+            let predicted: usize = (0..classes).map(|t| confusion[t][c]).sum();
+            let actual: usize = confusion[c].iter().sum();
+            let precision = if predicted == 0 {
+                1.0
+            } else {
+                true_pos as f64 / predicted as f64
+            };
+            let recall = if actual == 0 {
+                1.0
+            } else {
+                true_pos as f64 / actual as f64
+            };
+            let f1 = if precision + recall == 0.0 {
+                0.0
+            } else {
+                2.0 * precision * recall / (precision + recall)
+            };
+            ClassMetrics {
+                precision,
+                recall,
+                f1,
+            }
+        })
+        .collect()
+}
+
+/// Unweighted mean F1 across classes.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or ragged.
+pub fn macro_f1(confusion: &[Vec<usize>]) -> f64 {
+    let metrics = per_class_metrics(confusion);
+    metrics.iter().map(|m| m.f1).sum::<f64>() / metrics.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DenseLayer;
+
+    /// A network hard-wired to always answer class 0.
+    fn constant_classifier() -> Mlp {
+        let mut layer = DenseLayer::zeros(2, 2);
+        layer.bias[0] = 5.0;
+        layer.bias[1] = -5.0;
+        Mlp::from_layers(vec![layer])
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5], vec![0.2, 0.8]],
+            vec![0, 0, 1, 1],
+            2,
+            2,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn accuracy_counts_correct_fraction() {
+        let acc = accuracy(&constant_classifier(), &dataset());
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_class_counts() {
+        let cm = confusion_matrix(&constant_classifier(), &dataset());
+        assert_eq!(cm[0][0], 2);
+        assert_eq!(cm[1][0], 2);
+        assert_eq!(cm[0][1] + cm[1][1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let empty = Dataset::new(vec![], vec![], 2, 2).expect("valid empty");
+        let _ = accuracy(&constant_classifier(), &empty);
+    }
+
+    #[test]
+    fn per_class_metrics_for_constant_classifier() {
+        // Everything predicted as class 0 on a 2+2 split:
+        // class 0: precision 0.5 (2 of 4 predictions right), recall 1.0.
+        // class 1: never predicted ⇒ precision 1.0 (vacuous), recall 0.0.
+        let cm = confusion_matrix(&constant_classifier(), &dataset());
+        let m = per_class_metrics(&cm);
+        assert!((m[0].precision - 0.5).abs() < 1e-12);
+        assert!((m[0].recall - 1.0).abs() < 1e-12);
+        assert!((m[0].f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m[1].precision - 1.0).abs() < 1e-12);
+        assert!((m[1].recall - 0.0).abs() < 1e-12);
+        assert_eq!(m[1].f1, 0.0);
+        assert!((macro_f1(&cm) - (2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_metrics_are_all_one() {
+        let cm = vec![vec![3, 0], vec![0, 5]];
+        for m in per_class_metrics(&cm) {
+            assert_eq!(m.precision, 1.0);
+            assert_eq!(m.recall, 1.0);
+            assert_eq!(m.f1, 1.0);
+        }
+        assert_eq!(macro_f1(&cm), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_confusion_matrix_panics() {
+        let _ = per_class_metrics(&[vec![1, 2], vec![3]]);
+    }
+}

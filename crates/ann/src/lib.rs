@@ -1,0 +1,53 @@
+//! # neural
+//!
+//! From-scratch multilayer perceptron substrate for the DATE 2016 hybrid
+//! 8T-6T SRAM reproduction: dense [`matrix`] kernels, the sigmoid
+//! [`network`] (paper Table I benchmark: 784-1000-500-200-100-10 — 2594
+//! neurons, 1 406 810 synapses), backprop [`train`]ing, the synthetic
+//! MNIST-like [`dataset`] (plus a real-MNIST IDX loader), 8-bit fixed-point
+//! [`quant`]ization of the synaptic weights, [`eval`]uation, and weight
+//! [`persist`]ence.
+//!
+//! This replaces the paper's MATLAB Deep Learning Toolbox (Palm, 2012):
+//! same algorithm family (sigmoid units, squared-error backprop, SGD with
+//! momentum), no external ML dependency.
+//!
+//! # Examples
+//!
+//! Train a small model and quantize it to 8 bits:
+//!
+//! ```
+//! use neural::prelude::*;
+//!
+//! let data = synth::generate_default(200, 42);
+//! let (train_set, test_set) = data.split(0.8, 1);
+//! let mut mlp = Mlp::new(&[784, 32, 10], 7);
+//! let _stats = train(&mut mlp, &train_set, &TrainOptions {
+//!     epochs: 2,
+//!     ..TrainOptions::default()
+//! });
+//! let q = QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement);
+//! let acc = accuracy(&q.to_mlp(), &test_set);
+//! assert!(acc > 0.0);
+//! ```
+
+pub mod dataset;
+pub mod eval;
+pub mod matrix;
+pub mod network;
+pub mod persist;
+pub mod quant;
+pub mod train;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::dataset::{idx, spectra, synth, Dataset, DatasetError};
+    pub use crate::eval::{accuracy, confusion_matrix, macro_f1, per_class_metrics, ClassMetrics};
+    pub use crate::matrix::Matrix;
+    pub use crate::network::{sigmoid, Activation, DenseLayer, Mlp};
+    pub use crate::persist::{load_mlp, read_mlp, save_mlp, write_mlp, PersistError};
+    pub use crate::quant::{
+        Encoding, FixedPointFormat, QuantizedLayer, QuantizedMlp, WEIGHT_BITS,
+    };
+    pub use crate::train::{train, EpochStats, Loss, TrainOptions};
+}

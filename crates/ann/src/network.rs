@@ -1,0 +1,434 @@
+//! Feedforward multilayer perceptron (paper §II).
+//!
+//! Fully connected layers of sigmoid neurons, matching the paper's benchmark
+//! network trained with the MATLAB Deep Learning Toolbox: every neuron
+//! except the inputs "sums the product of the incoming inputs and connecting
+//! weights" and applies the sigmoid. Table I pins the benchmark topology:
+//! 784-1000-500-200-100-10 — 6 layers, 2594 neurons, 1 406 810 synapses
+//! (weights + biases).
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Neuron nonlinearity of one layer.
+///
+/// The paper's benchmark is sigmoid throughout (§II); tanh and ReLU are
+/// provided for the activation ablation — the MSB-significance argument must
+/// not depend on the sigmoid's particular output range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Logistic sigmoid, outputs in `(0, 1)` — the paper's choice.
+    #[default]
+    Sigmoid,
+    /// Hyperbolic tangent, outputs in `(−1, 1)`.
+    Tanh,
+    /// Rectified linear unit, outputs in `[0, ∞)`.
+    Relu,
+}
+
+impl Activation {
+    /// Applies the nonlinearity.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value `a = f(x)` —
+    /// the form backpropagation wants, since the forward trace stores
+    /// activations, not pre-activations.
+    #[inline]
+    pub fn derivative_from_output(self, a: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Glorot initialization gain appropriate for this nonlinearity: ×4 for
+    /// sigmoid (its maximum slope is 1/4), 1 for tanh, √2-ish for ReLU (He
+    /// initialization folded into the same uniform formula).
+    pub fn recommended_gain(self) -> f32 {
+        match self {
+            Activation::Sigmoid => 4.0,
+            Activation::Tanh => 1.0,
+            Activation::Relu => std::f32::consts::SQRT_2,
+        }
+    }
+}
+
+/// One fully connected layer: `out = f(W · in + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    /// Weight matrix, `outputs × inputs`.
+    pub weights: Matrix,
+    /// Bias vector, one per output neuron.
+    pub bias: Vec<f32>,
+    /// The layer's nonlinearity (sigmoid unless configured otherwise).
+    pub activation: Activation,
+}
+
+impl DenseLayer {
+    /// Creates a zero-initialized sigmoid layer.
+    pub fn zeros(inputs: usize, outputs: usize) -> Self {
+        Self {
+            weights: Matrix::zeros(outputs, inputs),
+            bias: vec![0.0; outputs],
+            activation: Activation::Sigmoid,
+        }
+    }
+
+    /// Number of input activations.
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of output neurons.
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Synapse count including biases (the paper counts both).
+    pub fn synapse_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Batch forward: `activations` is `batch × inputs`; returns
+    /// `batch × outputs` post-sigmoid activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation width does not match the layer.
+    pub fn forward(&self, activations: &Matrix) -> Matrix {
+        assert_eq!(activations.cols(), self.inputs(), "layer input mismatch");
+        // batch × out = (batch × in) · (out × in)ᵀ
+        let mut z = activations.matmul_transposed(&self.weights);
+        for r in 0..z.rows() {
+            let row = z.row_mut(r);
+            for (v, b) in row.iter_mut().zip(self.bias.iter()) {
+                *v = self.activation.apply(*v + b);
+            }
+        }
+        z
+    }
+}
+
+/// A feedforward MLP (sigmoid activations everywhere unless configured via
+/// [`Mlp::with_hidden_activation`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes (first entry = inputs) and
+    /// Glorot-uniform random initialization (gain 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        Self::with_init_gain(sizes, seed, 1.0)
+    }
+
+    /// Builds an MLP with a scaled Glorot-uniform initialization.
+    ///
+    /// For *sigmoid* units the Glorot derivation calls for a ×4 gain (the
+    /// sigmoid's maximum slope is 1/4, so unit-gain weights attenuate the
+    /// signal by ~4× per layer); without it, sample information dies before
+    /// reaching the output of a four-hidden-layer stack and the network
+    /// never leaves chance level. Shallow networks train fine with gain 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given, any size is zero, or the
+    /// gain is not positive.
+    pub fn with_init_gain(sizes: &[usize], seed: u64, gain: f32) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(gain > 0.0, "init gain must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|pair| {
+                let (inputs, outputs) = (pair[0], pair[1]);
+                let mut layer = DenseLayer::zeros(inputs, outputs);
+                // Uniform in ±gain·sqrt(6/(fan_in+fan_out)).
+                let bound = gain * (6.0 / (inputs + outputs) as f32).sqrt();
+                for w in layer.weights.data_mut() {
+                    *w = rng.gen_range(-bound..bound);
+                }
+                layer
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The paper's benchmark network (Table I): MNIST-sized input, four
+    /// hidden layers, ten outputs. Uses the sigmoid-appropriate ×4 Glorot
+    /// gain so the deep stack is trainable (see [`Mlp::with_init_gain`]).
+    pub fn paper_benchmark(seed: u64) -> Self {
+        Self::with_init_gain(&Self::PAPER_TOPOLOGY, seed, 4.0)
+    }
+
+    /// Builds an MLP whose hidden layers use `activation` while the output
+    /// layer stays sigmoid (so one-hot targets and the cross-entropy loss
+    /// keep their meaning). Each layer is initialized with its activation's
+    /// [`Activation::recommended_gain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn with_hidden_activation(sizes: &[usize], seed: u64, activation: Activation) -> Self {
+        let mut mlp = Self::with_init_gain(sizes, seed, 1.0);
+        let last = mlp.layers.len() - 1;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_AC71);
+        for (i, layer) in mlp.layers.iter_mut().enumerate() {
+            let act = if i == last {
+                Activation::Sigmoid
+            } else {
+                activation
+            };
+            layer.activation = act;
+            let bound =
+                act.recommended_gain() * (6.0 / (layer.inputs() + layer.outputs()) as f32).sqrt();
+            for w in layer.weights.data_mut() {
+                *w = rng.gen_range(-bound..bound);
+            }
+        }
+        mlp
+    }
+
+    /// Table I topology: 784-1000-500-200-100-10.
+    pub const PAPER_TOPOLOGY: [usize; 6] = [784, 1000, 500, 200, 100, 10];
+
+    /// Wraps existing layers (used by persistence and quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer shapes do not chain.
+    pub fn from_layers(layers: Vec<DenseLayer>) -> Self {
+        assert!(!layers.is_empty());
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].outputs(),
+                pair[1].inputs(),
+                "layer shapes do not chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// The layers, input-side first.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (fault injection hooks).
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
+    /// Layer sizes including the input layer.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![self.layers[0].inputs()];
+        s.extend(self.layers.iter().map(|l| l.outputs()));
+        s
+    }
+
+    /// Total neurons including input neurons (Table I counts them).
+    pub fn neuron_count(&self) -> usize {
+        self.sizes().iter().sum()
+    }
+
+    /// Total synapses: weights plus biases (Table I counts both).
+    pub fn synapse_count(&self) -> usize {
+        self.layers.iter().map(DenseLayer::synapse_count).sum()
+    }
+
+    /// Batch forward pass: returns the output activations (`batch × 10` for
+    /// the benchmark).
+    pub fn forward(&self, inputs: &Matrix) -> Matrix {
+        let mut a = self.layers[0].forward(inputs);
+        for layer in &self.layers[1..] {
+            a = layer.forward(&a);
+        }
+        a
+    }
+
+    /// Forward pass retaining every layer's activations (for backprop).
+    /// Index 0 is the input batch itself.
+    pub fn forward_trace(&self, inputs: &Matrix) -> Vec<Matrix> {
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(inputs.clone());
+        for layer in &self.layers {
+            let next = layer.forward(trace.last().expect("non-empty trace"));
+            trace.push(next);
+        }
+        trace
+    }
+
+    /// Predicted class per batch row: arg-max of the output activations.
+    pub fn predict(&self, inputs: &Matrix) -> Vec<usize> {
+        let out = self.forward(inputs);
+        (0..out.rows())
+            .map(|r| {
+                let row = out.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("activations are finite"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty output row")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_anchors() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn activation_anchors() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-7);
+        assert!(Activation::Tanh.apply(10.0) > 0.9999);
+        assert!(Activation::Tanh.apply(-10.0) < -0.9999);
+        assert_eq!(Activation::default(), Activation::Sigmoid);
+    }
+
+    #[test]
+    fn activation_derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Relu] {
+            // Stay away from ReLU's kink at 0.
+            for x in [-2.0f32, -0.7, 0.4, 1.9] {
+                let a = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(a);
+                assert!(
+                    (numeric - analytic).abs() < 1e-3,
+                    "{act:?} at x={x}: numeric {numeric}, analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_activation_builder_keeps_sigmoid_output() {
+        let mlp = Mlp::with_hidden_activation(&[4, 8, 8, 3], 5, Activation::Relu);
+        let acts: Vec<_> = mlp.layers().iter().map(|l| l.activation).collect();
+        assert_eq!(
+            acts,
+            vec![Activation::Relu, Activation::Relu, Activation::Sigmoid]
+        );
+        // Outputs stay in (0,1) even with unbounded hidden units.
+        let mut batch = Matrix::zeros(2, 4);
+        batch.data_mut().iter_mut().for_each(|v| *v = 3.0);
+        for &v in mlp.forward(&batch).data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tanh_hidden_units_go_negative() {
+        let mlp = Mlp::with_hidden_activation(&[4, 16, 2], 11, Activation::Tanh);
+        let mut batch = Matrix::zeros(1, 4);
+        batch.data_mut().iter_mut().for_each(|v| *v = 1.0);
+        let trace = mlp.forward_trace(&batch);
+        let hidden = &trace[1];
+        assert!(
+            hidden.data().iter().any(|&v| v < 0.0),
+            "a random tanh layer should produce some negative activations"
+        );
+    }
+
+    #[test]
+    fn paper_topology_matches_table_1() {
+        let mlp = Mlp::paper_benchmark(0);
+        assert_eq!(mlp.neuron_count(), 2594, "Table I: 2594 neurons");
+        assert_eq!(mlp.synapse_count(), 1_406_810, "Table I: 1406810 synapses");
+        assert_eq!(mlp.sizes(), vec![784, 1000, 500, 200, 100, 10]);
+        assert_eq!(mlp.sizes().len(), 6, "Table I: 6 layers");
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(&[4, 8, 3], 1);
+        let batch = Matrix::zeros(5, 4);
+        let out = mlp.forward(&batch);
+        assert_eq!((out.rows(), out.cols()), (5, 3));
+        let trace = mlp.forward_trace(&batch);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[1].cols(), 8);
+    }
+
+    #[test]
+    fn outputs_are_sigmoid_bounded() {
+        let mlp = Mlp::new(&[4, 6, 2], 2);
+        let mut batch = Matrix::zeros(3, 4);
+        batch.data_mut().iter_mut().for_each(|v| *v = 5.0);
+        let out = mlp.forward(&batch);
+        for &v in out.data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        // Identity-ish single layer where weights force class 1.
+        let mut layer = DenseLayer::zeros(2, 3);
+        layer.weights.set(1, 0, 10.0);
+        layer.bias[1] = 1.0;
+        let mlp = Mlp::from_layers(vec![layer]);
+        let mut batch = Matrix::zeros(1, 2);
+        batch.set(0, 0, 1.0);
+        assert_eq!(mlp.predict(&batch), vec![1]);
+    }
+
+    #[test]
+    fn initialization_is_seeded() {
+        let a = Mlp::new(&[10, 5, 2], 42);
+        let b = Mlp::new(&[10, 5, 2], 42);
+        let c = Mlp::new(&[10, 5, 2], 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer shapes do not chain")]
+    fn mismatched_layers_panic() {
+        let _ = Mlp::from_layers(vec![DenseLayer::zeros(4, 3), DenseLayer::zeros(2, 5)]);
+    }
+
+    #[test]
+    fn synapse_count_includes_biases() {
+        let layer = DenseLayer::zeros(3, 2);
+        assert_eq!(layer.synapse_count(), 8); // 6 weights + 2 biases
+    }
+}

@@ -1,0 +1,220 @@
+//! Weight persistence.
+//!
+//! A small self-describing little-endian binary format so the benchmark
+//! network can be trained once and reused across experiment runs:
+//!
+//! ```text
+//! magic "SANN" | version u32 | layer_count u32
+//! per layer: inputs u32 | outputs u32 | weights f32[out*in] | bias f32[out]
+//! ```
+
+use crate::matrix::Matrix;
+use crate::network::{DenseLayer, Mlp};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the format.
+const MAGIC: &[u8; 4] = b"SANN";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Errors from weight persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid weights file.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "weights i/o error: {e}"),
+            Self::Format(msg) => write!(f, "invalid weights file: {msg}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Serializes the network to a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_mlp<W: Write>(mlp: &Mlp, mut w: W) -> Result<(), PersistError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(mlp.layers().len() as u32).to_le_bytes())?;
+    for layer in mlp.layers() {
+        w.write_all(&(layer.inputs() as u32).to_le_bytes())?;
+        w.write_all(&(layer.outputs() as u32).to_le_bytes())?;
+        for &v in layer.weights.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &v in &layer.bias {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a network from a reader.
+///
+/// # Errors
+///
+/// [`PersistError::Format`] for bad magic/version or truncated payloads;
+/// [`PersistError::Io`] for reader failures.
+pub fn read_mlp<R: Read>(mut r: R) -> Result<Mlp, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let layer_count = read_u32(&mut r)? as usize;
+    if layer_count == 0 || layer_count > 64 {
+        return Err(PersistError::Format(format!(
+            "implausible layer count {layer_count}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let inputs = read_u32(&mut r)? as usize;
+        let outputs = read_u32(&mut r)? as usize;
+        if inputs == 0 || outputs == 0 || inputs * outputs > 64_000_000 {
+            return Err(PersistError::Format(format!(
+                "implausible layer shape {inputs}x{outputs}"
+            )));
+        }
+        let mut weights = vec![0.0f32; inputs * outputs];
+        read_f32s(&mut r, &mut weights)?;
+        let mut bias = vec![0.0f32; outputs];
+        read_f32s(&mut r, &mut bias)?;
+        // The on-disk format predates configurable activations and stores
+        // weights only; loaded networks are sigmoid, like the paper's.
+        layers.push(DenseLayer {
+            weights: Matrix::from_vec(outputs, inputs, weights),
+            bias,
+            activation: crate::network::Activation::Sigmoid,
+        });
+    }
+    Ok(Mlp::from_layers(layers))
+}
+
+/// Saves a network to a file (atomic-ish: write then rename).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_mlp(mlp: &Mlp, path: &Path) -> Result<(), PersistError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        write_mlp(mlp, &mut f)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a network from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and format violations.
+pub fn load_mlp(path: &Path) -> Result<Mlp, PersistError> {
+    let f = fs::File::open(path)?;
+    read_mlp(io::BufReader::new(f))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32s<R: Read>(r: &mut R, out: &mut [f32]) -> Result<(), PersistError> {
+    let mut buf = vec![0u8; out.len() * 4];
+    r.read_exact(&mut buf)?;
+    for (v, chunk) in out.iter_mut().zip(buf.chunks_exact(4)) {
+        *v = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let mlp = Mlp::new(&[7, 5, 3], 11);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).expect("write");
+        let back = read_mlp(buf.as_slice()).expect("read");
+        assert_eq!(mlp, back);
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let mlp = Mlp::new(&[4, 3, 2], 3);
+        let path = std::env::temp_dir().join("sram_ann_repro_weights_test.bin");
+        save_mlp(&mlp, &path).expect("save");
+        let back = load_mlp(&path).expect("load");
+        assert_eq!(mlp, back);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_mlp(&Mlp::new(&[2, 2], 0), &mut buf).expect("write");
+        buf[0] = b'X';
+        assert!(matches!(
+            read_mlp(buf.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_mlp(&Mlp::new(&[3, 2], 0), &mut buf).expect("write");
+        buf.truncate(buf.len() - 3);
+        assert!(read_mlp(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_mlp(&Mlp::new(&[2, 2], 0), &mut buf).expect("write");
+        buf[4] = 99;
+        assert!(matches!(
+            read_mlp(buf.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+}

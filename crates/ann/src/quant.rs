@@ -1,0 +1,312 @@
+//! Fixed-point weight quantization (paper §VI: 8-bit synaptic precision).
+//!
+//! The synaptic memory stores each weight as an 8-bit word. The paper uses
+//! 8 bits because "the observed degradation in accuracy is less than 0.5 %
+//! from the nominal value" (32-bit float). Two encodings are provided:
+//! two's complement (default — its MSB is the most significant failure
+//! target) and sign-magnitude (ablation: the MSB-protection argument must
+//! survive the encoding choice).
+//!
+//! The fixed-point format is `Q(integer_bits).(7 − integer_bits)` with one
+//! sign bit; `integer_bits` is chosen per network from the largest weight
+//! magnitude.
+
+use crate::network::{DenseLayer, Mlp};
+
+/// Weight encoding of the stored 8-bit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Two's complement: bit 7 is the sign/most-significant bit.
+    TwosComplement,
+    /// Sign-magnitude: bit 7 is a pure sign flag.
+    SignMagnitude,
+}
+
+/// An 8-bit fixed-point format: sign + integer + fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPointFormat {
+    /// Number of integer bits (excluding sign).
+    pub integer_bits: u32,
+    /// Encoding of negative values.
+    pub encoding: Encoding,
+}
+
+/// Total stored bits per synaptic weight (paper: 8).
+pub const WEIGHT_BITS: u32 = 8;
+
+impl FixedPointFormat {
+    /// Builds a format with the given integer bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `integer_bits > 6` (at least one fractional bit must
+    /// remain beside the sign bit).
+    pub fn new(integer_bits: u32, encoding: Encoding) -> Self {
+        assert!(integer_bits <= WEIGHT_BITS - 2, "too many integer bits");
+        Self {
+            integer_bits,
+            encoding,
+        }
+    }
+
+    /// Chooses the minimal integer width that can represent `max_abs`.
+    pub fn for_max_abs(max_abs: f32, encoding: Encoding) -> Self {
+        let mut integer_bits = 0u32;
+        while integer_bits < WEIGHT_BITS - 2 && (1u32 << integer_bits) as f32 <= max_abs {
+            integer_bits += 1;
+        }
+        Self::new(integer_bits, encoding)
+    }
+
+    /// Number of fractional bits.
+    pub fn fractional_bits(&self) -> u32 {
+        WEIGHT_BITS - 1 - self.integer_bits
+    }
+
+    /// The weight value of one least-significant bit.
+    pub fn lsb(&self) -> f32 {
+        1.0 / (1u32 << self.fractional_bits()) as f32
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f32 {
+        (127.0) * self.lsb()
+    }
+
+    /// Smallest representable value.
+    pub fn min_value(&self) -> f32 {
+        match self.encoding {
+            Encoding::TwosComplement => -128.0 * self.lsb(),
+            Encoding::SignMagnitude => -self.max_value(),
+        }
+    }
+
+    /// Quantizes a weight to its 8-bit code (round-to-nearest, saturating).
+    pub fn encode(&self, w: f32) -> u8 {
+        let scaled = (w / self.lsb()).round();
+        match self.encoding {
+            Encoding::TwosComplement => {
+                let clamped = scaled.clamp(-128.0, 127.0) as i32;
+                (clamped as i8) as u8
+            }
+            Encoding::SignMagnitude => {
+                let mag = scaled.abs().min(127.0) as u8;
+                if scaled < 0.0 {
+                    0x80 | mag
+                } else {
+                    mag
+                }
+            }
+        }
+    }
+
+    /// Decodes an 8-bit code back to the weight value.
+    pub fn decode(&self, code: u8) -> f32 {
+        match self.encoding {
+            Encoding::TwosComplement => (code as i8) as f32 * self.lsb(),
+            Encoding::SignMagnitude => {
+                let mag = (code & 0x7F) as f32 * self.lsb();
+                if code & 0x80 != 0 {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        }
+    }
+
+    /// Magnitude of the weight change caused by flipping `bit` of `code`.
+    pub fn flip_error(&self, code: u8, bit: u32) -> f32 {
+        let flipped = code ^ (1u8 << bit);
+        (self.decode(flipped) - self.decode(code)).abs()
+    }
+}
+
+/// One quantized layer: codes in row-major `outputs × inputs` order plus the
+/// quantized biases (biases are synapses too — Table I counts them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLayer {
+    /// Weight codes, row-major `outputs × inputs`.
+    pub weight_codes: Vec<u8>,
+    /// Bias codes, one per output.
+    pub bias_codes: Vec<u8>,
+    /// Row width (inputs).
+    pub inputs: usize,
+    /// Row count (outputs).
+    pub outputs: usize,
+    /// The layer's nonlinearity, carried through quantization unchanged.
+    pub activation: crate::network::Activation,
+}
+
+/// A fully quantized network: the bit-exact content of the synaptic memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    /// Per-layer code blocks, input side first.
+    pub layers: Vec<QuantizedLayer>,
+    /// The shared fixed-point format.
+    pub format: FixedPointFormat,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained network, picking the integer width from the
+    /// largest weight magnitude across all layers.
+    pub fn from_mlp(mlp: &Mlp, encoding: Encoding) -> Self {
+        let max_abs = mlp
+            .layers()
+            .iter()
+            .map(|l| {
+                l.weights
+                    .max_abs()
+                    .max(l.bias.iter().fold(0.0f32, |m, b| m.max(b.abs())))
+            })
+            .fold(0.0f32, f32::max);
+        let format = FixedPointFormat::for_max_abs(max_abs, encoding);
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|l| QuantizedLayer {
+                weight_codes: l.weights.data().iter().map(|&w| format.encode(w)).collect(),
+                bias_codes: l.bias.iter().map(|&b| format.encode(b)).collect(),
+                inputs: l.inputs(),
+                outputs: l.outputs(),
+                activation: l.activation,
+            })
+            .collect();
+        Self { layers, format }
+    }
+
+    /// Reconstructs a float network from the stored codes (what the NPEs
+    /// compute with after reading the synaptic memory).
+    pub fn to_mlp(&self) -> Mlp {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let mut layer = DenseLayer::zeros(l.inputs, l.outputs);
+                layer.activation = l.activation;
+                for (w, &code) in layer.weights.data_mut().iter_mut().zip(&l.weight_codes) {
+                    *w = self.format.decode(code);
+                }
+                for (b, &code) in layer.bias.iter_mut().zip(&l.bias_codes) {
+                    *b = self.format.decode(code);
+                }
+                layer
+            })
+            .collect();
+        Mlp::from_layers(layers)
+    }
+
+    /// Total number of stored synaptic words (weights + biases).
+    pub fn synapse_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weight_codes.len() + l.bias_codes.len())
+            .sum()
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Mlp;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_lsb() {
+        for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+            let fmt = FixedPointFormat::new(1, encoding);
+            for k in -100..100 {
+                let w = k as f32 * 0.017;
+                if w < fmt.min_value() || w > fmt.max_value() {
+                    continue;
+                }
+                let err = (fmt.decode(fmt.encode(w)) - w).abs();
+                assert!(
+                    err <= fmt.lsb() / 2.0 + 1e-6,
+                    "{encoding:?}: w={w} err={err} lsb={}",
+                    fmt.lsb()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        let fmt = FixedPointFormat::new(1, Encoding::TwosComplement);
+        assert_eq!(fmt.decode(fmt.encode(100.0)), fmt.max_value());
+        assert_eq!(fmt.decode(fmt.encode(-100.0)), fmt.min_value());
+    }
+
+    #[test]
+    fn format_selection_matches_weight_range() {
+        assert_eq!(
+            FixedPointFormat::for_max_abs(0.7, Encoding::TwosComplement).integer_bits,
+            0
+        );
+        assert_eq!(
+            FixedPointFormat::for_max_abs(1.5, Encoding::TwosComplement).integer_bits,
+            1
+        );
+        assert_eq!(
+            FixedPointFormat::for_max_abs(3.9, Encoding::TwosComplement).integer_bits,
+            2
+        );
+    }
+
+    #[test]
+    fn msb_flip_dominates_lsb_flip() {
+        // The premise of significance-driven protection: the error magnitude
+        // of a flip is ordered by bit position.
+        for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+            let fmt = FixedPointFormat::new(1, encoding);
+            let code = fmt.encode(0.8);
+            let mut last = 0.0;
+            for bit in 0..WEIGHT_BITS {
+                let err = fmt.flip_error(code, bit);
+                assert!(
+                    err >= last,
+                    "{encoding:?}: flip error must grow with bit position"
+                );
+                last = err;
+            }
+            // The MSB flip dwarfs low-order flips. (For two's complement the
+            // ratio is exactly 2^6; for sign-magnitude it is 2·|w|/2·lsb,
+            // still an order of magnitude for any healthy weight.)
+            assert!(fmt.flip_error(code, 7) >= 16.0 * fmt.flip_error(code, 1));
+        }
+    }
+
+    #[test]
+    fn quantized_network_round_trips_shape_and_content() {
+        let mlp = Mlp::new(&[6, 4, 3], 5);
+        let q = QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement);
+        assert_eq!(q.synapse_count(), mlp.synapse_count());
+        assert_eq!(q.layer_count(), 2);
+        let back = q.to_mlp();
+        // Values agree within half an LSB everywhere.
+        for (orig, rec) in mlp.layers().iter().zip(back.layers()) {
+            for (a, b) in orig.weights.data().iter().zip(rec.weights.data()) {
+                assert!((a - b).abs() <= q.format.lsb() / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_agree_on_positive_codes() {
+        let tc = FixedPointFormat::new(1, Encoding::TwosComplement);
+        let sm = FixedPointFormat::new(1, Encoding::SignMagnitude);
+        for k in 0..=127u8 {
+            assert_eq!(tc.decode(k), sm.decode(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many integer bits")]
+    fn excessive_integer_bits_panic() {
+        let _ = FixedPointFormat::new(7, Encoding::TwosComplement);
+    }
+}

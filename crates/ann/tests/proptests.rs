@@ -1,0 +1,95 @@
+//! Property-based tests for the neural substrate.
+
+use neural::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantization round trip is within half an LSB for in-range weights.
+    #[test]
+    fn quant_round_trip(w in -1.9f32..1.9, ibits in 0u32..3) {
+        for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+            let fmt = FixedPointFormat::new(ibits, encoding);
+            if w < fmt.min_value() || w > fmt.max_value() {
+                continue;
+            }
+            let rec = fmt.decode(fmt.encode(w));
+            prop_assert!((rec - w).abs() <= fmt.lsb() / 2.0 + 1e-6);
+        }
+    }
+
+    /// Encoded values always decode inside the representable range.
+    #[test]
+    fn decode_is_bounded(code in 0u8..=255, ibits in 0u32..4) {
+        for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+            let fmt = FixedPointFormat::new(ibits, encoding);
+            let v = fmt.decode(code);
+            prop_assert!(v >= fmt.min_value() - 1e-6 && v <= fmt.max_value() + 1e-6);
+        }
+    }
+
+    /// A bit flip always changes the decoded value (no dead bits), except
+    /// the sign bit of sign-magnitude zero.
+    #[test]
+    fn flips_change_value(code in 0u8..=255, bit in 0u32..8) {
+        let fmt = FixedPointFormat::new(1, Encoding::TwosComplement);
+        prop_assert!(fmt.flip_error(code, bit) > 0.0);
+    }
+
+    /// Matrix multiply is associative on small random matrices.
+    #[test]
+    fn matmul_associative(seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut make = |r: usize, c: usize| {
+            Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        };
+        let a = make(3, 4);
+        let b = make(4, 2);
+        let c = make(2, 5);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Forward pass keeps activations in (0, 1): sigmoid range.
+    #[test]
+    fn activations_bounded(seed in 0u64..200) {
+        let mlp = Mlp::new(&[6, 5, 3], seed);
+        let batch = Matrix::from_vec(2, 6, vec![0.3; 12]);
+        let out = mlp.forward(&batch);
+        for &v in out.data() {
+            prop_assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    /// Dataset split always partitions the samples.
+    #[test]
+    fn split_partitions(n in 10usize..60, frac in 0.1f64..0.9, seed in 0u64..50) {
+        let d = synth::generate_default(n, 3);
+        let (a, b) = d.split(frac, seed);
+        prop_assert_eq!(a.len() + b.len(), n);
+    }
+
+    /// Synthetic pixels stay normalized for any distortion seed.
+    #[test]
+    fn synth_pixels_normalized(seed in 0u64..100) {
+        let d = synth::generate_default(10, seed);
+        for i in 0..d.len() {
+            for &p in d.image(i) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    /// Weight persistence round-trips arbitrary trained-ish networks.
+    #[test]
+    fn persistence_round_trip(seed in 0u64..100) {
+        let mlp = Mlp::new(&[5, 4, 2], seed);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).expect("serialize");
+        let back = read_mlp(buf.as_slice()).expect("deserialize");
+        prop_assert_eq!(mlp, back);
+    }
+}

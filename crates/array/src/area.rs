@@ -1,0 +1,74 @@
+//! Array-level area rollup (paper Figs. 8c, 9).
+//!
+//! Hybrid 8T-6T rows lay out together with no overhead beyond the transistor
+//! count (paper §IV, citing Chang et al.), so array area is the cell-count
+//! weighted sum of the two footprints.
+
+use crate::organization::SynapticMemoryMap;
+use sram_bitcell::area::cell_area;
+use sram_bitcell::topology::BitcellKind;
+use sram_device::units::SquareMeter;
+
+/// Total cell area of a synaptic memory.
+pub fn memory_area(map: &SynapticMemoryMap) -> SquareMeter {
+    let a6 = cell_area(BitcellKind::SixT);
+    let a8 = cell_area(BitcellKind::EightT);
+    a6 * map.total_cells(BitcellKind::SixT) as f64 + a8 * map.total_cells(BitcellKind::EightT) as f64
+}
+
+/// Relative area overhead of `map` versus an all-6T memory with the same
+/// word capacity.
+pub fn area_overhead_vs_all_6t(map: &SynapticMemoryMap) -> f64 {
+    let base = cell_area(BitcellKind::SixT) * (map.total_words() * 8) as f64;
+    memory_area(map) / base - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::SubArrayDims;
+    use fault_inject::protection::ProtectionPolicy;
+
+    fn map(policy: &ProtectionPolicy) -> SynapticMemoryMap {
+        SynapticMemoryMap::new(&[1000, 500, 250], policy, SubArrayDims::PAPER)
+    }
+
+    #[test]
+    fn all_6t_has_zero_overhead() {
+        let m = map(&ProtectionPolicy::Uniform6T);
+        assert!(area_overhead_vs_all_6t(&m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_hybrid_matches_cell_level_formula() {
+        // n x 37 % / 8, same as sram-bitcell's word-level helper.
+        for n in 1..=4usize {
+            let m = map(&ProtectionPolicy::MsbProtected { msb_8t: n });
+            let expected = n as f64 * 0.37 / 8.0;
+            let got = area_overhead_vs_all_6t(&m);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "n={n}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_bank_overhead_is_word_weighted() {
+        let m = map(&ProtectionPolicy::PerBank {
+            msb_8t: vec![3, 0, 0],
+        });
+        // Only the first bank (1000 of 1750 words) pays 3 bits of 37 %.
+        let expected = (1000.0 / 1750.0) * 3.0 * 0.37 / 8.0;
+        let got = area_overhead_vs_all_6t(&m);
+        assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn absolute_area_is_sane() {
+        // 1750 words x 8 cells x 0.1 µm² = 1400 µm² for the all-6T case.
+        let m = map(&ProtectionPolicy::Uniform6T);
+        let um2 = memory_area(&m).square_microns();
+        assert!((um2 - 1400.0).abs() < 1e-6, "area {um2} µm²");
+    }
+}

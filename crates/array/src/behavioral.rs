@@ -1,0 +1,293 @@
+//! Behavioral fault-injecting synaptic memory.
+//!
+//! A functional model of the on-chip weight store: bytes in, bytes out, with
+//! the reliability of the configured cells at the configured voltage. Two
+//! injection modes mirror the ablation in DESIGN.md §5:
+//!
+//! * **Per-access** (this module's `read`): every read samples fresh
+//!   read-fault bits — the physically faithful model, affordable for small
+//!   networks and used to validate the snapshot shortcut.
+//! * **Snapshot** (`corrupt_snapshot`): one corruption pass over the stored
+//!   image, the way the paper's functional simulator perturbs the weight
+//!   matrix before an evaluation run.
+//!
+//! Write failures are always persistent: they corrupt the stored byte at
+//! write time.
+
+use crate::organization::SynapticMemoryMap;
+use fault_inject::injector::{geometric_indices, sample_read_mask, InjectionStats};
+use fault_inject::model::{WordFailureModel, WORD_BITS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Access counters for energy accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Number of word reads served.
+    pub reads: usize,
+    /// Number of word writes served.
+    pub writes: usize,
+}
+
+/// A synaptic memory with per-bank failure models.
+#[derive(Debug, Clone)]
+pub struct SynapticMemory {
+    map: SynapticMemoryMap,
+    /// Failure model per bank (parallel to `map.banks()`).
+    models: Vec<WordFailureModel>,
+    words: Vec<u8>,
+    rng: StdRng,
+    counts: AccessCounts,
+}
+
+impl SynapticMemory {
+    /// Creates a zero-filled memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models.len()` differs from the bank count.
+    pub fn new(map: SynapticMemoryMap, models: Vec<WordFailureModel>, seed: u64) -> Self {
+        assert_eq!(
+            models.len(),
+            map.banks().len(),
+            "one failure model per bank required"
+        );
+        let words = vec![0u8; map.total_words()];
+        Self {
+            map,
+            models,
+            words,
+            rng: StdRng::seed_from_u64(seed),
+            counts: AccessCounts::default(),
+        }
+    }
+
+    /// The memory map.
+    pub fn map(&self) -> &SynapticMemoryMap {
+        &self.map
+    }
+
+    /// Accesses served so far.
+    pub fn counts(&self) -> AccessCounts {
+        self.counts
+    }
+
+    /// Capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the memory holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Writes one word; write failures may corrupt stored bits persistently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn write(&mut self, index: usize, value: u8) {
+        let bank = self.map.locate(index).bank;
+        let model = &self.models[bank];
+        let mut stored = value;
+        for bit in 0..WORD_BITS {
+            let p = model.write_probability(bit);
+            if p > 0.0 && self.rng.gen::<f64>() < p {
+                stored ^= 1 << bit;
+            }
+        }
+        self.words[index] = stored;
+        self.counts.writes += 1;
+    }
+
+    /// Reads one word; read faults flip returned bits without altering the
+    /// stored value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read(&mut self, index: usize) -> u8 {
+        let bank = self.map.locate(index).bank;
+        let mask = sample_read_mask(&self.models[bank], &mut self.rng);
+        self.counts.reads += 1;
+        self.words[index] ^= 0; // stored value untouched
+        self.words[index] ^ mask
+    }
+
+    /// Reads one word without fault injection (debug/verification path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read_raw(&self, index: usize) -> u8 {
+        self.words[index]
+    }
+
+    /// Bulk-loads `data` through the faulty write path, starting at word 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the capacity.
+    pub fn load(&mut self, data: &[u8]) {
+        assert!(data.len() <= self.words.len(), "data exceeds capacity");
+        for (i, &b) in data.iter().enumerate() {
+            self.write(i, b);
+        }
+    }
+
+    /// Produces a snapshot image of the memory as read once through the
+    /// faulty read path — the paper's "perturb the weights, then evaluate"
+    /// shortcut. The stored content is unchanged; statistics are returned
+    /// alongside.
+    pub fn corrupt_snapshot(&mut self, seed: u64) -> (Vec<u8>, InjectionStats) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut image = self.words.clone();
+        let mut stats = InjectionStats::default();
+        // Per bank, per bit: geometric sampling over the bank's word range.
+        let mut start = 0usize;
+        for (bank, model) in self.map.banks().iter().zip(&self.models) {
+            for bit in 0..WORD_BITS {
+                let p = model.read_probability(bit);
+                if p <= 0.0 {
+                    continue;
+                }
+                for off in geometric_indices(bank.words, p, &mut rng) {
+                    image[start + off] ^= 1 << bit;
+                    stats.flips_per_bit[bit] += 1;
+                    stats.read_flips += 1;
+                }
+            }
+            start += bank.words;
+        }
+        (image, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::SubArrayDims;
+    use fault_inject::model::BitErrorRates;
+    use fault_inject::protection::{CellAssignment, ProtectionPolicy};
+
+    fn ideal_memory(words: usize) -> SynapticMemory {
+        let map = SynapticMemoryMap::new(
+            &[words],
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        SynapticMemory::new(map, vec![WordFailureModel::ideal()], 1)
+    }
+
+    fn faulty_memory(words: usize, read_p: f64, write_p: f64, protected: usize) -> SynapticMemory {
+        let map = SynapticMemoryMap::new(
+            &[words],
+            &ProtectionPolicy::MsbProtected { msb_8t: protected },
+            SubArrayDims::PAPER,
+        );
+        let model = WordFailureModel::new(
+            &BitErrorRates {
+                read_6t: read_p,
+                write_6t: write_p,
+                read_8t: 0.0,
+                write_8t: 0.0,
+            },
+            &CellAssignment::msb_protected(protected),
+        );
+        SynapticMemory::new(map, vec![model], 7)
+    }
+
+    #[test]
+    fn ideal_memory_round_trips() {
+        let mut m = ideal_memory(128);
+        let data: Vec<u8> = (0..128).map(|i| (i * 7) as u8).collect();
+        m.load(&data);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(m.read(i), b);
+        }
+        assert_eq!(m.counts().reads, 128);
+        assert_eq!(m.counts().writes, 128);
+    }
+
+    #[test]
+    fn read_faults_are_transient() {
+        let mut m = faulty_memory(2000, 0.2, 0.0, 0);
+        m.load(&vec![0u8; 2000]);
+        // Stored content never changes even though reads glitch.
+        let mut saw_fault = false;
+        for i in 0..2000 {
+            if m.read(i) != 0 {
+                saw_fault = true;
+            }
+            assert_eq!(m.read_raw(i), 0, "storage must stay clean");
+        }
+        assert!(saw_fault, "20% read fault rate must show up");
+    }
+
+    #[test]
+    fn write_faults_are_persistent() {
+        let mut m = faulty_memory(3000, 0.0, 0.3, 0);
+        m.load(&vec![0u8; 3000]);
+        let corrupted = (0..3000).filter(|&i| m.read_raw(i) != 0).count();
+        assert!(corrupted > 0, "30% write fault rate must corrupt storage");
+        // Reads are exact now (no read faults configured).
+        let seen = (0..3000).filter(|&i| m.read(i) != 0).count();
+        assert_eq!(seen, corrupted);
+    }
+
+    #[test]
+    fn protected_msbs_survive() {
+        let mut m = faulty_memory(4000, 0.3, 0.3, 3);
+        m.load(&vec![0u8; 4000]);
+        for i in 0..4000 {
+            assert_eq!(m.read(i) & 0xE0, 0, "protected MSBs must never flip");
+        }
+    }
+
+    #[test]
+    fn snapshot_leaves_storage_untouched_and_reports_stats() {
+        let mut m = faulty_memory(5000, 0.05, 0.0, 0);
+        m.load(&vec![0xFFu8; 5000]);
+        let (image, stats) = m.corrupt_snapshot(99);
+        assert_eq!(image.len(), 5000);
+        assert!(stats.total() > 0);
+        let diff = image
+            .iter()
+            .enumerate()
+            .filter(|(i, &b)| b != m.read_raw(*i))
+            .count();
+        assert!(diff > 0);
+        // Expected flips: 5000 words * 8 bits * 0.05 = 2000, allow wide band.
+        let total = stats.total() as f64;
+        assert!((1500.0..2500.0).contains(&total), "flips {total}");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_per_seed() {
+        let mut m = faulty_memory(1000, 0.02, 0.0, 1);
+        m.load(&vec![0xA5u8; 1000]);
+        let (a, sa) = m.corrupt_snapshot(5);
+        let (b, sb) = m.corrupt_snapshot(5);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "data exceeds capacity")]
+    fn overload_panics() {
+        let mut m = ideal_memory(4);
+        m.load(&[0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one failure model per bank")]
+    fn model_count_mismatch_panics() {
+        let map = SynapticMemoryMap::new(
+            &[10, 10],
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        let _ = SynapticMemory::new(map, vec![WordFailureModel::ideal()], 0);
+    }
+}

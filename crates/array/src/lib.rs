@@ -1,0 +1,45 @@
+//! # sram-array
+//!
+//! Array and bank [`organization`] of the synaptic memory (256×256
+//! sub-arrays, one bank per ANN layer for the sensitivity-driven
+//! architecture of paper Fig. 3c), the array-level [`power`] and [`area`]
+//! rollups behind Figs. 7b/8b/8c/9, and a [`behavioral`] fault-injecting
+//! memory model that the system level reads weights through.
+//!
+//! # Examples
+//!
+//! Area overhead of the paper's (3,5) hybrid configuration:
+//!
+//! ```
+//! use sram_array::prelude::*;
+//! use fault_inject::prelude::ProtectionPolicy;
+//!
+//! let map = SynapticMemoryMap::new(
+//!     &[10_000],
+//!     &ProtectionPolicy::MsbProtected { msb_8t: 3 },
+//!     SubArrayDims::PAPER,
+//! );
+//! let overhead = area_overhead_vs_all_6t(&map);
+//! assert!((overhead - 0.1387).abs() < 1e-3, "paper Fig. 8c: 13.9 %");
+//! ```
+
+pub mod area;
+pub mod behavioral;
+pub mod organization;
+pub mod periphery;
+pub mod power;
+pub mod redundancy;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::area::{area_overhead_vs_all_6t, memory_area};
+    pub use crate::behavioral::{AccessCounts, SynapticMemory};
+    pub use crate::organization::{MemoryBank, SubArrayDims, SynapticMemoryMap, WordAddress};
+    pub use crate::periphery::{PeripheryEnergy, PeripheryModel};
+    pub use crate::power::{
+        memory_power, memory_power_with_periphery, MemoryPowerReport, PowerConvention,
+    };
+    pub use crate::redundancy::{
+        effective_failure_probability, simulate_repair, RedundancyConfig, RepairOutcome,
+    };
+}

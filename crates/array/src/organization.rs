@@ -1,0 +1,286 @@
+//! Array organization: sub-arrays, banks, and synapse addressing.
+//!
+//! The paper's synaptic memory is built from 256×256 sub-arrays (the unit of
+//! its failure analysis) grouped into banks. In the sensitivity-driven
+//! architecture (Fig. 3c) there is one bank per ANN layer, holding the
+//! synapses fanning out of that layer's neurons; each bank carries its own
+//! 8T/6T bit assignment.
+
+use fault_inject::protection::{CellAssignment, ProtectionPolicy};
+use sram_bitcell::topology::BitcellKind;
+
+/// Dimensions of one SRAM sub-array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubArrayDims {
+    /// Word-line count.
+    pub rows: usize,
+    /// Bit-line pair count.
+    pub cols: usize,
+}
+
+impl SubArrayDims {
+    /// The paper's 256×256 sub-array.
+    pub const PAPER: SubArrayDims = SubArrayDims {
+        rows: 256,
+        cols: 256,
+    };
+
+    /// Bits stored per sub-array.
+    pub fn bits(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// 8-bit words stored per sub-array.
+    pub fn words(&self) -> usize {
+        self.bits() / 8
+    }
+}
+
+/// One storage bank: a word count plus the bit-level cell assignment used
+/// for every word in the bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryBank {
+    /// Number of 8-bit synaptic words.
+    pub words: usize,
+    /// Which bits of each word are 8T cells.
+    pub assignment: CellAssignment,
+}
+
+impl MemoryBank {
+    /// Number of 8T cells in the bank.
+    pub fn cells_8t(&self) -> usize {
+        self.words * self.assignment.protected_count()
+    }
+
+    /// Number of 6T cells in the bank.
+    pub fn cells_6t(&self) -> usize {
+        self.words * (8 - self.assignment.protected_count())
+    }
+
+    /// Cells of the requested kind.
+    pub fn cells(&self, kind: BitcellKind) -> usize {
+        match kind {
+            BitcellKind::SixT => self.cells_6t(),
+            BitcellKind::EightT => self.cells_8t(),
+        }
+    }
+
+    /// Sub-arrays needed to hold this bank.
+    pub fn subarrays(&self, dims: SubArrayDims) -> usize {
+        self.words.div_ceil(dims.words())
+    }
+}
+
+/// A complete synaptic memory: one bank per ANN weight layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynapticMemoryMap {
+    banks: Vec<MemoryBank>,
+    dims: SubArrayDims,
+}
+
+/// Location of one synaptic word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordAddress {
+    /// Bank index (= ANN weight-layer index).
+    pub bank: usize,
+    /// Word offset inside the bank.
+    pub offset: usize,
+}
+
+impl SynapticMemoryMap {
+    /// Builds the map from per-bank word counts and a protection policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ProtectionPolicy::PerBank`] policy describes a
+    /// different number of banks than `bank_words`.
+    pub fn new(bank_words: &[usize], policy: &ProtectionPolicy, dims: SubArrayDims) -> Self {
+        if let Some(n) = policy.bank_count() {
+            assert_eq!(
+                n,
+                bank_words.len(),
+                "policy describes {n} banks, memory has {}",
+                bank_words.len()
+            );
+        }
+        let banks = bank_words
+            .iter()
+            .enumerate()
+            .map(|(i, &words)| MemoryBank {
+                words,
+                assignment: policy.assignment(i),
+            })
+            .collect();
+        Self { banks, dims }
+    }
+
+    /// The banks, input-side layer first.
+    pub fn banks(&self) -> &[MemoryBank] {
+        &self.banks
+    }
+
+    /// Sub-array dimensions used by every bank.
+    pub fn dims(&self) -> SubArrayDims {
+        self.dims
+    }
+
+    /// Total synaptic words.
+    pub fn total_words(&self) -> usize {
+        self.banks.iter().map(|b| b.words).sum()
+    }
+
+    /// Total cells of the requested kind across banks.
+    pub fn total_cells(&self, kind: BitcellKind) -> usize {
+        self.banks.iter().map(|b| b.cells(kind)).sum()
+    }
+
+    /// Maps a global word index (banks concatenated in order) to an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is beyond the end of the memory.
+    pub fn locate(&self, global_word: usize) -> WordAddress {
+        let mut remaining = global_word;
+        for (bank, b) in self.banks.iter().enumerate() {
+            if remaining < b.words {
+                return WordAddress {
+                    bank,
+                    offset: remaining,
+                };
+            }
+            remaining -= b.words;
+        }
+        panic!(
+            "word index {global_word} out of range ({} words)",
+            self.total_words()
+        );
+    }
+
+    /// Inverse of [`SynapticMemoryMap::locate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is invalid.
+    pub fn global_index(&self, addr: WordAddress) -> usize {
+        assert!(addr.bank < self.banks.len(), "bank {} invalid", addr.bank);
+        assert!(
+            addr.offset < self.banks[addr.bank].words,
+            "offset {} beyond bank {}",
+            addr.offset,
+            addr.bank
+        );
+        self.banks[..addr.bank].iter().map(|b| b.words).sum::<usize>() + addr.offset
+    }
+
+    /// Physical placement of a word inside its bank: `(subarray, row, col)`.
+    /// Words are packed row-major, 32 words per 256-column row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is invalid.
+    pub fn physical(&self, addr: WordAddress) -> (usize, usize, usize) {
+        assert!(addr.bank < self.banks.len());
+        let words_per_row = self.dims.cols / 8;
+        let words_per_subarray = self.dims.words();
+        let sub = addr.offset / words_per_subarray;
+        let within = addr.offset % words_per_subarray;
+        (sub, within / words_per_row, (within % words_per_row) * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> SynapticMemoryMap {
+        SynapticMemoryMap::new(
+            &[100, 50, 25],
+            &ProtectionPolicy::PerBank {
+                msb_8t: vec![3, 2, 0],
+            },
+            SubArrayDims::PAPER,
+        )
+    }
+
+    #[test]
+    fn paper_subarray_holds_8k_words() {
+        assert_eq!(SubArrayDims::PAPER.bits(), 65536);
+        assert_eq!(SubArrayDims::PAPER.words(), 8192);
+    }
+
+    #[test]
+    fn bank_cell_counts() {
+        let m = map();
+        let b0 = &m.banks()[0];
+        assert_eq!(b0.cells_8t(), 300);
+        assert_eq!(b0.cells_6t(), 500);
+        assert_eq!(b0.cells(BitcellKind::EightT), 300);
+        assert_eq!(m.total_cells(BitcellKind::EightT), 300 + 100);
+        assert_eq!(m.total_cells(BitcellKind::SixT), 500 + 300 + 200);
+        assert_eq!(
+            m.total_cells(BitcellKind::SixT) + m.total_cells(BitcellKind::EightT),
+            m.total_words() * 8
+        );
+    }
+
+    #[test]
+    fn locate_and_global_index_are_inverse() {
+        let m = map();
+        for g in [0, 99, 100, 149, 150, 174] {
+            let addr = m.locate(g);
+            assert_eq!(m.global_index(addr), g);
+        }
+        assert_eq!(m.locate(0).bank, 0);
+        assert_eq!(m.locate(100).bank, 1);
+        assert_eq!(m.locate(150).bank, 2);
+        assert_eq!(m.locate(174), WordAddress { bank: 2, offset: 24 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_beyond_end_panics() {
+        let _ = map().locate(175);
+    }
+
+    #[test]
+    fn physical_packing() {
+        let m = SynapticMemoryMap::new(
+            &[20000],
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        // Word 0: subarray 0, row 0, col 0.
+        assert_eq!(m.physical(WordAddress { bank: 0, offset: 0 }), (0, 0, 0));
+        // Word 31: still row 0, col 248.
+        assert_eq!(
+            m.physical(WordAddress { bank: 0, offset: 31 }),
+            (0, 0, 248)
+        );
+        // Word 32: row 1.
+        assert_eq!(m.physical(WordAddress { bank: 0, offset: 32 }), (0, 1, 0));
+        // Word 8192: second subarray.
+        assert_eq!(
+            m.physical(WordAddress { bank: 0, offset: 8192 }),
+            (1, 0, 0)
+        );
+    }
+
+    #[test]
+    fn subarray_count_rounds_up() {
+        let b = MemoryBank {
+            words: 8193,
+            assignment: CellAssignment::all_6t(),
+        };
+        assert_eq!(b.subarrays(SubArrayDims::PAPER), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "policy describes")]
+    fn policy_bank_count_mismatch_panics() {
+        let _ = SynapticMemoryMap::new(
+            &[10, 10],
+            &ProtectionPolicy::PerBank { msb_8t: vec![1] },
+            SubArrayDims::PAPER,
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Peripheral circuitry of a sub-array access: row decoder, wordline driver,
+//! column mux, sense amplifiers and write drivers.
+//!
+//! The paper's "memory access power" is dominated by the bitcell array (its
+//! Fig. 6 characterizes the cells in their column environment), but a
+//! credible array model still has to show that the periphery does not change
+//! the ranking between configurations. The hybrid 8T-6T array drives the
+//! same wordlines and senses the same number of bits as the all-6T array, so
+//! periphery energy is configuration-independent to first order. Its effect
+//! on the paper's *iso-stability* comparison is therefore two-sided: at
+//! equal voltage it dilutes the hybrid's 8T power premium, while across the
+//! 0.75 V → 0.65 V gap it saves the full `V²` ratio — slightly *more* than
+//! the cell array, whose saving is eroded by that premium. The `periphery`
+//! ablation experiment in `hybrid-sram` quantifies both effects.
+//!
+//! The model is CACTI-flavored but deliberately small: every component is an
+//! effective switched capacitance at full swing, `E = C_eff · VDD²`, with
+//! documented default constants for a 22 nm sub-array. Periphery leakage is
+//! scaled from a nominal per-gate figure by `VDD / VDD_nom` (subthreshold
+//! leakage shrinks roughly linearly over the paper's narrow 0.6–0.95 V
+//! window; the exponential DIBL correction is second-order here).
+
+use crate::organization::SubArrayDims;
+use sram_device::units::{Farad, Joule, Volt, Watt};
+
+/// Effective switched capacitances of the periphery of one sub-array.
+///
+/// # Examples
+///
+/// ```
+/// use sram_array::organization::SubArrayDims;
+/// use sram_array::periphery::PeripheryModel;
+/// use sram_device::units::Volt;
+///
+/// let model = PeripheryModel::cacti_lite(SubArrayDims::PAPER);
+/// let read = model.read_access(Volt::new(0.65), 8);
+/// assert!(read.total().joules() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeripheryModel {
+    dims: SubArrayDims,
+    /// Gate load presented to the wordline by one cell (two access
+    /// transistors for 6T; the hybrid row's mix is within the noise).
+    pub wordline_cap_per_cell: Farad,
+    /// Wordline wire capacitance per cell pitch.
+    pub wire_cap_per_cell: Farad,
+    /// Effective capacitance of one decoder/mux logic gate.
+    pub gate_cap: Farad,
+    /// Effective capacitance switched by one sense-amplifier activation.
+    pub sense_amp_cap: Farad,
+    /// Effective capacitance switched by one write-driver activation.
+    pub write_driver_cap: Farad,
+    /// Leakage of the whole periphery at nominal supply.
+    pub leakage_nominal: Watt,
+    /// Nominal supply the leakage figure refers to.
+    pub vdd_nominal: Volt,
+}
+
+/// Energy breakdown of one sub-array access.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeripheryEnergy {
+    /// Address pre-decode and final row-select gates.
+    pub row_decoder: Joule,
+    /// Driving the selected wordline across all columns.
+    pub wordline: Joule,
+    /// Column-select pass gates for the accessed bits.
+    pub column_mux: Joule,
+    /// Sense-amplifier activations (reads only).
+    pub sense_amps: Joule,
+    /// Write-driver activations (writes only).
+    pub write_drivers: Joule,
+}
+
+impl PeripheryEnergy {
+    /// Sum of all components.
+    pub fn total(&self) -> Joule {
+        self.row_decoder + self.wordline + self.column_mux + self.sense_amps + self.write_drivers
+    }
+}
+
+impl PeripheryModel {
+    /// Default 22 nm constants: ~0.1 fF of gate load and ~0.05 fF of wire
+    /// per cell on the wordline, 0.2 fF logic gates, 2 fF per sense amp /
+    /// write driver, 50 nW of periphery leakage at 0.95 V.
+    pub fn cacti_lite(dims: SubArrayDims) -> Self {
+        Self {
+            dims,
+            wordline_cap_per_cell: Farad::new(0.1e-15),
+            wire_cap_per_cell: Farad::new(0.05e-15),
+            gate_cap: Farad::new(0.2e-15),
+            sense_amp_cap: Farad::new(2.0e-15),
+            write_driver_cap: Farad::new(2.0e-15),
+            leakage_nominal: Watt::from_nanowatts(50.0),
+            vdd_nominal: Volt::new(0.95),
+        }
+    }
+
+    /// The sub-array these constants describe.
+    #[inline]
+    pub fn dims(&self) -> SubArrayDims {
+        self.dims
+    }
+
+    /// Address bits decoded by the row decoder.
+    pub fn address_bits(&self) -> u32 {
+        usize::BITS - (self.dims.rows.max(2) - 1).leading_zeros()
+    }
+
+    /// Energy of one read access delivering `bits_per_access` bits.
+    pub fn read_access(&self, vdd: Volt, bits_per_access: usize) -> PeripheryEnergy {
+        let mut e = self.shared_access(vdd, bits_per_access);
+        e.sense_amps = self.cv2(
+            Farad::new(self.sense_amp_cap.farads() * bits_per_access as f64),
+            vdd,
+        );
+        e
+    }
+
+    /// Energy of one write access storing `bits_per_access` bits.
+    pub fn write_access(&self, vdd: Volt, bits_per_access: usize) -> PeripheryEnergy {
+        let mut e = self.shared_access(vdd, bits_per_access);
+        e.write_drivers = self.cv2(
+            Farad::new(self.write_driver_cap.farads() * bits_per_access as f64),
+            vdd,
+        );
+        e
+    }
+
+    /// Decoder + wordline + column mux, common to reads and writes.
+    fn shared_access(&self, vdd: Volt, bits_per_access: usize) -> PeripheryEnergy {
+        // One decode path switches per access: each address bit drives a
+        // fanout-of-4 pre-decode stage.
+        let decoder_cap =
+            Farad::new(f64::from(self.address_bits()) * 4.0 * self.gate_cap.farads());
+        let wordline_cap = Farad::new(
+            self.dims.cols as f64
+                * (self.wordline_cap_per_cell.farads() + self.wire_cap_per_cell.farads()),
+        );
+        let mux_cap = Farad::new(bits_per_access as f64 * self.gate_cap.farads());
+        PeripheryEnergy {
+            row_decoder: self.cv2(decoder_cap, vdd),
+            wordline: self.cv2(wordline_cap, vdd),
+            column_mux: self.cv2(mux_cap, vdd),
+            sense_amps: Joule::new(0.0),
+            write_drivers: Joule::new(0.0),
+        }
+    }
+
+    /// Periphery leakage at `vdd`, scaled linearly from the nominal point.
+    pub fn leakage(&self, vdd: Volt) -> Watt {
+        Watt::new(self.leakage_nominal.watts() * vdd.volts() / self.vdd_nominal.volts())
+    }
+
+    fn cv2(&self, c: Farad, vdd: Volt) -> Joule {
+        let v = vdd.volts();
+        Joule::new(c.farads() * v * v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PeripheryModel {
+        PeripheryModel::cacti_lite(SubArrayDims::PAPER)
+    }
+
+    #[test]
+    fn address_bits_for_paper_array() {
+        assert_eq!(model().address_bits(), 8);
+        let small = PeripheryModel::cacti_lite(SubArrayDims { rows: 64, cols: 256 });
+        assert_eq!(small.address_bits(), 6);
+    }
+
+    #[test]
+    fn read_uses_sense_amps_write_uses_drivers() {
+        let m = model();
+        let r = m.read_access(Volt::new(0.95), 8);
+        let w = m.write_access(Volt::new(0.95), 8);
+        assert!(r.sense_amps.joules() > 0.0);
+        assert_eq!(r.write_drivers.joules(), 0.0);
+        assert!(w.write_drivers.joules() > 0.0);
+        assert_eq!(w.sense_amps.joules(), 0.0);
+        // Shared components identical.
+        assert_eq!(r.row_decoder, w.row_decoder);
+        assert_eq!(r.wordline, w.wordline);
+        assert_eq!(r.column_mux, w.column_mux);
+    }
+
+    #[test]
+    fn energy_scales_quadratically_with_vdd() {
+        let m = model();
+        let lo = m.read_access(Volt::new(0.475), 8).total().joules();
+        let hi = m.read_access(Volt::new(0.95), 8).total().joules();
+        assert!((hi / lo - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wordline_dominates_decoder_for_wide_arrays() {
+        // 256 columns of gate + wire load outweigh 8 address bits of logic.
+        let e = model().read_access(Volt::new(0.95), 8);
+        assert!(e.wordline.joules() > e.row_decoder.joules());
+    }
+
+    #[test]
+    fn wider_access_costs_more_mux_and_sense_energy() {
+        let m = model();
+        let narrow = m.read_access(Volt::new(0.75), 8);
+        let wide = m.read_access(Volt::new(0.75), 64);
+        assert!(wide.sense_amps.joules() > narrow.sense_amps.joules());
+        assert!(wide.column_mux.joules() > narrow.column_mux.joules());
+        assert_eq!(wide.wordline, narrow.wordline, "wordline is access-width independent");
+    }
+
+    #[test]
+    fn leakage_tracks_supply() {
+        let m = model();
+        let nominal = m.leakage(Volt::new(0.95));
+        let scaled = m.leakage(Volt::new(0.65));
+        assert!((nominal.watts() - 50e-9).abs() < 1e-15);
+        assert!(scaled.watts() < nominal.watts());
+        assert!((scaled.watts() / nominal.watts() - 0.65 / 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periphery_is_secondary_to_typical_cell_energy() {
+        // One 8-bit read's periphery energy at 0.65 V should sit in the
+        // same decade as, not far above, eight bitcell accesses (~fJ each);
+        // otherwise the ablation conclusion would be an artifact.
+        let e = model().read_access(Volt::new(0.65), 8).total();
+        assert!(e.femtojoules() < 100.0, "periphery energy {e}");
+    }
+}

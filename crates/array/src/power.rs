@@ -1,0 +1,323 @@
+//! Array-level power rollup (paper Figs. 7b, 8b, 9).
+//!
+//! Aggregates the per-cell power figures of the circuit level over the bank
+//! organization: every read of a synaptic word touches its eight cells (some
+//! 6T, some 8T under a hybrid assignment), and every cell leaks continuously.
+//!
+//! Two reporting conventions are provided because the paper's iso-stability
+//! comparisons are sensitive to the choice (see DESIGN.md §5):
+//!
+//! * [`PowerConvention::IsoThroughput`] — both configurations serve the same
+//!   access rate; dynamic power compares as access *energy*.
+//! * [`PowerConvention::SelfClocked`] — each configuration runs at its own
+//!   voltage-scaled cycle time (the clock tracks the nominal cell delay), so
+//!   scaled-voltage configurations also bank the frequency reduction.
+
+use crate::organization::SynapticMemoryMap;
+use sram_bitcell::characterize::CellCharacterization;
+use sram_bitcell::power::CellPower;
+use sram_device::units::{Joule, Volt, Watt};
+
+/// How array power is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerConvention {
+    /// Fixed access rate for every configuration (energy comparison).
+    IsoThroughput,
+    /// Access rate scales with the configuration's own cycle time.
+    SelfClocked,
+}
+
+/// Power figures for one memory configuration at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryPowerReport {
+    /// Average power drawn by read accesses.
+    pub access_power: Watt,
+    /// Static leakage power of all cells.
+    pub leakage_power: Watt,
+    /// Energy to read every synaptic word once (one full inference sweep).
+    pub sweep_energy: Joule,
+}
+
+impl MemoryPowerReport {
+    /// Total of access and leakage power.
+    pub fn total(&self) -> Watt {
+        self.access_power + self.leakage_power
+    }
+}
+
+/// Computes the power report for a memory map at voltage `vdd`.
+///
+/// `char_6t` / `char_8t` must contain an operating point at `vdd` (the
+/// characterization tables from `sram-bitcell`). `word_read_rate_hz` is how
+/// often each word is read under [`PowerConvention::IsoThroughput`]; under
+/// [`PowerConvention::SelfClocked`] the rate is scaled by the ratio of the
+/// nominal supply's cycle time to this voltage's cycle time.
+///
+/// # Panics
+///
+/// Panics if `vdd` is not a characterized operating point.
+pub fn memory_power(
+    map: &SynapticMemoryMap,
+    char_6t: &CellCharacterization,
+    char_8t: &CellCharacterization,
+    vdd: Volt,
+    word_read_rate_hz: f64,
+    convention: PowerConvention,
+) -> MemoryPowerReport {
+    let p6 = &char_6t
+        .at(vdd)
+        .unwrap_or_else(|| panic!("{vdd} not characterized for 6T"))
+        .power;
+    let p8 = &char_8t
+        .at(vdd)
+        .unwrap_or_else(|| panic!("{vdd} not characterized for 8T"))
+        .power;
+
+    let rate = match convention {
+        PowerConvention::IsoThroughput => word_read_rate_hz,
+        PowerConvention::SelfClocked => {
+            // The memory clock tracks the supply: scale the access rate by
+            // the nominal-vs-scaled read-energy... cycle time is not stored
+            // per point, so approximate the slowdown with the supply ratio
+            // of the characterized extremes (linear delay-voltage model over
+            // the paper's 0.6-0.95 V window).
+            let v_top = char_6t
+                .points
+                .first()
+                .expect("non-empty characterization")
+                .vdd;
+            word_read_rate_hz * (vdd.volts() / v_top.volts())
+        }
+    };
+
+    let mut access = 0.0;
+    let mut leak = 0.0;
+    let mut sweep = 0.0;
+    for bank in map.banks() {
+        let n8 = bank.assignment.protected_count() as f64;
+        let n6 = 8.0 - n8;
+        let word_read_energy =
+            n6 * per_bit_read_energy(p6) + n8 * per_bit_read_energy(p8);
+        access += bank.words as f64 * word_read_energy * rate;
+        sweep += bank.words as f64 * word_read_energy;
+        leak += bank.cells_6t() as f64 * p6.leakage.watts()
+            + bank.cells_8t() as f64 * p8.leakage.watts();
+    }
+
+    MemoryPowerReport {
+        access_power: Watt::new(access),
+        leakage_power: Watt::new(leak),
+        sweep_energy: Joule::new(sweep),
+    }
+}
+
+/// Read energy attributable to one bit of a word access.
+///
+/// The characterization's `read_energy` is the energy of one *cell* access
+/// in its column environment; a word read activates eight columns.
+fn per_bit_read_energy(p: &CellPower) -> f64 {
+    p.read_energy.joules()
+}
+
+/// Like [`memory_power`] but also charges the peripheral circuitry: every
+/// word read adds one sub-array access of decoder/wordline/mux/sense-amp
+/// energy, and every sub-array contributes periphery leakage.
+///
+/// The periphery is configuration-independent (hybrid rows drive the same
+/// wordlines), so including it never reorders configurations at one voltage;
+/// across the iso-stability voltage gap it saves the full `V²` ratio, which
+/// slightly *raises* the hybrid's headline saving — the `periphery` ablation
+/// in `hybrid-sram` quantifies both effects.
+///
+/// # Panics
+///
+/// Panics if `vdd` is not a characterized operating point.
+pub fn memory_power_with_periphery(
+    map: &SynapticMemoryMap,
+    char_6t: &CellCharacterization,
+    char_8t: &CellCharacterization,
+    periphery: &crate::periphery::PeripheryModel,
+    vdd: Volt,
+    word_read_rate_hz: f64,
+    convention: PowerConvention,
+) -> MemoryPowerReport {
+    let cells_only = memory_power(map, char_6t, char_8t, vdd, word_read_rate_hz, convention);
+    let rate = match convention {
+        PowerConvention::IsoThroughput => word_read_rate_hz,
+        PowerConvention::SelfClocked => {
+            let v_top = char_6t
+                .points
+                .first()
+                .expect("non-empty characterization")
+                .vdd;
+            word_read_rate_hz * (vdd.volts() / v_top.volts())
+        }
+    };
+
+    let access_energy = periphery.read_access(vdd, fault_inject::model::WORD_BITS).total();
+    let mut periphery_access = 0.0;
+    let mut periphery_leak = 0.0;
+    for bank in map.banks() {
+        periphery_access += bank.words as f64 * access_energy.joules() * rate;
+        periphery_leak +=
+            bank.subarrays(map.dims()) as f64 * periphery.leakage(vdd).watts();
+    }
+
+    MemoryPowerReport {
+        access_power: cells_only.access_power + Watt::new(periphery_access),
+        leakage_power: cells_only.leakage_power + Watt::new(periphery_leak),
+        sweep_energy: cells_only.sweep_energy
+            + Joule::new(map.total_words() as f64 * access_energy.joules()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::SubArrayDims;
+    use fault_inject::protection::ProtectionPolicy;
+    use sram_bitcell::characterize::{characterize_paper_cells, CharacterizationOptions};
+    use sram_device::process::Technology;
+
+    fn tables() -> (CellCharacterization, CellCharacterization) {
+        let options = CharacterizationOptions {
+            vdds: vec![Volt::new(0.95), Volt::new(0.75), Volt::new(0.65)],
+            mc_samples: 24,
+            ..CharacterizationOptions::quick()
+        };
+        characterize_paper_cells(&Technology::ptm_22nm(), &options)
+    }
+
+    fn map(policy: &ProtectionPolicy) -> SynapticMemoryMap {
+        SynapticMemoryMap::new(&[1000, 500], policy, SubArrayDims::PAPER)
+    }
+
+    #[test]
+    fn hybrid_costs_more_power_at_iso_voltage() {
+        let (t6, t8) = tables();
+        let base = memory_power(
+            &map(&ProtectionPolicy::Uniform6T),
+            &t6,
+            &t8,
+            Volt::new(0.75),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
+        let hybrid = memory_power(
+            &map(&ProtectionPolicy::MsbProtected { msb_8t: 3 }),
+            &t6,
+            &t8,
+            Volt::new(0.75),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
+        assert!(hybrid.access_power.watts() > base.access_power.watts());
+        assert!(hybrid.leakage_power.watts() > base.leakage_power.watts());
+    }
+
+    #[test]
+    fn voltage_scaling_saves_power() {
+        let (t6, t8) = tables();
+        let m = map(&ProtectionPolicy::Uniform6T);
+        let hi = memory_power(&m, &t6, &t8, Volt::new(0.95), 1e6, PowerConvention::IsoThroughput);
+        let lo = memory_power(&m, &t6, &t8, Volt::new(0.65), 1e6, PowerConvention::IsoThroughput);
+        assert!(lo.access_power.watts() < hi.access_power.watts());
+        assert!(lo.leakage_power.watts() < hi.leakage_power.watts());
+    }
+
+    #[test]
+    fn iso_stability_hybrid_wins() {
+        // The paper's headline: hybrid at 0.65 V beats all-6T at its
+        // iso-stability floor of 0.75 V.
+        let (t6, t8) = tables();
+        let base = memory_power(
+            &map(&ProtectionPolicy::Uniform6T),
+            &t6,
+            &t8,
+            Volt::new(0.75),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
+        let hybrid = memory_power(
+            &map(&ProtectionPolicy::MsbProtected { msb_8t: 3 }),
+            &t6,
+            &t8,
+            Volt::new(0.65),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
+        let saving = 1.0 - hybrid.access_power.watts() / base.access_power.watts();
+        assert!(
+            saving > 0.05,
+            "hybrid at 0.65 V must save access power vs 6T at 0.75 V, got {saving}"
+        );
+    }
+
+    #[test]
+    fn self_clocked_reports_lower_power_at_low_voltage() {
+        let (t6, t8) = tables();
+        let m = map(&ProtectionPolicy::Uniform6T);
+        let iso = memory_power(&m, &t6, &t8, Volt::new(0.65), 1e6, PowerConvention::IsoThroughput);
+        let sc = memory_power(&m, &t6, &t8, Volt::new(0.65), 1e6, PowerConvention::SelfClocked);
+        assert!(sc.access_power.watts() < iso.access_power.watts());
+        // Leakage is rate-independent.
+        assert_eq!(sc.leakage_power, iso.leakage_power);
+    }
+
+    #[test]
+    fn sweep_energy_is_rate_independent() {
+        let (t6, t8) = tables();
+        let m = map(&ProtectionPolicy::Uniform6T);
+        let a = memory_power(&m, &t6, &t8, Volt::new(0.75), 1e6, PowerConvention::IsoThroughput);
+        let b = memory_power(&m, &t6, &t8, Volt::new(0.75), 2e6, PowerConvention::IsoThroughput);
+        assert_eq!(a.sweep_energy, b.sweep_energy);
+        assert!((b.access_power.watts() / a.access_power.watts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not characterized")]
+    fn uncharacterized_voltage_panics() {
+        let (t6, t8) = tables();
+        let m = map(&ProtectionPolicy::Uniform6T);
+        let _ = memory_power(&m, &t6, &t8, Volt::new(0.81), 1e6, PowerConvention::IsoThroughput);
+    }
+
+    #[test]
+    fn periphery_adds_power_but_preserves_ranking() {
+        use crate::periphery::PeripheryModel;
+        let (t6, t8) = tables();
+        let periphery = PeripheryModel::cacti_lite(SubArrayDims::PAPER);
+        let base_map = map(&ProtectionPolicy::Uniform6T);
+        let hybrid_map = map(&ProtectionPolicy::MsbProtected { msb_8t: 3 });
+
+        let v_base = Volt::new(0.75);
+        let v_hyb = Volt::new(0.65);
+        let base = memory_power(&base_map, &t6, &t8, v_base, 1e6, PowerConvention::IsoThroughput);
+        let base_p = memory_power_with_periphery(
+            &base_map, &t6, &t8, &periphery, v_base, 1e6, PowerConvention::IsoThroughput,
+        );
+        // Periphery strictly adds power and sweep energy.
+        assert!(base_p.access_power.watts() > base.access_power.watts());
+        assert!(base_p.leakage_power.watts() > base.leakage_power.watts());
+        assert!(base_p.sweep_energy.joules() > base.sweep_energy.joules());
+
+        // The iso-stability ranking (hybrid @ 0.65 V beats 6T @ 0.75 V)
+        // survives. Because the periphery carries no 8T premium, its own
+        // saving across the voltage gap is the pure V² ratio — *larger*
+        // than the cell-level saving — so the total lands between the two.
+        let hyb_p = memory_power_with_periphery(
+            &hybrid_map, &t6, &t8, &periphery, v_hyb, 1e6, PowerConvention::IsoThroughput,
+        );
+        let hyb = memory_power(&hybrid_map, &t6, &t8, v_hyb, 1e6, PowerConvention::IsoThroughput);
+        let saving_cells = 1.0 - hyb.access_power.watts() / base.access_power.watts();
+        let saving_periphery = 1.0 - (0.65f64 / 0.75).powi(2);
+        let saving_total = 1.0 - hyb_p.access_power.watts() / base_p.access_power.watts();
+        assert!(saving_total > 0.0, "hybrid must still win with periphery");
+        assert!(
+            saving_total > saving_cells.min(saving_periphery) - 1e-9
+                && saving_total < saving_cells.max(saving_periphery) + 1e-9,
+            "total saving {saving_total} must interpolate cells {saving_cells} \
+             and periphery {saving_periphery}"
+        );
+    }
+}

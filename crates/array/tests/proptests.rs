@@ -1,0 +1,104 @@
+//! Property-based tests for array organization and the behavioral memory.
+
+use fault_inject::model::{BitErrorRates, WordFailureModel};
+use fault_inject::protection::ProtectionPolicy;
+use proptest::prelude::*;
+use sram_array::behavioral::SynapticMemory;
+use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+
+fn arb_banks() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5000, 1..6)
+}
+
+proptest! {
+    /// locate() and global_index() are inverse bijections over the memory.
+    #[test]
+    fn address_mapping_bijective(banks in arb_banks(), probe in 0usize..10_000) {
+        let map = SynapticMemoryMap::new(
+            &banks,
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        let total = map.total_words();
+        let g = probe % total;
+        let addr = map.locate(g);
+        prop_assert_eq!(map.global_index(addr), g);
+        prop_assert!(addr.bank < banks.len());
+        prop_assert!(addr.offset < banks[addr.bank]);
+    }
+
+    /// Cell counts always total 8 bits per word, however protection is split.
+    #[test]
+    fn cell_counts_conserve_bits(banks in arb_banks(), msb in 0usize..=8) {
+        let map = SynapticMemoryMap::new(
+            &banks,
+            &ProtectionPolicy::MsbProtected { msb_8t: msb },
+            SubArrayDims::PAPER,
+        );
+        let six = map.total_cells(sram_bitcell::topology::BitcellKind::SixT);
+        let eight = map.total_cells(sram_bitcell::topology::BitcellKind::EightT);
+        prop_assert_eq!(six + eight, 8 * map.total_words());
+        prop_assert_eq!(eight, msb * map.total_words());
+    }
+
+    /// Physical placement stays inside the sub-array geometry.
+    #[test]
+    fn physical_placement_in_bounds(words in 1usize..30_000, probe in 0usize..30_000) {
+        let map = SynapticMemoryMap::new(
+            &[words],
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        let offset = probe % words;
+        let (sub, row, col) = map.physical(sram_array::organization::WordAddress {
+            bank: 0,
+            offset,
+        });
+        prop_assert!(row < 256);
+        prop_assert!(col < 256);
+        prop_assert!(sub <= words / SubArrayDims::PAPER.words());
+    }
+
+    /// An ideal memory is a perfect RAM for any data pattern.
+    #[test]
+    fn ideal_memory_is_transparent(data in prop::collection::vec(any::<u8>(), 1..500)) {
+        let map = SynapticMemoryMap::new(
+            &[data.len()],
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        let mut memory = SynapticMemory::new(map, vec![WordFailureModel::ideal()], 1);
+        memory.load(&data);
+        for (i, &expected) in data.iter().enumerate() {
+            prop_assert_eq!(memory.read(i), expected);
+        }
+    }
+
+    /// Snapshot corruption flips approximately n_words * 8 * p bits.
+    #[test]
+    fn snapshot_flip_rate(p in 0.005f64..0.1, seed in 0u64..30) {
+        let n = 20_000usize;
+        let map = SynapticMemoryMap::new(
+            &[n],
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        let rates = BitErrorRates {
+            read_6t: p,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let model = WordFailureModel::new(&rates, &fault_inject::protection::CellAssignment::all_6t());
+        let mut memory = SynapticMemory::new(map, vec![model], 2);
+        memory.load(&vec![0u8; n]);
+        let (_, stats) = memory.corrupt_snapshot(seed);
+        let expected = (n * 8) as f64 * p;
+        let sigma = ((n * 8) as f64 * p * (1.0 - p)).sqrt();
+        prop_assert!(
+            ((stats.total() as f64) - expected).abs() < 6.0 * sigma,
+            "flips {} vs expected {expected}",
+            stats.total()
+        );
+    }
+}

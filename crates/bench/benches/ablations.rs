@@ -1,0 +1,74 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! Monte Carlo estimator flavor, weight encoding, and power convention.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_sram::prelude::*;
+use neural::prelude::*;
+use sram_array::power::PowerConvention;
+use sram_device::units::Volt;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(ExperimentContext::quick)
+}
+
+/// Gaussian-tail vs raw-count estimation: same Monte Carlo data, two
+/// read-outs. The bench reports the cost of the estimate given the samples;
+/// the printed comparison in the repro binary reports the values.
+fn bench_mc_estimator(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("ablation_mc_estimator_readout", |b| {
+        b.iter(|| {
+            let p = ctx.framework.char_6t().points.first().expect("non-empty");
+            // Empirical vs fitted read-out of the same tallies.
+            black_box((
+                p.failures.read_access.empirical,
+                p.failures.read_access.fitted,
+            ))
+        })
+    });
+}
+
+/// Two's-complement vs sign-magnitude encoding: quantize + evaluate cost.
+fn bench_encoding(c: &mut Criterion) {
+    let ctx = ctx();
+    let float = ctx.network.to_mlp();
+    let mut group = c.benchmark_group("ablation_encoding");
+    group.sample_size(10);
+    for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+        group.bench_function(format!("{encoding:?}"), |b| {
+            b.iter(|| {
+                let q = QuantizedMlp::from_mlp(&float, encoding);
+                black_box(accuracy(&q.to_mlp(), &ctx.test))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Iso-throughput vs self-clocked power reporting for the headline
+/// iso-stability comparison.
+fn bench_power_convention(c: &mut Criterion) {
+    let ctx = ctx();
+    let hybrid = MemoryConfig::Hybrid {
+        msb_8t: 3,
+        vdd: Volt::new(0.65),
+    };
+    let mut group = c.benchmark_group("ablation_power_convention");
+    for convention in [PowerConvention::IsoThroughput, PowerConvention::SelfClocked] {
+        group.bench_function(format!("{convention:?}"), |b| {
+            b.iter(|| black_box(ctx.framework.power_report(&ctx.network, &hybrid, convention)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_mc_estimator,
+    bench_encoding,
+    bench_power_convention
+);
+criterion_main!(ablations);

@@ -1,0 +1,110 @@
+//! Benches for the extension studies: ECC-vs-hybrid, redundancy repair,
+//! periphery inclusion, whole-system energy, workload dependence and the
+//! greedy MSB-allocation optimizer. Each bench runs the corresponding
+//! experiment end to end, so `cargo bench` regenerates every extension
+//! result alongside its timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_sram::prelude::*;
+use sram_device::units::Volt;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(ExperimentContext::quick)
+}
+
+/// SECDED ECC over all-6T versus the hybrid array at 0.65 V.
+fn bench_ecc(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("extension_ecc");
+    group.sample_size(10);
+    group.bench_function("ecc_vs_hybrid", |b| b.iter(|| black_box(ecc::run(ctx))));
+    group.finish();
+    println!("{}", ecc::run(ctx));
+}
+
+/// Spare-row/column repair across the voltage grid.
+fn bench_redundancy(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("extension_redundancy");
+    group.sample_size(10);
+    group.bench_function("repair_study", |b| {
+        b.iter(|| black_box(redundancy::run(ctx)))
+    });
+    group.finish();
+    println!("{}", redundancy::run(ctx));
+}
+
+/// Fig. 8(b)-style reductions with the periphery model included.
+fn bench_periphery(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("extension_periphery");
+    group.sample_size(10);
+    group.bench_function("periphery_ablation", |b| {
+        b.iter(|| black_box(periphery::run(ctx)))
+    });
+    group.finish();
+    println!("{}", periphery::run(ctx));
+}
+
+/// Whole-system energy and EDP sweep.
+fn bench_system_energy(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("extension_system_energy");
+    group.sample_size(10);
+    group.bench_function("system_sweep", |b| {
+        b.iter(|| black_box(system_energy::run(ctx)))
+    });
+    group.finish();
+    println!("{}", system_energy::run(ctx));
+}
+
+/// Greedy MSB-allocation search at the aggressive operating point.
+fn bench_optimizer(c: &mut Criterion) {
+    let ctx = ctx();
+    let options = OptimizerOptions {
+        max_loss: 0.05,
+        trials: 2,
+        seed: 7,
+        max_msb: 8,
+    };
+    let mut group = c.benchmark_group("extension_optimizer");
+    group.sample_size(10);
+    group.bench_function("greedy_allocation", |b| {
+        b.iter(|| {
+            black_box(optimize_allocation(
+                &ctx.framework,
+                &ctx.network,
+                &ctx.test,
+                Volt::new(0.65),
+                &options,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Workload dependence of input-region resilience (digits vs spectra);
+/// includes its own training, so the per-iteration cost is dominated by it.
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension_workload");
+    group.sample_size(10);
+    group.bench_function("digits_vs_spectra", |b| {
+        b.iter(|| black_box(workload::run(0.20, 2, 11)))
+    });
+    group.finish();
+    println!("{}", workload::run(0.20, 2, 11));
+}
+
+criterion_group!(
+    extensions,
+    bench_ecc,
+    bench_redundancy,
+    bench_periphery,
+    bench_system_energy,
+    bench_optimizer,
+    bench_workload
+);
+criterion_main!(extensions);

@@ -1,0 +1,79 @@
+//! One Criterion bench per table/figure of the paper's evaluation.
+//!
+//! Each bench regenerates the corresponding result on the shared quick
+//! context (the full-size paper run lives in the `repro` binary, which is
+//! too heavy for statistical benching). The measured time is the cost of
+//! the *system-level* experiment given a finished circuit characterization —
+//! the quantity a user iterating on memory configurations pays repeatedly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_sram::prelude::*;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(ExperimentContext::quick)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("table1_topology", |b| {
+        b.iter(|| black_box(table1::run(ctx)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig5_failure_rates", |b| {
+        b.iter(|| black_box(fig5::run(ctx)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig6_power_curves", |b| {
+        b.iter(|| black_box(fig6::run(ctx)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("fig7_accuracy_vs_vdd", |b| {
+        b.iter(|| black_box(fig7::run(ctx)))
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("fig8_hybrid_sweep", |b| {
+        b.iter(|| black_box(fig8::run(ctx)))
+    });
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("fig9_sensitivity_arch", |b| {
+        b.iter(|| black_box(fig9::run(ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9
+);
+criterion_main!(figures);

@@ -1,0 +1,48 @@
+//! Dumps the circuit-level characterization tables as CSV for external
+//! plotting (the data behind paper Figs. 5 and 6).
+//!
+//! ```text
+//! cargo run --release -p paper-bench --bin characterize -- [samples] > cells.csv
+//! ```
+
+use sram_bitcell::characterize::{characterize_paper_cells, CharacterizationOptions};
+use sram_device::process::Technology;
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let tech = Technology::ptm_22nm();
+    let options = CharacterizationOptions {
+        mc_samples: samples,
+        ..CharacterizationOptions::default()
+    };
+    eprintln!(
+        "characterizing {} voltages x 2 cells with {} Monte Carlo samples...",
+        options.vdds.len(),
+        samples
+    );
+    let (t6, t8) = characterize_paper_cells(&tech, &options);
+
+    println!(
+        "vdd_v,cell,read_access_fail,write_fail,read_disturb_fail,hold_fail,\
+         read_energy_fj,write_energy_fj,leakage_nw"
+    );
+    for (kind, table) in [("6T", &t6), ("8T", &t8)] {
+        for p in &table.points {
+            println!(
+                "{:.2},{},{:.3e},{:.3e},{:.3e},{:.3e},{:.4},{:.4},{:.4}",
+                p.vdd.volts(),
+                kind,
+                p.failures.read_access.probability(),
+                p.failures.write.probability(),
+                p.failures.read_disturb.probability(),
+                p.failures.hold.probability(),
+                p.power.read_energy.femtojoules(),
+                p.power.write_energy.femtojoules(),
+                p.power.leakage.nanowatts(),
+            );
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Regenerates every table and figure of the paper's evaluation section,
+//! plus the extension studies.
+//!
+//! ```text
+//! cargo run --release -p paper-bench --bin repro -- [quick|paper] [experiment...]
+//! ```
+//!
+//! * `quick` (default) — small network, low-sample characterization:
+//!   finishes in a couple of minutes and preserves every qualitative shape.
+//! * `paper` — the Table I benchmark network (784-1000-500-200-100-10,
+//!   1 406 810 synapses) with the production characterization; trains the
+//!   network on first use and caches the weights under `bench_data/`.
+//!
+//! Paper experiments: `table1 fig5 fig6 fig7 fig8 fig9 iso quant`.
+//! Extensions/ablations: `knee conventions ecc redundancy periphery system
+//! optimize workload`. Default: `all`.
+
+use hybrid_sram::prelude::*;
+use neural::prelude::{accuracy, Encoding, QuantizedMlp};
+use paper_bench::plot::{render, ChartOptions};
+use sram_device::units::Volt;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = args
+        .first()
+        .map(String::as_str)
+        .filter(|a| *a == "paper" || *a == "quick")
+        .unwrap_or("quick");
+    let experiments: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "paper" && *a != "quick")
+        .collect();
+    let run_all = experiments.is_empty() || experiments.contains(&"all");
+    let want = |name: &str| run_all || experiments.contains(&name);
+
+    println!("== DATE 2016 hybrid 8T-6T SRAM — experiment reproduction ==");
+    println!("profile: {profile}\n");
+
+    let t0 = Instant::now();
+    let ctx = match profile {
+        "paper" => ExperimentContext::paper(Path::new("bench_data"), None, 1500),
+        _ => ExperimentContext::quick(),
+    };
+    println!(
+        "context ready in {:.1} s (characterization + training)\n",
+        t0.elapsed().as_secs_f64()
+    );
+
+    if want("table1") {
+        let t = table1::run(&ctx);
+        println!("{t}\n");
+    }
+    if want("fig5") {
+        let f = fig5::run(&ctx);
+        println!("{f}\n");
+        let read: Vec<(f64, f64)> = f
+            .rows
+            .iter()
+            .map(|r| (r.vdd.volts(), r.read_access_6t))
+            .collect();
+        let write: Vec<(f64, f64)> = f
+            .rows
+            .iter()
+            .map(|r| (r.vdd.volts(), r.write_6t))
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[("6T read access", &read), ("6T write", &write)],
+                &ChartOptions::log("Fig. 5 — 6T failure rate vs VDD (log)"),
+            )
+        );
+    }
+    if want("fig6") {
+        println!("{}\n", fig6::run(&ctx));
+    }
+    if want("fig7") {
+        let f = fig7::run(&ctx);
+        println!("{f}\n");
+        let acc: Vec<(f64, f64)> = f
+            .rows
+            .iter()
+            .map(|r| (r.vdd.volts(), 100.0 * r.accuracy))
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[("accuracy %", &acc)],
+                &ChartOptions::new("Fig. 7(a) — classification accuracy vs VDD (6T storage)"),
+            )
+        );
+    }
+    if want("fig8") {
+        println!("{}\n", fig8::run(&ctx));
+    }
+    if want("fig9") {
+        println!("{}\n", fig9::run(&ctx));
+    }
+    if want("conventions") {
+        println!("{}\n", conventions::run(&ctx));
+    }
+    if want("knee") {
+        println!("{}\n", knee::run(&ctx));
+    }
+    if want("iso") {
+        let result = find_iso_stability_baseline(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            &paper_vdd_grid(),
+            0.005,
+            ctx.trials,
+            ctx.seed,
+        );
+        println!(
+            "iso-stability baseline (0.5% loss bound): {:.2} V (paper: 0.75 V)",
+            result.baseline_vdd.volts()
+        );
+        for (vdd, acc) in &result.curve {
+            println!("  {:.2} V -> {}", vdd.volts(), fmt_pct(*acc));
+        }
+        println!();
+    }
+    if want("quant") {
+        // §VI: 8-bit weights lose < 0.5 % vs 32-bit float; also check the
+        // sign-magnitude ablation.
+        let float_mlp = ctx.network.to_mlp();
+        let tc = accuracy(&float_mlp, &ctx.test);
+        let sm = accuracy(
+            &QuantizedMlp::from_mlp(&float_mlp, Encoding::SignMagnitude).to_mlp(),
+            &ctx.test,
+        );
+        println!("quantization check — float-reconstructed (two's complement): {}", fmt_pct(tc));
+        println!("sign-magnitude re-quantization:                              {}", fmt_pct(sm));
+        println!("paper claim: 8-bit precision costs < 0.5 % vs 32-bit float\n");
+    }
+    if want("ecc") {
+        println!("{}\n", ecc::run(&ctx));
+    }
+    if want("redundancy") {
+        println!("{}\n", redundancy::run(&ctx));
+    }
+    if want("periphery") {
+        println!("{}\n", periphery::run(&ctx));
+    }
+    if want("system") {
+        let sweep = system_energy::run(&ctx);
+        println!("{sweep}\n");
+        let total: Vec<(f64, f64)> = sweep
+            .rows
+            .iter()
+            .map(|r| (r.vdd.volts(), r.report.energy.total().joules()))
+            .collect();
+        let edp: Vec<(f64, f64)> = sweep
+            .rows
+            .iter()
+            .map(|r| (r.vdd.volts(), r.report.energy_delay_product()))
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[("E_total [J]", &total)],
+                &ChartOptions::new("System energy per inference vs VDD"),
+            )
+        );
+        println!(
+            "{}",
+            render(
+                &[("EDP [J*s]", &edp)],
+                &ChartOptions::new("Energy-delay product vs VDD"),
+            )
+        );
+    }
+    if want("optimize") {
+        let result = optimize_allocation(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            Volt::new(0.65),
+            &OptimizerOptions {
+                max_loss: 0.01,
+                trials: ctx.trials,
+                seed: ctx.seed,
+                max_msb: 8,
+            },
+        );
+        println!(
+            "greedy MSB allocation @ 0.65 V (loss budget 1%):\n  \
+             allocation {:?}  accuracy {:.2}% (ref {:.2}%)  area +{:.2}%  \
+             evaluations {}  constraint met: {}",
+            result.msb_8t,
+            100.0 * result.accuracy.mean(),
+            100.0 * result.reference_accuracy,
+            100.0 * result.area_overhead,
+            result.evaluations,
+            result.meets_constraint,
+        );
+        for step in &result.steps {
+            println!(
+                "    protect bank {} -> {:?} ({:.2}%)",
+                step.bank,
+                step.msb_8t,
+                100.0 * step.accuracy
+            );
+        }
+        println!();
+    }
+    if want("workload") {
+        println!("{}\n", workload::run(0.20, ctx.trials.max(2), ctx.seed));
+    }
+
+    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,22 @@
+//! # paper-bench
+//!
+//! Benchmark and regeneration harness for the DATE 2016 hybrid 8T-6T SRAM
+//! reproduction.
+//!
+//! * `benches/figures.rs` — one Criterion bench per paper table/figure
+//!   (`table1_topology`, `fig5_failure_rates`, `fig6_power_curves`,
+//!   `fig7_accuracy_vs_vdd`, `fig8_hybrid_sweep`, `fig9_sensitivity_arch`).
+//! * `benches/micro.rs` — hot-kernel benches: device evaluation, noise
+//!   margins, write margins, access/write timing, Monte Carlo throughput,
+//!   fault-injection throughput, MLP forward pass.
+//! * `benches/ablations.rs` — design-choice ablations from DESIGN.md §5:
+//!   Monte Carlo estimator read-out, weight encoding, power convention.
+//! * `benches/extensions.rs` — the extension studies: ECC-vs-hybrid,
+//!   redundancy repair, periphery inclusion, system energy, workload
+//!   dependence and the greedy MSB-allocation optimizer.
+//! * `src/bin/repro.rs` — regenerates every table/figure as text and ASCII
+//!   charts (`cargo run --release -p paper-bench --bin repro -- [quick|paper] all`).
+//! * `src/bin/characterize.rs` — dumps the circuit characterization as CSV.
+//! * [`plot`] — the terminal line-chart renderer behind the figures.
+
+pub mod plot;

@@ -1,0 +1,263 @@
+//! Terminal line charts for the regenerated figures.
+//!
+//! The paper's evaluation is mostly *curves* (failure rate vs VDD, accuracy
+//! vs VDD, power vs VDD); a table of numbers hides the shapes that matter —
+//! cliffs, knees and crossovers. This module renders multi-series ASCII
+//! charts so `repro` output can be eyeballed against the paper's figures
+//! directly in the terminal.
+//!
+//! # Examples
+//!
+//! ```
+//! use paper_bench::plot::{render, ChartOptions};
+//!
+//! let vdd: Vec<(f64, f64)> = (0..8)
+//!     .map(|i| (0.60 + 0.05 * i as f64, (i * i) as f64))
+//!     .collect();
+//! let chart = render(&[("acc", &vdd)], &ChartOptions::new("accuracy vs VDD"));
+//! assert!(chart.contains("accuracy vs VDD"));
+//! assert!(chart.contains('*'));
+//! ```
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartOptions {
+    /// Chart title, printed above the canvas.
+    pub title: String,
+    /// Plot-area width in columns (without the y-axis gutter).
+    pub width: usize,
+    /// Plot-area height in rows.
+    pub height: usize,
+    /// Logarithmic y axis (used for failure-rate plots). Non-positive
+    /// values are clamped to the smallest positive value in the data.
+    pub log_y: bool,
+}
+
+impl ChartOptions {
+    /// Default geometry (60×16) with a linear y axis.
+    pub fn new(title: &str) -> Self {
+        Self {
+            title: title.to_owned(),
+            width: 60,
+            height: 16,
+            log_y: false,
+        }
+    }
+
+    /// Same geometry with a logarithmic y axis.
+    pub fn log(title: &str) -> Self {
+        Self {
+            log_y: true,
+            ..Self::new(title)
+        }
+    }
+}
+
+/// Glyphs assigned to successive series.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders labelled series into an ASCII chart.
+///
+/// Each series is a `(label, points)` pair; points are `(x, y)`. Series
+/// beyond six reuse glyphs. Empty input renders an empty canvas rather than
+/// panicking (callers pipe experiment output here unconditionally).
+pub fn render(series: &[(&str, &[(f64, f64)])], options: &ChartOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&options.title);
+    out.push('\n');
+
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+
+    let (x_min, x_max) = min_max(points.iter().map(|p| p.0));
+    let y_floor = points
+        .iter()
+        .map(|p| p.1)
+        .filter(|&y| y > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let ty = |y: f64| -> f64 {
+        if options.log_y {
+            y.max(if y_floor.is_finite() { y_floor } else { 1e-300 }).log10()
+        } else {
+            y
+        }
+    };
+    let (y_min, y_max) = min_max(points.iter().map(|p| ty(p.1)));
+
+    let w = options.width.max(2);
+    let h = options.height.max(2);
+    let mut grid = vec![vec![' '; w]; h];
+
+    let col = |x: f64| -> usize {
+        if x_max == x_min {
+            w / 2
+        } else {
+            (((x - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize
+        }
+    };
+    let row = |y: f64| -> usize {
+        if y_max == y_min {
+            h / 2
+        } else {
+            let frac = (ty(y) - y_min) / (y_max - y_min);
+            h - 1 - (frac * (h - 1) as f64).round() as usize
+        }
+    };
+
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter().filter(|(x, y)| x.is_finite() && y.is_finite()) {
+            grid[row(y)][col(x)] = glyph;
+        }
+    }
+
+    // Canvas with a y-axis gutter: top, middle and bottom tick labels.
+    let label = |v: f64| -> String {
+        let raw = if options.log_y { 10f64.powf(v) } else { v };
+        if raw != 0.0 && (raw.abs() < 1e-2 || raw.abs() >= 1e4) {
+            format!("{raw:9.1e}")
+        } else {
+            format!("{raw:9.3}")
+        }
+    };
+    for (r, line) in grid.iter().enumerate() {
+        let gutter = if r == 0 {
+            label(y_max)
+        } else if r == h - 1 {
+            label(y_min)
+        } else if r == h / 2 {
+            label((y_min + y_max) / 2.0)
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&gutter);
+        out.push_str(" |");
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10}{:<w_left$}{:>w_right$}\n",
+        " ",
+        format!(" {x_min:.3}"),
+        format!("{x_max:.3} "),
+        w_left = w / 2 + 1,
+        w_right = w - w / 2 - 1,
+    ));
+
+    // Legend.
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {}", GLYPHS[si % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>11}{}\n", " ", legend.join("   ")));
+    out
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Vec<(f64, f64)> {
+        (0..10).map(|i| (i as f64, i as f64)).collect()
+    }
+
+    #[test]
+    fn chart_contains_title_glyphs_and_legend() {
+        let pts = ramp();
+        let s = render(&[("ramp", &pts)], &ChartOptions::new("test chart"));
+        assert!(s.contains("test chart"));
+        assert!(s.contains('*'));
+        assert!(s.contains("* ramp"));
+    }
+
+    #[test]
+    fn monotone_series_fills_opposite_corners() {
+        let pts = ramp();
+        let opts = ChartOptions {
+            width: 20,
+            height: 10,
+            ..ChartOptions::new("corners")
+        };
+        let s = render(&[("r", &pts)], &opts);
+        let rows: Vec<&str> = s.lines().collect();
+        // Row 1 is the top of the canvas (row 0 is the title): the max point
+        // lands at the far right; the min at the far left of the bottom row.
+        let top = rows[1];
+        let bottom = rows[10];
+        assert_eq!(top.chars().last(), Some('*'), "{s}");
+        assert!(bottom.contains('*'), "{s}");
+        assert!(top.find('*') > bottom.find('*'), "{s}");
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = ramp();
+        let b: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (9 - i) as f64)).collect();
+        let s = render(&[("up", &a), ("down", &b)], &ChartOptions::new("xy"));
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("o down"));
+    }
+
+    #[test]
+    fn log_scale_spreads_decades() {
+        // Three decades on a log axis land at distinct rows.
+        let pts = vec![(0.0, 1e-6), (1.0, 1e-4), (2.0, 1e-2)];
+        let opts = ChartOptions {
+            width: 30,
+            height: 9,
+            ..ChartOptions::log("log")
+        };
+        let s = render(&[("p", &pts)], &opts);
+        // Count canvas rows only (the legend line also holds a glyph).
+        let star_rows: Vec<usize> = s
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains(" |") && l.contains('*'))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(star_rows.len(), 3, "{s}");
+        // Log tick labels use scientific notation.
+        assert!(s.contains("e-"), "{s}");
+    }
+
+    #[test]
+    fn empty_input_is_benign() {
+        let s = render(&[], &ChartOptions::new("void"));
+        assert!(s.contains("(no data)"));
+        let empty: &[(f64, f64)] = &[];
+        let s = render(&[("none", empty)], &ChartOptions::new("void2"));
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_centers() {
+        let pts = vec![(0.0, 5.0), (1.0, 5.0)];
+        let s = render(&[("flat", &pts)], &ChartOptions::new("flat"));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn nonfinite_points_are_skipped() {
+        let pts = vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 3.0)];
+        let s = render(&[("n", &pts)], &ChartOptions::new("nan"));
+        assert!(s.matches('*').count() >= 2);
+    }
+}

@@ -1,0 +1,27 @@
+use sram_bitcell::prelude::*;
+use sram_device::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let tech = Technology::ptm_22nm();
+    let opts = CharacterizationOptions {
+        mc_samples: 1500,
+        ..CharacterizationOptions::default()
+    };
+    let t0 = Instant::now();
+    let (t6, t8) = characterize_paper_cells(&tech, &opts);
+    println!("characterization took {:?}", t0.elapsed());
+    println!("vdd | 6T read_acc | 6T write | 6T disturb | 6T read_bit_err | 8T read_bit | 8T write");
+    for (p6, p8) in t6.points.iter().zip(t8.points.iter()) {
+        println!(
+            "{:.2} | {:.3e} | {:.3e} | {:.3e} | {:.3e} | {:.3e} | {:.3e}",
+            p6.vdd.volts(),
+            p6.failures.read_access.probability(),
+            p6.failures.write.probability(),
+            p6.failures.read_disturb.probability(),
+            p6.failures.read_bit_error(),
+            p8.failures.read_bit_error(),
+            p8.failures.write_bit_error(),
+        );
+    }
+}

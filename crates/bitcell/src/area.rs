@@ -1,0 +1,88 @@
+//! Bitcell layout area (paper Fig. 8c).
+//!
+//! The paper's layout analysis found the 8T bitcell costs 37 % more area
+//! than the 6T bitcell, and noted that hybrid 8T-6T rows can share a layout
+//! "with no other overhead aside from the obvious area and power penalty"
+//! (citing Chang et al., TCSVT 2011). We therefore model area as constant
+//! per-cell footprints.
+
+use crate::topology::BitcellKind;
+use sram_device::units::SquareMeter;
+
+/// 6T bitcell footprint in a 22 nm-class technology.
+pub const SIX_T_AREA_UM2: f64 = 0.100;
+
+/// Area overhead of the 8T bitcell relative to 6T (paper §IV: 37 %).
+pub const EIGHT_T_AREA_OVERHEAD: f64 = 0.37;
+
+/// Footprint of one bitcell.
+pub fn cell_area(kind: BitcellKind) -> SquareMeter {
+    match kind {
+        BitcellKind::SixT => SquareMeter::from_square_microns(SIX_T_AREA_UM2),
+        BitcellKind::EightT => {
+            SquareMeter::from_square_microns(SIX_T_AREA_UM2 * (1.0 + EIGHT_T_AREA_OVERHEAD))
+        }
+    }
+}
+
+/// Area of a word of storage with `msb_8t` bits in 8T cells and the rest in
+/// 6T cells.
+pub fn word_area(bits: usize, msb_8t: usize) -> SquareMeter {
+    assert!(msb_8t <= bits, "cannot protect more bits than the word has");
+    let n8 = msb_8t as f64;
+    let n6 = (bits - msb_8t) as f64;
+    cell_area(BitcellKind::EightT) * n8 + cell_area(BitcellKind::SixT) * n6
+}
+
+/// Relative area increase of a hybrid word versus an all-6T word.
+///
+/// For an 8-bit word this is `n × 37 % / 8`: 4.6 % for one protected bit,
+/// 13.9 % for three — matching paper Fig. 8(c).
+pub fn hybrid_area_overhead(bits: usize, msb_8t: usize) -> f64 {
+    let base = cell_area(BitcellKind::SixT) * bits as f64;
+    word_area(bits, msb_8t) / base - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_t_is_37_percent_larger() {
+        let a6 = cell_area(BitcellKind::SixT).square_microns();
+        let a8 = cell_area(BitcellKind::EightT).square_microns();
+        assert!((a8 / a6 - 1.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_area_interpolates() {
+        let all6 = word_area(8, 0).square_microns();
+        let all8 = word_area(8, 8).square_microns();
+        let half = word_area(8, 4).square_microns();
+        assert!((half - 0.5 * (all6 + all8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_matches_paper_figure_8c() {
+        // Fig. 8(c): (1,7)=4.6 %, (2,6)=9.3 %, (3,5)=13.9 %, (4,4)=18.5 %.
+        let expected = [(1, 4.625), (2, 9.25), (3, 13.875), (4, 18.5)];
+        for (n, pct) in expected {
+            let got = hybrid_area_overhead(8, n) * 100.0;
+            assert!(
+                (got - pct).abs() < 0.01,
+                "{n} MSBs: {got:.3} % vs paper {pct} %"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_protection_means_zero_overhead() {
+        assert_eq!(hybrid_area_overhead(8, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot protect more bits")]
+    fn overprotection_panics() {
+        let _ = word_area(8, 9);
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-voltage characterization tables.
+//!
+//! This is the hand-off surface between the circuit level and the system
+//! level: for each supply voltage, failure probabilities (Fig. 5) and power
+//! figures (Fig. 6) for both cell flavors. Downstream crates (`sram-array`,
+//! `hybrid-sram`) consume these tables instead of re-running circuit
+//! analysis.
+
+use crate::montecarlo::{run_6t, run_8t, CellFailureRates, MonteCarloOptions};
+use crate::power::{CellPower, PowerModel};
+use crate::timing::{ColumnEnvironment, TimingBudget};
+use crate::topology::{BitcellKind, EightTCell, ReadStackSizing, SixTCell, SixTSizing};
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+use sram_device::variation::VariationModel;
+
+/// One row of the characterization table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage.
+    pub vdd: Volt,
+    /// Monte Carlo failure rates at this voltage.
+    pub failures: CellFailureRates,
+    /// Per-cell power figures at this voltage.
+    pub power: CellPower,
+}
+
+/// Full characterization of one cell flavor over a voltage range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellCharacterization {
+    /// Which cell flavor this table describes.
+    pub kind: BitcellKind,
+    /// Table rows ordered by descending supply voltage.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl CellCharacterization {
+    /// The row exactly at `vdd`.
+    pub fn at(&self, vdd: Volt) -> Option<&OperatingPoint> {
+        self.points
+            .iter()
+            .find(|p| (p.vdd.volts() - vdd.volts()).abs() < 1e-9)
+    }
+
+    /// Read bit-error probability at `vdd`, log-interpolated between
+    /// characterized voltages (probabilities span decades, so interpolation
+    /// happens in log space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn read_bit_error_at(&self, vdd: Volt) -> f64 {
+        self.interp(vdd, |p| p.failures.read_bit_error())
+    }
+
+    /// Write bit-error probability at `vdd`, log-interpolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn write_bit_error_at(&self, vdd: Volt) -> f64 {
+        self.interp(vdd, |p| p.failures.write_bit_error())
+    }
+
+    fn interp(&self, vdd: Volt, f: impl Fn(&OperatingPoint) -> f64) -> f64 {
+        assert!(!self.points.is_empty(), "empty characterization table");
+        let x = vdd.volts();
+        // Points are sorted descending by vdd.
+        let first = self.points.first().expect("non-empty");
+        let last = self.points.last().expect("non-empty");
+        if x >= first.vdd.volts() {
+            return f(first);
+        }
+        if x <= last.vdd.volts() {
+            return f(last);
+        }
+        for pair in self.points.windows(2) {
+            let (hi, lo) = (&pair[0], &pair[1]);
+            if x <= hi.vdd.volts() && x >= lo.vdd.volts() {
+                let span = hi.vdd.volts() - lo.vdd.volts();
+                let frac = if span < 1e-12 {
+                    0.0
+                } else {
+                    (hi.vdd.volts() - x) / span
+                };
+                let (a, b) = (f(hi).max(1e-18), f(lo).max(1e-18));
+                return (a.ln() + frac * (b.ln() - a.ln())).exp();
+            }
+        }
+        f(last)
+    }
+}
+
+/// Options controlling a characterization sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationOptions {
+    /// Supply voltages to characterize, descending.
+    pub vdds: Vec<Volt>,
+    /// Monte Carlo sample count per voltage.
+    pub mc_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Read-budget guard factor (allowed slow-down over the nominal cell).
+    pub margin_read: f64,
+    /// Write-budget guard factor.
+    pub margin_write: f64,
+    /// Column electrical environment.
+    pub env: ColumnEnvironment,
+}
+
+impl Default for CharacterizationOptions {
+    fn default() -> Self {
+        Self {
+            vdds: (0..=7)
+                .map(|k| Volt::from_millivolts(950.0 - 50.0 * k as f64))
+                .collect(),
+            mc_samples: 2000,
+            seed: 0xC11A_12AC,
+            margin_read: 2.0,
+            margin_write: 2.5,
+            env: ColumnEnvironment::rows_256(),
+        }
+    }
+}
+
+impl CharacterizationOptions {
+    /// Smaller, faster configuration for tests and examples.
+    pub fn quick() -> Self {
+        Self {
+            mc_samples: 200,
+            ..Self::default()
+        }
+    }
+}
+
+/// Characterizes both cell flavors of the paper over the requested voltages.
+///
+/// Returns `(six_t, eight_t)` tables using the paper's baseline sizings.
+pub fn characterize_paper_cells(
+    tech: &Technology,
+    options: &CharacterizationOptions,
+) -> (CellCharacterization, CellCharacterization) {
+    let cell6 = SixTCell::new(tech, &SixTSizing::paper_baseline());
+    let cell8 = EightTCell::new(
+        tech,
+        &SixTSizing::write_optimized(),
+        &ReadStackSizing::paper_baseline(),
+    );
+    let variation = VariationModel::new(tech);
+    let power_model = PowerModel::new(options.env.clone());
+    let mc = MonteCarloOptions {
+        samples: options.mc_samples,
+        seed: options.seed,
+        ..MonteCarloOptions::default()
+    };
+
+    let mut pts6 = Vec::with_capacity(options.vdds.len());
+    let mut pts8 = Vec::with_capacity(options.vdds.len());
+    for &vdd in &options.vdds {
+        let budget = TimingBudget::from_nominal_split(
+            &cell6,
+            &cell8,
+            vdd,
+            &options.env,
+            options.margin_read,
+            options.margin_write,
+        );
+        let fail6 = run_6t(&cell6, &variation, vdd, &budget, &options.env, &mc);
+        let fail8 = run_8t(&cell8, &variation, vdd, &budget, &options.env, &mc);
+        pts6.push(OperatingPoint {
+            vdd,
+            failures: fail6,
+            power: power_model.six_t(&cell6, vdd),
+        });
+        pts8.push(OperatingPoint {
+            vdd,
+            failures: fail8,
+            power: power_model.eight_t(&cell8, vdd),
+        });
+    }
+
+    (
+        CellCharacterization {
+            kind: BitcellKind::SixT,
+            points: pts6,
+        },
+        CellCharacterization {
+            kind: BitcellKind::EightT,
+            points: pts8,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_tables() -> (CellCharacterization, CellCharacterization) {
+        let tech = Technology::ptm_22nm();
+        let options = CharacterizationOptions {
+            vdds: vec![Volt::new(0.95), Volt::new(0.75), Volt::new(0.60)],
+            mc_samples: 80,
+            ..CharacterizationOptions::quick()
+        };
+        characterize_paper_cells(&tech, &options)
+    }
+
+    #[test]
+    fn tables_cover_requested_voltages() {
+        let (t6, t8) = quick_tables();
+        assert_eq!(t6.points.len(), 3);
+        assert_eq!(t8.points.len(), 3);
+        assert_eq!(t6.kind, BitcellKind::SixT);
+        assert_eq!(t8.kind, BitcellKind::EightT);
+        assert!(t6.at(Volt::new(0.75)).is_some());
+        assert!(t6.at(Volt::new(0.77)).is_none());
+    }
+
+    #[test]
+    fn six_t_error_rates_rise_toward_low_voltage() {
+        let (t6, _) = quick_tables();
+        let hi = t6.read_bit_error_at(Volt::new(0.95));
+        let lo = t6.read_bit_error_at(Volt::new(0.60));
+        assert!(lo > hi, "read bit error must rise as VDD falls: {hi} -> {lo}");
+    }
+
+    #[test]
+    fn eight_t_is_robust_in_the_voltage_range_of_interest() {
+        // Paper: "the corresponding failures for an 8T SRAM are negligible in
+        // the voltage range of interest".
+        let (t6, t8) = quick_tables();
+        let v = Volt::new(0.60);
+        assert!(t8.read_bit_error_at(v) < t6.read_bit_error_at(v));
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_points() {
+        let (t6, _) = quick_tables();
+        let p75 = t6.read_bit_error_at(Volt::new(0.75));
+        let p70 = t6.read_bit_error_at(Volt::new(0.70));
+        let p60 = t6.read_bit_error_at(Volt::new(0.60));
+        assert!(p70 >= p75 * 0.999 && p70 <= p60 * 1.001, "{p75} {p70} {p60}");
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_range() {
+        let (t6, _) = quick_tables();
+        assert_eq!(
+            t6.read_bit_error_at(Volt::new(1.2)),
+            t6.read_bit_error_at(Volt::new(0.95))
+        );
+        assert_eq!(
+            t6.read_bit_error_at(Volt::new(0.3)),
+            t6.read_bit_error_at(Volt::new(0.60))
+        );
+    }
+
+    #[test]
+    fn power_columns_populated() {
+        let (t6, t8) = quick_tables();
+        for p in t6.points.iter().chain(t8.points.iter()) {
+            assert!(p.power.read_energy.joules() > 0.0);
+            assert!(p.power.write_energy.joules() > 0.0);
+            assert!(p.power.leakage.watts() > 0.0);
+        }
+    }
+}

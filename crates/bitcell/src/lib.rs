@@ -1,0 +1,63 @@
+//! # sram-bitcell
+//!
+//! Circuit-level characterization of the paper's 6T and 8T SRAM bitcells in
+//! the 22 nm predictive technology: static noise margins ([`snm`]), write
+//! margins ([`margins`]), access/write timing ([`timing`]), power ([`power`])
+//! and area ([`area`]), plus the Monte Carlo failure analysis
+//! ([`montecarlo`]) driven by Pelgrom threshold-voltage variation — paper
+//! §IV and Figs. 4-6.
+//!
+//! The metrics use fast semi-analytic solvers (scalar bisection and
+//! quasi-static integration, [`solve`]); their fidelity is validated against
+//! the full `nanospice` Newton/transient solver in this crate's integration
+//! tests. [`characterize`] packages everything into per-voltage tables for
+//! the system level.
+//!
+//! # Examples
+//!
+//! ```
+//! use sram_bitcell::prelude::*;
+//! use sram_device::prelude::*;
+//!
+//! let tech = Technology::ptm_22nm();
+//! let cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+//! let snm = static_noise_margin(&cell, Volt::new(0.95), SnmCondition::Read);
+//! assert!((snm.millivolts() - 195.0).abs() < 30.0, "paper anchor");
+//! ```
+
+pub mod area;
+pub mod cell_ops;
+pub mod characterize;
+pub mod margins;
+pub mod montecarlo;
+pub mod netlists;
+pub mod power;
+pub mod retention;
+pub mod snm;
+pub mod solve;
+pub mod timing;
+pub mod topology;
+pub mod variability;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::area::{cell_area, hybrid_area_overhead, word_area};
+    pub use crate::characterize::{
+        characterize_paper_cells, CellCharacterization, CharacterizationOptions, OperatingPoint,
+    };
+    pub use crate::margins::{write_margin, write_margin_with_wl, WriteMargin};
+    pub use crate::netlists::{eight_t_circuit, six_t_circuit, CellBias};
+    pub use crate::montecarlo::{
+        q_function, run_6t, run_8t, CellFailureRates, FailureEstimate, MonteCarloOptions,
+    };
+    pub use crate::power::{CellPower, PowerModel, EIGHT_T_BITLINE_SCALE};
+    pub use crate::retention::{retention_statistics, retention_voltage, RetentionStatistics};
+    pub use crate::snm::{inverter_trip_point, inverter_vtc, static_noise_margin, SnmCondition, Vtc};
+    pub use crate::timing::{
+        read_access_time_6t, read_access_time_8t, write_time, ColumnEnvironment, TimingBudget,
+    };
+    pub use crate::topology::{
+        BitcellKind, CellTransistor, EightTCell, ReadStackSizing, SixTCell, SixTSizing,
+    };
+    pub use crate::variability::{sweep_sigma_vt0, VariabilityPoint};
+}

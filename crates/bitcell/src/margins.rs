@@ -1,0 +1,181 @@
+//! Write margin extraction.
+//!
+//! Bitline-sweep write margin: starting from the hold state (Q = VDD), drive
+//! BLB to VDD, assert the wordline, and lower the Q-side bitline from VDD.
+//! The write margin is the bitline voltage at which the cell flips — a high
+//! flip voltage means an easy write. The paper's nominal cell anchors at
+//! ≈ 250 mV (VDD = 0.95 V); a margin of zero (cell never flips even with the
+//! bitline at ground) is a static write failure.
+
+use crate::cell_ops::{q_net_current, qb_equilibrium};
+use crate::snm::{inverter_trip_point, SnmCondition};
+use crate::solve::{scan_root, RootSearch};
+use crate::topology::SixTCell;
+use sram_device::units::Volt;
+
+/// Number of bitline steps swept from VDD to 0.
+const SWEEP_STEPS: usize = 95;
+
+/// Outcome of the quasi-static bitline write sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteMargin {
+    /// Cell flips when the bitline reaches this voltage.
+    Flips(Volt),
+    /// Cell never flips, even with the bitline at ground.
+    NeverFlips,
+}
+
+impl WriteMargin {
+    /// The margin as a voltage, zero when the cell never flips.
+    pub fn as_volts(self) -> Volt {
+        match self {
+            WriteMargin::Flips(v) => v,
+            WriteMargin::NeverFlips => Volt::new(0.0),
+        }
+    }
+
+    /// `true` if the cell is statically writable.
+    pub fn is_writable(self) -> bool {
+        matches!(self, WriteMargin::Flips(_))
+    }
+}
+
+/// Quasi-static state of node Q while its bitline is held at `vbl`:
+/// the root of the Q current balance with QB slaved to its own equilibrium.
+/// Returns the root nearest `q_prev`, or `None` if no root remains near the
+/// un-flipped branch.
+fn track_q(cell: &SixTCell, vbl: f64, vdd: f64, vwl: f64, q_prev: f64) -> Option<f64> {
+    let f = |q: f64| {
+        let qb = qb_equilibrium(cell, q, vdd, vwl, Some(vdd));
+        q_net_current(cell, q, qb, vdd, vwl, Some(vbl))
+    };
+    // Search near the previous solution first (continuation), then globally.
+    let lo = (q_prev - 0.25).max(0.0);
+    let hi = (q_prev + 0.25).min(vdd);
+    match scan_root(f, lo, hi, 24) {
+        RootSearch::Found(r) => Some(r),
+        RootSearch::NotBracketed => match scan_root(f, 0.0, vdd, 96) {
+            RootSearch::Found(r) => Some(r),
+            RootSearch::NotBracketed => None,
+        },
+    }
+}
+
+/// Extracts the bitline-sweep write margin of the cell at `vdd` with the
+/// wordline at `vdd` (no assist).
+pub fn write_margin(cell: &SixTCell, vdd: Volt) -> WriteMargin {
+    write_margin_with_wl(cell, vdd, vdd)
+}
+
+/// Write margin with an explicit wordline drive `vwl` (write-assist studies:
+/// a boosted wordline strengthens the pass-gate during the write).
+pub fn write_margin_with_wl(cell: &SixTCell, vdd: Volt, vwl: Volt) -> WriteMargin {
+    let vdd_v = vdd.volts();
+    let vwl_v = vwl.volts();
+    let trip = inverter_trip_point(cell, vdd, SnmCondition::Read).volts();
+    let mut q = vdd_v;
+    for k in 0..=SWEEP_STEPS {
+        let vbl = vdd_v * (1.0 - k as f64 / SWEEP_STEPS as f64);
+        match track_q(cell, vbl, vdd_v, vwl_v, q) {
+            Some(root) => {
+                q = root;
+                if q < trip {
+                    return WriteMargin::Flips(Volt::new(vbl));
+                }
+            }
+            None => {
+                // The un-flipped branch vanished: the cell snapped.
+                return WriteMargin::Flips(Volt::new(vbl));
+            }
+        }
+    }
+    WriteMargin::NeverFlips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::SixTSizing;
+    use sram_device::process::Technology;
+
+    fn cell() -> SixTCell {
+        SixTCell::new(&Technology::ptm_22nm(), &SixTSizing::paper_baseline())
+    }
+
+    #[test]
+    fn nominal_write_margin_near_paper_anchor() {
+        // Paper §IV: nominal write margin 250 mV at VDD = 0.95 V.
+        let wm = write_margin(&cell(), Volt::new(0.95));
+        assert!(wm.is_writable());
+        let mv = wm.as_volts().millivolts();
+        assert!(
+            (mv - 250.0).abs() < 60.0,
+            "write margin {mv} mV should be near 250 mV"
+        );
+    }
+
+    #[test]
+    fn write_optimized_cell_has_larger_margin() {
+        let tech = Technology::ptm_22nm();
+        let base = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+        let wopt = SixTCell::new(&tech, &SixTSizing::write_optimized());
+        let vdd = Volt::new(0.95);
+        let wm_base = write_margin(&base, vdd).as_volts();
+        let wm_wopt = write_margin(&wopt, vdd).as_volts();
+        assert!(
+            wm_wopt.volts() > wm_base.volts(),
+            "write-optimized {wm_wopt} must beat baseline {wm_base}"
+        );
+    }
+
+    #[test]
+    fn weak_passgate_strong_pullup_blocks_write() {
+        // Cripple the pass-gate and strengthen the pull-up until the cell
+        // becomes unwritable: the static write-failure mechanism.
+        let mut c = cell();
+        c.apply_variation(&[
+            Volt::new(0.0),
+            Volt::from_millivolts(350.0), // PG1 very weak
+            Volt::from_millivolts(-250.0), // PU1 very strong
+            Volt::new(0.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+        ]);
+        let wm = write_margin(&c, Volt::new(0.65));
+        assert_eq!(wm, WriteMargin::NeverFlips);
+        assert_eq!(wm.as_volts(), Volt::new(0.0));
+    }
+
+    #[test]
+    fn margin_shrinks_at_low_vdd() {
+        let c = cell();
+        let hi = write_margin(&c, Volt::new(0.95)).as_volts();
+        let lo = write_margin(&c, Volt::new(0.65)).as_volts();
+        assert!(
+            lo.volts() < hi.volts(),
+            "margin should shrink: {lo} vs {hi}"
+        );
+    }
+
+    #[test]
+    fn mismatch_shifts_margin_in_the_expected_direction() {
+        let c = cell();
+        let vdd = Volt::new(0.80);
+        let nominal = write_margin(&c, vdd).as_volts();
+        // Weak PG1 + strong PU1 makes writing harder (lower margin).
+        let mut harder = c.clone();
+        harder.apply_variation(&[
+            Volt::new(0.0),
+            Volt::from_millivolts(80.0),
+            Volt::from_millivolts(-80.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+        ]);
+        let wm_harder = write_margin(&harder, vdd).as_volts();
+        assert!(
+            wm_harder.volts() < nominal.volts(),
+            "harder {wm_harder} vs nominal {nominal}"
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Static noise margins via the Seevinck butterfly-curve method.
+//!
+//! The hold (read) SNM is the side of the largest square that fits between
+//! the two cross-coupled inverter transfer curves with the cell in hold
+//! (read) condition. Numerically: rotate the butterfly by 45°, measure the
+//! maximum vertical separation of the two lobes, divide by √2, and take the
+//! smaller lobe (Seevinck, JSSC 1987). The *read* variant includes the
+//! pass-gate pulling each storage node toward the precharged bitline, which
+//! is what collapses the margin at scaled voltages.
+
+use crate::solve::bisect_decreasing;
+use crate::topology::SixTCell;
+use sram_device::mosfet::Mosfet;
+use sram_device::units::Volt;
+
+/// Number of VTC sample points used for SNM extraction.
+const VTC_POINTS: usize = 101;
+
+/// Which static condition the cell is evaluated under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnmCondition {
+    /// Wordline off: plain cross-coupled inverters.
+    Hold,
+    /// Wordline on, both bitlines precharged to VDD (worst-case read).
+    Read,
+}
+
+/// One inverter half of a 6T cell, optionally loaded by its pass-gate.
+///
+/// `out` is the storage node the inverter drives; the pass-gate (when
+/// `read` is set) connects that node to a bitline held at VDD with the
+/// wordline at VDD.
+struct InverterHalf<'a> {
+    pd: &'a Mosfet,
+    pu: &'a Mosfet,
+    pg: &'a Mosfet,
+    read: bool,
+}
+
+impl InverterHalf<'_> {
+    /// Output voltage for a given input (gate) voltage: the unique root of
+    /// the node current balance, found by bisection (the net inflow is
+    /// strictly decreasing in the output voltage).
+    fn transfer(&self, vin: f64, vdd: f64) -> f64 {
+        let net = |v: f64| {
+            // Current *into* the output node:
+            //   PMOS pull-up from VDD (gate vin), source at VDD, drain at v.
+            //   NMOS pull-down to GND (gate vin), drain at v.
+            //   Pass-gate from bitline (VDD) with wordline VDD when reading.
+            let i_pu = -self
+                .pu
+                .drain_current(Volt::new(vin), Volt::new(v), Volt::new(vdd))
+                .amps();
+            let i_pd = self
+                .pd
+                .drain_current(Volt::new(vin), Volt::new(v), Volt::new(0.0))
+                .amps();
+            let i_pg = if self.read {
+                self.pg
+                    .drain_current(Volt::new(vdd), Volt::new(vdd), Volt::new(v))
+                    .amps()
+            } else {
+                0.0
+            };
+            i_pu + i_pg - i_pd
+        };
+        bisect_decreasing(net, 0.0, vdd)
+    }
+}
+
+/// A sampled voltage-transfer curve (input monotone grid, output values).
+#[derive(Debug, Clone)]
+pub struct Vtc {
+    /// Input samples in volts (uniform `0..=vdd`).
+    pub vin: Vec<f64>,
+    /// Output samples in volts.
+    pub vout: Vec<f64>,
+}
+
+impl Vtc {
+    /// Linear interpolation of the curve at `x` (clamped to the grid).
+    pub fn at(&self, x: f64) -> f64 {
+        let n = self.vin.len();
+        if x <= self.vin[0] {
+            return self.vout[0];
+        }
+        if x >= self.vin[n - 1] {
+            return self.vout[n - 1];
+        }
+        let step = self.vin[1] - self.vin[0];
+        let idx = ((x - self.vin[0]) / step).floor() as usize;
+        let idx = idx.min(n - 2);
+        let frac = (x - self.vin[idx]) / step;
+        self.vout[idx] + frac * (self.vout[idx + 1] - self.vout[idx])
+    }
+}
+
+/// Computes the VTC of one inverter half of the cell.
+///
+/// `side_q` selects the inverter driving node Q (true) or QB (false).
+pub fn inverter_vtc(cell: &SixTCell, vdd: Volt, condition: SnmCondition, side_q: bool) -> Vtc {
+    let vdd_v = vdd.volts();
+    let half = if side_q {
+        InverterHalf {
+            pd: &cell.pd1,
+            pu: &cell.pu1,
+            pg: &cell.pg1,
+            read: condition == SnmCondition::Read,
+        }
+    } else {
+        InverterHalf {
+            pd: &cell.pd2,
+            pu: &cell.pu2,
+            pg: &cell.pg2,
+            read: condition == SnmCondition::Read,
+        }
+    };
+    let mut vin = Vec::with_capacity(VTC_POINTS);
+    let mut vout = Vec::with_capacity(VTC_POINTS);
+    for k in 0..VTC_POINTS {
+        let x = vdd_v * k as f64 / (VTC_POINTS - 1) as f64;
+        vin.push(x);
+        vout.push(half.transfer(x, vdd_v));
+    }
+    Vtc { vin, vout }
+}
+
+/// Static noise margin of the cell under the given condition.
+///
+/// Computed by the series-noise-source definition (equivalent to the largest
+/// nested butterfly square, Seevinck JSSC 1987): inject a DC noise voltage
+/// `vn` in series with *both* inverter inputs in the destabilizing
+/// orientation (`+vn` into one inverter, `−vn` into the other, so both push
+/// the same stored state toward its flip), and find the largest `vn` for
+/// which the loop `x ↦ f2(f1(x + vn) − vn)` still has three fixed points
+/// (bistable). Both
+/// noise polarities are tried — mismatch makes the two lobes asymmetric —
+/// and the smaller margin is returned. A value of zero means the cell is
+/// already mono-stable (read disturb / hold failure).
+pub fn static_noise_margin(cell: &SixTCell, vdd: Volt, condition: SnmCondition) -> Volt {
+    let vtc1 = inverter_vtc(cell, vdd, condition, true); // Q = f1(QB)
+    let vtc2 = inverter_vtc(cell, vdd, condition, false); // QB = f2(Q)
+    let plus = snm_one_polarity(&vtc1, &vtc2, vdd.volts(), 1.0);
+    let minus = snm_one_polarity(&vtc1, &vtc2, vdd.volts(), -1.0);
+    Volt::new(plus.min(minus))
+}
+
+/// Counts fixed points of the noise-perturbed loop on a fine grid.
+fn loop_fixed_points(vtc1: &Vtc, vtc2: &Vtc, vn: f64, vdd: f64) -> usize {
+    const GRID: usize = 256;
+    let h = |x: f64| vtc2.at(vtc1.at(x + vn) - vn) - x;
+    let mut count = 0;
+    let mut prev = h(0.0);
+    for k in 1..=GRID {
+        let x = vdd * k as f64 / GRID as f64;
+        let cur = h(x);
+        if prev == 0.0 || prev.signum() != cur.signum() {
+            count += 1;
+        }
+        prev = cur;
+    }
+    count
+}
+
+/// Largest `vn * polarity >= 0` keeping the loop bistable, via binary search
+/// on the monotone "still has 3 fixed points" predicate.
+fn snm_one_polarity(vtc1: &Vtc, vtc2: &Vtc, vdd: f64, polarity: f64) -> f64 {
+    let bistable = |vn: f64| loop_fixed_points(vtc1, vtc2, polarity * vn, vdd) >= 3;
+    if !bistable(0.0) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0, vdd / 2.0);
+    if bistable(hi) {
+        return hi; // clamp: margin beyond half the supply is "infinite" here
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if bistable(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Trip point of the QB-side inverter: the input voltage where output equals
+/// input (used as the flip threshold by the write-timing model).
+pub fn inverter_trip_point(cell: &SixTCell, vdd: Volt, condition: SnmCondition) -> Volt {
+    let vtc = inverter_vtc(cell, vdd, condition, false);
+    // f2 is decreasing, f2(x) - x is strictly decreasing: unique crossing.
+    let root = bisect_decreasing(|x| vtc.at(x) - x, 0.0, vdd.volts());
+    Volt::new(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::SixTSizing;
+    use sram_device::process::Technology;
+
+    fn cell() -> SixTCell {
+        SixTCell::new(&Technology::ptm_22nm(), &SixTSizing::paper_baseline())
+    }
+
+    #[test]
+    fn vtc_is_inverting_and_rail_to_rail_in_hold() {
+        let c = cell();
+        let vtc = inverter_vtc(&c, Volt::new(0.95), SnmCondition::Hold, true);
+        assert!(vtc.vout[0] > 0.90, "low in -> high out, got {}", vtc.vout[0]);
+        assert!(
+            vtc.vout[VTC_POINTS - 1] < 0.05,
+            "high in -> low out, got {}",
+            vtc.vout[VTC_POINTS - 1]
+        );
+        // Monotone non-increasing.
+        for w in vtc.vout.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn read_vtc_lifts_the_low_level() {
+        let c = cell();
+        let hold = inverter_vtc(&c, Volt::new(0.95), SnmCondition::Hold, true);
+        let read = inverter_vtc(&c, Volt::new(0.95), SnmCondition::Read, true);
+        // With the pass-gate fighting the pull-down, the "0" output is degraded.
+        let hold_low = hold.vout[VTC_POINTS - 1];
+        let read_low = read.vout[VTC_POINTS - 1];
+        assert!(
+            read_low > hold_low + 0.02,
+            "read bump missing: hold {hold_low} vs read {read_low}"
+        );
+    }
+
+    #[test]
+    fn hold_snm_exceeds_read_snm() {
+        let c = cell();
+        let vdd = Volt::new(0.95);
+        let hold = static_noise_margin(&c, vdd, SnmCondition::Hold);
+        let read = static_noise_margin(&c, vdd, SnmCondition::Read);
+        assert!(hold.volts() > read.volts(), "hold {hold} vs read {read}");
+        assert!(read.volts() > 0.0);
+    }
+
+    #[test]
+    fn read_snm_close_to_paper_anchor_at_nominal_vdd() {
+        // Paper §IV: nominal static read noise margin 195 mV at 0.95 V.
+        let c = cell();
+        let snm = static_noise_margin(&c, Volt::new(0.95), SnmCondition::Read);
+        assert!(
+            (snm.millivolts() - 195.0).abs() < 30.0,
+            "read SNM {} mV should be near 195 mV",
+            snm.millivolts()
+        );
+    }
+
+    #[test]
+    fn snm_shrinks_with_vdd() {
+        let c = cell();
+        let mut last = f64::INFINITY;
+        for vdd_mv in [950.0, 850.0, 750.0, 650.0] {
+            let snm = static_noise_margin(&c, Volt::from_millivolts(vdd_mv), SnmCondition::Read);
+            assert!(
+                snm.volts() < last + 1e-6,
+                "SNM should shrink with VDD: {} mV at {} mV supply",
+                snm.millivolts(),
+                vdd_mv
+            );
+            last = snm.volts();
+        }
+    }
+
+    #[test]
+    fn mismatch_degrades_snm() {
+        let c = cell();
+        let vdd = Volt::new(0.80);
+        let nominal = static_noise_margin(&c, vdd, SnmCondition::Read);
+        let mut skewed = c.clone();
+        // Weaken PD1 and strengthen PG1: classic read-disturb corner.
+        skewed.apply_variation(&[
+            Volt::from_millivolts(80.0),
+            Volt::from_millivolts(-80.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+        ]);
+        let worse = static_noise_margin(&skewed, vdd, SnmCondition::Read);
+        assert!(
+            worse.volts() < nominal.volts(),
+            "mismatch should hurt: {} vs {}",
+            worse,
+            nominal
+        );
+    }
+
+    #[test]
+    fn trip_point_is_interior() {
+        let c = cell();
+        let trip = inverter_trip_point(&c, Volt::new(0.95), SnmCondition::Hold);
+        assert!(trip.volts() > 0.2 && trip.volts() < 0.8, "trip {trip}");
+    }
+
+    #[test]
+    fn vtc_interpolation_clamps() {
+        let c = cell();
+        let vtc = inverter_vtc(&c, Volt::new(0.95), SnmCondition::Hold, true);
+        assert_eq!(vtc.at(-1.0), vtc.vout[0]);
+        assert_eq!(vtc.at(2.0), vtc.vout[VTC_POINTS - 1]);
+    }
+}

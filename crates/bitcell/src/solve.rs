@@ -1,0 +1,215 @@
+//! Scalar equilibrium solvers.
+//!
+//! All the static bitcell metrics reduce to finding the voltage of a single
+//! node where the net current vanishes. Every such net-current function in an
+//! SRAM cell is strictly monotone in the node voltage (pull-up currents fall,
+//! pull-down currents rise), so bisection is both guaranteed and fast; no
+//! Jacobian bookkeeping required. The full `nanospice` Newton solver is used
+//! in validation tests to confirm these scalar solutions.
+
+/// Finds the root of a *strictly decreasing* function `f` on `[lo, hi]` by
+/// bisection.
+///
+/// Returns the boundary with the smaller |f| if the root lies outside the
+/// bracket (saturated node).
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn bisect_decreasing(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    let f_lo = f(lo);
+    let f_hi = f(hi);
+    // f decreasing: f(lo) >= f(hi). Root inside iff f(lo) >= 0 >= f(hi).
+    if f_lo < 0.0 {
+        return lo;
+    }
+    if f_hi > 0.0 {
+        return hi;
+    }
+    let (mut a, mut b) = (lo, hi);
+    // 42 halvings of a ~1 V bracket reach ~2e-13 V, far below any margin or
+    // timing sensitivity; this is a Monte Carlo inner loop, so iterations
+    // are budgeted deliberately.
+    for _ in 0..42 {
+        let m = 0.5 * (a + b);
+        if f(m) >= 0.0 {
+            a = m;
+        } else {
+            b = m;
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// Like [`bisect_decreasing`] but for a strictly increasing `f`.
+pub fn bisect_increasing(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    bisect_decreasing(|x| -f(x), lo, hi)
+}
+
+/// Result of a guarded root search on a possibly root-free interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RootSearch {
+    /// A sign change was found; contains the root.
+    Found(f64),
+    /// No sign change on the interval (the function kept one sign).
+    NotBracketed,
+}
+
+/// Searches `[lo, hi]` for a root of an arbitrary continuous `f` by uniform
+/// scanning followed by bisection on the first sign-change interval.
+///
+/// Used where monotonicity is *not* guaranteed (e.g. locating the trip point
+/// of a full cross-coupled cell near its flip).
+pub fn scan_root(f: impl Fn(f64) -> f64, lo: f64, hi: f64, segments: usize) -> RootSearch {
+    assert!(segments >= 1 && lo <= hi);
+    let mut x0 = lo;
+    let mut f0 = f(x0);
+    if f0 == 0.0 {
+        return RootSearch::Found(x0);
+    }
+    for k in 1..=segments {
+        let x1 = lo + (hi - lo) * k as f64 / segments as f64;
+        let f1 = f(x1);
+        if f1 == 0.0 {
+            return RootSearch::Found(x1);
+        }
+        if f0.signum() != f1.signum() {
+            // Bisect inside [x0, x1].
+            let (mut a, mut b, fa) = (x0, x1, f0);
+            for _ in 0..60 {
+                let m = 0.5 * (a + b);
+                let fm = f(m);
+                if fm == 0.0 {
+                    return RootSearch::Found(m);
+                }
+                if fa.signum() == fm.signum() {
+                    a = m;
+                } else {
+                    b = m;
+                }
+            }
+            return RootSearch::Found(0.5 * (a + b));
+        }
+        x0 = x1;
+        f0 = f1;
+    }
+    RootSearch::NotBracketed
+}
+
+/// Integrates the scalar ODE `dv/dt = rate(v)` from `v0` until `stop(v)`
+/// turns true, using adaptive forward Euler (step limited to a maximum
+/// voltage change). Returns the elapsed time, or `None` if the node stalls
+/// (|rate| collapses) or `t_max` elapses before the stop condition.
+///
+/// This quasi-static integration is how read-access and write timing are
+/// computed without a full transient solve per Monte Carlo sample; accuracy
+/// is validated against `nanospice` transients in the integration tests.
+pub fn integrate_until(
+    rate: impl Fn(f64) -> f64,
+    v0: f64,
+    stop: impl Fn(f64) -> bool,
+    max_dv: f64,
+    t_max: f64,
+) -> Option<OdeEnd> {
+    let mut v = v0;
+    let mut t = 0.0;
+    // Stall threshold: if the node moves slower than max_dv per t_max we will
+    // never finish; bail out early.
+    let stall_rate = max_dv / t_max * 1e-3;
+    for _ in 0..200_000 {
+        if stop(v) {
+            return Some(OdeEnd { v, t });
+        }
+        let r = rate(v);
+        if r.abs() < stall_rate {
+            return None;
+        }
+        let dt = (max_dv / r.abs()).min(t_max / 256.0);
+        v += r * dt;
+        t += dt;
+        if t > t_max {
+            return None;
+        }
+    }
+    None
+}
+
+/// Terminal state of [`integrate_until`]: final voltage and elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdeEnd {
+    /// Final node voltage in volts.
+    pub v: f64,
+    /// Elapsed time in seconds.
+    pub t: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_linear_root() {
+        let root = bisect_decreasing(|x| 1.0 - 2.0 * x, 0.0, 1.0);
+        assert!((root - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_clamps_to_bounds() {
+        // Root below the bracket.
+        let r = bisect_decreasing(|x| -1.0 - x, 0.0, 1.0);
+        assert_eq!(r, 0.0);
+        // Root above the bracket.
+        let r = bisect_decreasing(|x| 2.0 - x, 0.0, 1.0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn bisect_increasing_mirrors() {
+        let root = bisect_increasing(|x| x * x - 0.25, 0.0, 1.0);
+        assert!((root - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_root_finds_nonmonotone_root() {
+        // f has roots at 0.3 and 0.7; the scan finds the first.
+        let f = |x: f64| (x - 0.3) * (x - 0.7);
+        match scan_root(f, 0.0, 1.0, 50) {
+            RootSearch::Found(r) => assert!((r - 0.3).abs() < 1e-9),
+            RootSearch::NotBracketed => panic!("root exists"),
+        }
+    }
+
+    #[test]
+    fn scan_root_reports_no_bracket() {
+        let f = |x: f64| x * x + 1.0;
+        assert_eq!(scan_root(f, 0.0, 1.0, 20), RootSearch::NotBracketed);
+    }
+
+    #[test]
+    fn integrate_exponential_decay() {
+        // dv/dt = -v / tau; time to fall from 1 to 0.5 is tau ln 2.
+        let tau = 1e-9;
+        let out = integrate_until(|v| -v / tau, 1.0, |v| v <= 0.5, 1e-3, 1e-6).expect("finishes");
+        let expected = tau * std::f64::consts::LN_2;
+        assert!(
+            (out.t - expected).abs() < 0.01 * expected,
+            "{} vs {}",
+            out.t,
+            expected
+        );
+    }
+
+    #[test]
+    fn integrate_detects_stall() {
+        // Rate vanishes at v = 0.5 before stop at 0.2 is reached.
+        let out = integrate_until(|v| -(v - 0.5), 1.0, |v| v <= 0.2, 1e-3, 1e-3);
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn integrate_respects_t_max() {
+        let out = integrate_until(|_| -1.0, 1.0, |v| v <= -1e9, 1e-3, 1e-9);
+        assert!(out.is_none());
+    }
+}

@@ -1,0 +1,310 @@
+//! Read-access and write timing.
+//!
+//! Quasi-static timing models (validated against `nanospice` transients in
+//! the integration tests):
+//!
+//! * **Read access**: the selected cell discharges its bitline capacitance
+//!   with its read current; the access succeeds when the bitline has fallen
+//!   by the sense margin ΔV within the cycle budget. `t = ∫ C_bl dV / I(V)`.
+//! * **Write**: the pass-gate drags the '1' node down against the pull-up;
+//!   once the node crosses the cross-coupled trip point the regenerative
+//!   feedback completes the flip. The storage-node ODE is integrated with
+//!   the opposite node slaved to its own equilibrium.
+//!
+//! Failures (paper §IV): *read access failure* = bitline too slow; *write
+//! failure* = node cannot reach the trip point in the write window.
+
+use crate::cell_ops::{q_net_current, qb_equilibrium, read_current_6t, read_current_8t};
+use crate::solve::integrate_until;
+use sram_device::units::Volt as VoltUnit;
+use crate::topology::{EightTCell, SixTCell};
+use sram_device::units::{Farad, Second, Volt};
+
+/// Electrical environment of a cell inside a sub-array column.
+///
+/// The bitline capacitance corresponds to the paper's 256-row sub-array:
+/// per-cell drain junction loading plus wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnEnvironment {
+    /// Total bitline capacitance seen by one cell during an access.
+    pub c_bitline: Farad,
+    /// Bitline swing required by the sense amplifier.
+    pub delta_v_sense: Volt,
+}
+
+impl ColumnEnvironment {
+    /// 256-row column as used throughout the paper: 256 × 0.06 fF junction
+    /// loading + 4.6 fF of wire and sense-amp input capacitance.
+    pub fn rows_256() -> Self {
+        Self {
+            c_bitline: Farad::from_femtofarads(256.0 * 0.06 + 4.6),
+            delta_v_sense: Volt::from_millivolts(100.0),
+        }
+    }
+}
+
+/// Number of bitline-voltage grid intervals for the discharge integral.
+const READ_GRID: usize = 8;
+
+/// Integrates `t = C · ∫ dV / I(V)` over the sense swing on a small grid
+/// (trapezoidal in `1/I`). The read current varies slowly over the 100 mV
+/// sense window, so a coarse grid is accurate; returns `None` when the
+/// current collapses (stalled read corner).
+fn bitline_discharge_time(
+    current: impl Fn(f64) -> f64,
+    vdd: f64,
+    delta_v: f64,
+    c_bitline: f64,
+) -> Option<Second> {
+    let dv = delta_v / READ_GRID as f64;
+    // Stall guard: a cell slower than 1000x the healthy regime is "never".
+    let i_min = 1e-9;
+    let mut inv_prev = {
+        let i = current(vdd);
+        if i < i_min {
+            return None;
+        }
+        1.0 / i
+    };
+    let mut t = 0.0;
+    for k in 1..=READ_GRID {
+        let v = vdd - dv * k as f64;
+        let i = current(v);
+        if i < i_min {
+            return None;
+        }
+        let inv = 1.0 / i;
+        t += c_bitline * dv * 0.5 * (inv_prev + inv);
+        inv_prev = inv;
+    }
+    Some(Second::new(t))
+}
+
+/// Time for a 6T cell to develop the sense margin on its bitline, or `None`
+/// if the cell current stalls (vanishing read current corner).
+pub fn read_access_time_6t(cell: &SixTCell, vdd: Volt, env: &ColumnEnvironment) -> Option<Second> {
+    let vdd_v = vdd.volts();
+    bitline_discharge_time(
+        |vbl| read_current_6t(cell, vbl, vdd_v),
+        vdd_v,
+        env.delta_v_sense.volts(),
+        env.c_bitline.farads(),
+    )
+}
+
+/// Time for an 8T cell to develop the sense margin on its read bitline.
+pub fn read_access_time_8t(cell: &EightTCell, vdd: Volt, env: &ColumnEnvironment) -> Option<Second> {
+    let vdd_v = vdd.volts();
+    bitline_discharge_time(
+        |vrbl| read_current_8t(cell, vrbl, vdd_v),
+        vdd_v,
+        env.delta_v_sense.volts(),
+        env.c_bitline.farads(),
+    )
+}
+
+/// Wordline boost applied during write operations (write assist).
+///
+/// Voltage-scaled SRAMs routinely boost the write wordline ~100 mV above the
+/// cell supply so the pass-gate wins the fight against the pull-up even in
+/// variation corners; this keeps write failures subordinate to read-access
+/// failures at scaled voltages, the regime of the paper's Fig. 5 ("read
+/// access failures dominate over write failures").
+pub const WRITE_WL_BOOST: VoltUnit = VoltUnit::from_millivolts(100.0);
+
+/// Time for the cell to flip when writing a '0' onto the node currently
+/// storing '1' (bitline driven to ground, complement bitline at VDD, write
+/// wordline boosted by [`WRITE_WL_BOOST`]), or `None` when the cell cannot
+/// be flipped (write failure corner).
+///
+/// The returned time covers the pass-gate pulling the node from VDD down
+/// through the cross-coupled trip point; the regenerative completion below
+/// the trip point is also integrated (it converges quickly).
+pub fn write_time(cell: &SixTCell, vdd: Volt) -> Option<Second> {
+    let vdd_v = vdd.volts();
+    let vwl = vdd_v + WRITE_WL_BOOST.volts();
+    let c = cell.c_node.farads();
+    // Success = node pulled well below any realistic trip point; the
+    // regenerative feedback has taken over by then (and the quasi-static
+    // integration follows it — the rate accelerates once QB starts rising).
+    let target = 0.1 * vdd_v;
+    let end = integrate_until(
+        |q| {
+            let qb = qb_equilibrium(cell, q, vdd_v, vwl, Some(vdd_v));
+            q_net_current(cell, q, qb, vdd_v, vwl, Some(0.0)) / c
+        },
+        vdd_v,
+        |q| q <= target,
+        vdd_v / 160.0,
+        1e-6,
+    )?;
+    Some(Second::new(end.t))
+}
+
+/// Cycle budgets derived from the nominal (variation-free) cell, mirroring
+/// the paper's methodology: "6T and 8T bitcells were designed for equal read
+/// access and write times" against the 256×256 sub-array. A varied cell
+/// fails when it is slower than `margin ×` the nominal cell *at the same
+/// supply voltage* (the array clock tracks voltage scaling, like the NPEs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingBudget {
+    /// Read budget: max allowed access time.
+    pub t_read_limit: Second,
+    /// Write budget: max allowed flip time.
+    pub t_write_limit: Second,
+}
+
+impl TimingBudget {
+    /// Builds the budget from nominal-cell timings with one guard factor for
+    /// both operations. See [`TimingBudget::from_nominal_split`].
+    pub fn from_nominal(
+        cell6: &SixTCell,
+        cell8: &EightTCell,
+        vdd: Volt,
+        env: &ColumnEnvironment,
+        margin: f64,
+    ) -> Self {
+        Self::from_nominal_split(cell6, cell8, vdd, env, margin, margin)
+    }
+
+    /// Builds the budget from nominal-cell timings with separate read and
+    /// write guard factors (the ratio of the allowed worst-case delay to the
+    /// nominal delay).
+    ///
+    /// The read path is the cycle-limiting one — the bitline swing must land
+    /// inside the sense window — while the write pulse has architectural
+    /// slack; `(read ≈ 2.0, write ≈ 2.5)` reproduces the paper's Fig. 5
+    /// regime where "read access failures dominate over write failures".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the *nominal* cell itself cannot complete an access — that
+    /// would mean the environment is misconfigured, not a statistical corner.
+    pub fn from_nominal_split(
+        cell6: &SixTCell,
+        cell8: &EightTCell,
+        vdd: Volt,
+        env: &ColumnEnvironment,
+        margin_read: f64,
+        margin_write: f64,
+    ) -> Self {
+        let t6r = read_access_time_6t(cell6, vdd, env).expect("nominal 6T read must complete");
+        let t8r = read_access_time_8t(cell8, vdd, env).expect("nominal 8T read must complete");
+        let t6w = write_time(cell6, vdd).expect("nominal 6T write must complete");
+        let t8w = write_time(&cell8.core, vdd).expect("nominal 8T write must complete");
+        // Equal budgets for both cells (paper): the slower nominal path sets
+        // the shared budget.
+        Self {
+            t_read_limit: Second::new(t6r.seconds().max(t8r.seconds()) * margin_read),
+            t_write_limit: Second::new(t6w.seconds().max(t8w.seconds()) * margin_write),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ReadStackSizing, SixTSizing};
+    use sram_device::process::Technology;
+
+    fn cell() -> SixTCell {
+        SixTCell::new(&Technology::ptm_22nm(), &SixTSizing::paper_baseline())
+    }
+
+    fn cell8() -> EightTCell {
+        EightTCell::new(
+            &Technology::ptm_22nm(),
+            &SixTSizing::write_optimized(),
+            &ReadStackSizing::paper_baseline(),
+        )
+    }
+
+    #[test]
+    fn read_access_time_is_plausible() {
+        let t = read_access_time_6t(&cell(), Volt::new(0.95), &ColumnEnvironment::rows_256())
+            .expect("nominal read completes");
+        let ps = t.picoseconds();
+        assert!(
+            (10.0..2000.0).contains(&ps),
+            "access time {ps} ps out of plausible range"
+        );
+    }
+
+    #[test]
+    fn read_slows_down_at_low_vdd() {
+        let env = ColumnEnvironment::rows_256();
+        let c = cell();
+        let t95 = read_access_time_6t(&c, Volt::new(0.95), &env).unwrap();
+        let t65 = read_access_time_6t(&c, Volt::new(0.65), &env).unwrap();
+        assert!(
+            t65.seconds() > 1.5 * t95.seconds(),
+            "scaling should slow reads: {t95} -> {t65}"
+        );
+    }
+
+    #[test]
+    fn weak_cell_reads_slower() {
+        let env = ColumnEnvironment::rows_256();
+        let c = cell();
+        let nominal = read_access_time_6t(&c, Volt::new(0.75), &env).unwrap();
+        let mut weak = c.clone();
+        weak.apply_variation(&[
+            Volt::from_millivolts(90.0), // PD1 weak
+            Volt::from_millivolts(90.0), // PG1 weak
+            Volt::new(0.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+        ]);
+        let slow = read_access_time_6t(&weak, Volt::new(0.75), &env).unwrap();
+        assert!(
+            slow.seconds() > 1.3 * nominal.seconds(),
+            "weak cell {slow} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn write_time_is_plausible_and_slows_at_low_vdd() {
+        let c = cell();
+        let t95 = write_time(&c, Volt::new(0.95)).expect("writable");
+        let t65 = write_time(&c, Volt::new(0.65)).expect("writable");
+        assert!(
+            (0.1..500.0).contains(&t95.picoseconds()),
+            "write time {} ps",
+            t95.picoseconds()
+        );
+        assert!(t65.seconds() > t95.seconds());
+    }
+
+    #[test]
+    fn unwritable_corner_returns_none() {
+        let mut c = cell();
+        c.apply_variation(&[
+            Volt::new(0.0),
+            Volt::from_millivolts(350.0),
+            Volt::from_millivolts(-250.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+            Volt::new(0.0),
+        ]);
+        assert!(write_time(&c, Volt::new(0.65)).is_none());
+    }
+
+    #[test]
+    fn budgets_cover_both_cells() {
+        let env = ColumnEnvironment::rows_256();
+        let budget = TimingBudget::from_nominal(&cell(), &cell8(), Volt::new(0.95), &env, 2.0);
+        let t6 = read_access_time_6t(&cell(), Volt::new(0.95), &env).unwrap();
+        assert!(budget.t_read_limit.seconds() >= 2.0 * t6.seconds() * 0.99);
+        assert!(budget.t_write_limit.seconds() > 0.0);
+    }
+
+    #[test]
+    fn eight_t_read_meets_the_same_budget() {
+        let env = ColumnEnvironment::rows_256();
+        let vdd = Volt::new(0.95);
+        let budget = TimingBudget::from_nominal(&cell(), &cell8(), vdd, &env, 2.0);
+        let t8 = read_access_time_8t(&cell8(), vdd, &env).unwrap();
+        assert!(t8.seconds() <= budget.t_read_limit.seconds());
+    }
+}

@@ -1,0 +1,106 @@
+//! Variability ablation: how the failure landscape moves with the
+//! threshold-voltage matching coefficient.
+//!
+//! The paper's entire system-level story hinges on *where* the 6T failure
+//! cliff sits, which is set by σ(VT0) (random dopant fluctuation strength).
+//! This module sweeps that coefficient so the sensitivity of every
+//! conclusion to the process assumption is measurable — the calibration
+//! ablation DESIGN.md §5 calls for.
+
+use crate::montecarlo::{run_6t, CellFailureRates, MonteCarloOptions};
+use crate::timing::{ColumnEnvironment, TimingBudget};
+use crate::topology::{EightTCell, ReadStackSizing, SixTCell, SixTSizing};
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+use sram_device::variation::VariationModel;
+
+/// One point of the variability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariabilityPoint {
+    /// Matching coefficient σ(VT0) used for this run.
+    pub sigma_vt0: Volt,
+    /// Resulting 6T failure rates at the probe voltage.
+    pub failures: CellFailureRates,
+}
+
+/// Sweeps σ(VT0) at a fixed probe voltage and reports the 6T failure rates.
+///
+/// The timing budget is rebuilt from the *nominal* cell each time (the
+/// budget does not depend on variation), so only the statistical spread
+/// changes between points.
+pub fn sweep_sigma_vt0(
+    tech: &Technology,
+    sigmas: &[Volt],
+    vdd: Volt,
+    env: &ColumnEnvironment,
+    mc: &MonteCarloOptions,
+) -> Vec<VariabilityPoint> {
+    let cell6 = SixTCell::new(tech, &SixTSizing::paper_baseline());
+    let cell8 = EightTCell::new(
+        tech,
+        &SixTSizing::write_optimized(),
+        &ReadStackSizing::paper_baseline(),
+    );
+    let budget = TimingBudget::from_nominal_split(&cell6, &cell8, vdd, env, 2.0, 2.5);
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            let variation = VariationModel::with_sigma_vt0(tech, sigma);
+            VariabilityPoint {
+                sigma_vt0: sigma,
+                failures: run_6t(&cell6, &variation, vdd, &budget, env, mc),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_grow_with_sigma() {
+        let tech = Technology::ptm_22nm();
+        let env = ColumnEnvironment::rows_256();
+        let mc = MonteCarloOptions {
+            samples: 120,
+            seed: 5,
+            snm_samples: 0,
+        };
+        let sigmas = [
+            Volt::from_millivolts(30.0),
+            Volt::from_millivolts(70.0),
+            Volt::from_millivolts(110.0),
+        ];
+        let sweep = sweep_sigma_vt0(&tech, &sigmas, Volt::new(0.70), &env, &mc);
+        assert_eq!(sweep.len(), 3);
+        let p: Vec<f64> = sweep
+            .iter()
+            .map(|pt| pt.failures.read_access.probability())
+            .collect();
+        assert!(
+            p[0] < p[1] && p[1] < p[2],
+            "read failures must grow with sigma: {p:?}"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_means_no_failures() {
+        let tech = Technology::ptm_22nm();
+        let env = ColumnEnvironment::rows_256();
+        let mc = MonteCarloOptions {
+            samples: 40,
+            seed: 1,
+            snm_samples: 0,
+        };
+        let sweep = sweep_sigma_vt0(
+            &tech,
+            &[Volt::from_millivolts(0.001)],
+            Volt::new(0.75),
+            &env,
+            &mc,
+        );
+        let p = sweep[0].failures.read_access.probability();
+        assert!(p < 1e-9, "variation-free cells must not fail, got {p}");
+    }
+}

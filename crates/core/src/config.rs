@@ -1,0 +1,130 @@
+//! The paper's synaptic memory configurations (Fig. 3).
+
+use fault_inject::protection::ProtectionPolicy;
+use sram_device::units::Volt;
+use std::fmt;
+
+/// A complete synaptic-memory design point: cell organization + supply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryConfig {
+    /// Fig. 3(a): every bit in 6T cells.
+    Base6T {
+        /// Operating supply voltage.
+        vdd: Volt,
+    },
+    /// Fig. 3(b), Configuration 1: the same number of MSBs of *every*
+    /// synaptic weight in 8T cells.
+    Hybrid {
+        /// Number of protected MSBs (0-8).
+        msb_8t: usize,
+        /// Operating supply voltage.
+        vdd: Volt,
+    },
+    /// Fig. 3(c), Configuration 2: one 8T-6T bank per ANN layer, protected
+    /// MSB count chosen per bank by synaptic sensitivity.
+    SensitivityDriven {
+        /// Protected MSBs per bank, input-side bank first.
+        msb_8t: Vec<usize>,
+        /// Operating supply voltage.
+        vdd: Volt,
+    },
+}
+
+impl MemoryConfig {
+    /// The operating voltage.
+    pub fn vdd(&self) -> Volt {
+        match self {
+            MemoryConfig::Base6T { vdd }
+            | MemoryConfig::Hybrid { vdd, .. }
+            | MemoryConfig::SensitivityDriven { vdd, .. } => *vdd,
+        }
+    }
+
+    /// The bit-protection policy this configuration induces.
+    pub fn policy(&self) -> ProtectionPolicy {
+        match self {
+            MemoryConfig::Base6T { .. } => ProtectionPolicy::Uniform6T,
+            MemoryConfig::Hybrid { msb_8t, .. } => ProtectionPolicy::MsbProtected {
+                msb_8t: *msb_8t,
+            },
+            MemoryConfig::SensitivityDriven { msb_8t, .. } => ProtectionPolicy::PerBank {
+                msb_8t: msb_8t.clone(),
+            },
+        }
+    }
+
+    /// Returns this configuration at a different supply voltage.
+    pub fn at_vdd(&self, vdd: Volt) -> Self {
+        let mut c = self.clone();
+        match &mut c {
+            MemoryConfig::Base6T { vdd: v }
+            | MemoryConfig::Hybrid { vdd: v, .. }
+            | MemoryConfig::SensitivityDriven { vdd: v, .. } => *v = vdd,
+        }
+        c
+    }
+}
+
+impl fmt::Display for MemoryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryConfig::Base6T { vdd } => write!(f, "6T @ {vdd}"),
+            MemoryConfig::Hybrid { msb_8t, vdd } => {
+                write!(f, "hybrid ({},{}) @ {vdd}", msb_8t, 8 - msb_8t)
+            }
+            MemoryConfig::SensitivityDriven { msb_8t, vdd } => {
+                write!(f, "sensitivity-driven {msb_8t:?} @ {vdd}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_inject::protection::CellAssignment;
+
+    #[test]
+    fn policies_match_configurations() {
+        let base = MemoryConfig::Base6T { vdd: Volt::new(0.75) };
+        assert_eq!(base.policy().assignment(0), CellAssignment::all_6t());
+
+        let hybrid = MemoryConfig::Hybrid {
+            msb_8t: 3,
+            vdd: Volt::new(0.65),
+        };
+        assert_eq!(
+            hybrid.policy().assignment(4),
+            CellAssignment::msb_protected(3)
+        );
+
+        let sens = MemoryConfig::SensitivityDriven {
+            msb_8t: vec![2, 3, 1],
+            vdd: Volt::new(0.65),
+        };
+        assert_eq!(sens.policy().assignment(1), CellAssignment::msb_protected(3));
+        assert_eq!(sens.policy().bank_count(), Some(3));
+    }
+
+    #[test]
+    fn vdd_accessor_and_rebinding() {
+        let c = MemoryConfig::Hybrid {
+            msb_8t: 2,
+            vdd: Volt::new(0.70),
+        };
+        assert_eq!(c.vdd(), Volt::new(0.70));
+        let moved = c.at_vdd(Volt::new(0.65));
+        assert_eq!(moved.vdd(), Volt::new(0.65));
+        assert!(matches!(moved, MemoryConfig::Hybrid { msb_8t: 2, .. }));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = MemoryConfig::Hybrid {
+            msb_8t: 3,
+            vdd: Volt::new(0.65),
+        };
+        let s = format!("{c}");
+        assert!(s.contains("(3,5)"), "{s}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Ablation: power-reporting convention (DESIGN.md §5).
+//!
+//! The paper's iso-stability power reductions depend on what "power" means
+//! when two configurations run at different supplies. This experiment
+//! reports the Fig. 8(b)-style reductions under both conventions:
+//! iso-throughput (same access rate, energy comparison — conservative) and
+//! self-clocked (the memory clock tracks its own voltage-scaled cycle —
+//! optimistic). The paper's published 29 % for three protected MSBs falls
+//! between the two, which is exactly what a bracketing ablation should show.
+
+use super::ExperimentContext;
+use crate::config::MemoryConfig;
+use crate::report::{fmt_pct, TableBuilder};
+use sram_array::power::PowerConvention;
+use sram_device::units::Volt;
+use std::fmt;
+
+/// Reductions for one hybrid configuration under both conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConventionRow {
+    /// Number of protected MSBs.
+    pub msb_8t: usize,
+    /// Access-power reduction, iso-throughput convention.
+    pub iso_throughput: f64,
+    /// Access-power reduction, self-clocked convention.
+    pub self_clocked: f64,
+}
+
+/// The convention comparison for the Fig. 8 design points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConventionComparison {
+    /// One row per hybrid configuration, n = 1..=4.
+    pub rows: Vec<ConventionRow>,
+}
+
+/// Runs the comparison: hybrid at 0.65 V vs the 6T baseline at 0.75 V.
+pub fn run(ctx: &ExperimentContext) -> ConventionComparison {
+    let baseline = MemoryConfig::Base6T {
+        vdd: Volt::new(0.75),
+    };
+    let reductions = |convention: PowerConvention| -> Vec<f64> {
+        let base = ctx
+            .framework
+            .power_report(&ctx.network, &baseline, convention)
+            .access_power
+            .watts();
+        (1..=4)
+            .map(|n| {
+                let hybrid = MemoryConfig::Hybrid {
+                    msb_8t: n,
+                    vdd: Volt::new(0.65),
+                };
+                let p = ctx
+                    .framework
+                    .power_report(&ctx.network, &hybrid, convention)
+                    .access_power
+                    .watts();
+                1.0 - p / base
+            })
+            .collect()
+    };
+    let iso = reductions(PowerConvention::IsoThroughput);
+    let sc = reductions(PowerConvention::SelfClocked);
+    ConventionComparison {
+        rows: iso
+            .into_iter()
+            .zip(sc)
+            .enumerate()
+            .map(|(i, (iso_throughput, self_clocked))| ConventionRow {
+                msb_8t: i + 1,
+                iso_throughput,
+                self_clocked,
+            })
+            .collect(),
+    }
+}
+
+impl ConventionComparison {
+    /// `true` when the self-clocked reading exceeds iso-throughput for every
+    /// configuration (the bracketing property).
+    pub fn brackets(&self) -> bool {
+        self.rows.iter().all(|r| r.self_clocked > r.iso_throughput)
+    }
+}
+
+impl fmt::Display for ConventionComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec![
+            "config",
+            "iso-throughput ↓",
+            "self-clocked ↓",
+            "paper Fig. 8b",
+        ]);
+        let paper = ["~36 %", "~32 %", "~29 %", "~26 %"];
+        for (r, p) in self.rows.iter().zip(paper) {
+            t.row(vec![
+                format!("({},{})", r.msb_8t, 8 - r.msb_8t),
+                fmt_pct(r.iso_throughput),
+                fmt_pct(r.self_clocked),
+                p.to_owned(),
+            ]);
+        }
+        write!(
+            f,
+            "Power-convention ablation — hybrid @ 0.65 V vs 6T @ 0.75 V\n{}",
+            t.finish()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn conventions_bracket_the_paper() {
+        let cmp = run(shared_ctx());
+        assert_eq!(cmp.rows.len(), 4);
+        assert!(cmp.brackets(), "{cmp}");
+        // Paper's (3,5) number (29 %) must fall inside the bracket.
+        let three = &cmp.rows[2];
+        assert!(
+            three.iso_throughput < 0.29 && 0.29 < three.self_clocked,
+            "bracket {} .. {} should contain 0.29",
+            three.iso_throughput,
+            three.self_clocked
+        );
+    }
+
+    #[test]
+    fn reductions_fall_with_protection_under_both_conventions() {
+        let cmp = run(shared_ctx());
+        for pair in cmp.rows.windows(2) {
+            assert!(pair[1].iso_throughput <= pair[0].iso_throughput + 1e-12);
+            assert!(pair[1].self_clocked <= pair[0].self_clocked + 1e-12);
+        }
+    }
+}

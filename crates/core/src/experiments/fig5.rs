@@ -1,0 +1,136 @@
+//! Fig. 5: bitcell failure rates versus supply voltage.
+//!
+//! Paper panels: (a) read-access failure rate of the 6T cell, (b) write
+//! failure rate of the 6T cell; the text additionally reports that the 8T
+//! rates are negligible in the voltage range of interest and that read
+//! disturbs can be neglected. One row per characterized voltage carries all
+//! five series.
+
+use super::ExperimentContext;
+use crate::report::{fmt_prob, TableBuilder};
+use sram_device::units::Volt;
+use std::fmt;
+
+/// One voltage point of Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Supply voltage.
+    pub vdd: Volt,
+    /// 6T read-access failure probability (panel a).
+    pub read_access_6t: f64,
+    /// 6T write failure probability (panel b).
+    pub write_6t: f64,
+    /// 6T read-disturb probability (text: negligible).
+    pub read_disturb_6t: f64,
+    /// 8T read-access failure probability (text: negligible).
+    pub read_access_8t: f64,
+    /// 8T write failure probability (text: negligible).
+    pub write_8t: f64,
+}
+
+/// The full Fig. 5 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5 {
+    /// Rows in descending voltage order.
+    pub rows: Vec<Fig5Row>,
+}
+
+/// Regenerates Fig. 5 from the characterization tables.
+pub fn run(ctx: &ExperimentContext) -> Fig5 {
+    let rows = ctx
+        .framework
+        .char_6t()
+        .points
+        .iter()
+        .zip(ctx.framework.char_8t().points.iter())
+        .map(|(p6, p8)| Fig5Row {
+            vdd: p6.vdd,
+            read_access_6t: p6.failures.read_access.probability(),
+            write_6t: p6.failures.write.probability(),
+            read_disturb_6t: p6.failures.read_disturb.probability(),
+            read_access_8t: p8.failures.read_access.probability(),
+            write_8t: p8.failures.write.probability(),
+        })
+        .collect();
+    Fig5 { rows }
+}
+
+impl Fig5 {
+    /// Paper-shape invariants: rates rise monotonically (within noise) as
+    /// the supply falls, reads dominate writes for the 6T cell, and the 8T
+    /// cell stays orders of magnitude more robust.
+    pub fn shape_holds(&self) -> bool {
+        let first = self.rows.first();
+        let last = self.rows.last();
+        let (Some(hi), Some(lo)) = (first, last) else {
+            return false;
+        };
+        let rises = lo.read_access_6t > hi.read_access_6t;
+        let read_dominates = self
+            .rows
+            .iter()
+            .all(|r| r.read_access_6t >= r.write_6t || r.read_access_6t < 1e-12);
+        let eight_t_robust = self
+            .rows
+            .iter()
+            .all(|r| r.read_access_8t <= r.read_access_6t);
+        rises && read_dominates && eight_t_robust
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec![
+            "VDD",
+            "6T read-access",
+            "6T write",
+            "6T disturb",
+            "8T read-access",
+            "8T write",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{:.2} V", r.vdd.volts()),
+                fmt_prob(r.read_access_6t),
+                fmt_prob(r.write_6t),
+                fmt_prob(r.read_disturb_6t),
+                fmt_prob(r.read_access_8t),
+                fmt_prob(r.write_8t),
+            ]);
+        }
+        write!(
+            f,
+            "Fig. 5 — bitcell failure rates vs supply voltage\n{}",
+            t.finish()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn covers_the_paper_voltage_grid() {
+        let fig = run(shared_ctx());
+        assert_eq!(fig.rows.len(), 8);
+        assert!((fig.rows[0].vdd.volts() - 0.95).abs() < 1e-9);
+        assert!((fig.rows[7].vdd.volts() - 0.60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_shape_holds() {
+        let fig = run(shared_ctx());
+        assert!(fig.shape_holds(), "{fig}");
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let fig = run(shared_ctx());
+        let text = format!("{fig}");
+        assert!(text.contains("Fig. 5"));
+        assert!(text.contains("0.95 V"));
+        assert!(text.contains("0.60 V"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Fig. 6: per-cell power versus supply voltage.
+//!
+//! Panels: (a) read power, (b) write power, (c) leakage power, each for both
+//! cell flavors. Paper anchors: the 8T cell costs ≈ +20 % read/write power
+//! and ≈ +47 % leakage at iso-voltage.
+
+use super::ExperimentContext;
+use crate::report::TableBuilder;
+use sram_device::units::Volt;
+use std::fmt;
+
+/// Access rate at which per-cell dynamic power is quoted (1 GHz column
+/// activity, consistent with the paper's µW-scale axes).
+pub const REPORT_RATE_HZ: f64 = 1e9;
+
+/// One voltage point of Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Supply voltage.
+    pub vdd: Volt,
+    /// 6T read power (µW) — panel (a).
+    pub read_6t_uw: f64,
+    /// 8T read power (µW) — panel (a).
+    pub read_8t_uw: f64,
+    /// 6T write power (µW) — panel (b).
+    pub write_6t_uw: f64,
+    /// 8T write power (µW) — panel (b).
+    pub write_8t_uw: f64,
+    /// 6T leakage power (nW) — panel (c).
+    pub leak_6t_nw: f64,
+    /// 8T leakage power (nW) — panel (c).
+    pub leak_8t_nw: f64,
+}
+
+/// The full Fig. 6 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6 {
+    /// Rows in descending voltage order.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Regenerates Fig. 6 from the characterization tables.
+pub fn run(ctx: &ExperimentContext) -> Fig6 {
+    let rows = ctx
+        .framework
+        .char_6t()
+        .points
+        .iter()
+        .zip(ctx.framework.char_8t().points.iter())
+        .map(|(p6, p8)| Fig6Row {
+            vdd: p6.vdd,
+            read_6t_uw: p6.power.read_power(REPORT_RATE_HZ).microwatts(),
+            read_8t_uw: p8.power.read_power(REPORT_RATE_HZ).microwatts(),
+            write_6t_uw: p6.power.write_power(REPORT_RATE_HZ).microwatts(),
+            write_8t_uw: p8.power.write_power(REPORT_RATE_HZ).microwatts(),
+            leak_6t_nw: p6.power.leakage.nanowatts(),
+            leak_8t_nw: p8.power.leakage.nanowatts(),
+        })
+        .collect();
+    Fig6 { rows }
+}
+
+impl Fig6 {
+    /// Mean 8T/6T read-power ratio across voltages (paper: ≈ 1.2).
+    pub fn read_ratio(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.read_8t_uw / r.read_6t_uw)
+            .sum::<f64>()
+            / self.rows.len().max(1) as f64
+    }
+
+    /// Mean 8T/6T write-power ratio (paper: ≈ 1.2).
+    pub fn write_ratio(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.write_8t_uw / r.write_6t_uw)
+            .sum::<f64>()
+            / self.rows.len().max(1) as f64
+    }
+
+    /// Mean 8T/6T leakage ratio (paper: ≈ 1.47).
+    pub fn leakage_ratio(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.leak_8t_nw / r.leak_6t_nw)
+            .sum::<f64>()
+            / self.rows.len().max(1) as f64
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec![
+            "VDD",
+            "6T read µW",
+            "8T read µW",
+            "6T write µW",
+            "8T write µW",
+            "6T leak nW",
+            "8T leak nW",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{:.2} V", r.vdd.volts()),
+                format!("{:.2}", r.read_6t_uw),
+                format!("{:.2}", r.read_8t_uw),
+                format!("{:.2}", r.write_6t_uw),
+                format!("{:.2}", r.write_8t_uw),
+                format!("{:.3}", r.leak_6t_nw),
+                format!("{:.3}", r.leak_8t_nw),
+            ]);
+        }
+        write!(
+            f,
+            "Fig. 6 — cell power vs supply voltage (8T/6T ratios: read {:.2}, write {:.2}, leak {:.2})\n{}",
+            self.read_ratio(),
+            self.write_ratio(),
+            self.leakage_ratio(),
+            t.finish()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn ratios_match_paper_anchors() {
+        let fig = run(shared_ctx());
+        assert!(
+            (fig.read_ratio() - 1.2).abs() < 0.1,
+            "read ratio {}",
+            fig.read_ratio()
+        );
+        assert!(
+            (fig.write_ratio() - 1.2).abs() < 0.1,
+            "write ratio {}",
+            fig.write_ratio()
+        );
+        assert!(
+            (fig.leakage_ratio() - 1.47).abs() < 0.17,
+            "leak ratio {}",
+            fig.leakage_ratio()
+        );
+    }
+
+    #[test]
+    fn power_falls_with_voltage() {
+        let fig = run(shared_ctx());
+        for pair in fig.rows.windows(2) {
+            assert!(pair[1].read_6t_uw < pair[0].read_6t_uw);
+            assert!(pair[1].write_8t_uw < pair[0].write_8t_uw);
+            assert!(pair[1].leak_6t_nw < pair[0].leak_6t_nw);
+        }
+    }
+
+    #[test]
+    fn display_includes_ratios() {
+        let fig = run(shared_ctx());
+        let text = format!("{fig}");
+        assert!(text.contains("Fig. 6"));
+        assert!(text.contains("ratios"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Fig. 7: the all-6T voltage-scaling trade-off.
+//!
+//! Panel (a): classification accuracy vs VDD with all-6T synaptic storage —
+//! "voltage can be scaled by 200 mV from the nominal operating voltage
+//! (950 mV) for practically no loss (< 0.5 %) in accuracy"; aggressive
+//! scaling costs > 30 %. Panel (b): memory access and leakage power savings
+//! vs VDD relative to nominal.
+
+use super::ExperimentContext;
+use crate::config::MemoryConfig;
+use crate::report::{fmt_pct, TableBuilder};
+use sram_array::power::PowerConvention;
+use sram_device::units::Volt;
+use std::fmt;
+
+/// One voltage point of Fig. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Supply voltage.
+    pub vdd: Volt,
+    /// Mean classification accuracy (panel a).
+    pub accuracy: f64,
+    /// Std-dev of accuracy across fault-injection trials.
+    pub accuracy_std: f64,
+    /// Memory access power saving vs nominal supply (panel b).
+    pub access_saving: f64,
+    /// Leakage power saving vs nominal supply (panel b).
+    pub leakage_saving: f64,
+}
+
+/// The full Fig. 7 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// Rows in descending voltage order.
+    pub rows: Vec<Fig7Row>,
+    /// Accuracy at the nominal voltage (reference for loss accounting).
+    pub nominal_accuracy: f64,
+}
+
+/// Regenerates Fig. 7 by sweeping the all-6T configuration across the
+/// characterized voltages.
+pub fn run(ctx: &ExperimentContext) -> Fig7 {
+    let vdds: Vec<Volt> = ctx
+        .framework
+        .char_6t()
+        .points
+        .iter()
+        .map(|p| p.vdd)
+        .collect();
+    let nominal = vdds[0];
+    let p_nom = ctx.framework.power_report(
+        &ctx.network,
+        &MemoryConfig::Base6T { vdd: nominal },
+        PowerConvention::IsoThroughput,
+    );
+
+    let mut rows = Vec::with_capacity(vdds.len());
+    for &vdd in &vdds {
+        let config = MemoryConfig::Base6T { vdd };
+        let stats =
+            ctx.framework
+                .evaluate_accuracy(&ctx.network, &ctx.test, &config, ctx.trials, ctx.seed);
+        let power = ctx
+            .framework
+            .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
+        rows.push(Fig7Row {
+            vdd,
+            accuracy: stats.mean(),
+            accuracy_std: stats.std(),
+            access_saving: 1.0 - power.access_power.watts() / p_nom.access_power.watts(),
+            leakage_saving: 1.0 - power.leakage_power.watts() / p_nom.leakage_power.watts(),
+        });
+    }
+    let nominal_accuracy = rows[0].accuracy;
+    Fig7 {
+        rows,
+        nominal_accuracy,
+    }
+}
+
+impl Fig7 {
+    /// The lowest voltage whose accuracy loss stays within `max_loss` —
+    /// the iso-stability knee (paper: 0.75 V for 0.5 %).
+    pub fn knee(&self, max_loss: f64) -> Volt {
+        let mut knee = self.rows[0].vdd;
+        for r in &self.rows {
+            if self.nominal_accuracy - r.accuracy <= max_loss {
+                knee = r.vdd;
+            } else {
+                break;
+            }
+        }
+        knee
+    }
+
+    /// Accuracy loss at the lowest characterized voltage (paper: > 30 %).
+    pub fn floor_loss(&self) -> f64 {
+        self.nominal_accuracy - self.rows.last().expect("non-empty").accuracy
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec![
+            "VDD",
+            "accuracy",
+            "± std",
+            "access saving",
+            "leakage saving",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{:.2} V", r.vdd.volts()),
+                fmt_pct(r.accuracy),
+                fmt_pct(r.accuracy_std),
+                fmt_pct(r.access_saving),
+                fmt_pct(r.leakage_saving),
+            ]);
+        }
+        write!(
+            f,
+            "Fig. 7 — 6T voltage scaling (knee @ 0.5% loss: {:.2} V, floor loss {})\n{}",
+            self.knee(0.005).volts(),
+            fmt_pct(self.floor_loss()),
+            t.finish()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn moderate_scaling_is_safe_aggressive_is_not() {
+        let fig = run(shared_ctx());
+        // 0.85 V keeps the network essentially intact.
+        let at_085 = fig
+            .rows
+            .iter()
+            .find(|r| (r.vdd.volts() - 0.85).abs() < 1e-9)
+            .expect("0.85 V row");
+        assert!(
+            fig.nominal_accuracy - at_085.accuracy < 0.02,
+            "0.85 V should be safe: {} vs {}",
+            at_085.accuracy,
+            fig.nominal_accuracy
+        );
+        // The floor (0.60 V) must show a substantial hit.
+        assert!(
+            fig.floor_loss() > 0.05,
+            "aggressive scaling must hurt, floor loss {}",
+            fig.floor_loss()
+        );
+    }
+
+    #[test]
+    fn knee_is_interior() {
+        let fig = run(shared_ctx());
+        let knee = fig.knee(0.01);
+        assert!(knee.volts() < 0.951);
+        assert!(knee.volts() > 0.60);
+    }
+
+    #[test]
+    fn savings_grow_monotonically_as_voltage_falls() {
+        let fig = run(shared_ctx());
+        for pair in fig.rows.windows(2) {
+            assert!(pair[1].access_saving >= pair[0].access_saving - 1e-12);
+            assert!(pair[1].leakage_saving >= pair[0].leakage_saving - 1e-12);
+        }
+        assert!(fig.rows[0].access_saving.abs() < 1e-12, "nominal saves nothing");
+    }
+}

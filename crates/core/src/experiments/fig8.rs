@@ -1,0 +1,187 @@
+//! Fig. 8: the significance-driven hybrid 8T-6T sweep (Configuration 1).
+//!
+//! Panels, for hybrid configurations (1,7) (2,6) (3,5) (4,4):
+//! (a) classification accuracy at VDD = 0.65 V and 0.70 V;
+//! (b) access/leakage power reduction at 0.65 V against the iso-stability
+//!     baseline (all-6T at 0.75 V) — paper: ≈ 29 % for three protected MSBs;
+//! (c) area overhead — n × 37 % / 8.
+
+use super::ExperimentContext;
+use crate::config::MemoryConfig;
+use crate::report::{fmt_pct, TableBuilder};
+use sram_array::power::PowerConvention;
+use sram_device::units::Volt;
+use std::fmt;
+
+/// Baseline voltage of the iso-stability comparison (paper §VI-B).
+pub const BASELINE_VDD: Volt = Volt::from_millivolts(750.0);
+/// Scaled voltage of the hybrid configurations in panels (b) and (c).
+pub const HYBRID_VDD: Volt = Volt::from_millivolts(650.0);
+/// Second accuracy voltage of panel (a).
+pub const HYBRID_VDD_HI: Volt = Volt::from_millivolts(700.0);
+
+/// One hybrid configuration row of Fig. 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Number of protected MSBs (the `n` in `(n, 8-n)`).
+    pub msb_8t: usize,
+    /// Accuracy at 0.65 V (panel a).
+    pub accuracy_065: f64,
+    /// Accuracy at 0.70 V (panel a).
+    pub accuracy_070: f64,
+    /// Access-power reduction vs the 6T baseline at 0.75 V (panel b).
+    pub access_reduction: f64,
+    /// Leakage-power reduction vs the 6T baseline (panel b).
+    pub leakage_reduction: f64,
+    /// Area increase vs all-6T (panel c).
+    pub area_overhead: f64,
+}
+
+/// The full Fig. 8 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// One row per hybrid configuration, n = 1..=4.
+    pub rows: Vec<Fig8Row>,
+    /// Accuracy of the iso-stability baseline (6T @ 0.75 V).
+    pub baseline_accuracy: f64,
+}
+
+/// Regenerates Fig. 8.
+pub fn run(ctx: &ExperimentContext) -> Fig8 {
+    let baseline = MemoryConfig::Base6T { vdd: BASELINE_VDD };
+    let p_base = ctx
+        .framework
+        .power_report(&ctx.network, &baseline, PowerConvention::IsoThroughput);
+    let baseline_accuracy = ctx
+        .framework
+        .evaluate_accuracy(&ctx.network, &ctx.test, &baseline, ctx.trials, ctx.seed)
+        .mean();
+
+    let rows = (1..=4)
+        .map(|n| {
+            let at_065 = MemoryConfig::Hybrid {
+                msb_8t: n,
+                vdd: HYBRID_VDD,
+            };
+            let at_070 = at_065.at_vdd(HYBRID_VDD_HI);
+            let acc_065 = ctx
+                .framework
+                .evaluate_accuracy(&ctx.network, &ctx.test, &at_065, ctx.trials, ctx.seed)
+                .mean();
+            let acc_070 = ctx
+                .framework
+                .evaluate_accuracy(&ctx.network, &ctx.test, &at_070, ctx.trials, ctx.seed)
+                .mean();
+            let power = ctx
+                .framework
+                .power_report(&ctx.network, &at_065, PowerConvention::IsoThroughput);
+            Fig8Row {
+                msb_8t: n,
+                accuracy_065: acc_065,
+                accuracy_070: acc_070,
+                access_reduction: 1.0 - power.access_power.watts() / p_base.access_power.watts(),
+                leakage_reduction: 1.0
+                    - power.leakage_power.watts() / p_base.leakage_power.watts(),
+                area_overhead: ctx.framework.area_overhead(&ctx.network, &at_065),
+            }
+        })
+        .collect();
+    Fig8 {
+        rows,
+        baseline_accuracy,
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec![
+            "config",
+            "acc @0.65V",
+            "acc @0.70V",
+            "access power ↓",
+            "leakage ↓",
+            "area ↑",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("({},{})", r.msb_8t, 8 - r.msb_8t),
+                fmt_pct(r.accuracy_065),
+                fmt_pct(r.accuracy_070),
+                fmt_pct(r.access_reduction),
+                fmt_pct(r.leakage_reduction),
+                fmt_pct(r.area_overhead),
+            ]);
+        }
+        write!(
+            f,
+            "Fig. 8 — significance-driven hybrid sweep (baseline 6T @ {:.2} V, accuracy {})\n{}",
+            BASELINE_VDD.volts(),
+            fmt_pct(self.baseline_accuracy),
+            t.finish()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn protecting_more_msbs_recovers_accuracy() {
+        let fig = run(shared_ctx());
+        // Paper Fig. 8a: three-or-four protected MSBs reach near-baseline
+        // accuracy at 0.65 V; (4,4) must beat (1,7).
+        assert!(
+            fig.rows[3].accuracy_065 >= fig.rows[0].accuracy_065,
+            "(4,4) {} vs (1,7) {}",
+            fig.rows[3].accuracy_065,
+            fig.rows[0].accuracy_065
+        );
+        let near_baseline = fig.baseline_accuracy - fig.rows[3].accuracy_065;
+        assert!(
+            near_baseline < 0.05,
+            "(4,4) should be close to baseline, gap {near_baseline}"
+        );
+    }
+
+    #[test]
+    fn higher_voltage_never_hurts() {
+        let fig = run(shared_ctx());
+        for r in &fig.rows {
+            assert!(
+                r.accuracy_070 >= r.accuracy_065 - 0.05,
+                "({}) 0.70 V {} vs 0.65 V {}",
+                r.msb_8t,
+                r.accuracy_070,
+                r.accuracy_065
+            );
+        }
+    }
+
+    #[test]
+    fn power_reduction_shrinks_with_protection() {
+        let fig = run(shared_ctx());
+        // More 8T bits = more power at iso-voltage = smaller saving.
+        for pair in fig.rows.windows(2) {
+            assert!(pair[1].access_reduction <= pair[0].access_reduction + 1e-12);
+        }
+        // All configurations must still save vs the 0.75 V baseline.
+        assert!(fig.rows[3].access_reduction > 0.0);
+    }
+
+    #[test]
+    fn area_overheads_match_fig_8c() {
+        let fig = run(shared_ctx());
+        let expected = [0.04625, 0.0925, 0.13875, 0.185];
+        for (r, e) in fig.rows.iter().zip(expected) {
+            assert!(
+                (r.area_overhead - e).abs() < 1e-6,
+                "n={}: {} vs {}",
+                r.msb_8t,
+                r.area_overhead,
+                e
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Experiment runners: one module per table/figure of the paper's
+//! evaluation (§VI). Each produces a plain data structure whose `Display`
+//! impl prints the same rows/series the paper reports; the `paper-bench`
+//! crate wraps them in Criterion benches and the `repro` binary.
+
+pub mod conventions;
+pub mod ecc;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod knee;
+pub mod periphery;
+pub mod redundancy;
+pub mod system_energy;
+pub mod table1;
+pub mod workload;
+
+use crate::framework::Framework;
+use neural::dataset::{synth, Dataset};
+use neural::eval::accuracy;
+use neural::network::Mlp;
+use neural::persist;
+use neural::quant::{Encoding, QuantizedMlp};
+use neural::train::{train, Loss, TrainOptions};
+use sram_bitcell::characterize::CharacterizationOptions;
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+use std::path::Path;
+
+/// Everything an experiment needs: the characterized framework, a trained
+/// quantized network, and a held-out test set.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Circuit-to-system framework (characterization tables inside).
+    pub framework: Framework,
+    /// The trained, quantized benchmark network.
+    pub network: QuantizedMlp,
+    /// Held-out evaluation set.
+    pub test: Dataset,
+    /// Clean float accuracy of the un-quantized network (Table I reference).
+    pub float_accuracy: f64,
+    /// Fault-injection trials per configuration.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// The voltage grid used by every experiment (paper Figs. 5-7 span
+/// 0.60-0.95 V in 50 mV steps).
+pub fn paper_vdd_grid() -> Vec<Volt> {
+    (0..=7)
+        .map(|k| Volt::from_millivolts(950.0 - 50.0 * k as f64))
+        .collect()
+}
+
+impl ExperimentContext {
+    /// A light-weight context for tests and smoke runs: a small network on
+    /// a small synthetic set, with a low-sample characterization.
+    pub fn quick() -> Self {
+        let char_options = CharacterizationOptions {
+            vdds: paper_vdd_grid(),
+            mc_samples: 60,
+            ..CharacterizationOptions::quick()
+        };
+        let framework = Framework::new(&Technology::ptm_22nm(), &char_options);
+
+        let data = synth::generate_default(800, 97);
+        let (train_set, test_set) = data.split(0.75, 11);
+        let mut mlp = Mlp::new(&[784, 48, 16, 10], 23);
+        train(
+            &mut mlp,
+            &train_set,
+            &TrainOptions {
+                epochs: 30,
+                learning_rate: 1.5,
+                momentum: 0.7,
+                lr_decay: 0.97,
+                ..TrainOptions::default()
+            },
+        );
+        let float_accuracy = accuracy(&mlp, &test_set);
+        Self {
+            framework,
+            network: QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement),
+            test: test_set,
+            float_accuracy,
+            trials: 3,
+            seed: 0xE01D_5EED,
+        }
+    }
+
+    /// The full paper context: Table I network (784-1000-500-200-100-10)
+    /// trained on the synthetic digit set (or real MNIST when IDX files are
+    /// present in `mnist_dir`), with the production characterization.
+    ///
+    /// Training the 1.4M-synapse network takes a couple of minutes, so the
+    /// trained weights are cached in `cache_dir`.
+    pub fn paper(cache_dir: &Path, mnist_dir: Option<&Path>, mc_samples: usize) -> Self {
+        let char_options = CharacterizationOptions {
+            vdds: paper_vdd_grid(),
+            mc_samples,
+            ..CharacterizationOptions::default()
+        };
+        let framework = Framework::new(&Technology::ptm_22nm(), &char_options);
+
+        let data = match mnist_dir {
+            Some(dir) => synth::load_or_generate(dir, 8000, 1234)
+                .unwrap_or_else(|e| panic!("MNIST load failed: {e}")),
+            None => synth::generate_default(8000, 1234),
+        };
+        let (train_set, test_set) = data.split(0.8, 77);
+
+        let weights_path = cache_dir.join("paper_mlp.bin");
+        let mlp = match persist::load_mlp(&weights_path) {
+            Ok(mlp) if mlp.sizes() == Mlp::PAPER_TOPOLOGY.to_vec() => mlp,
+            _ => {
+                let mut mlp = Mlp::paper_benchmark(42);
+                // Five stacked sigmoid layers starve on squared error;
+                // cross-entropy keeps the output gradient alive (the usual
+                // deep-MLP recipe; see `neural::train::Loss`).
+                train(
+                    &mut mlp,
+                    &train_set,
+                    &TrainOptions {
+                        epochs: 5,
+                        learning_rate: 0.3,
+                        momentum: 0.5,
+                        batch_size: 50,
+                        lr_decay: 0.95,
+                        loss: Loss::CrossEntropy,
+                        ..TrainOptions::default()
+                    },
+                );
+                std::fs::create_dir_all(cache_dir).ok();
+                persist::save_mlp(&mlp, &weights_path).ok();
+                mlp
+            }
+        };
+        let float_accuracy = accuracy(&mlp, &test_set);
+        Self {
+            framework,
+            network: QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement),
+            test: test_set,
+            float_accuracy,
+            trials: 5,
+            seed: 0xDA7E_2016,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// One shared quick context for every experiment test (characterization
+    /// is the expensive part; build it once).
+    pub fn shared_ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(ExperimentContext::quick)
+    }
+}

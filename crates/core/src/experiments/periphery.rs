@@ -1,0 +1,178 @@
+//! Ablation: does peripheral circuitry change the iso-stability verdict?
+//!
+//! The paper's power accounting (Fig. 6 onward) works at the bitcell level.
+//! A skeptic could object that decoders, wordlines, sense amps and write
+//! drivers — which the hybrid array shares with the all-6T array — dilute
+//! the reported savings. This experiment recomputes the Fig. 8(b)-style
+//! reductions with the CACTI-flavored periphery model included.
+//!
+//! The result is two-sided and slightly counter-intuitive: because the
+//! periphery carries no 8T power premium, its energy across the
+//! 0.75 V → 0.65 V gap falls by the full `V²` ratio (~25 %), which is
+//! *more* than the cell-level saving; the total therefore lands between
+//! the two. The ranking of configurations never changes.
+
+use super::ExperimentContext;
+use crate::config::MemoryConfig;
+use crate::report::{fmt_pct, TableBuilder};
+use sram_array::periphery::PeripheryModel;
+use sram_array::power::{memory_power, memory_power_with_periphery, PowerConvention};
+use sram_device::units::Volt;
+use std::fmt;
+
+/// Reductions for one hybrid configuration with and without periphery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeripheryRow {
+    /// Number of protected MSBs.
+    pub msb_8t: usize,
+    /// Access-power reduction counting bitcells only.
+    pub cells_only: f64,
+    /// Access-power reduction with periphery included.
+    pub with_periphery: f64,
+}
+
+/// The periphery ablation across the Fig. 8 design points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeripheryAblation {
+    /// One row per hybrid configuration, n = 1..=4.
+    pub rows: Vec<PeripheryRow>,
+    /// The pure `V²` periphery saving across the voltage gap, for reference.
+    pub periphery_only: f64,
+}
+
+/// Runs the ablation: hybrid at 0.65 V vs the 6T baseline at 0.75 V.
+pub fn run(ctx: &ExperimentContext) -> PeripheryAblation {
+    let v_base = Volt::new(0.75);
+    let v_hyb = Volt::new(0.65);
+    let convention = PowerConvention::IsoThroughput;
+    let baseline = MemoryConfig::Base6T { vdd: v_base };
+    let base_map = ctx.framework.memory_map(&ctx.network, &baseline);
+    let periphery = PeripheryModel::cacti_lite(base_map.dims());
+    let rate = ctx.framework.word_read_rate_hz;
+
+    let cells_base = memory_power(
+        &base_map,
+        ctx.framework.char_6t(),
+        ctx.framework.char_8t(),
+        v_base,
+        rate,
+        convention,
+    )
+    .access_power
+    .watts();
+    let full_base = memory_power_with_periphery(
+        &base_map,
+        ctx.framework.char_6t(),
+        ctx.framework.char_8t(),
+        &periphery,
+        v_base,
+        rate,
+        convention,
+    )
+    .access_power
+    .watts();
+
+    let rows = (1..=4)
+        .map(|n| {
+            let hybrid = MemoryConfig::Hybrid {
+                msb_8t: n,
+                vdd: v_hyb,
+            };
+            let map = ctx.framework.memory_map(&ctx.network, &hybrid);
+            let cells = memory_power(
+                &map,
+                ctx.framework.char_6t(),
+                ctx.framework.char_8t(),
+                v_hyb,
+                rate,
+                convention,
+            )
+            .access_power
+            .watts();
+            let full = memory_power_with_periphery(
+                &map,
+                ctx.framework.char_6t(),
+                ctx.framework.char_8t(),
+                &periphery,
+                v_hyb,
+                rate,
+                convention,
+            )
+            .access_power
+            .watts();
+            PeripheryRow {
+                msb_8t: n,
+                cells_only: 1.0 - cells / cells_base,
+                with_periphery: 1.0 - full / full_base,
+            }
+        })
+        .collect();
+
+    PeripheryAblation {
+        rows,
+        periphery_only: 1.0 - (v_hyb.volts() / v_base.volts()).powi(2),
+    }
+}
+
+impl PeripheryAblation {
+    /// `true` when every row's total lands between the cells-only saving
+    /// and the pure periphery saving.
+    pub fn interpolates(&self) -> bool {
+        self.rows.iter().all(|r| {
+            let lo = r.cells_only.min(self.periphery_only) - 1e-9;
+            let hi = r.cells_only.max(self.periphery_only) + 1e-9;
+            (lo..=hi).contains(&r.with_periphery)
+        })
+    }
+}
+
+impl fmt::Display for PeripheryAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec!["config", "cells only ↓", "with periphery ↓"]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("({},{})", r.msb_8t, 8 - r.msb_8t),
+                fmt_pct(r.cells_only),
+                fmt_pct(r.with_periphery),
+            ]);
+        }
+        write!(
+            f,
+            "Periphery ablation — hybrid @ 0.65 V vs 6T @ 0.75 V \
+             (pure-periphery saving {})\n{}",
+            fmt_pct(self.periphery_only),
+            t.finish()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn totals_interpolate_cells_and_periphery() {
+        let ablation = run(shared_ctx());
+        assert_eq!(ablation.rows.len(), 4);
+        assert!(ablation.interpolates(), "{ablation}");
+    }
+
+    #[test]
+    fn ranking_is_preserved() {
+        // More protection ⇒ less saving, with or without periphery.
+        let ablation = run(shared_ctx());
+        for pair in ablation.rows.windows(2) {
+            assert!(pair[1].cells_only <= pair[0].cells_only + 1e-12);
+            assert!(pair[1].with_periphery <= pair[0].with_periphery + 1e-12);
+        }
+    }
+
+    #[test]
+    fn savings_stay_positive() {
+        let ablation = run(shared_ctx());
+        for r in &ablation.rows {
+            assert!(r.with_periphery > 0.0, "{ablation}");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Ablation: spare-row/column redundancy versus hybrid protection.
+//!
+//! Redundancy is the industry's answer to *defects* — can it absorb the
+//! parametric failures of voltage scaling instead of the hybrid array?
+//! This experiment repairs sampled failure maps of the paper's 256×256
+//! sub-array with a typical 4+4 spare budget across the voltage grid, then
+//! checks whether the surviving failure rate moves the accuracy cliff.
+//!
+//! The expected (and measured) answer is no: at defect-like rates
+//! (≤ 10⁻⁶/cell) repair is perfect, but the read/write failure rates that
+//! matter in Figs. 5/7 put tens to hundreds of failing cells in *distinct*
+//! rows of every sub-array, so eight spare lines recover only a few percent
+//! of them. Redundancy and significance-driven protection are therefore
+//! complementary, not alternatives.
+
+use super::ExperimentContext;
+use crate::report::{fmt_prob, TableBuilder};
+use fault_inject::injector::corrupt_words;
+use fault_inject::model::{BitErrorRates, WordFailureModel};
+use fault_inject::protection::CellAssignment;
+use neural::eval::accuracy;
+use neuro_system::layout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_array::organization::SubArrayDims;
+use sram_array::redundancy::{
+    effective_failure_probability, expected_bad_rows, RedundancyConfig,
+};
+use sram_device::units::Volt;
+use std::fmt;
+
+/// Repair statistics at one voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedundancyRow {
+    /// Operating voltage.
+    pub vdd: Volt,
+    /// Raw combined (read + write) 6T bit-failure probability.
+    pub raw_rate: f64,
+    /// Post-repair failure probability with the typical 4+4 spare budget.
+    pub effective_rate: f64,
+    /// Expected rows of the 256×256 sub-array containing ≥ 1 failure.
+    pub expected_bad_rows: f64,
+}
+
+/// The redundancy study: per-voltage repair rates plus an accuracy check at
+/// the aggressive operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedundancyStudy {
+    /// One row per grid voltage, highest first.
+    pub rows: Vec<RedundancyRow>,
+    /// Accuracy at 0.65 V with raw (unrepaired) 6T failure rates.
+    pub accuracy_raw: f64,
+    /// Accuracy at 0.65 V with post-repair failure rates.
+    pub accuracy_repaired: f64,
+    /// Accuracy of the hybrid (3,5) design at 0.65 V, for contrast.
+    pub accuracy_hybrid: f64,
+}
+
+/// Runs the study over the paper's voltage grid.
+pub fn run(ctx: &ExperimentContext) -> RedundancyStudy {
+    let config = RedundancyConfig::TYPICAL;
+    let dims = SubArrayDims::PAPER;
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x5BA6E);
+
+    let rows = super::paper_vdd_grid()
+        .into_iter()
+        .map(|vdd| {
+            let rates = ctx.framework.bit_error_rates(vdd);
+            let raw = (rates.read_6t + rates.write_6t).min(1.0);
+            let effective = if raw == 0.0 {
+                0.0
+            } else {
+                effective_failure_probability(dims, raw, config, 8, &mut rng)
+            };
+            RedundancyRow {
+                vdd,
+                raw_rate: raw,
+                effective_rate: effective,
+                expected_bad_rows: expected_bad_rows(dims, raw),
+            }
+        })
+        .collect::<Vec<_>>();
+
+    // Accuracy at the aggressive operating point under raw vs repaired
+    // rates, against the hybrid design.
+    let vdd = Volt::new(0.65);
+    let point = rows
+        .iter()
+        .find(|r| (r.vdd.volts() - 0.65).abs() < 1e-9)
+        .expect("0.65 V is on the grid");
+    let accuracy_raw = uniform_rate_accuracy(ctx, point.raw_rate);
+    let accuracy_repaired = uniform_rate_accuracy(ctx, point.effective_rate);
+    let accuracy_hybrid = ctx
+        .framework
+        .evaluate_accuracy(
+            &ctx.network,
+            &ctx.test,
+            &crate::config::MemoryConfig::Hybrid { msb_8t: 3, vdd },
+            ctx.trials,
+            ctx.seed,
+        )
+        .mean();
+
+    RedundancyStudy {
+        rows,
+        accuracy_raw,
+        accuracy_repaired,
+        accuracy_hybrid,
+    }
+}
+
+/// Mean accuracy with a uniform per-bit error rate over the whole image.
+fn uniform_rate_accuracy(ctx: &ExperimentContext, rate: f64) -> f64 {
+    let model = WordFailureModel::new(
+        &BitErrorRates {
+            read_6t: rate,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        },
+        &CellAssignment::all_6t(),
+    );
+    let mut sum = 0.0;
+    for t in 0..ctx.trials {
+        let mut image = layout::flatten(&ctx.network);
+        corrupt_words(&mut image, &model, ctx.seed.wrapping_add(0xBEEF + t as u64));
+        let corrupted = layout::unflatten(&ctx.network, &image);
+        sum += accuracy(&corrupted.to_mlp(), &ctx.test);
+    }
+    sum / ctx.trials as f64
+}
+
+impl RedundancyStudy {
+    /// Largest relative repair gain, `1 − effective/raw`, across voltages
+    /// where failures actually occur.
+    pub fn best_repair_gain(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.raw_rate > 1e-12)
+            .map(|r| 1.0 - r.effective_rate / r.raw_rate)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for RedundancyStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec!["VDD", "raw p", "repaired p", "E[bad rows]"]);
+        for r in &self.rows {
+            t.row(vec![
+                format!("{}", r.vdd),
+                fmt_prob(r.raw_rate),
+                fmt_prob(r.effective_rate),
+                format!("{:.1}", r.expected_bad_rows),
+            ]);
+        }
+        writeln!(
+            f,
+            "Redundancy ablation — 4+4 spares on the 256x256 sub-array\n{}",
+            t.finish()
+        )?;
+        write!(
+            f,
+            "accuracy @ 0.65 V: raw {:.1}% | repaired {:.1}% | hybrid(3,5) {:.1}%",
+            100.0 * self.accuracy_raw,
+            100.0 * self.accuracy_repaired,
+            100.0 * self.accuracy_hybrid
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn repair_cannot_absorb_parametric_failures() {
+        let study = run(shared_ctx());
+        // At the aggressive end of the grid the failing-row count dwarfs
+        // the spare budget...
+        let worst = study.rows.last().expect("grid is non-empty");
+        assert!(
+            worst.expected_bad_rows > 8.0,
+            "bad rows {} should exceed the spare budget",
+            worst.expected_bad_rows
+        );
+        // ...so repair recovers only a minority of failures there.
+        let gain = 1.0 - worst.effective_rate / worst.raw_rate.max(1e-300);
+        assert!(
+            gain < 0.5,
+            "repair gain {gain} at {} should be small",
+            worst.vdd
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_repair_on_accuracy() {
+        let study = run(shared_ctx());
+        assert!(
+            study.accuracy_hybrid >= study.accuracy_repaired - 0.02,
+            "{study}"
+        );
+        // Repair must not *hurt* relative to raw.
+        assert!(study.accuracy_repaired >= study.accuracy_raw - 0.05, "{study}");
+    }
+
+    #[test]
+    fn effective_rates_never_exceed_raw() {
+        let study = run(shared_ctx());
+        for r in &study.rows {
+            assert!(
+                r.effective_rate <= r.raw_rate * 1.35 + 1e-12,
+                "{} repaired {} vs raw {} (sampling slack allowed)",
+                r.vdd,
+                r.effective_rate,
+                r.raw_rate
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Extension: whole-system energy and energy-delay product versus VDD.
+//!
+//! The paper scales the memory and slows the logic clock to match
+//! (§I, §III); this experiment completes the picture by integrating both
+//! sides over one inference of the benchmark network. Three forces compete
+//! as the shared supply drops:
+//!
+//! * memory access and logic dynamic energy fall as `V²`;
+//! * the inference takes longer (alpha-power-law slowdown), so leakage
+//!   integrates over a longer window;
+//! * the energy-delay product additionally charges the slowdown itself.
+//!
+//! The output is the classic voltage-scaling curve: total energy falls
+//! toward a broad minimum and EDP turns around earlier — quantifying *why*
+//! the paper stops at 0.65 V rather than scaling into the knee.
+
+use super::ExperimentContext;
+use crate::config::MemoryConfig;
+use crate::report::TableBuilder;
+use neuro_system::energy::{system_inference_energy, SystemEnergyModel, SystemEnergyReport};
+use sram_array::power::PowerConvention;
+use sram_device::units::{format_si, Volt};
+use std::fmt;
+
+/// System-level figures at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemEnergyRow {
+    /// Shared supply voltage.
+    pub vdd: Volt,
+    /// Full per-inference report.
+    pub report: SystemEnergyReport,
+}
+
+/// The system-energy sweep for the hybrid (3,5) memory configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemEnergySweep {
+    /// One row per grid voltage, highest first.
+    pub rows: Vec<SystemEnergyRow>,
+}
+
+/// Runs the sweep over the paper's voltage grid.
+pub fn run(ctx: &ExperimentContext) -> SystemEnergySweep {
+    let model = SystemEnergyModel::default();
+    let macs = ctx.network.synapse_count();
+    let rows = super::paper_vdd_grid()
+        .into_iter()
+        .map(|vdd| {
+            let config = MemoryConfig::Hybrid { msb_8t: 3, vdd };
+            let memory = ctx.framework.power_report(
+                &ctx.network,
+                &config,
+                PowerConvention::IsoThroughput,
+            );
+            SystemEnergyRow {
+                vdd,
+                report: system_inference_energy(&memory, macs, &model, vdd),
+            }
+        })
+        .collect();
+    SystemEnergySweep { rows }
+}
+
+impl SystemEnergySweep {
+    /// The voltage minimizing total energy per inference.
+    pub fn min_energy_vdd(&self) -> Volt {
+        self.rows
+            .iter()
+            .min_by(|a, b| {
+                a.report
+                    .energy
+                    .total()
+                    .joules()
+                    .partial_cmp(&b.report.energy.total().joules())
+                    .expect("energies are finite")
+            })
+            .expect("non-empty sweep")
+            .vdd
+    }
+
+    /// The voltage minimizing the energy-delay product.
+    pub fn min_edp_vdd(&self) -> Volt {
+        self.rows
+            .iter()
+            .min_by(|a, b| {
+                a.report
+                    .energy_delay_product()
+                    .partial_cmp(&b.report.energy_delay_product())
+                    .expect("EDPs are finite")
+            })
+            .expect("non-empty sweep")
+            .vdd
+    }
+}
+
+impl fmt::Display for SystemEnergySweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec![
+            "VDD", "E_mem", "E_logic", "E_leak", "E_total", "t_inf", "EDP",
+        ]);
+        for r in &self.rows {
+            let e = &r.report.energy;
+            t.row(vec![
+                format!("{}", r.vdd),
+                format_si(e.memory_access.joules(), "J"),
+                format_si(e.logic.joules(), "J"),
+                format_si(e.leakage.joules(), "J"),
+                format_si(e.total().joules(), "J"),
+                format_si(r.report.time.seconds(), "s"),
+                format!("{:.3e}", r.report.energy_delay_product()),
+            ]);
+        }
+        write!(
+            f,
+            "System energy sweep — hybrid (3,5), shared supply, self-scaled clock\n\
+             min-energy VDD = {}, min-EDP VDD = {}\n{}",
+            self.min_energy_vdd(),
+            self.min_edp_vdd(),
+            t.finish()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+
+    #[test]
+    fn scaling_saves_energy_over_the_paper_window() {
+        let sweep = run(shared_ctx());
+        let at = |mv: f64| {
+            sweep
+                .rows
+                .iter()
+                .find(|r| (r.vdd.millivolts() - mv).abs() < 1e-6)
+                .expect("grid voltage")
+        };
+        // Total energy at 0.65 V must undercut nominal — the paper's thesis.
+        assert!(
+            at(650.0).report.energy.total().joules() < at(950.0).report.energy.total().joules()
+        );
+        // And the inference is slower there.
+        assert!(at(650.0).report.time.seconds() > at(950.0).report.time.seconds());
+    }
+
+    #[test]
+    fn edp_optimum_sits_at_or_above_energy_optimum() {
+        // EDP charges the slowdown, so its optimum cannot be at a lower
+        // voltage than the pure-energy optimum.
+        let sweep = run(shared_ctx());
+        assert!(
+            sweep.min_edp_vdd().volts() >= sweep.min_energy_vdd().volts() - 1e-9,
+            "EDP optimum {} vs energy optimum {}",
+            sweep.min_edp_vdd(),
+            sweep.min_energy_vdd()
+        );
+    }
+
+    #[test]
+    fn memory_energy_dominates_logic() {
+        // 1.4M-word sweeps against 10 fJ MACs: the paper's premise that
+        // synaptic storage is the target worth optimizing.
+        let sweep = run(shared_ctx());
+        for r in &sweep.rows {
+            assert!(
+                r.report.energy.memory_access.joules() > r.report.energy.logic.joules(),
+                "memory must dominate at {}",
+                r.vdd
+            );
+        }
+    }
+}

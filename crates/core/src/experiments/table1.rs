@@ -1,0 +1,124 @@
+//! Table I: the benchmark ANN, plus the 8-bit precision claim of §VI.
+//!
+//! "We use a synaptic precision of 8 bits since the observed degradation in
+//! accuracy is less than 0.5 % from the nominal value, which corresponds to
+//! a precision of 32 bits."
+
+use super::ExperimentContext;
+use crate::report::{fmt_pct, TableBuilder};
+use neural::eval::accuracy;
+use std::fmt;
+
+/// The Table I facts plus the quantization check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of layers including the input layer.
+    pub num_layers: usize,
+    /// Total neurons including input neurons.
+    pub num_neurons: usize,
+    /// Total synapses (weights + biases).
+    pub num_synapses: usize,
+    /// Accuracy of the float (32-bit) network on the test set.
+    pub float_accuracy: f64,
+    /// Accuracy of the 8-bit quantized network (fault-free).
+    pub quantized_accuracy: f64,
+}
+
+/// Regenerates Table I from the context's network.
+pub fn run(ctx: &ExperimentContext) -> Table1 {
+    let sizes_len = ctx.network.layer_count() + 1;
+    let num_neurons: usize = {
+        let mut n = ctx.network.layers[0].inputs;
+        for l in &ctx.network.layers {
+            n += l.outputs;
+        }
+        n
+    };
+    Table1 {
+        dataset: "MNIST (synthetic substitute unless IDX files provided)".to_owned(),
+        num_layers: sizes_len,
+        num_neurons,
+        num_synapses: ctx.network.synapse_count(),
+        float_accuracy: ctx.float_accuracy,
+        quantized_accuracy: accuracy(&ctx.network.to_mlp(), &ctx.test),
+    }
+}
+
+impl Table1 {
+    /// The 8-bit precision claim: quantization costs < 0.5 % accuracy.
+    pub fn quantization_loss(&self) -> f64 {
+        (self.float_accuracy - self.quantized_accuracy).max(0.0)
+    }
+
+    /// `true` when the context uses the exact paper benchmark.
+    pub fn is_paper_benchmark(&self) -> bool {
+        self.num_layers == 6 && self.num_neurons == 2594 && self.num_synapses == 1_406_810
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TableBuilder::new(vec![
+            "Data Set",
+            "Num. Layers",
+            "Num. Neurons",
+            "Num. Synapses",
+        ]);
+        t.row(vec![
+            self.dataset.clone(),
+            self.num_layers.to_string(),
+            self.num_neurons.to_string(),
+            self.num_synapses.to_string(),
+        ]);
+        write!(
+            f,
+            "Table I — ANN architecture for digit recognition\n{}\nfloat accuracy {}, 8-bit accuracy {} (quantization loss {})",
+            t.finish(),
+            fmt_pct(self.float_accuracy),
+            fmt_pct(self.quantized_accuracy),
+            fmt_pct(self.quantization_loss())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::shared_ctx;
+    use super::*;
+    use neural::network::Mlp;
+
+    #[test]
+    fn quantization_loss_is_small() {
+        let t = run(shared_ctx());
+        assert!(
+            t.quantization_loss() < 0.02,
+            "8-bit quantization should be nearly free, lost {}",
+            t.quantization_loss()
+        );
+    }
+
+    #[test]
+    fn quick_context_is_not_the_paper_benchmark() {
+        let t = run(shared_ctx());
+        assert!(!t.is_paper_benchmark());
+    }
+
+    #[test]
+    fn paper_topology_constants_match_table_1() {
+        // The real check on the published numbers, independent of training.
+        let mlp = Mlp::paper_benchmark(0);
+        assert_eq!(mlp.neuron_count(), 2594);
+        assert_eq!(mlp.synapse_count(), 1_406_810);
+        assert_eq!(mlp.sizes().len(), 6);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let t = run(shared_ctx());
+        let s = format!("{t}");
+        assert!(s.contains("Table I"));
+        assert!(s.contains(&t.num_synapses.to_string()));
+    }
+}

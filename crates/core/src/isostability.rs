@@ -1,0 +1,125 @@
+//! Iso-stability analysis (paper §VI-B).
+//!
+//! "A 6T SRAM operating at 0.75 V was used as the baseline synaptic memory
+//! configuration" — 0.75 V being the lowest supply at which the all-6T
+//! memory still classifies within 0.5 % of nominal. This module finds that
+//! baseline voltage on *our* calibrated stack rather than hard-coding it.
+
+use crate::config::MemoryConfig;
+use crate::framework::Framework;
+use neural::dataset::Dataset;
+use neural::quant::QuantizedMlp;
+use sram_device::units::Volt;
+
+/// Result of the baseline search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsoStabilityResult {
+    /// The lowest voltage keeping the accuracy loss within the bound.
+    pub baseline_vdd: Volt,
+    /// Accuracy at the nominal (highest) voltage.
+    pub nominal_accuracy: f64,
+    /// Accuracy curve: `(vdd, mean accuracy)` for every probed voltage,
+    /// descending.
+    pub curve: Vec<(Volt, f64)>,
+}
+
+/// Finds the iso-stability baseline: the lowest `vdd` in `vdds` (descending)
+/// where the all-6T configuration loses at most `max_loss` (absolute
+/// accuracy fraction) versus the nominal voltage.
+///
+/// # Panics
+///
+/// Panics if `vdds` is empty or `trials == 0`.
+pub fn find_iso_stability_baseline(
+    framework: &Framework,
+    network: &QuantizedMlp,
+    test: &Dataset,
+    vdds: &[Volt],
+    max_loss: f64,
+    trials: usize,
+    seed: u64,
+) -> IsoStabilityResult {
+    assert!(!vdds.is_empty(), "need at least one probe voltage");
+    let mut curve = Vec::with_capacity(vdds.len());
+    for &vdd in vdds {
+        let stats = framework.evaluate_accuracy(
+            network,
+            test,
+            &MemoryConfig::Base6T { vdd },
+            trials,
+            seed,
+        );
+        curve.push((vdd, stats.mean()));
+    }
+    let nominal_accuracy = curve[0].1;
+    let mut baseline = curve[0].0;
+    for &(vdd, acc) in &curve {
+        if nominal_accuracy - acc <= max_loss {
+            baseline = vdd;
+        } else {
+            break;
+        }
+    }
+    IsoStabilityResult {
+        baseline_vdd: baseline,
+        nominal_accuracy,
+        curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::dataset::synth;
+    use neural::network::Mlp;
+    use neural::quant::{Encoding, QuantizedMlp};
+    use neural::train::{train, TrainOptions};
+    use sram_bitcell::characterize::CharacterizationOptions;
+    use sram_device::process::Technology;
+
+    #[test]
+    fn baseline_sits_between_nominal_and_collapse() {
+        let options = CharacterizationOptions {
+            vdds: vec![
+                Volt::new(0.95),
+                Volt::new(0.85),
+                Volt::new(0.75),
+                Volt::new(0.65),
+                Volt::new(0.60),
+            ],
+            mc_samples: 40,
+            ..CharacterizationOptions::quick()
+        };
+        let framework = Framework::new(&Technology::ptm_22nm(), &options);
+
+        let data = synth::generate_default(260, 17);
+        let (train_set, test_set) = data.split(0.7, 5);
+        let mut mlp = Mlp::new(&[784, 20, 10], 3);
+        train(
+            &mut mlp,
+            &train_set,
+            &TrainOptions {
+                epochs: 6,
+                ..TrainOptions::default()
+            },
+        );
+        let q = QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement);
+
+        let result = find_iso_stability_baseline(
+            &framework,
+            &q,
+            &test_set,
+            &options.vdds,
+            0.02,
+            2,
+            7,
+        );
+        assert!(result.baseline_vdd.volts() <= 0.95);
+        assert!(result.baseline_vdd.volts() >= 0.60);
+        assert_eq!(result.curve.len(), 5);
+        // The curve must be recorded at every probe voltage, descending.
+        for pair in result.curve.windows(2) {
+            assert!(pair[0].0.volts() > pair[1].0.volts());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # hybrid-sram
+//!
+//! The paper's primary contribution, end to end: significance-driven hybrid
+//! 8T-6T SRAM for energy-efficient synaptic storage (Srinivasan et al.,
+//! DATE 2016).
+//!
+//! * [`config`] — the three memory configurations of paper Fig. 3;
+//! * [`framework`] — the circuit-to-system simulation pipeline of §V
+//!   (characterization tables → fault models → functional ANN evaluation →
+//!   power/area verdicts);
+//! * [`isostability`] — the 6T @ 0.75 V baseline search of §VI-B;
+//! * [`sensitivity`] — per-layer sensitivity analysis and MSB allocation
+//!   behind Configuration 2 (§III-B);
+//! * [`experiments`] — regenerators for Table I and Figs. 5-9;
+//! * [`report`] — plain-text table rendering.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hybrid_sram::prelude::*;
+//!
+//! let ctx = ExperimentContext::quick();
+//! let fig7 = fig7::run(&ctx);
+//! println!("{fig7}");
+//! assert!(fig7.knee(0.005).volts() < 0.95);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod framework;
+pub mod isostability;
+pub mod optimizer;
+pub mod report;
+pub mod sensitivity;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::config::MemoryConfig;
+    pub use crate::experiments::{
+        conventions, ecc, fig5, fig6, fig7, fig8, fig9, knee, paper_vdd_grid, periphery,
+        redundancy, system_energy, table1, workload, ExperimentContext,
+    };
+    pub use crate::framework::{AccuracyStats, Framework};
+    pub use crate::isostability::{find_iso_stability_baseline, IsoStabilityResult};
+    pub use crate::optimizer::{
+        optimize_allocation, AllocationStep, OptimizedAllocation, OptimizerOptions,
+    };
+    pub use crate::report::{fmt_pct, fmt_prob, TableBuilder};
+    pub use crate::sensitivity::{
+        allocate_msbs, analyze_input_regions, analyze_layer_sensitivity, paper_configs,
+        InputRegionSensitivity, LayerSensitivity,
+    };
+}

@@ -1,0 +1,291 @@
+//! Automatic per-bank MSB allocation (the paper's future work, §III-B).
+//!
+//! The paper chooses Configuration 2's per-bank protection levels from
+//! intuition and corroborates them by experiment (Fig. 9). This module
+//! closes the loop: a greedy search that *derives* the allocation from the
+//! same accuracy measurements, minimizing the number of 8T cells — the sole
+//! source of the configuration's area and power premium — subject to an
+//! accuracy-loss budget.
+//!
+//! Greedy works well here because protection utility is monotone and
+//! strongly diminishing per bank (the first protected MSB absorbs the
+//! highest-magnitude errors; see the quantization flip-error ordering in
+//! `neural::quant`). Each step evaluates one extra protected MSB in every
+//! bank and commits the one with the best accuracy gain per added 8T cell,
+//! so sensitive-but-small banks (the classifier fan-in) win protection
+//! before bulky resilient ones (the raw-pixel fan-out) — exactly the
+//! structure the paper reasons its way to.
+
+use crate::config::MemoryConfig;
+use crate::framework::{AccuracyStats, Framework};
+use neural::dataset::Dataset;
+use neural::quant::QuantizedMlp;
+use neuro_system::layout;
+use sram_device::units::Volt;
+
+/// Search parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerOptions {
+    /// Accuracy-loss budget versus the clean quantized network (e.g. 0.01
+    /// for the paper's "< 1 % loss" design point).
+    pub max_loss: f64,
+    /// Fault-injection trials per candidate evaluation.
+    pub trials: usize,
+    /// RNG seed shared by all evaluations (candidates see identical noise,
+    /// which is what makes greedy comparisons meaningful at small `trials`).
+    pub seed: u64,
+    /// Per-bank protection cap (8 = whole word in 8T cells).
+    pub max_msb: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        Self {
+            max_loss: 0.01,
+            trials: 3,
+            seed: 0x0071_3522,
+            max_msb: 8,
+        }
+    }
+}
+
+/// One committed greedy step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationStep {
+    /// Bank whose protection was incremented.
+    pub bank: usize,
+    /// The allocation after the step.
+    pub msb_8t: Vec<usize>,
+    /// Mean accuracy of the committed allocation.
+    pub accuracy: f64,
+}
+
+/// Result of the greedy allocation search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizedAllocation {
+    /// Final protected-MSB count per bank.
+    pub msb_8t: Vec<usize>,
+    /// Accuracy statistics of the final allocation.
+    pub accuracy: AccuracyStats,
+    /// Clean quantized reference accuracy the loss budget is measured from.
+    pub reference_accuracy: f64,
+    /// Area overhead of the final allocation versus all-6T.
+    pub area_overhead: f64,
+    /// The committed greedy trajectory.
+    pub steps: Vec<AllocationStep>,
+    /// Total candidate evaluations spent.
+    pub evaluations: usize,
+    /// `true` when the final allocation meets the loss budget.
+    pub meets_constraint: bool,
+}
+
+impl OptimizedAllocation {
+    /// Total 8T cells of the final allocation (the quantity minimized).
+    pub fn protected_cells(&self, network: &QuantizedMlp) -> usize {
+        layout::bank_words(network)
+            .iter()
+            .zip(&self.msb_8t)
+            .map(|(&words, &n)| words * n)
+            .sum()
+    }
+}
+
+/// Runs the greedy search at operating voltage `vdd`.
+///
+/// # Panics
+///
+/// Panics if `options.trials == 0`, the dataset is empty, or
+/// `options.max_msb > 8`.
+pub fn optimize_allocation(
+    framework: &Framework,
+    network: &QuantizedMlp,
+    test: &Dataset,
+    vdd: Volt,
+    options: &OptimizerOptions,
+) -> OptimizedAllocation {
+    assert!(options.max_msb <= 8, "a word has at most 8 protectable bits");
+    let banks = network.layer_count();
+    let bank_words = layout::bank_words(network);
+    let reference_accuracy = neural::eval::accuracy(&network.to_mlp(), test);
+    let target = reference_accuracy - options.max_loss;
+
+    let mut evaluations = 0usize;
+    let mut evaluate = |alloc: &[usize]| -> AccuracyStats {
+        evaluations += 1;
+        framework.evaluate_accuracy(
+            network,
+            test,
+            &MemoryConfig::SensitivityDriven {
+                msb_8t: alloc.to_vec(),
+                vdd,
+            },
+            options.trials,
+            options.seed,
+        )
+    };
+
+    let mut alloc = vec![0usize; banks];
+    let mut stats = evaluate(&alloc);
+    let mut steps = Vec::new();
+
+    while stats.mean() < target && alloc.iter().any(|&n| n < options.max_msb) {
+        // Probe one extra protected MSB in every non-saturated bank.
+        let mut best: Option<(usize, AccuracyStats, f64)> = None;
+        for bank in 0..banks {
+            if alloc[bank] >= options.max_msb {
+                continue;
+            }
+            let mut candidate = alloc.clone();
+            candidate[bank] += 1;
+            let cand_stats = evaluate(&candidate);
+            // Marginal utility: accuracy gained per 8T cell added. The gain
+            // can be negative under injection noise; greedy still commits
+            // the least-bad step so the search always terminates.
+            let utility = (cand_stats.mean() - stats.mean()) / bank_words[bank] as f64;
+            if best.as_ref().is_none_or(|(_, _, u)| utility > *u) {
+                best = Some((bank, cand_stats, utility));
+            }
+        }
+        let (bank, cand_stats, _) = best.expect("at least one bank below the cap");
+        alloc[bank] += 1;
+        stats = cand_stats;
+        steps.push(AllocationStep {
+            bank,
+            msb_8t: alloc.clone(),
+            accuracy: stats.mean(),
+        });
+    }
+
+    let area_overhead = framework.area_overhead(
+        network,
+        &MemoryConfig::SensitivityDriven {
+            msb_8t: alloc.clone(),
+            vdd,
+        },
+    );
+    let meets_constraint = stats.mean() >= target;
+    OptimizedAllocation {
+        msb_8t: alloc,
+        accuracy: stats,
+        reference_accuracy,
+        area_overhead,
+        steps,
+        evaluations,
+        meets_constraint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::shared_ctx;
+
+    #[test]
+    fn nominal_voltage_needs_no_protection() {
+        let ctx = shared_ctx();
+        let result = optimize_allocation(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            Volt::new(0.95),
+            &OptimizerOptions {
+                max_loss: 0.02,
+                trials: 2,
+                seed: 1,
+                max_msb: 8,
+            },
+        );
+        assert!(result.meets_constraint);
+        assert!(
+            result.msb_8t.iter().all(|&n| n == 0),
+            "failure-free memory should need no 8T cells: {:?}",
+            result.msb_8t
+        );
+        assert_eq!(result.evaluations, 1, "one evaluation settles it");
+        assert!(result.area_overhead.abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_voltage_buys_protection_within_budget() {
+        let ctx = shared_ctx();
+        // 0.60 V is the aggressive end of the paper grid, where unprotected
+        // 6T storage collapses (Fig. 7) — protection is unavoidable.
+        let result = optimize_allocation(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            Volt::new(0.60),
+            &OptimizerOptions {
+                max_loss: 0.05,
+                trials: 2,
+                seed: 2,
+                max_msb: 8,
+            },
+        );
+        assert!(
+            result.msb_8t.iter().any(|&n| n > 0),
+            "0.60 V requires some protection: {:?}",
+            result.msb_8t
+        );
+        assert!(
+            result.meets_constraint,
+            "greedy should reach a {}-loss allocation (best acc {:.3} vs ref {:.3})",
+            0.05,
+            result.accuracy.mean(),
+            result.reference_accuracy
+        );
+        // The allocation must be strictly cheaper than protecting every bit
+        // everywhere.
+        let full_cells: usize = neuro_system::layout::bank_words(&ctx.network)
+            .iter()
+            .map(|w| w * 8)
+            .sum();
+        assert!(result.protected_cells(&ctx.network) < full_cells);
+        // Steps recorded the greedy trajectory.
+        assert_eq!(
+            result.steps.len(),
+            result.msb_8t.iter().sum::<usize>(),
+            "one step per committed MSB"
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let ctx = shared_ctx();
+        let opts = OptimizerOptions {
+            max_loss: 0.05,
+            trials: 2,
+            seed: 3,
+            max_msb: 4,
+        };
+        let a = optimize_allocation(&ctx.framework, &ctx.network, &ctx.test, Volt::new(0.70), &opts);
+        let b = optimize_allocation(&ctx.framework, &ctx.network, &ctx.test, Volt::new(0.70), &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impossible_budget_saturates_and_reports_failure() {
+        let ctx = shared_ctx();
+        // Demand perfection at a deeply scaled voltage with almost no
+        // protection allowed: the search must terminate and say so.
+        let result = optimize_allocation(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            Volt::new(0.60),
+            &OptimizerOptions {
+                max_loss: 0.0,
+                trials: 1,
+                seed: 4,
+                max_msb: 1,
+            },
+        );
+        assert!(result.msb_8t.iter().all(|&n| n <= 1));
+        // With every bank saturated at one protected MSB and LSB noise
+        // still flowing, a zero-loss budget is unreachable.
+        assert!(
+            !result.meets_constraint || result.accuracy.mean() >= result.reference_accuracy,
+            "either the constraint fails or noise happened to vanish"
+        );
+    }
+}

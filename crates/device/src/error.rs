@@ -1,0 +1,67 @@
+//! Error type for device construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or validating device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A transistor geometry value (width/length) is non-positive or NaN.
+    InvalidGeometry {
+        /// Which dimension was rejected.
+        what: &'static str,
+        /// The offending value in meters.
+        value: f64,
+    },
+    /// A model-card parameter is outside its physical range.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl DeviceError {
+    pub(crate) fn invalid_geometry(what: &'static str, value: f64) -> Self {
+        Self::InvalidGeometry { what, value }
+    }
+
+    pub(crate) fn invalid_parameter(what: &'static str, value: f64) -> Self {
+        Self::InvalidParameter { what, value }
+    }
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidGeometry { what, value } => {
+                write!(f, "invalid transistor geometry: {what} = {value} m")
+            }
+            Self::InvalidParameter { what, value } => {
+                write!(f, "invalid model parameter: {what} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeviceError::invalid_geometry("width", -1.0);
+        assert!(e.to_string().contains("width"));
+        let e = DeviceError::invalid_parameter("n", 0.0);
+        assert!(e.to_string().contains("n = 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

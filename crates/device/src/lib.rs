@@ -1,0 +1,48 @@
+//! # sram-device
+//!
+//! 22 nm device-level substrate for the DATE 2016 hybrid 8T-6T SRAM
+//! reproduction: typed electrical [`units`], an analytic EKV-style
+//! [`mosfet`] model, the [`process::Technology`] description of the paper's
+//! predictive 22 nm node, and the Pelgrom threshold-voltage [`variation`]
+//! model (paper Eq. 1) that drives all failure statistics.
+//!
+//! Everything above this crate (circuit solver, bitcell characterization,
+//! array power/area, system experiments) consumes devices exclusively through
+//! this API.
+//!
+//! # Examples
+//!
+//! Sweep a transfer characteristic:
+//!
+//! ```
+//! use sram_device::prelude::*;
+//!
+//! let tech = Technology::ptm_22nm();
+//! let m = Mosfet::new(
+//!     tech.nmos.clone(),
+//!     Meter::from_nanometers(88.0),
+//!     Meter::from_nanometers(22.0),
+//! )?;
+//! let vdd = tech.vdd_nominal;
+//! let i_on = m.drain_current(vdd, vdd, Volt::new(0.0));
+//! let i_off = m.off_current(vdd);
+//! assert!(i_on.amps() / i_off.amps() > 1e4);
+//! # Ok::<(), sram_device::error::DeviceError>(())
+//! ```
+
+pub mod error;
+pub mod mosfet;
+pub mod process;
+pub mod units;
+pub mod variation;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::error::DeviceError;
+    pub use crate::mosfet::{MosModel, Mosfet, Polarity};
+    pub use crate::process::Technology;
+    pub use crate::units::{
+        format_si, Ampere, Coulomb, Farad, Joule, Meter, Ohm, Second, SquareMeter, Volt, Watt,
+    };
+    pub use crate::variation::{VariationModel, VtSampler};
+}

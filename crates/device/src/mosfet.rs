@@ -1,0 +1,461 @@
+//! Analytic MOSFET model.
+//!
+//! The simulator needs a transistor model that is (a) smooth in all operating
+//! regions so Newton-Raphson converges, (b) accurate in *subthreshold* because
+//! SRAM leakage and read-disturb behaviour at scaled voltages are
+//! subthreshold-dominated, and (c) cheap, because Monte Carlo failure analysis
+//! evaluates it millions of times. We use a source-referenced EKV-style
+//! interpolation model:
+//!
+//! ```text
+//! i_f = ln²(1 + exp((Vgs − Vt_eff) / (2·n·φt)))
+//! i_r = ln²(1 + exp((Vgs − Vt_eff − n·Vds) / (2·n·φt)))
+//! Ids = Is · (W/L) · (i_f − i_r) / (1 + θ·Vov)      Is = 2·n·µCox·φt²
+//! Vt_eff = Vt0 + ΔVt − η·Vds                         (η = DIBL coefficient)
+//! ```
+//!
+//! which reduces to the familiar exponential law deep in subthreshold and to a
+//! square law (with mobility degradation `θ`) in strong inversion. This is the
+//! substitution for the paper's HSPICE + 22 nm PTM setup; see DESIGN.md §2.
+
+use crate::error::DeviceError;
+use crate::units::{Ampere, Meter, Volt};
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device: conducts when the gate is high.
+    Nmos,
+    /// P-channel device: conducts when the gate is low.
+    Pmos,
+}
+
+impl Polarity {
+    /// Returns `1.0` for NMOS and `-1.0` for PMOS; used to fold both
+    /// polarities onto the same n-type equations.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::Nmos => 1.0,
+            Polarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// Technology-level model card for one device polarity.
+///
+/// Velocity saturation is folded into the mobility-degradation factor `theta`,
+/// which is the usual first-order treatment for hand models at deeply scaled
+/// nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosModel {
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Zero-bias threshold voltage magnitude (positive for both polarities).
+    pub vt0: Volt,
+    /// Subthreshold slope factor `n` (dimensionless, ≥ 1).
+    pub n: f64,
+    /// Gate transconductance factor `µ·Cox` in A/V².
+    pub mu_cox: f64,
+    /// Drain-induced barrier lowering coefficient `η` (V of Vt drop per V of Vds).
+    pub dibl: f64,
+    /// Mobility degradation factor `θ` in 1/V.
+    pub theta: f64,
+    /// Thermal voltage `kT/q` at the simulation temperature.
+    pub phi_t: Volt,
+}
+
+impl MosModel {
+    /// Validates the model card.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if a parameter is
+    /// non-physical (non-positive `n`, `mu_cox`, `phi_t`, or negative `vt0`,
+    /// `dibl`, `theta`).
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if self.n < 1.0 || !self.n.is_finite() {
+            return Err(DeviceError::invalid_parameter("n", self.n));
+        }
+        if self.mu_cox <= 0.0 || !self.mu_cox.is_finite() {
+            return Err(DeviceError::invalid_parameter("mu_cox", self.mu_cox));
+        }
+        if self.phi_t.volts() <= 0.0 {
+            return Err(DeviceError::invalid_parameter("phi_t", self.phi_t.volts()));
+        }
+        if self.vt0.volts() < 0.0 {
+            return Err(DeviceError::invalid_parameter("vt0", self.vt0.volts()));
+        }
+        if self.dibl < 0.0 {
+            return Err(DeviceError::invalid_parameter("dibl", self.dibl));
+        }
+        if self.theta < 0.0 {
+            return Err(DeviceError::invalid_parameter("theta", self.theta));
+        }
+        Ok(())
+    }
+
+    /// Specific current `Is = 2·n·µCox·φt²` of a unit (W/L = 1) device.
+    #[inline]
+    pub fn specific_current(&self) -> Ampere {
+        let phi_t = self.phi_t.volts();
+        Ampere::new(2.0 * self.n * self.mu_cox * phi_t * phi_t)
+    }
+}
+
+/// A sized transistor instance with an optional threshold-voltage shift.
+///
+/// The shift [`Mosfet::delta_vt`] is how process variation enters the model:
+/// Monte Carlo failure analysis samples a ΔVt per device (see
+/// [`crate::variation`]) and rebuilds the cell with shifted instances.
+///
+/// # Examples
+///
+/// ```
+/// use sram_device::process::Technology;
+/// use sram_device::mosfet::Mosfet;
+/// use sram_device::units::{Meter, Volt};
+///
+/// let tech = Technology::ptm_22nm();
+/// let m = Mosfet::new(
+///     tech.nmos.clone(),
+///     Meter::from_nanometers(88.0),
+///     Meter::from_nanometers(22.0),
+/// )?;
+/// let on = m.drain_current(Volt::new(0.95), Volt::new(0.95), Volt::new(0.0));
+/// let off = m.drain_current(Volt::new(0.0), Volt::new(0.95), Volt::new(0.0));
+/// assert!(on.amps() > 1e4 * off.amps());
+/// # Ok::<(), sram_device::error::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet {
+    model: MosModel,
+    width: Meter,
+    length: Meter,
+    delta_vt: Volt,
+}
+
+impl Mosfet {
+    /// Creates a transistor with nominal threshold (no variation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidGeometry`] for non-positive width or
+    /// length, or [`DeviceError::InvalidParameter`] if the model card is
+    /// non-physical.
+    pub fn new(model: MosModel, width: Meter, length: Meter) -> Result<Self, DeviceError> {
+        model.validate()?;
+        if width.meters() <= 0.0 || !width.meters().is_finite() {
+            return Err(DeviceError::invalid_geometry("width", width.meters()));
+        }
+        if length.meters() <= 0.0 || !length.meters().is_finite() {
+            return Err(DeviceError::invalid_geometry("length", length.meters()));
+        }
+        Ok(Self {
+            model,
+            width,
+            length,
+            delta_vt: Volt::new(0.0),
+        })
+    }
+
+    /// Returns the model card.
+    #[inline]
+    pub fn model(&self) -> &MosModel {
+        &self.model
+    }
+
+    /// Channel width.
+    #[inline]
+    pub fn width(&self) -> Meter {
+        self.width
+    }
+
+    /// Channel length.
+    #[inline]
+    pub fn length(&self) -> Meter {
+        self.length
+    }
+
+    /// Threshold shift currently applied to this instance.
+    #[inline]
+    pub fn delta_vt(&self) -> Volt {
+        self.delta_vt
+    }
+
+    /// Sets the threshold-voltage shift (process-variation sample).
+    ///
+    /// A positive shift always makes the device *weaker* (raises |Vt|),
+    /// regardless of polarity.
+    #[inline]
+    pub fn set_delta_vt(&mut self, delta: Volt) {
+        self.delta_vt = delta;
+    }
+
+    /// Returns a copy of this transistor with the given threshold shift.
+    #[inline]
+    pub fn with_delta_vt(&self, delta: Volt) -> Self {
+        let mut m = self.clone();
+        m.set_delta_vt(delta);
+        m
+    }
+
+    /// Aspect ratio W/L.
+    #[inline]
+    pub fn aspect_ratio(&self) -> f64 {
+        self.width / self.length
+    }
+
+    /// Drain current for the given *absolute* terminal voltages.
+    ///
+    /// Sign convention: positive current flows from the drain terminal through
+    /// the channel into the source terminal (conventional current). For a PMOS
+    /// pulling a node up, `drain_current` is therefore negative when computed
+    /// with the physical drain at the lower potential; callers that only need
+    /// magnitudes can take `.abs()`.
+    pub fn drain_current(&self, vg: Volt, vd: Volt, vs: Volt) -> Ampere {
+        let s = self.model.polarity.sign();
+        // Map PMOS onto the n-type equations by mirroring all voltages.
+        let (vg, vd, vs) = (s * vg.volts(), s * vd.volts(), s * vs.volts());
+        // The channel is symmetric: orient so vds >= 0, remember the flip.
+        let (vd_o, vs_o, flip) = if vd >= vs {
+            (vd, vs, 1.0)
+        } else {
+            (vs, vd, -1.0)
+        };
+        let vgs = vg - vs_o;
+        let vds = vd_o - vs_o;
+        let ids = self.ids_ntype(vgs, vds);
+        Ampere::new(s * flip * ids)
+    }
+
+    /// Core n-type current equation; expects `vds >= 0`.
+    fn ids_ntype(&self, vgs: f64, vds: f64) -> f64 {
+        let m = &self.model;
+        let phi_t = m.phi_t.volts();
+        let n = m.n;
+        let vt_eff = m.vt0.volts() + self.delta_vt.volts() - m.dibl * vds;
+        let half_slope = 2.0 * n * phi_t;
+        let i_f = ln_one_plus_exp((vgs - vt_eff) / half_slope);
+        let i_r = ln_one_plus_exp((vgs - vt_eff - n * vds) / half_slope);
+        // Smooth overdrive for the mobility-degradation denominator:
+        // θ·Vov with Vov = n·φt·softplus((Vgs−Vt)/(n·φt)) ≈ max(Vgs−Vt, 0).
+        let vov = n * phi_t * ln_one_plus_exp((vgs - vt_eff) / (n * phi_t));
+        let denom = 1.0 + m.theta * vov;
+        let is = m.specific_current().amps() * self.aspect_ratio();
+        is * (i_f * i_f - i_r * i_r) / denom
+    }
+
+    /// Numeric transconductance dId/dVg (central difference).
+    pub fn gm(&self, vg: Volt, vd: Volt, vs: Volt) -> f64 {
+        let h = 1e-6;
+        let up = self.drain_current(Volt::new(vg.volts() + h), vd, vs).amps();
+        let dn = self.drain_current(Volt::new(vg.volts() - h), vd, vs).amps();
+        (up - dn) / (2.0 * h)
+    }
+
+    /// Numeric output conductance dId/dVd (central difference).
+    pub fn gds(&self, vg: Volt, vd: Volt, vs: Volt) -> f64 {
+        let h = 1e-6;
+        let up = self.drain_current(vg, Volt::new(vd.volts() + h), vs).amps();
+        let dn = self.drain_current(vg, Volt::new(vd.volts() - h), vs).amps();
+        (up - dn) / (2.0 * h)
+    }
+
+    /// Subthreshold leakage magnitude with the gate driven fully off and
+    /// `vds` across the channel.
+    pub fn off_current(&self, vdd: Volt) -> Ampere {
+        match self.model.polarity {
+            Polarity::Nmos => self
+                .drain_current(Volt::new(0.0), vdd, Volt::new(0.0))
+                .abs(),
+            Polarity::Pmos => self.drain_current(vdd, Volt::new(0.0), vdd).abs(),
+        }
+    }
+}
+
+/// Numerically stable `ln(1 + e^x)` (softplus).
+#[inline]
+fn ln_one_plus_exp(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Technology;
+
+    fn nmos() -> Mosfet {
+        let tech = Technology::ptm_22nm();
+        Mosfet::new(
+            tech.nmos.clone(),
+            Meter::from_nanometers(88.0),
+            Meter::from_nanometers(22.0),
+        )
+        .expect("valid device")
+    }
+
+    fn pmos() -> Mosfet {
+        let tech = Technology::ptm_22nm();
+        Mosfet::new(
+            tech.pmos.clone(),
+            Meter::from_nanometers(44.0),
+            Meter::from_nanometers(22.0),
+        )
+        .expect("valid device")
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let m = nmos();
+        let i = m.drain_current(Volt::new(0.95), Volt::new(0.4), Volt::new(0.4));
+        assert!(i.amps().abs() < 1e-18, "got {}", i.amps());
+    }
+
+    #[test]
+    fn current_increases_with_gate_drive() {
+        let m = nmos();
+        let mut last = -1.0;
+        for vg in [0.2, 0.4, 0.6, 0.8, 0.95] {
+            let i = m
+                .drain_current(Volt::new(vg), Volt::new(0.95), Volt::new(0.0))
+                .amps();
+            assert!(i > last, "not monotone at vg={vg}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn channel_symmetry_on_reversal() {
+        let m = nmos();
+        let fwd = m.drain_current(Volt::new(0.9), Volt::new(0.6), Volt::new(0.1));
+        let rev = m.drain_current(Volt::new(0.9), Volt::new(0.1), Volt::new(0.6));
+        // Not exactly equal because DIBL references the oriented vds, but the
+        // magnitudes must agree and the sign must flip.
+        assert!(fwd.amps() > 0.0);
+        assert!(rev.amps() < 0.0);
+        assert!((fwd.amps() + rev.amps()).abs() < 1e-12 * fwd.amps().abs().max(1.0));
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos_behaviour() {
+        let m = pmos();
+        // Gate low, source at VDD: device on, current flows source->drain,
+        // i.e. the drain current as defined is negative.
+        let on = m.drain_current(Volt::new(0.0), Volt::new(0.0), Volt::new(0.95));
+        assert!(on.amps() < 0.0);
+        // Gate high: off.
+        let off = m.drain_current(Volt::new(0.95), Volt::new(0.0), Volt::new(0.95));
+        assert!(off.amps().abs() < 1e-3 * on.amps().abs());
+    }
+
+    #[test]
+    fn subthreshold_slope_is_close_to_n_phi_t() {
+        let m = nmos();
+        // Deep subthreshold: decade per n·φt·ln(10) of gate voltage.
+        let i1 = m
+            .drain_current(Volt::new(0.10), Volt::new(0.95), Volt::new(0.0))
+            .amps();
+        let i2 = m
+            .drain_current(Volt::new(0.20), Volt::new(0.95), Volt::new(0.0))
+            .amps();
+        let slope_mv_per_dec = 100.0 / (i2 / i1).log10();
+        let expected = m.model().n * m.model().phi_t.volts() * std::f64::consts::LN_10 * 1e3;
+        assert!(
+            (slope_mv_per_dec - expected).abs() < 0.1 * expected,
+            "slope {slope_mv_per_dec} mV/dec vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn dibl_raises_off_current_with_vds() {
+        let m = nmos();
+        let lo = m
+            .drain_current(Volt::new(0.0), Volt::new(0.5), Volt::new(0.0))
+            .amps();
+        let hi = m
+            .drain_current(Volt::new(0.0), Volt::new(0.95), Volt::new(0.0))
+            .amps();
+        assert!(hi > 1.5 * lo, "DIBL should raise leakage: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn positive_delta_vt_weakens_device() {
+        let m = nmos();
+        let weak = m.with_delta_vt(Volt::from_millivolts(80.0));
+        let strong = m.with_delta_vt(Volt::from_millivolts(-80.0));
+        let vg = Volt::new(0.6);
+        let vd = Volt::new(0.6);
+        let vs = Volt::new(0.0);
+        let i_nom = m.drain_current(vg, vd, vs).amps();
+        let i_weak = weak.drain_current(vg, vd, vs).amps();
+        let i_strong = strong.drain_current(vg, vd, vs).amps();
+        assert!(i_weak < i_nom && i_nom < i_strong);
+    }
+
+    #[test]
+    fn on_off_ratio_is_large() {
+        let m = nmos();
+        let on = m
+            .drain_current(Volt::new(0.95), Volt::new(0.95), Volt::new(0.0))
+            .amps();
+        let off = m
+            .drain_current(Volt::new(0.0), Volt::new(0.95), Volt::new(0.0))
+            .amps();
+        assert!(on / off > 1e4, "on/off ratio {}", on / off);
+    }
+
+    #[test]
+    fn on_current_is_plausible_for_22nm() {
+        let m = nmos();
+        let on = m
+            .drain_current(Volt::new(0.95), Volt::new(0.95), Volt::new(0.0))
+            .microamps();
+        assert!(
+            (5.0..500.0).contains(&on),
+            "on current {on} µA out of plausible range"
+        );
+    }
+
+    #[test]
+    fn gm_and_gds_are_positive_in_saturation() {
+        let m = nmos();
+        let gm = m.gm(Volt::new(0.7), Volt::new(0.9), Volt::new(0.0));
+        let gds = m.gds(Volt::new(0.7), Volt::new(0.9), Volt::new(0.0));
+        assert!(gm > 0.0);
+        assert!(gds > 0.0);
+        assert!(gm > gds, "gm should dominate gds in saturation");
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let tech = Technology::ptm_22nm();
+        let err = Mosfet::new(
+            tech.nmos.clone(),
+            Meter::from_nanometers(0.0),
+            Meter::from_nanometers(22.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidGeometry { .. }));
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let tech = Technology::ptm_22nm();
+        let mut bad = tech.nmos.clone();
+        bad.n = 0.5;
+        let err = Mosfet::new(
+            bad,
+            Meter::from_nanometers(44.0),
+            Meter::from_nanometers(22.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidParameter { .. }));
+    }
+}

@@ -1,0 +1,135 @@
+//! Technology definitions.
+//!
+//! The paper designs its bitcells "in 22 nm technology using predictive
+//! models" (PTM, ptm.asu.edu) at a nominal supply of 950 mV. We capture the
+//! technology as a plain data structure — device model cards for each
+//! polarity, minimum geometry, nominal supply, and the matching coefficient
+//! that drives the Pelgrom variation model of [`crate::variation`].
+
+use crate::mosfet::{MosModel, Polarity};
+use crate::units::{Meter, Volt};
+
+/// Boltzmann constant over elementary charge times 300 K: thermal voltage at
+/// room temperature, in volts.
+pub const PHI_T_300K: f64 = 0.025852;
+
+/// A process technology: everything the bitcell designer needs to know.
+///
+/// # Examples
+///
+/// ```
+/// use sram_device::process::Technology;
+///
+/// let tech = Technology::ptm_22nm();
+/// assert_eq!(tech.vdd_nominal.millivolts(), 950.0);
+/// assert!(tech.nmos.mu_cox > tech.pmos.mu_cox, "electrons outrun holes");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable technology name.
+    pub name: &'static str,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+    /// Minimum drawn channel length.
+    pub lmin: Meter,
+    /// Minimum drawn channel width.
+    pub wmin: Meter,
+    /// Nominal supply voltage.
+    pub vdd_nominal: Volt,
+    /// Threshold-voltage standard deviation of a *minimum-sized* device,
+    /// used by the Pelgrom model (paper Eq. 1).
+    pub sigma_vt0: Volt,
+}
+
+impl Technology {
+    /// The 22 nm predictive technology used throughout the paper.
+    ///
+    /// Model-card values are calibrated (see `crates/bitcell` calibration
+    /// tests) so that the paper's published anchors hold for the nominal 6T
+    /// cell: static read noise margin ≈ 195 mV and write margin ≈ 250 mV at
+    /// VDD = 0.95 V.
+    pub fn ptm_22nm() -> Self {
+        Self {
+            name: "ptm-22nm",
+            nmos: MosModel {
+                polarity: Polarity::Nmos,
+                vt0: Volt::new(0.35),
+                n: 1.30,
+                mu_cox: 6.0e-4,
+                dibl: 0.08,
+                theta: 1.5,
+                phi_t: Volt::new(PHI_T_300K),
+            },
+            pmos: MosModel {
+                polarity: Polarity::Pmos,
+                vt0: Volt::new(0.35),
+                n: 1.32,
+                mu_cox: 2.7e-4,
+                dibl: 0.09,
+                theta: 1.2,
+                phi_t: Volt::new(PHI_T_300K),
+            },
+            lmin: Meter::from_nanometers(22.0),
+            wmin: Meter::from_nanometers(44.0),
+            vdd_nominal: Volt::new(0.95),
+            // Random-dopant-fluctuation matching coefficient. For a
+            // minimum-size 22 nm device (44 nm × 22 nm), AVT ≈ 2.2 mV·µm
+            // gives σ(VT) ≈ 70 mV — the regime in which the paper's Fig. 5
+            // failure cliffs appear between 0.75 V and 0.60 V.
+            sigma_vt0: Volt::from_millivolts(70.0),
+        }
+    }
+
+    /// Returns the model card for the requested polarity.
+    pub fn model(&self, polarity: Polarity) -> &MosModel {
+        match polarity {
+            Polarity::Nmos => &self.nmos,
+            Polarity::Pmos => &self.pmos,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::ptm_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_supply_matches_paper() {
+        let t = Technology::ptm_22nm();
+        assert!((t.vdd_nominal.volts() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_cards_validate() {
+        let t = Technology::ptm_22nm();
+        t.nmos.validate().expect("nmos card");
+        t.pmos.validate().expect("pmos card");
+    }
+
+    #[test]
+    fn model_lookup_by_polarity() {
+        let t = Technology::ptm_22nm();
+        assert_eq!(t.model(Polarity::Nmos), &t.nmos);
+        assert_eq!(t.model(Polarity::Pmos), &t.pmos);
+    }
+
+    #[test]
+    fn default_is_ptm_22nm() {
+        assert_eq!(Technology::default(), Technology::ptm_22nm());
+    }
+
+    #[test]
+    fn minimum_geometry_is_22nm_class() {
+        let t = Technology::ptm_22nm();
+        assert!((t.lmin.nanometers() - 22.0).abs() < 1e-9);
+        assert!(t.wmin.nanometers() >= t.lmin.nanometers());
+    }
+}

@@ -1,0 +1,596 @@
+//! Typed electrical units.
+//!
+//! Every quantity that crosses a public API in this workspace is wrapped in a
+//! newtype ([`Volt`], [`Ampere`], [`Watt`], ...) so that a leakage current can
+//! never be passed where a supply voltage is expected (C-NEWTYPE). The wrappers
+//! are zero-cost `f64` newtypes with the arithmetic that makes physical sense:
+//! same-unit addition/subtraction, scalar scaling, dimensionless ratios, and
+//! the handful of cross-unit products used by the simulator
+//! (`V x A = W`, `W x s = J`, `F x V = C`, `C / s = A`, `V / Ω = A`).
+//!
+//! # Examples
+//!
+//! ```
+//! use sram_device::units::{Volt, Ampere};
+//!
+//! let vdd = Volt::new(0.95);
+//! let scaled = vdd - Volt::from_millivolts(200.0);
+//! assert!((scaled.volts() - 0.75).abs() < 1e-12);
+//!
+//! let leak = Ampere::from_nanoamps(3.2);
+//! let power = scaled * leak; // Watt
+//! assert!((power.watts() - 0.75 * 3.2e-9).abs() < 1e-21);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Formats `value` with an engineering SI prefix and the given unit symbol.
+///
+/// Used by the `Display` impls of every unit newtype, and handy for building
+/// report tables.
+///
+/// ```
+/// assert_eq!(sram_device::units::format_si(3.2e-9, "A"), "3.200 nA");
+/// assert_eq!(sram_device::units::format_si(0.0, "V"), "0.000 V");
+/// ```
+pub fn format_si(value: f64, symbol: &str) -> String {
+    if value == 0.0 || !value.is_finite() {
+        return format!("{value:.3} {symbol}");
+    }
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    for &(scale, prefix) in &PREFIXES {
+        if mag >= scale {
+            return format!("{:.3} {}{}", value / scale, prefix, symbol);
+        }
+    }
+    let (scale, prefix) = PREFIXES[PREFIXES.len() - 1];
+    format!("{:.3} {}{}", value / scale, prefix, symbol)
+}
+
+macro_rules! define_unit {
+    ($(#[$meta:meta])* $name:ident, $raw:ident, $symbol:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value expressed in the base unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in the base unit.
+            #[inline]
+            pub const fn $raw(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// `true` if the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Unit symbol used by `Display`.
+            pub const SYMBOL: &'static str = $symbol;
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&format_si(self.0, $symbol))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        /// Ratio of two quantities of the same unit is dimensionless.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+define_unit!(
+    /// Electric potential in volts.
+    Volt, volts, "V"
+);
+define_unit!(
+    /// Electric current in amperes.
+    Ampere, amps, "A"
+);
+define_unit!(
+    /// Power in watts.
+    Watt, watts, "W"
+);
+define_unit!(
+    /// Energy in joules.
+    Joule, joules, "J"
+);
+define_unit!(
+    /// Time in seconds.
+    Second, seconds, "s"
+);
+define_unit!(
+    /// Capacitance in farads.
+    Farad, farads, "F"
+);
+define_unit!(
+    /// Electric charge in coulombs.
+    Coulomb, coulombs, "C"
+);
+define_unit!(
+    /// Resistance in ohms.
+    Ohm, ohms, "Ω"
+);
+define_unit!(
+    /// Length in meters (transistor geometry).
+    Meter, meters, "m"
+);
+define_unit!(
+    /// Area in square meters (layout footprints).
+    SquareMeter, square_meters, "m²"
+);
+
+impl Volt {
+    /// Constructs a voltage from millivolts.
+    #[inline]
+    pub const fn from_millivolts(mv: f64) -> Self {
+        Self(mv * 1e-3)
+    }
+
+    /// Returns the value in millivolts.
+    #[inline]
+    pub const fn millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Ampere {
+    /// Constructs a current from microamps.
+    #[inline]
+    pub const fn from_microamps(ua: f64) -> Self {
+        Self(ua * 1e-6)
+    }
+
+    /// Constructs a current from nanoamps.
+    #[inline]
+    pub const fn from_nanoamps(na: f64) -> Self {
+        Self(na * 1e-9)
+    }
+
+    /// Returns the value in microamps.
+    #[inline]
+    pub const fn microamps(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the value in nanoamps.
+    #[inline]
+    pub const fn nanoamps(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Watt {
+    /// Constructs a power from microwatts.
+    #[inline]
+    pub const fn from_microwatts(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Constructs a power from nanowatts.
+    #[inline]
+    pub const fn from_nanowatts(nw: f64) -> Self {
+        Self(nw * 1e-9)
+    }
+
+    /// Returns the value in microwatts.
+    #[inline]
+    pub const fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the value in nanowatts.
+    #[inline]
+    pub const fn nanowatts(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Joule {
+    /// Constructs an energy from femtojoules.
+    #[inline]
+    pub const fn from_femtojoules(fj: f64) -> Self {
+        Self(fj * 1e-15)
+    }
+
+    /// Returns the value in femtojoules.
+    #[inline]
+    pub const fn femtojoules(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Second {
+    /// Constructs a time from picoseconds.
+    #[inline]
+    pub const fn from_picoseconds(ps: f64) -> Self {
+        Self(ps * 1e-12)
+    }
+
+    /// Constructs a time from nanoseconds.
+    #[inline]
+    pub const fn from_nanoseconds(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Returns the value in picoseconds.
+    #[inline]
+    pub const fn picoseconds(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub const fn nanoseconds(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Farad {
+    /// Constructs a capacitance from femtofarads.
+    #[inline]
+    pub const fn from_femtofarads(ff: f64) -> Self {
+        Self(ff * 1e-15)
+    }
+
+    /// Returns the value in femtofarads.
+    #[inline]
+    pub const fn femtofarads(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Meter {
+    /// Constructs a length from nanometers.
+    #[inline]
+    pub const fn from_nanometers(nm: f64) -> Self {
+        Self(nm * 1e-9)
+    }
+
+    /// Returns the value in nanometers.
+    #[inline]
+    pub const fn nanometers(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl SquareMeter {
+    /// Constructs an area from square micrometers (the customary bitcell unit).
+    #[inline]
+    pub const fn from_square_microns(um2: f64) -> Self {
+        Self(um2 * 1e-12)
+    }
+
+    /// Returns the value in square micrometers.
+    #[inline]
+    pub const fn square_microns(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+// --- Cross-unit arithmetic -------------------------------------------------
+
+impl Mul<Ampere> for Volt {
+    type Output = Watt;
+    #[inline]
+    fn mul(self, rhs: Ampere) -> Watt {
+        Watt::new(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volt> for Ampere {
+    type Output = Watt;
+    #[inline]
+    fn mul(self, rhs: Volt) -> Watt {
+        rhs * self
+    }
+}
+
+impl Mul<Second> for Watt {
+    type Output = Joule;
+    #[inline]
+    fn mul(self, rhs: Second) -> Joule {
+        Joule::new(self.0 * rhs.0)
+    }
+}
+
+impl Div<Second> for Joule {
+    type Output = Watt;
+    #[inline]
+    fn div(self, rhs: Second) -> Watt {
+        Watt::new(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Volt> for Farad {
+    type Output = Coulomb;
+    #[inline]
+    fn mul(self, rhs: Volt) -> Coulomb {
+        Coulomb::new(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Farad> for Volt {
+    type Output = Coulomb;
+    #[inline]
+    fn mul(self, rhs: Farad) -> Coulomb {
+        rhs * self
+    }
+}
+
+impl Div<Second> for Coulomb {
+    type Output = Ampere;
+    #[inline]
+    fn div(self, rhs: Second) -> Ampere {
+        Ampere::new(self.0 / rhs.0)
+    }
+}
+
+impl Div<Ampere> for Coulomb {
+    type Output = Second;
+    #[inline]
+    fn div(self, rhs: Ampere) -> Second {
+        Second::new(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Volt> for Coulomb {
+    type Output = Joule;
+    #[inline]
+    fn mul(self, rhs: Volt) -> Joule {
+        Joule::new(self.0 * rhs.0)
+    }
+}
+
+impl Div<Ohm> for Volt {
+    type Output = Ampere;
+    #[inline]
+    fn div(self, rhs: Ohm) -> Ampere {
+        Ampere::new(self.0 / rhs.0)
+    }
+}
+
+impl Div<Ampere> for Volt {
+    type Output = Ohm;
+    #[inline]
+    fn div(self, rhs: Ampere) -> Ohm {
+        Ohm::new(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ampere> for Ohm {
+    type Output = Volt;
+    #[inline]
+    fn mul(self, rhs: Ampere) -> Volt {
+        Volt::new(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Meter> for Meter {
+    type Output = SquareMeter;
+    #[inline]
+    fn mul(self, rhs: Meter) -> SquareMeter {
+        SquareMeter::new(self.0 * rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_constructors_round_trip() {
+        let v = Volt::from_millivolts(950.0);
+        assert!((v.volts() - 0.95).abs() < 1e-15);
+        assert!((v.millivolts() - 950.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Volt::new(0.9);
+        let b = Volt::new(0.15);
+        assert!(((a + b).volts() - 1.05).abs() < 1e-15);
+        assert!(((a - b).volts() - 0.75).abs() < 1e-15);
+        assert!(((-b).volts() + 0.15).abs() < 1e-15);
+        assert!((a / b - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_scaling() {
+        let t = Second::from_nanoseconds(2.0) * 3.0;
+        assert!((t.nanoseconds() - 6.0).abs() < 1e-12);
+        let half = t / 2.0;
+        assert!((half.nanoseconds() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_energy_chain() {
+        let p = Volt::new(1.0) * Ampere::from_microamps(5.0);
+        assert!((p.microwatts() - 5.0).abs() < 1e-12);
+        let e = p * Second::from_nanoseconds(2.0);
+        assert!((e.femtojoules() - 10.0).abs() < 1e-9);
+        let back = e / Second::from_nanoseconds(2.0);
+        assert!((back.microwatts() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_relations() {
+        let q = Farad::from_femtofarads(10.0) * Volt::new(0.5);
+        assert!((q.coulombs() - 5e-15).abs() < 1e-27);
+        let i = q / Second::from_picoseconds(100.0);
+        assert!((i.microamps() - 50.0).abs() < 1e-9);
+        let t = q / Ampere::from_microamps(50.0);
+        assert!((t.picoseconds() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let i = Volt::new(1.2) / Ohm::new(4000.0);
+        assert!((i.microamps() - 300.0).abs() < 1e-9);
+        let r = Volt::new(1.2) / i;
+        assert!((r.ohms() - 4000.0).abs() < 1e-9);
+        let v = r * i;
+        assert!((v.volts() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometry() {
+        let w = Meter::from_nanometers(44.0);
+        let l = Meter::from_nanometers(22.0);
+        let a = w * l;
+        assert!((a.square_meters() - 44e-9 * 22e-9).abs() < 1e-30);
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(format!("{}", Ampere::from_nanoamps(3.2)), "3.200 nA");
+        assert_eq!(format!("{}", Volt::new(0.95)), "950.000 mV");
+        assert_eq!(format!("{}", Watt::from_microwatts(8.0)), "8.000 µW");
+    }
+
+    #[test]
+    fn display_is_never_empty_for_zero() {
+        assert_eq!(format!("{}", Volt::new(0.0)), "0.000 V");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Volt::new(-0.3);
+        assert!((a.abs().volts() - 0.3).abs() < 1e-15);
+        assert_eq!(a.min(Volt::new(0.1)), a);
+        assert_eq!(a.max(Volt::new(0.1)), Volt::new(0.1));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Watt = (1..=4).map(|i| Watt::from_nanowatts(i as f64)).sum();
+        assert!((total.nanowatts() - 10.0).abs() < 1e-12);
+    }
+}

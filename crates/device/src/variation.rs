@@ -1,0 +1,218 @@
+//! Threshold-voltage variation (random dopant fluctuation).
+//!
+//! The paper considers "only the failures caused due to on-die variations in
+//! the threshold voltage" and models the per-transistor shifts as independent
+//! zero-mean Gaussians whose standard deviation follows the Pelgrom
+//! area-scaling law (paper Eq. 1):
+//!
+//! ```text
+//! σ(VT) = σ_VT0 · sqrt( (Lmin / L) · (Wmin / W) )
+//! ```
+//!
+//! [`VariationModel`] evaluates that law; [`VtSampler`] draws ΔVT samples for
+//! a whole cell's worth of transistors from a seeded RNG so that Monte Carlo
+//! runs are reproducible.
+
+use crate::process::Technology;
+use crate::units::{Meter, Volt};
+use rand::Rng;
+
+/// Pelgrom-law evaluator bound to a technology.
+///
+/// # Examples
+///
+/// ```
+/// use sram_device::process::Technology;
+/// use sram_device::variation::VariationModel;
+/// use sram_device::units::Meter;
+///
+/// let tech = Technology::ptm_22nm();
+/// let model = VariationModel::new(&tech);
+/// // Doubling the width cuts sigma by sqrt(2).
+/// let s1 = model.sigma_vt(tech.wmin, tech.lmin);
+/// let s2 = model.sigma_vt(Meter::from_nanometers(88.0), tech.lmin);
+/// assert!((s1.volts() / s2.volts() - 2f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationModel {
+    sigma_vt0: Volt,
+    wmin: Meter,
+    lmin: Meter,
+}
+
+impl VariationModel {
+    /// Builds the model from a technology's matching coefficient and minimum
+    /// geometry.
+    pub fn new(tech: &Technology) -> Self {
+        Self {
+            sigma_vt0: tech.sigma_vt0,
+            wmin: tech.wmin,
+            lmin: tech.lmin,
+        }
+    }
+
+    /// Builds a model with an explicit minimum-size sigma (useful for
+    /// sensitivity studies on the variation magnitude itself).
+    pub fn with_sigma_vt0(tech: &Technology, sigma_vt0: Volt) -> Self {
+        Self {
+            sigma_vt0,
+            ..Self::new(tech)
+        }
+    }
+
+    /// σ(VT) of a minimum-sized device.
+    #[inline]
+    pub fn sigma_vt0(&self) -> Volt {
+        self.sigma_vt0
+    }
+
+    /// σ(VT) for a device of the given geometry (paper Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is non-positive; geometry must come from a
+    /// validated [`crate::mosfet::Mosfet`].
+    pub fn sigma_vt(&self, w: Meter, l: Meter) -> Volt {
+        assert!(
+            w.meters() > 0.0 && l.meters() > 0.0,
+            "geometry must be positive: w={w}, l={l}"
+        );
+        let ratio = (self.lmin / l) * (self.wmin / w);
+        self.sigma_vt0 * ratio.sqrt()
+    }
+}
+
+/// Draws zero-mean Gaussian ΔVT samples using the Box–Muller transform.
+///
+/// `rand` (without `rand_distr`) ships no normal distribution, so we carry our
+/// own; two uniform draws per pair of normals, cached to stay cheap inside
+/// million-sample Monte Carlo loops.
+#[derive(Debug, Clone, Default)]
+pub struct VtSampler {
+    cached: Option<f64>,
+}
+
+impl VtSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One standard-normal draw.
+    pub fn standard_normal<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Box–Muller: u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One ΔVT draw for a device of the given sigma.
+    pub fn sample_delta_vt<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: Volt) -> Volt {
+        Volt::new(self.standard_normal(rng) * sigma.volts())
+    }
+
+    /// Fills `out` with independent ΔVT draws, one per provided sigma.
+    ///
+    /// The per-transistor sigmas differ because SRAM cells size their
+    /// pull-down, pass-gate and pull-up devices differently.
+    pub fn sample_cell<R: Rng + ?Sized>(&mut self, rng: &mut R, sigmas: &[Volt], out: &mut Vec<Volt>) {
+        out.clear();
+        out.extend(sigmas.iter().map(|&s| self.sample_delta_vt(rng, s)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigma_scales_inverse_sqrt_area() {
+        let tech = Technology::ptm_22nm();
+        let m = VariationModel::new(&tech);
+        let base = m.sigma_vt(tech.wmin, tech.lmin);
+        assert!((base.volts() - tech.sigma_vt0.volts()).abs() < 1e-15);
+        let quad = m.sigma_vt(
+            Meter::from_nanometers(tech.wmin.nanometers() * 2.0),
+            Meter::from_nanometers(tech.lmin.nanometers() * 2.0),
+        );
+        assert!((base.volts() / quad.volts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry must be positive")]
+    fn sigma_rejects_zero_width() {
+        let tech = Technology::ptm_22nm();
+        let m = VariationModel::new(&tech);
+        let _ = m.sigma_vt(Meter::new(0.0), tech.lmin);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_for_a_seed() {
+        let tech = Technology::ptm_22nm();
+        let sigma = tech.sigma_vt0;
+        let mut a = VtSampler::new();
+        let mut b = VtSampler::new();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let x = a.sample_delta_vt(&mut rng_a, sigma);
+            let y = b.sample_delta_vt(&mut rng_b, sigma);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn sample_moments_match_gaussian() {
+        let sigma = Volt::from_millivolts(40.0);
+        let mut sampler = VtSampler::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let v = sampler.sample_delta_vt(&mut rng, sigma).volts();
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 5e-4, "mean {mean}");
+        assert!(
+            (var.sqrt() - sigma.volts()).abs() < 5e-4,
+            "std {} vs {}",
+            var.sqrt(),
+            sigma.volts()
+        );
+    }
+
+    #[test]
+    fn sample_cell_draws_one_per_sigma() {
+        let mut sampler = VtSampler::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sigmas = vec![Volt::from_millivolts(40.0); 6];
+        let mut out = Vec::new();
+        sampler.sample_cell(&mut rng, &sigmas, &mut out);
+        assert_eq!(out.len(), 6);
+        // Extremely unlikely that any two independent draws collide exactly.
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                assert_ne!(out[i], out[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn with_sigma_override() {
+        let tech = Technology::ptm_22nm();
+        let m = VariationModel::with_sigma_vt0(&tech, Volt::from_millivolts(10.0));
+        assert_eq!(m.sigma_vt0(), Volt::from_millivolts(10.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the device substrate: physical invariants that
+//! must hold for *any* bias point and geometry, not just the unit-test spots.
+
+use proptest::prelude::*;
+use sram_device::prelude::*;
+
+fn nmos(w_nm: f64, l_nm: f64) -> Mosfet {
+    let tech = Technology::ptm_22nm();
+    Mosfet::new(
+        tech.nmos.clone(),
+        Meter::from_nanometers(w_nm),
+        Meter::from_nanometers(l_nm),
+    )
+    .expect("valid geometry by construction")
+}
+
+proptest! {
+    /// The channel conducts no current with zero drain-source bias.
+    #[test]
+    fn ids_zero_at_zero_vds(vg in 0.0f64..1.2, vcm in 0.0f64..1.0, w in 44.0f64..200.0) {
+        let m = nmos(w, 22.0);
+        let i = m.drain_current(Volt::new(vg), Volt::new(vcm), Volt::new(vcm));
+        prop_assert!(i.amps().abs() < 1e-15);
+    }
+
+    /// Drain current is monotone non-decreasing in gate voltage.
+    #[test]
+    fn ids_monotone_in_vg(vg in 0.0f64..1.1, dv in 0.001f64..0.2, vd in 0.05f64..1.0) {
+        let m = nmos(88.0, 22.0);
+        let lo = m.drain_current(Volt::new(vg), Volt::new(vd), Volt::new(0.0)).amps();
+        let hi = m.drain_current(Volt::new(vg + dv), Volt::new(vd), Volt::new(0.0)).amps();
+        prop_assert!(hi >= lo);
+    }
+
+    /// Drain current is monotone non-decreasing in drain voltage (no negative
+    /// output conductance anywhere).
+    #[test]
+    fn ids_monotone_in_vd(vg in 0.0f64..1.1, vd in 0.0f64..1.0, dv in 0.001f64..0.2) {
+        let m = nmos(88.0, 22.0);
+        let lo = m.drain_current(Volt::new(vg), Volt::new(vd), Volt::new(0.0)).amps();
+        let hi = m.drain_current(Volt::new(vg), Volt::new(vd + dv), Volt::new(0.0)).amps();
+        prop_assert!(hi >= lo - 1e-18);
+    }
+
+    /// Swapping drain and source flips the sign but keeps the magnitude.
+    #[test]
+    fn channel_antisymmetry(vg in 0.0f64..1.1, va in 0.0f64..1.0, vb in 0.0f64..1.0) {
+        let m = nmos(88.0, 22.0);
+        let fwd = m.drain_current(Volt::new(vg), Volt::new(va), Volt::new(vb)).amps();
+        let rev = m.drain_current(Volt::new(vg), Volt::new(vb), Volt::new(va)).amps();
+        prop_assert!((fwd + rev).abs() <= 1e-12 * fwd.abs().max(1e-18));
+    }
+
+    /// Wider devices carry proportionally more current.
+    #[test]
+    fn ids_scales_with_width(vg in 0.3f64..1.1, vd in 0.1f64..1.0, w in 44.0f64..400.0) {
+        let narrow = nmos(w, 22.0);
+        let wide = nmos(2.0 * w, 22.0);
+        let i1 = narrow.drain_current(Volt::new(vg), Volt::new(vd), Volt::new(0.0)).amps();
+        let i2 = wide.drain_current(Volt::new(vg), Volt::new(vd), Volt::new(0.0)).amps();
+        prop_assert!((i2 / i1 - 2.0).abs() < 1e-9, "ratio {}", i2 / i1);
+    }
+
+    /// A positive threshold shift never strengthens the device.
+    #[test]
+    fn delta_vt_ordering(vg in 0.0f64..1.1, vd in 0.05f64..1.0, shift in 0.0f64..0.25) {
+        let m = nmos(88.0, 22.0);
+        let weak = m.with_delta_vt(Volt::new(shift));
+        let nom = m.drain_current(Volt::new(vg), Volt::new(vd), Volt::new(0.0)).amps();
+        let degraded = weak.drain_current(Volt::new(vg), Volt::new(vd), Volt::new(0.0)).amps();
+        prop_assert!(degraded <= nom + 1e-18);
+    }
+
+    /// Pelgrom sigma is monotone decreasing in device area.
+    #[test]
+    fn pelgrom_monotone(w in 44.0f64..500.0, grow in 1.01f64..4.0) {
+        let tech = Technology::ptm_22nm();
+        let model = VariationModel::new(&tech);
+        let s1 = model.sigma_vt(Meter::from_nanometers(w), tech.lmin);
+        let s2 = model.sigma_vt(Meter::from_nanometers(w * grow), tech.lmin);
+        prop_assert!(s2.volts() < s1.volts());
+    }
+
+    /// Unit ratios invert cleanly (V / V is dimensionless and exact-ish).
+    #[test]
+    fn unit_ratio_roundtrip(a in 0.01f64..10.0, b in 0.01f64..10.0) {
+        let va = Volt::new(a);
+        let vb = Volt::new(b);
+        let ratio = va / vb;
+        prop_assert!((ratio * vb.volts() - a).abs() < 1e-12 * a.max(1.0));
+    }
+}

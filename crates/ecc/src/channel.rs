@@ -1,0 +1,289 @@
+//! Monte Carlo store-then-read channel for ECC-protected words.
+//!
+//! Models the life of one synaptic weight in an ECC-over-6T memory at scaled
+//! voltage: the encoded word is written, every stored bit flips independently
+//! with the 6T per-bit failure probability, and the readout is decoded. The
+//! channel knows the original payload, so it can classify outcomes more
+//! finely than the decoder alone — in particular it separates *silently
+//! wrong* results (multi-bit corruption that aliased onto a valid or
+//! correctable codeword) from genuinely clean ones. The silent-error
+//! residual is the quantity that decides whether ECC can compete with the
+//! paper's hybrid 8T-6T protection at very low voltage.
+
+use crate::error::EccError;
+use crate::hamming::{Decoded, SecdedCode};
+use rand::Rng;
+
+/// How one transmitted word fared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// No bit flipped; payload exact.
+    Clean,
+    /// The decoder corrected a single flip; payload exact.
+    Corrected,
+    /// The decoder flagged the word as uncorrectable (≥ 2 flips, detected).
+    Detected,
+    /// The decoder reported success but the payload is wrong (≥ 2 flips that
+    /// aliased onto a valid or single-error codeword).
+    SilentlyWrong,
+}
+
+/// Result of transmitting one word through the noisy channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// The payload delivered to the reader (for [`Outcome::Detected`] this
+    /// is the best-effort extraction; callers usually substitute zero).
+    pub data: u64,
+    /// Outcome classification.
+    pub outcome: Outcome,
+    /// Number of stored bits that actually flipped.
+    pub flipped_bits: u32,
+}
+
+/// Aggregate statistics over many transmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelStats {
+    /// Number of words transmitted.
+    pub trials: u64,
+    /// Count of [`Outcome::Clean`].
+    pub clean: u64,
+    /// Count of [`Outcome::Corrected`].
+    pub corrected: u64,
+    /// Count of [`Outcome::Detected`].
+    pub detected: u64,
+    /// Count of [`Outcome::SilentlyWrong`].
+    pub silently_wrong: u64,
+}
+
+impl ChannelStats {
+    /// Fraction of words whose payload was delivered exactly.
+    pub fn exact_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        (self.clean + self.corrected) as f64 / self.trials as f64
+    }
+
+    /// Fraction of words lost to detected-uncorrectable or silent errors.
+    pub fn residual_error_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        (self.detected + self.silently_wrong) as f64 / self.trials as f64
+    }
+}
+
+/// A binary symmetric channel wrapped around a [`SecdedCode`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccChannel {
+    code: SecdedCode,
+    flip_probability: f64,
+}
+
+impl EccChannel {
+    /// Creates a channel where every stored bit flips independently with
+    /// probability `flip_probability` (the 6T per-bit store-then-read error
+    /// rate at the operating voltage).
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::InvalidProbability`] unless `0 <= flip_probability <= 1`.
+    pub fn new(code: SecdedCode, flip_probability: f64) -> Result<Self, EccError> {
+        if !(0.0..=1.0).contains(&flip_probability) || !flip_probability.is_finite() {
+            return Err(EccError::InvalidProbability {
+                value: flip_probability,
+            });
+        }
+        Ok(Self {
+            code,
+            flip_probability,
+        })
+    }
+
+    /// The wrapped code.
+    #[inline]
+    pub fn code(&self) -> SecdedCode {
+        self.code
+    }
+
+    /// The per-bit flip probability.
+    #[inline]
+    pub fn flip_probability(&self) -> f64 {
+        self.flip_probability
+    }
+
+    /// Sends one payload through encode → noisy storage → decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not fit the code's payload width (the channel
+    /// is a simulation harness; out-of-range payloads are programmer error).
+    pub fn transmit<R: Rng + ?Sized>(&self, data: u64, rng: &mut R) -> Transmission {
+        let word = self
+            .code
+            .encode(data)
+            .expect("payload must fit the code width");
+        let mut stored = word;
+        let mut flipped = 0u32;
+        for bit in 0..self.code.code_bits() {
+            if rng.gen_bool(self.flip_probability) {
+                stored ^= 1 << bit;
+                flipped += 1;
+            }
+        }
+        let decoded = self
+            .code
+            .decode(stored)
+            .expect("corrupted word stays in range");
+        let outcome = match decoded {
+            Decoded::Clean { data: d } => {
+                if d == data {
+                    Outcome::Clean
+                } else {
+                    Outcome::SilentlyWrong
+                }
+            }
+            Decoded::Corrected { data: d, .. } => {
+                if d == data {
+                    Outcome::Corrected
+                } else {
+                    Outcome::SilentlyWrong
+                }
+            }
+            Decoded::Uncorrectable { .. } => Outcome::Detected,
+        };
+        Transmission {
+            data: decoded.data(),
+            outcome,
+            flipped_bits: flipped,
+        }
+    }
+
+    /// Transmits `trials` random payloads and aggregates the outcomes.
+    pub fn run<R: Rng + ?Sized>(&self, trials: u64, rng: &mut R) -> ChannelStats {
+        let mut stats = ChannelStats {
+            trials,
+            ..ChannelStats::default()
+        };
+        let payload_mask = if self.code.data_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.code.data_bits()) - 1
+        };
+        for _ in 0..trials {
+            let data = rng.gen::<u64>() & payload_mask;
+            match self.transmit(data, rng).outcome {
+                Outcome::Clean => stats.clean += 1,
+                Outcome::Corrected => stats.corrected += 1,
+                Outcome::Detected => stats.detected += 1,
+                Outcome::SilentlyWrong => stats.silently_wrong += 1,
+            }
+        }
+        stats
+    }
+
+    /// Closed-form probability that a word survives exactly (0 or 1 flip):
+    /// `(1-p)^n + n·p·(1-p)^(n-1)`.
+    pub fn analytic_exact_probability(&self) -> f64 {
+        let n = f64::from(self.code.code_bits());
+        let p = self.flip_probability;
+        (1.0 - p).powf(n) + n * p * (1.0 - p).powf(n - 1.0)
+    }
+
+    /// Closed-form probability of ≥ 2 flips (the word is at best detected).
+    pub fn analytic_failure_probability(&self) -> f64 {
+        1.0 - self.analytic_exact_probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn channel(p: f64) -> EccChannel {
+        EccChannel::new(SecdedCode::for_weights().unwrap(), p).unwrap()
+    }
+
+    #[test]
+    fn probability_validated() {
+        let code = SecdedCode::for_weights().unwrap();
+        assert!(EccChannel::new(code, -0.1).is_err());
+        assert!(EccChannel::new(code, 1.1).is_err());
+        assert!(EccChannel::new(code, f64::NAN).is_err());
+        assert!(EccChannel::new(code, 0.0).is_ok());
+        assert!(EccChannel::new(code, 1.0).is_ok());
+    }
+
+    #[test]
+    fn noiseless_channel_is_always_clean() {
+        let ch = channel(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let stats = ch.run(500, &mut rng);
+        assert_eq!(stats.clean, 500);
+        assert_eq!(stats.exact_fraction(), 1.0);
+        assert_eq!(stats.residual_error_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_flips_dominate_at_low_probability() {
+        let ch = channel(1e-3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = ch.run(200_000, &mut rng);
+        // Expected corrected fraction ≈ 13 · p = 1.3 %; allow generous slack.
+        let corrected = stats.corrected as f64 / stats.trials as f64;
+        assert!(
+            (corrected - 13.0 * 1e-3).abs() < 2e-3,
+            "corrected fraction {corrected}"
+        );
+        // Residual (≥2 flips) ≈ C(13,2) p² ≈ 7.8e-5 — far below corrected.
+        assert!(stats.residual_error_fraction() < 1e-3);
+        assert!(stats.exact_fraction() > 0.99);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        let ch = channel(0.02);
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = ch.run(100_000, &mut rng);
+        let analytic = ch.analytic_failure_probability();
+        let measured = stats.residual_error_fraction()
+            + 0.0; // silent + detected is exactly "not exact"
+        let not_exact = 1.0 - stats.exact_fraction();
+        assert!(
+            (not_exact - analytic).abs() < 0.005,
+            "measured {not_exact}, analytic {analytic} (residual {measured})"
+        );
+    }
+
+    #[test]
+    fn saturated_channel_never_silently_matches() {
+        // p = 0.5 is maximum entropy: most words must be detected or wrong,
+        // and the exact fraction collapses.
+        let ch = channel(0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let stats = ch.run(20_000, &mut rng);
+        assert!(stats.exact_fraction() < 0.05);
+        assert!(stats.detected + stats.silently_wrong > 15_000);
+    }
+
+    #[test]
+    fn transmission_reports_flip_count() {
+        let ch = channel(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        // p = 1: every one of the 13 bits flips.
+        let t = ch.transmit(0x3C, &mut rng);
+        assert_eq!(t.flipped_bits, 13);
+        // 13 flips = odd number ⇒ parity invariant broken ⇒ the decoder
+        // sees a "single-error" signature and miscorrects: silently wrong.
+        assert_eq!(t.outcome, Outcome::SilentlyWrong);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let stats = ChannelStats::default();
+        assert_eq!(stats.exact_fraction(), 1.0);
+        assert_eq!(stats.residual_error_fraction(), 0.0);
+    }
+}

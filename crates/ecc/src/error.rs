@@ -1,0 +1,73 @@
+//! Error type for code construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or using an ECC code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EccError {
+    /// The requested data width cannot be supported by a u64 codeword.
+    UnsupportedDataWidth {
+        /// Requested number of data bits.
+        data_bits: u32,
+    },
+    /// A data word had bits set above the code's data width.
+    DataOutOfRange {
+        /// The offending word.
+        data: u64,
+        /// The code's data width.
+        data_bits: u32,
+    },
+    /// A codeword had bits set above the code's total width.
+    CodewordOutOfRange {
+        /// The offending codeword.
+        code: u64,
+        /// The code's total width.
+        code_bits: u32,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsupportedDataWidth { data_bits } => {
+                write!(f, "unsupported data width {data_bits} (must be 1..=57)")
+            }
+            Self::DataOutOfRange { data, data_bits } => {
+                write!(f, "data {data:#x} does not fit in {data_bits} bits")
+            }
+            Self::CodewordOutOfRange { code, code_bits } => {
+                write!(f, "codeword {code:#x} does not fit in {code_bits} bits")
+            }
+            Self::InvalidProbability { value } => {
+                write!(f, "probability {value} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for EccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = EccError::UnsupportedDataWidth { data_bits: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = EccError::InvalidProbability { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EccError>();
+    }
+}

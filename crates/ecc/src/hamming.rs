@@ -1,0 +1,408 @@
+//! Extended Hamming (SECDED) codes over `u64` words.
+//!
+//! The code is the classic single-error-correcting Hamming code with parity
+//! bits at power-of-two positions, extended with one overall parity bit so
+//! that double errors are *detected* rather than miscorrected. For the
+//! paper's 8-bit synaptic weights this is a (13, 8) code: four Hamming
+//! parity bits plus the overall parity.
+//!
+//! Bit layout of a codeword (least significant bit first): bit `i` of the
+//! `u64` holds Hamming position `i + 1` for `i < m + r`, and the overall
+//! parity occupies bit `m + r`. Valid codewords have two invariants that the
+//! decoder exploits:
+//!
+//! 1. the XOR of the (1-indexed) positions of all set bits is zero, and
+//! 2. the total number of set bits (including the overall parity) is even.
+//!
+//! A single flipped bit breaks invariant 2 and makes the XOR of invariant 1
+//! equal to the flipped position; a double flip preserves invariant 2 while
+//! breaking invariant 1, which is exactly the detected-but-uncorrectable
+//! signature.
+
+use crate::error::EccError;
+
+/// A SECDED code for a fixed data width.
+///
+/// # Examples
+///
+/// ```
+/// use sram_ecc::hamming::SecdedCode;
+///
+/// let code = SecdedCode::new(8)?;
+/// assert_eq!(code.parity_bits(), 4);
+/// assert_eq!(code.code_bits(), 13);
+/// assert!((code.storage_overhead() - 0.625).abs() < 1e-12);
+/// # Ok::<(), sram_ecc::EccError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecdedCode {
+    data_bits: u32,
+    parity_bits: u32,
+}
+
+/// Outcome of decoding one received codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected; `data` is trustworthy (absent ≥ 3-bit corruption).
+    Clean {
+        /// The decoded payload.
+        data: u64,
+    },
+    /// A single-bit error was corrected.
+    Corrected {
+        /// The corrected payload.
+        data: u64,
+        /// The corrected Hamming position (1-indexed); `0` means the overall
+        /// parity bit itself was hit, which leaves the payload untouched.
+        position: u32,
+    },
+    /// A double (or detectable multi-bit) error: the payload cannot be
+    /// recovered and downstream logic must decide what to substitute.
+    Uncorrectable {
+        /// Best-effort extraction of the data bits without correction.
+        raw_data: u64,
+    },
+}
+
+impl Decoded {
+    /// The payload regardless of outcome (best-effort for
+    /// [`Decoded::Uncorrectable`]).
+    pub fn data(&self) -> u64 {
+        match *self {
+            Decoded::Clean { data }
+            | Decoded::Corrected { data, .. }
+            | Decoded::Uncorrectable { raw_data: data } => data,
+        }
+    }
+
+    /// `true` unless the outcome is [`Decoded::Uncorrectable`].
+    pub fn is_recovered(&self) -> bool {
+        !matches!(self, Decoded::Uncorrectable { .. })
+    }
+}
+
+impl SecdedCode {
+    /// Largest supported data width: 57 data bits need 6 Hamming parity bits
+    /// plus the overall parity, exactly filling a `u64`.
+    pub const MAX_DATA_BITS: u32 = 57;
+
+    /// Creates a code for `data_bits` of payload.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::UnsupportedDataWidth`] unless `1 <= data_bits <= 57`.
+    pub fn new(data_bits: u32) -> Result<Self, EccError> {
+        if data_bits == 0 || data_bits > Self::MAX_DATA_BITS {
+            return Err(EccError::UnsupportedDataWidth { data_bits });
+        }
+        let mut parity_bits = 0u32;
+        while (1u64 << parity_bits) < (data_bits + parity_bits + 1) as u64 {
+            parity_bits += 1;
+        }
+        Ok(Self {
+            data_bits,
+            parity_bits,
+        })
+    }
+
+    /// The (13, 8) code protecting the paper's 8-bit synaptic weights.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice; returns `Result` for API uniformity.
+    pub fn for_weights() -> Result<Self, EccError> {
+        Self::new(8)
+    }
+
+    /// Payload width in bits.
+    #[inline]
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Number of Hamming parity bits (excluding the overall parity).
+    #[inline]
+    pub fn parity_bits(&self) -> u32 {
+        self.parity_bits
+    }
+
+    /// Total codeword width: data + Hamming parity + overall parity.
+    #[inline]
+    pub fn code_bits(&self) -> u32 {
+        self.data_bits + self.parity_bits + 1
+    }
+
+    /// Extra storage per payload bit: `(code_bits - data_bits) / data_bits`.
+    pub fn storage_overhead(&self) -> f64 {
+        f64::from(self.code_bits() - self.data_bits) / f64::from(self.data_bits)
+    }
+
+    /// Width of the Hamming part (without the overall parity bit).
+    #[inline]
+    fn hamming_bits(&self) -> u32 {
+        self.data_bits + self.parity_bits
+    }
+
+    /// Encodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::DataOutOfRange`] if `data` has bits set at or above
+    /// [`SecdedCode::data_bits`].
+    pub fn encode(&self, data: u64) -> Result<u64, EccError> {
+        if self.data_bits < 64 && data >> self.data_bits != 0 {
+            return Err(EccError::DataOutOfRange {
+                data,
+                data_bits: self.data_bits,
+            });
+        }
+        // Scatter data bits into non-power-of-two positions, tracking the
+        // XOR of occupied positions.
+        let mut word = 0u64;
+        let mut position_xor = 0u64;
+        let mut next_data_bit = 0u32;
+        for position in 1..=u64::from(self.hamming_bits()) {
+            if position.is_power_of_two() {
+                continue;
+            }
+            if (data >> next_data_bit) & 1 == 1 {
+                word |= 1 << (position - 1);
+                position_xor ^= position;
+            }
+            next_data_bit += 1;
+        }
+        // Each bit of the position XOR names one parity bit to set; setting
+        // them drives the codeword's total position XOR to zero.
+        for j in 0..self.parity_bits {
+            if (position_xor >> j) & 1 == 1 {
+                let position = 1u64 << j;
+                word |= 1 << (position - 1);
+            }
+        }
+        // Overall parity: make the popcount of the full codeword even.
+        if word.count_ones() % 2 == 1 {
+            word |= 1 << self.hamming_bits();
+        }
+        Ok(word)
+    }
+
+    /// Decodes a received codeword, correcting single-bit errors and
+    /// flagging double-bit errors.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::CodewordOutOfRange`] if `code` has bits set at or above
+    /// [`SecdedCode::code_bits`].
+    pub fn decode(&self, code: u64) -> Result<Decoded, EccError> {
+        if self.code_bits() < 64 && code >> self.code_bits() != 0 {
+            return Err(EccError::CodewordOutOfRange {
+                code,
+                code_bits: self.code_bits(),
+            });
+        }
+        let hamming_mask = if self.hamming_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.hamming_bits()) - 1
+        };
+        let hamming_part = code & hamming_mask;
+
+        let mut syndrome = 0u64;
+        let mut bits = hamming_part;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as u64;
+            syndrome ^= i + 1;
+            bits &= bits - 1;
+        }
+        let parity_even = code.count_ones().is_multiple_of(2);
+
+        match (syndrome, parity_even) {
+            (0, true) => Ok(Decoded::Clean {
+                data: self.extract(hamming_part),
+            }),
+            (0, false) => Ok(Decoded::Corrected {
+                // Only the overall parity bit itself can produce this
+                // signature; the payload is intact.
+                data: self.extract(hamming_part),
+                position: 0,
+            }),
+            (s, false) if s <= u64::from(self.hamming_bits()) => {
+                let repaired = hamming_part ^ (1 << (s - 1));
+                Ok(Decoded::Corrected {
+                    data: self.extract(repaired),
+                    position: s as u32,
+                })
+            }
+            // Odd parity with an out-of-range syndrome (≥ 3 flips), or even
+            // parity with a nonzero syndrome (2 flips): detected,
+            // uncorrectable.
+            _ => Ok(Decoded::Uncorrectable {
+                raw_data: self.extract(hamming_part),
+            }),
+        }
+    }
+
+    /// Gathers the data bits out of a Hamming word (no correction).
+    fn extract(&self, hamming_part: u64) -> u64 {
+        let mut data = 0u64;
+        let mut next_data_bit = 0u32;
+        for position in 1..=u64::from(self.hamming_bits()) {
+            if position.is_power_of_two() {
+                continue;
+            }
+            if (hamming_part >> (position - 1)) & 1 == 1 {
+                data |= 1 << next_data_bit;
+            }
+            next_data_bit += 1;
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weight_code() -> SecdedCode {
+        SecdedCode::for_weights().unwrap()
+    }
+
+    #[test]
+    fn code_dimensions_match_theory() {
+        // (data_bits, expected_parity_bits)
+        for (m, r) in [(1, 2), (4, 3), (8, 4), (11, 4), (12, 5), (26, 5), (32, 6), (57, 6)] {
+            let code = SecdedCode::new(m).unwrap();
+            assert_eq!(code.parity_bits(), r, "data width {m}");
+            assert_eq!(code.code_bits(), m + r + 1);
+        }
+    }
+
+    #[test]
+    fn unsupported_widths_rejected() {
+        assert!(SecdedCode::new(0).is_err());
+        assert!(SecdedCode::new(58).is_err());
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let code = weight_code();
+        for data in 0..=255u64 {
+            let word = code.encode(data).unwrap();
+            match code.decode(word).unwrap() {
+                Decoded::Clean { data: d } => assert_eq!(d, data),
+                other => panic!("byte {data}: expected clean, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_corrected_exhaustive() {
+        let code = weight_code();
+        for data in 0..=255u64 {
+            let word = code.encode(data).unwrap();
+            for bit in 0..code.code_bits() {
+                let corrupted = word ^ (1 << bit);
+                match code.decode(corrupted).unwrap() {
+                    Decoded::Corrected { data: d, position } => {
+                        assert_eq!(d, data, "byte {data}, flipped bit {bit}");
+                        let expected = if bit == code.code_bits() - 1 {
+                            0 // overall parity bit
+                        } else {
+                            bit + 1
+                        };
+                        assert_eq!(position, expected, "byte {data}, flipped bit {bit}");
+                    }
+                    other => panic!("byte {data}, bit {bit}: got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_detected_exhaustive() {
+        let code = weight_code();
+        for data in [0u64, 0x55, 0xAA, 0xFF, 0x01, 0x80, 0x3C] {
+            let word = code.encode(data).unwrap();
+            for b1 in 0..code.code_bits() {
+                for b2 in (b1 + 1)..code.code_bits() {
+                    let corrupted = word ^ (1 << b1) ^ (1 << b2);
+                    let outcome = code.decode(corrupted).unwrap();
+                    assert!(
+                        matches!(outcome, Decoded::Uncorrectable { .. }),
+                        "byte {data}, bits ({b1},{b2}): got {outcome:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codewords_have_even_weight_and_zero_position_xor() {
+        let code = weight_code();
+        for data in 0..=255u64 {
+            let word = code.encode(data).unwrap();
+            assert_eq!(word.count_ones() % 2, 0, "byte {data}");
+            let mut pos_xor = 0u64;
+            for i in 0..code.code_bits() - 1 {
+                if (word >> i) & 1 == 1 {
+                    pos_xor ^= u64::from(i) + 1;
+                }
+            }
+            assert_eq!(pos_xor, 0, "byte {data}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_inputs_rejected() {
+        let code = weight_code();
+        assert!(matches!(
+            code.encode(0x100),
+            Err(EccError::DataOutOfRange { .. })
+        ));
+        assert!(matches!(
+            code.decode(1 << 13),
+            Err(EccError::CodewordOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn decoded_accessors() {
+        let code = weight_code();
+        let word = code.encode(0x5A).unwrap();
+        let clean = code.decode(word).unwrap();
+        assert_eq!(clean.data(), 0x5A);
+        assert!(clean.is_recovered());
+        let double = code.decode(word ^ 0b11).unwrap();
+        assert!(!double.is_recovered());
+    }
+
+    #[test]
+    fn storage_overhead_decreases_with_width() {
+        // Wider payloads amortize the parity bits: 8 -> 62.5 %, 32 -> ~21.9 %.
+        let w8 = SecdedCode::new(8).unwrap().storage_overhead();
+        let w16 = SecdedCode::new(16).unwrap().storage_overhead();
+        let w32 = SecdedCode::new(32).unwrap().storage_overhead();
+        assert!(w8 > w16 && w16 > w32);
+        assert!((w8 - 0.625).abs() < 1e-12);
+        assert!((w32 - 7.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widest_code_fills_u64() {
+        let code = SecdedCode::new(57).unwrap();
+        assert_eq!(code.code_bits(), 64);
+        let data = (1u64 << 57) - 1;
+        let word = code.encode(data).unwrap();
+        match code.decode(word).unwrap() {
+            Decoded::Clean { data: d } => assert_eq!(d, data),
+            other => panic!("expected clean, got {other:?}"),
+        }
+        // Single-bit correction still works at the extremes.
+        for bit in [0u32, 31, 63] {
+            match code.decode(word ^ (1 << bit)).unwrap() {
+                Decoded::Corrected { data: d, .. } => assert_eq!(d, data),
+                other => panic!("bit {bit}: got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # sram-ecc
+//!
+//! SECDED (single-error-correct, double-error-detect) Hamming codes plus the
+//! storage / logic overhead models needed to use them as a *baseline
+//! competitor* to the paper's significance-driven hybrid 8T-6T SRAM.
+//!
+//! The DATE 2016 paper protects the most significant bits of each synaptic
+//! weight by moving them into voltage-robust 8T bitcells. The textbook
+//! alternative is to keep every bit in a 6T cell and add an error-correcting
+//! code. This crate implements that alternative honestly so the two designs
+//! can be compared under identical failure statistics:
+//!
+//! * [`hamming::SecdedCode`] — an extended Hamming code for any data width
+//!   up to 57 bits (for the paper's 8-bit weights: 13 code bits, a 62.5 %
+//!   storage overhead);
+//! * [`overhead`] — bit-count, area and codec-energy overhead models;
+//! * [`channel`] — a Monte Carlo store-then-read channel that classifies
+//!   outcomes (clean / corrected / detected / silently wrong) under per-bit
+//!   flip probabilities taken from the 6T characterization.
+//!
+//! The comparison itself (accuracy, power and area of ECC-over-6T versus
+//! hybrid 8T-6T at scaled voltage) lives in `hybrid-sram`'s experiment
+//! runner; this crate is pure coding theory plus overhead bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use sram_ecc::hamming::{Decoded, SecdedCode};
+//!
+//! let code = SecdedCode::for_weights()?; // 8 data bits -> 13 code bits
+//! let word = code.encode(0b1011_0001)?;
+//!
+//! // Any single bit error is corrected...
+//! let corrupted = word ^ (1 << 7);
+//! match code.decode(corrupted)? {
+//!     Decoded::Corrected { data, .. } => assert_eq!(data, 0b1011_0001),
+//!     other => panic!("expected correction, got {other:?}"),
+//! }
+//!
+//! // ...and any double error is flagged rather than silently accepted.
+//! let corrupted = word ^ 0b11;
+//! assert!(matches!(code.decode(corrupted)?, Decoded::Uncorrectable { .. }));
+//! # Ok::<(), sram_ecc::EccError>(())
+//! ```
+
+pub mod channel;
+pub mod error;
+pub mod hamming;
+pub mod overhead;
+
+pub use error::EccError;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::channel::{ChannelStats, EccChannel, Outcome};
+    pub use crate::error::EccError;
+    pub use crate::hamming::{Decoded, SecdedCode};
+    pub use crate::overhead::EccOverheadModel;
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the SECDED codec: the coding-theory guarantees
+//! must hold for arbitrary data widths, payloads and error positions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_ecc::prelude::*;
+
+/// Strategy: a supported data width and a payload that fits it.
+fn width_and_payload() -> impl Strategy<Value = (u32, u64)> {
+    (1u32..=57).prop_flat_map(|w| {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        (Just(w), any::<u64>().prop_map(move |d| d & mask))
+    })
+}
+
+proptest! {
+    /// encode → decode with no noise returns the payload as Clean.
+    #[test]
+    fn roundtrip_any_width((w, data) in width_and_payload()) {
+        let code = SecdedCode::new(w).unwrap();
+        let word = code.encode(data).unwrap();
+        prop_assert_eq!(code.decode(word).unwrap(), Decoded::Clean { data });
+    }
+
+    /// Any single flip at any width is corrected back to the payload.
+    #[test]
+    fn single_flip_corrected((w, data) in width_and_payload(), flip in any::<u32>()) {
+        let code = SecdedCode::new(w).unwrap();
+        let word = code.encode(data).unwrap();
+        let bit = flip % code.code_bits();
+        match code.decode(word ^ (1 << bit)).unwrap() {
+            Decoded::Corrected { data: d, .. } => prop_assert_eq!(d, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    /// Any double flip at any width is reported uncorrectable — never
+    /// silently accepted, never miscorrected.
+    #[test]
+    fn double_flip_detected((w, data) in width_and_payload(), f1 in any::<u32>(), f2 in any::<u32>()) {
+        let code = SecdedCode::new(w).unwrap();
+        let word = code.encode(data).unwrap();
+        let b1 = f1 % code.code_bits();
+        let b2 = f2 % code.code_bits();
+        prop_assume!(b1 != b2);
+        let outcome = code.decode(word ^ (1 << b1) ^ (1 << b2)).unwrap();
+        prop_assert!(matches!(outcome, Decoded::Uncorrectable { .. }),
+            "bits ({}, {}) gave {:?}", b1, b2, outcome);
+    }
+
+    /// All codewords are even-weight: the minimum distance of the extended
+    /// code is 4, which is what SECDED requires.
+    #[test]
+    fn codewords_even_weight((w, data) in width_and_payload()) {
+        let code = SecdedCode::new(w).unwrap();
+        let word = code.encode(data).unwrap();
+        prop_assert_eq!(word.count_ones() % 2, 0);
+    }
+
+    /// Two distinct payloads never encode to codewords closer than Hamming
+    /// distance 4.
+    #[test]
+    fn distinct_payloads_distance_at_least_4(
+        w in 1u32..=16,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let code = SecdedCode::new(w).unwrap();
+        let mask = (1u64 << w) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assume!(a != b);
+        let wa = code.encode(a).unwrap();
+        let wb = code.encode(b).unwrap();
+        prop_assert!((wa ^ wb).count_ones() >= 4,
+            "payloads {:#x}/{:#x} encode at distance {}", a, b, (wa ^ wb).count_ones());
+    }
+
+    /// Channel statistics always add up and stay in range.
+    #[test]
+    fn channel_stats_consistent(p in 0.0f64..0.3, seed in any::<u64>()) {
+        let code = SecdedCode::for_weights().unwrap();
+        let ch = EccChannel::new(code, p).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = ch.run(500, &mut rng);
+        prop_assert_eq!(
+            stats.clean + stats.corrected + stats.detected + stats.silently_wrong,
+            stats.trials
+        );
+        prop_assert!((0.0..=1.0).contains(&stats.exact_fraction()));
+        prop_assert!((0.0..=1.0).contains(&stats.residual_error_fraction()));
+    }
+}

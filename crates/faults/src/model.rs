@@ -1,0 +1,189 @@
+//! Per-bit failure models for synaptic words (paper §V).
+//!
+//! The functional simulator models read-access and write failures "by
+//! introducing bit flips while accessing and updating the synaptic weights",
+//! with the flip distribution determined by the memory configuration: a 6T
+//! word fails uniformly across its bits, a hybrid 8T-6T word only in its 6T
+//! LSBs (the 8T failures being negligible in the voltage range of interest).
+//! The paper additionally assumes a bitcell "cannot simultaneously have read
+//! access and write failures since they necessitate conflicting
+//! requirements" — the two mechanisms are disjoint per bit.
+
+use crate::protection::CellAssignment;
+
+/// Number of bits per synaptic word (the paper's 8-bit precision).
+pub const WORD_BITS: usize = 8;
+
+/// Raw per-access bit-error probabilities of the two cell flavors at one
+/// operating voltage (produced by the circuit-level characterization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitErrorRates {
+    /// Read bit-error probability of a 6T cell.
+    pub read_6t: f64,
+    /// Write bit-error probability of a 6T cell.
+    pub write_6t: f64,
+    /// Read bit-error probability of an 8T cell.
+    pub read_8t: f64,
+    /// Write bit-error probability of an 8T cell.
+    pub write_8t: f64,
+}
+
+impl BitErrorRates {
+    /// A perfectly reliable memory (useful as a baseline and in tests).
+    pub const IDEAL: BitErrorRates = BitErrorRates {
+        read_6t: 0.0,
+        write_6t: 0.0,
+        read_8t: 0.0,
+        write_8t: 0.0,
+    };
+
+    /// Validates that all probabilities are in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is out of range or NaN.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("read_6t", self.read_6t),
+            ("write_6t", self.write_6t),
+            ("read_8t", self.read_8t),
+            ("write_8t", self.write_8t),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "{name} = {p} is not a probability"
+            );
+        }
+    }
+}
+
+/// Failure probabilities per bit position of one synaptic word under a given
+/// cell assignment. Index 0 is the LSB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordFailureModel {
+    read: [f64; WORD_BITS],
+    write: [f64; WORD_BITS],
+}
+
+impl WordFailureModel {
+    /// Builds the model from raw cell rates and a per-bit cell assignment.
+    pub fn new(rates: &BitErrorRates, assignment: &CellAssignment) -> Self {
+        rates.validate();
+        let mut read = [0.0; WORD_BITS];
+        let mut write = [0.0; WORD_BITS];
+        for bit in 0..WORD_BITS {
+            if assignment.is_protected(bit) {
+                read[bit] = rates.read_8t;
+                write[bit] = rates.write_8t;
+            } else {
+                read[bit] = rates.read_6t;
+                write[bit] = rates.write_6t;
+            }
+        }
+        Self { read, write }
+    }
+
+    /// A model that never fails.
+    pub fn ideal() -> Self {
+        Self {
+            read: [0.0; WORD_BITS],
+            write: [0.0; WORD_BITS],
+        }
+    }
+
+    /// Read bit-error probability of bit `bit` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn read_probability(&self, bit: usize) -> f64 {
+        self.read[bit]
+    }
+
+    /// Write bit-error probability of bit `bit` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn write_probability(&self, bit: usize) -> f64 {
+        self.write[bit]
+    }
+
+    /// Combined probability that a stored-then-read bit is wrong, honouring
+    /// the paper's disjointness assumption (`p = p_write + p_read`, clamped).
+    pub fn combined_probability(&self, bit: usize) -> f64 {
+        (self.read[bit] + self.write[bit]).min(1.0)
+    }
+
+    /// Expected number of wrong bits in one stored-then-read word.
+    pub fn expected_flips_per_word(&self) -> f64 {
+        (0..WORD_BITS).map(|b| self.combined_probability(b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protection::CellAssignment;
+
+    fn rates() -> BitErrorRates {
+        BitErrorRates {
+            read_6t: 1e-2,
+            write_6t: 1e-3,
+            read_8t: 1e-9,
+            write_8t: 1e-10,
+        }
+    }
+
+    #[test]
+    fn uniform_6t_word_fails_everywhere() {
+        let m = WordFailureModel::new(&rates(), &CellAssignment::all_6t());
+        for bit in 0..WORD_BITS {
+            assert_eq!(m.read_probability(bit), 1e-2);
+            assert_eq!(m.write_probability(bit), 1e-3);
+        }
+    }
+
+    #[test]
+    fn hybrid_word_protects_msbs_only() {
+        let m = WordFailureModel::new(&rates(), &CellAssignment::msb_protected(3));
+        // LSBs 0..=4 are 6T.
+        for bit in 0..5 {
+            assert_eq!(m.read_probability(bit), 1e-2, "bit {bit}");
+        }
+        // MSBs 5..=7 are 8T.
+        for bit in 5..8 {
+            assert_eq!(m.read_probability(bit), 1e-9, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn combined_probability_is_disjoint_sum() {
+        let m = WordFailureModel::new(&rates(), &CellAssignment::all_6t());
+        assert!((m.combined_probability(0) - 1.1e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_flips_scale_with_protection() {
+        let all6 = WordFailureModel::new(&rates(), &CellAssignment::all_6t());
+        let hybrid = WordFailureModel::new(&rates(), &CellAssignment::msb_protected(4));
+        assert!(hybrid.expected_flips_per_word() < all6.expected_flips_per_word());
+        assert!((all6.expected_flips_per_word() - 8.0 * 1.1e-2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_model_never_flips() {
+        let m = WordFailureModel::ideal();
+        assert_eq!(m.expected_flips_per_word(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn invalid_rates_panic() {
+        let bad = BitErrorRates {
+            read_6t: 1.5,
+            ..BitErrorRates::IDEAL
+        };
+        bad.validate();
+    }
+}

@@ -1,0 +1,172 @@
+//! Bit-protection policies: which bits of a synaptic word live in 8T cells.
+//!
+//! These encode the paper's three memory configurations (Fig. 3): the all-6T
+//! base, the significance-driven hybrid with `n` protected MSBs everywhere
+//! (Configuration 1), and the synaptic-sensitivity-driven architecture with
+//! a per-bank protected-MSB count (Configuration 2).
+
+use crate::model::WORD_BITS;
+
+/// Per-bit cell assignment inside one word: a protection mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellAssignment {
+    mask: u8,
+}
+
+impl CellAssignment {
+    /// Every bit in a 6T cell (base configuration).
+    pub fn all_6t() -> Self {
+        Self { mask: 0 }
+    }
+
+    /// Every bit in an 8T cell.
+    pub fn all_8t() -> Self {
+        Self { mask: 0xFF }
+    }
+
+    /// The `n` most significant bits in 8T cells (Configuration 1's word
+    /// layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn msb_protected(n: usize) -> Self {
+        assert!(n <= WORD_BITS, "cannot protect {n} of {WORD_BITS} bits");
+        let mask = if n == 0 {
+            0
+        } else {
+            let ones = (1u16 << n) - 1;
+            ((ones << (WORD_BITS - n)) & 0xFF) as u8
+        };
+        Self { mask }
+    }
+
+    /// Arbitrary protection mask (bit i set = bit i in an 8T cell).
+    pub fn from_mask(mask: u8) -> Self {
+        Self { mask }
+    }
+
+    /// `true` if bit `bit` (0 = LSB) is stored in an 8T cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn is_protected(&self, bit: usize) -> bool {
+        assert!(bit < WORD_BITS);
+        self.mask & (1 << bit) != 0
+    }
+
+    /// Number of protected (8T) bits.
+    pub fn protected_count(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// The raw mask.
+    pub fn mask(&self) -> u8 {
+        self.mask
+    }
+}
+
+/// A whole-memory protection policy (paper Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtectionPolicy {
+    /// Base configuration: every word entirely in 6T cells.
+    Uniform6T,
+    /// Configuration 1: the same `n` MSBs of *every* word in 8T cells.
+    MsbProtected {
+        /// Number of protected MSBs (0-8).
+        msb_8t: usize,
+    },
+    /// Configuration 2: one bank per ANN layer, each with its own number of
+    /// protected MSBs chosen by synaptic sensitivity.
+    PerBank {
+        /// Protected-MSB count for each bank, input-side bank first.
+        msb_8t: Vec<usize>,
+    },
+}
+
+impl ProtectionPolicy {
+    /// The cell assignment for words stored in bank `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ProtectionPolicy::PerBank`] policy is asked about a
+    /// bank it does not describe, or if a protected count exceeds the word
+    /// width.
+    pub fn assignment(&self, bank: usize) -> CellAssignment {
+        match self {
+            ProtectionPolicy::Uniform6T => CellAssignment::all_6t(),
+            ProtectionPolicy::MsbProtected { msb_8t } => CellAssignment::msb_protected(*msb_8t),
+            ProtectionPolicy::PerBank { msb_8t } => {
+                let n = *msb_8t
+                    .get(bank)
+                    .unwrap_or_else(|| panic!("bank {bank} not described by policy"));
+                CellAssignment::msb_protected(n)
+            }
+        }
+    }
+
+    /// Number of banks this policy distinguishes (`None` = uniform over any
+    /// bank count).
+    pub fn bank_count(&self) -> Option<usize> {
+        match self {
+            ProtectionPolicy::PerBank { msb_8t } => Some(msb_8t.len()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msb_masks_are_contiguous_from_the_top() {
+        assert_eq!(CellAssignment::msb_protected(0).mask(), 0x00);
+        assert_eq!(CellAssignment::msb_protected(1).mask(), 0x80);
+        assert_eq!(CellAssignment::msb_protected(3).mask(), 0xE0);
+        assert_eq!(CellAssignment::msb_protected(8).mask(), 0xFF);
+    }
+
+    #[test]
+    fn protection_queries() {
+        let a = CellAssignment::msb_protected(2);
+        assert!(a.is_protected(7));
+        assert!(a.is_protected(6));
+        assert!(!a.is_protected(5));
+        assert!(!a.is_protected(0));
+        assert_eq!(a.protected_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot protect")]
+    fn overprotection_panics() {
+        let _ = CellAssignment::msb_protected(9);
+    }
+
+    #[test]
+    fn uniform_policy_ignores_bank() {
+        let p = ProtectionPolicy::Uniform6T;
+        assert_eq!(p.assignment(0), CellAssignment::all_6t());
+        assert_eq!(p.assignment(17), CellAssignment::all_6t());
+        assert_eq!(p.bank_count(), None);
+    }
+
+    #[test]
+    fn per_bank_policy_selects_by_bank() {
+        let p = ProtectionPolicy::PerBank {
+            msb_8t: vec![2, 4, 1],
+        };
+        assert_eq!(p.assignment(0), CellAssignment::msb_protected(2));
+        assert_eq!(p.assignment(1), CellAssignment::msb_protected(4));
+        assert_eq!(p.assignment(2), CellAssignment::msb_protected(1));
+        assert_eq!(p.bank_count(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not described by policy")]
+    fn missing_bank_panics() {
+        let p = ProtectionPolicy::PerBank { msb_8t: vec![1] };
+        let _ = p.assignment(3);
+    }
+}

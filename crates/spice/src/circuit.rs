@@ -1,0 +1,551 @@
+//! Netlist construction.
+
+use crate::elements::Element;
+use crate::error::SpiceError;
+use sram_device::mosfet::Mosfet;
+use sram_device::units::{Ampere, Farad, Ohm, Volt};
+use std::collections::HashMap;
+
+/// Identifier of a circuit node. `NodeId::GROUND` is the reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground / reference node, always present.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index (0 = ground).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` for the reference node.
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A flat netlist: named nodes plus a list of [`Element`]s.
+///
+/// # Examples
+///
+/// Voltage divider:
+///
+/// ```
+/// use nanospice::circuit::{Circuit, NodeId};
+/// use nanospice::dc::DcSolver;
+/// use sram_device::units::{Ohm, Volt};
+///
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("vin");
+/// let mid = ckt.node("mid");
+/// ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(1.0))?;
+/// ckt.resistor("R1", vin, mid, Ohm::new(1000.0))?;
+/// ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(3000.0))?;
+/// let op = DcSolver::new(&ckt).solve()?;
+/// assert!((op.voltage(mid).volts() - 0.75).abs() < 1e-9);
+/// # Ok::<(), nanospice::error::SpiceError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_lookup: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    element_lookup: HashMap<String, usize>,
+    branch_count: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut ckt = Self {
+            node_names: vec!["0".to_owned()],
+            node_lookup: HashMap::new(),
+            elements: Vec::new(),
+            element_lookup: HashMap::new(),
+            branch_count: 0,
+        };
+        ckt.node_lookup.insert("0".to_owned(), NodeId::GROUND);
+        ckt.node_lookup.insert("gnd".to_owned(), NodeId::GROUND);
+        ckt
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// `"0"` and `"gnd"` name the reference node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_lookup.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_owned());
+        self.node_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_lookup.get(name).copied()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id did not come from this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Total number of nodes including ground.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of MNA branch unknowns (one per independent voltage source and
+    /// per voltage-controlled voltage source).
+    #[inline]
+    pub fn branch_count(&self) -> usize {
+        self.branch_count
+    }
+
+    /// Size of the MNA unknown vector: non-ground nodes plus source branches.
+    #[inline]
+    pub fn unknown_count(&self) -> usize {
+        self.node_count() - 1 + self.branch_count
+    }
+
+    /// All elements in insertion order.
+    #[inline]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Looks up an element by name.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.element_lookup.get(name).map(|&i| &self.elements[i])
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), SpiceError> {
+        if node.0 >= self.node_names.len() {
+            return Err(SpiceError::UnknownNode { node: node.0 });
+        }
+        Ok(())
+    }
+
+    fn check_new_name(&self, name: &str) -> Result<(), SpiceError> {
+        if self.element_lookup.contains_key(name) {
+            return Err(SpiceError::DuplicateElement {
+                name: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    fn register(&mut self, element: Element) -> Result<(), SpiceError> {
+        let name = element.name().to_owned();
+        self.check_new_name(&name)?;
+        for n in element.nodes() {
+            self.check_node(n)?;
+        }
+        self.element_lookup.insert(name, self.elements.len());
+        self.elements.push(element);
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] for a non-positive or non-finite value,
+    /// [`SpiceError::DuplicateElement`] for a reused name,
+    /// [`SpiceError::UnknownNode`] for a foreign node id.
+    pub fn resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        resistance: Ohm,
+    ) -> Result<(), SpiceError> {
+        if resistance.ohms() <= 0.0 || !resistance.ohms().is_finite() {
+            return Err(SpiceError::InvalidValue {
+                name: name.to_owned(),
+                reason: "resistance must be positive and finite",
+            });
+        }
+        self.register(Element::Resistor {
+            name: name.to_owned(),
+            a,
+            b,
+            resistance,
+        })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Circuit::resistor`].
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        capacitance: Farad,
+    ) -> Result<(), SpiceError> {
+        if capacitance.farads() <= 0.0 || !capacitance.farads().is_finite() {
+            return Err(SpiceError::InvalidValue {
+                name: name.to_owned(),
+                reason: "capacitance must be positive and finite",
+            });
+        }
+        self.register(Element::Capacitor {
+            name: name.to_owned(),
+            a,
+            b,
+            capacitance,
+        })
+    }
+
+    /// Adds an ideal voltage source (`pos` − `neg` = `voltage`).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Circuit::resistor`] (value must be finite).
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        voltage: Volt,
+    ) -> Result<(), SpiceError> {
+        if !voltage.volts().is_finite() {
+            return Err(SpiceError::InvalidValue {
+                name: name.to_owned(),
+                reason: "source voltage must be finite",
+            });
+        }
+        self.check_new_name(name)?;
+        self.check_node(pos)?;
+        self.check_node(neg)?;
+        let branch = self.branch_count;
+        self.branch_count += 1;
+        self.register(Element::VoltageSource {
+            name: name.to_owned(),
+            pos,
+            neg,
+            voltage,
+            branch,
+        })
+    }
+
+    /// Adds an ideal current source pushing current from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Circuit::resistor`] (value must be finite).
+    pub fn isource(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        current: Ampere,
+    ) -> Result<(), SpiceError> {
+        if !current.amps().is_finite() {
+            return Err(SpiceError::InvalidValue {
+                name: name.to_owned(),
+                reason: "source current must be finite",
+            });
+        }
+        self.register(Element::CurrentSource {
+            name: name.to_owned(),
+            from,
+            to,
+            current,
+        })
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::DuplicateElement`] / [`SpiceError::UnknownNode`] as for
+    /// the other builders; the device itself is validated at construction by
+    /// [`Mosfet::new`].
+    pub fn transistor(
+        &mut self,
+        name: &str,
+        gate: NodeId,
+        drain: NodeId,
+        source: NodeId,
+        device: Mosfet,
+    ) -> Result<(), SpiceError> {
+        self.register(Element::Transistor {
+            name: name.to_owned(),
+            gate,
+            drain,
+            source,
+            device,
+        })
+    }
+
+    /// Adds a voltage-controlled voltage source (SPICE `E` card):
+    /// `v(pos) − v(neg) = gain · (v(cpos) − v(cneg))`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] for a non-finite gain, otherwise the same
+    /// classes as [`Circuit::resistor`].
+    pub fn vcvs(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        cpos: NodeId,
+        cneg: NodeId,
+        gain: f64,
+    ) -> Result<(), SpiceError> {
+        if !gain.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                name: name.to_owned(),
+                reason: "vcvs gain must be finite",
+            });
+        }
+        self.check_new_name(name)?;
+        for n in [pos, neg, cpos, cneg] {
+            self.check_node(n)?;
+        }
+        let branch = self.branch_count;
+        self.branch_count += 1;
+        self.register(Element::Vcvs {
+            name: name.to_owned(),
+            pos,
+            neg,
+            cpos,
+            cneg,
+            gain,
+            branch,
+        })
+    }
+
+    /// Adds a voltage-controlled current source (SPICE `G` card) pushing
+    /// `transconductance · (v(cpos) − v(cneg))` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] for a non-finite transconductance,
+    /// otherwise the same classes as [`Circuit::resistor`].
+    pub fn vccs(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        cpos: NodeId,
+        cneg: NodeId,
+        transconductance: f64,
+    ) -> Result<(), SpiceError> {
+        if !transconductance.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                name: name.to_owned(),
+                reason: "vccs transconductance must be finite",
+            });
+        }
+        self.register(Element::Vccs {
+            name: name.to_owned(),
+            from,
+            to,
+            cpos,
+            cneg,
+            transconductance,
+        })
+    }
+
+    /// Updates the value of a voltage source (used by sweeps).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownElement`] if no voltage source has this name.
+    pub fn set_vsource(&mut self, name: &str, value: Volt) -> Result<(), SpiceError> {
+        match self.element_lookup.get(name).map(|&i| &mut self.elements[i]) {
+            Some(Element::VoltageSource { voltage, .. }) => {
+                *voltage = value;
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownElement {
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Applies a threshold shift to a named transistor (Monte Carlo hook).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownElement`] if no transistor has this name.
+    pub fn set_transistor_delta_vt(&mut self, name: &str, delta: Volt) -> Result<(), SpiceError> {
+        match self.element_lookup.get(name).map(|&i| &mut self.elements[i]) {
+            Some(Element::Transistor { device, .. }) => {
+                device.set_delta_vt(delta);
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownElement {
+                name: name.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::process::Technology;
+    use sram_device::units::Meter;
+
+    #[test]
+    fn ground_aliases() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.node("0"), NodeId::GROUND);
+        assert_eq!(ckt.node("gnd"), NodeId::GROUND);
+        assert!(NodeId::GROUND.is_ground());
+    }
+
+    #[test]
+    fn node_interning() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node_count(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+        assert_eq!(ckt.find_node("a"), Some(a));
+        assert_eq!(ckt.find_node("zz"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1.0)).unwrap();
+        let err = ckt
+            .resistor("R1", a, NodeId::GROUND, Ohm::new(2.0))
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::DuplicateElement { .. }));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt.resistor("R", a, NodeId::GROUND, Ohm::new(0.0)).is_err());
+        assert!(ckt
+            .capacitor("C", a, NodeId::GROUND, Farad::new(-1.0))
+            .is_err());
+        assert!(ckt
+            .vsource("V", a, NodeId::GROUND, Volt::new(f64::NAN))
+            .is_err());
+        assert!(ckt
+            .isource("I", a, NodeId::GROUND, Ampere::new(f64::INFINITY))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut ckt = Circuit::new();
+        let foreign = NodeId(99);
+        let err = ckt
+            .resistor("R", foreign, NodeId::GROUND, Ohm::new(1.0))
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::UnknownNode { node: 99 }));
+    }
+
+    #[test]
+    fn vsource_branches_are_sequential() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.vsource("V2", b, NodeId::GROUND, Volt::new(2.0)).unwrap();
+        assert_eq!(ckt.branch_count(), 2);
+        assert_eq!(ckt.unknown_count(), 2 + 2);
+    }
+
+    #[test]
+    fn vcvs_allocates_branch_and_vccs_does_not() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vcvs("E1", a, NodeId::GROUND, b, NodeId::GROUND, 2.0)
+            .unwrap();
+        assert_eq!(ckt.branch_count(), 1);
+        ckt.vccs("G1", NodeId::GROUND, a, b, NodeId::GROUND, 1e-3)
+            .unwrap();
+        assert_eq!(ckt.branch_count(), 1);
+        assert_eq!(ckt.unknown_count(), 2 + 1);
+    }
+
+    #[test]
+    fn controlled_source_values_must_be_finite() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt
+            .vcvs("E1", a, NodeId::GROUND, a, NodeId::GROUND, f64::NAN)
+            .is_err());
+        assert!(ckt
+            .vccs("G1", a, NodeId::GROUND, a, NodeId::GROUND, f64::INFINITY)
+            .is_err());
+        // A failed vcvs must not leak a phantom MNA branch.
+        assert_eq!(ckt.branch_count(), 0);
+    }
+
+    #[test]
+    fn failed_duplicate_vsource_does_not_leak_branch() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        assert!(ckt.vsource("V1", a, NodeId::GROUND, Volt::new(2.0)).is_err());
+        assert_eq!(ckt.branch_count(), 1);
+    }
+
+    #[test]
+    fn set_vsource_updates_value() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.set_vsource("V1", Volt::new(0.5)).unwrap();
+        match ckt.element("V1").unwrap() {
+            Element::VoltageSource { voltage, .. } => {
+                assert_eq!(*voltage, Volt::new(0.5));
+            }
+            _ => panic!("wrong element"),
+        }
+        assert!(ckt.set_vsource("nope", Volt::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn set_transistor_delta_vt_updates_device() {
+        let mut ckt = Circuit::new();
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        let tech = Technology::ptm_22nm();
+        let dev = Mosfet::new(
+            tech.nmos.clone(),
+            Meter::from_nanometers(88.0),
+            Meter::from_nanometers(22.0),
+        )
+        .unwrap();
+        ckt.transistor("M1", g, d, NodeId::GROUND, dev).unwrap();
+        ckt.set_transistor_delta_vt("M1", Volt::from_millivolts(25.0))
+            .unwrap();
+        match ckt.element("M1").unwrap() {
+            Element::Transistor { device, .. } => {
+                assert_eq!(device.delta_vt(), Volt::from_millivolts(25.0));
+            }
+            _ => panic!("wrong element"),
+        }
+        assert!(ckt
+            .set_transistor_delta_vt("nope", Volt::new(0.0))
+            .is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! DC operating-point analysis.
+//!
+//! Modified nodal analysis with Newton-Raphson linearization. Nonlinear
+//! devices (MOSFETs) are stamped each iteration as a linearized conductance
+//! network plus an equivalent current source; convergence aids are the
+//! classic trio — voltage-step damping, gmin stepping, and source stepping —
+//! which together reliably land even bistable circuits like SRAM cells on a
+//! solution (the *which* stable state question is handled by seeding the
+//! initial guess, see [`DcSolver::guess`]).
+
+use crate::circuit::{Circuit, NodeId};
+use crate::elements::Element;
+use crate::error::SpiceError;
+use crate::linear::DenseMatrix;
+use sram_device::units::{Ampere, Volt};
+
+/// Tuning knobs for the Newton iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum Newton iterations per solve attempt.
+    pub max_iterations: usize,
+    /// Absolute KCL residual tolerance in amperes.
+    pub abstol: f64,
+    /// Node-voltage update tolerance in volts.
+    pub vntol: f64,
+    /// Largest node-voltage change applied per iteration (damping), volts.
+    pub max_step: f64,
+    /// Conductance from every node to ground added for stability, siemens.
+    pub gmin: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            abstol: 1e-12,
+            vntol: 1e-9,
+            max_step: 0.4,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// Result of a DC analysis: node voltages plus voltage-source branch currents.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    node_voltages: Vec<f64>,
+    branch_currents: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id does not belong to the solved circuit.
+    pub fn voltage(&self, node: NodeId) -> Volt {
+        if node.is_ground() {
+            return Volt::new(0.0);
+        }
+        Volt::new(self.node_voltages[node.index() - 1])
+    }
+
+    /// Branch current of the `branch`-th voltage source.
+    ///
+    /// Positive current flows *into* the positive terminal (source
+    /// absorbing); a battery delivering power reports a negative value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch` is out of range.
+    pub fn branch_current(&self, branch: usize) -> Ampere {
+        Ampere::new(self.branch_currents[branch])
+    }
+
+    /// Current through a named voltage source, same sign convention as
+    /// [`DcSolution::branch_current`].
+    pub fn vsource_current(&self, circuit: &Circuit, name: &str) -> Option<Ampere> {
+        match circuit.element(name)? {
+            Element::VoltageSource { branch, .. } => Some(self.branch_current(*branch)),
+            _ => None,
+        }
+    }
+
+    /// Raw unknown vector (node voltages then branch currents), useful as a
+    /// warm start for a subsequent solve.
+    pub fn into_unknowns(self) -> Vec<f64> {
+        let mut v = self.node_voltages;
+        v.extend(self.branch_currents);
+        v
+    }
+}
+
+/// DC operating-point solver bound to a circuit.
+#[derive(Debug, Clone)]
+pub struct DcSolver<'a> {
+    circuit: &'a Circuit,
+    options: NewtonOptions,
+    guess: Vec<f64>,
+}
+
+impl<'a> DcSolver<'a> {
+    /// Creates a solver with default options and an all-zero initial guess.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        Self {
+            circuit,
+            options: NewtonOptions::default(),
+            guess: vec![0.0; circuit.unknown_count()],
+        }
+    }
+
+    /// Replaces the Newton options.
+    pub fn options(mut self, options: NewtonOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Seeds the initial guess for one node (volts). Essential for bistable
+    /// circuits: seed `Q` high and `QB` low to converge on the "1" state.
+    pub fn guess(mut self, node: NodeId, volts: Volt) -> Self {
+        if !node.is_ground() {
+            self.guess[node.index() - 1] = volts.volts();
+        }
+        self
+    }
+
+    /// Seeds the full unknown vector (e.g. from a previous solution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unknowns.len()` does not match the circuit.
+    pub fn warm_start(mut self, unknowns: Vec<f64>) -> Self {
+        assert_eq!(unknowns.len(), self.circuit.unknown_count());
+        self.guess = unknowns;
+        self
+    }
+
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for structurally defective circuits and
+    /// [`SpiceError::NoConvergence`] if Newton, gmin stepping *and* source
+    /// stepping all fail.
+    pub fn solve(&self) -> Result<DcSolution, SpiceError> {
+        // Plain Newton first.
+        if let Ok(sol) = newton_solve(self.circuit, &self.guess, &self.options, 1.0, None) {
+            return Ok(sol);
+        }
+        // Gmin stepping: start very conductive, relax toward the real circuit.
+        let mut x = self.guess.clone();
+        let mut gmin = 1e-3;
+        let mut stepped_ok = true;
+        while gmin > self.options.gmin {
+            match newton_solve(self.circuit, &x, &self.options, 1.0, Some(gmin)) {
+                Ok(sol) => x = sol.into_unknowns(),
+                Err(_) => {
+                    stepped_ok = false;
+                    break;
+                }
+            }
+            gmin /= 10.0;
+        }
+        if stepped_ok {
+            if let Ok(sol) = newton_solve(self.circuit, &x, &self.options, 1.0, None) {
+                return Ok(sol);
+            }
+        }
+        // Source stepping: ramp all independent sources from zero.
+        let mut x = self.guess.clone();
+        for k in 1..=20 {
+            let alpha = k as f64 / 20.0;
+            match newton_solve(self.circuit, &x, &self.options, alpha, None) {
+                Ok(sol) => x = sol.into_unknowns(),
+                Err(e) => return Err(e),
+            }
+        }
+        newton_solve(self.circuit, &x, &self.options, 1.0, None)
+    }
+}
+
+/// One damped Newton-Raphson run at a fixed source scaling `alpha` and an
+/// optional gmin override. Shared by DC and transient analyses.
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    guess: &[f64],
+    options: &NewtonOptions,
+    alpha: f64,
+    gmin_override: Option<f64>,
+) -> Result<DcSolution, SpiceError> {
+    let n_nodes = circuit.node_count() - 1;
+    let n = circuit.unknown_count();
+    let mut x = guess.to_vec();
+    let gmin = gmin_override.unwrap_or(options.gmin);
+
+    for iter in 0..options.max_iterations {
+        let mut jac = DenseMatrix::zeros(n);
+        let mut residual = vec![0.0; n];
+        stamp_all(circuit, &x, alpha, gmin, &mut jac, &mut residual, None);
+
+        // Check KCL residual on node rows only (branch rows are constraints).
+        let max_res = residual[..n_nodes]
+            .iter()
+            .fold(0.0f64, |m, r| m.max(r.abs()));
+
+        // Solve J * dx = -residual.
+        let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
+        let dx = jac.solve(&rhs)?;
+        let max_dv = dx[..n_nodes].iter().fold(0.0f64, |m, d| m.max(d.abs()));
+
+        // Damped update.
+        let scale = if max_dv > options.max_step {
+            options.max_step / max_dv
+        } else {
+            1.0
+        };
+        for (xi, di) in x.iter_mut().zip(dx.iter()) {
+            *xi += scale * di;
+        }
+
+        if max_dv * scale < options.vntol && max_res < options.abstol.max(1e-15) && iter > 0 {
+            let (nv, bc) = x.split_at(n_nodes);
+            return Ok(DcSolution {
+                node_voltages: nv.to_vec(),
+                branch_currents: bc.to_vec(),
+            });
+        }
+    }
+
+    // Final residual for the error report.
+    let mut jac = DenseMatrix::zeros(n);
+    let mut residual = vec![0.0; n];
+    stamp_all(circuit, &x, alpha, gmin, &mut jac, &mut residual, None);
+    let max_res = residual[..n_nodes]
+        .iter()
+        .fold(0.0f64, |m, r| m.max(r.abs()));
+    Err(SpiceError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: max_res,
+    })
+}
+
+/// Companion-model information for transient analysis: for each capacitor,
+/// conductance `C/dt` and the equivalent current derived from the previous
+/// time-step solution.
+pub(crate) struct TransientStamp<'a> {
+    /// 1 / dt in 1/seconds.
+    pub inv_dt: f64,
+    /// Node voltages at the previous accepted time point (length = nodes-1).
+    pub previous: &'a [f64],
+}
+
+/// Stamps every element into the Jacobian and residual at state `x`.
+///
+/// `residual[row]` accumulates the sum of currents *leaving* each node;
+/// voltage-source rows hold the constraint `v_pos − v_neg − V`.
+pub(crate) fn stamp_all(
+    circuit: &Circuit,
+    x: &[f64],
+    alpha: f64,
+    gmin: f64,
+    jac: &mut DenseMatrix,
+    residual: &mut [f64],
+    transient: Option<&TransientStamp<'_>>,
+) {
+    let n_nodes = circuit.node_count() - 1;
+    let volt = |node: NodeId| -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            x[node.index() - 1]
+        }
+    };
+    // Row/col index of a node in the unknown vector, or None for ground.
+    let idx = |node: NodeId| -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    };
+
+    // Gmin to ground on every node row for numerical robustness.
+    for i in 0..n_nodes {
+        jac.add(i, i, gmin);
+        residual[i] += gmin * x[i];
+    }
+
+    for element in circuit.elements() {
+        match element {
+            Element::Resistor { a, b, resistance, .. } => {
+                let g = 1.0 / resistance.ohms();
+                let (va, vb) = (volt(*a), volt(*b));
+                let i_ab = g * (va - vb);
+                if let Some(ia) = idx(*a) {
+                    residual[ia] += i_ab;
+                    jac.add(ia, ia, g);
+                    if let Some(ib) = idx(*b) {
+                        jac.add(ia, ib, -g);
+                    }
+                }
+                if let Some(ib) = idx(*b) {
+                    residual[ib] -= i_ab;
+                    jac.add(ib, ib, g);
+                    if let Some(ia) = idx(*a) {
+                        jac.add(ib, ia, -g);
+                    }
+                }
+            }
+            Element::Capacitor { a, b, capacitance, .. } => {
+                let Some(tr) = transient else {
+                    continue; // open circuit in DC
+                };
+                // Backward Euler companion: i = C/dt * (v - v_prev).
+                let g = capacitance.farads() * tr.inv_dt;
+                let prev = |node: NodeId| -> f64 {
+                    if node.is_ground() {
+                        0.0
+                    } else {
+                        tr.previous[node.index() - 1]
+                    }
+                };
+                let (va, vb) = (volt(*a), volt(*b));
+                let (pa, pb) = (prev(*a), prev(*b));
+                let i_ab = g * ((va - vb) - (pa - pb));
+                if let Some(ia) = idx(*a) {
+                    residual[ia] += i_ab;
+                    jac.add(ia, ia, g);
+                    if let Some(ib) = idx(*b) {
+                        jac.add(ia, ib, -g);
+                    }
+                }
+                if let Some(ib) = idx(*b) {
+                    residual[ib] -= i_ab;
+                    jac.add(ib, ib, g);
+                    if let Some(ia) = idx(*a) {
+                        jac.add(ib, ia, -g);
+                    }
+                }
+            }
+            Element::VoltageSource {
+                pos,
+                neg,
+                voltage,
+                branch,
+                ..
+            } => {
+                let row = n_nodes + branch;
+                let i_br = x[row];
+                if let Some(ip) = idx(*pos) {
+                    residual[ip] += i_br;
+                    jac.add(ip, row, 1.0);
+                    jac.add(row, ip, 1.0);
+                }
+                if let Some(in_) = idx(*neg) {
+                    residual[in_] -= i_br;
+                    jac.add(in_, row, -1.0);
+                    jac.add(row, in_, -1.0);
+                }
+                residual[row] += volt(*pos) - volt(*neg) - alpha * voltage.volts();
+            }
+            Element::CurrentSource {
+                from, to, current, ..
+            } => {
+                let i = alpha * current.amps();
+                if let Some(ifrom) = idx(*from) {
+                    residual[ifrom] += i;
+                }
+                if let Some(ito) = idx(*to) {
+                    residual[ito] -= i;
+                }
+            }
+            Element::Vcvs {
+                pos,
+                neg,
+                cpos,
+                cneg,
+                gain,
+                branch,
+                ..
+            } => {
+                // Branch constraint: v_pos − v_neg − gain·(v_cpos − v_cneg) = 0.
+                // Controlled sources are not ramped by source stepping, so no
+                // alpha factor here.
+                let row = n_nodes + branch;
+                let i_br = x[row];
+                if let Some(ip) = idx(*pos) {
+                    residual[ip] += i_br;
+                    jac.add(ip, row, 1.0);
+                    jac.add(row, ip, 1.0);
+                }
+                if let Some(in_) = idx(*neg) {
+                    residual[in_] -= i_br;
+                    jac.add(in_, row, -1.0);
+                    jac.add(row, in_, -1.0);
+                }
+                if let Some(icp) = idx(*cpos) {
+                    jac.add(row, icp, -gain);
+                }
+                if let Some(icn) = idx(*cneg) {
+                    jac.add(row, icn, *gain);
+                }
+                residual[row] +=
+                    volt(*pos) - volt(*neg) - gain * (volt(*cpos) - volt(*cneg));
+            }
+            Element::Vccs {
+                from,
+                to,
+                cpos,
+                cneg,
+                transconductance,
+                ..
+            } => {
+                let gm = *transconductance;
+                let i = gm * (volt(*cpos) - volt(*cneg));
+                if let Some(ifrom) = idx(*from) {
+                    residual[ifrom] += i;
+                    if let Some(icp) = idx(*cpos) {
+                        jac.add(ifrom, icp, gm);
+                    }
+                    if let Some(icn) = idx(*cneg) {
+                        jac.add(ifrom, icn, -gm);
+                    }
+                }
+                if let Some(ito) = idx(*to) {
+                    residual[ito] -= i;
+                    if let Some(icp) = idx(*cpos) {
+                        jac.add(ito, icp, -gm);
+                    }
+                    if let Some(icn) = idx(*cneg) {
+                        jac.add(ito, icn, gm);
+                    }
+                }
+            }
+            Element::Transistor {
+                gate,
+                drain,
+                source,
+                device,
+                ..
+            } => {
+                let (vg, vd, vs) = (
+                    Volt::new(volt(*gate)),
+                    Volt::new(volt(*drain)),
+                    Volt::new(volt(*source)),
+                );
+                let id = device.drain_current(vg, vd, vs).amps();
+                let gm = device.gm(vg, vd, vs);
+                let gd = device.gds(vg, vd, vs);
+                // The model depends only on terminal differences, so the
+                // source partial is exactly -(gm + gd).
+                let gs = -(gm + gd);
+                if let Some(idr) = idx(*drain) {
+                    residual[idr] += id;
+                    if let Some(ig) = idx(*gate) {
+                        jac.add(idr, ig, gm);
+                    }
+                    jac.add(idr, idr, gd);
+                    if let Some(is) = idx(*source) {
+                        jac.add(idr, is, gs);
+                    }
+                }
+                if let Some(is) = idx(*source) {
+                    residual[is] -= id;
+                    if let Some(ig) = idx(*gate) {
+                        jac.add(is, ig, -gm);
+                    }
+                    if let Some(idr) = idx(*drain) {
+                        jac.add(is, idr, -gd);
+                    }
+                    jac.add(is, is, -gs);
+                }
+            }
+        }
+    }
+}
+
+/// Sweeps the value of a named voltage source, warm-starting each point from
+/// the previous solution (natural continuation — exactly what a butterfly
+/// curve needs).
+///
+/// # Errors
+///
+/// Propagates solver errors; returns [`SpiceError::UnknownElement`] if the
+/// named element is not a voltage source.
+pub fn dc_sweep(
+    circuit: &mut Circuit,
+    source: &str,
+    values: &[Volt],
+    options: &NewtonOptions,
+    initial: Option<Vec<f64>>,
+) -> Result<Vec<DcSolution>, SpiceError> {
+    match circuit.element(source) {
+        Some(Element::VoltageSource { .. }) => {}
+        _ => {
+            return Err(SpiceError::UnknownElement {
+                name: source.to_owned(),
+            })
+        }
+    }
+    let mut results = Vec::with_capacity(values.len());
+    let mut warm = initial;
+    for &v in values {
+        circuit.set_vsource(source, v)?;
+        let mut solver = DcSolver::new(circuit).options(options.clone());
+        if let Some(w) = warm.take() {
+            solver = solver.warm_start(w);
+        }
+        let sol = solver.solve()?;
+        warm = Some(sol.clone().into_unknowns());
+        results.push(sol);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::mosfet::Mosfet;
+    use sram_device::process::Technology;
+    use sram_device::units::{Meter, Ohm};
+
+    #[test]
+    fn voltage_divider() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.resistor("R1", vin, mid, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!((op.voltage(mid).volts() - 0.5).abs() < 1e-6);
+        // Branch current: 1V across 2k = 0.5 mA delivered, so the MNA branch
+        // current (into the + terminal) is -0.5 mA.
+        let i = op.vsource_current(&ckt, "V1").unwrap();
+        assert!((i.amps() + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.isource("I1", NodeId::GROUND, a, Ampere::from_microamps(10.0))
+            .unwrap();
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e5)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!((op.voltage(a).volts() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn superposition_of_sources() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(2.0)).unwrap();
+        ckt.resistor("R1", a, b, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R2", b, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.isource("I1", NodeId::GROUND, b, Ampere::new(1e-3)).unwrap();
+        // v_b = (2/1k + 1m) / (2/1k)... nodal: (vb-2)/1k + vb/1k = 1m
+        // 2vb/1k = 1m + 2m = 3m -> vb = 1.5
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!((op.voltage(b).volts() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_common_source_inverter_swings() {
+        let tech = Technology::ptm_22nm();
+        let dev = Mosfet::new(
+            tech.nmos.clone(),
+            Meter::from_nanometers(88.0),
+            Meter::from_nanometers(22.0),
+        )
+        .unwrap();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, NodeId::GROUND, Volt::new(0.95)).unwrap();
+        ckt.vsource("VIN", vin, NodeId::GROUND, Volt::new(0.0)).unwrap();
+        ckt.resistor("RL", vdd, out, Ohm::new(50e3)).unwrap();
+        ckt.transistor("M1", vin, out, NodeId::GROUND, dev).unwrap();
+
+        let op_off = DcSolver::new(&ckt).solve().unwrap();
+        assert!(op_off.voltage(out).volts() > 0.9, "output should stay high");
+
+        ckt.set_vsource("VIN", Volt::new(0.95)).unwrap();
+        let op_on = DcSolver::new(&ckt).solve().unwrap();
+        assert!(op_on.voltage(out).volts() < 0.2, "output should pull low");
+    }
+
+    #[test]
+    fn floating_node_reports_singular_or_converges_to_gmin_ground() {
+        // A node connected only through a capacitor is floating in DC; the
+        // gmin stamp keeps the matrix solvable and parks it at 0 V.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.capacitor("C1", a, b, sram_device::units::Farad::from_femtofarads(1.0))
+            .unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!(op.voltage(b).volts().abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_warm_starts() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(0.0)).unwrap();
+        ckt.resistor("R1", vin, mid, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(3e3)).unwrap();
+        let values: Vec<Volt> = (0..=10).map(|i| Volt::new(i as f64 * 0.1)).collect();
+        let sols = dc_sweep(&mut ckt, "V1", &values, &NewtonOptions::default(), None).unwrap();
+        assert_eq!(sols.len(), 11);
+        for (sol, v) in sols.iter().zip(values.iter()) {
+            assert!((sol.voltage(mid).volts() - 0.75 * v.volts()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vcvs_amplifies_control_voltage() {
+        // E1 output = 3 × the divider midpoint (0.5 V) = 1.5 V.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.resistor("R1", vin, mid, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.vcvs("E1", out, NodeId::GROUND, mid, NodeId::GROUND, 3.0)
+            .unwrap();
+        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(1e4)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!((op.voltage(out).volts() - 1.5).abs() < 1e-6);
+        // The ideal control terminals draw no current: the divider midpoint
+        // is unchanged by the VCVS.
+        assert!((op.voltage(mid).volts() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vccs_drives_expected_current_into_load() {
+        // G1 pushes gm·v(ctl) = 1 mS × 1 V = 1 mA into a 2 kΩ load → 2 V.
+        let mut ckt = Circuit::new();
+        let ctl = ckt.node("ctl");
+        let out = ckt.node("out");
+        ckt.vsource("V1", ctl, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.vccs("G1", NodeId::GROUND, out, ctl, NodeId::GROUND, 1e-3)
+            .unwrap();
+        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(2e3)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!((op.voltage(out).volts() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_negative_feedback_divides() {
+        // Unity-gain-style arrangement: E1 = 2 × (vin − out) driving out
+        // directly ⇒ out = 2·vin/(1+2) ... solve analytically:
+        // out = 2(vin − out) ⇒ out = 2/3 vin.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(0.9)).unwrap();
+        ckt.vcvs("E1", out, NodeId::GROUND, vin, out, 2.0).unwrap();
+        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(1e4)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!((op.voltage(out).volts() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_requires_voltage_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        let err = dc_sweep(
+            &mut ckt,
+            "R1",
+            &[Volt::new(0.0)],
+            &NewtonOptions::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpiceError::UnknownElement { .. }));
+    }
+}

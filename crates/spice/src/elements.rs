@@ -1,0 +1,183 @@
+//! Circuit element definitions.
+
+use crate::circuit::NodeId;
+use sram_device::mosfet::Mosfet;
+use sram_device::units::{Ampere, Farad, Ohm, Volt};
+
+/// One element of a netlist.
+///
+/// Elements are created through the [`crate::circuit::Circuit`] builder
+/// methods, which validate values and keep name bookkeeping; the enum itself
+/// is exposed so analysis passes can walk the netlist.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Linear resistor between nodes `a` and `b`.
+    Resistor {
+        /// Unique element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance value.
+        resistance: Ohm,
+    },
+    /// Linear capacitor between nodes `a` and `b`. Open in DC; integrated
+    /// with backward Euler in transient analysis.
+    Capacitor {
+        /// Unique element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance value.
+        capacitance: Farad,
+    },
+    /// Ideal independent voltage source.
+    ///
+    /// The associated MNA branch current is positive when conventional
+    /// current flows *into* the positive terminal (source absorbing); a
+    /// battery powering a load therefore reports a negative branch current.
+    VoltageSource {
+        /// Unique element name.
+        name: String,
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value.
+        voltage: Volt,
+        /// Index of the MNA branch unknown assigned to this source.
+        branch: usize,
+    },
+    /// Ideal independent current source pushing conventional current from
+    /// node `from` to node `to` through the source.
+    CurrentSource {
+        /// Unique element name.
+        name: String,
+        /// Terminal the current is drawn from.
+        from: NodeId,
+        /// Terminal the current is delivered to.
+        to: NodeId,
+        /// Source value.
+        current: Ampere,
+    },
+    /// MOSFET (bulk implicitly tied to the appropriate rail; the device model
+    /// is source-referenced).
+    Transistor {
+        /// Unique element name.
+        name: String,
+        /// Gate terminal.
+        gate: NodeId,
+        /// Drain terminal.
+        drain: NodeId,
+        /// Source terminal.
+        source: NodeId,
+        /// Sized device instance (carries its own ΔVT shift).
+        device: Mosfet,
+    },
+    /// Voltage-controlled voltage source (SPICE `E` card):
+    /// `v(pos) − v(neg) = gain · (v(cpos) − v(cneg))`.
+    ///
+    /// Like an independent voltage source it owns an MNA branch unknown; the
+    /// branch current follows the same sign convention (positive into `pos`).
+    /// Controlled sources are *not* ramped by source stepping — only
+    /// independent sources are.
+    Vcvs {
+        /// Unique element name.
+        name: String,
+        /// Positive output terminal.
+        pos: NodeId,
+        /// Negative output terminal.
+        neg: NodeId,
+        /// Positive controlling terminal (sensed, draws no current).
+        cpos: NodeId,
+        /// Negative controlling terminal (sensed, draws no current).
+        cneg: NodeId,
+        /// Dimensionless voltage gain.
+        gain: f64,
+        /// Index of the MNA branch unknown assigned to this source.
+        branch: usize,
+    },
+    /// Voltage-controlled current source (SPICE `G` card): pushes
+    /// `gm · (v(cpos) − v(cneg))` of conventional current from `from` to `to`
+    /// through the source, i.e. it is delivered into node `to`.
+    ///
+    /// The controlling terminals are sensed and draw no current.
+    Vccs {
+        /// Unique element name.
+        name: String,
+        /// Terminal the current is drawn from.
+        from: NodeId,
+        /// Terminal the current is delivered to.
+        to: NodeId,
+        /// Positive controlling terminal.
+        cpos: NodeId,
+        /// Negative controlling terminal.
+        cneg: NodeId,
+        /// Transconductance in siemens.
+        transconductance: f64,
+    },
+}
+
+impl Element {
+    /// The element's unique name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::VoltageSource { name, .. }
+            | Element::CurrentSource { name, .. }
+            | Element::Transistor { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Vccs { name, .. } => name,
+        }
+    }
+
+    /// Nodes this element touches.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => vec![*a, *b],
+            Element::VoltageSource { pos, neg, .. } => vec![*pos, *neg],
+            Element::CurrentSource { from, to, .. } => vec![*from, *to],
+            Element::Transistor {
+                gate,
+                drain,
+                source,
+                ..
+            } => vec![*gate, *drain, *source],
+            Element::Vcvs {
+                pos,
+                neg,
+                cpos,
+                cneg,
+                ..
+            } => vec![*pos, *neg, *cpos, *cneg],
+            Element::Vccs {
+                from,
+                to,
+                cpos,
+                cneg,
+                ..
+            } => vec![*from, *to, *cpos, *cneg],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn element_names_and_nodes() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.resistor("R1", a, b, Ohm::new(100.0)).unwrap();
+        let el = ckt.element("R1").unwrap();
+        assert_eq!(el.name(), "R1");
+        assert_eq!(el.nodes(), vec![a, b]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// An element referenced a node id that does not exist in the circuit.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An element name was reused.
+    DuplicateElement {
+        /// The clashing element name.
+        name: String,
+    },
+    /// A named element was not found.
+    UnknownElement {
+        /// The requested element name.
+        name: String,
+    },
+    /// An element value is non-physical (negative resistance, NaN source...).
+    InvalidValue {
+        /// Element name.
+        name: String,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The nodal matrix became singular (floating node, short loop...).
+    SingularMatrix,
+    /// Newton-Raphson failed to converge within the iteration budget, even
+    /// after gmin and source stepping.
+    NoConvergence {
+        /// Iterations attempted in the final stage.
+        iterations: usize,
+        /// Residual norm at the last iterate, in amperes.
+        residual: f64,
+    },
+    /// A transient step size or stop time was invalid.
+    InvalidTimestep,
+    /// A SPICE deck could not be parsed.
+    Parse {
+        /// 1-based line number of the offending card.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode { node } => write!(f, "unknown node id {node}"),
+            Self::DuplicateElement { name } => write!(f, "duplicate element name {name:?}"),
+            Self::UnknownElement { name } => write!(f, "unknown element {name:?}"),
+            Self::InvalidValue { name, reason } => {
+                write!(f, "invalid value for element {name:?}: {reason}")
+            }
+            Self::SingularMatrix => write!(f, "singular nodal matrix (floating node?)"),
+            Self::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            Self::InvalidTimestep => write!(f, "invalid transient timestep or stop time"),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(SpiceError::SingularMatrix.to_string().contains("singular"));
+        assert!(SpiceError::UnknownNode { node: 7 }.to_string().contains('7'));
+        let e = SpiceError::NoConvergence {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

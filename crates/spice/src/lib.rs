@@ -1,0 +1,62 @@
+//! # nanospice
+//!
+//! A deliberately small nonlinear circuit simulator: modified nodal analysis,
+//! damped Newton-Raphson with gmin/source stepping, and fixed-step backward
+//! Euler transients. It exists to characterize the 6T and 8T SRAM bitcells of
+//! the DATE 2016 hybrid-SRAM paper from first principles — static noise
+//! margins via DC sweeps, access timing via bitline transients — using the
+//! device models of [`sram_device`].
+//!
+//! This crate substitutes for the paper's HSPICE runs (DESIGN.md §2). It is
+//! not a general-purpose SPICE: elements are limited to R, C, independent V/I
+//! sources, voltage-controlled sources (VCVS/VCCS, for behavioural sense-amp
+//! and driver models) and MOSFETs — the vocabulary of an SRAM cell plus its
+//! bitline environment. Netlists can also be read from and written to the
+//! classic SPICE deck text format via [`parser`].
+//!
+//! # Examples
+//!
+//! A CMOS inverter transfer point:
+//!
+//! ```
+//! use nanospice::prelude::*;
+//! use sram_device::prelude::*;
+//!
+//! let tech = Technology::ptm_22nm();
+//! let nm = Mosfet::new(tech.nmos.clone(), Meter::from_nanometers(88.0),
+//!                      Meter::from_nanometers(22.0))?;
+//! let pm = Mosfet::new(tech.pmos.clone(), Meter::from_nanometers(88.0),
+//!                      Meter::from_nanometers(22.0))?;
+//!
+//! let mut ckt = Circuit::new();
+//! let vdd = ckt.node("vdd");
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.vsource("VDD", vdd, NodeId::GROUND, Volt::new(0.95))?;
+//! ckt.vsource("VIN", vin, NodeId::GROUND, Volt::new(0.95 / 2.0))?;
+//! ckt.transistor("MN", vin, out, NodeId::GROUND, nm)?;
+//! ckt.transistor("MP", vin, out, vdd, pm)?;
+//!
+//! let op = DcSolver::new(&ckt).guess(out, Volt::new(0.5)).solve()?;
+//! let v = op.voltage(out).volts();
+//! assert!(v > 0.05 && v < 0.9, "mid-rail input lands between the rails");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod circuit;
+pub mod dc;
+pub mod elements;
+pub mod error;
+pub mod linear;
+pub mod parser;
+pub mod transient;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, NodeId};
+    pub use crate::dc::{dc_sweep, DcSolution, DcSolver, NewtonOptions};
+    pub use crate::elements::Element;
+    pub use crate::error::SpiceError;
+    pub use crate::parser::{parse_deck, write_deck, Deck};
+    pub use crate::transient::{transient, transient_with_stimulus, TransientOptions, Waveform};
+}

@@ -1,0 +1,244 @@
+//! Dense linear algebra for modified nodal analysis.
+//!
+//! Circuit matrices here are tiny (an SRAM bitcell has < 12 unknowns), so a
+//! dense LU factorization with partial pivoting is both the simplest and the
+//! fastest appropriate tool. No external linear-algebra dependency is used.
+
+use crate::error::SpiceError;
+
+/// A dense, row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index ({row},{col}) out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Writes entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index ({row},{col}) out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` into entry `(row, col)` — the fundamental "stamp"
+    /// operation of nodal analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index ({row},{col}) out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Computes `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Solves `self * x = b` in place via LU with partial pivoting.
+    ///
+    /// The matrix is consumed (factored in place); callers that need the
+    /// original should clone first. Returns the solution vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] if a pivot underflows, which in
+    /// circuit terms means a floating node or an inconsistent source loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the textbook LU
+    pub fn solve(mut self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: find the largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let mag = self.get(r, k).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(SpiceError::SingularMatrix);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = self.get(k, c);
+                    self.set(k, c, self.get(pivot_row, c));
+                    self.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+                x.swap(k, pivot_row);
+            }
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self.set(r, k, factor);
+                for c in (k + 1)..n {
+                    let v = self.get(r, c) - factor * self.get(k, c);
+                    self.set(r, c, v);
+                }
+                x[r] -= factor * x[k];
+            }
+        }
+
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut sum = x[k];
+            for c in (k + 1)..n {
+                sum -= self.get(k, c) * x[c];
+            }
+            x[k] = sum / self.get(k, k);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [4/5, 7/5]
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let x = m.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] -> x = [3, 2]
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert_eq!(m.solve(&[1.0, 2.0]).unwrap_err(), SpiceError::SingularMatrix);
+    }
+
+    #[test]
+    fn mul_vec_matches_solve() {
+        let mut m = DenseMatrix::zeros(3);
+        let entries = [
+            (0, 0, 4.0),
+            (0, 1, 1.0),
+            (0, 2, 0.5),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, -1.0),
+            (2, 0, 0.5),
+            (2, 1, -1.0),
+            (2, 2, 5.0),
+        ];
+        for (r, c, v) in entries {
+            m.set(r, c, v);
+        }
+        let x_true = [1.0, -2.0, 0.5];
+        let b = m.mul_vec(&x_true);
+        let x = m.clone().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 4.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let m = DenseMatrix::zeros(2);
+        let _ = m.get(2, 0);
+    }
+}

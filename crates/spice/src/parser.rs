@@ -1,0 +1,726 @@
+//! SPICE deck text format: parser and writer.
+//!
+//! A minimal but faithful subset of the classic Berkeley SPICE input
+//! language, so that netlists can be exchanged with external tools (and the
+//! netlists built programmatically by `sram-bitcell` can be exported for
+//! cross-checking in a full SPICE):
+//!
+//! * the first non-blank line is the **title**;
+//! * `*` starts a comment line, `;` a trailing comment;
+//! * `+` at the start of a line continues the previous card;
+//! * `.end` terminates the deck (anything after it is ignored);
+//! * element cards are selected by their first letter, case-insensitive:
+//!   `R` resistor, `C` capacitor, `V`/`I` independent sources (with an
+//!   optional `DC` keyword), `E` voltage-controlled voltage source,
+//!   `G` voltage-controlled current source, and `M` MOSFET;
+//! * values accept the standard engineering suffixes `f p n u m k meg g t`
+//!   and ignore trailing unit letters (`10pF`, `5kOhm`).
+//!
+//! MOSFET cards use the SPICE terminal order **drain gate source** (the bulk
+//! terminal is omitted — the device model is source-referenced) followed by a
+//! model name (`nmos` / `pmos`, resolved against a [`Technology`]) and
+//! mandatory `W=` and `L=` parameters:
+//!
+//! ```text
+//! M1 out in 0 nmos W=88n L=22n
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use nanospice::parser::parse_deck;
+//! use nanospice::dc::DcSolver;
+//! use sram_device::process::Technology;
+//!
+//! let deck = parse_deck(
+//!     "divider example
+//!      V1 vin 0 DC 1.0
+//!      R1 vin mid 1k
+//!      R2 mid 0 3k
+//!      .end",
+//!     &Technology::ptm_22nm(),
+//! )?;
+//! let mid = deck.circuit.find_node("mid").expect("node exists");
+//! let op = DcSolver::new(&deck.circuit).solve()?;
+//! assert!((op.voltage(mid).volts() - 0.75).abs() < 1e-9);
+//! # Ok::<(), nanospice::error::SpiceError>(())
+//! ```
+
+use crate::circuit::Circuit;
+use crate::elements::Element;
+use crate::error::SpiceError;
+use sram_device::mosfet::{Mosfet, Polarity};
+use sram_device::process::Technology;
+use sram_device::units::{Ampere, Farad, Meter, Ohm, Volt};
+use std::fmt::Write as _;
+
+/// A parsed SPICE deck: the title line plus the constructed circuit.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// The deck's title (first non-blank line).
+    pub title: String,
+    /// The circuit described by the element cards.
+    pub circuit: Circuit,
+}
+
+/// Parses a SPICE deck into a [`Circuit`].
+///
+/// MOSFET model names are resolved against `tech` (`nmos`/`pmos`).
+///
+/// # Errors
+///
+/// [`SpiceError::Parse`] with a 1-based line number for malformed cards,
+/// unknown element letters, unknown models, bad values or missing `W=`/`L=`;
+/// construction errors (duplicate names, non-physical values) are reported
+/// the same way.
+pub fn parse_deck(text: &str, tech: &Technology) -> Result<Deck, SpiceError> {
+    let mut circuit = Circuit::new();
+    let mut title: Option<String> = None;
+
+    for card in logical_cards(text) {
+        let LogicalCard { line, text: card_text } = card;
+        let stripped = strip_comment(&card_text);
+        let trimmed = stripped.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if title.is_none() {
+            title = Some(trimmed.to_owned());
+            continue;
+        }
+        if let Some(directive) = trimmed.strip_prefix('.') {
+            let keyword = directive
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_ascii_lowercase();
+            if keyword == "end" {
+                break;
+            }
+            return Err(parse_err(line, format!("unsupported directive .{keyword}")));
+        }
+        parse_card(&mut circuit, tech, line, trimmed)?;
+    }
+
+    Ok(Deck {
+        title: title.unwrap_or_default(),
+        circuit,
+    })
+}
+
+/// Serializes a circuit back to SPICE deck text, terminated by `.end`.
+///
+/// The output round-trips through [`parse_deck`] for every element kind the
+/// parser understands. MOSFETs are emitted with their polarity as the model
+/// name and explicit `W=`/`L=` in meters, so the deck is self-contained given
+/// the same [`Technology`].
+///
+/// SPICE dispatches on the first letter of an element name, so names that do
+/// not already start with their card letter (e.g. a transistor named
+/// `PU_L`) are prefixed with it (`MPU_L`); a numeric suffix is appended in
+/// the unlikely event that the prefixed name collides with another element.
+pub fn write_deck(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut used: std::collections::HashSet<String> = circuit
+        .elements()
+        .iter()
+        .map(|e| e.name().to_ascii_lowercase())
+        .collect();
+    let mut card_name = |expected: char, id: &str| -> String {
+        if id
+            .chars()
+            .next()
+            .is_some_and(|c| c.eq_ignore_ascii_case(&expected))
+        {
+            return id.to_owned();
+        }
+        let mut candidate = format!("{expected}{id}");
+        let mut i = 1usize;
+        while used.contains(&candidate.to_ascii_lowercase()) {
+            candidate = format!("{expected}{id}_{i}");
+            i += 1;
+        }
+        used.insert(candidate.to_ascii_lowercase());
+        candidate
+    };
+    for element in circuit.elements() {
+        let name = |n| circuit.node_name(n);
+        match element {
+            Element::Resistor { name: id, a, b, resistance } => {
+                let id = card_name('R', id);
+                let _ = writeln!(out, "{id} {} {} {:e}", name(*a), name(*b), resistance.ohms());
+            }
+            Element::Capacitor { name: id, a, b, capacitance } => {
+                let id = card_name('C', id);
+                let _ = writeln!(out, "{id} {} {} {:e}", name(*a), name(*b), capacitance.farads());
+            }
+            Element::VoltageSource { name: id, pos, neg, voltage, .. } => {
+                let id = card_name('V', id);
+                let _ = writeln!(out, "{id} {} {} DC {:e}", name(*pos), name(*neg), voltage.volts());
+            }
+            Element::CurrentSource { name: id, from, to, current } => {
+                let id = card_name('I', id);
+                let _ = writeln!(out, "{id} {} {} DC {:e}", name(*from), name(*to), current.amps());
+            }
+            Element::Vcvs { name: id, pos, neg, cpos, cneg, gain, .. } => {
+                let id = card_name('E', id);
+                let _ = writeln!(
+                    out,
+                    "{id} {} {} {} {} {:e}",
+                    name(*pos), name(*neg), name(*cpos), name(*cneg), gain
+                );
+            }
+            Element::Vccs { name: id, from, to, cpos, cneg, transconductance } => {
+                let id = card_name('G', id);
+                let _ = writeln!(
+                    out,
+                    "{id} {} {} {} {} {:e}",
+                    name(*from), name(*to), name(*cpos), name(*cneg), transconductance
+                );
+            }
+            Element::Transistor { name: id, gate, drain, source, device } => {
+                let id = card_name('M', id);
+                let model = match device.model().polarity {
+                    Polarity::Nmos => "nmos",
+                    Polarity::Pmos => "pmos",
+                };
+                let _ = writeln!(
+                    out,
+                    "{id} {} {} {} {model} W={:e} L={:e}",
+                    name(*drain), name(*gate), name(*source),
+                    device.width().meters(), device.length().meters()
+                );
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// One logical input card after continuation-line folding.
+struct LogicalCard {
+    /// 1-based line number where the card starts.
+    line: usize,
+    /// Folded card text.
+    text: String,
+}
+
+/// Folds `+` continuation lines onto their parent card and drops `*` comment
+/// lines, preserving the starting line number of each card.
+fn logical_cards(text: &str) -> Vec<LogicalCard> {
+    let mut cards: Vec<LogicalCard> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with('*') {
+            continue;
+        }
+        if let Some(cont) = trimmed.strip_prefix('+') {
+            if let Some(last) = cards.last_mut() {
+                last.text.push(' ');
+                last.text.push_str(cont);
+                continue;
+            }
+            // A continuation with nothing to continue: keep it as its own
+            // card so the error points at the right line.
+        }
+        cards.push(LogicalCard {
+            line,
+            text: raw.to_owned(),
+        });
+    }
+    cards
+}
+
+/// Removes a trailing `;` comment.
+fn strip_comment(card: &str) -> &str {
+    match card.find(';') {
+        Some(i) => &card[..i],
+        None => card,
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> SpiceError {
+    SpiceError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Lifts a construction error into a parse error with position information.
+fn lift(line: usize, result: Result<(), SpiceError>) -> Result<(), SpiceError> {
+    result.map_err(|e| parse_err(line, e.to_string()))
+}
+
+fn parse_card(
+    circuit: &mut Circuit,
+    tech: &Technology,
+    line: usize,
+    card: &str,
+) -> Result<(), SpiceError> {
+    let tokens: Vec<&str> = card.split_whitespace().collect();
+    let head = tokens[0];
+    let kind = head
+        .chars()
+        .next()
+        .expect("card is non-empty")
+        .to_ascii_uppercase();
+    match kind {
+        'R' | 'C' => {
+            let [_, a, b, value] = expect_tokens::<4>(line, &tokens, "name node node value")?;
+            let v = parse_value(value).map_err(|m| parse_err(line, m))?;
+            let na = circuit.node(&canonical(a));
+            let nb = circuit.node(&canonical(b));
+            if kind == 'R' {
+                lift(line, circuit.resistor(head, na, nb, Ohm::new(v)))
+            } else {
+                lift(line, circuit.capacitor(head, na, nb, Farad::new(v)))
+            }
+        }
+        'V' | 'I' => {
+            // Optional DC keyword: `V1 a 0 DC 1.0` or `V1 a 0 1.0`.
+            let value_tokens: Vec<&str> = if tokens.len() == 5 {
+                if !tokens[3].eq_ignore_ascii_case("dc") {
+                    return Err(parse_err(
+                        line,
+                        format!("expected DC keyword, found {:?}", tokens[3]),
+                    ));
+                }
+                vec![tokens[0], tokens[1], tokens[2], tokens[4]]
+            } else {
+                tokens.clone()
+            };
+            let [_, pos, neg, value] =
+                expect_tokens::<4>(line, &value_tokens, "name node node [DC] value")?;
+            let v = parse_value(value).map_err(|m| parse_err(line, m))?;
+            let np = circuit.node(&canonical(pos));
+            let nn = circuit.node(&canonical(neg));
+            if kind == 'V' {
+                lift(line, circuit.vsource(head, np, nn, Volt::new(v)))
+            } else {
+                lift(line, circuit.isource(head, np, nn, Ampere::new(v)))
+            }
+        }
+        'E' | 'G' => {
+            let [_, out_p, out_n, ctl_p, ctl_n, value] =
+                expect_tokens::<6>(line, &tokens, "name node node cnode cnode value")?;
+            let v = parse_value(value).map_err(|m| parse_err(line, m))?;
+            let op = circuit.node(&canonical(out_p));
+            let on = circuit.node(&canonical(out_n));
+            let cp = circuit.node(&canonical(ctl_p));
+            let cn = circuit.node(&canonical(ctl_n));
+            if kind == 'E' {
+                lift(line, circuit.vcvs(head, op, on, cp, cn, v))
+            } else {
+                lift(line, circuit.vccs(head, op, on, cp, cn, v))
+            }
+        }
+        'M' => parse_mosfet(circuit, tech, line, head, &tokens),
+        other => Err(parse_err(
+            line,
+            format!("unknown element letter {other:?} (supported: R C V I E G M)"),
+        )),
+    }
+}
+
+fn parse_mosfet(
+    circuit: &mut Circuit,
+    tech: &Technology,
+    line: usize,
+    head: &str,
+    tokens: &[&str],
+) -> Result<(), SpiceError> {
+    // M<name> drain gate source model W=.. L=..
+    if tokens.len() < 5 {
+        return Err(parse_err(
+            line,
+            "MOSFET card needs: name drain gate source model W=value L=value",
+        ));
+    }
+    let (drain, gate, source, model_name) = (tokens[1], tokens[2], tokens[3], tokens[4]);
+    let model = if model_name.eq_ignore_ascii_case("nmos") {
+        tech.model(Polarity::Nmos).clone()
+    } else if model_name.eq_ignore_ascii_case("pmos") {
+        tech.model(Polarity::Pmos).clone()
+    } else {
+        return Err(parse_err(
+            line,
+            format!("unknown MOSFET model {model_name:?} (expected nmos or pmos)"),
+        ));
+    };
+
+    let mut width: Option<f64> = None;
+    let mut length: Option<f64> = None;
+    for param in &tokens[5..] {
+        let Some((key, value)) = param.split_once('=') else {
+            return Err(parse_err(
+                line,
+                format!("expected KEY=value MOSFET parameter, found {param:?}"),
+            ));
+        };
+        let v = parse_value(value).map_err(|m| parse_err(line, m))?;
+        match key.to_ascii_lowercase().as_str() {
+            "w" => width = Some(v),
+            "l" => length = Some(v),
+            other => {
+                return Err(parse_err(
+                    line,
+                    format!("unknown MOSFET parameter {other:?} (supported: W, L)"),
+                ))
+            }
+        }
+    }
+    let (Some(w), Some(l)) = (width, length) else {
+        return Err(parse_err(line, "MOSFET card requires both W= and L="));
+    };
+
+    let device = Mosfet::new(model, Meter::new(w), Meter::new(l))
+        .map_err(|e| parse_err(line, e.to_string()))?;
+    let ng = circuit.node(&canonical(gate));
+    let nd = circuit.node(&canonical(drain));
+    let ns = circuit.node(&canonical(source));
+    lift(line, circuit.transistor(head, ng, nd, ns, device))
+}
+
+/// Normalizes a node token: names are case-insensitive in SPICE decks.
+fn canonical(token: &str) -> String {
+    token.to_ascii_lowercase()
+}
+
+fn expect_tokens<'a, const N: usize>(
+    line: usize,
+    tokens: &[&'a str],
+    shape: &str,
+) -> Result<[&'a str; N], SpiceError> {
+    if tokens.len() != N {
+        return Err(parse_err(
+            line,
+            format!(
+                "expected {N} fields ({shape}), found {}",
+                tokens.len()
+            ),
+        ));
+    }
+    Ok(std::array::from_fn(|i| tokens[i]))
+}
+
+/// Parses a SPICE numeric value with engineering suffixes.
+///
+/// Accepted scale factors (case-insensitive): `t g meg k m u n p f`. Any
+/// trailing alphabetic unit (`F`, `Ohm`, `V`...) after the scale factor is
+/// ignored, as in classic SPICE.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the token has no numeric prefix or
+/// contains non-alphabetic garbage after the number.
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let lower = token.trim().to_ascii_lowercase();
+    if lower.is_empty() {
+        return Err("empty value".to_owned());
+    }
+    // Longest prefix that parses as a float (handles 1e-3, -4.7, .5 ...).
+    let bytes = lower.as_bytes();
+    let mut split = 0;
+    let mut best: Option<f64> = None;
+    for end in 1..=bytes.len() {
+        if let Ok(v) = lower[..end].parse::<f64>() {
+            best = Some(v);
+            split = end;
+        }
+    }
+    let Some(mantissa) = best else {
+        return Err(format!("value {token:?} has no numeric prefix"));
+    };
+    let suffix = &lower[split..];
+    if !suffix.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err(format!("value {token:?} has a malformed suffix {suffix:?}"));
+    }
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            // Unknown letters are unit annotations ("10V", "3A"): scale 1.
+            Some(_) => 1.0,
+        }
+    };
+    Ok(mantissa * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::NodeId;
+    use crate::dc::DcSolver;
+
+    fn tech() -> Technology {
+        Technology::ptm_22nm()
+    }
+
+    fn assert_close(actual: f64, expected: f64) {
+        let tol = expected.abs() * 1e-12;
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected:e}, parsed {actual:e}"
+        );
+    }
+
+    #[test]
+    fn value_suffixes() {
+        assert_close(parse_value("100").unwrap(), 100.0);
+        assert_close(parse_value("1k").unwrap(), 1e3);
+        assert_close(parse_value("2.2K").unwrap(), 2.2e3);
+        assert_close(parse_value("1meg").unwrap(), 1e6);
+        assert_close(parse_value("1MEG").unwrap(), 1e6);
+        assert_close(parse_value("5m").unwrap(), 5e-3);
+        assert_close(parse_value("10u").unwrap(), 10e-6);
+        assert_close(parse_value("3n").unwrap(), 3e-9);
+        assert_close(parse_value("10p").unwrap(), 10e-12);
+        assert_close(parse_value("2f").unwrap(), 2e-15);
+        assert_close(parse_value("1g").unwrap(), 1e9);
+        assert_close(parse_value("1t").unwrap(), 1e12);
+    }
+
+    #[test]
+    fn value_trailing_units_ignored() {
+        assert_close(parse_value("10pF").unwrap(), 10e-12);
+        assert_close(parse_value("5kOhm").unwrap(), 5e3);
+        assert_close(parse_value("10V").unwrap(), 10.0);
+        assert_close(parse_value("1megohm").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn value_scientific_and_signed() {
+        assert_eq!(parse_value("1e-3").unwrap(), 1e-3);
+        assert_eq!(parse_value("-4.7").unwrap(), -4.7);
+        assert_eq!(parse_value(".5").unwrap(), 0.5);
+        assert_eq!(parse_value("1.5e3k").unwrap(), 1.5e6);
+    }
+
+    #[test]
+    fn value_garbage_rejected() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("1k2").is_err());
+        assert!(parse_value("--3").is_err());
+    }
+
+    #[test]
+    fn divider_deck_parses_and_solves() {
+        let deck = parse_deck(
+            "voltage divider
+             * a comment line
+             V1 vin 0 DC 1.0
+             R1 vin mid 1k    ; trailing comment
+             R2 mid 0 3k
+             .end",
+            &tech(),
+        )
+        .unwrap();
+        assert_eq!(deck.title, "voltage divider");
+        let mid = deck.circuit.find_node("mid").unwrap();
+        let op = DcSolver::new(&deck.circuit).solve().unwrap();
+        assert!((op.voltage(mid).volts() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuation_lines_fold() {
+        let deck = parse_deck(
+            "continuation test
+             V1 a 0
+             + DC 2.0
+             R1 a 0 1k
+             .end",
+            &tech(),
+        )
+        .unwrap();
+        let a = deck.circuit.find_node("a").unwrap();
+        let op = DcSolver::new(&deck.circuit).solve().unwrap();
+        assert!((op.voltage(a).volts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_names_case_insensitive() {
+        let deck = parse_deck(
+            "case test
+             V1 VIN 0 1.0
+             R1 vin 0 1k
+             .end",
+            &tech(),
+        )
+        .unwrap();
+        // Both spellings refer to one node: only V1's node plus ground exist.
+        assert_eq!(deck.circuit.node_count(), 2);
+    }
+
+    #[test]
+    fn mosfet_inverter_deck() {
+        let deck = parse_deck(
+            "resistor-load inverter
+             VDD vdd 0 0.95
+             VIN in 0 0.95
+             RL vdd out 50k
+             M1 out in 0 nmos W=88n L=22n
+             .end",
+            &tech(),
+        )
+        .unwrap();
+        let out = deck.circuit.find_node("out").unwrap();
+        let op = DcSolver::new(&deck.circuit).solve().unwrap();
+        assert!(op.voltage(out).volts() < 0.2, "on transistor pulls low");
+    }
+
+    #[test]
+    fn controlled_source_cards() {
+        let deck = parse_deck(
+            "controlled sources
+             V1 c 0 1.0
+             E1 e 0 c 0 3.0
+             RE e 0 1k
+             G1 0 g c 0 1m
+             RG g 0 2k
+             .end",
+            &tech(),
+        )
+        .unwrap();
+        let op = DcSolver::new(&deck.circuit).solve().unwrap();
+        let e = deck.circuit.find_node("e").unwrap();
+        let g = deck.circuit.find_node("g").unwrap();
+        assert!((op.voltage(e).volts() - 3.0).abs() < 1e-6);
+        assert!((op.voltage(g).volts() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_deck(
+            "title
+             V1 a 0 1.0
+             Q1 a 0 bogus
+             .end",
+            &tech(),
+        )
+        .unwrap_err();
+        match err {
+            SpiceError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains('Q'), "message was {message:?}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_cards_rejected() {
+        let cases = [
+            "t\nR1 a 0\n.end",                      // too few fields
+            "t\nR1 a 0 zzz\n.end",                  // bad value
+            "t\nV1 a 0 AC 1.0\n.end",               // not DC
+            "t\nM1 d g 0 weird W=88n L=22n\n.end",  // unknown model
+            "t\nM1 d g 0 nmos W=88n\n.end",         // missing L
+            "t\nM1 d g 0 nmos X=1 W=88n L=22n\n.end", // unknown param
+            "t\nM1 d g 0 nmos W 88n L=22n\n.end",   // malformed param
+            "t\n.option reltol=1e-3\n.end",         // unsupported directive
+            "t\nR1 a 0 1k\nR1 a 0 2k\n.end",        // duplicate name
+            "t\nR1 a 0 0\n.end",                    // non-physical value
+        ];
+        for deck in cases {
+            let err = parse_deck(deck, &tech()).unwrap_err();
+            assert!(
+                matches!(err, SpiceError::Parse { .. }),
+                "deck {deck:?} produced {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cards_after_end_ignored() {
+        let deck = parse_deck(
+            "t\nR1 a 0 1k\n.end\nthis is not a card",
+            &tech(),
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 1);
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(0.95)).unwrap();
+        ckt.resistor("R1", a, b, Ohm::new(12.5e3)).unwrap();
+        ckt.capacitor("C1", b, NodeId::GROUND, Farad::from_femtofarads(7.0))
+            .unwrap();
+        ckt.isource("I1", NodeId::GROUND, b, Ampere::from_microamps(2.0))
+            .unwrap();
+        ckt.vcvs("E1", c, NodeId::GROUND, b, NodeId::GROUND, 2.5).unwrap();
+        ckt.vccs("G1", NodeId::GROUND, c, a, NodeId::GROUND, 3e-4).unwrap();
+        let t = tech();
+        let m = Mosfet::new(
+            t.nmos.clone(),
+            Meter::from_nanometers(88.0),
+            Meter::from_nanometers(22.0),
+        )
+        .unwrap();
+        ckt.transistor("M1", b, c, NodeId::GROUND, m).unwrap();
+
+        let text = write_deck(&ckt, "round trip");
+        let deck = parse_deck(&text, &t).unwrap();
+        assert_eq!(deck.title, "round trip");
+        assert_eq!(deck.circuit.elements().len(), ckt.elements().len());
+
+        // Both circuits must produce the same DC solution.
+        let op1 = DcSolver::new(&ckt).solve().unwrap();
+        let op2 = DcSolver::new(&deck.circuit).solve().unwrap();
+        for node in ["a", "b", "c"] {
+            let n1 = ckt.find_node(node).unwrap();
+            let n2 = deck.circuit.find_node(node).unwrap();
+            assert!(
+                (op1.voltage(n1).volts() - op2.voltage(n2).volts()).abs() < 1e-9,
+                "node {node} diverged after round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn writer_prefixes_noncanonical_names() {
+        // Internal netlists name devices by function ("PU_L"); the deck
+        // format dispatches on the first letter, so the writer must prefix.
+        let t = tech();
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m = Mosfet::new(
+            t.nmos.clone(),
+            Meter::from_nanometers(88.0),
+            Meter::from_nanometers(22.0),
+        )
+        .unwrap();
+        ckt.transistor("PU_L", a, a, NodeId::GROUND, m).unwrap();
+        ckt.resistor("load", a, NodeId::GROUND, Ohm::new(1e4)).unwrap();
+        ckt.vsource("supply", a, NodeId::GROUND, Volt::new(0.5)).unwrap();
+        let text = write_deck(&ckt, "prefix test");
+        assert!(text.contains("MPU_L "), "{text}");
+        assert!(text.contains("Rload "), "{text}");
+        assert!(text.contains("Vsupply "), "{text}");
+        // And the prefixed deck parses cleanly.
+        assert!(parse_deck(&text, &t).is_ok());
+    }
+
+    #[test]
+    fn empty_deck_is_title_only() {
+        let deck = parse_deck("just a title", &tech()).unwrap();
+        assert_eq!(deck.title, "just a title");
+        assert!(deck.circuit.elements().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Transient analysis with fixed-step backward Euler.
+//!
+//! Good enough for the RC-scale questions the bitcell characterization asks
+//! ("how long until the bitline drops 100 mV?"): backward Euler is
+//! unconditionally stable, and SRAM read/write waveforms are monotone enough
+//! that first-order accuracy with a small fixed step is fine. Capacitors are
+//! folded in as companion models inside the shared Newton stamping routine.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::dc::{newton_solve, stamp_all, DcSolution, NewtonOptions, TransientStamp};
+use crate::error::SpiceError;
+use crate::linear::DenseMatrix;
+use sram_device::units::{Second, Volt};
+
+/// Options for a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Fixed integration step.
+    pub dt: Second,
+    /// Stop time (inclusive of the final step).
+    pub t_stop: Second,
+    /// Newton options used at each time point.
+    pub newton: NewtonOptions,
+}
+
+impl TransientOptions {
+    /// Creates options with default Newton settings.
+    pub fn new(dt: Second, t_stop: Second) -> Self {
+        Self {
+            dt,
+            t_stop,
+            newton: NewtonOptions::default(),
+        }
+    }
+}
+
+/// A recorded transient waveform: time points and per-node voltages.
+#[derive(Debug, Clone)]
+pub struct Waveform {
+    times: Vec<f64>,
+    /// Outer index: time point; inner: non-ground node voltages.
+    node_voltages: Vec<Vec<f64>>,
+}
+
+impl Waveform {
+    /// Number of stored time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no time points were stored.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Time of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn time(&self, i: usize) -> Second {
+        Second::new(self.times[i])
+    }
+
+    /// Voltage of `node` at sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the node is foreign.
+    pub fn voltage(&self, node: NodeId, i: usize) -> Volt {
+        if node.is_ground() {
+            return Volt::new(0.0);
+        }
+        Volt::new(self.node_voltages[i][node.index() - 1])
+    }
+
+    /// First time at which `node` crosses `threshold` in the given direction
+    /// (`falling = true` means crossing from above to below). Linear
+    /// interpolation between samples. `None` if it never crosses.
+    pub fn crossing_time(&self, node: NodeId, threshold: Volt, falling: bool) -> Option<Second> {
+        let th = threshold.volts();
+        for i in 1..self.len() {
+            let v0 = self.voltage(node, i - 1).volts();
+            let v1 = self.voltage(node, i).volts();
+            let crossed = if falling {
+                v0 > th && v1 <= th
+            } else {
+                v0 < th && v1 >= th
+            };
+            if crossed {
+                let t0 = self.times[i - 1];
+                let t1 = self.times[i];
+                let frac = if (v1 - v0).abs() < 1e-30 {
+                    0.0
+                } else {
+                    (th - v0) / (v1 - v0)
+                };
+                return Some(Second::new(t0 + frac * (t1 - t0)));
+            }
+        }
+        None
+    }
+
+    /// Final voltage of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform is empty.
+    pub fn final_voltage(&self, node: NodeId) -> Volt {
+        self.voltage(node, self.len() - 1)
+    }
+}
+
+/// Runs a backward-Euler transient from the given initial condition.
+///
+/// `initial` must be a DC solution of the same circuit (typically the
+/// pre-access operating point); source value changes made to `circuit`
+/// *after* obtaining `initial` are what create the transient stimulus — the
+/// classic "flip the wordline source, then integrate" recipe.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidTimestep`] for a non-positive step or horizon, plus
+/// any Newton failure at a time point.
+pub fn transient(
+    circuit: &Circuit,
+    initial: &DcSolution,
+    options: &TransientOptions,
+) -> Result<Waveform, SpiceError> {
+    let dt = options.dt.seconds();
+    let t_stop = options.t_stop.seconds();
+    if dt <= 0.0 || t_stop <= 0.0 || !dt.is_finite() || !t_stop.is_finite() {
+        return Err(SpiceError::InvalidTimestep);
+    }
+    let n_nodes = circuit.node_count() - 1;
+    let n = circuit.unknown_count();
+    let steps = (t_stop / dt).ceil() as usize;
+
+    let mut x = initial.clone().into_unknowns();
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut node_voltages = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    node_voltages.push(x[..n_nodes].to_vec());
+
+    for step in 1..=steps {
+        let t = step as f64 * dt;
+        let prev_nodes: Vec<f64> = x[..n_nodes].to_vec();
+        // Newton at this time point with capacitor companion models.
+        let mut iterate = x.clone();
+        let mut converged = false;
+        for _ in 0..options.newton.max_iterations {
+            let mut jac = DenseMatrix::zeros(n);
+            let mut residual = vec![0.0; n];
+            let tr = TransientStamp {
+                inv_dt: 1.0 / dt,
+                previous: &prev_nodes,
+            };
+            stamp_all(
+                circuit,
+                &iterate,
+                1.0,
+                options.newton.gmin,
+                &mut jac,
+                &mut residual,
+                Some(&tr),
+            );
+            let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
+            let dx = jac.solve(&rhs)?;
+            let max_dv = dx[..n_nodes].iter().fold(0.0f64, |m, d| m.max(d.abs()));
+            let scale = if max_dv > options.newton.max_step {
+                options.newton.max_step / max_dv
+            } else {
+                1.0
+            };
+            for (xi, di) in iterate.iter_mut().zip(dx.iter()) {
+                *xi += scale * di;
+            }
+            if max_dv * scale < options.newton.vntol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(SpiceError::NoConvergence {
+                iterations: options.newton.max_iterations,
+                residual: f64::NAN,
+            });
+        }
+        x = iterate;
+        times.push(t);
+        node_voltages.push(x[..n_nodes].to_vec());
+    }
+
+    Ok(Waveform {
+        times,
+        node_voltages,
+    })
+}
+
+/// Convenience: solve the DC operating point of `circuit` as the initial
+/// condition, then run a transient after applying `stimulus` (source edits).
+///
+/// # Errors
+///
+/// Propagates DC and transient solver errors.
+pub fn transient_with_stimulus(
+    circuit: &mut Circuit,
+    stimulus: impl FnOnce(&mut Circuit) -> Result<(), SpiceError>,
+    options: &TransientOptions,
+) -> Result<Waveform, SpiceError> {
+    let initial = newton_solve(
+        circuit,
+        &vec![0.0; circuit.unknown_count()],
+        &options.newton,
+        1.0,
+        None,
+    )
+    .or_else(|_| crate::dc::DcSolver::new(circuit).solve())?;
+    stimulus(circuit)?;
+    transient(circuit, &initial, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::DcSolver;
+    use sram_device::units::{Farad, Ohm};
+
+    /// RC discharge: v(t) = V0 e^(-t/RC); BE is first-order accurate, so
+    /// compare with a generous tolerance.
+    #[test]
+    fn rc_discharge_matches_analytic() {
+        let r = 10e3;
+        let c = 10e-15;
+        let tau = r * c; // 100 ps
+        // Charge node b to 1 V with a current source, then remove the source
+        // and let the capacitor discharge through R.
+        let mut ckt = Circuit::new();
+        let b = ckt.node("b");
+        ckt.resistor("R1", b, NodeId::GROUND, Ohm::new(r)).unwrap();
+        ckt.capacitor("C1", b, NodeId::GROUND, Farad::new(c)).unwrap();
+        ckt.isource(
+            "I1",
+            NodeId::GROUND,
+            b,
+            sram_device::units::Ampere::new(1.0 / r),
+        )
+        .unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        assert!((op.voltage(b).volts() - 1.0).abs() < 1e-6);
+        let mut ckt2 = Circuit::new();
+        let b2 = ckt2.node("b");
+        ckt2.resistor("R1", b2, NodeId::GROUND, Ohm::new(r)).unwrap();
+        ckt2.capacitor("C1", b2, NodeId::GROUND, Farad::new(c)).unwrap();
+        let options = TransientOptions::new(
+            Second::new(tau / 200.0),
+            Second::new(3.0 * tau),
+        );
+        let wave = transient(&ckt2, &op, &options).unwrap();
+        // At t = tau the voltage should be ~ 1/e.
+        let idx = (wave.len() as f64 / 3.0) as usize;
+        let t = wave.time(idx).seconds();
+        let v = wave.voltage(b2, idx).volts();
+        let expected = (-t / tau).exp();
+        assert!(
+            (v - expected).abs() < 0.02,
+            "BE discharge at t={t}: {v} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn crossing_time_interpolates() {
+        let r = 1e3;
+        let c = 1e-12;
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let b = ckt.node("b");
+        ckt.resistor("R1", b, NodeId::GROUND, Ohm::new(r)).unwrap();
+        ckt.capacitor("C1", b, NodeId::GROUND, Farad::new(c)).unwrap();
+        ckt.isource(
+            "I1",
+            NodeId::GROUND,
+            b,
+            sram_device::units::Ampere::new(1.0 / r),
+        )
+        .unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        let mut discharge = Circuit::new();
+        let b2 = discharge.node("b");
+        discharge.resistor("R1", b2, NodeId::GROUND, Ohm::new(r)).unwrap();
+        discharge
+            .capacitor("C1", b2, NodeId::GROUND, Farad::new(c))
+            .unwrap();
+        let options = TransientOptions::new(Second::new(tau / 500.0), Second::new(2.0 * tau));
+        let wave = transient(&discharge, &op, &options).unwrap();
+        // v crosses 0.5 at t = tau ln 2.
+        let t_half = wave
+            .crossing_time(b2, Volt::new(0.5), true)
+            .expect("must cross");
+        let expected = tau * std::f64::consts::LN_2;
+        assert!(
+            (t_half.seconds() - expected).abs() < 0.02 * tau,
+            "t_half {} vs {}",
+            t_half.seconds(),
+            expected
+        );
+        // Never crosses upward through 2 V.
+        assert!(wave.crossing_time(b2, Volt::new(2.0), false).is_none());
+    }
+
+    #[test]
+    fn invalid_timestep_is_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        let bad = TransientOptions::new(Second::new(0.0), Second::new(1e-9));
+        assert_eq!(
+            transient(&ckt, &op, &bad).unwrap_err(),
+            SpiceError::InvalidTimestep
+        );
+    }
+
+    #[test]
+    fn waveform_accessors() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.capacitor("C1", a, NodeId::GROUND, Farad::from_femtofarads(1.0))
+            .unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        let options = TransientOptions::new(
+            Second::from_picoseconds(1.0),
+            Second::from_picoseconds(10.0),
+        );
+        let wave = transient(&ckt, &op, &options).unwrap();
+        assert_eq!(wave.len(), 11); // t=0 plus 10 steps
+        assert!(!wave.is_empty());
+        assert!(wave.final_voltage(a).volts().abs() < 1e-6);
+        assert_eq!(wave.voltage(NodeId::GROUND, 0), Volt::new(0.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the circuit solver: the solver must agree with
+//! closed-form circuit theory for randomly generated linear networks.
+
+use nanospice::prelude::*;
+use proptest::prelude::*;
+use sram_device::units::{Ampere, Ohm, Volt};
+
+proptest! {
+    /// Voltage divider: solved mid voltage equals the analytic ratio.
+    #[test]
+    fn divider_matches_theory(v in 0.1f64..2.0, r1 in 100.0f64..1e6, r2 in 100.0f64..1e6) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(v)).unwrap();
+        ckt.resistor("R1", vin, mid, Ohm::new(r1)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(r2)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        let expected = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(mid).volts() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    /// A resistor ladder must satisfy KCL: source current equals the current
+    /// through the first rung computed from the node voltages.
+    #[test]
+    fn ladder_kcl(v in 0.2f64..1.5, stages in 2usize..8, r in 1e3f64..1e5) {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("n0");
+        ckt.vsource("V1", top, NodeId::GROUND, Volt::new(v)).unwrap();
+        let mut prev = top;
+        for s in 1..=stages {
+            let node = ckt.node(&format!("n{s}"));
+            ckt.resistor(&format!("Rs{s}"), prev, node, Ohm::new(r)).unwrap();
+            ckt.resistor(&format!("Rp{s}"), node, NodeId::GROUND, Ohm::new(2.0 * r)).unwrap();
+            prev = node;
+        }
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        let n1 = ckt.find_node("n1").unwrap();
+        let i_first = (op.voltage(top).volts() - op.voltage(n1).volts()) / r;
+        let i_src = -op.vsource_current(&ckt, "V1").unwrap().amps();
+        // The solver injects gmin (1e-12 S) from every node to ground, so the
+        // source also feeds ~stages * gmin * v of bookkeeping current.
+        let gmin_budget = 1e-11 * (stages as f64) * v.max(1.0);
+        prop_assert!((i_first - i_src).abs() < 1e-9 * i_src.abs() + gmin_budget,
+            "KCL at source: rung {i_first} vs source {i_src}");
+    }
+
+    /// Current source into parallel resistors: Ohm's law on the combined G.
+    #[test]
+    fn parallel_resistors(i_ua in 0.1f64..100.0, r1 in 1e3f64..1e6, r2 in 1e3f64..1e6) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.isource("I1", NodeId::GROUND, a, Ampere::from_microamps(i_ua)).unwrap();
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(r1)).unwrap();
+        ckt.resistor("R2", a, NodeId::GROUND, Ohm::new(r2)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        let expected = i_ua * 1e-6 / (1.0 / r1 + 1.0 / r2);
+        prop_assert!((op.voltage(a).volts() - expected).abs() < 1e-6 * expected.max(1e-6));
+    }
+
+    /// Linearity: doubling every source doubles every node voltage.
+    #[test]
+    fn linear_superposition(v in 0.1f64..1.0, i_ua in 0.1f64..50.0) {
+        let build = |vs: f64, is: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.vsource("V1", a, NodeId::GROUND, Volt::new(vs)).unwrap();
+            ckt.resistor("R1", a, b, Ohm::new(10e3)).unwrap();
+            ckt.resistor("R2", b, NodeId::GROUND, Ohm::new(22e3)).unwrap();
+            ckt.isource("I1", NodeId::GROUND, b, Ampere::from_microamps(is)).unwrap();
+            let op = DcSolver::new(&ckt).solve().unwrap();
+            op.voltage(b).volts()
+        };
+        let v1 = build(v, i_ua);
+        let v2 = build(2.0 * v, 2.0 * i_ua);
+        prop_assert!((v2 - 2.0 * v1).abs() < 1e-6 * v1.abs().max(1e-6));
+    }
+}
+
+proptest! {
+    /// Any plainly formatted float must parse back to itself.
+    #[test]
+    fn parse_value_roundtrips_plain_floats(v in -1e9f64..1e9) {
+        let parsed = nanospice::parser::parse_value(&format!("{v:e}")).unwrap();
+        prop_assert!((parsed - v).abs() <= v.abs() * 1e-12);
+    }
+
+    /// Engineering-suffix formatting must agree with the plain scientific form.
+    #[test]
+    fn parse_value_suffixes_scale(mantissa in 0.001f64..999.0, suffix in 0usize..9) {
+        let (text, scale) = [
+            ("f", 1e-15), ("p", 1e-12), ("n", 1e-9), ("u", 1e-6), ("m", 1e-3),
+            ("k", 1e3), ("meg", 1e6), ("g", 1e9), ("t", 1e12),
+        ][suffix];
+        let parsed = nanospice::parser::parse_value(&format!("{mantissa}{text}")).unwrap();
+        let expected = mantissa * scale;
+        prop_assert!((parsed - expected).abs() <= expected.abs() * 1e-12);
+    }
+
+    /// A randomly generated linear network must survive a deck round trip:
+    /// write → parse → identical DC solution.
+    #[test]
+    fn deck_round_trip_preserves_solution(
+        v in 0.2f64..1.5,
+        r1 in 1e3f64..1e6,
+        r2 in 1e3f64..1e6,
+        gain in 0.1f64..10.0,
+        gm_us in 1.0f64..1000.0,
+    ) {
+        let tech = sram_device::process::Technology::ptm_22nm();
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        let amp = ckt.node("amp");
+        let cur = ckt.node("cur");
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(v)).unwrap();
+        ckt.resistor("R1", vin, mid, Ohm::new(r1)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(r2)).unwrap();
+        ckt.vcvs("E1", amp, NodeId::GROUND, mid, NodeId::GROUND, gain).unwrap();
+        ckt.resistor("RA", amp, NodeId::GROUND, Ohm::new(10e3)).unwrap();
+        ckt.vccs("G1", NodeId::GROUND, cur, mid, NodeId::GROUND, gm_us * 1e-6).unwrap();
+        ckt.resistor("RC", cur, NodeId::GROUND, Ohm::new(5e3)).unwrap();
+
+        let text = nanospice::parser::write_deck(&ckt, "roundtrip property");
+        let deck = nanospice::parser::parse_deck(&text, &tech).unwrap();
+        let op1 = DcSolver::new(&ckt).solve().unwrap();
+        let op2 = DcSolver::new(&deck.circuit).solve().unwrap();
+        for node in ["vin", "mid", "amp", "cur"] {
+            let v1 = op1.voltage(ckt.find_node(node).unwrap()).volts();
+            let v2 = op2.voltage(deck.circuit.find_node(node).unwrap()).volts();
+            prop_assert!((v1 - v2).abs() < 1e-9 + 1e-9 * v1.abs(), "node {} diverged", node);
+        }
+    }
+
+    /// VCVS gain sweep: output scales linearly with the gain parameter.
+    #[test]
+    fn vcvs_output_scales_with_gain(gain in 0.0f64..20.0, vctl in 0.05f64..1.0) {
+        let mut ckt = Circuit::new();
+        let c = ckt.node("c");
+        let o = ckt.node("o");
+        ckt.vsource("V1", c, NodeId::GROUND, Volt::new(vctl)).unwrap();
+        ckt.vcvs("E1", o, NodeId::GROUND, c, NodeId::GROUND, gain).unwrap();
+        ckt.resistor("RL", o, NodeId::GROUND, Ohm::new(1e4)).unwrap();
+        let op = DcSolver::new(&ckt).solve().unwrap();
+        prop_assert!((op.voltage(o).volts() - gain * vctl).abs() < 1e-7 * (gain * vctl).max(1.0));
+    }
+}
+
+/// The DC sweep must return one solution per requested point, in order.
+#[test]
+fn sweep_point_count() {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("vin");
+    ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(0.0))
+        .unwrap();
+    ckt.resistor("R1", vin, NodeId::GROUND, Ohm::new(1e4))
+        .unwrap();
+    let pts: Vec<Volt> = (0..37).map(|i| Volt::new(i as f64 * 0.025)).collect();
+    let sols = dc_sweep(&mut ckt, "V1", &pts, &NewtonOptions::default(), None).unwrap();
+    assert_eq!(sols.len(), 37);
+    for (s, p) in sols.iter().zip(&pts) {
+        assert!((s.voltage(vin).volts() - p.volts()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! System controller: sequences NPE computations against the synaptic memory.
+//!
+//! This is the digital ASIC of paper Fig. 2 in behavioral form: the
+//! controller walks the network layer by layer, streams each neuron's weight
+//! words out of the (possibly faulty, voltage-scaled) synaptic memory, feeds
+//! the NPE MAC, and latches the activations for the next layer. Every weight
+//! read goes through the behavioral memory, so per-access read faults land
+//! exactly where the hardware would see them.
+
+use crate::layout;
+use crate::npe::{encode_activation, Npe};
+use neural::quant::QuantizedMlp;
+use sram_array::behavioral::SynapticMemory;
+
+/// Shape of one layer as seen by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LayerShape {
+    inputs: usize,
+    outputs: usize,
+}
+
+/// The neuromorphic system: NPE bank + controller + synaptic memory.
+#[derive(Debug)]
+pub struct NeuromorphicSystem {
+    npe: Npe,
+    memory: SynapticMemory,
+    shapes: Vec<LayerShape>,
+}
+
+impl NeuromorphicSystem {
+    /// Builds the system by loading a quantized network into the given
+    /// memory (through its faulty write path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory's bank layout does not match the network
+    /// (`layout::bank_words`).
+    pub fn new(network: &QuantizedMlp, mut memory: SynapticMemory, npe: Npe) -> Self {
+        let words = layout::bank_words(network);
+        let map_words: Vec<usize> = memory.map().banks().iter().map(|b| b.words).collect();
+        assert_eq!(
+            words, map_words,
+            "memory bank layout does not match the network"
+        );
+        memory.load(&layout::flatten(network));
+        let shapes = network
+            .layers
+            .iter()
+            .map(|l| LayerShape {
+                inputs: l.inputs,
+                outputs: l.outputs,
+            })
+            .collect();
+        Self {
+            npe,
+            memory,
+            shapes,
+        }
+    }
+
+    /// Access to the underlying memory (e.g. for energy accounting).
+    pub fn memory(&self) -> &SynapticMemory {
+        &self.memory
+    }
+
+    /// Classifies one input sample (features in `[0, 1]`); returns the
+    /// predicted class index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count does not match the input layer.
+    pub fn classify(&mut self, features: &[f32]) -> usize {
+        let outputs = self.infer(features);
+        outputs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &code)| code)
+            .map(|(i, _)| i)
+            .expect("non-empty output layer")
+    }
+
+    /// Runs a full forward pass; returns the output activation codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count does not match the input layer.
+    pub fn infer(&mut self, features: &[f32]) -> Vec<u8> {
+        assert_eq!(
+            features.len(),
+            self.shapes[0].inputs,
+            "input width mismatch"
+        );
+        let mut activations: Vec<u8> = features.iter().map(|&f| encode_activation(f)).collect();
+        let mut bank_base = 0usize;
+
+        let shapes = self.shapes.clone();
+        let mut weight_buf: Vec<u8> = Vec::new();
+        for shape in &shapes {
+            let mut next = Vec::with_capacity(shape.outputs);
+            for neuron in 0..shape.outputs {
+                weight_buf.clear();
+                let row_start =
+                    bank_base + layout::weight_offset(shape.inputs, neuron, 0);
+                for k in 0..shape.inputs {
+                    weight_buf.push(self.memory.read(row_start + k));
+                }
+                let bias = self
+                    .memory
+                    .read(bank_base + layout::bias_offset(shape.inputs, shape.outputs, neuron));
+                next.push(self.npe.neuron(&weight_buf, bias, &activations));
+            }
+            bank_base += shape.inputs * shape.outputs + shape.outputs;
+            activations = next;
+        }
+        activations
+    }
+
+    /// Classification accuracy over a dataset, running every sample through
+    /// the full memory-faulting datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-width mismatch.
+    pub fn accuracy(&mut self, data: &neural::dataset::Dataset) -> f64 {
+        assert!(!data.is_empty(), "empty dataset");
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            if self.classify(data.image(i)) == data.label(i) {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_inject::model::{BitErrorRates, WordFailureModel};
+    use fault_inject::protection::ProtectionPolicy;
+    use neural::dataset::synth;
+    use neural::eval::accuracy;
+    use neural::network::Mlp;
+    use neural::quant::{Encoding, QuantizedMlp};
+    use neural::train::{train, TrainOptions};
+    use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+
+    fn trained_small_net() -> (QuantizedMlp, neural::dataset::Dataset) {
+        let data = synth::generate_default(400, 21);
+        let (train_set, test_set) = data.split(0.75, 3);
+        let mut mlp = Mlp::new(&[784, 24, 10], 5);
+        train(
+            &mut mlp,
+            &train_set,
+            &TrainOptions {
+                epochs: 8,
+                ..TrainOptions::default()
+            },
+        );
+        (
+            QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement),
+            test_set,
+        )
+    }
+
+    fn ideal_memory_for(q: &QuantizedMlp) -> SynapticMemory {
+        let words = layout::bank_words(q);
+        let map = SynapticMemoryMap::new(&words, &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
+        let models = vec![WordFailureModel::ideal(); words.len()];
+        SynapticMemory::new(map, models, 17)
+    }
+
+    #[test]
+    fn system_matches_float_network_on_clean_memory() {
+        let (q, test_set) = trained_small_net();
+        let npe = Npe::new(q.format);
+        let mut system = NeuromorphicSystem::new(&q, ideal_memory_for(&q), npe);
+        let fixed_acc = system.accuracy(&test_set);
+        let float_acc = accuracy(&q.to_mlp(), &test_set);
+        assert!(
+            (fixed_acc - float_acc).abs() < 0.1,
+            "fixed-point {fixed_acc} vs float {float_acc}"
+        );
+        // The datapath must actually have read the memory.
+        assert!(system.memory().counts().reads > 0);
+    }
+
+    #[test]
+    fn heavy_lsb_faults_barely_hurt_but_msb_faults_kill() {
+        let (q, test_set) = trained_small_net();
+        let test_set = test_set.take(40);
+        let npe = Npe::new(q.format);
+
+        let clean_acc = {
+            let mut s = NeuromorphicSystem::new(&q, ideal_memory_for(&q), npe.clone());
+            s.accuracy(&test_set)
+        };
+
+        let words = layout::bank_words(&q);
+        // LSB-only faults (hybrid with every bit but bit0 protected).
+        let policy = ProtectionPolicy::MsbProtected { msb_8t: 7 };
+        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+        let rates = BitErrorRates {
+            read_6t: 0.3,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let models: Vec<WordFailureModel> = (0..words.len())
+            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+            .collect();
+        let mut lsb_system =
+            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 3), npe.clone());
+        let lsb_acc = lsb_system.accuracy(&test_set);
+
+        // Uniform faults at the same rate (MSBs exposed).
+        let policy = ProtectionPolicy::Uniform6T;
+        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+        let models: Vec<WordFailureModel> = (0..words.len())
+            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+            .collect();
+        let mut uniform_system =
+            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 3), npe);
+        let uniform_acc = uniform_system.accuracy(&test_set);
+
+        assert!(
+            lsb_acc > clean_acc - 0.15,
+            "LSB faults must be benign: clean {clean_acc}, lsb {lsb_acc}"
+        );
+        assert!(
+            uniform_acc < lsb_acc,
+            "MSB exposure must hurt more: uniform {uniform_acc} vs lsb {lsb_acc}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the network")]
+    fn mismatched_memory_panics() {
+        let (q, _) = trained_small_net();
+        let map = SynapticMemoryMap::new(
+            &[10],
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        let memory = SynapticMemory::new(map, vec![WordFailureModel::ideal()], 0);
+        let _ = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+    }
+}

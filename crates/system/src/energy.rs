@@ -1,0 +1,269 @@
+//! Per-inference energy accounting.
+//!
+//! The paper's premise: synaptic storage dominates system power because
+//! synapses outnumber neurons by orders of magnitude. This module makes that
+//! concrete for the behavioral system — memory access energy per inference
+//! (from the array power rollup), NPE MAC energy (digital logic at scaled
+//! voltage and scaled clock), and standby leakage.
+
+use sram_array::power::MemoryPowerReport;
+use sram_device::units::{Joule, Second, Volt, Watt};
+
+/// Energy model for the digital (NPE + controller) side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicEnergyModel {
+    /// Energy of one MAC at the nominal supply.
+    pub mac_energy_nominal: Joule,
+    /// Nominal supply the MAC energy is quoted at.
+    pub vdd_nominal: Volt,
+}
+
+impl Default for LogicEnergyModel {
+    fn default() -> Self {
+        Self {
+            // ~10 fJ/MAC for an 8-bit MAC in a 22 nm-class process.
+            mac_energy_nominal: Joule::from_femtojoules(10.0),
+            vdd_nominal: Volt::new(0.95),
+        }
+    }
+}
+
+impl LogicEnergyModel {
+    /// MAC energy at a scaled supply (CV² scaling; the logic runs reliably
+    /// at scaled voltage by reducing the clock, per the paper).
+    pub fn mac_energy(&self, vdd: Volt) -> Joule {
+        let scale = (vdd.volts() / self.vdd_nominal.volts()).powi(2);
+        self.mac_energy_nominal * scale
+    }
+}
+
+/// Energy breakdown of one classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceEnergy {
+    /// Synaptic-memory access energy (one full weight sweep).
+    pub memory_access: Joule,
+    /// NPE MAC energy.
+    pub logic: Joule,
+    /// Leakage over the inference window.
+    pub leakage: Joule,
+}
+
+impl InferenceEnergy {
+    /// Total energy per inference.
+    pub fn total(&self) -> Joule {
+        self.memory_access + self.logic + self.leakage
+    }
+
+    /// Fraction of total spent on synaptic-memory accesses.
+    pub fn memory_fraction(&self) -> f64 {
+        self.memory_access.joules() / self.total().joules()
+    }
+}
+
+/// Composes an inference energy estimate.
+///
+/// * `memory` — array power report at the memory's operating point;
+/// * `macs` — multiply-accumulates per inference (= weight count);
+/// * `logic` / `logic_vdd` — digital-side model and operating voltage;
+/// * `inference_time` — wall time of one inference (sets leakage share).
+pub fn inference_energy(
+    memory: &MemoryPowerReport,
+    macs: usize,
+    logic: &LogicEnergyModel,
+    logic_vdd: Volt,
+    inference_time: Second,
+) -> InferenceEnergy {
+    let leak: Watt = memory.leakage_power;
+    InferenceEnergy {
+        memory_access: memory.sweep_energy,
+        logic: logic.mac_energy(logic_vdd) * macs as f64,
+        leakage: leak * inference_time,
+    }
+}
+
+/// Whole-system model: logic energy, logic leakage and clocking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemEnergyModel {
+    /// Per-MAC dynamic energy model.
+    pub logic: LogicEnergyModel,
+    /// Logic clocking (sets the inference wall time as VDD scales).
+    pub delay: crate::timing::DelayModel,
+    /// Logic-side leakage at the nominal supply.
+    pub logic_leakage_nominal: Watt,
+    /// MACs retired per clock cycle (NPE parallelism).
+    pub macs_per_cycle: usize,
+}
+
+impl Default for SystemEnergyModel {
+    fn default() -> Self {
+        Self {
+            logic: LogicEnergyModel::default(),
+            delay: crate::timing::DelayModel::default(),
+            // ~2 µW of NPE+controller leakage at 0.95 V.
+            logic_leakage_nominal: Watt::from_microwatts(2.0),
+            macs_per_cycle: 64,
+        }
+    }
+}
+
+/// Energy and latency of one inference with the clock self-scaled to VDD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEnergyReport {
+    /// Component energy breakdown.
+    pub energy: InferenceEnergy,
+    /// Inference wall time at the scaled clock.
+    pub time: Second,
+}
+
+impl SystemEnergyReport {
+    /// Energy-delay product in joule-seconds — the metric that penalizes
+    /// scaling past the point where slowdown outpaces the CV² savings.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.total().joules() * self.time.seconds()
+    }
+}
+
+/// Composes the full-system estimate at one operating point: the whole chip
+/// (memory and logic) shares supply `vdd`, and the clock is self-scaled by
+/// the delay model, which feeds back into the leakage integral.
+///
+/// `memory` must be the array power report computed at the same `vdd`.
+///
+/// # Panics
+///
+/// Panics if `vdd` is at or below the delay model's logic threshold, or if
+/// `macs_per_cycle` is zero.
+pub fn system_inference_energy(
+    memory: &MemoryPowerReport,
+    macs: usize,
+    model: &SystemEnergyModel,
+    vdd: Volt,
+) -> SystemEnergyReport {
+    assert!(model.macs_per_cycle > 0, "need at least one MAC per cycle");
+    let cycles = (macs as u64).div_ceil(model.macs_per_cycle as u64);
+    let time = model.delay.elapsed(vdd, cycles);
+    let logic_leak = Watt::new(
+        model.logic_leakage_nominal.watts() * vdd.volts() / model.logic.vdd_nominal.volts(),
+    );
+    let leakage = (memory.leakage_power + logic_leak) * time;
+    SystemEnergyReport {
+        energy: InferenceEnergy {
+            memory_access: memory.sweep_energy,
+            logic: model.logic.mac_energy(vdd) * macs as f64,
+            leakage,
+        },
+        time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MemoryPowerReport {
+        MemoryPowerReport {
+            access_power: Watt::from_microwatts(100.0),
+            leakage_power: Watt::from_microwatts(5.0),
+            sweep_energy: Joule::from_femtojoules(2.0e9), // 2 µJ
+        }
+    }
+
+    #[test]
+    fn mac_energy_scales_quadratically() {
+        let m = LogicEnergyModel::default();
+        let full = m.mac_energy(Volt::new(0.95)).joules();
+        let half = m.mac_energy(Volt::new(0.475)).joules();
+        assert!((full / half - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let e = inference_energy(
+            &report(),
+            1_000_000,
+            &LogicEnergyModel::default(),
+            Volt::new(0.95),
+            Second::new(1e-3),
+        );
+        let expected_logic = 10e-15 * 1e6;
+        assert!((e.logic.joules() - expected_logic).abs() < 1e-18);
+        let expected_leak = 5e-6 * 1e-3;
+        assert!((e.leakage.joules() - expected_leak).abs() < 1e-15);
+        assert!(
+            (e.total().joules() - (2e-6 + expected_logic + expected_leak)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn memory_dominates_for_the_paper_network() {
+        // 1.4M synapses: the memory share must be the majority — the paper's
+        // motivating observation.
+        let e = inference_energy(
+            &report(),
+            1_406_810,
+            &LogicEnergyModel::default(),
+            Volt::new(0.95),
+            Second::new(1e-4),
+        );
+        assert!(
+            e.memory_fraction() > 0.5,
+            "memory share {}",
+            e.memory_fraction()
+        );
+    }
+
+    #[test]
+    fn system_report_time_tracks_parallelism_and_voltage() {
+        let model = SystemEnergyModel::default();
+        let macs = 1_406_810;
+        let fast = system_inference_energy(&report(), macs, &model, Volt::new(0.95));
+        let slow = system_inference_energy(&report(), macs, &model, Volt::new(0.65));
+        assert!(slow.time.seconds() > fast.time.seconds());
+
+        let wide = SystemEnergyModel {
+            macs_per_cycle: 128,
+            ..SystemEnergyModel::default()
+        };
+        let wider = system_inference_energy(&report(), macs, &wide, Volt::new(0.95));
+        assert!((fast.time.seconds() / wider.time.seconds() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaled_logic_spends_less_dynamic_but_leaks_longer() {
+        let model = SystemEnergyModel::default();
+        let macs = 1_406_810;
+        let hi = system_inference_energy(&report(), macs, &model, Volt::new(0.95));
+        let lo = system_inference_energy(&report(), macs, &model, Volt::new(0.65));
+        // Dynamic logic energy follows CV².
+        assert!(lo.energy.logic.joules() < hi.energy.logic.joules());
+        // Leakage *energy* grows despite lower leakage power: the inference
+        // runs longer — the classic limit to voltage scaling.
+        assert!(lo.energy.leakage.joules() > hi.energy.leakage.joules());
+    }
+
+    #[test]
+    fn edp_penalizes_deep_scaling() {
+        // Near threshold the slowdown dominates: EDP at 0.45 V must exceed
+        // EDP at 0.65 V even though the supply is lower.
+        let model = SystemEnergyModel::default();
+        let macs = 1_406_810;
+        let mid = system_inference_energy(&report(), macs, &model, Volt::new(0.65));
+        let deep = system_inference_energy(&report(), macs, &model, Volt::new(0.45));
+        assert!(
+            deep.energy_delay_product() > mid.energy_delay_product(),
+            "EDP must blow up near threshold: {:.3e} vs {:.3e}",
+            deep.energy_delay_product(),
+            mid.energy_delay_product()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MAC")]
+    fn zero_parallelism_panics() {
+        let model = SystemEnergyModel {
+            macs_per_cycle: 0,
+            ..SystemEnergyModel::default()
+        };
+        let _ = system_inference_energy(&report(), 100, &model, Volt::new(0.95));
+    }
+}

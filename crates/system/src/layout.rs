@@ -1,0 +1,118 @@
+//! Mapping a quantized network into the banked synaptic memory.
+//!
+//! Bank `i` holds layer `i`'s synapses (the fan-out of layer `i`'s neurons —
+//! paper Fig. 3c): first the weight matrix row-major (`outputs × inputs`),
+//! then the bias codes. This is the single place that fixes the
+//! word-address ↔ synapse correspondence used by the controller and the
+//! fault-injection experiments.
+
+use neural::quant::QuantizedMlp;
+
+/// Word counts per bank for a quantized network (weights + biases).
+pub fn bank_words(q: &QuantizedMlp) -> Vec<usize> {
+    q.layers
+        .iter()
+        .map(|l| l.weight_codes.len() + l.bias_codes.len())
+        .collect()
+}
+
+/// Flattens the network into one byte image, bank by bank.
+pub fn flatten(q: &QuantizedMlp) -> Vec<u8> {
+    let mut image = Vec::with_capacity(q.synapse_count());
+    for layer in &q.layers {
+        image.extend_from_slice(&layer.weight_codes);
+        image.extend_from_slice(&layer.bias_codes);
+    }
+    image
+}
+
+/// Rebuilds a quantized network from a byte image with the same shape as
+/// `template` (used after fault injection on the image).
+///
+/// # Panics
+///
+/// Panics if the image size does not match the template.
+pub fn unflatten(template: &QuantizedMlp, image: &[u8]) -> QuantizedMlp {
+    assert_eq!(
+        image.len(),
+        template.synapse_count(),
+        "image size does not match network"
+    );
+    let mut q = template.clone();
+    let mut cursor = 0usize;
+    for layer in &mut q.layers {
+        let nw = layer.weight_codes.len();
+        layer.weight_codes.copy_from_slice(&image[cursor..cursor + nw]);
+        cursor += nw;
+        let nb = layer.bias_codes.len();
+        layer.bias_codes.copy_from_slice(&image[cursor..cursor + nb]);
+        cursor += nb;
+    }
+    q
+}
+
+/// Word offset of a weight inside its bank: row-major `(neuron, input)`.
+pub fn weight_offset(inputs: usize, neuron: usize, input: usize) -> usize {
+    neuron * inputs + input
+}
+
+/// Word offset of a bias inside its bank (after all weights).
+pub fn bias_offset(inputs: usize, outputs: usize, neuron: usize) -> usize {
+    inputs * outputs + neuron
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::network::Mlp;
+    use neural::quant::{Encoding, QuantizedMlp};
+
+    fn q() -> QuantizedMlp {
+        QuantizedMlp::from_mlp(&Mlp::new(&[4, 3, 2], 9), Encoding::TwosComplement)
+    }
+
+    #[test]
+    fn bank_words_match_table_1_accounting() {
+        let q = q();
+        let words = bank_words(&q);
+        assert_eq!(words, vec![4 * 3 + 3, 3 * 2 + 2]);
+        assert_eq!(words.iter().sum::<usize>(), q.synapse_count());
+    }
+
+    #[test]
+    fn flatten_unflatten_round_trip() {
+        let q = q();
+        let image = flatten(&q);
+        assert_eq!(image.len(), q.synapse_count());
+        let back = unflatten(&q, &image);
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn unflatten_applies_changes() {
+        let q = q();
+        let mut image = flatten(&q);
+        image[0] ^= 0x80;
+        let corrupted = unflatten(&q, &image);
+        assert_ne!(corrupted.layers[0].weight_codes[0], q.layers[0].weight_codes[0]);
+    }
+
+    #[test]
+    fn offsets_are_consistent_with_flatten() {
+        let q = q();
+        let image = flatten(&q);
+        // Weight (neuron 2, input 3) of layer 0.
+        let off = weight_offset(4, 2, 3);
+        assert_eq!(image[off], q.layers[0].weight_codes[2 * 4 + 3]);
+        // Bias of neuron 1 in layer 0.
+        let boff = bias_offset(4, 3, 1);
+        assert_eq!(image[boff], q.layers[0].bias_codes[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image size")]
+    fn wrong_image_size_panics() {
+        let q = q();
+        let _ = unflatten(&q, &[0u8; 3]);
+    }
+}

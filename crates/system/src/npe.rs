@@ -1,0 +1,162 @@
+//! Neural Processing Element: the fixed-point MAC datapath of paper Fig. 2.
+//!
+//! One NPE "mimics the computations of the artificial neurons": it
+//! accumulates products of 8-bit weights (two's-complement fixed point, the
+//! synaptic memory's format) and 8-bit unsigned activations, then applies a
+//! sigmoid through a 256-entry lookup table — a standard digital ASIC
+//! realization of the sigmoid neuron.
+//!
+//! Activations use U0.8 (codes 0-255 spanning `[0, 1)`), matching the
+//! sigmoid's output range.
+
+use neural::network::sigmoid;
+use neural::quant::FixedPointFormat;
+
+/// Number of sigmoid LUT entries.
+const LUT_SIZE: usize = 256;
+/// The LUT covers pre-activations in `[-LUT_RANGE, +LUT_RANGE)`.
+const LUT_RANGE: f32 = 8.0;
+
+/// Quantizes an activation in `[0, 1]` to its U0.8 code.
+pub fn encode_activation(a: f32) -> u8 {
+    (a.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+/// Decodes a U0.8 activation code.
+pub fn decode_activation(code: u8) -> f32 {
+    code as f32 / 255.0
+}
+
+/// A fixed-point neural processing element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Npe {
+    format: FixedPointFormat,
+    lut: Vec<u8>,
+}
+
+impl Npe {
+    /// Builds an NPE for weights in the given fixed-point format.
+    pub fn new(format: FixedPointFormat) -> Self {
+        let lut = (0..LUT_SIZE)
+            .map(|i| {
+                let z = -LUT_RANGE + 2.0 * LUT_RANGE * i as f32 / LUT_SIZE as f32;
+                encode_activation(sigmoid(z))
+            })
+            .collect();
+        Self { format, lut }
+    }
+
+    /// The weight format this NPE is configured for.
+    pub fn format(&self) -> FixedPointFormat {
+        self.format
+    }
+
+    /// Sigmoid lookup on a float pre-activation (saturates beyond the LUT
+    /// range, as the hardware table would).
+    pub fn sigmoid_lut(&self, z: f32) -> u8 {
+        if !z.is_finite() {
+            return if z > 0.0 { 255 } else { 0 };
+        }
+        let idx = ((z + LUT_RANGE) / (2.0 * LUT_RANGE) * LUT_SIZE as f32).floor();
+        let idx = idx.clamp(0.0, (LUT_SIZE - 1) as f32) as usize;
+        self.lut[idx]
+    }
+
+    /// Computes one neuron: MAC over weight codes and activation codes plus
+    /// a bias code, then the sigmoid LUT.
+    ///
+    /// The accumulator is `i64` — wide enough for the paper's largest layer
+    /// (1000 inputs × max |product| 2^15) with no overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != activations.len()`.
+    pub fn neuron(&self, weights: &[u8], bias: u8, activations: &[u8]) -> u8 {
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "weight/activation fan-in mismatch"
+        );
+        let mut acc: i64 = 0;
+        for (&w, &a) in weights.iter().zip(activations) {
+            acc += (w as i8) as i64 * a as i64;
+        }
+        // Bias enters at full activation (a = 1.0 -> code 255).
+        acc += (bias as i8) as i64 * 255;
+        // Scale: weight lsb / 255 per product unit.
+        let z = acc as f32 * self.format.lsb() / 255.0;
+        self.sigmoid_lut(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::quant::Encoding;
+
+    fn npe() -> Npe {
+        Npe::new(FixedPointFormat::new(1, Encoding::TwosComplement))
+    }
+
+    #[test]
+    fn activation_codec_round_trip() {
+        for a in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
+            let code = encode_activation(a);
+            assert!((decode_activation(code) - a).abs() < 1.0 / 255.0 + 1e-6);
+        }
+        assert_eq!(encode_activation(-0.5), 0);
+        assert_eq!(encode_activation(1.5), 255);
+    }
+
+    #[test]
+    fn lut_matches_float_sigmoid() {
+        let n = npe();
+        for z in [-6.0f32, -2.0, -0.5, 0.0, 0.5, 2.0, 6.0] {
+            let got = decode_activation(n.sigmoid_lut(z));
+            let want = sigmoid(z);
+            assert!(
+                (got - want).abs() < 0.03,
+                "sigmoid LUT at {z}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_saturates() {
+        let n = npe();
+        assert_eq!(n.sigmoid_lut(100.0), 255);
+        assert_eq!(n.sigmoid_lut(-100.0), 0);
+        assert_eq!(n.sigmoid_lut(f32::INFINITY), 255);
+        assert_eq!(n.sigmoid_lut(f32::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn neuron_matches_float_reference() {
+        let n = npe();
+        let fmt = n.format();
+        // Weights 0.5 and -0.25, bias 0.125, activations 1.0 and 0.5.
+        let weights = vec![fmt.encode(0.5), fmt.encode(-0.25)];
+        let bias = fmt.encode(0.125);
+        let acts = vec![encode_activation(1.0), encode_activation(0.5)];
+        let out = decode_activation(n.neuron(&weights, bias, &acts));
+        let expected = sigmoid(0.5 * 1.0 - 0.25 * 0.5 + 0.125);
+        assert!(
+            (out - expected).abs() < 0.03,
+            "npe {out} vs float {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_weights_give_midpoint() {
+        let n = npe();
+        let out = n.neuron(&[0, 0, 0], 0, &[255, 255, 255]);
+        assert!((decode_activation(out) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in mismatch")]
+    fn fan_in_mismatch_panics() {
+        let n = npe();
+        let _ = n.neuron(&[0, 0], 0, &[0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Voltage-frequency scaling of the digital logic.
+//!
+//! The paper's enabling assumption (§I, §III): "the digital logic comprising
+//! the neural processing elements and the associated controllers could be
+//! operated reliably at scaled voltages by clocking them at a lower
+//! frequency." This module quantifies *how much* lower with the standard
+//! alpha-power-law delay model (Sakurai-Newton): gate delay
+//! `t_d ∝ VDD / (VDD − VT)^α`, with `α ≈ 1.3` for a velocity-saturated
+//! deeply scaled process.
+//!
+//! Two things follow from the model and feed the system-energy experiment:
+//! the inference *time* grows as the supply is scaled (which multiplies
+//! leakage energy), and the clock that the synaptic memory must serve drops
+//! (which is what makes the self-clocked power convention meaningful).
+
+use sram_device::units::{Second, Volt};
+
+/// Alpha-power-law delay model for the NPE/controller logic.
+///
+/// # Examples
+///
+/// ```
+/// use neuro_system::timing::DelayModel;
+/// use sram_device::units::Volt;
+///
+/// let model = DelayModel::default();
+/// let slow = model.cycle_time(Volt::new(0.65));
+/// let fast = model.cycle_time(Volt::new(0.95));
+/// assert!(slow.seconds() > fast.seconds());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    /// Logic threshold voltage (delay diverges as VDD approaches it).
+    pub vt: Volt,
+    /// Velocity-saturation exponent α (2 = classic long-channel, ~1.3 at
+    /// deeply scaled nodes).
+    pub alpha: f64,
+    /// Clock period at the nominal supply.
+    pub t_clk_nominal: Second,
+    /// The nominal supply itself.
+    pub vdd_nominal: Volt,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self {
+            vt: Volt::new(0.35),
+            alpha: 1.3,
+            // 1 GHz at 0.95 V — a plausible NPE pipeline in 22 nm.
+            t_clk_nominal: Second::new(1e-9),
+            vdd_nominal: Volt::new(0.95),
+        }
+    }
+}
+
+impl DelayModel {
+    /// Relative delay factor at `vdd` versus the nominal supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vdd > vt` (logic does not function below threshold in
+    /// this model).
+    pub fn slowdown(&self, vdd: Volt) -> f64 {
+        assert!(
+            vdd.volts() > self.vt.volts(),
+            "vdd {vdd} must exceed the logic threshold {vt}",
+            vdd = vdd,
+            vt = self.vt
+        );
+        let delay = |v: f64| v / (v - self.vt.volts()).powf(self.alpha);
+        delay(vdd.volts()) / delay(self.vdd_nominal.volts())
+    }
+
+    /// Clock period at a scaled supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vdd > vt`.
+    pub fn cycle_time(&self, vdd: Volt) -> Second {
+        self.t_clk_nominal * self.slowdown(vdd)
+    }
+
+    /// Maximum clock frequency in hertz at a scaled supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vdd > vt`.
+    pub fn max_frequency(&self, vdd: Volt) -> f64 {
+        1.0 / self.cycle_time(vdd).seconds()
+    }
+
+    /// Wall time of `cycles` clock cycles at `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vdd > vt`.
+    pub fn elapsed(&self, vdd: Volt, cycles: u64) -> Second {
+        self.cycle_time(vdd) * cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_point_is_unity() {
+        let m = DelayModel::default();
+        assert!((m.slowdown(Volt::new(0.95)) - 1.0).abs() < 1e-12);
+        assert!((m.max_frequency(Volt::new(0.95)) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn delay_grows_monotonically_as_vdd_drops() {
+        let m = DelayModel::default();
+        let mut last = 0.0;
+        for mv in [950, 900, 850, 800, 750, 700, 650, 600] {
+            let s = m.slowdown(Volt::from_millivolts(mv as f64));
+            assert!(s >= last, "slowdown must grow as VDD falls");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn paper_window_slowdown_is_moderate() {
+        // Scaling 0.95 → 0.65 V slows a 22 nm pipeline by roughly 2×, not
+        // 10× — the regime where voltage scaling is an energy win.
+        let m = DelayModel::default();
+        let s = m.slowdown(Volt::new(0.65));
+        assert!(
+            (1.5..4.0).contains(&s),
+            "0.65 V slowdown should be a small multiple, got {s}"
+        );
+    }
+
+    #[test]
+    fn delay_diverges_near_threshold() {
+        let m = DelayModel::default();
+        assert!(m.slowdown(Volt::new(0.37)) > 20.0);
+    }
+
+    #[test]
+    fn elapsed_scales_with_cycles() {
+        let m = DelayModel::default();
+        let one = m.elapsed(Volt::new(0.75), 1).seconds();
+        let many = m.elapsed(Volt::new(0.75), 1000).seconds();
+        assert!((many / one - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the logic threshold")]
+    fn below_threshold_panics() {
+        let _ = DelayModel::default().cycle_time(Volt::new(0.3));
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests for the system datapath.
+
+use neural::network::sigmoid;
+use neural::quant::{Encoding, FixedPointFormat};
+use neuro_system::npe::{decode_activation, encode_activation, Npe};
+use proptest::prelude::*;
+
+proptest! {
+    /// Activation codec error is bounded by one code step.
+    #[test]
+    fn activation_codec_error_bounded(a in 0.0f32..=1.0) {
+        let rec = decode_activation(encode_activation(a));
+        prop_assert!((rec - a).abs() <= 1.0 / 255.0 + 1e-6);
+    }
+
+    /// The sigmoid LUT tracks the float sigmoid within quantization error.
+    #[test]
+    fn lut_tracks_sigmoid(z in -7.5f32..7.5) {
+        let npe = Npe::new(FixedPointFormat::new(1, Encoding::TwosComplement));
+        let got = decode_activation(npe.sigmoid_lut(z));
+        prop_assert!((got - sigmoid(z)).abs() < 0.04, "z={z}: {got} vs {}", sigmoid(z));
+    }
+
+    /// The NPE neuron matches the float reference for random small neurons.
+    #[test]
+    fn neuron_matches_float(
+        weights in prop::collection::vec(-1.5f32..1.5, 1..24),
+        bias in -1.0f32..1.0,
+        seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let acts: Vec<f32> = (0..weights.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+        let fmt = FixedPointFormat::new(1, Encoding::TwosComplement);
+        let npe = Npe::new(fmt);
+        let w_codes: Vec<u8> = weights.iter().map(|&w| fmt.encode(w)).collect();
+        let a_codes: Vec<u8> = acts.iter().map(|&a| encode_activation(a)).collect();
+        let got = decode_activation(npe.neuron(&w_codes, fmt.encode(bias), &a_codes));
+
+        // Float reference using the *quantized* weights (the datapath cannot
+        // beat its own storage precision).
+        let z: f32 = w_codes
+            .iter()
+            .zip(&acts)
+            .map(|(&c, &a)| fmt.decode(c) * a)
+            .sum::<f32>()
+            + fmt.decode(fmt.encode(bias));
+        let want = sigmoid(z);
+        // Error budget: activation quantization (~1/255 per term, grows with
+        // fan-in) plus the LUT step.
+        let budget = 0.05 + 0.002 * weights.len() as f32;
+        prop_assert!((got - want).abs() < budget, "{got} vs {want} (fan-in {})", weights.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! ECC versus significance-driven protection.
+//!
+//! Protecting MSBs in 8T cells is one way to survive voltage scaling; the
+//! textbook alternative wraps every 8-bit weight in a SECDED(13,8) Hamming
+//! code and keeps all cells 6T. This example pits them against each other
+//! at the paper's aggressive 0.65 V operating point, then pushes the
+//! per-bit failure rate up to show where each scheme breaks.
+//!
+//! Run with: `cargo run --release --example ecc_comparison`
+
+use hybrid_sram::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_ecc::prelude::*;
+
+fn main() {
+    println!("== SECDED ECC vs hybrid 8T-6T protection ==\n");
+    println!("characterizing bitcells and training a small MLP...");
+    let ctx = ExperimentContext::quick();
+
+    // The full head-to-head at 0.65 V (accuracy, power, area).
+    println!("\n{}\n", ecc::run(&ctx));
+
+    // Mechanism view: how the SECDED channel degrades as the 6T per-bit
+    // failure probability climbs past the single-error regime.
+    let code = SecdedCode::for_weights().expect("8-bit weights are supported");
+    let mut table = TableBuilder::new(vec![
+        "p(bit flip)",
+        "exact words",
+        "corrected",
+        "detected",
+        "silently wrong",
+    ]);
+    let mut rng = StdRng::seed_from_u64(0xECC);
+    for p in [1e-4, 1e-3, 1e-2, 5e-2, 1e-1] {
+        let channel = EccChannel::new(code, p).expect("p is a probability");
+        let stats = channel.run(20_000, &mut rng);
+        table.row(vec![
+            format!("{p:.0e}"),
+            fmt_pct(stats.exact_fraction()),
+            format!("{}", stats.corrected),
+            format!("{}", stats.detected),
+            format!("{}", stats.silently_wrong),
+        ]);
+    }
+    println!("SECDED(13,8) channel behaviour (20k words per row):");
+    println!("{}", table.finish());
+    println!(
+        "Below ~1e-3 the code corrects essentially everything; past ~1e-2\n\
+         multi-bit words multiply and correction collapses — while the hybrid\n\
+         array's MSB protection degrades gracefully (LSB noise only). Combined\n\
+         with 62.5 % extra 6T cells per word versus 13.9 % area for 3 protected\n\
+         MSBs, ECC is the wrong tool for parametric voltage-scaling failures."
+    );
+}

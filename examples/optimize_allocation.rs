@@ -1,0 +1,67 @@
+//! Deriving the per-bank MSB allocation automatically.
+//!
+//! The paper picks Configuration 2's protection levels from architectural
+//! intuition. This example lets the greedy optimizer derive an allocation
+//! from accuracy measurements alone, under two loss budgets mirroring the
+//! paper's < 1 % and < 4 % design points, and prints the trajectory so the
+//! "protect the classifier fan-in first" structure is visible.
+//!
+//! Run with: `cargo run --release --example optimize_allocation`
+
+use hybrid_sram::prelude::*;
+use sram_device::units::Volt;
+
+fn main() {
+    println!("== Greedy per-bank MSB allocation @ 0.65 V ==\n");
+    println!("characterizing bitcells and training a small MLP...");
+    let ctx = ExperimentContext::quick();
+    let vdd = Volt::new(0.65);
+    println!(
+        "banks (words per ANN layer fan-out): {:?}\n",
+        neuro_system::layout::bank_words(&ctx.network)
+    );
+
+    for max_loss in [0.01, 0.04] {
+        let result = optimize_allocation(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            vdd,
+            &OptimizerOptions {
+                max_loss,
+                trials: 3,
+                seed: 0xA110C,
+                max_msb: 8,
+            },
+        );
+        println!(
+            "loss budget {:.0} % -> allocation {:?}",
+            100.0 * max_loss,
+            result.msb_8t
+        );
+        println!(
+            "  accuracy {} (reference {}), area overhead {}, {} evaluations, met: {}",
+            fmt_pct(result.accuracy.mean()),
+            fmt_pct(result.reference_accuracy),
+            fmt_pct(result.area_overhead),
+            result.evaluations,
+            result.meets_constraint,
+        );
+        for step in &result.steps {
+            println!(
+                "    +1 MSB on bank {} -> {:?} ({})",
+                step.bank,
+                step.msb_8t,
+                fmt_pct(step.accuracy)
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "A looser budget buys a leaner allocation — the same trade the paper\n\
+         makes between its <1 % (30.91 % power, 10.41 % area) and <4 %\n\
+         (+7.38 % power, −40.25 % area) design points, now derived instead of\n\
+         hand-picked."
+    );
+}

@@ -1,0 +1,77 @@
+//! Working with SPICE decks: parse, solve, export.
+//!
+//! The nanospice substrate that characterizes the paper's bitcells also
+//! speaks the classic SPICE text format, so netlists can be exchanged with
+//! external tools. This example parses an inverter deck, finds its switching
+//! threshold with a DC sweep, and exports a programmatically built 6T-cell
+//! half circuit back to deck text.
+//!
+//! Run with: `cargo run --release --example spice_deck`
+
+use nanospice::prelude::*;
+use sram_device::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::ptm_22nm();
+
+    // Parse a CMOS inverter from deck text.
+    let deck = parse_deck(
+        "cmos inverter, 22 nm PTM
+         VDD vdd 0 DC 0.95
+         VIN in  0 DC 0.0
+         M1  out in 0   nmos W=88n  L=22n
+         M2  out in vdd pmos W=176n L=22n
+         .end",
+        &tech,
+    )?;
+    println!("parsed deck: {:?}", deck.title);
+
+    // Sweep the input to locate the switching threshold (V_out = V_in).
+    let mut ckt = deck.circuit.clone();
+    let vin_vals: Vec<Volt> = (0..=95).map(|i| Volt::from_millivolts(10.0 * i as f64)).collect();
+    let out = ckt.find_node("out").expect("deck defines out");
+    let sols = dc_sweep(&mut ckt, "VIN", &vin_vals, &NewtonOptions::default(), None)?;
+    let vm = vin_vals
+        .iter()
+        .zip(&sols)
+        .min_by(|a, b| {
+            let da = (a.1.voltage(out).volts() - a.0.volts()).abs();
+            let db = (b.1.voltage(out).volts() - b.0.volts()).abs();
+            da.partial_cmp(&db).expect("finite voltages")
+        })
+        .map(|(v, _)| *v)
+        .expect("non-empty sweep");
+    println!("inverter switching threshold ≈ {vm} (mid-rail is 475 mV)");
+
+    // Build one half of a 6T cell programmatically and export it.
+    let nm = |w: f64| Mosfet::new(tech.nmos.clone(), Meter::from_nanometers(w), tech.lmin);
+    let pm = |w: f64| Mosfet::new(tech.pmos.clone(), Meter::from_nanometers(w), tech.lmin);
+    let mut cell = Circuit::new();
+    let vdd = cell.node("vdd");
+    let q = cell.node("q");
+    let qb = cell.node("qb");
+    let bl = cell.node("bl");
+    let wl = cell.node("wl");
+    cell.vsource("VDD", vdd, NodeId::GROUND, Volt::new(0.95))?;
+    cell.vsource("VBL", bl, NodeId::GROUND, Volt::new(0.95))?;
+    cell.vsource("VWL", wl, NodeId::GROUND, Volt::new(0.0))?;
+    cell.transistor("MPD", qb, q, NodeId::GROUND, nm(88.0)?)?; // pull-down
+    cell.transistor("MPU", qb, q, vdd, pm(66.0)?)?; // pull-up
+    cell.transistor("MAX", wl, bl, q, nm(66.0)?)?; // access
+    let text = write_deck(&cell, "6T half-cell, storage node q");
+    println!("\nexported deck:\n{text}");
+
+    // Round-trip sanity: the exported deck parses and solves identically.
+    let back = parse_deck(&text, &tech)?;
+    let op1 = DcSolver::new(&cell).guess(q, Volt::new(0.0)).solve()?;
+    let op2 = DcSolver::new(&back.circuit)
+        .guess(back.circuit.find_node("q").expect("q survives"), Volt::new(0.0))
+        .solve()?;
+    let v1 = op1.voltage(q).volts();
+    let v2 = op2
+        .voltage(back.circuit.find_node("q").expect("q survives"))
+        .volts();
+    println!("storage node after round trip: {v1:.6} V vs {v2:.6} V");
+    assert!((v1 - v2).abs() < 1e-9, "round trip must preserve the solution");
+    Ok(())
+}

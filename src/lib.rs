@@ -1,0 +1,36 @@
+//! # sram-ann-repro
+//!
+//! Umbrella crate for the reproduction of *Significance Driven Hybrid 8T-6T
+//! SRAM for Energy-Efficient Synaptic Storage in Artificial Neural Networks*
+//! (Srinivasan, Wijesinghe, Sarwar, Jaiswal, Roy — DATE 2016).
+//!
+//! The implementation lives in the workspace crates, re-exported here:
+//!
+//! * [`device`] — 22 nm device models, units, threshold-voltage variation;
+//! * [`spice`] — the `nanospice` DC/transient circuit solver and SPICE deck
+//!   parser/writer;
+//! * [`bitcell`] — 6T/8T characterization and Monte Carlo failure analysis;
+//! * [`array`](mod@array) — sub-array/bank organization, power/area rollups
+//!   (with optional periphery), redundancy repair, the behavioral
+//!   fault-injecting memory;
+//! * [`ecc`] — SECDED Hamming codes and overhead models (the ECC baseline);
+//! * [`ann`] — the from-scratch MLP, datasets, quantization, evaluation;
+//! * [`faults`] — bit-level fault models and protection policies;
+//! * [`system`] — NPEs, controller, per-inference energy, voltage-frequency
+//!   scaling;
+//! * [`core`] — the paper's contribution: configurations, the
+//!   circuit-to-system framework, the allocation optimizer, and every
+//!   experiment (Table I, Figs. 5-9, plus the extension studies).
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `crates/bench` for the figure-regeneration harness.
+
+pub use fault_inject as faults;
+pub use hybrid_sram as core;
+pub use nanospice as spice;
+pub use neural as ann;
+pub use neuro_system as system;
+pub use sram_array as array;
+pub use sram_bitcell as bitcell;
+pub use sram_device as device;
+pub use sram_ecc as ecc;

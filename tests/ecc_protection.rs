@@ -1,0 +1,97 @@
+//! Cross-crate integration: the ECC channel, the fault-injection models and
+//! the protection policies must tell one consistent story about word
+//! reliability.
+
+use fault_inject::model::{BitErrorRates, WordFailureModel};
+use fault_inject::protection::CellAssignment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_ecc::prelude::*;
+
+/// Raw (unprotected) probability that an 8-bit word survives intact.
+fn raw_word_survival(p: f64) -> f64 {
+    (1.0 - p).powi(8)
+}
+
+#[test]
+fn ecc_beats_raw_storage_across_the_relevant_rates() {
+    let code = SecdedCode::for_weights().expect("8-bit code");
+    for p in [1e-4, 1e-3, 1e-2] {
+        let channel = EccChannel::new(code, p).expect("probability");
+        let ecc_exact = channel.analytic_exact_probability();
+        let raw_exact = raw_word_survival(p);
+        assert!(
+            ecc_exact > raw_exact,
+            "at p={p}: ECC exact {ecc_exact} must beat raw {raw_exact}"
+        );
+    }
+}
+
+#[test]
+fn ecc_advantage_collapses_at_saturated_rates() {
+    // Past the multi-bit regime the 13-bit word collects errors faster than
+    // the code corrects them; raw 8-bit storage is then *more* likely to be
+    // exact. The analytic crossover sits near p ≈ 0.33 — this is why ECC
+    // cannot rescue deep voltage scaling.
+    let code = SecdedCode::for_weights().expect("8-bit code");
+    let channel = EccChannel::new(code, 0.4).expect("probability");
+    assert!(channel.analytic_exact_probability() < raw_word_survival(0.4));
+    // And just below the crossover the ordering still favours ECC.
+    let channel = EccChannel::new(code, 0.25).expect("probability");
+    assert!(channel.analytic_exact_probability() > raw_word_survival(0.25));
+}
+
+#[test]
+fn monte_carlo_agrees_with_fault_model_expectations() {
+    // The fault-injection model predicts the expected flips per word; the
+    // ECC channel sees the same Bernoulli process over 13 bits. Tie the two
+    // substrates together numerically.
+    let p = 5e-3;
+    let rates = BitErrorRates {
+        read_6t: p,
+        write_6t: 0.0,
+        read_8t: 0.0,
+        write_8t: 0.0,
+    };
+    let model = WordFailureModel::new(&rates, &CellAssignment::all_6t());
+    assert!((model.expected_flips_per_word() - 8.0 * p).abs() < 1e-12);
+
+    let code = SecdedCode::for_weights().expect("8-bit code");
+    let channel = EccChannel::new(code, p).expect("probability");
+    let mut rng = StdRng::seed_from_u64(42);
+    let trials = 60_000u64;
+    let mut flips = 0u64;
+    for _ in 0..trials {
+        flips += u64::from(channel.transmit(0xA5, &mut rng).flipped_bits);
+    }
+    let mean_flips = flips as f64 / trials as f64;
+    let expected = 13.0 * p;
+    assert!(
+        (mean_flips - expected).abs() < 0.15 * expected,
+        "mean flips {mean_flips} vs expected {expected}"
+    );
+}
+
+#[test]
+fn msb_protection_and_ecc_are_complementary_regimes() {
+    // MSB protection bounds the *magnitude* of surviving errors; ECC bounds
+    // their *count*. Verify both claims in one place.
+    //
+    // Magnitude: with the top 3 bits protected, the worst single-bit flip
+    // in a two's-complement word is 16 LSBs; unprotected it is 128.
+    let assignment = CellAssignment::msb_protected(3);
+    let worst_unprotected_bit = (0..8usize)
+        .filter(|&b| !assignment.is_protected(b))
+        .max()
+        .expect("some bits are 6T");
+    assert_eq!(worst_unprotected_bit, 4);
+    assert_eq!(1u32 << worst_unprotected_bit, 16);
+
+    // Count: a SECDED word with a single flip always decodes exactly.
+    let code = SecdedCode::for_weights().expect("8-bit code");
+    let word = code.encode(0x5A).expect("in range");
+    for bit in 0..code.code_bits() {
+        let decoded = code.decode(word ^ (1 << bit)).expect("in range");
+        assert_eq!(decoded.data(), 0x5A, "bit {bit}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Ablation (DESIGN.md §5): per-access read-fault sampling through the full
+//! behavioral system must statistically agree with the snapshot-corruption
+//! shortcut the experiments use (and that the paper's functional simulator
+//! used). If these diverge, every accuracy figure is suspect.
+
+use hybrid_sram::config::MemoryConfig;
+use hybrid_sram::framework::Framework;
+use neural::dataset::synth;
+use neural::network::Mlp;
+use neural::quant::{Encoding, QuantizedMlp};
+use neural::train::{train, TrainOptions};
+use neuro_system::controller::NeuromorphicSystem;
+use neuro_system::npe::Npe;
+use sram_bitcell::characterize::CharacterizationOptions;
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+
+#[test]
+fn per_access_and_snapshot_agree() {
+    // Characterize at the voltages the comparison touches.
+    let options = CharacterizationOptions {
+        vdds: vec![Volt::new(0.95), Volt::new(0.75), Volt::new(0.65)],
+        mc_samples: 60,
+        ..CharacterizationOptions::quick()
+    };
+    let framework = Framework::new(&Technology::ptm_22nm(), &options);
+
+    // A small but non-trivial classifier.
+    let data = synth::generate_default(600, 5);
+    let (train_set, test_set) = data.split(0.75, 9);
+    let test_set = test_set.take(80);
+    let mut mlp = Mlp::new(&[784, 32, 10], 3);
+    train(
+        &mut mlp,
+        &train_set,
+        &TrainOptions {
+            epochs: 20,
+            learning_rate: 1.5,
+            momentum: 0.7,
+            ..TrainOptions::default()
+        },
+    );
+    let q = QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement);
+
+    let config = MemoryConfig::Base6T {
+        vdd: Volt::new(0.65),
+    };
+
+    // Snapshot methodology (what the experiments run).
+    let snapshot_acc = framework
+        .evaluate_accuracy(&q, &test_set, &config, 6, 21)
+        .mean();
+
+    // Per-access methodology: every weight read samples fresh faults.
+    let mut per_access_sum = 0.0;
+    let n_runs = 3;
+    for run in 0..n_runs {
+        let memory = framework.build_memory(&q, &config, 1000 + run);
+        let mut system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+        per_access_sum += system.accuracy(&test_set);
+    }
+    let per_access_acc = per_access_sum / n_runs as f64;
+
+    // The fixed-point datapath itself costs a little accuracy; compare both
+    // to their own clean references to isolate the *fault* effect.
+    let clean_snapshot = framework
+        .evaluate_accuracy(
+            &q,
+            &test_set,
+            &MemoryConfig::Base6T {
+                vdd: Volt::new(0.95),
+            },
+            1,
+            3,
+        )
+        .mean();
+    let clean_per_access = {
+        let memory = framework.build_memory(
+            &q,
+            &MemoryConfig::Base6T {
+                vdd: Volt::new(0.95),
+            },
+            7,
+        );
+        let mut system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+        system.accuracy(&test_set)
+    };
+
+    let snapshot_drop = clean_snapshot - snapshot_acc;
+    let per_access_drop = clean_per_access - per_access_acc;
+    assert!(
+        (snapshot_drop - per_access_drop).abs() < 0.10,
+        "fault-induced accuracy drops disagree: snapshot {snapshot_drop:.3} vs per-access {per_access_drop:.3}"
+    );
+}

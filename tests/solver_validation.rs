@@ -1,0 +1,219 @@
+//! Cross-crate validation: the fast semi-analytic bitcell solvers in
+//! `sram-bitcell` must agree with the full `nanospice` Newton solver on the
+//! same cell netlists. This is the evidence that the Monte Carlo fast path
+//! computes the same physics the "SPICE level" would.
+
+use nanospice::prelude::*;
+use sram_bitcell::cell_ops::{qb_equilibrium, read_bump};
+use sram_bitcell::topology::{SixTCell, SixTSizing};
+use sram_device::prelude::*;
+
+/// Builds the full 6T cell in nanospice with both bitlines and the wordline
+/// driven by sources.
+fn build_6t_circuit(cell: &SixTCell, vdd: f64, wl: f64, bl: f64, blb: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let n_vdd = ckt.node("vdd");
+    let n_q = ckt.node("q");
+    let n_qb = ckt.node("qb");
+    let n_wl = ckt.node("wl");
+    let n_bl = ckt.node("bl");
+    let n_blb = ckt.node("blb");
+    ckt.vsource("VDD", n_vdd, NodeId::GROUND, Volt::new(vdd))
+        .expect("source");
+    ckt.vsource("VWL", n_wl, NodeId::GROUND, Volt::new(wl))
+        .expect("source");
+    ckt.vsource("VBL", n_bl, NodeId::GROUND, Volt::new(bl))
+        .expect("source");
+    ckt.vsource("VBLB", n_blb, NodeId::GROUND, Volt::new(blb))
+        .expect("source");
+    // Q-side inverter: PU1 (gate=QB), PD1 (gate=QB); pass-gate PG1 BL<->Q.
+    ckt.transistor("PU1", n_qb, n_q, n_vdd, cell.pu1.clone())
+        .expect("device");
+    ckt.transistor("PD1", n_qb, n_q, NodeId::GROUND, cell.pd1.clone())
+        .expect("device");
+    ckt.transistor("PG1", n_wl, n_bl, n_q, cell.pg1.clone())
+        .expect("device");
+    // QB side mirrors with gates on Q.
+    ckt.transistor("PU2", n_q, n_qb, n_vdd, cell.pu2.clone())
+        .expect("device");
+    ckt.transistor("PD2", n_q, n_qb, NodeId::GROUND, cell.pd2.clone())
+        .expect("device");
+    ckt.transistor("PG2", n_wl, n_blb, n_qb, cell.pg2.clone())
+        .expect("device");
+    ckt
+}
+
+#[test]
+fn hold_state_matches_nanospice() {
+    let tech = Technology::ptm_22nm();
+    let cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+    let vdd = 0.95;
+    // Wordline off: the cell must hold Q=VDD / QB=0 when seeded there.
+    let ckt = build_6t_circuit(&cell, vdd, 0.0, vdd, vdd);
+    let q = ckt.find_node("q").expect("node");
+    let qb = ckt.find_node("qb").expect("node");
+    let op = DcSolver::new(&ckt)
+        .guess(q, Volt::new(vdd))
+        .guess(qb, Volt::new(0.0))
+        .solve()
+        .expect("hold state converges");
+    assert!(op.voltage(q).volts() > 0.9 * vdd, "Q = {}", op.voltage(q));
+    assert!(op.voltage(qb).volts() < 0.05, "QB = {}", op.voltage(qb));
+
+    // The scalar fast path agrees: QB equilibrium for Q=vdd is ~0.
+    let qb_fast = qb_equilibrium(&cell, vdd, vdd, vdd, None);
+    assert!(
+        (qb_fast - op.voltage(qb).volts()).abs() < 0.02,
+        "fast {} vs spice {}",
+        qb_fast,
+        op.voltage(qb)
+    );
+}
+
+#[test]
+fn read_bump_matches_nanospice() {
+    let tech = Technology::ptm_22nm();
+    let cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+    let vdd = 0.95;
+    // Read condition: wordline on, both bitlines precharged to VDD, cell
+    // storing 0 on Q.
+    let ckt = build_6t_circuit(&cell, vdd, vdd, vdd, vdd);
+    let q = ckt.find_node("q").expect("node");
+    let qb = ckt.find_node("qb").expect("node");
+    let op = DcSolver::new(&ckt)
+        .guess(q, Volt::new(0.1))
+        .guess(qb, Volt::new(vdd))
+        .solve()
+        .expect("read state converges");
+
+    let (q_fast, qb_fast) = read_bump(&cell, vdd);
+    assert!(
+        (q_fast - op.voltage(q).volts()).abs() < 0.02,
+        "bump fast {} vs spice {}",
+        q_fast,
+        op.voltage(q)
+    );
+    assert!(
+        (qb_fast - op.voltage(qb).volts()).abs() < 0.03,
+        "high node fast {} vs spice {}",
+        qb_fast,
+        op.voltage(qb)
+    );
+}
+
+#[test]
+fn read_bump_tracks_variation_in_both_solvers() {
+    let tech = Technology::ptm_22nm();
+    let mut cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+    // Weak pull-down / strong pass-gate: a bigger disturb bump.
+    cell.apply_variation(&[
+        Volt::from_millivolts(60.0),
+        Volt::from_millivolts(-60.0),
+        Volt::new(0.0),
+        Volt::new(0.0),
+        Volt::new(0.0),
+        Volt::new(0.0),
+    ]);
+    let vdd = 0.80;
+    let ckt = build_6t_circuit(&cell, vdd, vdd, vdd, vdd);
+    let q = ckt.find_node("q").expect("node");
+    let op = DcSolver::new(&ckt)
+        .guess(q, Volt::new(0.15))
+        .guess(ckt.find_node("qb").expect("node"), Volt::new(vdd))
+        .solve()
+        .expect("read state converges");
+    let (q_fast, _) = read_bump(&cell, vdd);
+    assert!(
+        (q_fast - op.voltage(q).volts()).abs() < 0.02,
+        "fast {} vs spice {}",
+        q_fast,
+        op.voltage(q)
+    );
+}
+
+#[test]
+fn write_time_matches_nanospice_transient() {
+    use nanospice::transient::{transient, TransientOptions};
+    use sram_bitcell::netlists::{nodes, six_t_circuit, CellBias};
+    use sram_bitcell::timing::{write_time, WRITE_WL_BOOST};
+
+    let tech = Technology::ptm_22nm();
+    let cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+    let vdd = Volt::new(0.95);
+
+    // Quasi-static estimate.
+    let t_fast = write_time(&cell, vdd).expect("nominal cell is writable");
+
+    // Full transient: start from the hold state (Q = 1), then assert the
+    // (boosted) wordline with BL grounded and watch Q collapse.
+    let hold = six_t_circuit(&cell, CellBias::hold(vdd)).expect("netlist");
+    let q = hold.find_node(nodes::Q).expect("node");
+    let qb = hold.find_node(nodes::QB).expect("node");
+    let op = DcSolver::new(&hold)
+        .guess(q, vdd)
+        .guess(qb, Volt::new(0.0))
+        .solve()
+        .expect("hold op");
+
+    let mut write_ckt = six_t_circuit(&cell, CellBias::write_zero(vdd)).expect("netlist");
+    write_ckt
+        .set_vsource("VWL", Volt::new(vdd.volts() + WRITE_WL_BOOST.volts()))
+        .expect("wordline boost");
+    let options = TransientOptions::new(
+        Second::new(t_fast.seconds() / 50.0),
+        Second::new(t_fast.seconds() * 20.0),
+    );
+    let wave = transient(&write_ckt, &op, &options).expect("write transient");
+    let t_spice = wave
+        .crossing_time(q, Volt::new(0.1 * vdd.volts()), true)
+        .expect("the cell must flip in the transient too");
+
+    // The quasi-static model ignores the QB-side slewing, so agreement
+    // within a factor of ~2.5 validates the Monte Carlo fast path.
+    let ratio = t_fast.seconds() / t_spice.seconds();
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "write time fast {} vs spice {} (ratio {ratio})",
+        t_fast.seconds(),
+        t_spice.seconds()
+    );
+}
+
+#[test]
+fn bitline_discharge_matches_nanospice_current() {
+    use sram_bitcell::netlists::{nodes, six_t_circuit, CellBias};
+    use sram_bitcell::timing::{read_access_time_6t, ColumnEnvironment};
+
+    let tech = Technology::ptm_22nm();
+    let cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+    let vdd = Volt::new(0.95);
+    let env = ColumnEnvironment::rows_256();
+
+    // Fast path: time to develop the sense margin on the bitline.
+    let t_fast = read_access_time_6t(&cell, vdd, &env).expect("nominal read completes");
+
+    // nanospice: solve the read condition and take the DC current the cell
+    // draws from the bitline source; C·ΔV/I is the discharge-time estimate
+    // the fast path should reproduce (the current is nearly constant over
+    // the 100 mV sense window).
+    let read_ckt = six_t_circuit(&cell, CellBias::read(vdd)).expect("netlist");
+    let q = read_ckt.find_node(nodes::Q).expect("node");
+    let qb = read_ckt.find_node(nodes::QB).expect("node");
+    let op = DcSolver::new(&read_ckt)
+        .guess(q, Volt::new(0.05))
+        .guess(qb, vdd)
+        .solve()
+        .expect("read op");
+    let i_dc = op
+        .vsource_current(&read_ckt, "VBL")
+        .expect("bitline current");
+    let t_predicted = env.c_bitline.farads() * env.delta_v_sense.volts() / i_dc.amps().abs();
+
+    let ratio = t_fast.seconds() / t_predicted;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "fast access {} vs C*dV/I {} (ratio {ratio})",
+        t_fast.seconds(),
+        t_predicted
+    );
+}
