@@ -27,7 +27,10 @@ fn main() {
         let test_acc = accuracy(&mlp, &test_set);
         println!(
             "lr={lr} m={m}: epoch accs {:?} test {:.3} ({:.0}s)",
-            stats.iter().map(|s| (s.accuracy * 100.0).round()).collect::<Vec<_>>(),
+            stats
+                .iter()
+                .map(|s| (s.accuracy * 100.0).round())
+                .collect::<Vec<_>>(),
             test_acc,
             t0.elapsed().as_secs_f64()
         );

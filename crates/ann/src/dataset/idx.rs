@@ -142,16 +142,10 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = fake_images();
         bytes[3] = 0x99;
-        assert!(matches!(
-            parse_images(&bytes),
-            Err(DatasetError::Format(_))
-        ));
+        assert!(matches!(parse_images(&bytes), Err(DatasetError::Format(_))));
         let mut bytes = fake_labels();
         bytes[3] = 0x99;
-        assert!(matches!(
-            parse_labels(&bytes),
-            Err(DatasetError::Format(_))
-        ));
+        assert!(matches!(parse_labels(&bytes), Err(DatasetError::Format(_))));
     }
 
     #[test]
@@ -161,7 +155,10 @@ mod tests {
             parse_images(&bytes[..bytes.len() - 2]),
             Err(DatasetError::Format(_))
         ));
-        assert!(matches!(parse_images(&bytes[..10]), Err(DatasetError::Format(_))));
+        assert!(matches!(
+            parse_images(&bytes[..10]),
+            Err(DatasetError::Format(_))
+        ));
     }
 
     #[test]

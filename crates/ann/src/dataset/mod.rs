@@ -55,7 +55,10 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::CountMismatch { images, labels } => {
-                write!(f, "image count {images} does not match label count {labels}")
+                write!(
+                    f,
+                    "image count {images} does not match label count {labels}"
+                )
             }
             Self::FeatureMismatch {
                 index,
@@ -66,7 +69,10 @@ impl fmt::Display for DatasetError {
                 index,
                 label,
                 classes,
-            } => write!(f, "label {label} at index {index} out of range for {classes} classes"),
+            } => write!(
+                f,
+                "label {label} at index {index} out of range for {classes} classes"
+            ),
             Self::Format(msg) => write!(f, "invalid dataset format: {msg}"),
         }
     }

@@ -181,11 +181,15 @@ mod tests {
 
     #[test]
     fn spectra_peak_near_class_formants() {
-        let data = generate(NUM_CLASSES * 8, 5, &SpectraOptions {
-            bin_noise: 0.0,
-            formant_jitter: 0.0,
-            ..SpectraOptions::default()
-        });
+        let data = generate(
+            NUM_CLASSES * 8,
+            5,
+            &SpectraOptions {
+                bin_noise: 0.0,
+                formant_jitter: 0.0,
+                ..SpectraOptions::default()
+            },
+        );
         for i in 0..data.len() {
             let class = data.label(i);
             let (f1, _) = class_formants(class);
@@ -200,7 +204,10 @@ mod tests {
             // couple of bins) — not in the noise floor.
             let (g1, g2) = class_formants(class);
             let near = (peak as f64 - g1).abs() < 3.0 || (peak as f64 - g2).abs() < 3.0;
-            assert!(near, "class {class}: peak at bin {peak}, formants {f1}/{g2}");
+            assert!(
+                near,
+                "class {class}: peak at bin {peak}, formants {f1}/{g2}"
+            );
         }
     }
 

@@ -119,7 +119,12 @@ mod tests {
 
     fn dataset() -> Dataset {
         Dataset::new(
-            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5], vec![0.2, 0.8]],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![0.5, 0.5],
+                vec![0.2, 0.8],
+            ],
             vec![0, 0, 1, 1],
             2,
             2,

@@ -46,8 +46,6 @@ pub mod prelude {
     pub use crate::matrix::Matrix;
     pub use crate::network::{sigmoid, Activation, DenseLayer, Mlp};
     pub use crate::persist::{load_mlp, read_mlp, save_mlp, write_mlp, PersistError};
-    pub use crate::quant::{
-        Encoding, FixedPointFormat, QuantizedLayer, QuantizedMlp, WEIGHT_BITS,
-    };
+    pub use crate::quant::{Encoding, FixedPointFormat, QuantizedLayer, QuantizedMlp, WEIGHT_BITS};
     pub use crate::train::{train, EpochStats, Loss, TrainOptions};
 }

@@ -92,7 +92,11 @@ pub fn train(mlp: &mut Mlp, data: &Dataset, options: &TrainOptions) -> Vec<Epoch
         .iter()
         .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
         .collect();
-    let mut vel_b: Vec<Vec<f32>> = mlp.layers().iter().map(|l| vec![0.0; l.bias.len()]).collect();
+    let mut vel_b: Vec<Vec<f32>> = mlp
+        .layers()
+        .iter()
+        .map(|l| vec![0.0; l.bias.len()])
+        .collect();
 
     let mut lr = options.learning_rate;
     let mut stats = Vec::with_capacity(options.epochs);
@@ -235,7 +239,10 @@ mod tests {
                 loss: Loss::SquaredError,
             },
         );
-        assert!(stats.last().expect("stats").mse < stats[0].mse, "MSE must fall");
+        assert!(
+            stats.last().expect("stats").mse < stats[0].mse,
+            "MSE must fall"
+        );
         assert!(
             stats.last().expect("stats").accuracy > 0.95,
             "toy task should be learned, got {}",

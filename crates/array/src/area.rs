@@ -13,7 +13,8 @@ use sram_device::units::SquareMeter;
 pub fn memory_area(map: &SynapticMemoryMap) -> SquareMeter {
     let a6 = cell_area(BitcellKind::SixT);
     let a8 = cell_area(BitcellKind::EightT);
-    a6 * map.total_cells(BitcellKind::SixT) as f64 + a8 * map.total_cells(BitcellKind::EightT) as f64
+    a6 * map.total_cells(BitcellKind::SixT) as f64
+        + a8 * map.total_cells(BitcellKind::EightT) as f64
 }
 
 /// Relative area overhead of `map` versus an all-6T memory with the same
@@ -46,10 +47,7 @@ mod tests {
             let m = map(&ProtectionPolicy::MsbProtected { msb_8t: n });
             let expected = n as f64 * 0.37 / 8.0;
             let got = area_overhead_vs_all_6t(&m);
-            assert!(
-                (got - expected).abs() < 1e-9,
-                "n={n}: {got} vs {expected}"
-            );
+            assert!((got - expected).abs() < 1e-9, "n={n}: {got} vs {expected}");
         }
     }
 

@@ -172,11 +172,8 @@ mod tests {
     use fault_inject::protection::{CellAssignment, ProtectionPolicy};
 
     fn ideal_memory(words: usize) -> SynapticMemory {
-        let map = SynapticMemoryMap::new(
-            &[words],
-            &ProtectionPolicy::Uniform6T,
-            SubArrayDims::PAPER,
-        );
+        let map =
+            SynapticMemoryMap::new(&[words], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
         SynapticMemory::new(map, vec![WordFailureModel::ideal()], 1)
     }
 
@@ -283,11 +280,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "one failure model per bank")]
     fn model_count_mismatch_panics() {
-        let map = SynapticMemoryMap::new(
-            &[10, 10],
-            &ProtectionPolicy::Uniform6T,
-            SubArrayDims::PAPER,
-        );
+        let map =
+            SynapticMemoryMap::new(&[10, 10], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
         let _ = SynapticMemory::new(map, vec![WordFailureModel::ideal()], 0);
     }
 }

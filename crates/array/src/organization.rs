@@ -169,7 +169,11 @@ impl SynapticMemoryMap {
             addr.offset,
             addr.bank
         );
-        self.banks[..addr.bank].iter().map(|b| b.words).sum::<usize>() + addr.offset
+        self.banks[..addr.bank]
+            .iter()
+            .map(|b| b.words)
+            .sum::<usize>()
+            + addr.offset
     }
 
     /// Physical placement of a word inside its bank: `(subarray, row, col)`.
@@ -233,7 +237,13 @@ mod tests {
         assert_eq!(m.locate(0).bank, 0);
         assert_eq!(m.locate(100).bank, 1);
         assert_eq!(m.locate(150).bank, 2);
-        assert_eq!(m.locate(174), WordAddress { bank: 2, offset: 24 });
+        assert_eq!(
+            m.locate(174),
+            WordAddress {
+                bank: 2,
+                offset: 24
+            }
+        );
     }
 
     #[test]
@@ -244,23 +254,31 @@ mod tests {
 
     #[test]
     fn physical_packing() {
-        let m = SynapticMemoryMap::new(
-            &[20000],
-            &ProtectionPolicy::Uniform6T,
-            SubArrayDims::PAPER,
-        );
+        let m = SynapticMemoryMap::new(&[20000], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
         // Word 0: subarray 0, row 0, col 0.
         assert_eq!(m.physical(WordAddress { bank: 0, offset: 0 }), (0, 0, 0));
         // Word 31: still row 0, col 248.
         assert_eq!(
-            m.physical(WordAddress { bank: 0, offset: 31 }),
+            m.physical(WordAddress {
+                bank: 0,
+                offset: 31
+            }),
             (0, 0, 248)
         );
         // Word 32: row 1.
-        assert_eq!(m.physical(WordAddress { bank: 0, offset: 32 }), (0, 1, 0));
+        assert_eq!(
+            m.physical(WordAddress {
+                bank: 0,
+                offset: 32
+            }),
+            (0, 1, 0)
+        );
         // Word 8192: second subarray.
         assert_eq!(
-            m.physical(WordAddress { bank: 0, offset: 8192 }),
+            m.physical(WordAddress {
+                bank: 0,
+                offset: 8192
+            }),
             (1, 0, 0)
         );
     }

@@ -130,8 +130,7 @@ impl PeripheryModel {
     fn shared_access(&self, vdd: Volt, bits_per_access: usize) -> PeripheryEnergy {
         // One decode path switches per access: each address bit drives a
         // fanout-of-4 pre-decode stage.
-        let decoder_cap =
-            Farad::new(f64::from(self.address_bits()) * 4.0 * self.gate_cap.farads());
+        let decoder_cap = Farad::new(f64::from(self.address_bits()) * 4.0 * self.gate_cap.farads());
         let wordline_cap = Farad::new(
             self.dims.cols as f64
                 * (self.wordline_cap_per_cell.farads() + self.wire_cap_per_cell.farads()),
@@ -168,7 +167,10 @@ mod tests {
     #[test]
     fn address_bits_for_paper_array() {
         assert_eq!(model().address_bits(), 8);
-        let small = PeripheryModel::cacti_lite(SubArrayDims { rows: 64, cols: 256 });
+        let small = PeripheryModel::cacti_lite(SubArrayDims {
+            rows: 64,
+            cols: 256,
+        });
         assert_eq!(small.address_bits(), 6);
     }
 
@@ -209,7 +211,10 @@ mod tests {
         let wide = m.read_access(Volt::new(0.75), 64);
         assert!(wide.sense_amps.joules() > narrow.sense_amps.joules());
         assert!(wide.column_mux.joules() > narrow.column_mux.joules());
-        assert_eq!(wide.wordline, narrow.wordline, "wordline is access-width independent");
+        assert_eq!(
+            wide.wordline, narrow.wordline,
+            "wordline is access-width independent"
+        );
     }
 
     #[test]

@@ -96,8 +96,7 @@ pub fn memory_power(
     for bank in map.banks() {
         let n8 = bank.assignment.protected_count() as f64;
         let n6 = 8.0 - n8;
-        let word_read_energy =
-            n6 * per_bit_read_energy(p6) + n8 * per_bit_read_energy(p8);
+        let word_read_energy = n6 * per_bit_read_energy(p6) + n8 * per_bit_read_energy(p8);
         access += bank.words as f64 * word_read_energy * rate;
         sweep += bank.words as f64 * word_read_energy;
         leak += bank.cells_6t() as f64 * p6.leakage.watts()
@@ -154,13 +153,14 @@ pub fn memory_power_with_periphery(
         }
     };
 
-    let access_energy = periphery.read_access(vdd, fault_inject::model::WORD_BITS).total();
+    let access_energy = periphery
+        .read_access(vdd, fault_inject::model::WORD_BITS)
+        .total();
     let mut periphery_access = 0.0;
     let mut periphery_leak = 0.0;
     for bank in map.banks() {
         periphery_access += bank.words as f64 * access_energy.joules() * rate;
-        periphery_leak +=
-            bank.subarrays(map.dims()) as f64 * periphery.leakage(vdd).watts();
+        periphery_leak += bank.subarrays(map.dims()) as f64 * periphery.leakage(vdd).watts();
     }
 
     MemoryPowerReport {
@@ -219,8 +219,22 @@ mod tests {
     fn voltage_scaling_saves_power() {
         let (t6, t8) = tables();
         let m = map(&ProtectionPolicy::Uniform6T);
-        let hi = memory_power(&m, &t6, &t8, Volt::new(0.95), 1e6, PowerConvention::IsoThroughput);
-        let lo = memory_power(&m, &t6, &t8, Volt::new(0.65), 1e6, PowerConvention::IsoThroughput);
+        let hi = memory_power(
+            &m,
+            &t6,
+            &t8,
+            Volt::new(0.95),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
+        let lo = memory_power(
+            &m,
+            &t6,
+            &t8,
+            Volt::new(0.65),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
         assert!(lo.access_power.watts() < hi.access_power.watts());
         assert!(lo.leakage_power.watts() < hi.leakage_power.watts());
     }
@@ -257,8 +271,22 @@ mod tests {
     fn self_clocked_reports_lower_power_at_low_voltage() {
         let (t6, t8) = tables();
         let m = map(&ProtectionPolicy::Uniform6T);
-        let iso = memory_power(&m, &t6, &t8, Volt::new(0.65), 1e6, PowerConvention::IsoThroughput);
-        let sc = memory_power(&m, &t6, &t8, Volt::new(0.65), 1e6, PowerConvention::SelfClocked);
+        let iso = memory_power(
+            &m,
+            &t6,
+            &t8,
+            Volt::new(0.65),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
+        let sc = memory_power(
+            &m,
+            &t6,
+            &t8,
+            Volt::new(0.65),
+            1e6,
+            PowerConvention::SelfClocked,
+        );
         assert!(sc.access_power.watts() < iso.access_power.watts());
         // Leakage is rate-independent.
         assert_eq!(sc.leakage_power, iso.leakage_power);
@@ -268,8 +296,22 @@ mod tests {
     fn sweep_energy_is_rate_independent() {
         let (t6, t8) = tables();
         let m = map(&ProtectionPolicy::Uniform6T);
-        let a = memory_power(&m, &t6, &t8, Volt::new(0.75), 1e6, PowerConvention::IsoThroughput);
-        let b = memory_power(&m, &t6, &t8, Volt::new(0.75), 2e6, PowerConvention::IsoThroughput);
+        let a = memory_power(
+            &m,
+            &t6,
+            &t8,
+            Volt::new(0.75),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
+        let b = memory_power(
+            &m,
+            &t6,
+            &t8,
+            Volt::new(0.75),
+            2e6,
+            PowerConvention::IsoThroughput,
+        );
         assert_eq!(a.sweep_energy, b.sweep_energy);
         assert!((b.access_power.watts() / a.access_power.watts() - 2.0).abs() < 1e-9);
     }
@@ -279,7 +321,14 @@ mod tests {
     fn uncharacterized_voltage_panics() {
         let (t6, t8) = tables();
         let m = map(&ProtectionPolicy::Uniform6T);
-        let _ = memory_power(&m, &t6, &t8, Volt::new(0.81), 1e6, PowerConvention::IsoThroughput);
+        let _ = memory_power(
+            &m,
+            &t6,
+            &t8,
+            Volt::new(0.81),
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
     }
 
     #[test]
@@ -292,9 +341,22 @@ mod tests {
 
         let v_base = Volt::new(0.75);
         let v_hyb = Volt::new(0.65);
-        let base = memory_power(&base_map, &t6, &t8, v_base, 1e6, PowerConvention::IsoThroughput);
+        let base = memory_power(
+            &base_map,
+            &t6,
+            &t8,
+            v_base,
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
         let base_p = memory_power_with_periphery(
-            &base_map, &t6, &t8, &periphery, v_base, 1e6, PowerConvention::IsoThroughput,
+            &base_map,
+            &t6,
+            &t8,
+            &periphery,
+            v_base,
+            1e6,
+            PowerConvention::IsoThroughput,
         );
         // Periphery strictly adds power and sweep energy.
         assert!(base_p.access_power.watts() > base.access_power.watts());
@@ -306,9 +368,22 @@ mod tests {
         // saving across the voltage gap is the pure V² ratio — *larger*
         // than the cell-level saving — so the total lands between the two.
         let hyb_p = memory_power_with_periphery(
-            &hybrid_map, &t6, &t8, &periphery, v_hyb, 1e6, PowerConvention::IsoThroughput,
+            &hybrid_map,
+            &t6,
+            &t8,
+            &periphery,
+            v_hyb,
+            1e6,
+            PowerConvention::IsoThroughput,
         );
-        let hyb = memory_power(&hybrid_map, &t6, &t8, v_hyb, 1e6, PowerConvention::IsoThroughput);
+        let hyb = memory_power(
+            &hybrid_map,
+            &t6,
+            &t8,
+            v_hyb,
+            1e6,
+            PowerConvention::IsoThroughput,
+        );
         let saving_cells = 1.0 - hyb.access_power.watts() / base.access_power.watts();
         let saving_periphery = 1.0 - (0.65f64 / 0.75).powi(2);
         let saving_total = 1.0 - hyb_p.access_power.watts() / base_p.access_power.watts();

@@ -233,7 +233,13 @@ mod tests {
     fn few_failures_fully_repaired() {
         // Four failures in distinct rows with four spare rows: always clean.
         let failures = [(3, 7), (90, 200), (150, 10), (255, 255)];
-        let out = repair_greedy(&failures, RedundancyConfig { spare_rows: 4, spare_cols: 0 });
+        let out = repair_greedy(
+            &failures,
+            RedundancyConfig {
+                spare_rows: 4,
+                spare_cols: 0,
+            },
+        );
         assert!(out.is_clean());
         assert_eq!(out.rows_used, 4);
     }
@@ -245,7 +251,10 @@ mod tests {
         let failures = [(1, 5), (2, 5), (3, 5), (10, 99)];
         let out = repair_greedy(
             &failures,
-            RedundancyConfig { spare_rows: 0, spare_cols: 1 },
+            RedundancyConfig {
+                spare_rows: 0,
+                spare_cols: 1,
+            },
         );
         assert_eq!(out.repaired_failures, 3);
         assert_eq!(out.residual_failures, 1);
@@ -267,7 +276,10 @@ mod tests {
         }
         let out = repair_greedy(
             &failures,
-            RedundancyConfig { spare_rows: 1, spare_cols: 1 },
+            RedundancyConfig {
+                spare_rows: 1,
+                spare_cols: 1,
+            },
         );
         assert!(out.is_clean(), "{out:?}");
         assert_eq!(out.rows_used, 1);
@@ -291,7 +303,8 @@ mod tests {
         // spares barely dent it.
         let p = 1e-3;
         assert!(expected_bad_rows(DIMS, p) > 50.0);
-        let eff = effective_failure_probability(DIMS, p, RedundancyConfig::TYPICAL, 20, &mut rng(3));
+        let eff =
+            effective_failure_probability(DIMS, p, RedundancyConfig::TYPICAL, 20, &mut rng(3));
         assert!(
             eff > 0.7 * p,
             "repair should recover little at p={p}: effective {eff}"
@@ -312,7 +325,10 @@ mod tests {
         for p in [1e-4, 1e-3, 1e-2] {
             let eff =
                 effective_failure_probability(DIMS, p, RedundancyConfig::TYPICAL, 10, &mut rng(5));
-            assert!(eff <= p * 1.35, "p={p}, eff={eff} (allowing sampling noise)");
+            assert!(
+                eff <= p * 1.35,
+                "p={p}, eff={eff} (allowing sampling noise)"
+            );
         }
     }
 

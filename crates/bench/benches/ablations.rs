@@ -59,7 +59,12 @@ fn bench_power_convention(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_power_convention");
     for convention in [PowerConvention::IsoThroughput, PowerConvention::SelfClocked] {
         group.bench_function(format!("{convention:?}"), |b| {
-            b.iter(|| black_box(ctx.framework.power_report(&ctx.network, &hybrid, convention)))
+            b.iter(|| {
+                black_box(
+                    ctx.framework
+                        .power_report(&ctx.network, &hybrid, convention),
+                )
+            })
         });
     }
     group.finish();

@@ -62,11 +62,7 @@ fn main() {
             .iter()
             .map(|r| (r.vdd.volts(), r.read_access_6t))
             .collect();
-        let write: Vec<(f64, f64)> = f
-            .rows
-            .iter()
-            .map(|r| (r.vdd.volts(), r.write_6t))
-            .collect();
+        let write: Vec<(f64, f64)> = f.rows.iter().map(|r| (r.vdd.volts(), r.write_6t)).collect();
         println!(
             "{}",
             render(
@@ -134,8 +130,14 @@ fn main() {
             &QuantizedMlp::from_mlp(&float_mlp, Encoding::SignMagnitude).to_mlp(),
             &ctx.test,
         );
-        println!("quantization check — float-reconstructed (two's complement): {}", fmt_pct(tc));
-        println!("sign-magnitude re-quantization:                              {}", fmt_pct(sm));
+        println!(
+            "quantization check — float-reconstructed (two's complement): {}",
+            fmt_pct(tc)
+        );
+        println!(
+            "sign-magnitude re-quantization:                              {}",
+            fmt_pct(sm)
+        );
         println!("paper claim: 8-bit precision costs < 0.5 % vs 32-bit float\n");
     }
     if want("ecc") {

@@ -84,7 +84,8 @@ pub fn render(series: &[(&str, &[(f64, f64)])], options: &ChartOptions) -> Strin
         .fold(f64::INFINITY, f64::min);
     let ty = |y: f64| -> f64 {
         if options.log_y {
-            y.max(if y_floor.is_finite() { y_floor } else { 1e-300 }).log10()
+            y.max(if y_floor.is_finite() { y_floor } else { 1e-300 })
+                .log10()
         } else {
             y
         }

@@ -11,7 +11,9 @@ fn main() {
     let t0 = Instant::now();
     let (t6, t8) = characterize_paper_cells(&tech, &opts);
     println!("characterization took {:?}", t0.elapsed());
-    println!("vdd | 6T read_acc | 6T write | 6T disturb | 6T read_bit_err | 8T read_bit | 8T write");
+    println!(
+        "vdd | 6T read_acc | 6T write | 6T disturb | 6T read_bit_err | 8T read_bit | 8T write"
+    );
     for (p6, p8) in t6.points.iter().zip(t8.points.iter()) {
         println!(
             "{:.2} | {:.3e} | {:.3e} | {:.3e} | {:.3e} | {:.3e} | {:.3e}",

@@ -27,10 +27,7 @@ pub fn qb_net_current(
     let vq = Volt::new(q);
     let vqb = Volt::new(qb);
     // PU2: PMOS, source at VDD, drain at QB, gate at Q.
-    let i_pu = -cell
-        .pu2
-        .drain_current(vq, vqb, Volt::new(vdd))
-        .amps();
+    let i_pu = -cell.pu2.drain_current(vq, vqb, Volt::new(vdd)).amps();
     // PD2: NMOS, drain at QB, source at GND, gate at Q.
     let i_pd = cell.pd2.drain_current(vq, vqb, Volt::new(0.0)).amps();
     // PG2: NMOS between BLB and QB, gate at WL = VDD when connected.
@@ -57,10 +54,7 @@ pub fn q_net_current(
 ) -> f64 {
     let vq = Volt::new(q);
     let vqb = Volt::new(qb);
-    let i_pu = -cell
-        .pu1
-        .drain_current(vqb, vq, Volt::new(vdd))
-        .amps();
+    let i_pu = -cell.pu1.drain_current(vqb, vq, Volt::new(vdd)).amps();
     let i_pd = cell.pd1.drain_current(vqb, vq, Volt::new(0.0)).amps();
     let i_pg = match vbl {
         Some(bl) => cell

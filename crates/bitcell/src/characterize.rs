@@ -221,7 +221,10 @@ mod tests {
         let (t6, _) = quick_tables();
         let hi = t6.read_bit_error_at(Volt::new(0.95));
         let lo = t6.read_bit_error_at(Volt::new(0.60));
-        assert!(lo > hi, "read bit error must rise as VDD falls: {hi} -> {lo}");
+        assert!(
+            lo > hi,
+            "read bit error must rise as VDD falls: {hi} -> {lo}"
+        );
     }
 
     #[test]
@@ -239,7 +242,10 @@ mod tests {
         let p75 = t6.read_bit_error_at(Volt::new(0.75));
         let p70 = t6.read_bit_error_at(Volt::new(0.70));
         let p60 = t6.read_bit_error_at(Volt::new(0.60));
-        assert!(p70 >= p75 * 0.999 && p70 <= p60 * 1.001, "{p75} {p70} {p60}");
+        assert!(
+            p70 >= p75 * 0.999 && p70 <= p60 * 1.001,
+            "{p75} {p70} {p60}"
+        );
     }
 
     #[test]

@@ -46,13 +46,15 @@ pub mod prelude {
         characterize_paper_cells, CellCharacterization, CharacterizationOptions, OperatingPoint,
     };
     pub use crate::margins::{write_margin, write_margin_with_wl, WriteMargin};
-    pub use crate::netlists::{eight_t_circuit, six_t_circuit, CellBias};
     pub use crate::montecarlo::{
         q_function, run_6t, run_8t, CellFailureRates, FailureEstimate, MonteCarloOptions,
     };
+    pub use crate::netlists::{eight_t_circuit, six_t_circuit, CellBias};
     pub use crate::power::{CellPower, PowerModel, EIGHT_T_BITLINE_SCALE};
     pub use crate::retention::{retention_statistics, retention_voltage, RetentionStatistics};
-    pub use crate::snm::{inverter_trip_point, inverter_vtc, static_noise_margin, SnmCondition, Vtc};
+    pub use crate::snm::{
+        inverter_trip_point, inverter_vtc, static_noise_margin, SnmCondition, Vtc,
+    };
     pub use crate::timing::{
         read_access_time_6t, read_access_time_8t, write_time, ColumnEnvironment, TimingBudget,
     };

@@ -135,7 +135,7 @@ mod tests {
         let mut c = cell();
         c.apply_variation(&[
             Volt::new(0.0),
-            Volt::from_millivolts(350.0), // PG1 very weak
+            Volt::from_millivolts(350.0),  // PG1 very weak
             Volt::from_millivolts(-250.0), // PU1 very strong
             Volt::new(0.0),
             Volt::new(0.0),

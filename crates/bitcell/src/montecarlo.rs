@@ -40,8 +40,9 @@ pub fn q_function(z: f64) -> f64 {
     }
     // Abramowitz & Stegun 26.2.17.
     let t = 1.0 / (1.0 + 0.2316419 * z);
-    let poly = t * (0.319381530
-        + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
     let phi = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
     phi * poly
 }
@@ -170,8 +171,12 @@ impl MetricTally {
             empirical
         } else {
             let mean = self.values.iter().sum::<f64>() / n as f64;
-            let var =
-                self.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = self
+                .values
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / (n - 1) as f64;
             let std = var.sqrt();
             let tail = if std < 1e-30 {
                 let nominal_fails = if upper { mean > limit } else { mean <= limit };
@@ -303,12 +308,7 @@ mod tests {
     use crate::topology::{ReadStackSizing, SixTSizing};
     use sram_device::process::Technology;
 
-    fn setup() -> (
-        SixTCell,
-        EightTCell,
-        VariationModel,
-        ColumnEnvironment,
-    ) {
+    fn setup() -> (SixTCell, EightTCell, VariationModel, ColumnEnvironment) {
         let tech = Technology::ptm_22nm();
         (
             SixTCell::new(&tech, &SixTSizing::paper_baseline()),
@@ -369,7 +369,10 @@ mod tests {
             );
             last_read = p;
         }
-        assert!(last_read > 1e-4, "0.6 V should show real failures: {last_read}");
+        assert!(
+            last_read > 1e-4,
+            "0.6 V should show real failures: {last_read}"
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl PowerModel {
 
     /// Power figures for a 6T cell at `vdd`.
     pub fn six_t(&self, cell: &SixTCell, vdd: Volt) -> CellPower {
-        self.cell_power(vdd, 1.0, Watt::new(leakage_current_6t(cell, vdd.volts()) * vdd.volts()))
+        self.cell_power(
+            vdd,
+            1.0,
+            Watt::new(leakage_current_6t(cell, vdd.volts()) * vdd.volts()),
+        )
     }
 
     /// Power figures for an 8T cell at `vdd`.
@@ -167,8 +171,14 @@ mod tests {
             let p8 = model.eight_t(&c8, Volt::new(vdd));
             let r_read = p8.read_energy.joules() / p6.read_energy.joules();
             let r_write = p8.write_energy.joules() / p6.write_energy.joules();
-            assert!((1.10..1.30).contains(&r_read), "read ratio {r_read} at {vdd}");
-            assert!((1.10..1.30).contains(&r_write), "write ratio {r_write} at {vdd}");
+            assert!(
+                (1.10..1.30).contains(&r_read),
+                "read ratio {r_read} at {vdd}"
+            );
+            assert!(
+                (1.10..1.30).contains(&r_write),
+                "write ratio {r_write} at {vdd}"
+            );
         }
     }
 

@@ -207,7 +207,11 @@ mod tests {
     fn vtc_is_inverting_and_rail_to_rail_in_hold() {
         let c = cell();
         let vtc = inverter_vtc(&c, Volt::new(0.95), SnmCondition::Hold, true);
-        assert!(vtc.vout[0] > 0.90, "low in -> high out, got {}", vtc.vout[0]);
+        assert!(
+            vtc.vout[0] > 0.90,
+            "low in -> high out, got {}",
+            vtc.vout[0]
+        );
         assert!(
             vtc.vout[VTC_POINTS - 1] < 0.05,
             "high in -> low out, got {}",

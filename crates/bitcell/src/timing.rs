@@ -16,8 +16,8 @@
 
 use crate::cell_ops::{q_net_current, qb_equilibrium, read_current_6t, read_current_8t};
 use crate::solve::integrate_until;
-use sram_device::units::Volt as VoltUnit;
 use crate::topology::{EightTCell, SixTCell};
+use sram_device::units::Volt as VoltUnit;
 use sram_device::units::{Farad, Second, Volt};
 
 /// Electrical environment of a cell inside a sub-array column.
@@ -93,7 +93,11 @@ pub fn read_access_time_6t(cell: &SixTCell, vdd: Volt, env: &ColumnEnvironment) 
 }
 
 /// Time for an 8T cell to develop the sense margin on its read bitline.
-pub fn read_access_time_8t(cell: &EightTCell, vdd: Volt, env: &ColumnEnvironment) -> Option<Second> {
+pub fn read_access_time_8t(
+    cell: &EightTCell,
+    vdd: Volt,
+    env: &ColumnEnvironment,
+) -> Option<Second> {
     let vdd_v = vdd.volts();
     bitline_discharge_time(
         |vrbl| read_current_8t(cell, vrbl, vdd_v),

@@ -284,7 +284,10 @@ mod tests {
         let tech = Technology::ptm_22nm();
         let mobility_ratio = tech.pmos.mu_cox / tech.nmos.mu_cox;
         let strength_ratio = s.pullup_ratio() * mobility_ratio;
-        assert!(strength_ratio < 1.0, "PU/PG strength ratio {strength_ratio}");
+        assert!(
+            strength_ratio < 1.0,
+            "PU/PG strength ratio {strength_ratio}"
+        );
     }
 
     #[test]

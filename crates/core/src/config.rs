@@ -44,9 +44,9 @@ impl MemoryConfig {
     pub fn policy(&self) -> ProtectionPolicy {
         match self {
             MemoryConfig::Base6T { .. } => ProtectionPolicy::Uniform6T,
-            MemoryConfig::Hybrid { msb_8t, .. } => ProtectionPolicy::MsbProtected {
-                msb_8t: *msb_8t,
-            },
+            MemoryConfig::Hybrid { msb_8t, .. } => {
+                ProtectionPolicy::MsbProtected { msb_8t: *msb_8t }
+            }
             MemoryConfig::SensitivityDriven { msb_8t, .. } => ProtectionPolicy::PerBank {
                 msb_8t: msb_8t.clone(),
             },
@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn policies_match_configurations() {
-        let base = MemoryConfig::Base6T { vdd: Volt::new(0.75) };
+        let base = MemoryConfig::Base6T {
+            vdd: Volt::new(0.75),
+        };
         assert_eq!(base.policy().assignment(0), CellAssignment::all_6t());
 
         let hybrid = MemoryConfig::Hybrid {
@@ -102,7 +104,10 @@ mod tests {
             msb_8t: vec![2, 3, 1],
             vdd: Volt::new(0.65),
         };
-        assert_eq!(sens.policy().assignment(1), CellAssignment::msb_protected(3));
+        assert_eq!(
+            sens.policy().assignment(1),
+            CellAssignment::msb_protected(3)
+        );
         assert_eq!(sens.policy().bank_count(), Some(3));
     }
 

@@ -194,10 +194,7 @@ mod tests {
         let cmp = run(shared_ctx());
         // Both schemes must hold accuracy near the baseline at 0.65 V —
         // that is the point of protection.
-        assert!(
-            cmp.hybrid().accuracy > cmp.rows[0].accuracy - 0.10,
-            "{cmp}"
-        );
+        assert!(cmp.hybrid().accuracy > cmp.rows[0].accuracy - 0.10, "{cmp}");
         assert!(cmp.ecc().accuracy > cmp.rows[0].accuracy - 0.10, "{cmp}");
     }
 

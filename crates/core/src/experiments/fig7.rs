@@ -60,9 +60,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig7 {
         let stats =
             ctx.framework
                 .evaluate_accuracy(&ctx.network, &ctx.test, &config, ctx.trials, ctx.seed);
-        let power = ctx
-            .framework
-            .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
+        let power =
+            ctx.framework
+                .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
         rows.push(Fig7Row {
             vdd,
             accuracy: stats.mean(),
@@ -170,6 +170,9 @@ mod tests {
             assert!(pair[1].access_saving >= pair[0].access_saving - 1e-12);
             assert!(pair[1].leakage_saving >= pair[0].leakage_saving - 1e-12);
         }
-        assert!(fig.rows[0].access_saving.abs() < 1e-12, "nominal saves nothing");
+        assert!(
+            fig.rows[0].access_saving.abs() < 1e-12,
+            "nominal saves nothing"
+        );
     }
 }

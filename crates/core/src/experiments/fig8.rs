@@ -49,9 +49,9 @@ pub struct Fig8 {
 /// Regenerates Fig. 8.
 pub fn run(ctx: &ExperimentContext) -> Fig8 {
     let baseline = MemoryConfig::Base6T { vdd: BASELINE_VDD };
-    let p_base = ctx
-        .framework
-        .power_report(&ctx.network, &baseline, PowerConvention::IsoThroughput);
+    let p_base =
+        ctx.framework
+            .power_report(&ctx.network, &baseline, PowerConvention::IsoThroughput);
     let baseline_accuracy = ctx
         .framework
         .evaluate_accuracy(&ctx.network, &ctx.test, &baseline, ctx.trials, ctx.seed)
@@ -72,16 +72,15 @@ pub fn run(ctx: &ExperimentContext) -> Fig8 {
                 .framework
                 .evaluate_accuracy(&ctx.network, &ctx.test, &at_070, ctx.trials, ctx.seed)
                 .mean();
-            let power = ctx
-                .framework
-                .power_report(&ctx.network, &at_065, PowerConvention::IsoThroughput);
+            let power =
+                ctx.framework
+                    .power_report(&ctx.network, &at_065, PowerConvention::IsoThroughput);
             Fig8Row {
                 msb_8t: n,
                 accuracy_065: acc_065,
                 accuracy_070: acc_070,
                 access_reduction: 1.0 - power.access_power.watts() / p_base.access_power.watts(),
-                leakage_reduction: 1.0
-                    - power.leakage_power.watts() / p_base.leakage_power.watts(),
+                leakage_reduction: 1.0 - power.leakage_power.watts() / p_base.leakage_power.watts(),
                 area_overhead: ctx.framework.area_overhead(&ctx.network, &at_065),
             }
         })

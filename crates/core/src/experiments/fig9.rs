@@ -91,9 +91,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig9 {
     };
 
     let baseline = MemoryConfig::Base6T { vdd: BASELINE_VDD };
-    let p_base = ctx
-        .framework
-        .power_report(&ctx.network, &baseline, PowerConvention::IsoThroughput);
+    let p_base =
+        ctx.framework
+            .power_report(&ctx.network, &baseline, PowerConvention::IsoThroughput);
     let baseline_accuracy = ctx
         .framework
         .evaluate_accuracy(&ctx.network, &ctx.test, &baseline, ctx.trials, ctx.seed)
@@ -112,9 +112,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig9 {
             .framework
             .evaluate_accuracy(&ctx.network, &ctx.test, &config, ctx.trials, ctx.seed)
             .mean();
-        let power = ctx
-            .framework
-            .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
+        let power =
+            ctx.framework
+                .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
         points.push(Fig9Point {
             name,
             msb_8t: alloc,

@@ -23,9 +23,7 @@ use neuro_system::layout;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sram_array::organization::SubArrayDims;
-use sram_array::redundancy::{
-    effective_failure_probability, expected_bad_rows, RedundancyConfig,
-};
+use sram_array::redundancy::{effective_failure_probability, expected_bad_rows, RedundancyConfig};
 use sram_device::units::Volt;
 use std::fmt;
 
@@ -201,7 +199,10 @@ mod tests {
             "{study}"
         );
         // Repair must not *hurt* relative to raw.
-        assert!(study.accuracy_repaired >= study.accuracy_raw - 0.05, "{study}");
+        assert!(
+            study.accuracy_repaired >= study.accuracy_raw - 0.05,
+            "{study}"
+        );
     }
 
     #[test]

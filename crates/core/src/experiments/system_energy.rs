@@ -46,11 +46,9 @@ pub fn run(ctx: &ExperimentContext) -> SystemEnergySweep {
         .into_iter()
         .map(|vdd| {
             let config = MemoryConfig::Hybrid { msb_8t: 3, vdd };
-            let memory = ctx.framework.power_report(
-                &ctx.network,
-                &config,
-                PowerConvention::IsoThroughput,
-            );
+            let memory =
+                ctx.framework
+                    .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
             SystemEnergyRow {
                 vdd,
                 report: system_inference_energy(&memory, macs, &model, vdd),

@@ -252,7 +252,10 @@ mod tests {
     fn corruption_hurts_both_workloads_somewhere() {
         let cmp = shared();
         assert!(cmp.digits.edge_drop + cmp.digits.rest_drop > 0.02, "{cmp}");
-        assert!(cmp.spectra.edge_drop + cmp.spectra.rest_drop > 0.02, "{cmp}");
+        assert!(
+            cmp.spectra.edge_drop + cmp.spectra.rest_drop > 0.02,
+            "{cmp}"
+        );
     }
 
     #[test]

@@ -241,17 +241,13 @@ mod tests {
         let (q, test) = small_net_and_data();
         let vdd = Volt::new(0.65);
         let base = f.evaluate_accuracy(&q, &test, &MemoryConfig::Base6T { vdd }, 3, 1);
-        let hybrid = f.evaluate_accuracy(
-            &q,
-            &test,
-            &MemoryConfig::Hybrid { msb_8t: 4, vdd },
-            3,
-            1,
-        );
+        let hybrid = f.evaluate_accuracy(&q, &test, &MemoryConfig::Hybrid { msb_8t: 4, vdd }, 3, 1);
         let nominal = f.evaluate_accuracy(
             &q,
             &test,
-            &MemoryConfig::Base6T { vdd: Volt::new(0.95) },
+            &MemoryConfig::Base6T {
+                vdd: Volt::new(0.95),
+            },
             1,
             1,
         );
@@ -268,7 +264,9 @@ mod tests {
     fn power_and_area_tradeoff_directions() {
         let f = quick_framework();
         let (q, _) = small_net_and_data();
-        let base75 = MemoryConfig::Base6T { vdd: Volt::new(0.75) };
+        let base75 = MemoryConfig::Base6T {
+            vdd: Volt::new(0.75),
+        };
         let hybrid65 = MemoryConfig::Hybrid {
             msb_8t: 3,
             vdd: Volt::new(0.65),
@@ -302,7 +300,9 @@ mod tests {
     fn evaluation_is_deterministic() {
         let f = quick_framework();
         let (q, test) = small_net_and_data();
-        let cfg = MemoryConfig::Base6T { vdd: Volt::new(0.65) };
+        let cfg = MemoryConfig::Base6T {
+            vdd: Volt::new(0.65),
+        };
         let a = f.evaluate_accuracy(&q, &test, &cfg, 2, 42);
         let b = f.evaluate_accuracy(&q, &test, &cfg, 2, 42);
         assert_eq!(a, b);

@@ -42,13 +42,8 @@ pub fn find_iso_stability_baseline(
     assert!(!vdds.is_empty(), "need at least one probe voltage");
     let mut curve = Vec::with_capacity(vdds.len());
     for &vdd in vdds {
-        let stats = framework.evaluate_accuracy(
-            network,
-            test,
-            &MemoryConfig::Base6T { vdd },
-            trials,
-            seed,
-        );
+        let stats =
+            framework.evaluate_accuracy(network, test, &MemoryConfig::Base6T { vdd }, trials, seed);
         curve.push((vdd, stats.mean()));
     }
     let nominal_accuracy = curve[0].1;
@@ -105,15 +100,8 @@ mod tests {
         );
         let q = QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement);
 
-        let result = find_iso_stability_baseline(
-            &framework,
-            &q,
-            &test_set,
-            &options.vdds,
-            0.02,
-            2,
-            7,
-        );
+        let result =
+            find_iso_stability_baseline(&framework, &q, &test_set, &options.vdds, 0.02, 2, 7);
         assert!(result.baseline_vdd.volts() <= 0.95);
         assert!(result.baseline_vdd.volts() >= 0.60);
         assert_eq!(result.curve.len(), 5);

@@ -103,7 +103,10 @@ pub fn optimize_allocation(
     vdd: Volt,
     options: &OptimizerOptions,
 ) -> OptimizedAllocation {
-    assert!(options.max_msb <= 8, "a word has at most 8 protectable bits");
+    assert!(
+        options.max_msb <= 8,
+        "a word has at most 8 protectable bits"
+    );
     let banks = network.layer_count();
     let bank_words = layout::bank_words(network);
     let reference_accuracy = neural::eval::accuracy(&network.to_mlp(), test);
@@ -258,8 +261,20 @@ mod tests {
             seed: 3,
             max_msb: 4,
         };
-        let a = optimize_allocation(&ctx.framework, &ctx.network, &ctx.test, Volt::new(0.70), &opts);
-        let b = optimize_allocation(&ctx.framework, &ctx.network, &ctx.test, Volt::new(0.70), &opts);
+        let a = optimize_allocation(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            Volt::new(0.70),
+            &opts,
+        );
+        let b = optimize_allocation(
+            &ctx.framework,
+            &ctx.network,
+            &ctx.test,
+            Volt::new(0.70),
+            &opts,
+        );
         assert_eq!(a, b);
     }
 

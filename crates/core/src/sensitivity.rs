@@ -93,10 +93,7 @@ pub fn analyze_layer_sensitivity(
         drops.push(drop_sum / trials as f64);
         bank_start += bank_len;
     }
-    LayerSensitivity {
-        drops,
-        probe_rate,
-    }
+    LayerSensitivity { drops, probe_rate }
 }
 
 /// Pixel-region sensitivity of the input layer (paper §VI-C).

@@ -121,7 +121,12 @@ impl VtSampler {
     ///
     /// The per-transistor sigmas differ because SRAM cells size their
     /// pull-down, pass-gate and pull-up devices differently.
-    pub fn sample_cell<R: Rng + ?Sized>(&mut self, rng: &mut R, sigmas: &[Volt], out: &mut Vec<Volt>) {
+    pub fn sample_cell<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        sigmas: &[Volt],
+        out: &mut Vec<Volt>,
+    ) {
         out.clear();
         out.extend(sigmas.iter().map(|&s| self.sample_delta_vt(rng, s)));
     }

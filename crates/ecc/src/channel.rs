@@ -248,8 +248,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let stats = ch.run(100_000, &mut rng);
         let analytic = ch.analytic_failure_probability();
-        let measured = stats.residual_error_fraction()
-            + 0.0; // silent + detected is exactly "not exact"
+        let measured = stats.residual_error_fraction() + 0.0; // silent + detected is exactly "not exact"
         let not_exact = 1.0 - stats.exact_fraction();
         assert!(
             (not_exact - analytic).abs() < 0.005,

@@ -270,7 +270,16 @@ mod tests {
     #[test]
     fn code_dimensions_match_theory() {
         // (data_bits, expected_parity_bits)
-        for (m, r) in [(1, 2), (4, 3), (8, 4), (11, 4), (12, 5), (26, 5), (32, 6), (57, 6)] {
+        for (m, r) in [
+            (1, 2),
+            (4, 3),
+            (8, 4),
+            (11, 4),
+            (12, 5),
+            (26, 5),
+            (32, 6),
+            (57, 6),
+        ] {
             let code = SecdedCode::new(m).unwrap();
             assert_eq!(code.parity_bits(), r, "data width {m}");
             assert_eq!(code.code_bits(), m + r + 1);

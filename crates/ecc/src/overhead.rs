@@ -98,7 +98,11 @@ impl EccOverheadModel {
     /// covering `d` data bits needs `d − 1` gates, plus the overall parity
     /// tree over the `m + r` Hamming bits.
     pub fn encoder_xor_gates(&self) -> u32 {
-        let parity: u32 = self.parity_coverage().iter().map(|&d| d.saturating_sub(1)).sum();
+        let parity: u32 = self
+            .parity_coverage()
+            .iter()
+            .map(|&d| d.saturating_sub(1))
+            .sum();
         let overall = self.code.data_bits() + self.code.parity_bits() - 1;
         parity + overall
     }
@@ -181,9 +185,8 @@ mod tests {
         );
         let v = Volt::new(0.75);
         assert!(
-            (doubled.codec_write_energy(v).joules()
-                - 2.0 * base.codec_write_energy(v).joules())
-            .abs()
+            (doubled.codec_write_energy(v).joules() - 2.0 * base.codec_write_energy(v).joules())
+                .abs()
                 < 1e-30
         );
     }
@@ -201,12 +204,11 @@ mod tests {
 
     #[test]
     fn wider_payloads_amortize_gates_per_bit() {
-        let g8 = f64::from(
-            EccOverheadModel::new(SecdedCode::new(8).unwrap()).decoder_gate_count(),
-        ) / 8.0;
-        let g32 = f64::from(
-            EccOverheadModel::new(SecdedCode::new(32).unwrap()).decoder_gate_count(),
-        ) / 32.0;
+        let g8 = f64::from(EccOverheadModel::new(SecdedCode::new(8).unwrap()).decoder_gate_count())
+            / 8.0;
+        let g32 =
+            f64::from(EccOverheadModel::new(SecdedCode::new(32).unwrap()).decoder_gate_count())
+                / 32.0;
         assert!(g32 < g8);
     }
 }

@@ -95,7 +95,11 @@ pub fn corrupt_words(words: &mut [u8], model: &WordFailureModel, seed: u64) -> I
         if p_total <= 0.0 {
             continue;
         }
-        let write_share = if p_total > 0.0 { p_write / p_total } else { 0.0 };
+        let write_share = if p_total > 0.0 {
+            p_write / p_total
+        } else {
+            0.0
+        };
         for idx in geometric_indices(words.len(), p_total, &mut rng) {
             words[idx] ^= 1 << bit;
             stats.flips_per_bit[bit] += 1;

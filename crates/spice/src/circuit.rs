@@ -368,7 +368,11 @@ impl Circuit {
     ///
     /// [`SpiceError::UnknownElement`] if no voltage source has this name.
     pub fn set_vsource(&mut self, name: &str, value: Volt) -> Result<(), SpiceError> {
-        match self.element_lookup.get(name).map(|&i| &mut self.elements[i]) {
+        match self
+            .element_lookup
+            .get(name)
+            .map(|&i| &mut self.elements[i])
+        {
             Some(Element::VoltageSource { voltage, .. }) => {
                 *voltage = value;
                 Ok(())
@@ -385,7 +389,11 @@ impl Circuit {
     ///
     /// [`SpiceError::UnknownElement`] if no transistor has this name.
     pub fn set_transistor_delta_vt(&mut self, name: &str, delta: Volt) -> Result<(), SpiceError> {
-        match self.element_lookup.get(name).map(|&i| &mut self.elements[i]) {
+        match self
+            .element_lookup
+            .get(name)
+            .map(|&i| &mut self.elements[i])
+        {
             Some(Element::Transistor { device, .. }) => {
                 device.set_delta_vt(delta);
                 Ok(())
@@ -427,7 +435,8 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1.0)).unwrap();
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1.0))
+            .unwrap();
         let err = ckt
             .resistor("R1", a, NodeId::GROUND, Ohm::new(2.0))
             .unwrap_err();
@@ -465,8 +474,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
-        ckt.vsource("V2", b, NodeId::GROUND, Volt::new(2.0)).unwrap();
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0))
+            .unwrap();
+        ckt.vsource("V2", b, NodeId::GROUND, Volt::new(2.0))
+            .unwrap();
         assert_eq!(ckt.branch_count(), 2);
         assert_eq!(ckt.unknown_count(), 2 + 2);
     }
@@ -503,8 +514,11 @@ mod tests {
     fn failed_duplicate_vsource_does_not_leak_branch() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
-        assert!(ckt.vsource("V1", a, NodeId::GROUND, Volt::new(2.0)).is_err());
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0))
+            .unwrap();
+        assert!(ckt
+            .vsource("V1", a, NodeId::GROUND, Volt::new(2.0))
+            .is_err());
         assert_eq!(ckt.branch_count(), 1);
     }
 
@@ -512,7 +526,8 @@ mod tests {
     fn set_vsource_updates_value() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0))
+            .unwrap();
         ckt.set_vsource("V1", Volt::new(0.5)).unwrap();
         match ckt.element("V1").unwrap() {
             Element::VoltageSource { voltage, .. } => {
@@ -544,8 +559,6 @@ mod tests {
             }
             _ => panic!("wrong element"),
         }
-        assert!(ckt
-            .set_transistor_delta_vt("nope", Volt::new(0.0))
-            .is_err());
+        assert!(ckt.set_transistor_delta_vt("nope", Volt::new(0.0)).is_err());
     }
 }

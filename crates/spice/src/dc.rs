@@ -288,7 +288,9 @@ pub(crate) fn stamp_all(
 
     for element in circuit.elements() {
         match element {
-            Element::Resistor { a, b, resistance, .. } => {
+            Element::Resistor {
+                a, b, resistance, ..
+            } => {
                 let g = 1.0 / resistance.ohms();
                 let (va, vb) = (volt(*a), volt(*b));
                 let i_ab = g * (va - vb);
@@ -307,7 +309,9 @@ pub(crate) fn stamp_all(
                     }
                 }
             }
-            Element::Capacitor { a, b, capacitance, .. } => {
+            Element::Capacitor {
+                a, b, capacitance, ..
+            } => {
                 let Some(tr) = transient else {
                     continue; // open circuit in DC
                 };
@@ -400,8 +404,7 @@ pub(crate) fn stamp_all(
                 if let Some(icn) = idx(*cneg) {
                     jac.add(row, icn, *gain);
                 }
-                residual[row] +=
-                    volt(*pos) - volt(*neg) - gain * (volt(*cpos) - volt(*cneg));
+                residual[row] += volt(*pos) - volt(*neg) - gain * (volt(*cpos) - volt(*cneg));
             }
             Element::Vccs {
                 from,
@@ -525,9 +528,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("vin");
         let mid = ckt.node("mid");
-        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(1.0))
+            .unwrap();
         ckt.resistor("R1", vin, mid, Ohm::new(1e3)).unwrap();
-        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(1e3))
+            .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();
         assert!((op.voltage(mid).volts() - 0.5).abs() < 1e-6);
         // Branch current: 1V across 2k = 0.5 mA delivered, so the MNA branch
@@ -542,7 +547,8 @@ mod tests {
         let a = ckt.node("a");
         ckt.isource("I1", NodeId::GROUND, a, Ampere::from_microamps(10.0))
             .unwrap();
-        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e5)).unwrap();
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e5))
+            .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();
         assert!((op.voltage(a).volts() - 1.0).abs() < 1e-6);
     }
@@ -552,10 +558,13 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(2.0)).unwrap();
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(2.0))
+            .unwrap();
         ckt.resistor("R1", a, b, Ohm::new(1e3)).unwrap();
-        ckt.resistor("R2", b, NodeId::GROUND, Ohm::new(1e3)).unwrap();
-        ckt.isource("I1", NodeId::GROUND, b, Ampere::new(1e-3)).unwrap();
+        ckt.resistor("R2", b, NodeId::GROUND, Ohm::new(1e3))
+            .unwrap();
+        ckt.isource("I1", NodeId::GROUND, b, Ampere::new(1e-3))
+            .unwrap();
         // v_b = (2/1k + 1m) / (2/1k)... nodal: (vb-2)/1k + vb/1k = 1m
         // 2vb/1k = 1m + 2m = 3m -> vb = 1.5
         let op = DcSolver::new(&ckt).solve().unwrap();
@@ -575,8 +584,10 @@ mod tests {
         let vdd = ckt.node("vdd");
         let vin = ckt.node("vin");
         let out = ckt.node("out");
-        ckt.vsource("VDD", vdd, NodeId::GROUND, Volt::new(0.95)).unwrap();
-        ckt.vsource("VIN", vin, NodeId::GROUND, Volt::new(0.0)).unwrap();
+        ckt.vsource("VDD", vdd, NodeId::GROUND, Volt::new(0.95))
+            .unwrap();
+        ckt.vsource("VIN", vin, NodeId::GROUND, Volt::new(0.0))
+            .unwrap();
         ckt.resistor("RL", vdd, out, Ohm::new(50e3)).unwrap();
         ckt.transistor("M1", vin, out, NodeId::GROUND, dev).unwrap();
 
@@ -595,7 +606,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(1.0))
+            .unwrap();
         ckt.capacitor("C1", a, b, sram_device::units::Farad::from_femtofarads(1.0))
             .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();
@@ -607,9 +619,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("vin");
         let mid = ckt.node("mid");
-        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(0.0)).unwrap();
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(0.0))
+            .unwrap();
         ckt.resistor("R1", vin, mid, Ohm::new(1e3)).unwrap();
-        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(3e3)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(3e3))
+            .unwrap();
         let values: Vec<Volt> = (0..=10).map(|i| Volt::new(i as f64 * 0.1)).collect();
         let sols = dc_sweep(&mut ckt, "V1", &values, &NewtonOptions::default(), None).unwrap();
         assert_eq!(sols.len(), 11);
@@ -625,12 +639,15 @@ mod tests {
         let vin = ckt.node("vin");
         let mid = ckt.node("mid");
         let out = ckt.node("out");
-        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(1.0))
+            .unwrap();
         ckt.resistor("R1", vin, mid, Ohm::new(1e3)).unwrap();
-        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R2", mid, NodeId::GROUND, Ohm::new(1e3))
+            .unwrap();
         ckt.vcvs("E1", out, NodeId::GROUND, mid, NodeId::GROUND, 3.0)
             .unwrap();
-        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(1e4)).unwrap();
+        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(1e4))
+            .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();
         assert!((op.voltage(out).volts() - 1.5).abs() < 1e-6);
         // The ideal control terminals draw no current: the divider midpoint
@@ -644,10 +661,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let ctl = ckt.node("ctl");
         let out = ckt.node("out");
-        ckt.vsource("V1", ctl, NodeId::GROUND, Volt::new(1.0)).unwrap();
+        ckt.vsource("V1", ctl, NodeId::GROUND, Volt::new(1.0))
+            .unwrap();
         ckt.vccs("G1", NodeId::GROUND, out, ctl, NodeId::GROUND, 1e-3)
             .unwrap();
-        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(2e3)).unwrap();
+        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(2e3))
+            .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();
         assert!((op.voltage(out).volts() - 2.0).abs() < 1e-6);
     }
@@ -660,9 +679,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("vin");
         let out = ckt.node("out");
-        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(0.9)).unwrap();
+        ckt.vsource("V1", vin, NodeId::GROUND, Volt::new(0.9))
+            .unwrap();
         ckt.vcvs("E1", out, NodeId::GROUND, vin, out, 2.0).unwrap();
-        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(1e4)).unwrap();
+        ckt.resistor("RL", out, NodeId::GROUND, Ohm::new(1e4))
+            .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();
         assert!((op.voltage(out).volts() - 0.6).abs() < 1e-6);
     }
@@ -671,7 +692,8 @@ mod tests {
     fn sweep_requires_voltage_source() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3))
+            .unwrap();
         let err = dc_sweep(
             &mut ckt,
             "R1",

@@ -81,7 +81,9 @@ mod tests {
     #[test]
     fn messages_name_the_problem() {
         assert!(SpiceError::SingularMatrix.to_string().contains("singular"));
-        assert!(SpiceError::UnknownNode { node: 7 }.to_string().contains('7'));
+        assert!(SpiceError::UnknownNode { node: 7 }
+            .to_string()
+            .contains('7'));
         let e = SpiceError::NoConvergence {
             iterations: 100,
             residual: 1e-3,

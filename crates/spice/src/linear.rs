@@ -35,7 +35,10 @@ impl DenseMatrix {
     /// Panics if `row` or `col` is out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n && col < self.n, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.n + col]
     }
 
@@ -46,7 +49,10 @@ impl DenseMatrix {
     /// Panics if `row` or `col` is out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n && col < self.n, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.n + col] = value;
     }
 
@@ -58,7 +64,10 @@ impl DenseMatrix {
     /// Panics if `row` or `col` is out of bounds.
     #[inline]
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n && col < self.n, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.n + col] += value;
     }
 
@@ -197,7 +206,10 @@ mod tests {
         m.set(0, 1, 2.0);
         m.set(1, 0, 2.0);
         m.set(1, 1, 4.0);
-        assert_eq!(m.solve(&[1.0, 2.0]).unwrap_err(), SpiceError::SingularMatrix);
+        assert_eq!(
+            m.solve(&[1.0, 2.0]).unwrap_err(),
+            SpiceError::SingularMatrix
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub fn parse_deck(text: &str, tech: &Technology) -> Result<Deck, SpiceError> {
     let mut title: Option<String> = None;
 
     for card in logical_cards(text) {
-        let LogicalCard { line, text: card_text } = card;
+        let LogicalCard {
+            line,
+            text: card_text,
+        } = card;
         let stripped = strip_comment(&card_text);
         let trimmed = stripped.trim();
         if trimmed.is_empty() {
@@ -147,39 +150,113 @@ pub fn write_deck(circuit: &Circuit, title: &str) -> String {
     for element in circuit.elements() {
         let name = |n| circuit.node_name(n);
         match element {
-            Element::Resistor { name: id, a, b, resistance } => {
+            Element::Resistor {
+                name: id,
+                a,
+                b,
+                resistance,
+            } => {
                 let id = card_name('R', id);
-                let _ = writeln!(out, "{id} {} {} {:e}", name(*a), name(*b), resistance.ohms());
+                let _ = writeln!(
+                    out,
+                    "{id} {} {} {:e}",
+                    name(*a),
+                    name(*b),
+                    resistance.ohms()
+                );
             }
-            Element::Capacitor { name: id, a, b, capacitance } => {
+            Element::Capacitor {
+                name: id,
+                a,
+                b,
+                capacitance,
+            } => {
                 let id = card_name('C', id);
-                let _ = writeln!(out, "{id} {} {} {:e}", name(*a), name(*b), capacitance.farads());
+                let _ = writeln!(
+                    out,
+                    "{id} {} {} {:e}",
+                    name(*a),
+                    name(*b),
+                    capacitance.farads()
+                );
             }
-            Element::VoltageSource { name: id, pos, neg, voltage, .. } => {
+            Element::VoltageSource {
+                name: id,
+                pos,
+                neg,
+                voltage,
+                ..
+            } => {
                 let id = card_name('V', id);
-                let _ = writeln!(out, "{id} {} {} DC {:e}", name(*pos), name(*neg), voltage.volts());
+                let _ = writeln!(
+                    out,
+                    "{id} {} {} DC {:e}",
+                    name(*pos),
+                    name(*neg),
+                    voltage.volts()
+                );
             }
-            Element::CurrentSource { name: id, from, to, current } => {
+            Element::CurrentSource {
+                name: id,
+                from,
+                to,
+                current,
+            } => {
                 let id = card_name('I', id);
-                let _ = writeln!(out, "{id} {} {} DC {:e}", name(*from), name(*to), current.amps());
+                let _ = writeln!(
+                    out,
+                    "{id} {} {} DC {:e}",
+                    name(*from),
+                    name(*to),
+                    current.amps()
+                );
             }
-            Element::Vcvs { name: id, pos, neg, cpos, cneg, gain, .. } => {
+            Element::Vcvs {
+                name: id,
+                pos,
+                neg,
+                cpos,
+                cneg,
+                gain,
+                ..
+            } => {
                 let id = card_name('E', id);
                 let _ = writeln!(
                     out,
                     "{id} {} {} {} {} {:e}",
-                    name(*pos), name(*neg), name(*cpos), name(*cneg), gain
+                    name(*pos),
+                    name(*neg),
+                    name(*cpos),
+                    name(*cneg),
+                    gain
                 );
             }
-            Element::Vccs { name: id, from, to, cpos, cneg, transconductance } => {
+            Element::Vccs {
+                name: id,
+                from,
+                to,
+                cpos,
+                cneg,
+                transconductance,
+            } => {
                 let id = card_name('G', id);
                 let _ = writeln!(
                     out,
                     "{id} {} {} {} {} {:e}",
-                    name(*from), name(*to), name(*cpos), name(*cneg), transconductance
+                    name(*from),
+                    name(*to),
+                    name(*cpos),
+                    name(*cneg),
+                    transconductance
                 );
             }
-            Element::Transistor { name: id, gate, drain, source, device } => {
+            Element::Transistor {
+                name: id,
+                gate,
+                drain,
+                source,
+                device,
+            } => {
                 let id = card_name('M', id);
                 let model = match device.model().polarity {
                     Polarity::Nmos => "nmos",
@@ -188,8 +265,11 @@ pub fn write_deck(circuit: &Circuit, title: &str) -> String {
                 let _ = writeln!(
                     out,
                     "{id} {} {} {} {model} W={:e} L={:e}",
-                    name(*drain), name(*gate), name(*source),
-                    device.width().meters(), device.length().meters()
+                    name(*drain),
+                    name(*gate),
+                    name(*source),
+                    device.width().meters(),
+                    device.length().meters()
                 );
             }
         }
@@ -396,10 +476,7 @@ fn expect_tokens<'a, const N: usize>(
     if tokens.len() != N {
         return Err(parse_err(
             line,
-            format!(
-                "expected {N} fields ({shape}), found {}",
-                tokens.len()
-            ),
+            format!("expected {N} fields ({shape}), found {}", tokens.len()),
         ));
     }
     Ok(std::array::from_fn(|i| tokens[i]))
@@ -622,16 +699,16 @@ mod tests {
     #[test]
     fn bad_cards_rejected() {
         let cases = [
-            "t\nR1 a 0\n.end",                      // too few fields
-            "t\nR1 a 0 zzz\n.end",                  // bad value
-            "t\nV1 a 0 AC 1.0\n.end",               // not DC
-            "t\nM1 d g 0 weird W=88n L=22n\n.end",  // unknown model
-            "t\nM1 d g 0 nmos W=88n\n.end",         // missing L
+            "t\nR1 a 0\n.end",                        // too few fields
+            "t\nR1 a 0 zzz\n.end",                    // bad value
+            "t\nV1 a 0 AC 1.0\n.end",                 // not DC
+            "t\nM1 d g 0 weird W=88n L=22n\n.end",    // unknown model
+            "t\nM1 d g 0 nmos W=88n\n.end",           // missing L
             "t\nM1 d g 0 nmos X=1 W=88n L=22n\n.end", // unknown param
-            "t\nM1 d g 0 nmos W 88n L=22n\n.end",   // malformed param
-            "t\n.option reltol=1e-3\n.end",         // unsupported directive
-            "t\nR1 a 0 1k\nR1 a 0 2k\n.end",        // duplicate name
-            "t\nR1 a 0 0\n.end",                    // non-physical value
+            "t\nM1 d g 0 nmos W 88n L=22n\n.end",     // malformed param
+            "t\n.option reltol=1e-3\n.end",           // unsupported directive
+            "t\nR1 a 0 1k\nR1 a 0 2k\n.end",          // duplicate name
+            "t\nR1 a 0 0\n.end",                      // non-physical value
         ];
         for deck in cases {
             let err = parse_deck(deck, &tech()).unwrap_err();
@@ -644,11 +721,7 @@ mod tests {
 
     #[test]
     fn cards_after_end_ignored() {
-        let deck = parse_deck(
-            "t\nR1 a 0 1k\n.end\nthis is not a card",
-            &tech(),
-        )
-        .unwrap();
+        let deck = parse_deck("t\nR1 a 0 1k\n.end\nthis is not a card", &tech()).unwrap();
         assert_eq!(deck.circuit.elements().len(), 1);
     }
 
@@ -658,14 +731,17 @@ mod tests {
         let a = ckt.node("a");
         let b = ckt.node("b");
         let c = ckt.node("c");
-        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(0.95)).unwrap();
+        ckt.vsource("V1", a, NodeId::GROUND, Volt::new(0.95))
+            .unwrap();
         ckt.resistor("R1", a, b, Ohm::new(12.5e3)).unwrap();
         ckt.capacitor("C1", b, NodeId::GROUND, Farad::from_femtofarads(7.0))
             .unwrap();
         ckt.isource("I1", NodeId::GROUND, b, Ampere::from_microamps(2.0))
             .unwrap();
-        ckt.vcvs("E1", c, NodeId::GROUND, b, NodeId::GROUND, 2.5).unwrap();
-        ckt.vccs("G1", NodeId::GROUND, c, a, NodeId::GROUND, 3e-4).unwrap();
+        ckt.vcvs("E1", c, NodeId::GROUND, b, NodeId::GROUND, 2.5)
+            .unwrap();
+        ckt.vccs("G1", NodeId::GROUND, c, a, NodeId::GROUND, 3e-4)
+            .unwrap();
         let t = tech();
         let m = Mosfet::new(
             t.nmos.clone(),
@@ -707,8 +783,10 @@ mod tests {
         )
         .unwrap();
         ckt.transistor("PU_L", a, a, NodeId::GROUND, m).unwrap();
-        ckt.resistor("load", a, NodeId::GROUND, Ohm::new(1e4)).unwrap();
-        ckt.vsource("supply", a, NodeId::GROUND, Volt::new(0.5)).unwrap();
+        ckt.resistor("load", a, NodeId::GROUND, Ohm::new(1e4))
+            .unwrap();
+        ckt.vsource("supply", a, NodeId::GROUND, Volt::new(0.5))
+            .unwrap();
         let text = write_deck(&ckt, "prefix test");
         assert!(text.contains("MPU_L "), "{text}");
         assert!(text.contains("Rload "), "{text}");

@@ -233,12 +233,13 @@ mod tests {
         let r = 10e3;
         let c = 10e-15;
         let tau = r * c; // 100 ps
-        // Charge node b to 1 V with a current source, then remove the source
-        // and let the capacitor discharge through R.
+                         // Charge node b to 1 V with a current source, then remove the source
+                         // and let the capacitor discharge through R.
         let mut ckt = Circuit::new();
         let b = ckt.node("b");
         ckt.resistor("R1", b, NodeId::GROUND, Ohm::new(r)).unwrap();
-        ckt.capacitor("C1", b, NodeId::GROUND, Farad::new(c)).unwrap();
+        ckt.capacitor("C1", b, NodeId::GROUND, Farad::new(c))
+            .unwrap();
         ckt.isource(
             "I1",
             NodeId::GROUND,
@@ -250,12 +251,11 @@ mod tests {
         assert!((op.voltage(b).volts() - 1.0).abs() < 1e-6);
         let mut ckt2 = Circuit::new();
         let b2 = ckt2.node("b");
-        ckt2.resistor("R1", b2, NodeId::GROUND, Ohm::new(r)).unwrap();
-        ckt2.capacitor("C1", b2, NodeId::GROUND, Farad::new(c)).unwrap();
-        let options = TransientOptions::new(
-            Second::new(tau / 200.0),
-            Second::new(3.0 * tau),
-        );
+        ckt2.resistor("R1", b2, NodeId::GROUND, Ohm::new(r))
+            .unwrap();
+        ckt2.capacitor("C1", b2, NodeId::GROUND, Farad::new(c))
+            .unwrap();
+        let options = TransientOptions::new(Second::new(tau / 200.0), Second::new(3.0 * tau));
         let wave = transient(&ckt2, &op, &options).unwrap();
         // At t = tau the voltage should be ~ 1/e.
         let idx = (wave.len() as f64 / 3.0) as usize;
@@ -276,7 +276,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let b = ckt.node("b");
         ckt.resistor("R1", b, NodeId::GROUND, Ohm::new(r)).unwrap();
-        ckt.capacitor("C1", b, NodeId::GROUND, Farad::new(c)).unwrap();
+        ckt.capacitor("C1", b, NodeId::GROUND, Farad::new(c))
+            .unwrap();
         ckt.isource(
             "I1",
             NodeId::GROUND,
@@ -287,7 +288,9 @@ mod tests {
         let op = DcSolver::new(&ckt).solve().unwrap();
         let mut discharge = Circuit::new();
         let b2 = discharge.node("b");
-        discharge.resistor("R1", b2, NodeId::GROUND, Ohm::new(r)).unwrap();
+        discharge
+            .resistor("R1", b2, NodeId::GROUND, Ohm::new(r))
+            .unwrap();
         discharge
             .capacitor("C1", b2, NodeId::GROUND, Farad::new(c))
             .unwrap();
@@ -312,7 +315,8 @@ mod tests {
     fn invalid_timestep_is_rejected() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3))
+            .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();
         let bad = TransientOptions::new(Second::new(0.0), Second::new(1e-9));
         assert_eq!(
@@ -325,7 +329,8 @@ mod tests {
     fn waveform_accessors() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3)).unwrap();
+        ckt.resistor("R1", a, NodeId::GROUND, Ohm::new(1e3))
+            .unwrap();
         ckt.capacitor("C1", a, NodeId::GROUND, Farad::from_femtofarads(1.0))
             .unwrap();
         let op = DcSolver::new(&ckt).solve().unwrap();

@@ -99,8 +99,7 @@ impl NeuromorphicSystem {
             let mut next = Vec::with_capacity(shape.outputs);
             for neuron in 0..shape.outputs {
                 weight_buf.clear();
-                let row_start =
-                    bank_base + layout::weight_offset(shape.inputs, neuron, 0);
+                let row_start = bank_base + layout::weight_offset(shape.inputs, neuron, 0);
                 for k in 0..shape.inputs {
                     weight_buf.push(self.memory.read(row_start + k));
                 }
@@ -237,11 +236,7 @@ mod tests {
     #[should_panic(expected = "does not match the network")]
     fn mismatched_memory_panics() {
         let (q, _) = trained_small_net();
-        let map = SynapticMemoryMap::new(
-            &[10],
-            &ProtectionPolicy::Uniform6T,
-            SubArrayDims::PAPER,
-        );
+        let map = SynapticMemoryMap::new(&[10], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
         let memory = SynapticMemory::new(map, vec![WordFailureModel::ideal()], 0);
         let _ = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
     }

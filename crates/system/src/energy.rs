@@ -189,9 +189,7 @@ mod tests {
         assert!((e.logic.joules() - expected_logic).abs() < 1e-18);
         let expected_leak = 5e-6 * 1e-3;
         assert!((e.leakage.joules() - expected_leak).abs() < 1e-15);
-        assert!(
-            (e.total().joules() - (2e-6 + expected_logic + expected_leak)).abs() < 1e-12
-        );
+        assert!((e.total().joules() - (2e-6 + expected_logic + expected_leak)).abs() < 1e-12);
     }
 
     #[test]

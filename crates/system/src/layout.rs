@@ -42,10 +42,14 @@ pub fn unflatten(template: &QuantizedMlp, image: &[u8]) -> QuantizedMlp {
     let mut cursor = 0usize;
     for layer in &mut q.layers {
         let nw = layer.weight_codes.len();
-        layer.weight_codes.copy_from_slice(&image[cursor..cursor + nw]);
+        layer
+            .weight_codes
+            .copy_from_slice(&image[cursor..cursor + nw]);
         cursor += nw;
         let nb = layer.bias_codes.len();
-        layer.bias_codes.copy_from_slice(&image[cursor..cursor + nb]);
+        layer
+            .bias_codes
+            .copy_from_slice(&image[cursor..cursor + nb]);
         cursor += nb;
     }
     q
@@ -94,7 +98,10 @@ mod tests {
         let mut image = flatten(&q);
         image[0] ^= 0x80;
         let corrupted = unflatten(&q, &image);
-        assert_ne!(corrupted.layers[0].weight_codes[0], q.layers[0].weight_codes[0]);
+        assert_ne!(
+            corrupted.layers[0].weight_codes[0],
+            q.layers[0].weight_codes[0]
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod prelude {
         inference_energy, system_inference_energy, InferenceEnergy, LogicEnergyModel,
         SystemEnergyModel, SystemEnergyReport,
     };
-    pub use crate::timing::DelayModel;
     pub use crate::layout::{bank_words, bias_offset, flatten, unflatten, weight_offset};
     pub use crate::npe::{decode_activation, encode_activation, Npe};
+    pub use crate::timing::DelayModel;
 }

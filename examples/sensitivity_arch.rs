@@ -17,7 +17,10 @@ fn main() {
     for (bank, drop) in sens.drops.iter().enumerate() {
         println!("  bank {bank} (layer {bank} fan-out): {}", fmt_pct(*drop));
     }
-    println!("sensitivity ranking (most sensitive first): {:?}\n", sens.ranking());
+    println!(
+        "sensitivity ranking (most sensitive first): {:?}\n",
+        sens.ranking()
+    );
 
     // Paper §VI-C: border pixels carry no information, so the input layer's
     // fan-out tolerates corruption that would wreck center-pixel weights.

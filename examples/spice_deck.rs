@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep the input to locate the switching threshold (V_out = V_in).
     let mut ckt = deck.circuit.clone();
-    let vin_vals: Vec<Volt> = (0..=95).map(|i| Volt::from_millivolts(10.0 * i as f64)).collect();
+    let vin_vals: Vec<Volt> = (0..=95)
+        .map(|i| Volt::from_millivolts(10.0 * i as f64))
+        .collect();
     let out = ckt.find_node("out").expect("deck defines out");
     let sols = dc_sweep(&mut ckt, "VIN", &vin_vals, &NewtonOptions::default(), None)?;
     let vm = vin_vals
@@ -65,13 +67,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let back = parse_deck(&text, &tech)?;
     let op1 = DcSolver::new(&cell).guess(q, Volt::new(0.0)).solve()?;
     let op2 = DcSolver::new(&back.circuit)
-        .guess(back.circuit.find_node("q").expect("q survives"), Volt::new(0.0))
+        .guess(
+            back.circuit.find_node("q").expect("q survives"),
+            Volt::new(0.0),
+        )
         .solve()?;
     let v1 = op1.voltage(q).volts();
     let v2 = op2
         .voltage(back.circuit.find_node("q").expect("q survives"))
         .volts();
     println!("storage node after round trip: {v1:.6} V vs {v2:.6} V");
-    assert!((v1 - v2).abs() < 1e-9, "round trip must preserve the solution");
+    assert!(
+        (v1 - v2).abs() < 1e-9,
+        "round trip must preserve the solution"
+    );
     Ok(())
 }

@@ -17,7 +17,10 @@ fn main() {
     let test = ctx.test.take(60);
 
     let float_acc = accuracy(&ctx.network.to_mlp(), &test);
-    println!("reference (float datapath, perfect memory): {}", fmt_pct(float_acc));
+    println!(
+        "reference (float datapath, perfect memory): {}",
+        fmt_pct(float_acc)
+    );
 
     for (name, config) in [
         (
@@ -48,9 +51,9 @@ fn main() {
         let acc = system.accuracy(&test);
         let reads = system.memory().counts().reads;
 
-        let power = ctx
-            .framework
-            .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
+        let power =
+            ctx.framework
+                .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
         let energy = inference_energy(
             &power,
             ctx.network.synapse_count(),

@@ -53,11 +53,24 @@ fn main() {
     );
     let mut table = TableBuilder::new(vec!["design", "accuracy"]);
     for (name, config) in [
-        ("6T @ 0.75 V", MemoryConfig::Base6T { vdd: Volt::new(0.75) }),
-        ("6T @ 0.65 V", MemoryConfig::Base6T { vdd: Volt::new(0.65) }),
+        (
+            "6T @ 0.75 V",
+            MemoryConfig::Base6T {
+                vdd: Volt::new(0.75),
+            },
+        ),
+        (
+            "6T @ 0.65 V",
+            MemoryConfig::Base6T {
+                vdd: Volt::new(0.65),
+            },
+        ),
         (
             "hybrid (3,5) @ 0.65 V",
-            MemoryConfig::Hybrid { msb_8t: 3, vdd: Volt::new(0.65) },
+            MemoryConfig::Hybrid {
+                msb_8t: 3,
+                vdd: Volt::new(0.65),
+            },
         ),
     ] {
         let acc = framework

@@ -74,7 +74,10 @@ fn read_bias_round_trip_preserves_disturb_level() {
         "read-disturb level diverged: {qb1} vs {qb2}"
     );
     // Reading lifts the low node above ground — the disturb mechanism.
-    assert!(qb1 > 1e-3, "read access must disturb the low node ({qb1} V)");
+    assert!(
+        qb1 > 1e-3,
+        "read access must disturb the low node ({qb1} V)"
+    );
 }
 
 #[test]

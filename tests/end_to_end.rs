@@ -52,9 +52,9 @@ fn iso_stability_power_win_with_bounded_area() {
         msb_8t: 3,
         vdd: Volt::new(0.65),
     };
-    let p_base = ctx
-        .framework
-        .power_report(&ctx.network, &baseline, PowerConvention::IsoThroughput);
+    let p_base =
+        ctx.framework
+            .power_report(&ctx.network, &baseline, PowerConvention::IsoThroughput);
     let p_hyb = ctx
         .framework
         .power_report(&ctx.network, &hybrid, PowerConvention::IsoThroughput);

@@ -1,0 +1,46 @@
+//! CI smoke test: drives the paper pipeline end-to-end through the
+//! light-weight `ExperimentContext::quick()` path — characterization,
+//! training, quantization, and one fault-injected evaluation — so every CI
+//! run exercises the circuit-to-system stack, not just per-crate unit tests.
+
+use hybrid_sram::prelude::*;
+use sram_device::units::Volt;
+
+#[test]
+fn quick_pipeline_end_to_end() {
+    let ctx = ExperimentContext::quick();
+
+    // The quick context must produce a sane trained network: clearly better
+    // than the 10-class chance floor, with a populated held-out set.
+    assert!(
+        ctx.float_accuracy > 0.2,
+        "quick training failed to beat chance: float accuracy {}",
+        ctx.float_accuracy
+    );
+    assert!(!ctx.test.is_empty(), "held-out evaluation set is empty");
+    assert!(
+        ctx.network.synapse_count() > 0,
+        "quantized network is empty"
+    );
+
+    // One fault-injected evaluation at the paper's nominal voltage: the
+    // memory is healthy there, so accuracy must stay close to clean float.
+    let nominal = Volt::new(0.95);
+    let stats = ctx.framework.evaluate_accuracy(
+        &ctx.network,
+        &ctx.test,
+        &MemoryConfig::Base6T { vdd: nominal },
+        ctx.trials,
+        1,
+    );
+    let mean = stats.mean();
+    assert!(
+        (0.0..=1.0).contains(&mean),
+        "accuracy must be a probability, got {mean}"
+    );
+    assert!(
+        mean > ctx.float_accuracy - 0.15,
+        "nominal-voltage 6T accuracy collapsed: {mean} vs float {}",
+        ctx.float_accuracy
+    );
+}
