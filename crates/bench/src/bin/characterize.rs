@@ -1,38 +1,77 @@
 //! Dumps the circuit-level characterization tables as CSV for external
-//! plotting (the data behind paper Figs. 5 and 6).
+//! plotting (the data behind paper Figs. 5 and 6), augmented with the
+//! quasi-static write-margin and hold-SNM grids.
 //!
 //! ```text
-//! cargo run --release -p paper-bench --bin characterize -- [samples] > cells.csv
+//! cargo run --release -p paper-bench --bin characterize -- \
+//!     [samples] [--threads N] > cells.csv
 //! ```
+//!
+//! `--threads N` (or `SRAM_REPRO_THREADS=N`) sets the worker count of the
+//! parallel execution engine; the CSV is bit-identical at every setting.
 
-use sram_bitcell::characterize::{characterize_paper_cells, CharacterizationOptions};
+use sram_bitcell::characterize::{characterize_paper_cells, paper_cells, CharacterizationOptions};
+use sram_bitcell::margins::write_margin_grid;
+use sram_bitcell::snm::{snm_grid, SnmCondition};
 use sram_device::process::Technology;
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1000);
+    let usage = "usage: characterize [samples] [--threads N]";
+    let rest =
+        sram_exec::strip_threads_flag(std::env::args().skip(1).collect()).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n{usage}");
+            std::process::exit(2);
+        });
+    let mut samples: usize = 1000;
+    for arg in rest {
+        // Strict: anything that is not a sample count (e.g. a misspelled
+        // flag) must not be silently misread as one.
+        match arg.parse::<usize>().ok().filter(|&n| n > 0) {
+            Some(n) => samples = n,
+            None => {
+                eprintln!("error: unrecognized argument: {arg}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
     let tech = Technology::ptm_22nm();
     let options = CharacterizationOptions {
         mc_samples: samples,
         ..CharacterizationOptions::default()
     };
     eprintln!(
-        "characterizing {} voltages x 2 cells with {} Monte Carlo samples...",
+        "characterizing {} voltages x 2 cells with {} Monte Carlo samples on {} worker threads...",
         options.vdds.len(),
-        samples
+        samples,
+        sram_exec::effective_threads()
     );
     let (t6, t8) = characterize_paper_cells(&tech, &options);
 
+    // Nominal-cell margin grids over the same voltage points (parallel,
+    // deterministic), for the same `paper_cells` the failure tables
+    // describe. The 8T write path is its 6T core, so its write margin and
+    // hold SNM come from the core cell.
+    let (cell6, cell8) = paper_cells(&tech);
+    let core8 = cell8.core;
+    let grids = [
+        (
+            write_margin_grid(&cell6, &options.vdds),
+            snm_grid(&cell6, &options.vdds, SnmCondition::Hold),
+        ),
+        (
+            write_margin_grid(&core8, &options.vdds),
+            snm_grid(&core8, &options.vdds, SnmCondition::Hold),
+        ),
+    ];
+
     println!(
         "vdd_v,cell,read_access_fail,write_fail,read_disturb_fail,hold_fail,\
-         read_energy_fj,write_energy_fj,leakage_nw"
+         read_energy_fj,write_energy_fj,leakage_nw,write_margin_mv,hold_snm_mv"
     );
-    for (kind, table) in [("6T", &t6), ("8T", &t8)] {
-        for p in &table.points {
+    for ((kind, table), (margins, snms)) in [("6T", &t6), ("8T", &t8)].into_iter().zip(&grids) {
+        for (i, p) in table.points.iter().enumerate() {
             println!(
-                "{:.2},{},{:.3e},{:.3e},{:.3e},{:.3e},{:.4},{:.4},{:.4}",
+                "{:.2},{},{:.3e},{:.3e},{:.3e},{:.3e},{:.4},{:.4},{:.4},{:.2},{:.2}",
                 p.vdd.volts(),
                 kind,
                 p.failures.read_access.probability(),
@@ -42,6 +81,8 @@ fn main() {
                 p.power.read_energy.femtojoules(),
                 p.power.write_energy.femtojoules(),
                 p.power.leakage.nanowatts(),
+                margins[i].as_volts().millivolts(),
+                snms[i].millivolts(),
             );
         }
     }

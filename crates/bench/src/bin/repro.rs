@@ -2,7 +2,8 @@
 //! plus the extension studies.
 //!
 //! ```text
-//! cargo run --release -p paper-bench --bin repro -- [quick|paper] [experiment...]
+//! cargo run --release -p paper-bench --bin repro -- \
+//!     [quick|paper] [--threads N] [experiment...]
 //! ```
 //!
 //! * `quick` (default) — small network, low-sample characterization:
@@ -10,6 +11,9 @@
 //! * `paper` — the Table I benchmark network (784-1000-500-200-100-10,
 //!   1 406 810 synapses) with the production characterization; trains the
 //!   network on first use and caches the weights under `bench_data/`.
+//! * `--threads N` — worker count for the parallel execution engine
+//!   (`SRAM_REPRO_THREADS=N` works too; default: available parallelism).
+//!   Results are bit-identical at every worker count.
 //!
 //! Paper experiments: `table1 fig5 fig6 fig7 fig8 fig9 iso quant`.
 //! Extensions/ablations: `knee conventions ecc redundancy periphery system
@@ -23,7 +27,12 @@ use std::path::Path;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args =
+        sram_exec::strip_threads_flag(std::env::args().skip(1).collect()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("usage: repro [quick|paper] [--threads N] [experiment...]");
+            std::process::exit(2);
+        });
     let profile = args
         .first()
         .map(String::as_str)
@@ -38,7 +47,10 @@ fn main() {
     let want = |name: &str| run_all || experiments.contains(&name);
 
     println!("== DATE 2016 hybrid 8T-6T SRAM — experiment reproduction ==");
-    println!("profile: {profile}\n");
+    println!(
+        "profile: {profile}  (execution engine: {} worker threads)\n",
+        sram_exec::effective_threads()
+    );
 
     let t0 = Instant::now();
     let ctx = match profile {

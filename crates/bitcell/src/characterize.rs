@@ -13,6 +13,8 @@ use crate::topology::{BitcellKind, EightTCell, ReadStackSizing, SixTCell, SixTSi
 use sram_device::process::Technology;
 use sram_device::units::Volt;
 use sram_device::variation::VariationModel;
+use sram_exec::MemoCache;
+use std::sync::OnceLock;
 
 /// One row of the characterization table.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,19 +135,38 @@ impl CharacterizationOptions {
     }
 }
 
+/// The two nominal cells every paper characterization describes: the
+/// baseline-sized 6T and the 8T with a write-optimized core.
+///
+/// Single source of truth for downstream consumers (margin grids, CSV
+/// dumps) that must describe *exactly* the cells behind the failure
+/// tables — reconstructing the sizings at a call site would silently drift
+/// if these choices ever change.
+pub fn paper_cells(tech: &Technology) -> (SixTCell, EightTCell) {
+    (
+        SixTCell::new(tech, &SixTSizing::paper_baseline()),
+        EightTCell::new(
+            tech,
+            &SixTSizing::write_optimized(),
+            &ReadStackSizing::paper_baseline(),
+        ),
+    )
+}
+
 /// Characterizes both cell flavors of the paper over the requested voltages.
 ///
-/// Returns `(six_t, eight_t)` tables using the paper's baseline sizings.
+/// Returns `(six_t, eight_t)` tables for the [`paper_cells`] sizings.
+///
+/// Voltage points are independent, so the sweep fans out on the `sram_exec`
+/// pool (one task per voltage; the Monte Carlo inside each task adds
+/// sample-level parallelism when it is the outermost fan-out). Every Monte
+/// Carlo sample runs on its own seed stream, so the tables depend only on
+/// `options`, not on the worker count.
 pub fn characterize_paper_cells(
     tech: &Technology,
     options: &CharacterizationOptions,
 ) -> (CellCharacterization, CellCharacterization) {
-    let cell6 = SixTCell::new(tech, &SixTSizing::paper_baseline());
-    let cell8 = EightTCell::new(
-        tech,
-        &SixTSizing::write_optimized(),
-        &ReadStackSizing::paper_baseline(),
-    );
+    let (cell6, cell8) = paper_cells(tech);
     let variation = VariationModel::new(tech);
     let power_model = PowerModel::new(options.env.clone());
     let mc = MonteCarloOptions {
@@ -154,9 +175,7 @@ pub fn characterize_paper_cells(
         ..MonteCarloOptions::default()
     };
 
-    let mut pts6 = Vec::with_capacity(options.vdds.len());
-    let mut pts8 = Vec::with_capacity(options.vdds.len());
-    for &vdd in &options.vdds {
+    let points = sram_exec::par_map(&options.vdds, |&vdd| {
         let budget = TimingBudget::from_nominal_split(
             &cell6,
             &cell8,
@@ -167,17 +186,20 @@ pub fn characterize_paper_cells(
         );
         let fail6 = run_6t(&cell6, &variation, vdd, &budget, &options.env, &mc);
         let fail8 = run_8t(&cell8, &variation, vdd, &budget, &options.env, &mc);
-        pts6.push(OperatingPoint {
-            vdd,
-            failures: fail6,
-            power: power_model.six_t(&cell6, vdd),
-        });
-        pts8.push(OperatingPoint {
-            vdd,
-            failures: fail8,
-            power: power_model.eight_t(&cell8, vdd),
-        });
-    }
+        (
+            OperatingPoint {
+                vdd,
+                failures: fail6,
+                power: power_model.six_t(&cell6, vdd),
+            },
+            OperatingPoint {
+                vdd,
+                failures: fail8,
+                power: power_model.eight_t(&cell8, vdd),
+            },
+        )
+    });
+    let (pts6, pts8) = points.into_iter().unzip();
 
     (
         CellCharacterization {
@@ -189,6 +211,26 @@ pub fn characterize_paper_cells(
             points: pts8,
         },
     )
+}
+
+/// Process-wide memoized [`characterize_paper_cells`].
+///
+/// Characterization is deterministic in `(tech, options)` and expensive
+/// (seconds of Monte Carlo), yet every experiment, benchmark, and test wants
+/// the same few tables — so they share one computation per distinct key.
+/// The key is the exact `Debug` rendering of both inputs (Rust's `f64`
+/// Debug output round-trips, so distinct configurations never collide).
+pub fn characterize_paper_cells_cached(
+    tech: &Technology,
+    options: &CharacterizationOptions,
+) -> (CellCharacterization, CellCharacterization) {
+    static CACHE: OnceLock<MemoCache<String, (CellCharacterization, CellCharacterization)>> =
+        OnceLock::new();
+    let key = format!("{tech:?}|{options:?}");
+    let tables = CACHE
+        .get_or_init(MemoCache::new)
+        .get_or_compute(key, || characterize_paper_cells(tech, options));
+    (*tables).clone()
 }
 
 #[cfg(test)]
@@ -259,6 +301,30 @@ mod tests {
             t6.read_bit_error_at(Volt::new(0.3)),
             t6.read_bit_error_at(Volt::new(0.60))
         );
+    }
+
+    #[test]
+    fn cached_variant_matches_direct_computation() {
+        let tech = Technology::ptm_22nm();
+        let options = CharacterizationOptions {
+            vdds: vec![Volt::new(0.90), Volt::new(0.70)],
+            mc_samples: 30,
+            ..CharacterizationOptions::quick()
+        };
+        let direct = characterize_paper_cells(&tech, &options);
+        let cached = characterize_paper_cells_cached(&tech, &options);
+        let cached_again = characterize_paper_cells_cached(&tech, &options);
+        assert_eq!(direct, cached);
+        assert_eq!(cached, cached_again);
+        // A different key must not alias the cached entry.
+        let other = characterize_paper_cells_cached(
+            &tech,
+            &CharacterizationOptions {
+                mc_samples: 31,
+                ..options.clone()
+            },
+        );
+        assert_ne!(other, cached);
     }
 
     #[test]

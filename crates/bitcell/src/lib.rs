@@ -43,9 +43,10 @@ pub mod variability;
 pub mod prelude {
     pub use crate::area::{cell_area, hybrid_area_overhead, word_area};
     pub use crate::characterize::{
-        characterize_paper_cells, CellCharacterization, CharacterizationOptions, OperatingPoint,
+        characterize_paper_cells, characterize_paper_cells_cached, paper_cells,
+        CellCharacterization, CharacterizationOptions, OperatingPoint,
     };
-    pub use crate::margins::{write_margin, write_margin_with_wl, WriteMargin};
+    pub use crate::margins::{write_margin, write_margin_grid, write_margin_with_wl, WriteMargin};
     pub use crate::montecarlo::{
         q_function, run_6t, run_8t, CellFailureRates, FailureEstimate, MonteCarloOptions,
     };
@@ -53,7 +54,7 @@ pub mod prelude {
     pub use crate::power::{CellPower, PowerModel, EIGHT_T_BITLINE_SCALE};
     pub use crate::retention::{retention_statistics, retention_voltage, RetentionStatistics};
     pub use crate::snm::{
-        inverter_trip_point, inverter_vtc, static_noise_margin, SnmCondition, Vtc,
+        inverter_trip_point, inverter_vtc, snm_grid, static_noise_margin, SnmCondition, Vtc,
     };
     pub use crate::timing::{
         read_access_time_6t, read_access_time_8t, write_time, ColumnEnvironment, TimingBudget,

@@ -67,6 +67,14 @@ pub fn write_margin(cell: &SixTCell, vdd: Volt) -> WriteMargin {
     write_margin_with_wl(cell, vdd, vdd)
 }
 
+/// Write margins over a supply-voltage grid, evaluated in parallel on the
+/// `sram_exec` pool (grid points are independent quasi-static sweeps).
+/// Results are returned in grid order and are identical at any worker
+/// count.
+pub fn write_margin_grid(cell: &SixTCell, vdds: &[Volt]) -> Vec<WriteMargin> {
+    sram_exec::par_map(vdds, |&vdd| write_margin(cell, vdd))
+}
+
 /// Write margin with an explicit wordline drive `vwl` (write-assist studies:
 /// a boosted wordline strengthens the pass-gate during the write).
 pub fn write_margin_with_wl(cell: &SixTCell, vdd: Volt, vwl: Volt) -> WriteMargin {
@@ -144,6 +152,19 @@ mod tests {
         let wm = write_margin(&c, Volt::new(0.65));
         assert_eq!(wm, WriteMargin::NeverFlips);
         assert_eq!(wm.as_volts(), Volt::new(0.0));
+    }
+
+    #[test]
+    fn grid_matches_pointwise_sweep() {
+        let c = cell();
+        let vdds: Vec<Volt> = (0..6)
+            .map(|k| Volt::from_millivolts(950.0 - 60.0 * k as f64))
+            .collect();
+        let grid = write_margin_grid(&c, &vdds);
+        assert_eq!(grid.len(), vdds.len());
+        for (&vdd, &wm) in vdds.iter().zip(&grid) {
+            assert_eq!(wm, write_margin(&c, vdd), "grid point {vdd}");
+        }
     }
 
     #[test]

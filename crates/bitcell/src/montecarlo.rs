@@ -16,12 +16,16 @@
 //! practice the paper's own HSPICE flow would have used. The
 //! [`FailureEstimate::probability`] accessor blends them: empirical when
 //! enough failures were observed, fitted tail otherwise.
+//!
+//! Samples are embarrassingly parallel and run on the `sram_exec` worker
+//! pool: sample `k` forks its own RNG stream via
+//! [`VtSampler::fork`]`(seed, k)`, so the per-sample ΔVT draws — and hence
+//! every estimate — are bit-identical regardless of worker count, and the
+//! tallies fold in sample order.
 
 use crate::snm::{static_noise_margin, SnmCondition};
 use crate::timing::{read_access_time_6t, read_access_time_8t, write_time, TimingBudget};
 use crate::topology::{EightTCell, SixTCell};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sram_device::units::Volt;
 use sram_device::variation::{VariationModel, VtSampler};
 
@@ -204,46 +208,37 @@ impl MetricTally {
     }
 }
 
-/// Runs the Monte Carlo failure analysis for a nominal 6T cell.
+/// Metrics of one Monte Carlo sample, produced by an independent task.
 ///
-/// The cell's timing is judged against `budget`; `env` supplies the bitline
-/// load. Delays are fitted in the log domain (lognormal tails), margins in
-/// the linear domain.
-pub fn run_6t(
-    cell: &SixTCell,
-    variation: &VariationModel,
+/// `read`/`write` are log-domain delays, `None` on a hard failure (no
+/// finite metric). `snm` carries the `(disturb, hold)` margins for the
+/// samples that evaluate them (`k < snm_samples`).
+struct SampleMetrics {
+    read: Option<f64>,
+    write: Option<f64>,
+    snm: Option<(f64, f64)>,
+}
+
+/// Folds per-sample metrics — in sample order, so floating-point tallies
+/// are reproducible — into the four failure estimates.
+fn tally(
+    metrics: &[SampleMetrics],
     vdd: Volt,
     budget: &TimingBudget,
-    env: &crate::timing::ColumnEnvironment,
     options: &MonteCarloOptions,
 ) -> CellFailureRates {
-    let sigmas = cell.sigmas(variation);
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut sampler = VtSampler::new();
-    let mut deltas = Vec::with_capacity(6);
-
     let mut read = MetricTally::new(options.samples);
     let mut write = MetricTally::new(options.samples);
-    let mut disturb = MetricTally::new(options.samples);
-    let mut hold = MetricTally::new(options.samples);
-
-    for k in 0..options.samples {
-        sampler.sample_cell(&mut rng, &sigmas, &mut deltas);
-        let mut sample = cell.clone();
-        sample.apply_variation(&deltas);
-
-        read.push(read_access_time_6t(&sample, vdd, env).map(|t| t.seconds().ln()));
-        write.push(write_time(&sample, vdd).map(|t| t.seconds().ln()));
-        if k < options.snm_samples {
-            disturb.push(Some(
-                static_noise_margin(&sample, vdd, SnmCondition::Read).volts(),
-            ));
-            hold.push(Some(
-                static_noise_margin(&sample, vdd, SnmCondition::Hold).volts(),
-            ));
+    let mut disturb = MetricTally::new(options.snm_samples.min(options.samples));
+    let mut hold = MetricTally::new(options.snm_samples.min(options.samples));
+    for m in metrics {
+        read.push(m.read);
+        write.push(m.write);
+        if let Some((d, h)) = m.snm {
+            disturb.push(Some(d));
+            hold.push(Some(h));
         }
     }
-
     CellFailureRates {
         vdd,
         read_access: read.estimate(budget.t_read_limit.seconds().ln(), true),
@@ -253,12 +248,50 @@ pub fn run_6t(
     }
 }
 
+/// Runs the Monte Carlo failure analysis for a nominal 6T cell.
+///
+/// The cell's timing is judged against `budget`; `env` supplies the bitline
+/// load. Delays are fitted in the log domain (lognormal tails), margins in
+/// the linear domain. Samples run in parallel on the `sram_exec` pool, each
+/// on its own forked seed stream, so the result depends only on `options`
+/// (never on worker count).
+pub fn run_6t(
+    cell: &SixTCell,
+    variation: &VariationModel,
+    vdd: Volt,
+    budget: &TimingBudget,
+    env: &crate::timing::ColumnEnvironment,
+    options: &MonteCarloOptions,
+) -> CellFailureRates {
+    let sigmas = cell.sigmas(variation);
+    let metrics = sram_exec::par_map_indexed(options.samples, |k| {
+        let (mut sampler, mut rng) = VtSampler::fork(options.seed, k as u64);
+        let mut deltas = Vec::with_capacity(6);
+        sampler.sample_cell(&mut rng, &sigmas, &mut deltas);
+        let mut sample = cell.clone();
+        sample.apply_variation(&deltas);
+
+        SampleMetrics {
+            read: read_access_time_6t(&sample, vdd, env).map(|t| t.seconds().ln()),
+            write: write_time(&sample, vdd).map(|t| t.seconds().ln()),
+            snm: (k < options.snm_samples).then(|| {
+                (
+                    static_noise_margin(&sample, vdd, SnmCondition::Read).volts(),
+                    static_noise_margin(&sample, vdd, SnmCondition::Hold).volts(),
+                )
+            }),
+        }
+    });
+    tally(&metrics, vdd, budget, options)
+}
+
 /// Runs the Monte Carlo failure analysis for a nominal 8T cell.
 ///
 /// The decoupled read stack means a read never disturbs the storage node,
 /// so the disturb tally measures the *hold* margin under read (identical
 /// condition), which stays healthy — matching the paper's observation that
-/// the 8T cell "is free from disturb failures".
+/// the 8T cell "is free from disturb failures". Parallel and
+/// worker-count-invariant like [`run_6t`].
 pub fn run_8t(
     cell: &EightTCell,
     variation: &VariationModel,
@@ -268,37 +301,24 @@ pub fn run_8t(
     options: &MonteCarloOptions,
 ) -> CellFailureRates {
     let sigmas = cell.sigmas(variation);
-    let mut rng = StdRng::seed_from_u64(options.seed ^ 0x8888_8888);
-    let mut sampler = VtSampler::new();
-    let mut deltas = Vec::with_capacity(8);
-
-    let mut read = MetricTally::new(options.samples);
-    let mut write = MetricTally::new(options.samples);
-    let mut disturb = MetricTally::new(options.samples);
-    let mut hold = MetricTally::new(options.samples);
-
-    for k in 0..options.samples {
+    let metrics = sram_exec::par_map_indexed(options.samples, |k| {
+        let (mut sampler, mut rng) = VtSampler::fork(options.seed ^ 0x8888_8888, k as u64);
+        let mut deltas = Vec::with_capacity(8);
         sampler.sample_cell(&mut rng, &sigmas, &mut deltas);
         let mut sample = cell.clone();
         sample.apply_variation(&deltas);
 
-        read.push(read_access_time_8t(&sample, vdd, env).map(|t| t.seconds().ln()));
-        write.push(write_time(&sample.core, vdd).map(|t| t.seconds().ln()));
-        if k < options.snm_samples {
-            let hold_snm = static_noise_margin(&sample.core, vdd, SnmCondition::Hold).volts();
-            // Reads do not touch the storage node: disturb margin == hold margin.
-            disturb.push(Some(hold_snm));
-            hold.push(Some(hold_snm));
+        SampleMetrics {
+            read: read_access_time_8t(&sample, vdd, env).map(|t| t.seconds().ln()),
+            write: write_time(&sample.core, vdd).map(|t| t.seconds().ln()),
+            snm: (k < options.snm_samples).then(|| {
+                let hold_snm = static_noise_margin(&sample.core, vdd, SnmCondition::Hold).volts();
+                // Reads do not touch the storage node: disturb margin == hold.
+                (hold_snm, hold_snm)
+            }),
         }
-    }
-
-    CellFailureRates {
-        vdd,
-        read_access: read.estimate(budget.t_read_limit.seconds().ln(), true),
-        write: write.estimate(budget.t_write_limit.seconds().ln(), true),
-        read_disturb: disturb.estimate(0.0, false),
-        hold: hold.estimate(0.0, false),
-    }
+    });
+    tally(&metrics, vdd, budget, options)
 }
 
 #[cfg(test)]

@@ -184,6 +184,14 @@ fn snm_one_polarity(vtc1: &Vtc, vtc2: &Vtc, vdd: f64, polarity: f64) -> f64 {
     0.5 * (lo + hi)
 }
 
+/// Static noise margins over a supply-voltage grid, evaluated in parallel on
+/// the `sram_exec` pool (each point is an independent VTC extraction plus
+/// binary search). Results come back in grid order, identical at any worker
+/// count.
+pub fn snm_grid(cell: &SixTCell, vdds: &[Volt], condition: SnmCondition) -> Vec<Volt> {
+    sram_exec::par_map(vdds, |&vdd| static_noise_margin(cell, vdd, condition))
+}
+
 /// Trip point of the QB-side inverter: the input voltage where output equals
 /// input (used as the flip threshold by the write-timing model).
 pub fn inverter_trip_point(cell: &SixTCell, vdd: Volt, condition: SnmCondition) -> Volt {
@@ -201,6 +209,19 @@ mod tests {
 
     fn cell() -> SixTCell {
         SixTCell::new(&Technology::ptm_22nm(), &SixTSizing::paper_baseline())
+    }
+
+    #[test]
+    fn snm_grid_matches_pointwise_extraction() {
+        let c = cell();
+        let vdds: Vec<Volt> = (0..5)
+            .map(|k| Volt::from_millivolts(950.0 - 70.0 * k as f64))
+            .collect();
+        let grid = snm_grid(&c, &vdds, SnmCondition::Read);
+        assert_eq!(grid.len(), vdds.len());
+        for (&vdd, &snm) in vdds.iter().zip(&grid) {
+            assert_eq!(snm, static_noise_margin(&c, vdd, SnmCondition::Read));
+        }
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct Fig5 {
 }
 
 /// Regenerates Fig. 5 from the characterization tables.
+///
+/// The expensive fan-out behind this figure — the per-voltage,
+/// per-sample Monte Carlo — already ran in parallel inside
+/// `characterize_paper_cells`; extracting the rows is a handful of field
+/// reads per voltage, so it stays a plain sequential zip.
 pub fn run(ctx: &ExperimentContext) -> Fig5 {
     let rows = ctx
         .framework

@@ -39,6 +39,10 @@ pub struct Fig7 {
 
 /// Regenerates Fig. 7 by sweeping the all-6T configuration across the
 /// characterized voltages.
+///
+/// Voltage points are independent (every one evaluates the same network at
+/// the same seed), so the sweep fans out on the `sram_exec` pool; rows come
+/// back in voltage order and are bit-identical at any worker count.
 pub fn run(ctx: &ExperimentContext) -> Fig7 {
     let vdds: Vec<Volt> = ctx
         .framework
@@ -54,8 +58,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig7 {
         PowerConvention::IsoThroughput,
     );
 
-    let mut rows = Vec::with_capacity(vdds.len());
-    for &vdd in &vdds {
+    let rows = sram_exec::par_map(&vdds, |&vdd| {
         let config = MemoryConfig::Base6T { vdd };
         let stats =
             ctx.framework
@@ -63,14 +66,14 @@ pub fn run(ctx: &ExperimentContext) -> Fig7 {
         let power =
             ctx.framework
                 .power_report(&ctx.network, &config, PowerConvention::IsoThroughput);
-        rows.push(Fig7Row {
+        Fig7Row {
             vdd,
             accuracy: stats.mean(),
             accuracy_std: stats.std(),
             access_saving: 1.0 - power.access_power.watts() / p_nom.access_power.watts(),
             leakage_saving: 1.0 - power.leakage_power.watts() / p_nom.leakage_power.watts(),
-        });
-    }
+        }
+    });
     let nominal_accuracy = rows[0].accuracy;
     Fig7 {
         rows,

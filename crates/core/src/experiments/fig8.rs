@@ -57,28 +57,38 @@ pub fn run(ctx: &ExperimentContext) -> Fig8 {
         .evaluate_accuracy(&ctx.network, &ctx.test, &baseline, ctx.trials, ctx.seed)
         .mean();
 
+    // Fan out at the widest independent grain: all eight accuracy
+    // evaluations (4 configs × 2 voltages) as `sram_exec` tasks, rather
+    // than 4 config tasks whose nested per-trial fan-outs would degrade to
+    // sequential and idle most of a wide machine. Results land in
+    // (config, voltage) order, so the figure is identical at any worker
+    // count.
+    let accuracies = sram_exec::par_map_indexed(8, |i| {
+        let config = MemoryConfig::Hybrid {
+            msb_8t: i / 2 + 1,
+            vdd: if i % 2 == 0 {
+                HYBRID_VDD
+            } else {
+                HYBRID_VDD_HI
+            },
+        };
+        ctx.framework
+            .evaluate_accuracy(&ctx.network, &ctx.test, &config, ctx.trials, ctx.seed)
+            .mean()
+    });
     let rows = (1..=4)
         .map(|n| {
             let at_065 = MemoryConfig::Hybrid {
                 msb_8t: n,
                 vdd: HYBRID_VDD,
             };
-            let at_070 = at_065.at_vdd(HYBRID_VDD_HI);
-            let acc_065 = ctx
-                .framework
-                .evaluate_accuracy(&ctx.network, &ctx.test, &at_065, ctx.trials, ctx.seed)
-                .mean();
-            let acc_070 = ctx
-                .framework
-                .evaluate_accuracy(&ctx.network, &ctx.test, &at_070, ctx.trials, ctx.seed)
-                .mean();
             let power =
                 ctx.framework
                     .power_report(&ctx.network, &at_065, PowerConvention::IsoThroughput);
             Fig8Row {
                 msb_8t: n,
-                accuracy_065: acc_065,
-                accuracy_070: acc_070,
+                accuracy_065: accuracies[(n - 1) * 2],
+                accuracy_070: accuracies[(n - 1) * 2 + 1],
                 access_reduction: 1.0 - power.access_power.watts() / p_base.access_power.watts(),
                 leakage_reduction: 1.0 - power.leakage_power.watts() / p_base.leakage_power.watts(),
                 area_overhead: ctx.framework.area_overhead(&ctx.network, &at_065),

@@ -99,6 +99,10 @@ pub fn run(ctx: &ExperimentContext) -> Fig9 {
         .evaluate_accuracy(&ctx.network, &ctx.test, &baseline, ctx.trials, ctx.seed)
         .mean();
 
+    // The outer loop stays sequential on purpose: with only two design
+    // points, fanning out here would starve the wider parallelism below it
+    // (each `evaluate_accuracy` fans its fault-injection trials out on the
+    // `sram_exec` pool, and nested fan-outs degrade to sequential).
     let mut points = Vec::with_capacity(2);
     for (name, alloc) in [
         ("sensitivity-driven (<1% loss)", alloc_tight),

@@ -18,7 +18,7 @@ use sram_array::behavioral::SynapticMemory;
 use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
 use sram_array::power::{memory_power, MemoryPowerReport, PowerConvention};
 use sram_bitcell::characterize::{
-    characterize_paper_cells, CellCharacterization, CharacterizationOptions,
+    characterize_paper_cells_cached, CellCharacterization, CharacterizationOptions,
 };
 use sram_device::process::Technology;
 use sram_device::units::Volt;
@@ -65,8 +65,13 @@ pub struct Framework {
 
 impl Framework {
     /// Runs the circuit-level characterization and builds the framework.
+    ///
+    /// Characterization goes through the process-wide memo cache
+    /// ([`characterize_paper_cells_cached`]): every experiment, benchmark,
+    /// and test asking for the same `(tech, options)` shares one Monte Carlo
+    /// run instead of recomputing seconds of circuit analysis.
     pub fn new(tech: &Technology, options: &CharacterizationOptions) -> Self {
-        let (char_6t, char_8t) = characterize_paper_cells(tech, options);
+        let (char_6t, char_8t) = characterize_paper_cells_cached(tech, options);
         Self::from_tables(char_6t, char_8t)
     }
 
@@ -137,6 +142,11 @@ impl Framework {
     /// averaged over `trials` independent fault-injection snapshots (the
     /// paper's functional-simulator methodology).
     ///
+    /// Trials already own independent seeds, so they fan out on the
+    /// `sram_exec` pool; each trial's accuracy is a pure function of its
+    /// `(seed, t)` pair and the results collect in trial order, keeping the
+    /// statistics bit-identical at any worker count.
+    ///
     /// # Panics
     ///
     /// Panics if `trials == 0` or the dataset is empty.
@@ -149,8 +159,7 @@ impl Framework {
         seed: u64,
     ) -> AccuracyStats {
         assert!(trials > 0, "at least one trial required");
-        let mut per_trial = Vec::with_capacity(trials);
-        for t in 0..trials {
+        let per_trial = sram_exec::par_map_indexed(trials, |t| {
             let trial_seed = seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(t as u64);
@@ -158,8 +167,8 @@ impl Framework {
             let mut memory = self.build_memory(network, config, trial_seed);
             let (image, _stats) = memory.corrupt_snapshot(trial_seed ^ 0xABCD_EF01);
             let corrupted = layout::unflatten(network, &image);
-            per_trial.push(accuracy(&corrupted.to_mlp(), test));
-        }
+            accuracy(&corrupted.to_mlp(), test)
+        });
         AccuracyStats { per_trial }
     }
 

@@ -113,8 +113,7 @@ pub fn optimize_allocation(
     let target = reference_accuracy - options.max_loss;
 
     let mut evaluations = 0usize;
-    let mut evaluate = |alloc: &[usize]| -> AccuracyStats {
-        evaluations += 1;
+    let evaluate = |alloc: &[usize]| -> AccuracyStats {
         framework.evaluate_accuracy(
             network,
             test,
@@ -129,18 +128,24 @@ pub fn optimize_allocation(
 
     let mut alloc = vec![0usize; banks];
     let mut stats = evaluate(&alloc);
+    evaluations += 1;
     let mut steps = Vec::new();
 
     while stats.mean() < target && alloc.iter().any(|&n| n < options.max_msb) {
-        // Probe one extra protected MSB in every non-saturated bank.
-        let mut best: Option<(usize, AccuracyStats, f64)> = None;
-        for bank in 0..banks {
-            if alloc[bank] >= options.max_msb {
-                continue;
-            }
+        // Probe one extra protected MSB in every non-saturated bank. The
+        // probes share no state (every candidate is evaluated with the same
+        // seed), so they fan out on the `sram_exec` pool; collecting in bank
+        // order keeps the tie-break — and hence the whole greedy trajectory
+        // — identical to the sequential search at any worker count.
+        let probes: Vec<usize> = (0..banks).filter(|&b| alloc[b] < options.max_msb).collect();
+        let probe_stats = sram_exec::par_map(&probes, |&bank| {
             let mut candidate = alloc.clone();
             candidate[bank] += 1;
-            let cand_stats = evaluate(&candidate);
+            evaluate(&candidate)
+        });
+        evaluations += probes.len();
+        let mut best: Option<(usize, AccuracyStats, f64)> = None;
+        for (&bank, cand_stats) in probes.iter().zip(probe_stats) {
             // Marginal utility: accuracy gained per 8T cell added. The gain
             // can be negative under injection noise; greedy still commits
             // the least-bad step so the search always terminates.

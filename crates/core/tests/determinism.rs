@@ -1,0 +1,81 @@
+//! Tier-1 determinism gate for the parallel execution engine.
+//!
+//! The engine's contract is that every fan-out — Monte Carlo sampling,
+//! characterization sweeps, fault-injection trials, experiment runners —
+//! produces **bit-identical** results at any worker count. This test pins
+//! the contract end-to-end: the same seeds must reproduce the same Monte
+//! Carlo failure rates and the same Fig. 7 sweep at 1, 2, and 8 workers.
+//!
+//! Everything runs inside one `#[test]` because the worker count is a
+//! process-global knob: interleaving with other tests would only change
+//! *their* thread count (harmless by this very contract), but keeping the
+//! sweep in one place makes the comparison explicit and race-free.
+
+use hybrid_sram::prelude::*;
+use sram_bitcell::prelude::*;
+use sram_device::prelude::*;
+
+#[test]
+fn monte_carlo_and_fig7_are_thread_count_invariant() {
+    // --- Monte Carlo failure analysis -----------------------------------
+    let tech = Technology::ptm_22nm();
+    // The same canonical cells characterization runs on — reconstructing
+    // sizings here would let this gate drift off the cells the experiments
+    // actually use.
+    let (cell6, cell8) = paper_cells(&tech);
+    let variation = VariationModel::new(&tech);
+    let env = ColumnEnvironment::rows_256();
+    let vdd = Volt::new(0.70);
+    let budget = TimingBudget::from_nominal(&cell6, &cell8, vdd, &env, 2.0);
+    let opts = MonteCarloOptions {
+        samples: 120,
+        seed: 0xDE7E_2A11,
+        snm_samples: 25,
+    };
+
+    sram_exec::set_threads(1);
+    let mc_reference = run_6t(&cell6, &variation, vdd, &budget, &env, &opts);
+    let mc8_reference = run_8t(&cell8, &variation, vdd, &budget, &env, &opts);
+
+    // --- Characterization sweep (per-voltage fan-out) -------------------
+    // Deliberately *uncached*: the memoized path would hand the 2- and
+    // 8-worker runs the 1-worker tables and mask a nondeterministic sweep.
+    let char_options = CharacterizationOptions {
+        vdds: vec![Volt::new(0.90), Volt::new(0.75), Volt::new(0.65)],
+        mc_samples: 50,
+        ..CharacterizationOptions::quick()
+    };
+    let char_reference = characterize_paper_cells(&tech, &char_options);
+
+    // --- Fig. 7 (accuracy-vs-voltage sweep over the full stack) ---------
+    // One shared context: the experiment inputs (characterization, trained
+    // network, test split) must be common so any divergence can only come
+    // from the execution engine.
+    let ctx = ExperimentContext::quick();
+    let fig7_reference = fig7::run(&ctx);
+
+    for threads in [2usize, 8] {
+        sram_exec::set_threads(threads);
+        assert_eq!(
+            run_6t(&cell6, &variation, vdd, &budget, &env, &opts),
+            mc_reference,
+            "6T Monte Carlo diverged at {threads} workers"
+        );
+        assert_eq!(
+            run_8t(&cell8, &variation, vdd, &budget, &env, &opts),
+            mc8_reference,
+            "8T Monte Carlo diverged at {threads} workers"
+        );
+        assert_eq!(
+            characterize_paper_cells(&tech, &char_options),
+            char_reference,
+            "characterization sweep diverged at {threads} workers"
+        );
+        assert_eq!(
+            fig7::run(&ctx),
+            fig7_reference,
+            "fig7 diverged at {threads} workers"
+        );
+    }
+    sram_exec::clear_threads();
+}

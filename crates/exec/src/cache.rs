@@ -1,0 +1,118 @@
+//! Concurrency-safe memoization for expensive, deterministic computations.
+//!
+//! The flagship use is the characterization cache: a full Monte Carlo
+//! characterization of both cell flavors takes seconds, and every
+//! experiment, test, and benchmark wants the same handful of
+//! `(topology, VDD grid, options)` tables. Memoizing them turns the repeated
+//! cost into one computation per distinct key per process.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+/// A keyed memo table returning shared handles to computed values.
+///
+/// The table lock is held *through* the compute closure, so concurrent
+/// callers asking for the same key block and then share the one result
+/// instead of duplicating seconds of work. The flip side: computations for
+/// distinct keys also serialize, and `compute` must never re-enter the same
+/// cache (that would deadlock). Both are the right trade for few-key,
+/// expensive-value workloads like characterization tables.
+#[derive(Debug, Default)]
+pub struct MemoCache<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+}
+
+impl<K: Eq + Hash, V> MemoCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and storing it on the
+    /// first request.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(value) = map.get(&key) {
+            return Arc::clone(value);
+        }
+        let value = Arc::new(compute());
+        map.insert(key, Arc::clone(&value));
+        value
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry (outstanding `Arc` handles stay alive).
+    pub fn clear(&self) {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache: MemoCache<u32, u64> = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(7, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                99
+            });
+            assert_eq!(*v, 99);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_values() {
+        let cache: MemoCache<String, usize> = MemoCache::new();
+        let a = cache.get_or_compute("a".into(), || 1);
+        let b = cache.get_or_compute("b".into(), || 2);
+        assert_eq!((*a, *b), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_shares_one_compute() {
+        let cache: MemoCache<u8, u64> = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let v = cache.get_or_compute(1, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        42
+                    });
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_handles_survive() {
+        let cache: MemoCache<u8, Vec<u8>> = MemoCache::new();
+        let handle = cache.get_or_compute(3, || vec![1, 2, 3]);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(*handle, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared `--threads` command-line handling for the workspace binaries.
+//!
+//! Both `repro` and `characterize` expose the engine's worker count; one
+//! strict parser keeps their behavior (and error messages) identical and
+//! stops malformed values from being silently misread as other arguments.
+
+/// Strips `--threads N` / `--threads=N` from `args`, applying the value via
+/// [`set_threads`](crate::set_threads), and returns the remaining
+/// arguments.
+///
+/// Returns an error message (suitable for printing next to a usage line)
+/// when the flag is present but the value is missing, non-numeric, or zero.
+pub fn strip_threads_flag(args: Vec<String>) -> Result<Vec<String>, String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--threads" {
+            Some(
+                iter.next()
+                    .ok_or("--threads requires a worker count, e.g. --threads 8")?,
+            )
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_string)
+        };
+        match value {
+            Some(value) => {
+                let n: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid --threads value: {value}"))?;
+                crate::set_threads(n);
+            }
+            None => rest.push(arg),
+        }
+    }
+    Ok(rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn strips_flag_and_sets_threads() {
+        let _gate = crate::test_gate();
+        let rest = strip_threads_flag(args(&["quick", "--threads", "3", "fig5"])).unwrap();
+        assert_eq!(rest, args(&["quick", "fig5"]));
+        assert_eq!(crate::effective_threads(), 3);
+        let rest = strip_threads_flag(args(&["--threads=5"])).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(crate::effective_threads(), 5);
+        crate::clear_threads();
+    }
+
+    #[test]
+    fn passes_through_unrelated_args() {
+        let rest = strip_threads_flag(args(&["1000", "fig7"])).unwrap();
+        assert_eq!(rest, args(&["1000", "fig7"]));
+    }
+
+    #[test]
+    fn rejects_missing_zero_and_garbage_values() {
+        assert!(strip_threads_flag(args(&["--threads"])).is_err());
+        assert!(strip_threads_flag(args(&["--threads", "0"])).is_err());
+        assert!(strip_threads_flag(args(&["--threads=zippy"])).is_err());
+    }
+}

@@ -14,7 +14,16 @@
 //! `bench: <name> ... <time>/iter (<n> iters)`. There are no statistical
 //! analyses, plots, or saved baselines — the numbers are for coarse
 //! regression tracking in CHANGES.md and CI logs.
+//!
+//! Beyond the human-readable lines, every run appends its results to a
+//! machine-readable **`BENCH.json`** (benchmark name → mean ns/iter) so the
+//! performance trajectory can be tracked across PRs. The file merges across
+//! the workspace's separate bench binaries; set `BENCH_JSON_PATH` to
+//! relocate it (default: `BENCH.json` in the bench binary's working
+//! directory, i.e. the package root under `cargo bench`).
 
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -121,6 +130,69 @@ impl Bencher {
     }
 }
 
+/// Results of the current process's benchmarks, drained into `BENCH.json`
+/// by [`write_bench_json`] (called from `criterion_main!`).
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Parses a previously emitted `BENCH.json` (the exact flat `{"name":
+/// ns, ...}` shape [`write_bench_json`] produces — not a general JSON
+/// parser).
+fn read_bench_json(path: &str) -> BTreeMap<String, f64> {
+    let mut entries = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return entries;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((name, value)) = line.rsplit_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if name.is_empty() {
+            continue;
+        }
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            entries.insert(name.to_string(), ns);
+        }
+    }
+    entries
+}
+
+/// Merges this run's results into the machine-readable `BENCH.json`
+/// (benchmark name → mean ns/iter). Entries from other bench binaries are
+/// preserved; re-run benchmarks are overwritten. The location is
+/// overridable via `BENCH_JSON_PATH`.
+pub fn write_bench_json() {
+    let recorded = {
+        let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+        results.clone()
+    };
+    if recorded.is_empty() {
+        return;
+    }
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH.json".to_string());
+    let mut entries = read_bench_json(&path);
+    for (name, ns) in recorded {
+        entries.insert(name, ns);
+    }
+    let mut out = String::from("{\n");
+    let last = entries.len().saturating_sub(1);
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        // Bench names are plain identifiers plus '/'; no JSON escaping
+        // needed.
+        out.push_str(&format!(
+            "  \"{name}\": {ns:.1}{}\n",
+            if i == last { "" } else { "," }
+        ));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("bench results written to {path}");
+    }
+}
+
 fn format_time(secs: f64) -> String {
     if secs < 1e-6 {
         format!("{:.2} ns", secs * 1e9)
@@ -156,6 +228,10 @@ fn run_one(full_name: &str, settings: Settings, body: &mut dyn FnMut(&mut Benche
         line.push_str(&format!("  [{rate}]"));
     }
     println!("{line}");
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((full_name.to_string(), bencher.per_iter_secs * 1e9));
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -243,12 +319,46 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main`, mirroring `criterion_main!`.
+/// Declares the bench `main`, mirroring `criterion_main!`; additionally
+/// merges the run's results into `BENCH.json` (see [`write_bench_json`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_bench_json();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_round_trips() {
+        let path = std::env::temp_dir().join("criterion_shim_bench_json_test.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let mut entries = BTreeMap::new();
+        entries.insert("monte_carlo/mc_6t_100_samples".to_string(), 615_000_000.0);
+        entries.insert("fig7".to_string(), 128_423_000.5);
+        let mut out = String::from("{\n");
+        let last = entries.len() - 1;
+        for (i, (name, ns)) in entries.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{name}\": {ns:.1}{}\n",
+                if i == last { "" } else { "," }
+            ));
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out).expect("write temp file");
+        let parsed = read_bench_json(path);
+        std::fs::remove_file(path).ok();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn missing_file_parses_empty() {
+        assert!(read_bench_json("/nonexistent/BENCH.json").is_empty());
+    }
 }

@@ -6,6 +6,9 @@
 //!
 //! The implementation lives in the workspace crates, re-exported here:
 //!
+//! * [`exec`] — the deterministic parallel execution engine (scoped worker
+//!   pool, per-task seed streams, characterization memo cache) every
+//!   fan-out-shaped hot path runs on;
 //! * [`device`] — 22 nm device models, units, threshold-voltage variation;
 //! * [`spice`] — the `nanospice` DC/transient circuit solver and SPICE deck
 //!   parser/writer;
@@ -34,3 +37,4 @@ pub use sram_array as array;
 pub use sram_bitcell as bitcell;
 pub use sram_device as device;
 pub use sram_ecc as ecc;
+pub use sram_exec as exec;
