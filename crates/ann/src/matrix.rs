@@ -8,6 +8,49 @@
 
 use std::fmt;
 
+/// Number of independent accumulator lanes in [`dot`]. Eight `f32` lanes
+/// fill a 256-bit vector register; the independence is what lets LLVM use
+/// it — a sequential `iter().sum()` is a strict-order reduction the
+/// autovectorizer must not reorder, which pins the whole forward pass to
+/// scalar adds.
+const DOT_LANES: usize = 8;
+
+/// Lane-parallel dot product.
+///
+/// The MLP forward pass (and with it every fault-injection accuracy trial)
+/// bottoms out here, so the reduction is restructured into [`DOT_LANES`]
+/// independent partial sums that vectorize. The summation *order* therefore
+/// differs from the naive sequential reduction — results can differ by
+/// normal `f32` rounding (and are typically more accurate) — but remain a
+/// pure function of the inputs: runs stay bit-reproducible across worker
+/// counts and repeated invocations.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; DOT_LANES];
+    let a_chunks = a.chunks_exact(DOT_LANES);
+    let b_chunks = b.chunks_exact(DOT_LANES);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for l in 0..DOT_LANES {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let mut sum = 0.0;
+    for (&x, &y) in a_rem.iter().zip(b_rem) {
+        sum += x * y;
+    }
+    // Pairwise fold of the lanes (matches the vector-register reduction).
+    let quads = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    sum + (quads[0] + quads[2]) + (quads[1] + quads[3])
+}
+
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -160,9 +203,7 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
-                let b_row = other.row(j);
-                let dot: f32 = a_row.iter().zip(b_row.iter()).map(|(a, b)| a * b).sum();
-                out.data[i * other.rows + j] = dot;
+                out.data[i * other.rows + j] = dot(a_row, other.row(j));
             }
         }
         out

@@ -1,0 +1,29 @@
+//! Dumps the solver-derived metrics over the paper's voltage range.
+//! Used to pin the old-solver values for the accuracy-regression test.
+
+use sram_bitcell::cell_ops::read_bump;
+use sram_bitcell::prelude::*;
+use sram_device::prelude::*;
+
+fn main() {
+    let tech = Technology::ptm_22nm();
+    let cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+    let env = ColumnEnvironment::rows_256();
+    for mv in [950.0, 900.0, 850.0, 800.0, 750.0, 700.0, 650.0] {
+        let vdd = Volt::from_millivolts(mv);
+        let wm = write_margin(&cell, vdd).as_volts().millivolts();
+        let rsnm = static_noise_margin(&cell, vdd, SnmCondition::Read).millivolts();
+        let hsnm = static_noise_margin(&cell, vdd, SnmCondition::Hold).millivolts();
+        let tr = read_access_time_6t(&cell, vdd, &env)
+            .map(|t| t.picoseconds())
+            .unwrap_or(f64::NAN);
+        let tw = write_time(&cell, vdd)
+            .map(|t| t.picoseconds())
+            .unwrap_or(f64::NAN);
+        let (q0, qb) = read_bump(&cell, vdd.volts());
+        println!(
+            "vdd={mv:.0} wm={wm:.6} rsnm={rsnm:.6} hsnm={hsnm:.6} tr={tr:.6} tw={tw:.6} q0={:.9} qb={:.9}",
+            q0, qb
+        );
+    }
+}

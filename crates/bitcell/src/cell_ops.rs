@@ -9,7 +9,7 @@
 //! decreasing in the node's own voltage — the property the bisection solvers
 //! rely on.
 
-use crate::solve::{bisect_decreasing, scan_root, RootSearch};
+use crate::solve::{find_root_decreasing, find_root_decreasing_warm, scan_root, RootSearch};
 use crate::topology::{EightTCell, SixTCell};
 use sram_device::units::Volt;
 
@@ -68,27 +68,198 @@ pub fn q_net_current(
 
 /// Equilibrium voltage of QB for a fixed Q (QB-side pass-gate to `vblb`).
 pub fn qb_equilibrium(cell: &SixTCell, q: f64, vdd: f64, vwl: f64, vblb: Option<f64>) -> f64 {
-    bisect_decreasing(
+    find_root_decreasing(
         |qb| qb_net_current(cell, qb, q, vdd, vwl, vblb),
         0.0,
         vdd.max(vwl),
     )
 }
 
-/// Quasi-static storage-node voltage on the '0' side during a read-like
-/// condition: the *lowest* root of the Q balance (the whole-cell balance has
-/// up to three roots — bump state, metastable point, flipped state — and the
-/// read keeps the cell on the lowest branch).
-fn bump_equilibrium(cell: &SixTCell, vdd: f64, vbl: f64) -> f64 {
+/// Warm-started [`qb_equilibrium`]: seeds the root search with a narrow
+/// bracket around `hint` (the previous solution on a sweep), falling back
+/// to the full bracket when the residual check fails.
+pub fn qb_equilibrium_warm(
+    cell: &SixTCell,
+    q: f64,
+    vdd: f64,
+    vwl: f64,
+    vblb: Option<f64>,
+    hint: f64,
+) -> f64 {
+    find_root_decreasing_warm(
+        |qb| qb_net_current(cell, qb, q, vdd, vwl, vblb),
+        0.0,
+        vdd.max(vwl),
+        hint,
+        0.02,
+    )
+}
+
+/// Convergence tolerance of the joint Newton iteration (per-node voltage
+/// step). Tighter than [`crate::solve::V_TOL`] because the Newton step is
+/// nearly free once the Jacobian is assembled.
+const NEWTON_TOL: f64 = 1e-9;
+
+/// Residuals *and* the exact Jacobian of the joint (Q, QB) current balance
+/// at one point, from a single pass over the six devices: every
+/// [`Mosfet::drain_current_and_derivs`](sram_device::mosfet::Mosfet::drain_current_and_derivs)
+/// call yields the current plus its gate/drain partials, and each node
+/// current depends on the other node only through a gate, so the full 2×2
+/// Jacobian falls out analytically — no finite-difference probes.
+///
+/// Returns `(r_q, r_qb, j11, j12, j21, j22)` with `j11 = ∂r_q/∂q`,
+/// `j12 = ∂r_q/∂qb`, `j21 = ∂r_qb/∂q`, `j22 = ∂r_qb/∂qb`.
+fn joint_residual_jacobian(
+    cell: &SixTCell,
+    q: f64,
+    qb: f64,
+    vdd: f64,
+    vwl: f64,
+    vbl: Option<f64>,
+    vblb: Option<f64>,
+) -> (f64, f64, f64, f64, f64, f64) {
+    let vq = Volt::new(q);
+    let vqb = Volt::new(qb);
+    let vdd_v = Volt::new(vdd);
+    let gnd = Volt::new(0.0);
+    let vwl_v = Volt::new(vwl);
+
+    // --- Q node: PU1 (gate QB, drain Q, source VDD), PD1 (gate QB, drain
+    // Q), PG1 (gate WL, drain BL, source Q).
+    let (i_pu1, gm_pu1, gd_pu1) = cell.pu1.drain_current_and_derivs(vqb, vq, vdd_v);
+    let (i_pd1, gm_pd1, gd_pd1) = cell.pd1.drain_current_and_derivs(vqb, vq, gnd);
+    let (r_q, j11, j12) = match vbl {
+        Some(bl) => {
+            let (i_pg1, gm_pg1, gd_pg1) =
+                cell.pg1.drain_current_and_derivs(vwl_v, Volt::new(bl), vq);
+            // The model depends only on (vgs, vds), so ∂I/∂Vs = −(gm + gds).
+            let dpg_dq = -(gm_pg1 + gd_pg1);
+            (
+                -i_pu1.amps() + i_pg1.amps() - i_pd1.amps(),
+                -gd_pu1 + dpg_dq - gd_pd1,
+                -gm_pu1 - gm_pd1,
+            )
+        }
+        None => (
+            -i_pu1.amps() - i_pd1.amps(),
+            -gd_pu1 - gd_pd1,
+            -gm_pu1 - gm_pd1,
+        ),
+    };
+
+    // --- QB node mirrors with gates on Q and the pass-gate to BLB.
+    let (i_pu2, gm_pu2, gd_pu2) = cell.pu2.drain_current_and_derivs(vq, vqb, vdd_v);
+    let (i_pd2, gm_pd2, gd_pd2) = cell.pd2.drain_current_and_derivs(vq, vqb, gnd);
+    let (r_qb, j22, j21) = match vblb {
+        Some(blb) => {
+            let (i_pg2, gm_pg2, gd_pg2) =
+                cell.pg2
+                    .drain_current_and_derivs(vwl_v, Volt::new(blb), vqb);
+            let dpg_dqb = -(gm_pg2 + gd_pg2);
+            (
+                -i_pu2.amps() + i_pg2.amps() - i_pd2.amps(),
+                -gd_pu2 + dpg_dqb - gd_pd2,
+                -gm_pu2 - gm_pd2,
+            )
+        }
+        None => (
+            -i_pu2.amps() - i_pd2.amps(),
+            -gd_pu2 - gd_pd2,
+            -gm_pu2 - gm_pd2,
+        ),
+    };
+
+    (r_q, r_qb, j11, j12, j21, j22)
+}
+
+/// Damped 2×2 Newton on the joint (Q, QB) current balance with both
+/// pass-gates connected (`vbl` on the Q side, `vblb` on the QB side; the
+/// wordline at `vwl`). The Jacobian is analytic (device-level closed-form
+/// derivatives); steps are clamped so the iterate stays on the branch of
+/// the seed, and backtracked until the residual norm decreases. Returns
+/// `None` on non-convergence — callers fall back to the guarded scan
+/// solvers.
+pub(crate) fn joint_equilibrium(
+    cell: &SixTCell,
+    vdd: f64,
+    vwl: f64,
+    vbl: Option<f64>,
+    vblb: Option<f64>,
+    q_seed: f64,
+    qb_seed: f64,
+) -> Option<(f64, f64)> {
+    let hi = vdd.max(vwl);
+    let mut q = q_seed.clamp(0.0, hi);
+    let mut qb = qb_seed.clamp(0.0, hi);
+    let mut cur = joint_residual_jacobian(cell, q, qb, vdd, vwl, vbl, vblb);
+    // Per-iteration step clamp: keeps Newton from vaulting across the
+    // metastable point onto another branch of the cell's S-curve.
+    let max_step = 0.12;
+    for _ in 0..40 {
+        let (r1, r2, j11, j12, j21, j22) = cur;
+        let det = j11 * j22 - j12 * j21;
+        if !det.is_finite() || det.abs() < 1e-300 {
+            return None;
+        }
+        let mut dq = -(r1 * j22 - r2 * j12) / det;
+        let mut dqb = -(j11 * r2 - j21 * r1) / det;
+        let biggest = dq.abs().max(dqb.abs());
+        if biggest > max_step {
+            let s = max_step / biggest;
+            dq *= s;
+            dqb *= s;
+        }
+        // Backtracking line search on the residual norm.
+        let norm0 = r1 * r1 + r2 * r2;
+        let mut lambda = 1.0;
+        let (qn, qbn, trial) = loop {
+            let qn = (q + lambda * dq).clamp(0.0, hi);
+            let qbn = (qb + lambda * dqb).clamp(0.0, hi);
+            let trial = joint_residual_jacobian(cell, qn, qbn, vdd, vwl, vbl, vblb);
+            if trial.0 * trial.0 + trial.1 * trial.1 <= norm0 || lambda <= 1.0 / 16.0 {
+                break (qn, qbn, trial);
+            }
+            lambda *= 0.5;
+        };
+        let moved = (qn - q).abs().max((qbn - qb).abs());
+        q = qn;
+        qb = qbn;
+        cur = trial;
+        if moved < NEWTON_TOL {
+            return Some((q, qb));
+        }
+    }
+    None
+}
+
+/// Quasi-static storage-node state on the '0' side during a read-like
+/// condition: the *lowest* root of the joint (Q, QB) balance (the whole-cell
+/// balance has up to three roots — bump state, metastable point, flipped
+/// state — and the read keeps the cell on the lowest branch). Returns
+/// `(q0, qb)`.
+///
+/// The production path is the joint Newton solve seeded on the bump branch
+/// (or at `hint`, the previous grid point on a bitline sweep); the nested
+/// scan-over-bisection solver remains as the fallback for non-convergent or
+/// disturbed corners, where it also classifies the failure side.
+fn bump_equilibrium(cell: &SixTCell, vdd: f64, vbl: f64, hint: Option<(f64, f64)>) -> (f64, f64) {
+    // The bump root of a cell that retains its state lies well below the
+    // metastable point.
+    let upper = 0.55 * vdd;
+    let (q_seed, qb_seed) = hint.unwrap_or((0.07 * vdd, vdd));
+    if let Some((q, qb)) = joint_equilibrium(cell, vdd, vdd, Some(vbl), Some(vdd), q_seed, qb_seed)
+    {
+        // Accept only roots on the bump branch; a disturbed cell converges
+        // to the flipped state (q high) and must take the guarded fallback.
+        if q <= upper {
+            return (q, qb);
+        }
+    }
     let f = |q: f64| {
         let qb = qb_equilibrium(cell, q, vdd, vdd, Some(vdd));
         q_net_current(cell, q, qb, vdd, vdd, Some(vbl))
     };
-    // The bump root of a cell that retains its state lies well below the
-    // metastable point; scanning only the lower part of the range both picks
-    // the correct branch and keeps the Monte Carlo inner loop cheap.
-    let upper = 0.55 * vdd;
-    match scan_root(f, 0.0, upper, 24) {
+    let q0 = match scan_root(f, 0.0, upper, 24) {
         RootSearch::Found(r) => r,
         // No root below the metastable point: the cell lost its '0' state
         // (read disturb); park the node at the scan boundary, which makes the
@@ -100,27 +271,58 @@ fn bump_equilibrium(cell: &SixTCell, vdd: f64, vbl: f64) -> f64 {
                 upper
             }
         }
-    }
+    };
+    (q0, qb_equilibrium(cell, q0, vdd, vdd, Some(vdd)))
 }
 
 /// Read-disturb bump: with both bitlines precharged to VDD and the wordline
 /// on, the node storing '0' (Q here) rises to the divider point of PG1/PD1
 /// while QB sags slightly. Returns `(q0, qb)` at quasi-static equilibrium.
 pub fn read_bump(cell: &SixTCell, vdd: f64) -> (f64, f64) {
-    let q0 = bump_equilibrium(cell, vdd, vdd);
-    let qb = qb_equilibrium(cell, q0, vdd, vdd, Some(vdd));
-    (q0, qb)
+    bump_equilibrium(cell, vdd, vdd, None)
 }
 
 /// Cell read current: the current drawn from the Q-side bitline at voltage
 /// `vbl` while the cell holds '0' on Q (the side that discharges its
 /// bitline). The internal node is re-equilibrated for each bitline voltage.
 pub fn read_current_6t(cell: &SixTCell, vbl: f64, vdd: f64) -> f64 {
-    let q0 = bump_equilibrium(cell, vdd, vbl);
+    let (q0, _) = bump_equilibrium(cell, vdd, vbl, None);
     // Current from bitline into the cell through PG1.
     cell.pg1
         .drain_current(Volt::new(vdd), Volt::new(vbl), Volt::new(q0))
         .amps()
+}
+
+/// Stateful read-current evaluator for bitline sweeps: each evaluation
+/// warm-starts the joint (Q, QB) solve from the previous bitline point's
+/// equilibrium, which collapses the per-point cost to a couple of Newton
+/// iterations. Semantically identical to calling [`read_current_6t`] per
+/// point (the solves converge to the same roots within [`crate::solve::V_TOL`]).
+pub struct ReadCurrentSolver<'a> {
+    cell: &'a SixTCell,
+    vdd: f64,
+    state: Option<(f64, f64)>,
+}
+
+impl<'a> ReadCurrentSolver<'a> {
+    /// New solver for a cell at fixed `vdd` (cold first solve).
+    pub fn new(cell: &'a SixTCell, vdd: f64) -> Self {
+        Self {
+            cell,
+            vdd,
+            state: None,
+        }
+    }
+
+    /// Read current drawn from the bitline at `vbl`.
+    pub fn current(&mut self, vbl: f64) -> f64 {
+        let (q0, qb) = bump_equilibrium(self.cell, self.vdd, vbl, self.state);
+        self.state = Some((q0, qb));
+        self.cell
+            .pg1
+            .drain_current(Volt::new(self.vdd), Volt::new(vbl), Volt::new(q0))
+            .amps()
+    }
 }
 
 /// 8T read-stack current drawn from the read bitline at `v_rbl` when the
@@ -128,7 +330,7 @@ pub fn read_current_6t(cell: &SixTCell, vbl: f64, vdd: f64) -> f64 {
 /// wordline is asserted. The stack's internal node is solved by bisection.
 pub fn read_current_8t(cell: &EightTCell, v_rbl: f64, vdd: f64) -> f64 {
     // Stack: RBL -> RA (gate RWL=vdd) -> node m -> RG (gate = storage = vdd) -> GND.
-    let m = bisect_decreasing(
+    let m = find_root_decreasing(
         |m| {
             let i_in = cell
                 .ra

@@ -7,11 +7,12 @@
 //! ≈ 250 mV (VDD = 0.95 V); a margin of zero (cell never flips even with the
 //! bitline at ground) is a static write failure.
 
-use crate::cell_ops::{q_net_current, qb_equilibrium};
+use crate::cell_ops::{q_net_current, qb_equilibrium_warm};
 use crate::snm::{inverter_trip_point, SnmCondition};
 use crate::solve::{scan_root, RootSearch};
 use crate::topology::SixTCell;
 use sram_device::units::Volt;
+use std::cell::Cell;
 
 /// Number of bitline steps swept from VDD to 0.
 const SWEEP_STEPS: usize = 95;
@@ -44,9 +45,21 @@ impl WriteMargin {
 /// the root of the Q current balance with QB slaved to its own equilibrium.
 /// Returns the root nearest `q_prev`, or `None` if no root remains near the
 /// un-flipped branch.
-fn track_q(cell: &SixTCell, vbl: f64, vdd: f64, vwl: f64, q_prev: f64) -> Option<f64> {
+///
+/// `qb_hint` carries the slaved QB solution across evaluations (and across
+/// sweep steps): QB moves slowly with Q, so the inner equilibrium solve
+/// almost always converges inside the warm bracket.
+fn track_q(
+    cell: &SixTCell,
+    vbl: f64,
+    vdd: f64,
+    vwl: f64,
+    q_prev: f64,
+    qb_hint: &Cell<f64>,
+) -> Option<f64> {
     let f = |q: f64| {
-        let qb = qb_equilibrium(cell, q, vdd, vwl, Some(vdd));
+        let qb = qb_equilibrium_warm(cell, q, vdd, vwl, Some(vdd), qb_hint.get());
+        qb_hint.set(qb);
         q_net_current(cell, q, qb, vdd, vwl, Some(vbl))
     };
     // Search near the previous solution first (continuation), then globally.
@@ -82,9 +95,12 @@ pub fn write_margin_with_wl(cell: &SixTCell, vdd: Volt, vwl: Volt) -> WriteMargi
     let vwl_v = vwl.volts();
     let trip = inverter_trip_point(cell, vdd, SnmCondition::Read).volts();
     let mut q = vdd_v;
+    // With Q at VDD the slaved QB sits near ground; the hint then tracks the
+    // solved value through the whole sweep.
+    let qb_hint = Cell::new(0.0);
     for k in 0..=SWEEP_STEPS {
         let vbl = vdd_v * (1.0 - k as f64 / SWEEP_STEPS as f64);
-        match track_q(cell, vbl, vdd_v, vwl_v, q) {
+        match track_q(cell, vbl, vdd_v, vwl_v, q, &qb_hint) {
             Some(root) => {
                 q = root;
                 if q < trip {

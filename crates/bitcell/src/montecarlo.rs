@@ -266,8 +266,8 @@ pub fn run_6t(
     let sigmas = cell.sigmas(variation);
     let metrics = sram_exec::par_map_indexed(options.samples, |k| {
         let (mut sampler, mut rng) = VtSampler::fork(options.seed, k as u64);
-        let mut deltas = Vec::with_capacity(6);
-        sampler.sample_cell(&mut rng, &sigmas, &mut deltas);
+        let mut deltas = [Volt::new(0.0); 6];
+        sampler.sample_cell_into(&mut rng, &sigmas, &mut deltas);
         let mut sample = cell.clone();
         sample.apply_variation(&deltas);
 
@@ -303,8 +303,8 @@ pub fn run_8t(
     let sigmas = cell.sigmas(variation);
     let metrics = sram_exec::par_map_indexed(options.samples, |k| {
         let (mut sampler, mut rng) = VtSampler::fork(options.seed ^ 0x8888_8888, k as u64);
-        let mut deltas = Vec::with_capacity(8);
-        sampler.sample_cell(&mut rng, &sigmas, &mut deltas);
+        let mut deltas = [Volt::new(0.0); 8];
+        sampler.sample_cell_into(&mut rng, &sigmas, &mut deltas);
         let mut sample = cell.clone();
         sample.apply_variation(&deltas);
 

@@ -72,11 +72,11 @@ pub fn retention_statistics(
     let sigmas = cell.sigmas(variation);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sampler = VtSampler::new();
-    let mut deltas = Vec::with_capacity(6);
+    let mut deltas = [Volt::new(0.0); 6];
     let mut sum = 0.0;
     let mut worst = lo;
     for _ in 0..samples {
-        sampler.sample_cell(&mut rng, &sigmas, &mut deltas);
+        sampler.sample_cell_into(&mut rng, &sigmas, &mut deltas);
         let mut instance = cell.clone();
         instance.apply_variation(&deltas);
         let drv = retention_voltage(&instance, lo, hi);

@@ -8,13 +8,13 @@
 //! pass-gate pulling each storage node toward the precharged bitline, which
 //! is what collapses the margin at scaled voltages.
 
-use crate::solve::bisect_decreasing;
+use crate::solve::{find_root_decreasing, find_root_decreasing_warm};
 use crate::topology::SixTCell;
 use sram_device::mosfet::Mosfet;
 use sram_device::units::Volt;
 
 /// Number of VTC sample points used for SNM extraction.
-const VTC_POINTS: usize = 101;
+pub const VTC_POINTS: usize = 101;
 
 /// Which static condition the cell is evaluated under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,9 +39,10 @@ struct InverterHalf<'a> {
 
 impl InverterHalf<'_> {
     /// Output voltage for a given input (gate) voltage: the unique root of
-    /// the node current balance, found by bisection (the net inflow is
-    /// strictly decreasing in the output voltage).
-    fn transfer(&self, vin: f64, vdd: f64) -> f64 {
+    /// the node current balance (the net inflow is strictly decreasing in
+    /// the output voltage). When `hint` carries the previous grid point's
+    /// output, the solve warm-starts from a narrow bracket around it.
+    fn transfer(&self, vin: f64, vdd: f64, hint: Option<f64>) -> f64 {
         let net = |v: f64| {
             // Current *into* the output node:
             //   PMOS pull-up from VDD (gate vin), source at VDD, drain at v.
@@ -64,17 +65,28 @@ impl InverterHalf<'_> {
             };
             i_pu + i_pg - i_pd
         };
-        bisect_decreasing(net, 0.0, vdd)
+        match hint {
+            // The VTC is steepest around the trip point, where adjacent grid
+            // outputs can be hundreds of mV apart; the 25 mV window catches
+            // the flat regions (most of the curve) and the miss costs only
+            // two extra probes that shrink the fallback bracket.
+            Some(h) => find_root_decreasing_warm(net, 0.0, vdd, h, 0.025),
+            None => find_root_decreasing(net, 0.0, vdd),
+        }
     }
 }
 
 /// A sampled voltage-transfer curve (input monotone grid, output values).
+///
+/// Fixed-size storage: VTC extraction runs inside the Monte Carlo SNM loop,
+/// so the buffers live on the stack instead of costing two heap allocations
+/// per inverter per sample.
 #[derive(Debug, Clone)]
 pub struct Vtc {
     /// Input samples in volts (uniform `0..=vdd`).
-    pub vin: Vec<f64>,
+    pub vin: [f64; VTC_POINTS],
     /// Output samples in volts.
-    pub vout: Vec<f64>,
+    pub vout: [f64; VTC_POINTS],
 }
 
 impl Vtc {
@@ -115,12 +127,17 @@ pub fn inverter_vtc(cell: &SixTCell, vdd: Volt, condition: SnmCondition, side_q:
             read: condition == SnmCondition::Read,
         }
     };
-    let mut vin = Vec::with_capacity(VTC_POINTS);
-    let mut vout = Vec::with_capacity(VTC_POINTS);
+    let mut vin = [0.0; VTC_POINTS];
+    let mut vout = [0.0; VTC_POINTS];
+    let mut prev = None;
     for k in 0..VTC_POINTS {
         let x = vdd_v * k as f64 / (VTC_POINTS - 1) as f64;
-        vin.push(x);
-        vout.push(half.transfer(x, vdd_v));
+        vin[k] = x;
+        // Warm-start each solve from the previous grid point's output (the
+        // curve is continuous, so the root moves only a little per step).
+        let out = half.transfer(x, vdd_v, prev);
+        vout[k] = out;
+        prev = Some(out);
     }
     Vtc { vin, vout }
 }
@@ -159,6 +176,14 @@ fn loop_fixed_points(vtc1: &Vtc, vtc2: &Vtc, vn: f64, vdd: f64) -> usize {
         }
         prev = cur;
     }
+    // An exact zero at the last grid point is a fixed point too: the solver
+    // returns rail-saturated VTC points as exactly the rail voltage (a root
+    // within tolerance of the bracket boundary collapses onto it), which
+    // makes h(vdd) == ±0.0 for a healthy hold state. signum(±0.0) = ±1
+    // would otherwise hide that crossing from the sign test above.
+    if prev == 0.0 {
+        count += 1;
+    }
     count
 }
 
@@ -173,7 +198,10 @@ fn snm_one_polarity(vtc1: &Vtc, vtc2: &Vtc, vdd: f64, polarity: f64) -> f64 {
     if bistable(hi) {
         return hi; // clamp: margin beyond half the supply is "infinite" here
     }
-    for _ in 0..40 {
+    // Binary search on the predicate down to well under the solver voltage
+    // tolerance (the old fixed 40-iteration budget reached ~4e-13 V, far
+    // past the accuracy the interpolated VTCs support).
+    while hi - lo > 0.5 * crate::solve::V_TOL {
         let mid = 0.5 * (lo + hi);
         if bistable(mid) {
             lo = mid;
@@ -197,7 +225,7 @@ pub fn snm_grid(cell: &SixTCell, vdds: &[Volt], condition: SnmCondition) -> Vec<
 pub fn inverter_trip_point(cell: &SixTCell, vdd: Volt, condition: SnmCondition) -> Volt {
     let vtc = inverter_vtc(cell, vdd, condition, false);
     // f2 is decreasing, f2(x) - x is strictly decreasing: unique crossing.
-    let root = bisect_decreasing(|x| vtc.at(x) - x, 0.0, vdd.volts());
+    let root = find_root_decreasing(|x| vtc.at(x) - x, 0.0, vdd.volts());
     Volt::new(root)
 }
 

@@ -3,15 +3,183 @@
 //! All the static bitcell metrics reduce to finding the voltage of a single
 //! node where the net current vanishes. Every such net-current function in an
 //! SRAM cell is strictly monotone in the node voltage (pull-up currents fall,
-//! pull-down currents rise), so bisection is both guaranteed and fast; no
-//! Jacobian bookkeeping required. The full `nanospice` Newton solver is used
-//! in validation tests to confirm these scalar solutions.
+//! pull-down currents rise), so a bracketed method is guaranteed; the
+//! production path uses Brent's method, which converges superlinearly once
+//! the root is near, exiting on a [`V_TOL`] voltage tolerance instead of a
+//! fixed halving budget. A plain bisection ([`bisect_decreasing`]) is kept as
+//! the slow reference implementation the property tests compare against. The
+//! full `nanospice` Newton solver is used in validation tests to confirm
+//! these scalar solutions.
 
-/// Finds the root of a *strictly decreasing* function `f` on `[lo, hi]` by
-/// bisection.
+/// Absolute voltage tolerance of the production root finders: 1 µV, far
+/// below any margin or timing sensitivity in the paper's pipeline but
+/// reached in ~8 Brent evaluations instead of 42 bisections.
+pub const V_TOL: f64 = 1e-6;
+
+/// Brent's method on a sign-changing bracket `[a, b]`; `fa`, `fb` are the
+/// already-evaluated endpoint values (callers always have them from the
+/// bracket checks, so no evaluation is wasted re-probing the ends).
+///
+/// Terminates when the bracket shrinks below `tol` (plus the floating-point
+/// floor near the iterate) and returns the best estimate of the root.
+fn brent(f: &mut dyn FnMut(f64) -> f64, a: f64, b: f64, fa: f64, fb: f64, tol: f64) -> f64 {
+    debug_assert!(fa.signum() != fb.signum() || fa == 0.0 || fb == 0.0);
+    if fa == 0.0 {
+        return a;
+    }
+    if fb == 0.0 {
+        return b;
+    }
+    let (mut a, mut b, mut fa, mut fb) = (a, b, fa, fb);
+    // c is the previous iterate of b; together (a, b, c) drive the inverse
+    // quadratic / secant steps, with bisection as the safeguard.
+    let (mut c, mut fc) = (a, fa);
+    let (mut d, mut e) = (b - a, b - a);
+    for _ in 0..100 {
+        if fb.signum() == fc.signum() {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+        if fc.abs() < fb.abs() {
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return b;
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Secant (two points) or inverse quadratic (three points).
+            let s = fb / fa;
+            let (mut p, mut q) = if a == c {
+                (2.0 * xm * s, 1.0 - s)
+            } else {
+                let q = fa / fc;
+                let r = fb / fc;
+                (
+                    s * (2.0 * xm * q * (q - r) - (b - a) * (r - 1.0)),
+                    (q - 1.0) * (r - 1.0) * (s - 1.0),
+                )
+            };
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                // Interpolation accepted.
+                e = d;
+                d = p / q;
+            } else {
+                // Fall back to bisection.
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
+        fb = f(b);
+    }
+    b
+}
+
+/// Finds the root of a *strictly decreasing* function `f` on `[lo, hi]` via
+/// Brent's method, to [`V_TOL`] absolute tolerance.
 ///
 /// Returns the boundary with the smaller |f| if the root lies outside the
-/// bracket (saturated node).
+/// bracket (saturated node), mirroring [`bisect_decreasing`].
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn find_root_decreasing(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    let f_lo = f(lo);
+    // f decreasing: f(lo) >= f(hi). Root inside iff f(lo) >= 0 >= f(hi).
+    if f_lo < 0.0 {
+        return lo;
+    }
+    let f_hi = f(hi);
+    if f_hi > 0.0 {
+        return hi;
+    }
+    brent(&mut f, lo, hi, f_lo, f_hi, V_TOL)
+}
+
+/// Like [`find_root_decreasing`] but for a strictly increasing `f`.
+pub fn find_root_increasing(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    find_root_decreasing(|x| -f(x), lo, hi)
+}
+
+/// Warm-started [`find_root_decreasing`]: first probes the narrow bracket
+/// `[hint - window, hint + window] ∩ [lo, hi]`; when the sign change lands
+/// inside it (the usual case on a grid sweep where `hint` is the previous
+/// grid point's root), Brent runs on that tiny bracket. When the residual
+/// check fails, the probed endpoint signs still shrink the fallback bracket,
+/// so a cold miss costs at most two extra evaluations.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn find_root_decreasing_warm(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    hint: f64,
+    window: f64,
+) -> f64 {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    let a = (hint - window).max(lo);
+    let b = (hint + window).min(hi);
+    if a >= b {
+        return find_root_decreasing(f, lo, hi);
+    }
+    let fa = f(a);
+    if fa < 0.0 {
+        // Root (if any) below the window: f decreasing and already negative.
+        if a <= lo {
+            return lo;
+        }
+        let f_lo = f(lo);
+        if f_lo < 0.0 {
+            return lo;
+        }
+        return brent(&mut f, lo, a, f_lo, fa, V_TOL);
+    }
+    let fb = f(b);
+    if fb <= 0.0 {
+        return brent(&mut f, a, b, fa, fb, V_TOL);
+    }
+    // Root above the window.
+    if b >= hi {
+        return hi;
+    }
+    let f_hi = f(hi);
+    if f_hi > 0.0 {
+        return hi;
+    }
+    brent(&mut f, b, hi, fb, f_hi, V_TOL)
+}
+
+/// Finds the root of a *strictly decreasing* function `f` on `[lo, hi]` by
+/// fixed-budget bisection (42 halvings).
+///
+/// This is the **reference** solver: the production paths use the Brent
+/// variants above, and the property tests pin their agreement against this
+/// implementation. Returns the boundary with the smaller |f| if the root
+/// lies outside the bracket (saturated node).
 ///
 /// # Panics
 ///
@@ -28,9 +196,7 @@ pub fn bisect_decreasing(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
         return hi;
     }
     let (mut a, mut b) = (lo, hi);
-    // 42 halvings of a ~1 V bracket reach ~2e-13 V, far below any margin or
-    // timing sensitivity; this is a Monte Carlo inner loop, so iterations
-    // are budgeted deliberately.
+    // 42 halvings of a ~1 V bracket reach ~2e-13 V.
     for _ in 0..42 {
         let m = 0.5 * (a + b);
         if f(m) >= 0.0 {
@@ -42,7 +208,8 @@ pub fn bisect_decreasing(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
     0.5 * (a + b)
 }
 
-/// Like [`bisect_decreasing`] but for a strictly increasing `f`.
+/// Like [`bisect_decreasing`] but for a strictly increasing `f` (reference
+/// implementation).
 pub fn bisect_increasing(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
     bisect_decreasing(|x| -f(x), lo, hi)
 }
@@ -57,11 +224,11 @@ pub enum RootSearch {
 }
 
 /// Searches `[lo, hi]` for a root of an arbitrary continuous `f` by uniform
-/// scanning followed by bisection on the first sign-change interval.
+/// scanning followed by Brent's method on the first sign-change interval.
 ///
 /// Used where monotonicity is *not* guaranteed (e.g. locating the trip point
 /// of a full cross-coupled cell near its flip).
-pub fn scan_root(f: impl Fn(f64) -> f64, lo: f64, hi: f64, segments: usize) -> RootSearch {
+pub fn scan_root(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, segments: usize) -> RootSearch {
     assert!(segments >= 1 && lo <= hi);
     let mut x0 = lo;
     let mut f0 = f(x0);
@@ -75,64 +242,12 @@ pub fn scan_root(f: impl Fn(f64) -> f64, lo: f64, hi: f64, segments: usize) -> R
             return RootSearch::Found(x1);
         }
         if f0.signum() != f1.signum() {
-            // Bisect inside [x0, x1].
-            let (mut a, mut b, fa) = (x0, x1, f0);
-            for _ in 0..60 {
-                let m = 0.5 * (a + b);
-                let fm = f(m);
-                if fm == 0.0 {
-                    return RootSearch::Found(m);
-                }
-                if fa.signum() == fm.signum() {
-                    a = m;
-                } else {
-                    b = m;
-                }
-            }
-            return RootSearch::Found(0.5 * (a + b));
+            return RootSearch::Found(brent(&mut f, x0, x1, f0, f1, V_TOL));
         }
         x0 = x1;
         f0 = f1;
     }
     RootSearch::NotBracketed
-}
-
-/// Integrates the scalar ODE `dv/dt = rate(v)` from `v0` until `stop(v)`
-/// turns true, using adaptive forward Euler (step limited to a maximum
-/// voltage change). Returns the elapsed time, or `None` if the node stalls
-/// (|rate| collapses) or `t_max` elapses before the stop condition.
-///
-/// This quasi-static integration is how read-access and write timing are
-/// computed without a full transient solve per Monte Carlo sample; accuracy
-/// is validated against `nanospice` transients in the integration tests.
-pub fn integrate_until(
-    rate: impl Fn(f64) -> f64,
-    v0: f64,
-    stop: impl Fn(f64) -> bool,
-    max_dv: f64,
-    t_max: f64,
-) -> Option<OdeEnd> {
-    let mut v = v0;
-    let mut t = 0.0;
-    // Stall threshold: if the node moves slower than max_dv per t_max we will
-    // never finish; bail out early.
-    let stall_rate = max_dv / t_max * 1e-3;
-    for _ in 0..200_000 {
-        if stop(v) {
-            return Some(OdeEnd { v, t });
-        }
-        let r = rate(v);
-        if r.abs() < stall_rate {
-            return None;
-        }
-        let dt = (max_dv / r.abs()).min(t_max / 256.0);
-        v += r * dt;
-        t += dt;
-        if t > t_max {
-            return None;
-        }
-    }
-    None
 }
 
 /// Terminal state of [`integrate_until`]: final voltage and elapsed time.
@@ -142,6 +257,144 @@ pub struct OdeEnd {
     pub v: f64,
     /// Elapsed time in seconds.
     pub t: f64,
+}
+
+/// How an [`integrate_until`] run ended. The failure modes are distinct so
+/// callers (and tests) can tell a genuinely stalled node from a budget
+/// exhaustion — the old solver conflated all three into `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OdeOutcome {
+    /// The stop condition was met; contains the crossing state.
+    Finished(OdeEnd),
+    /// |rate| collapsed below the stall threshold before the stop condition
+    /// (the node physically cannot reach the target).
+    Stalled(OdeEnd),
+    /// `t_max` elapsed (final step clamped exactly to `t_max`) without
+    /// meeting the stop condition.
+    TimedOut(OdeEnd),
+    /// The step-count safety cap was hit (pathological rate function).
+    StepLimit(OdeEnd),
+}
+
+impl OdeOutcome {
+    /// The crossing state when the run finished, `None` on any failure —
+    /// the old `Option` surface for callers that only need success.
+    pub fn finished(self) -> Option<OdeEnd> {
+        match self {
+            OdeOutcome::Finished(end) => Some(end),
+            _ => None,
+        }
+    }
+
+    /// The terminal state regardless of end cause.
+    pub fn end(self) -> OdeEnd {
+        match self {
+            OdeOutcome::Finished(e)
+            | OdeOutcome::Stalled(e)
+            | OdeOutcome::TimedOut(e)
+            | OdeOutcome::StepLimit(e) => e,
+        }
+    }
+}
+
+/// Safety cap on integration steps; generous, since the adaptive stepper
+/// takes orders of magnitude fewer steps than the error control requires.
+const MAX_ODE_STEPS: usize = 200_000;
+
+/// Integrates the scalar ODE `dv/dt = rate(v)` from `v0` until `stop(v)`
+/// turns true, using an adaptive second-order Heun stepper with step
+/// doubling/halving on the embedded Euler–Heun error estimate.
+///
+/// `max_dv` bounds the per-step voltage change (and sets the error scale:
+/// steps are controlled to a local truncation error well under `max_dv`),
+/// `t_max` bounds the elapsed time — the final step is clamped so the
+/// integration never overshoots `t_max`. When the stop condition fires
+/// inside a step, the crossing time is located by bisection on the step's
+/// linear interpolant, so large adaptive steps do not cost timing accuracy.
+///
+/// This quasi-static integration is how read-access and write timing are
+/// computed without a full transient solve per Monte Carlo sample; accuracy
+/// is validated against `nanospice` transients in the integration tests.
+pub fn integrate_until(
+    mut rate: impl FnMut(f64) -> f64,
+    v0: f64,
+    stop: impl Fn(f64) -> bool,
+    max_dv: f64,
+    t_max: f64,
+) -> OdeOutcome {
+    // Per-step local error target: 1/50 of the step-size bound keeps the
+    // accumulated trajectory error far below the voltage scales any caller
+    // thresholds on, while still letting Heun take ~4x Euler's step.
+    let err_tol = max_dv / 50.0;
+    let stall_rate = max_dv / t_max * 1e-3;
+    let mut v = v0;
+    let mut t = 0.0;
+    // Step-size state: start from the Euler-sized step.
+    let mut dt_next: Option<f64> = None;
+    for _ in 0..MAX_ODE_STEPS {
+        if stop(v) {
+            return OdeOutcome::Finished(OdeEnd { v, t });
+        }
+        if t >= t_max {
+            return OdeOutcome::TimedOut(OdeEnd { v, t });
+        }
+        let r1 = rate(v);
+        if r1.abs() < stall_rate {
+            return OdeOutcome::Stalled(OdeEnd { v, t });
+        }
+        let mut dt = dt_next
+            .unwrap_or(max_dv / r1.abs())
+            .min(4.0 * max_dv / r1.abs());
+        // Clamp the final step exactly onto t_max.
+        dt = dt.min(t_max - t);
+        // Attempt the step, halving until the embedded error is acceptable.
+        let (v_new, dt_taken, err, r2) = loop {
+            let v_pred = v + r1 * dt;
+            let r2 = rate(v_pred);
+            let v_heun = v + 0.5 * dt * (r1 + r2);
+            let err = 0.5 * dt * (r2 - r1).abs();
+            if err <= err_tol || dt <= 1e-6 * t_max / MAX_ODE_STEPS as f64 {
+                break (v_heun, dt, err, r2);
+            }
+            dt *= 0.5;
+        };
+        // Crossed the stop threshold inside this step: bisect the linear
+        // interpolant for the crossing time (no further rate evaluations).
+        if stop(v_new) {
+            let (mut a, mut b) = (0.0, 1.0);
+            for _ in 0..30 {
+                let m = 0.5 * (a + b);
+                if stop(v + (v_new - v) * m) {
+                    b = m;
+                } else {
+                    a = m;
+                }
+            }
+            let frac = 0.5 * (a + b);
+            return OdeOutcome::Finished(OdeEnd {
+                v: v + (v_new - v) * frac,
+                t: t + dt_taken * frac,
+            });
+        }
+        // The rate changed sign inside the accepted step: the node is pinned
+        // at an interior equilibrium short of the stop condition. A
+        // continuous trajectory can never pass a zero of rate(v), so this is
+        // a stall — detected here in O(1) steps, where a fixed-step explicit
+        // scheme would hover around the equilibrium until t_max.
+        if r1.signum() != r2.signum() {
+            return OdeOutcome::Stalled(OdeEnd { v, t });
+        }
+        v = v_new;
+        t += dt_taken;
+        // Step-doubling controller: grow gently, shrink decisively.
+        let scale = if err > 0.0 {
+            (0.9 * (err_tol / err).sqrt()).clamp(0.3, 2.0)
+        } else {
+            2.0
+        };
+        dt_next = Some(dt_taken * scale);
+    }
+    OdeOutcome::StepLimit(OdeEnd { v, t })
 }
 
 #[cfg(test)]
@@ -155,6 +408,21 @@ mod tests {
     }
 
     #[test]
+    fn brent_finds_linear_root() {
+        let root = find_root_decreasing(|x| 1.0 - 2.0 * x, 0.0, 1.0);
+        assert!((root - 0.5).abs() < V_TOL);
+    }
+
+    #[test]
+    fn brent_matches_bisection_on_stiff_exponential() {
+        // Current-balance-like shape: exponential vs linear.
+        let f = |x: f64| 1e-6 * (-(x) / 0.026).exp() - 1e-6 * x;
+        let reference = bisect_decreasing(f, 0.0, 1.0);
+        let fast = find_root_decreasing(f, 0.0, 1.0);
+        assert!((fast - reference).abs() < V_TOL, "{fast} vs {reference}");
+    }
+
+    #[test]
     fn bisect_clamps_to_bounds() {
         // Root below the bracket.
         let r = bisect_decreasing(|x| -1.0 - x, 0.0, 1.0);
@@ -165,9 +433,46 @@ mod tests {
     }
 
     #[test]
-    fn bisect_increasing_mirrors() {
+    fn brent_clamps_to_bounds() {
+        let r = find_root_decreasing(|x| -1.0 - x, 0.0, 1.0);
+        assert_eq!(r, 0.0);
+        let r = find_root_decreasing(|x| 2.0 - x, 0.0, 1.0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn warm_start_hits_root_in_window() {
+        let f = |x: f64| 0.37 - x;
+        let r = find_root_decreasing_warm(f, 0.0, 1.0, 0.35, 0.05);
+        assert!((r - 0.37).abs() < V_TOL);
+    }
+
+    #[test]
+    fn warm_start_falls_back_when_root_outside_window() {
+        let f = |x: f64| 0.9 - x;
+        // Hint far below the actual root.
+        let r = find_root_decreasing_warm(f, 0.0, 1.0, 0.1, 0.05);
+        assert!((r - 0.9).abs() < V_TOL, "got {r}");
+        // Hint far above.
+        let f = |x: f64| 0.1 - x;
+        let r = find_root_decreasing_warm(f, 0.0, 1.0, 0.9, 0.05);
+        assert!((r - 0.1).abs() < V_TOL, "got {r}");
+    }
+
+    #[test]
+    fn warm_start_clamps_like_cold() {
+        let f = |x: f64| -1.0 - x; // root below lo
+        assert_eq!(find_root_decreasing_warm(f, 0.0, 1.0, 0.5, 0.1), 0.0);
+        let f = |x: f64| 2.0 - x; // root above hi
+        assert_eq!(find_root_decreasing_warm(f, 0.0, 1.0, 0.5, 0.1), 1.0);
+    }
+
+    #[test]
+    fn increasing_variants_mirror() {
         let root = bisect_increasing(|x| x * x - 0.25, 0.0, 1.0);
         assert!((root - 0.5).abs() < 1e-12);
+        let root = find_root_increasing(|x| x * x - 0.25, 0.0, 1.0);
+        assert!((root - 0.5).abs() < V_TOL);
     }
 
     #[test]
@@ -175,7 +480,7 @@ mod tests {
         // f has roots at 0.3 and 0.7; the scan finds the first.
         let f = |x: f64| (x - 0.3) * (x - 0.7);
         match scan_root(f, 0.0, 1.0, 50) {
-            RootSearch::Found(r) => assert!((r - 0.3).abs() < 1e-9),
+            RootSearch::Found(r) => assert!((r - 0.3).abs() < 1e-5),
             RootSearch::NotBracketed => panic!("root exists"),
         }
     }
@@ -190,7 +495,9 @@ mod tests {
     fn integrate_exponential_decay() {
         // dv/dt = -v / tau; time to fall from 1 to 0.5 is tau ln 2.
         let tau = 1e-9;
-        let out = integrate_until(|v| -v / tau, 1.0, |v| v <= 0.5, 1e-3, 1e-6).expect("finishes");
+        let out = integrate_until(|v| -v / tau, 1.0, |v| v <= 0.5, 1e-3, 1e-6)
+            .finished()
+            .expect("finishes");
         let expected = tau * std::f64::consts::LN_2;
         assert!(
             (out.t - expected).abs() < 0.01 * expected,
@@ -200,16 +507,73 @@ mod tests {
         );
     }
 
-    #[test]
-    fn integrate_detects_stall() {
-        // Rate vanishes at v = 0.5 before stop at 0.2 is reached.
-        let out = integrate_until(|v| -(v - 0.5), 1.0, |v| v <= 0.2, 1e-3, 1e-3);
-        assert!(out.is_none());
+    /// Decays quickly toward v = 0.5, where the rate collapses below the
+    /// stall threshold long before `t_max` elapses.
+    fn stalling_run() -> OdeOutcome {
+        integrate_until(|v| -(v - 0.5) / 1e-6, 1.0, |v| v <= 0.2, 1e-3, 1e-3)
+    }
+
+    /// A healthy fast slew that simply runs out of `t_max`.
+    fn timing_out_run() -> OdeOutcome {
+        integrate_until(|_| -1e9, 1.0, |v| v <= -1e9, 1e-3, 1e-9)
     }
 
     #[test]
-    fn integrate_respects_t_max() {
+    fn integrate_detects_stall() {
+        // Rate vanishes at v = 0.5 before stop at 0.2 is reached.
+        let out = stalling_run();
+        assert!(matches!(out, OdeOutcome::Stalled(_)), "{out:?}");
+        assert!(out.finished().is_none());
+        // The stalled state reports where the node got stuck.
+        assert!((out.end().v - 0.5).abs() < 0.01, "stuck at {}", out.end().v);
+    }
+
+    #[test]
+    fn integrate_respects_t_max_and_clamps_final_step() {
+        match timing_out_run() {
+            OdeOutcome::TimedOut(end) => {
+                // The final step is clamped: elapsed time lands exactly on
+                // t_max instead of overshooting by up to one step.
+                assert!(end.t <= 1e-9 * (1.0 + 1e-12), "overshot t_max: {}", end.t);
+                assert!(end.t >= 1e-9 * (1.0 - 1e-9), "undershot t_max: {}", end.t);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_and_stall_are_distinct_end_causes() {
+        // Neither run satisfies its stop predicate; one stalls, the other
+        // times out — the outcomes must be distinguishable (the old solver
+        // returned None for both).
+        assert!(matches!(stalling_run(), OdeOutcome::Stalled(_)));
+        assert!(matches!(timing_out_run(), OdeOutcome::TimedOut(_)));
+    }
+
+    #[test]
+    fn slow_slew_against_tight_budget_reads_as_stall() {
+        // A node moving far slower than max_dv per t_max can never finish;
+        // the stall guard catches it immediately rather than wasting the
+        // whole step budget (documented conflation of "too slow" with
+        // "rate collapsed" — both are Stalled).
         let out = integrate_until(|_| -1.0, 1.0, |v| v <= -1e9, 1e-3, 1e-9);
-        assert!(out.is_none());
+        assert!(matches!(out, OdeOutcome::Stalled(_)), "{out:?}");
+    }
+
+    #[test]
+    fn adaptive_stepper_is_second_order_accurate() {
+        // Nonlinear rate with strong curvature: dv/dt = -v²/τ from v=1;
+        // exact time from 1 to 0.25 is τ·(1/0.25 - 1) = 3τ.
+        let tau = 1e-9;
+        let out = integrate_until(|v: f64| -v * v / tau, 1.0, |v| v <= 0.25, 1e-2, 1e-3)
+            .finished()
+            .expect("finishes");
+        let expected = 3.0 * tau;
+        assert!(
+            (out.t - expected).abs() < 5e-3 * expected,
+            "{} vs {}",
+            out.t,
+            expected
+        );
     }
 }

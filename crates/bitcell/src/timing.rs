@@ -14,11 +14,12 @@
 //! Failures (paper §IV): *read access failure* = bitline too slow; *write
 //! failure* = node cannot reach the trip point in the write window.
 
-use crate::cell_ops::{q_net_current, qb_equilibrium, read_current_6t, read_current_8t};
+use crate::cell_ops::{q_net_current, qb_equilibrium_warm, read_current_8t, ReadCurrentSolver};
 use crate::solve::integrate_until;
 use crate::topology::{EightTCell, SixTCell};
 use sram_device::units::Volt as VoltUnit;
 use sram_device::units::{Farad, Second, Volt};
+use std::cell::Cell;
 
 /// Electrical environment of a cell inside a sub-array column.
 ///
@@ -51,7 +52,7 @@ const READ_GRID: usize = 8;
 /// sense window, so a coarse grid is accurate; returns `None` when the
 /// current collapses (stalled read corner).
 fn bitline_discharge_time(
-    current: impl Fn(f64) -> f64,
+    mut current: impl FnMut(f64) -> f64,
     vdd: f64,
     delta_v: f64,
     c_bitline: f64,
@@ -84,8 +85,11 @@ fn bitline_discharge_time(
 /// if the cell current stalls (vanishing read current corner).
 pub fn read_access_time_6t(cell: &SixTCell, vdd: Volt, env: &ColumnEnvironment) -> Option<Second> {
     let vdd_v = vdd.volts();
+    // The grid walks the bitline monotonically down from VDD, so each point
+    // warm-starts the internal-node solve from the previous equilibrium.
+    let mut solver = ReadCurrentSolver::new(cell, vdd_v);
     bitline_discharge_time(
-        |vbl| read_current_6t(cell, vbl, vdd_v),
+        |vbl| solver.current(vbl),
         vdd_v,
         env.delta_v_sense.volts(),
         env.c_bitline.farads(),
@@ -132,16 +136,22 @@ pub fn write_time(cell: &SixTCell, vdd: Volt) -> Option<Second> {
     // regenerative feedback has taken over by then (and the quasi-static
     // integration follows it — the rate accelerates once QB starts rising).
     let target = 0.1 * vdd_v;
+    // QB is slaved to its own equilibrium at every rate evaluation; since
+    // the stepper moves Q in small increments, each solve warm-starts from
+    // the previous QB (falling back to the full bracket on a miss).
+    let qb_prev = Cell::new(0.0);
     let end = integrate_until(
         |q| {
-            let qb = qb_equilibrium(cell, q, vdd_v, vwl, Some(vdd_v));
+            let qb = qb_equilibrium_warm(cell, q, vdd_v, vwl, Some(vdd_v), qb_prev.get());
+            qb_prev.set(qb);
             q_net_current(cell, q, qb, vdd_v, vwl, Some(0.0)) / c
         },
         vdd_v,
         |q| q <= target,
         vdd_v / 160.0,
         1e-6,
-    )?;
+    )
+    .finished()?;
     Some(Second::new(end.t))
 }
 

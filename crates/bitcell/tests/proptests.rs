@@ -80,3 +80,102 @@ proptest! {
         );
     }
 }
+
+/// Randomized strictly decreasing current-balance-like function: a falling
+/// exponential (pull-up) minus a rising linear+exponential term (pull-down),
+/// the generic shape of every net-current the scalar solvers see.
+fn monotone_net_current(a: f64, b: f64, vt: f64, x: f64) -> f64 {
+    a * ((-x / vt).exp() - 0.5) - b * x
+}
+
+proptest! {
+    /// Brent agrees with the reference bisection everywhere on randomized
+    /// monotone current-like functions.
+    #[test]
+    fn brent_matches_reference_bisection(
+        a in 1e-9f64..1e-3,
+        b in 1e-9f64..1e-3,
+        vt in 0.02f64..0.3,
+    ) {
+        let f = |x: f64| monotone_net_current(a, b, vt, x);
+        let reference = sram_bitcell::solve::bisect_decreasing(f, 0.0, 1.0);
+        let fast = sram_bitcell::solve::find_root_decreasing(f, 0.0, 1.0);
+        prop_assert!(
+            (fast - reference).abs() <= sram_bitcell::solve::V_TOL,
+            "brent {fast} vs bisection {reference} (a={a}, b={b}, vt={vt})"
+        );
+    }
+
+    /// Out-of-bracket clamping: when the root lies outside `[lo, hi]`, both
+    /// solvers return the same boundary.
+    #[test]
+    fn brent_clamps_exactly_like_bisection(offset in -2.0f64..2.0) {
+        // f(x) = offset − x: root at `offset`, often outside [0, 1].
+        let f = |x: f64| offset - x;
+        let reference = sram_bitcell::solve::bisect_decreasing(f, 0.0, 1.0);
+        let fast = sram_bitcell::solve::find_root_decreasing(f, 0.0, 1.0);
+        if offset < 0.0 {
+            prop_assert_eq!(fast, 0.0);
+            prop_assert_eq!(reference, 0.0);
+        } else if offset > 1.0 {
+            prop_assert_eq!(fast, 1.0);
+            prop_assert_eq!(reference, 1.0);
+        } else {
+            prop_assert!((fast - reference).abs() <= sram_bitcell::solve::V_TOL);
+        }
+    }
+
+    /// Warm-started sweeps land on the same roots as cold-started ones: a
+    /// grid of shifted monotone functions solved left-to-right with the
+    /// previous root as hint must agree point-for-point with cold solves.
+    #[test]
+    fn warm_grid_sweep_matches_cold(
+        a in 1e-9f64..1e-3,
+        b in 1e-9f64..1e-3,
+        vt in 0.02f64..0.3,
+        window in 1e-4f64..0.2,
+    ) {
+        let mut hint: Option<f64> = None;
+        for k in 0..24 {
+            // Shift the balance point a little per grid step, like a
+            // bitline sweep shifts the pass-gate operating point.
+            let shift = 0.01 * k as f64;
+            let f = |x: f64| monotone_net_current(a, b, vt, x) + b * shift;
+            let cold = sram_bitcell::solve::find_root_decreasing(f, 0.0, 1.0);
+            let warm = match hint {
+                Some(h) => {
+                    sram_bitcell::solve::find_root_decreasing_warm(f, 0.0, 1.0, h, window)
+                }
+                None => cold,
+            };
+            prop_assert!(
+                (warm - cold).abs() <= 2.0 * sram_bitcell::solve::V_TOL,
+                "grid point {k}: warm {warm} vs cold {cold} (window {window})"
+            );
+            hint = Some(warm);
+        }
+    }
+
+    /// The physical cell solvers agree: a warm-started read-current sweep
+    /// (the production path inside `read_access_time_6t`) reproduces the
+    /// cold per-point solves.
+    #[test]
+    fn warm_read_current_sweep_matches_cold(vdd_mv in 600.0f64..950.0, steps in 2usize..8) {
+        use sram_bitcell::cell_ops::{read_current_6t, ReadCurrentSolver};
+        use sram_bitcell::topology::{SixTCell, SixTSizing};
+        use sram_device::process::Technology;
+
+        let cell = SixTCell::new(&Technology::ptm_22nm(), &SixTSizing::paper_baseline());
+        let vdd = vdd_mv * 1e-3;
+        let mut solver = ReadCurrentSolver::new(&cell, vdd);
+        for k in 0..=steps {
+            let vbl = vdd - 0.1 * vdd * k as f64 / steps as f64;
+            let warm = solver.current(vbl);
+            let cold = read_current_6t(&cell, vbl, vdd);
+            prop_assert!(
+                (warm - cold).abs() <= 1e-3 * cold.abs().max(1e-12),
+                "vbl {vbl}: warm {warm} vs cold {cold}"
+            );
+        }
+    }
+}

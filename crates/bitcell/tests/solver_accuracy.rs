@@ -1,0 +1,137 @@
+//! Solver accuracy and efficiency regression gates.
+//!
+//! **Accuracy**: the Brent/Newton/adaptive-Heun solver core (this PR)
+//! replaced the fixed-budget bisection/Euler core. The values below were
+//! produced by the *old* solvers (commit 31b00a1) over the paper's voltage
+//! range; the production path must stay within 1 mV on margins and 1 % on
+//! delays of them, so a solver change can never silently bend the physics.
+//!
+//! **Efficiency**: the `eval-count` feature counts `drain_current`
+//! evaluations; upper bounds per metric call turn a solver-efficiency
+//! regression into a test failure instead of a quietly slower benchmark.
+
+use sram_bitcell::prelude::*;
+use sram_device::mosfet::eval_count;
+use sram_device::prelude::*;
+
+/// Old-solver reference values: (vdd mV, write margin mV, read SNM mV,
+/// hold SNM mV, read access ps, write time ps) for the paper-baseline 6T
+/// cell in the 256-row column environment.
+const OLD_SOLVER_REFERENCE: [(f64, f64, f64, f64, f64, f64); 7] = [
+    (
+        950.0, 260.000000, 201.974579, 341.396071, 19.833518, 0.620805,
+    ),
+    (
+        900.0, 246.315789, 194.513757, 329.040036, 22.588080, 0.651121,
+    ),
+    (
+        850.0, 223.684211, 185.883271, 315.430454, 26.087394, 0.676354,
+    ),
+    (
+        800.0, 210.526316, 176.216790, 300.899290, 30.645336, 0.714000,
+    ),
+    (
+        750.0, 197.368421, 165.460686, 285.620698, 36.765203, 0.768145,
+    ),
+    (
+        700.0, 176.842105, 153.662875, 269.017490, 45.296057, 0.824794,
+    ),
+    (
+        650.0, 157.368421, 140.963134, 251.158767, 57.760429, 0.910229,
+    ),
+];
+
+fn cell() -> SixTCell {
+    SixTCell::new(&Technology::ptm_22nm(), &SixTSizing::paper_baseline())
+}
+
+#[test]
+fn new_solvers_match_old_bisection_results_across_voltage_range() {
+    let c = cell();
+    let env = ColumnEnvironment::rows_256();
+    for (vdd_mv, wm_ref, rsnm_ref, hsnm_ref, tr_ref, tw_ref) in OLD_SOLVER_REFERENCE {
+        let vdd = Volt::from_millivolts(vdd_mv);
+
+        let wm = write_margin(&c, vdd).as_volts().millivolts();
+        assert!(
+            (wm - wm_ref).abs() < 1.0,
+            "write margin at {vdd_mv} mV: {wm} vs old {wm_ref} (>1 mV)"
+        );
+
+        let rsnm = static_noise_margin(&c, vdd, SnmCondition::Read).millivolts();
+        assert!(
+            (rsnm - rsnm_ref).abs() < 1.0,
+            "read SNM at {vdd_mv} mV: {rsnm} vs old {rsnm_ref} (>1 mV)"
+        );
+
+        let hsnm = static_noise_margin(&c, vdd, SnmCondition::Hold).millivolts();
+        assert!(
+            (hsnm - hsnm_ref).abs() < 1.0,
+            "hold SNM at {vdd_mv} mV: {hsnm} vs old {hsnm_ref} (>1 mV)"
+        );
+
+        let tr = read_access_time_6t(&c, vdd, &env)
+            .expect("nominal read completes")
+            .picoseconds();
+        assert!(
+            (tr / tr_ref - 1.0).abs() < 0.01,
+            "read access at {vdd_mv} mV: {tr} ps vs old {tr_ref} ps (>1 %)"
+        );
+
+        let tw = write_time(&c, vdd)
+            .expect("nominal cell is writable")
+            .picoseconds();
+        assert!(
+            (tw / tw_ref - 1.0).abs() < 0.01,
+            "write time at {vdd_mv} mV: {tw} ps vs old {tw_ref} ps (>1 %)"
+        );
+    }
+}
+
+#[test]
+fn read_access_time_stays_within_evaluation_budget() {
+    let c = cell();
+    let env = ColumnEnvironment::rows_256();
+    eval_count::reset();
+    let t = read_access_time_6t(&c, Volt::new(0.75), &env);
+    let evals = eval_count::get();
+    assert!(t.is_some());
+    // Old nested scan-over-bisection: ~100 000 evaluations per call. The
+    // warm-started joint Newton needs ~400; the bound leaves headroom for
+    // model-driven iteration-count jitter while still catching any return
+    // of a nested or cold-start solve.
+    assert!(
+        evals <= 1_500,
+        "read_access_time_6t used {evals} drain_current evaluations (budget 1500)"
+    );
+}
+
+#[test]
+fn static_noise_margin_stays_within_evaluation_budget() {
+    let c = cell();
+    eval_count::reset();
+    let snm = static_noise_margin(&c, Volt::new(0.75), SnmCondition::Read);
+    let evals = eval_count::get();
+    assert!(snm.volts() > 0.0);
+    // Two 101-point VTCs, warm-started: ~8 evaluations per point, 3 devices
+    // each (~5 000 total). The old cold bisection burned ~27 000.
+    assert!(
+        evals <= 9_000,
+        "static_noise_margin used {evals} drain_current evaluations (budget 9000)"
+    );
+}
+
+#[test]
+fn write_time_stays_within_evaluation_budget() {
+    let c = cell();
+    eval_count::reset();
+    let t = write_time(&c, Volt::new(0.75));
+    let evals = eval_count::get();
+    assert!(t.is_some());
+    // Adaptive Heun with warm-started QB slaving; the old fixed-step Euler
+    // with cold bisection per step needed ~21 000 evaluations.
+    assert!(
+        evals <= 6_000,
+        "write_time used {evals} drain_current evaluations (budget 6000)"
+    );
+}

@@ -21,6 +21,34 @@
 use crate::error::DeviceError;
 use crate::units::{Ampere, Meter, Volt};
 
+/// Thread-local counter of [`Mosfet::drain_current`] evaluations, for the
+/// solver-efficiency regression tests (feature `eval-count` only — the
+/// production build carries no instrumentation). Thread-local rather than a
+/// process-wide atomic so a test thread observes exactly its own solver's
+/// evaluations even while a parallel Monte Carlo runs elsewhere.
+#[cfg(feature = "eval-count")]
+pub mod eval_count {
+    use std::cell::Cell;
+
+    thread_local! {
+        static COUNT: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Resets this thread's counter to zero.
+    pub fn reset() {
+        COUNT.with(|c| c.set(0));
+    }
+
+    /// This thread's evaluation count since the last [`reset`].
+    pub fn get() -> u64 {
+        COUNT.with(|c| c.get())
+    }
+
+    pub(crate) fn bump() {
+        COUNT.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// Channel polarity of a MOSFET.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
@@ -214,6 +242,8 @@ impl Mosfet {
     /// with the physical drain at the lower potential; callers that only need
     /// magnitudes can take `.abs()`.
     pub fn drain_current(&self, vg: Volt, vd: Volt, vs: Volt) -> Ampere {
+        #[cfg(feature = "eval-count")]
+        eval_count::bump();
         let s = self.model.polarity.sign();
         // Map PMOS onto the n-type equations by mirroring all voltages.
         let (vg, vd, vs) = (s * vg.volts(), s * vd.volts(), s * vs.volts());
@@ -246,6 +276,72 @@ impl Mosfet {
         is * (i_f * i_f - i_r * i_r) / denom
     }
 
+    /// Core n-type current equation *with* its partial derivatives w.r.t.
+    /// `vgs` and `vds`; expects `vds >= 0`. Closed-form differentiation of
+    /// [`Mosfet::ids_ntype`] — every softplus term differentiates to a
+    /// logistic, so the gradient costs barely more than the current itself.
+    /// This is what lets Newton-based equilibrium solvers skip the two extra
+    /// finite-difference evaluations per device per iteration.
+    fn ids_ntype_grad(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        let m = &self.model;
+        let phi_t = m.phi_t.volts();
+        let n = m.n;
+        let vt_eff = m.vt0.volts() + self.delta_vt.volts() - m.dibl * vds;
+        let half_slope = 2.0 * n * phi_t;
+        let x_f = (vgs - vt_eff) / half_slope;
+        let x_r = (vgs - vt_eff - n * vds) / half_slope;
+        let i_f = ln_one_plus_exp(x_f);
+        let i_r = ln_one_plus_exp(x_r);
+        let sig_f = logistic(x_f);
+        let sig_r = logistic(x_r);
+        let u = (vgs - vt_eff) / (n * phi_t);
+        let vov = n * phi_t * ln_one_plus_exp(u);
+        let sig_u = logistic(u);
+        let denom = 1.0 + m.theta * vov;
+        let num = i_f * i_f - i_r * i_r;
+        let is = m.specific_current().amps() * self.aspect_ratio();
+        let ids = is * num / denom;
+
+        // ∂/∂vgs: x_f and x_r shift together; vov follows the overdrive.
+        let dnum_dvgs = 2.0 * (i_f * sig_f - i_r * sig_r) / half_slope;
+        let ddenom_dvgs = m.theta * sig_u;
+        let d_dvgs = is * (dnum_dvgs * denom - num * ddenom_dvgs) / (denom * denom);
+
+        // ∂/∂vds: DIBL lowers vt_eff (raising both x terms); the reverse
+        // term additionally sees the full -n·vds.
+        let dxf_dvds = m.dibl / half_slope;
+        let dxr_dvds = (m.dibl - n) / half_slope;
+        let dnum_dvds = 2.0 * (i_f * sig_f * dxf_dvds - i_r * sig_r * dxr_dvds);
+        let ddenom_dvds = m.theta * sig_u * m.dibl;
+        let d_dvds = is * (dnum_dvds * denom - num * ddenom_dvds) / (denom * denom);
+
+        (ids, d_dvgs, d_dvds)
+    }
+
+    /// Drain current together with its analytic derivatives
+    /// `(Id, dId/dVg, dId/dVd)` at the given absolute terminal voltages.
+    ///
+    /// Same sign convention as [`Mosfet::drain_current`]; the derivatives
+    /// are exact (closed form), unlike the central-difference [`Mosfet::gm`]
+    /// / [`Mosfet::gds`] probes, and cost one evaluation instead of four.
+    pub fn drain_current_and_derivs(&self, vg: Volt, vd: Volt, vs: Volt) -> (Ampere, f64, f64) {
+        #[cfg(feature = "eval-count")]
+        eval_count::bump();
+        let s = self.model.polarity.sign();
+        let (vg, vd, vs) = (s * vg.volts(), s * vd.volts(), s * vs.volts());
+        if vd >= vs {
+            let (ids, d_dvgs, d_dvds) = self.ids_ntype_grad(vg - vs, vd - vs);
+            // Id = s·i(s·vg − s·vs, s·vd − s·vs): the two s factors cancel.
+            (Ampere::new(s * ids), d_dvgs, d_dvds)
+        } else {
+            // Channel flipped: the physical drain acts as the source.
+            // Id = −s·i(vg' − vd', vs' − vd') with primes in the mirrored
+            // frame, so dId/dVd(phys) picks up both partials.
+            let (ids, d_dvgs, d_dvds) = self.ids_ntype_grad(vg - vd, vs - vd);
+            (Ampere::new(-s * ids), -d_dvgs, d_dvgs + d_dvds)
+        }
+    }
+
     /// Numeric transconductance dId/dVg (central difference).
     pub fn gm(&self, vg: Volt, vd: Volt, vs: Volt) -> f64 {
         let h = 1e-6;
@@ -271,6 +367,18 @@ impl Mosfet {
                 .abs(),
             Polarity::Pmos => self.drain_current(vdd, Volt::new(0.0), vdd).abs(),
         }
+    }
+}
+
+/// Numerically stable logistic `1 / (1 + e^(−x))` — the derivative of
+/// [`ln_one_plus_exp`].
+#[inline]
+fn logistic(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
     }
 }
 
@@ -431,6 +539,37 @@ mod tests {
         assert!(gm > 0.0);
         assert!(gds > 0.0);
         assert!(gm > gds, "gm should dominate gds in saturation");
+    }
+
+    #[test]
+    fn analytic_derivatives_match_finite_differences() {
+        // Sweep both polarities across regions (subthreshold, saturation,
+        // triode, reversed channel): the closed-form gradient must agree
+        // with the central-difference probes everywhere.
+        for m in [nmos(), pmos()] {
+            for vg in [0.0, 0.2, 0.5, 0.7, 0.95] {
+                for (vd, vs) in [(0.9, 0.0), (0.1, 0.0), (0.0, 0.9), (0.5, 0.45)] {
+                    let (vg, vd, vs) = (Volt::new(vg), Volt::new(vd), Volt::new(vs));
+                    let (i, gm_a, gds_a) = m.drain_current_and_derivs(vg, vd, vs);
+                    assert_eq!(
+                        i.amps(),
+                        m.drain_current(vg, vd, vs).amps(),
+                        "current must be identical to the plain evaluation"
+                    );
+                    let gm_fd = m.gm(vg, vd, vs);
+                    let gds_fd = m.gds(vg, vd, vs);
+                    let scale = gm_fd.abs().max(gds_fd.abs()).max(1e-9);
+                    assert!(
+                        (gm_a - gm_fd).abs() < 1e-4 * scale + 1e-12,
+                        "gm analytic {gm_a} vs FD {gm_fd} at vg={vg} vd={vd} vs={vs}"
+                    );
+                    assert!(
+                        (gds_a - gds_fd).abs() < 1e-4 * scale + 1e-12,
+                        "gds analytic {gds_a} vs FD {gds_fd} at vg={vg} vd={vd} vs={vs}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -145,6 +145,21 @@ impl VtSampler {
         out.clear();
         out.extend(sigmas.iter().map(|&s| self.sample_delta_vt(rng, s)));
     }
+
+    /// Like [`VtSampler::sample_cell`] but into a caller-provided slice
+    /// (fixed-size scratch in the Monte Carlo inner loop — no per-sample
+    /// heap allocation). Draws exactly `sigmas.len().min(out.len())` values;
+    /// callers size the scratch to the cell's transistor count.
+    pub fn sample_cell_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        sigmas: &[Volt],
+        out: &mut [Volt],
+    ) {
+        for (slot, &s) in out.iter_mut().zip(sigmas.iter()) {
+            *slot = self.sample_delta_vt(rng, s);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -136,8 +136,9 @@ static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Parses a previously emitted `BENCH.json` (the exact flat `{"name":
 /// ns, ...}` shape [`write_bench_json`] produces — not a general JSON
-/// parser).
-fn read_bench_json(path: &str) -> BTreeMap<String, f64> {
+/// parser). Public because `cargo xtask bench-diff` reads the same files;
+/// a single owner keeps reader and writer in lockstep.
+pub fn read_bench_json(path: &str) -> BTreeMap<String, f64> {
     let mut entries = BTreeMap::new();
     let Ok(text) = std::fs::read_to_string(path) else {
         return entries;

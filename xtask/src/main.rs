@@ -1,0 +1,203 @@
+//! Repository automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! Currently one task:
+//!
+//! * **`bench-diff`** — runs the workspace benches into a scratch
+//!   `BENCH.json` (via the shim-criterion `BENCH_JSON_PATH` hook), compares
+//!   the fresh numbers against the committed `crates/bench/BENCH.json`, and
+//!   prints per-bench deltas. Exits non-zero only when a *tier-tracked
+//!   kernel* regresses by more than [`REGRESSION_FACTOR`]× — coarse enough
+//!   to ignore shared-runner noise, tight enough to catch a solver falling
+//!   back to brute force. `--no-run` skips the bench run and diffs an
+//!   existing file (`--current <path>`).
+//!
+//! The committed baseline was recorded on a different machine than CI's
+//! shared runners, so raw wall-clock ratios would gate hardware speed, not
+//! code. Ratios are therefore normalized by the [`CALIBRATION`] kernel —
+//! `mosfet_drain_current`, a pure scalar-FP microkernel untouched by
+//! algorithmic changes — so a uniformly slower machine cancels out while a
+//! kernel regressing *relative to the machine* still trips the gate.
+
+use criterion::read_bench_json;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+/// Committed baseline location, relative to the workspace root.
+const BASELINE: &str = "crates/bench/BENCH.json";
+
+/// Hot kernels whose regression fails CI. Everything else is reported but
+/// informational (workload-dependent benches like the greedy optimizer move
+/// when results shift within solver tolerance).
+const TRACKED: &[&str] = &[
+    "monte_carlo/mc_6t_100_samples",
+    "read_access_time_6t",
+    "read_access_time_8t",
+    "write_margin",
+    "write_time",
+    "read_snm",
+    "fig7/fig7_accuracy_vs_vdd",
+    "fig8/fig8_hybrid_sweep",
+];
+
+/// A tracked kernel fails the diff when its machine-normalized ratio
+/// exceeds this factor.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Machine-speed calibration kernel: ~50 ns of pure device-model floating
+/// point, dominated by `exp`/`ln` throughput and untouched by solver
+/// restructuring. The per-bench ratios are divided by this kernel's ratio
+/// before the regression check.
+const CALIBRATION: &str = "mosfet_drain_current";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench-diff") => bench_diff(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask bench-diff [--no-run] [--current <path>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut run = true;
+    let mut current_path = "target/bench-current.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-run" => run = false,
+            "--current" => match it.next() {
+                Some(p) => current_path = p.clone(),
+                None => {
+                    eprintln!("--current requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown bench-diff argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Absolutize: the bench binaries run with their package root as working
+    // directory, so a relative BENCH_JSON_PATH would land in crates/bench/.
+    let current_path: PathBuf = match std::env::current_dir() {
+        Ok(cwd) => cwd.join(&current_path),
+        Err(_) => current_path.into(),
+    };
+    if run {
+        // Start from a clean scratch file so stale entries never mask a
+        // missing bench.
+        let _ = std::fs::remove_file(&current_path);
+        eprintln!(
+            "running `cargo bench -p paper_bench` (BENCH_JSON_PATH={})...",
+            current_path.display()
+        );
+        let status = Command::new(env!("CARGO"))
+            .args(["bench", "-p", "paper_bench"])
+            .env("BENCH_JSON_PATH", &current_path)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("cargo bench failed: {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("could not launch cargo bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let baseline = read_bench_json(BASELINE);
+    let current = read_bench_json(&current_path.display().to_string());
+    if baseline.is_empty() {
+        eprintln!("no baseline at {BASELINE} (run from the workspace root)");
+        return ExitCode::FAILURE;
+    }
+    if current.is_empty() {
+        eprintln!("no fresh results at {}", current_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Machine-speed scale from the calibration microkernel; 1.0 (raw
+    // ratios) when either side lacks it. Clamped so a corrupt calibration
+    // sample cannot wave a real regression through.
+    let machine_scale = match (baseline.get(CALIBRATION), current.get(CALIBRATION)) {
+        (Some(&old_ns), Some(&new_ns)) if old_ns > 0.0 && new_ns > 0.0 => {
+            (new_ns / old_ns).clamp(0.25, 4.0)
+        }
+        _ => {
+            eprintln!("warning: calibration kernel `{CALIBRATION}` missing; using raw ratios");
+            1.0
+        }
+    };
+    println!("machine scale ({CALIBRATION}): {machine_scale:.2}x");
+
+    println!(
+        "{:<48} {:>12} {:>12} {:>9}  status",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    let mut regressions = Vec::new();
+    for (name, &new_ns) in &current {
+        let Some(&old_ns) = baseline.get(name) else {
+            println!(
+                "{name:<48} {:>12} {:>12} {:>9}  new",
+                "-",
+                format_ns(new_ns),
+                "-"
+            );
+            continue;
+        };
+        // Normalized: how much slower this kernel got relative to how much
+        // slower the machine itself is.
+        let ratio = new_ns / old_ns / machine_scale;
+        let tracked = TRACKED.contains(&name.as_str());
+        let status = if tracked && ratio > REGRESSION_FACTOR {
+            regressions.push((name.clone(), ratio));
+            "REGRESSED"
+        } else if tracked {
+            "tracked"
+        } else {
+            ""
+        };
+        println!(
+            "{name:<48} {:>12} {:>12} {:>8.2}x  {status}",
+            format_ns(old_ns),
+            format_ns(new_ns),
+            ratio
+        );
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) && TRACKED.contains(&name.as_str()) {
+            regressions.push((name.clone(), f64::INFINITY));
+            println!("{name:<48} (tracked kernel missing from fresh run)  REGRESSED");
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("\nno tracked kernel regressed beyond {REGRESSION_FACTOR}x");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\ntracked kernels regressed beyond {REGRESSION_FACTOR}x:");
+        for (name, ratio) in &regressions {
+            eprintln!("  {name}: {ratio:.2}x");
+        }
+        ExitCode::FAILURE
+    }
+}
