@@ -19,6 +19,7 @@ use fault_inject::injector::{geometric_indices, sample_read_mask, InjectionStats
 use fault_inject::model::{WordFailureModel, WORD_BITS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Access counters for energy accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,6 +30,26 @@ pub struct AccessCounts {
     pub writes: usize,
 }
 
+/// Interior-mutable access counters: shared-state reads
+/// ([`SynapticMemory::read_shared`]) bump them through `&self` from many
+/// serving workers at once, so they are atomics rather than plain fields.
+/// Relaxed ordering suffices — the counts feed energy accounting, never
+/// synchronization.
+#[derive(Debug, Default)]
+struct AtomicAccessCounts {
+    reads: AtomicUsize,
+    writes: AtomicUsize,
+}
+
+impl Clone for AtomicAccessCounts {
+    fn clone(&self) -> Self {
+        Self {
+            reads: AtomicUsize::new(self.reads.load(Ordering::Relaxed)),
+            writes: AtomicUsize::new(self.writes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// A synaptic memory with per-bank failure models.
 #[derive(Debug, Clone)]
 pub struct SynapticMemory {
@@ -37,7 +58,7 @@ pub struct SynapticMemory {
     models: Vec<WordFailureModel>,
     words: Vec<u8>,
     rng: StdRng,
-    counts: AccessCounts,
+    counts: AtomicAccessCounts,
 }
 
 impl SynapticMemory {
@@ -58,7 +79,7 @@ impl SynapticMemory {
             models,
             words,
             rng: StdRng::seed_from_u64(seed),
-            counts: AccessCounts::default(),
+            counts: AtomicAccessCounts::default(),
         }
     }
 
@@ -69,7 +90,10 @@ impl SynapticMemory {
 
     /// Accesses served so far.
     pub fn counts(&self) -> AccessCounts {
-        self.counts
+        AccessCounts {
+            reads: self.counts.reads.load(Ordering::Relaxed),
+            writes: self.counts.writes.load(Ordering::Relaxed),
+        }
     }
 
     /// Capacity in words.
@@ -98,11 +122,15 @@ impl SynapticMemory {
             }
         }
         self.words[index] = stored;
-        self.counts.writes += 1;
+        *self.counts.writes.get_mut() += 1;
     }
 
     /// Reads one word; read faults flip returned bits without altering the
     /// stored value.
+    ///
+    /// Draws its fault bits from the memory's own RNG stream; use
+    /// [`read_shared`](Self::read_shared) when the memory is shared
+    /// read-only state and the caller owns the randomness.
     ///
     /// # Panics
     ///
@@ -110,9 +138,28 @@ impl SynapticMemory {
     pub fn read(&mut self, index: usize) -> u8 {
         let bank = self.map.locate(index).bank;
         let mask = sample_read_mask(&self.models[bank], &mut self.rng);
-        self.counts.reads += 1;
-        self.words[index] ^= 0; // stored value untouched
+        *self.counts.reads.get_mut() += 1;
         self.words[index] ^ mask
+    }
+
+    /// Reads one word through `&self`, sampling the read-fault bits from a
+    /// caller-provided RNG — the shared-state entry point of the serving
+    /// layer, where one loaded memory answers requests from many workers
+    /// and each request owns its own seed stream.
+    ///
+    /// Returns `(value, fault_mask)`: bit i of `fault_mask` is set when the
+    /// read of bit i faulted, so callers can keep per-request error
+    /// counters without a second storage access. The stored content is
+    /// untouched; the access counter is bumped atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read_shared<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> (u8, u8) {
+        let bank = self.map.locate(index).bank;
+        let mask = sample_read_mask(&self.models[bank], rng);
+        self.counts.reads.fetch_add(1, Ordering::Relaxed);
+        (self.words[index] ^ mask, mask)
     }
 
     /// Reads one word without fault injection (debug/verification path).
@@ -268,6 +315,50 @@ mod tests {
         let (b, sb) = m.corrupt_snapshot(5);
         assert_eq!(a, b);
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn shared_reads_match_owned_reads_for_the_same_stream() {
+        // `read_shared` with an external RNG must sample exactly the fault
+        // stream `read` would have drawn from the internal one: same model
+        // walk, same draws.
+        let mut owned = faulty_memory(512, 0.15, 0.0, 2);
+        owned.load(&(0..=255).cycle().take(512).collect::<Vec<u8>>());
+        let shared = owned.clone();
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut rng_twin = StdRng::seed_from_u64(1234);
+        for i in 0..512 {
+            let (value, mask) = shared.read_shared(i, &mut rng);
+            let expected_mask =
+                sample_read_mask(&shared.models[shared.map.locate(i).bank], &mut rng_twin);
+            assert_eq!(mask, expected_mask);
+            assert_eq!(value, shared.read_raw(i) ^ mask);
+            assert_eq!(value & 0xC0, shared.read_raw(i) & 0xC0, "protected MSBs");
+        }
+        assert_eq!(shared.counts().reads, 512);
+        // The shared path never mutates storage.
+        for i in 0..512 {
+            assert_eq!(shared.read_raw(i), owned.read_raw(i));
+        }
+    }
+
+    #[test]
+    fn shared_reads_count_across_threads() {
+        let mut m = faulty_memory(64, 0.1, 0.0, 0);
+        m.load(&[0x3Cu8; 64]);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let m = &m;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    for i in 0..64 {
+                        let _ = m.read_shared(i, &mut rng);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counts().reads, 4 * 64);
+        assert_eq!(m.counts().writes, 64);
     }
 
     #[test]

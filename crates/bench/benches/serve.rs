@@ -1,0 +1,65 @@
+//! Serving-layer throughput benches: the same fixture `serve_bench` uses,
+//! pushed through the queue → micro-batcher → worker pipeline at 1 and 4
+//! workers. The two numbers land in `BENCH.json` as
+//! `serve/throughput_1w` / `serve/throughput_4w`, so the committed baseline
+//! records the scaling headroom of the serving layer (on a single-core
+//! recording machine the two are expected to be close; CI's `serve-load`
+//! job gates the multi-core behavior).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fault_inject::model::{BitErrorRates, WordFailureModel};
+use fault_inject::protection::ProtectionPolicy;
+use neuro_system::controller::NeuromorphicSystem;
+use neuro_system::layout;
+use neuro_system::npe::Npe;
+use sram_array::behavioral::SynapticMemory;
+use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_serve::fixture::{request_stream, trained_digit_network};
+use sram_serve::{InferenceServer, ServeOptions};
+
+const REQUESTS: usize = 64;
+
+fn build_server() -> (InferenceServer, Vec<Vec<f32>>) {
+    let (q, test_set) = trained_digit_network();
+    let words = layout::bank_words(&q);
+    let policy = ProtectionPolicy::MsbProtected { msb_8t: 3 };
+    let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+    let rates = BitErrorRates {
+        read_6t: 0.02,
+        write_6t: 0.002,
+        read_8t: 0.0,
+        write_8t: 0.0,
+    };
+    let models: Vec<WordFailureModel> = (0..words.len())
+        .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+        .collect();
+    let memory = SynapticMemory::new(map, models, 29);
+    let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+    let requests = request_stream(&test_set, REQUESTS);
+    (
+        InferenceServer::new(system, ServeOptions::default()),
+        requests,
+    )
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (server, requests) = build_server();
+    let mut group = c.benchmark_group("serve");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(REQUESTS as u64));
+    for (name, workers) in [("throughput_1w", 1usize), ("throughput_4w", 4)] {
+        let options = ServeOptions {
+            workers,
+            max_batch: 16,
+            base_seed: 0xBE7C_4ED0,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| server.serve_configured(&requests, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

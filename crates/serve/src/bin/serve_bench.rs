@@ -1,0 +1,231 @@
+//! Load generator for the inference serving layer.
+//!
+//! ```text
+//! cargo run --release -p sram_serve --bin serve_bench -- \
+//!     [--requests N] [--threads N] [--batch B] [--seed S] \
+//!     [--report PATH] [--predictions PATH]
+//! ```
+//!
+//! Builds the standard serving fixture — a small trained digit classifier
+//! stored in the paper's hybrid (3,5) memory at 0.65 V, characterized
+//! through the memoized `characterize_paper_cells` cache — then fires
+//! `--requests` classifications through the queue → micro-batcher → worker
+//! pipeline and prints a throughput/latency/energy table.
+//!
+//! Determinism: predictions depend only on `--seed` and the request index,
+//! never on `--threads` or `--batch`. The `serve-load` CI job runs this
+//! binary at 1 and 4 workers and fails if the prediction digests differ.
+//!
+//! `--report` writes a machine-readable `key=value` file (consumed by
+//! `cargo xtask serve-report`); `--predictions` writes the raw prediction
+//! vector, one class index per line, for byte-level diffing.
+
+use hybrid_sram::config::MemoryConfig;
+use hybrid_sram::framework::Framework;
+use neuro_system::controller::NeuromorphicSystem;
+use neuro_system::energy::{system_inference_energy, SystemEnergyModel};
+use neuro_system::npe::Npe;
+use sram_array::power::PowerConvention;
+use sram_bitcell::characterize::CharacterizationOptions;
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+use sram_serve::fixture::{request_stream, trained_digit_network};
+use sram_serve::{drowsy_plan, DrowsyPolicy, InferenceServer, ServeOptions};
+use std::time::Instant;
+
+struct Args {
+    requests: usize,
+    max_batch: usize,
+    seed: u64,
+    report: Option<String>,
+    predictions: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let raw = sram_exec::strip_threads_flag(std::env::args().skip(1).collect())?;
+    let mut args = Args {
+        requests: 512,
+        max_batch: 16,
+        seed: 0xBA7C_4ED0,
+        report: None,
+        predictions: None,
+    };
+    let mut it = raw.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value_of = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--requests" => {
+                args.requests = value_of("--requests")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("invalid --requests value")?;
+            }
+            "--batch" => {
+                args.max_batch = value_of("--batch")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("invalid --batch value")?;
+            }
+            "--seed" => {
+                args.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed value")?;
+            }
+            "--report" => args.report = Some(value_of("--report")?),
+            "--predictions" => args.predictions = Some(value_of("--predictions")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn format_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!(
+            "usage: serve_bench [--requests N] [--threads N] [--batch B] [--seed S] \
+             [--report PATH] [--predictions PATH]"
+        );
+        std::process::exit(2);
+    });
+
+    println!("== serve_bench — batched inference over the hybrid 8T-6T memory ==");
+    let t0 = Instant::now();
+
+    // The serving fixture: characterization through the process-wide memo
+    // cache, a small trained classifier, the paper's hybrid (3,5) layout at
+    // an aggressively scaled 0.65 V supply.
+    let tech = Technology::ptm_22nm();
+    let char_options = CharacterizationOptions {
+        vdds: vec![Volt::new(0.95), Volt::new(0.75), Volt::new(0.65)],
+        mc_samples: 40,
+        ..CharacterizationOptions::quick()
+    };
+    let framework = Framework::new(&tech, &char_options);
+    let config = MemoryConfig::Hybrid {
+        msb_8t: 3,
+        vdd: Volt::new(0.65),
+    };
+
+    let (network, test_set) = trained_digit_network();
+
+    let memory = framework.build_memory(&network, &config, args.seed);
+    let system = NeuromorphicSystem::new(&network, memory, Npe::new(network.format));
+    let power = framework.power_report(&network, &config, PowerConvention::IsoThroughput);
+    let energy = system_inference_energy(
+        &power,
+        system.macs_per_inference(),
+        &SystemEnergyModel::default(),
+        config.vdd(),
+    );
+    let plan = drowsy_plan(&tech, &network, &config, &DrowsyPolicy::default());
+
+    let server = InferenceServer::new(
+        system,
+        ServeOptions {
+            workers: 0, // --threads / SRAM_REPRO_THREADS / autodetect
+            max_batch: args.max_batch,
+            base_seed: args.seed,
+        },
+    )
+    .with_energy(energy)
+    .with_drowsy(plan, power.leakage_power);
+
+    // The request stream: test images cycled to the requested length.
+    let requests = request_stream(&test_set, args.requests);
+    println!(
+        "fixture ready in {:.1} s — {} requests, {} workers, batch ≤ {}, config {}\n",
+        t0.elapsed().as_secs_f64(),
+        args.requests,
+        server.workers(),
+        args.max_batch,
+        config,
+    );
+
+    let report = server.serve(&requests);
+
+    let energy_per_inf = report
+        .energy_per_inference
+        .as_ref()
+        .map(|e| e.energy.total().joules())
+        .unwrap_or(0.0);
+    let standby = report.standby_leakage.map(|w| w.watts()).unwrap_or(0.0);
+    let digest = report.digest();
+    println!("workers            {}", report.workers);
+    println!("requests           {}", report.requests());
+    println!(
+        "wall time          {}",
+        format_ns(report.wall.as_nanos() as u64)
+    );
+    println!("throughput         {:.1} req/s", report.throughput_rps());
+    println!("latency p50        {}", format_ns(report.latency.p50_ns()));
+    println!("latency p99        {}", format_ns(report.latency.p99_ns()));
+    println!("energy/inference   {:.3} nJ", energy_per_inf * 1e9);
+    println!("drowsy standby     {:.3} µW", standby * 1e6);
+    println!(
+        "observed BER       {:.3e}  ({} fault bits / {} words read)",
+        report.observed_bit_error_rate(),
+        report.fault_bits,
+        report.words_read
+    );
+    println!(
+        "micro-batches      {} (largest {})",
+        report.batches, report.max_batch_observed
+    );
+    println!("prediction digest  {digest:016x}");
+
+    if let Some(path) = &args.report {
+        let text = format!(
+            "workers={}\nrequests={}\nwall_ns={}\nthroughput_rps={:.3}\n\
+             p50_ns={}\np99_ns={}\nenergy_per_inference_j={:.6e}\n\
+             standby_leakage_w={:.6e}\nfault_bits={}\nwords_read={}\n\
+             observed_ber={:.6e}\nbatches={}\nmax_batch_observed={}\ndigest={:016x}\n",
+            report.workers,
+            report.requests(),
+            report.wall.as_nanos(),
+            report.throughput_rps(),
+            report.latency.p50_ns(),
+            report.latency.p99_ns(),
+            energy_per_inf,
+            standby,
+            report.fault_bits,
+            report.words_read,
+            report.observed_bit_error_rate(),
+            report.batches,
+            report.max_batch_observed,
+            digest,
+        );
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("could not write report {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    }
+    if let Some(path) = &args.predictions {
+        let mut text = String::with_capacity(report.predictions.len() * 2);
+        for p in &report.predictions {
+            text.push_str(&p.to_string());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("could not write predictions {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("predictions written to {path}");
+    }
+}

@@ -1,0 +1,40 @@
+//! The standard serving fixture: one trained digit classifier shared by
+//! the `serve_bench` load generator, the serving benches, and the
+//! determinism tests, so the network (and therefore the request cost) they
+//! measure is literally the same. Consumers wrap it in their own memory —
+//! framework-characterized for the load generator, hand-set fault rates
+//! for tests and benches — because *what* the memory corrupts is the
+//! variable under test; *what* is being classified must not be.
+
+use neural::dataset::{synth, Dataset};
+use neural::network::Mlp;
+use neural::quant::{Encoding, QuantizedMlp};
+use neural::train::{train, TrainOptions};
+
+/// Trains the fixture classifier (784-24-10 on the synthetic digit set)
+/// and returns it quantized, along with the held-out test split the
+/// request streams draw from. Deterministic: fixed data/split/init seeds.
+pub fn trained_digit_network() -> (QuantizedMlp, Dataset) {
+    let data = synth::generate_default(400, 21);
+    let (train_set, test_set) = data.split(0.75, 3);
+    let mut mlp = Mlp::new(&[784, 24, 10], 5);
+    train(
+        &mut mlp,
+        &train_set,
+        &TrainOptions {
+            epochs: 8,
+            ..TrainOptions::default()
+        },
+    );
+    (
+        QuantizedMlp::from_mlp(&mlp, Encoding::TwosComplement),
+        test_set,
+    )
+}
+
+/// Cycles the fixture's test images into a request stream of length `n`.
+pub fn request_stream(test_set: &Dataset, n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| test_set.image(i % test_set.len()).to_vec())
+        .collect()
+}

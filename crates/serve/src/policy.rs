@@ -1,0 +1,256 @@
+//! Per-significance-band drowsy voltage policy.
+//!
+//! The serving layer keeps the whole synaptic memory powered between
+//! requests; the paper's economics say that standby leakage — not access
+//! energy — then dominates at low duty cycle. The classic countermeasure is
+//! *drowsy retention*: idle banks drop to a voltage just above their
+//! data-retention voltage (DRV) and pop back up for accesses. Because the
+//! hybrid memory splits every word into a significant (8T) and an
+//! insignificant (6T) band, the two bands can be drowsed independently:
+//! each gets `max(floor, DRV + guard)` for *its own* cell flavor, measured
+//! on the same sized cells the characterization tables describe
+//! ([`sram_bitcell::characterize::paper_cells`]).
+//!
+//! The DRV measurement (a bisection over hold-SNM bistability) is
+//! deterministic per technology and shared process-wide through a
+//! [`MemoCache`], the same memoization pattern as
+//! `characterize_paper_cells_cached` — every server, bench, and test pays
+//! for one measurement.
+
+use fault_inject::model::WORD_BITS;
+use hybrid_sram::config::MemoryConfig;
+use neural::quant::QuantizedMlp;
+use neuro_system::layout;
+use sram_bitcell::retention::retention_voltage;
+use sram_bitcell::topology::{SixTCell, SixTSizing};
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+use sram_exec::MemoCache;
+use std::sync::OnceLock;
+
+/// Knobs of the drowsy policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrowsyPolicy {
+    /// Guard band added above the measured DRV (process/temperature slack).
+    pub guard_margin: Volt,
+    /// Hard floor: never drowse below this, however low the DRV.
+    pub floor: Volt,
+}
+
+impl Default for DrowsyPolicy {
+    fn default() -> Self {
+        Self {
+            guard_margin: Volt::new(0.10),
+            floor: Volt::new(0.30),
+        }
+    }
+}
+
+/// Drowsy operating point of one significance band of one bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandVoltage {
+    /// Bank index (one per ANN layer).
+    pub bank: usize,
+    /// Words in the bank.
+    pub words: usize,
+    /// Bits per word held in 8T cells (the significant band).
+    pub bits_8t: usize,
+    /// Drowsy voltage of the bank's 6T (insignificant) band.
+    pub drowsy_6t: Volt,
+    /// Drowsy voltage of the bank's 8T (significant) band.
+    pub drowsy_8t: Volt,
+}
+
+/// The full memory's drowsy plan at one serving operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrowsyPlan {
+    /// Active (serving) supply.
+    pub active_vdd: Volt,
+    /// Measured nominal DRV of the 6T cell.
+    pub drv_6t: Volt,
+    /// Measured nominal DRV of the 8T cell's storage latch.
+    pub drv_8t: Volt,
+    /// Per-bank band voltages.
+    pub bands: Vec<BandVoltage>,
+}
+
+impl DrowsyPlan {
+    /// Standby leakage relative to holding everything at `active_vdd`,
+    /// using the first-order `I_leak ∝ VDD` proxy, weighted by bit count
+    /// per band. Multiply the array's reported leakage power by this to get
+    /// the drowsy standby power.
+    pub fn standby_leakage_scale(&self) -> f64 {
+        let active = self.active_vdd.volts();
+        let mut weighted = 0.0;
+        let mut bits = 0.0;
+        for band in &self.bands {
+            let n8 = (band.words * band.bits_8t) as f64;
+            let n6 = (band.words * (WORD_BITS - band.bits_8t)) as f64;
+            weighted += n8 * (band.drowsy_8t.volts() / active).min(1.0);
+            weighted += n6 * (band.drowsy_6t.volts() / active).min(1.0);
+            bits += n8 + n6;
+        }
+        if bits == 0.0 {
+            1.0
+        } else {
+            weighted / bits
+        }
+    }
+}
+
+/// Nominal DRVs of the paper's two cells, memoized per technology (the
+/// bisection runs ~33 hold-SNM solves; every consumer shares one run).
+fn cached_drvs(tech: &Technology) -> (Volt, Volt) {
+    static CACHE: OnceLock<MemoCache<String, (Volt, Volt)>> = OnceLock::new();
+    let key = format!("{tech:?}");
+    let pair = CACHE.get_or_init(MemoCache::new).get_or_compute(key, || {
+        let lo = Volt::new(0.10);
+        let hi = Volt::new(0.95);
+        // The 8T read stack never disturbs the latch, so its retention is
+        // set by the same cross-coupled pair at the write-optimized sizing
+        // (the latch `paper_cells` builds the 8T around).
+        let cell_6t = SixTCell::new(tech, &SixTSizing::paper_baseline());
+        let latch_8t = SixTCell::new(tech, &SixTSizing::write_optimized());
+        (
+            retention_voltage(&cell_6t, lo, hi),
+            retention_voltage(&latch_8t, lo, hi),
+        )
+    });
+    *pair
+}
+
+/// Builds the per-significance-band drowsy plan for `network` stored under
+/// `config`: every bank's 8T and 6T bands retain at
+/// `max(policy.floor, DRV + policy.guard_margin)`, clamped to the active
+/// supply.
+///
+/// # Panics
+///
+/// Panics if the guard margin or floor are negative.
+pub fn drowsy_plan(
+    tech: &Technology,
+    network: &QuantizedMlp,
+    config: &MemoryConfig,
+    policy: &DrowsyPolicy,
+) -> DrowsyPlan {
+    assert!(policy.guard_margin.volts() >= 0.0, "negative guard margin");
+    assert!(policy.floor.volts() >= 0.0, "negative floor");
+    let (drv_6t, drv_8t) = cached_drvs(tech);
+    let active_vdd = config.vdd();
+    let drowsy_of = |drv: Volt| {
+        Volt::new(
+            (drv.volts() + policy.guard_margin.volts())
+                .max(policy.floor.volts())
+                .min(active_vdd.volts()),
+        )
+    };
+    let drowsy_6t = drowsy_of(drv_6t);
+    let drowsy_8t = drowsy_of(drv_8t);
+    let protection = config.policy();
+    let bands = layout::bank_words(network)
+        .iter()
+        .enumerate()
+        .map(|(bank, &words)| BandVoltage {
+            bank,
+            words,
+            bits_8t: protection.assignment(bank).protected_count(),
+            drowsy_6t,
+            drowsy_8t,
+        })
+        .collect();
+    DrowsyPlan {
+        active_vdd,
+        drv_6t,
+        drv_8t,
+        bands,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::network::Mlp;
+    use neural::quant::Encoding;
+
+    fn small_network() -> QuantizedMlp {
+        QuantizedMlp::from_mlp(&Mlp::new(&[16, 8, 4], 3), Encoding::TwosComplement)
+    }
+
+    #[test]
+    fn drowsy_voltages_sit_between_drv_and_active() {
+        let tech = Technology::ptm_22nm();
+        let q = small_network();
+        let config = MemoryConfig::Hybrid {
+            msb_8t: 3,
+            vdd: Volt::new(0.70),
+        };
+        let plan = drowsy_plan(&tech, &q, &config, &DrowsyPolicy::default());
+        assert_eq!(plan.bands.len(), 2);
+        for band in &plan.bands {
+            assert_eq!(band.bits_8t, 3);
+            for v in [band.drowsy_6t, band.drowsy_8t] {
+                assert!(v.volts() <= plan.active_vdd.volts());
+                assert!(v.volts() >= DrowsyPolicy::default().floor.volts());
+            }
+            // The guard band holds unless the floor or the active supply
+            // clamps it.
+            assert!(
+                band.drowsy_6t.volts() + 1e-12
+                    >= (plan.drv_6t.volts() + 0.10)
+                        .max(0.30)
+                        .min(plan.active_vdd.volts())
+            );
+        }
+        // Nominal DRVs must sit below the paper's operating floor, or
+        // drowsy retention would be pointless.
+        assert!(plan.drv_6t.volts() < 0.60);
+        assert!(plan.drv_8t.volts() < 0.60);
+    }
+
+    #[test]
+    fn standby_scale_saves_leakage_and_respects_weighting() {
+        let tech = Technology::ptm_22nm();
+        let q = small_network();
+        let config = MemoryConfig::Hybrid {
+            msb_8t: 3,
+            vdd: Volt::new(0.95),
+        };
+        let plan = drowsy_plan(&tech, &q, &config, &DrowsyPolicy::default());
+        let scale = plan.standby_leakage_scale();
+        assert!(scale > 0.0 && scale < 1.0, "scale {scale}");
+
+        // A zero-margin, zero-floor policy drowses deeper (never shallower).
+        let aggressive = drowsy_plan(
+            &tech,
+            &q,
+            &config,
+            &DrowsyPolicy {
+                guard_margin: Volt::new(0.0),
+                floor: Volt::new(0.0),
+            },
+        );
+        assert!(aggressive.standby_leakage_scale() <= scale);
+    }
+
+    #[test]
+    fn all_6t_config_has_empty_significant_bands() {
+        let tech = Technology::ptm_22nm();
+        let q = small_network();
+        let config = MemoryConfig::Base6T {
+            vdd: Volt::new(0.65),
+        };
+        let plan = drowsy_plan(&tech, &q, &config, &DrowsyPolicy::default());
+        assert!(plan.bands.iter().all(|b| b.bits_8t == 0));
+        let scale = plan.standby_leakage_scale();
+        assert!(scale > 0.0 && scale <= 1.0);
+    }
+
+    #[test]
+    fn drv_memoization_is_stable() {
+        let tech = Technology::ptm_22nm();
+        let (a6, a8) = cached_drvs(&tech);
+        let (b6, b8) = cached_drvs(&tech);
+        assert_eq!(a6, b6);
+        assert_eq!(a8, b8);
+    }
+}

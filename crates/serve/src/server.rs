@@ -1,0 +1,375 @@
+//! The inference server: admission queue → adaptive micro-batcher →
+//! shared-state controller → synaptic memory.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  requests ──▶ admission queue ──▶ worker 0 ─┐
+//!  (id 0..n)    (Mutex<VecDeque>)  worker 1 ─┼─▶ NeuromorphicSystem (&self)
+//!                    ▲             worker W ─┘     └─▶ SynapticMemory::read_shared
+//!                    │ adaptive micro-batch pop          (per-request RNG)
+//! ```
+//!
+//! Workers pull *micro-batches* off the queue instead of single requests:
+//! one lock acquisition admits up to [`ServeOptions::max_batch`] requests,
+//! and the batch shares one warm [`InferContext`] (scratch buffers persist,
+//! the RNG is re-seeded per request). The batch size adapts to backlog —
+//! `queue_len / (2·workers)`, clamped to `[1, max_batch]` — so a deep queue
+//! amortizes lock traffic while a draining queue falls back to single
+//! requests and keeps the stragglers balanced across workers.
+//!
+//! # Determinism
+//!
+//! The server follows the `sram_exec` design rules: request `id` draws its
+//! fault randomness from `derive_seed(base_seed, id)` (via
+//! [`InferContext::for_request`]/[`InferContext::reset`]) and results are
+//! collected into slots by `id`. Predictions are therefore **bit-identical
+//! at any worker count and any micro-batch size** — the property the
+//! `serve-load` CI job pins. Latency numbers are wall-clock and obviously
+//! *not* deterministic; only their aggregation (histogram merge) is
+//! order-invariant.
+
+use crate::metrics::{prediction_digest, LatencyHistogram};
+use crate::policy::DrowsyPlan;
+use fault_inject::model::WORD_BITS;
+use neuro_system::controller::{InferContext, NeuromorphicSystem};
+use neuro_system::energy::SystemEnergyReport;
+use sram_device::units::Watt;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serving knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Worker threads; 0 resolves like the exec pool
+    /// ([`sram_exec::effective_threads`]: `set_threads` override →
+    /// `SRAM_REPRO_THREADS` → available parallelism).
+    pub workers: usize,
+    /// Micro-batch ceiling per queue pop.
+    pub max_batch: usize,
+    /// Root of the per-request seed streams.
+    pub base_seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_batch: 16,
+            base_seed: 0x5E2F_E5EE_D000_0001,
+        }
+    }
+}
+
+/// Hard ceiling on serving workers, matching the exec pool's guard: a
+/// typo'd `SRAM_REPRO_THREADS=50000` must degrade to a big-but-survivable
+/// thread count, not die on spawn-resource exhaustion. Predictions are
+/// worker-count invariant, so clamping never changes an output.
+const MAX_WORKERS: usize = 256;
+
+/// Micro-batch size for the current backlog: split the queue so every
+/// worker gets roughly two more turns (bounds tail imbalance at ~half a
+/// batch), clamped to `[1, max_batch]`.
+pub(crate) fn adaptive_batch(queue_len: usize, workers: usize, max_batch: usize) -> usize {
+    (queue_len / (2 * workers.max(1))).clamp(1, max_batch.max(1))
+}
+
+/// Everything one `serve` call produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Predicted class per request, in request order.
+    pub predictions: Vec<usize>,
+    /// End-to-end (admission → completion) latency distribution.
+    pub latency: LatencyHistogram,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Micro-batches popped.
+    pub batches: usize,
+    /// Largest micro-batch observed.
+    pub max_batch_observed: usize,
+    /// Read-fault bits injected across all requests.
+    pub fault_bits: u64,
+    /// Memory words read across all requests.
+    pub words_read: u64,
+    /// Per-inference energy/latency model, when configured.
+    pub energy_per_inference: Option<SystemEnergyReport>,
+    /// Drowsy standby leakage (memory leakage × plan scale), when both the
+    /// energy model and a drowsy plan are configured.
+    pub standby_leakage: Option<Watt>,
+}
+
+impl ServeReport {
+    /// Requests served.
+    pub fn requests(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Served requests per second of wall time.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests() as f64 / secs
+    }
+
+    /// Injected read-fault bits per bit read — the serving-Vdd bit-error
+    /// rate actually observed by the request stream.
+    pub fn observed_bit_error_rate(&self) -> f64 {
+        let bits = self.words_read.saturating_mul(WORD_BITS as u64);
+        if bits == 0 {
+            return 0.0;
+        }
+        self.fault_bits as f64 / bits as f64
+    }
+
+    /// Total model energy of the run (requests × per-inference total).
+    pub fn total_energy_joules(&self) -> Option<f64> {
+        self.energy_per_inference
+            .as_ref()
+            .map(|e| e.energy.total().joules() * self.requests() as f64)
+    }
+
+    /// FNV-1a fingerprint of the prediction vector.
+    pub fn digest(&self) -> u64 {
+        prediction_digest(&self.predictions)
+    }
+}
+
+/// A shared-state inference server over one loaded [`NeuromorphicSystem`].
+#[derive(Debug)]
+pub struct InferenceServer {
+    system: NeuromorphicSystem,
+    options: ServeOptions,
+    energy: Option<SystemEnergyReport>,
+    drowsy: Option<DrowsyPlan>,
+    /// Memory leakage power at the serving voltage (for drowsy standby
+    /// reporting), from the array power rollup.
+    memory_leakage: Option<Watt>,
+}
+
+impl InferenceServer {
+    /// Wraps a loaded system.
+    pub fn new(system: NeuromorphicSystem, options: ServeOptions) -> Self {
+        assert!(options.max_batch > 0, "max_batch must be at least 1");
+        Self {
+            system,
+            options,
+            energy: None,
+            drowsy: None,
+            memory_leakage: None,
+        }
+    }
+
+    /// Attaches a per-inference energy/latency model (builder style).
+    pub fn with_energy(mut self, report: SystemEnergyReport) -> Self {
+        self.energy = Some(report);
+        self
+    }
+
+    /// Attaches a drowsy voltage plan plus the memory leakage power it
+    /// scales (builder style).
+    pub fn with_drowsy(mut self, plan: DrowsyPlan, memory_leakage: Watt) -> Self {
+        self.drowsy = Some(plan);
+        self.memory_leakage = Some(memory_leakage);
+        self
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &NeuromorphicSystem {
+        &self.system
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// The drowsy plan, when configured.
+    pub fn drowsy_plan(&self) -> Option<&DrowsyPlan> {
+        self.drowsy.as_ref()
+    }
+
+    /// Worker threads the next [`serve`](Self::serve) call will use.
+    pub fn workers(&self) -> usize {
+        if self.options.workers > 0 {
+            self.options.workers
+        } else {
+            sram_exec::effective_threads()
+        }
+    }
+
+    /// The reference prediction vector: request `i` classified on the
+    /// `sram_exec` pool, no queue, no batching. [`serve`](Self::serve) must
+    /// match this bit-for-bit — tests pin the two against each other.
+    pub fn reference_predictions<S: AsRef<[f32]> + Sync>(&self, requests: &[S]) -> Vec<usize> {
+        sram_exec::par_map_indexed(requests.len(), |i| {
+            let mut ctx = InferContext::for_request(self.options.base_seed, i as u64);
+            self.system.classify_request(requests[i].as_ref(), &mut ctx)
+        })
+    }
+
+    /// Serves a closed batch of requests (request `i` has id `i`, all
+    /// admitted at t=0) through the queue → micro-batcher → worker
+    /// pipeline; blocks until the queue drains and returns the merged
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic.
+    pub fn serve<S: AsRef<[f32]> + Sync>(&self, requests: &[S]) -> ServeReport {
+        self.serve_configured(requests, &self.options)
+    }
+
+    /// [`serve`](Self::serve) with per-call options — worker count, batch
+    /// ceiling, and seed stream can be tuned without rebuilding the server
+    /// (the loaded memory image is the expensive part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.max_batch` is zero; propagates the first worker
+    /// panic.
+    pub fn serve_configured<S: AsRef<[f32]> + Sync>(
+        &self,
+        requests: &[S],
+        options: &ServeOptions,
+    ) -> ServeReport {
+        assert!(options.max_batch > 0, "max_batch must be at least 1");
+        let n = requests.len();
+        let configured = if options.workers > 0 {
+            options.workers
+        } else {
+            sram_exec::effective_threads()
+        };
+        let workers = configured.clamp(1, n.max(1)).min(MAX_WORKERS);
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+        let start = Instant::now();
+
+        struct WorkerOutcome {
+            /// `(request id, prediction)` in completion order; latencies
+            /// live in the histogram.
+            results: Vec<(usize, usize)>,
+            histogram: LatencyHistogram,
+            fault_bits: u64,
+            words_read: u64,
+            batches: usize,
+            max_batch_observed: usize,
+        }
+
+        let run_worker = || {
+            let mut out = WorkerOutcome {
+                results: Vec::new(),
+                histogram: LatencyHistogram::new(),
+                fault_bits: 0,
+                words_read: 0,
+                batches: 0,
+                max_batch_observed: 0,
+            };
+            let mut ctx = InferContext::for_request(options.base_seed, 0);
+            let mut batch: Vec<usize> = Vec::with_capacity(options.max_batch);
+            loop {
+                {
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    if q.is_empty() {
+                        break;
+                    }
+                    let take = adaptive_batch(q.len(), workers, options.max_batch).min(q.len());
+                    batch.clear();
+                    batch.extend(q.drain(..take));
+                }
+                out.batches += 1;
+                out.max_batch_observed = out.max_batch_observed.max(batch.len());
+                for &id in &batch {
+                    ctx.reset(options.base_seed, id as u64);
+                    let prediction = self
+                        .system
+                        .classify_request(requests[id].as_ref(), &mut ctx);
+                    out.histogram.record(start.elapsed().as_nanos() as u64);
+                    out.fault_bits += ctx.fault_bits();
+                    out.words_read += ctx.reads();
+                    out.results.push((id, prediction));
+                }
+            }
+            out
+        };
+
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
+            // Join every worker before propagating a panic (same rationale
+            // as the exec pool: resuming the unwind with live workers would
+            // double-panic during scope teardown).
+            let mut outcomes = Vec::with_capacity(workers);
+            let mut first_panic = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            outcomes
+        });
+        let wall = start.elapsed();
+
+        let mut predictions = vec![usize::MAX; n];
+        let mut latency = LatencyHistogram::new();
+        let mut fault_bits = 0u64;
+        let mut words_read = 0u64;
+        let mut batches = 0usize;
+        let mut max_batch_observed = 0usize;
+        for outcome in &outcomes {
+            for &(id, prediction) in &outcome.results {
+                predictions[id] = prediction;
+            }
+            latency.merge(&outcome.histogram);
+            fault_bits += outcome.fault_bits;
+            words_read += outcome.words_read;
+            batches += outcome.batches;
+            max_batch_observed = max_batch_observed.max(outcome.max_batch_observed);
+        }
+        debug_assert!(predictions.iter().all(|&p| p != usize::MAX || n == 0));
+
+        let standby_leakage = match (&self.drowsy, self.memory_leakage) {
+            (Some(plan), Some(leak)) => {
+                Some(Watt::new(leak.watts() * plan.standby_leakage_scale()))
+            }
+            _ => None,
+        };
+        ServeReport {
+            predictions,
+            latency,
+            wall,
+            workers,
+            batches,
+            max_batch_observed,
+            fault_bits,
+            words_read,
+            energy_per_inference: self.energy,
+            standby_leakage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_batch_tracks_backlog() {
+        // Deep queue: full batches. Draining queue: singles.
+        assert_eq!(adaptive_batch(1024, 4, 16), 16);
+        assert_eq!(adaptive_batch(64, 4, 16), 8);
+        assert_eq!(adaptive_batch(7, 4, 16), 1);
+        assert_eq!(adaptive_batch(0, 4, 16), 1);
+        // Degenerate knobs stay sane.
+        assert_eq!(adaptive_batch(100, 0, 16), 16);
+        assert_eq!(adaptive_batch(100, 4, 0), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end serving determinism: the queue → micro-batcher → worker
+//! pipeline must reproduce the sequential reference predictions exactly,
+//! whatever the concurrency.
+
+use fault_inject::model::{BitErrorRates, WordFailureModel};
+use fault_inject::protection::ProtectionPolicy;
+use neuro_system::controller::{InferContext, NeuromorphicSystem};
+use neuro_system::layout;
+use neuro_system::npe::Npe;
+use sram_array::behavioral::SynapticMemory;
+use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_serve::fixture::{request_stream, trained_digit_network};
+use sram_serve::{InferenceServer, ServeOptions};
+use std::sync::OnceLock;
+
+const BASE_SEED: u64 = 0xFEED_F00D;
+
+struct Fixture {
+    server: InferenceServer,
+    requests: Vec<Vec<f32>>,
+}
+
+/// One trained system + request stream shared by every test in this
+/// binary (training dominates the fixture cost).
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (q, test_set) = trained_digit_network();
+
+        // A decidedly faulty hybrid memory, so determinism is exercised on
+        // the fault path, not just the clean datapath.
+        let words = layout::bank_words(&q);
+        let policy = ProtectionPolicy::MsbProtected { msb_8t: 3 };
+        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+        let rates = BitErrorRates {
+            read_6t: 0.05,
+            write_6t: 0.005,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let models: Vec<WordFailureModel> = (0..words.len())
+            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+            .collect();
+        let memory = SynapticMemory::new(map, models, 29);
+        let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+
+        let requests = request_stream(&test_set, 96);
+        Fixture {
+            server: InferenceServer::new(
+                system,
+                ServeOptions {
+                    workers: 0,
+                    max_batch: 8,
+                    base_seed: BASE_SEED,
+                },
+            ),
+            requests,
+        }
+    })
+}
+
+/// The sequential reference: request `i` classified in order with a single
+/// warm context.
+fn sequential_reference(fx: &Fixture) -> Vec<usize> {
+    let mut ctx = InferContext::for_request(BASE_SEED, 0);
+    fx.requests
+        .iter()
+        .enumerate()
+        .map(|(i, features)| {
+            ctx.reset(BASE_SEED, i as u64);
+            fx.server.system().classify_request(features, &mut ctx)
+        })
+        .collect()
+}
+
+#[test]
+fn threads_hammering_a_shared_controller_match_the_sequential_reference() {
+    let fx = fixture();
+    let reference = sequential_reference(fx);
+
+    // N threads classify *all* requests concurrently against the same
+    // shared system — maximal read-path contention. Every thread must see
+    // exactly the reference stream.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ctx = InferContext::for_request(BASE_SEED, 0);
+                    fx.requests
+                        .iter()
+                        .enumerate()
+                        .map(|(i, features)| {
+                            ctx.reset(BASE_SEED, i as u64);
+                            fx.server.system().classify_request(features, &mut ctx)
+                        })
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().expect("hammer thread"), reference);
+        }
+    });
+}
+
+#[test]
+fn served_predictions_are_worker_count_invariant() {
+    let fx = fixture();
+    let reference = sequential_reference(fx);
+    assert_eq!(fx.server.reference_predictions(&fx.requests), reference);
+
+    for workers in [1usize, 2, 3, 4, 7] {
+        let options = ServeOptions {
+            workers,
+            max_batch: 8,
+            base_seed: BASE_SEED,
+        };
+        let report = fx.server.serve_configured(&fx.requests, &options);
+        assert_eq!(
+            report.predictions, reference,
+            "{workers}-worker serve diverged from the sequential reference"
+        );
+        assert_eq!(report.workers, workers.min(fx.requests.len()));
+    }
+}
+
+#[test]
+fn serve_report_accounts_every_request() {
+    let fx = fixture();
+    let report = fx.server.serve_configured(
+        &fx.requests,
+        &ServeOptions {
+            workers: 3,
+            max_batch: 8,
+            base_seed: BASE_SEED,
+        },
+    );
+    let n = fx.requests.len();
+    assert_eq!(report.requests(), n);
+    assert_eq!(report.latency.count(), n as u64);
+    assert_eq!(
+        report.words_read,
+        (n * fx.server.system().reads_per_inference()) as u64
+    );
+    assert!(report.fault_bits > 0, "5% read-fault rate must show up");
+    let ber = report.observed_bit_error_rate();
+    // 5 of 8 bits fault at 5%: expected word-averaged BER ≈ 0.031, plus a
+    // little persistent write corruption; huge sample, wide band.
+    assert!((0.02..0.05).contains(&ber), "observed BER {ber}");
+    assert!(report.latency.p50_ns() <= report.latency.p99_ns());
+    assert!(report.latency.p99_ns() <= report.latency.max_ns());
+    assert!(report.throughput_rps() > 0.0);
+    assert!(report.batches > 0);
+    assert!(report.max_batch_observed <= 8);
+    assert_eq!(
+        report.digest(),
+        sram_serve::prediction_digest(&report.predictions)
+    );
+}

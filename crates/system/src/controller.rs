@@ -6,11 +6,30 @@
 //! the NPE MAC, and latches the activations for the next layer. Every weight
 //! read goes through the behavioral memory, so per-access read faults land
 //! exactly where the hardware would see them.
+//!
+//! # Shared-state inference
+//!
+//! The weight image and the NPE are **read-only** once the network is
+//! loaded, so inference takes `&self`: any number of workers can classify
+//! through one [`NeuromorphicSystem`] concurrently. Everything mutable —
+//! the per-request fault RNG and the layer scratch buffers — lives in an
+//! [`InferContext`] the caller threads through. A context is seeded as
+//! `derive_seed(base_seed, request_id)`, so the fault bits a request sees
+//! are a pure function of `(base_seed, request_id)`: serving the same
+//! request stream at any worker count, in any order, in any batching,
+//! replays bit-identical predictions. The serving layer (`sram_serve`)
+//! builds directly on this contract.
 
 use crate::layout;
 use crate::npe::{encode_activation, Npe};
 use neural::quant::QuantizedMlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sram_array::behavioral::SynapticMemory;
+use sram_exec::derive_seed;
+
+/// Base seed of the legacy `&mut self` entry points when none is given.
+const DEFAULT_BASE_SEED: u64 = 0x001F_E25E_EDD0;
 
 /// Shape of one layer as seen by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,12 +38,71 @@ struct LayerShape {
     outputs: usize,
 }
 
+/// Per-request mutable state: the fault RNG plus the controller's scratch
+/// buffers, hoisted out of [`NeuromorphicSystem`] so inference can run on
+/// shared `&self`.
+///
+/// Reusing one context across requests (re-seeding with
+/// [`reset`](Self::reset)) keeps the scratch allocations warm — that is
+/// what the serving layer's micro-batches amortize — without ever leaking
+/// randomness between requests: the RNG is rebuilt from the request's seed,
+/// never resumed.
+#[derive(Debug, Clone)]
+pub struct InferContext {
+    rng: StdRng,
+    weight_buf: Vec<u8>,
+    activations: Vec<u8>,
+    next: Vec<u8>,
+    fault_bits: u64,
+    reads: u64,
+}
+
+impl InferContext {
+    /// A context for request `request_id` of the stream rooted at
+    /// `base_seed`; the fault randomness is `derive_seed(base_seed,
+    /// request_id)` — independent of worker, order, and batch placement.
+    pub fn for_request(base_seed: u64, request_id: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(derive_seed(base_seed, request_id)),
+            weight_buf: Vec::new(),
+            activations: Vec::new(),
+            next: Vec::new(),
+            fault_bits: 0,
+            reads: 0,
+        }
+    }
+
+    /// Re-arms the context for another request, keeping the scratch buffers
+    /// but replacing the RNG and clearing the per-request counters. After
+    /// `ctx.reset(b, r)` the context behaves exactly like
+    /// `InferContext::for_request(b, r)`.
+    pub fn reset(&mut self, base_seed: u64, request_id: u64) {
+        self.rng = StdRng::seed_from_u64(derive_seed(base_seed, request_id));
+        self.fault_bits = 0;
+        self.reads = 0;
+    }
+
+    /// Read-fault bits injected during the requests since the last reset.
+    pub fn fault_bits(&self) -> u64 {
+        self.fault_bits
+    }
+
+    /// Memory words read since the last reset.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
 /// The neuromorphic system: NPE bank + controller + synaptic memory.
 #[derive(Debug)]
 pub struct NeuromorphicSystem {
     npe: Npe,
     memory: SynapticMemory,
     shapes: Vec<LayerShape>,
+    base_seed: u64,
+    /// Requests served through the legacy `&mut self` entry points; each
+    /// gets the next id of the default stream.
+    served: u64,
 }
 
 impl NeuromorphicSystem {
@@ -55,7 +133,16 @@ impl NeuromorphicSystem {
             npe,
             memory,
             shapes,
+            base_seed: DEFAULT_BASE_SEED,
+            served: 0,
         }
+    }
+
+    /// Sets the base seed of the legacy `&mut self` entry points (builder
+    /// style). Explicit contexts are unaffected — they carry their own.
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
     }
 
     /// Access to the underlying memory (e.g. for energy accounting).
@@ -63,14 +150,68 @@ impl NeuromorphicSystem {
         &self.memory
     }
 
-    /// Classifies one input sample (features in `[0, 1]`); returns the
-    /// predicted class index.
+    /// Weight + bias words one full forward pass reads.
+    pub fn reads_per_inference(&self) -> usize {
+        self.shapes
+            .iter()
+            .map(|s| s.inputs * s.outputs + s.outputs)
+            .sum()
+    }
+
+    /// Multiply-accumulates per inference (for energy accounting).
+    pub fn macs_per_inference(&self) -> usize {
+        self.shapes.iter().map(|s| s.inputs * s.outputs).sum()
+    }
+
+    /// Runs a full forward pass on shared state; returns the output
+    /// activation codes (borrowed from the context's scratch).
     ///
     /// # Panics
     ///
     /// Panics if the feature count does not match the input layer.
-    pub fn classify(&mut self, features: &[f32]) -> usize {
-        let outputs = self.infer(features);
+    pub fn infer_request<'c>(&self, features: &[f32], ctx: &'c mut InferContext) -> &'c [u8] {
+        assert_eq!(
+            features.len(),
+            self.shapes[0].inputs,
+            "input width mismatch"
+        );
+        ctx.activations.clear();
+        ctx.activations
+            .extend(features.iter().map(|&f| encode_activation(f)));
+        let mut bank_base = 0usize;
+        for shape in &self.shapes {
+            ctx.next.clear();
+            for neuron in 0..shape.outputs {
+                ctx.weight_buf.clear();
+                let row_start = bank_base + layout::weight_offset(shape.inputs, neuron, 0);
+                for k in 0..shape.inputs {
+                    let (w, mask) = self.memory.read_shared(row_start + k, &mut ctx.rng);
+                    ctx.fault_bits += u64::from(mask.count_ones());
+                    ctx.weight_buf.push(w);
+                }
+                let (bias, mask) = self.memory.read_shared(
+                    bank_base + layout::bias_offset(shape.inputs, shape.outputs, neuron),
+                    &mut ctx.rng,
+                );
+                ctx.fault_bits += u64::from(mask.count_ones());
+                ctx.reads += (shape.inputs + 1) as u64;
+                ctx.next
+                    .push(self.npe.neuron(&ctx.weight_buf, bias, &ctx.activations));
+            }
+            bank_base += shape.inputs * shape.outputs + shape.outputs;
+            std::mem::swap(&mut ctx.activations, &mut ctx.next);
+        }
+        &ctx.activations
+    }
+
+    /// Classifies one input sample on shared state; returns the predicted
+    /// class index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count does not match the input layer.
+    pub fn classify_request(&self, features: &[f32], ctx: &mut InferContext) -> usize {
+        let outputs = self.infer_request(features, ctx);
         outputs
             .iter()
             .enumerate()
@@ -79,52 +220,68 @@ impl NeuromorphicSystem {
             .expect("non-empty output layer")
     }
 
+    /// Classifies one input sample (features in `[0, 1]`); returns the
+    /// predicted class index. Legacy single-owner entry point: request ids
+    /// come from an internal counter on the system's base seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count does not match the input layer.
+    pub fn classify(&mut self, features: &[f32]) -> usize {
+        let mut ctx = self.next_legacy_context();
+        self.classify_request(features, &mut ctx)
+    }
+
     /// Runs a full forward pass; returns the output activation codes.
+    /// Legacy single-owner entry point (see [`classify`](Self::classify)).
     ///
     /// # Panics
     ///
     /// Panics if the feature count does not match the input layer.
     pub fn infer(&mut self, features: &[f32]) -> Vec<u8> {
-        assert_eq!(
-            features.len(),
-            self.shapes[0].inputs,
-            "input width mismatch"
-        );
-        let mut activations: Vec<u8> = features.iter().map(|&f| encode_activation(f)).collect();
-        let mut bank_base = 0usize;
+        let mut ctx = self.next_legacy_context();
+        self.infer_request(features, &mut ctx).to_vec()
+    }
 
-        let shapes = self.shapes.clone();
-        let mut weight_buf: Vec<u8> = Vec::new();
-        for shape in &shapes {
-            let mut next = Vec::with_capacity(shape.outputs);
-            for neuron in 0..shape.outputs {
-                weight_buf.clear();
-                let row_start = bank_base + layout::weight_offset(shape.inputs, neuron, 0);
-                for k in 0..shape.inputs {
-                    weight_buf.push(self.memory.read(row_start + k));
-                }
-                let bias = self
-                    .memory
-                    .read(bank_base + layout::bias_offset(shape.inputs, shape.outputs, neuron));
-                next.push(self.npe.neuron(&weight_buf, bias, &activations));
-            }
-            bank_base += shape.inputs * shape.outputs + shape.outputs;
-            activations = next;
-        }
-        activations
+    fn next_legacy_context(&mut self) -> InferContext {
+        let ctx = InferContext::for_request(self.base_seed, self.served);
+        self.served += 1;
+        ctx
     }
 
     /// Classification accuracy over a dataset, running every sample through
-    /// the full memory-faulting datapath.
+    /// the full memory-faulting datapath. Sample `i` is request `i` of the
+    /// stream rooted at `base_seed`, so samples are independent and fan out
+    /// on the `sram_exec` pool — bit-identical to
+    /// [`accuracy_sequential`](Self::accuracy_sequential) at any worker
+    /// count.
     ///
     /// # Panics
     ///
-    /// Panics on feature-width mismatch.
-    pub fn accuracy(&mut self, data: &neural::dataset::Dataset) -> f64 {
+    /// Panics on an empty dataset or feature-width mismatch.
+    pub fn accuracy(&self, data: &neural::dataset::Dataset, base_seed: u64) -> f64 {
         assert!(!data.is_empty(), "empty dataset");
+        let correct: Vec<bool> = sram_exec::par_map_indexed(data.len(), |i| {
+            let mut ctx = InferContext::for_request(base_seed, i as u64);
+            self.classify_request(data.image(i), &mut ctx) == data.label(i)
+        });
+        correct.iter().filter(|&&c| c).count() as f64 / data.len() as f64
+    }
+
+    /// The sequential reference fold of [`accuracy`](Self::accuracy): one
+    /// warm context, samples in order. Exists so tests can pin the parallel
+    /// fan-out bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or feature-width mismatch.
+    pub fn accuracy_sequential(&self, data: &neural::dataset::Dataset, base_seed: u64) -> f64 {
+        assert!(!data.is_empty(), "empty dataset");
+        let mut ctx = InferContext::for_request(base_seed, 0);
         let mut correct = 0usize;
         for i in 0..data.len() {
-            if self.classify(data.image(i)) == data.label(i) {
+            ctx.reset(base_seed, i as u64);
+            if self.classify_request(data.image(i), &mut ctx) == data.label(i) {
                 correct += 1;
             }
         }
@@ -173,8 +330,8 @@ mod tests {
     fn system_matches_float_network_on_clean_memory() {
         let (q, test_set) = trained_small_net();
         let npe = Npe::new(q.format);
-        let mut system = NeuromorphicSystem::new(&q, ideal_memory_for(&q), npe);
-        let fixed_acc = system.accuracy(&test_set);
+        let system = NeuromorphicSystem::new(&q, ideal_memory_for(&q), npe);
+        let fixed_acc = system.accuracy(&test_set, 11);
         let float_acc = accuracy(&q.to_mlp(), &test_set);
         assert!(
             (fixed_acc - float_acc).abs() < 0.1,
@@ -182,6 +339,86 @@ mod tests {
         );
         // The datapath must actually have read the memory.
         assert!(system.memory().counts().reads > 0);
+        assert_eq!(
+            system.memory().counts().reads,
+            test_set.len() * system.reads_per_inference()
+        );
+    }
+
+    #[test]
+    fn parallel_accuracy_is_bit_identical_to_the_sequential_fold() {
+        let (q, test_set) = trained_small_net();
+        let test_set = test_set.take(60);
+        let words = layout::bank_words(&q);
+        let policy = ProtectionPolicy::MsbProtected { msb_8t: 4 };
+        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+        let rates = BitErrorRates {
+            read_6t: 0.08,
+            write_6t: 0.01,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let models: Vec<WordFailureModel> = (0..words.len())
+            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+            .collect();
+        let system =
+            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 5), Npe::new(q.format));
+        let reference = system.accuracy_sequential(&test_set, 77);
+        for threads in [1usize, 2, 4] {
+            sram_exec::set_threads(threads);
+            let parallel = system.accuracy(&test_set, 77);
+            assert!(
+                parallel == reference,
+                "accuracy at {threads} workers ({parallel}) != sequential ({reference})"
+            );
+        }
+        sram_exec::clear_threads();
+    }
+
+    #[test]
+    fn request_context_is_a_pure_function_of_its_seed() {
+        let (q, test_set) = trained_small_net();
+        let words = layout::bank_words(&q);
+        let policy = ProtectionPolicy::Uniform6T;
+        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+        let rates = BitErrorRates {
+            read_6t: 0.2,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let models: Vec<WordFailureModel> = (0..words.len())
+            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+            .collect();
+        let system =
+            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 9), Npe::new(q.format));
+        let img = test_set.image(0);
+
+        // Fresh context vs a context warmed on other requests then reset:
+        // identical outputs and identical fault accounting.
+        let mut fresh = InferContext::for_request(3, 8);
+        let out_fresh = system.infer_request(img, &mut fresh).to_vec();
+        let (fresh_faults, fresh_reads) = (fresh.fault_bits(), fresh.reads());
+
+        let mut warm = InferContext::for_request(3, 0);
+        for id in 0..4 {
+            warm.reset(3, id);
+            let _ = system.infer_request(img, &mut warm);
+        }
+        warm.reset(3, 8);
+        let out_warm = system.infer_request(img, &mut warm).to_vec();
+        assert_eq!(out_fresh, out_warm);
+        assert_eq!(fresh_faults, warm.fault_bits());
+        assert_eq!(fresh_reads, warm.reads());
+        assert_eq!(fresh_reads, system.reads_per_inference() as u64);
+        assert!(fresh_faults > 0, "20% read faults must show up");
+
+        // Replaying the same request id is exact; a different id draws an
+        // independent fault stream (the *number* of faulted bits may
+        // coincide, so compare a replay instead of a neighbor).
+        let mut replay = InferContext::for_request(3, 8);
+        assert_eq!(out_fresh, system.infer_request(img, &mut replay).to_vec());
+        assert_eq!(replay.fault_bits(), fresh_faults);
     }
 
     #[test]
@@ -191,8 +428,8 @@ mod tests {
         let npe = Npe::new(q.format);
 
         let clean_acc = {
-            let mut s = NeuromorphicSystem::new(&q, ideal_memory_for(&q), npe.clone());
-            s.accuracy(&test_set)
+            let s = NeuromorphicSystem::new(&q, ideal_memory_for(&q), npe.clone());
+            s.accuracy(&test_set, 3)
         };
 
         let words = layout::bank_words(&q);
@@ -208,9 +445,9 @@ mod tests {
         let models: Vec<WordFailureModel> = (0..words.len())
             .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
             .collect();
-        let mut lsb_system =
+        let lsb_system =
             NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 3), npe.clone());
-        let lsb_acc = lsb_system.accuracy(&test_set);
+        let lsb_acc = lsb_system.accuracy(&test_set, 3);
 
         // Uniform faults at the same rate (MSBs exposed).
         let policy = ProtectionPolicy::Uniform6T;
@@ -218,9 +455,8 @@ mod tests {
         let models: Vec<WordFailureModel> = (0..words.len())
             .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
             .collect();
-        let mut uniform_system =
-            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 3), npe);
-        let uniform_acc = uniform_system.accuracy(&test_set);
+        let uniform_system = NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 3), npe);
+        let uniform_acc = uniform_system.accuracy(&test_set, 3);
 
         assert!(
             lsb_acc > clean_acc - 0.15,
@@ -230,6 +466,20 @@ mod tests {
             uniform_acc < lsb_acc,
             "MSB exposure must hurt more: uniform {uniform_acc} vs lsb {lsb_acc}"
         );
+    }
+
+    #[test]
+    fn legacy_entry_points_still_serve() {
+        let (q, test_set) = trained_small_net();
+        let mut system = NeuromorphicSystem::new(&q, ideal_memory_for(&q), Npe::new(q.format))
+            .with_base_seed(99);
+        let class = system.classify(test_set.image(0));
+        assert!(class < 10);
+        let outputs = system.infer(test_set.image(1));
+        assert_eq!(outputs.len(), 10);
+        // On an ideal memory the legacy path matches the shared path.
+        let mut ctx = InferContext::for_request(0, 0);
+        assert_eq!(class, system.classify_request(test_set.image(0), &mut ctx));
     }
 
     #[test]

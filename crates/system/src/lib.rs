@@ -20,7 +20,7 @@ pub mod timing;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
-    pub use crate::controller::NeuromorphicSystem;
+    pub use crate::controller::{InferContext, NeuromorphicSystem};
     pub use crate::energy::{
         inference_energy, system_inference_energy, InferenceEnergy, LogicEnergyModel,
         SystemEnergyModel, SystemEnergyReport,

@@ -47,8 +47,8 @@ fn main() {
         // every test image through it, reading all weights per inference.
         let memory = ctx.framework.build_memory(&ctx.network, &config, 42);
         let npe = Npe::new(ctx.network.format);
-        let mut system = NeuromorphicSystem::new(&ctx.network, memory, npe);
-        let acc = system.accuracy(&test);
+        let system = NeuromorphicSystem::new(&ctx.network, memory, npe);
+        let acc = system.accuracy(&test, 42);
         let reads = system.memory().counts().reads;
 
         let power =

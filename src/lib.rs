@@ -21,6 +21,9 @@
 //! * [`faults`] — bit-level fault models and protection policies;
 //! * [`system`] — NPEs, controller, per-inference energy, voltage-frequency
 //!   scaling;
+//! * [`serve`] — the concurrent batched inference serving layer (admission
+//!   queue, adaptive micro-batching, latency/energy metrics, drowsy
+//!   voltage policy) with its `serve_bench` load generator;
 //! * [`core`] — the paper's contribution: configurations, the
 //!   circuit-to-system framework, the allocation optimizer, and every
 //!   experiment (Table I, Figs. 5-9, plus the extension studies).
@@ -38,3 +41,4 @@ pub use sram_bitcell as bitcell;
 pub use sram_device as device;
 pub use sram_ecc as ecc;
 pub use sram_exec as exec;
+pub use sram_serve as serve;

@@ -56,8 +56,8 @@ fn per_access_and_snapshot_agree() {
     let n_runs = 3;
     for run in 0..n_runs {
         let memory = framework.build_memory(&q, &config, 1000 + run);
-        let mut system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
-        per_access_sum += system.accuracy(&test_set);
+        let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+        per_access_sum += system.accuracy(&test_set, 1000 + run);
     }
     let per_access_acc = per_access_sum / n_runs as f64;
 
@@ -82,8 +82,8 @@ fn per_access_and_snapshot_agree() {
             },
             7,
         );
-        let mut system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
-        system.accuracy(&test_set)
+        let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+        system.accuracy(&test_set, 7)
     };
 
     let snapshot_drop = clean_snapshot - snapshot_acc;

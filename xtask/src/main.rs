@@ -1,6 +1,6 @@
 //! Repository automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! Currently one task:
+//! Two tasks:
 //!
 //! * **`bench-diff`** — runs the workspace benches into a scratch
 //!   `BENCH.json` (via the shim-criterion `BENCH_JSON_PATH` hook), compares
@@ -10,6 +10,17 @@
 //!   to ignore shared-runner noise, tight enough to catch a solver falling
 //!   back to brute force. `--no-run` skips the bench run and diffs an
 //!   existing file (`--current <path>`).
+//!
+//! * **`serve-report`** — runs the `serve_bench` load generator at 1 and 4
+//!   workers and emits a throughput/latency/energy comparison table
+//!   (written to `--out`, default `target/serve-report.txt`). With
+//!   `--gate`, exits non-zero when the two runs' predictions differ
+//!   (determinism under load broken) or when the 4-worker run is slower
+//!   than the 1-worker run by more than [`SERVE_SLOWDOWN_FACTOR`]×;
+//!   `--min-speedup X` additionally requires a genuine ≥X× speedup (used
+//!   by CI, whose runners are known multi-core — a single-core dev box
+//!   should gate without it). Both runs execute back-to-back in one job
+//!   on one machine, so the ratio is machine-normalized by construction.
 //!
 //! The committed baseline was recorded on a different machine than CI's
 //! shared runners, so raw wall-clock ratios would gate hardware speed, not
@@ -49,12 +60,22 @@ const REGRESSION_FACTOR: f64 = 2.0;
 /// before the regression check.
 const CALIBRATION: &str = "mosfet_drain_current";
 
+/// `serve-report --gate` fails when the 4-worker serve run takes more than
+/// this factor of the 1-worker wall time (a 2-core CI runner may not reach
+/// a 2× speedup, but 4 workers must never make serving meaningfully
+/// *slower* than 1).
+const SERVE_SLOWDOWN_FACTOR: f64 = 1.5;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-diff") => bench_diff(&args[1..]),
+        Some("serve-report") => serve_report(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask bench-diff [--no-run] [--current <path>]");
+            eprintln!(
+                "       cargo xtask serve-report [--gate] [--min-speedup X] [--requests N] [--out <path>]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -200,4 +221,191 @@ fn bench_diff(args: &[String]) -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// Parses a `key=value` report written by `serve_bench --report`.
+fn read_kv_report(path: &std::path::Path) -> Option<std::collections::BTreeMap<String, String>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut map = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            map.insert(k.trim().to_string(), v.trim().to_string());
+        }
+    }
+    Some(map)
+}
+
+fn serve_report(args: &[String]) -> ExitCode {
+    let mut gate = false;
+    let mut requests = 512usize;
+    let mut out_path = "target/serve-report.txt".to_string();
+    let mut min_speedup: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => {
+                    eprintln!("--requests requires a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-speedup" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 && x.is_finite() => min_speedup = Some(x),
+                _ => {
+                    eprintln!("--min-speedup requires a positive factor, e.g. 1.4");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown serve-report argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_default();
+    let target = cwd.join("target");
+    let _ = std::fs::create_dir_all(&target);
+    let worker_counts = [1usize, 4];
+    let mut reports = Vec::new();
+    for &workers in &worker_counts {
+        let report_path = target.join(format!("serve-{workers}w.txt"));
+        let preds_path = target.join(format!("serve-preds-{workers}w.txt"));
+        let _ = std::fs::remove_file(&report_path);
+        let _ = std::fs::remove_file(&preds_path);
+        eprintln!("running serve_bench at {workers} worker(s)...");
+        let status = Command::new(env!("CARGO"))
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "sram_serve",
+                "--bin",
+                "serve_bench",
+                "--",
+                "--requests",
+                &requests.to_string(),
+                "--threads",
+                &workers.to_string(),
+                "--report",
+                &report_path.display().to_string(),
+                "--predictions",
+                &preds_path.display().to_string(),
+            ])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("serve_bench failed at {workers} workers: {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("could not launch serve_bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let Some(kv) = read_kv_report(&report_path) else {
+            eprintln!("no report at {}", report_path.display());
+            return ExitCode::FAILURE;
+        };
+        let Ok(preds) = std::fs::read(&preds_path) else {
+            eprintln!("no predictions at {}", preds_path.display());
+            return ExitCode::FAILURE;
+        };
+        reports.push((workers, kv, preds));
+    }
+
+    let get_f64 = |kv: &std::collections::BTreeMap<String, String>, key: &str| {
+        kv.get(key).and_then(|v| v.parse::<f64>().ok())
+    };
+    let mut table = String::new();
+    table.push_str(&format!(
+        "serve-report — {requests} requests through the hybrid 8T-6T serving layer\n\n"
+    ));
+    table.push_str(&format!(
+        "{:<8} {:>14} {:>12} {:>12} {:>14} {:>14} {:>12}  digest\n",
+        "workers", "throughput", "p50", "p99", "energy/inf", "standby", "BER"
+    ));
+    for (workers, kv, _) in &reports {
+        let row = format!(
+            "{:<8} {:>10.1} r/s {:>12} {:>12} {:>11.3} nJ {:>11.3} µW {:>12}  {}\n",
+            workers,
+            get_f64(kv, "throughput_rps").unwrap_or(0.0),
+            format_ns(get_f64(kv, "p50_ns").unwrap_or(0.0)),
+            format_ns(get_f64(kv, "p99_ns").unwrap_or(0.0)),
+            get_f64(kv, "energy_per_inference_j").unwrap_or(0.0) * 1e9,
+            get_f64(kv, "standby_leakage_w").unwrap_or(0.0) * 1e6,
+            kv.get("observed_ber").map(String::as_str).unwrap_or("-"),
+            kv.get("digest").map(String::as_str).unwrap_or("-"),
+        );
+        table.push_str(&row);
+    }
+
+    let wall_1 = get_f64(&reports[0].1, "wall_ns").unwrap_or(f64::NAN);
+    let wall_4 = get_f64(&reports[1].1, "wall_ns").unwrap_or(f64::NAN);
+    let speedup = wall_1 / wall_4;
+    let identical = reports[0].2 == reports[1].2
+        && reports[0].1.contains_key("digest")
+        && reports[0].1.get("digest") == reports[1].1.get("digest");
+    table.push_str(&format!(
+        "\n4-worker speedup: {speedup:.2}x (wall {} -> {})\npredictions across worker counts: {}\n",
+        format_ns(wall_1),
+        format_ns(wall_4),
+        if identical { "IDENTICAL" } else { "DIVERGED" },
+    ));
+
+    print!("{table}");
+    if let Err(e) = std::fs::write(&out_path, &table) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve report written to {out_path}");
+
+    if gate {
+        let mut failed = false;
+        if !identical {
+            eprintln!(
+                "GATE FAILED: served predictions differ between 1 and 4 workers \
+                 (determinism under load is broken)"
+            );
+            failed = true;
+        }
+        if !(speedup.is_finite() && speedup > 0.0) {
+            eprintln!("GATE FAILED: could not compute the 4-worker speedup");
+            failed = true;
+        } else if speedup < 1.0 / SERVE_SLOWDOWN_FACTOR {
+            eprintln!(
+                "GATE FAILED: 4 workers are {:.2}x slower than 1 worker \
+                 (allowed: {SERVE_SLOWDOWN_FACTOR}x)",
+                1.0 / speedup
+            );
+            failed = true;
+        } else if let Some(floor) = min_speedup {
+            // Opt-in scaling floor for known-multi-core runners: the
+            // serving layer must actually get faster with workers, not
+            // merely avoid getting slower.
+            if speedup < floor {
+                eprintln!(
+                    "GATE FAILED: 4-worker speedup {speedup:.2}x is below the \
+                     required {floor:.2}x (--min-speedup)"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!("serve-load gate passed: predictions identical, 4-worker speedup {speedup:.2}x");
+    }
+    ExitCode::SUCCESS
 }
