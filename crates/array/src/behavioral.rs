@@ -7,19 +7,104 @@
 //! * **Per-access** (this module's `read`): every read samples fresh
 //!   read-fault bits — the physically faithful model, affordable for small
 //!   networks and used to validate the snapshot shortcut.
-//! * **Snapshot** (`corrupt_snapshot`): one corruption pass over the stored
-//!   image, the way the paper's functional simulator perturbs the weight
-//!   matrix before an evaluation run.
+//! * **Snapshot** ([`SynapticMemory::corrupt_snapshot`]): one corruption
+//!   pass over the stored image, the way the paper's functional simulator
+//!   perturbs the weight matrix before an evaluation run.
 //!
 //! Write failures are always persistent: they corrupt the stored byte at
 //! write time.
+//!
+//! # The address-keyed randomness contract
+//!
+//! Every internally drawn fault bit is a pure function of *logical*
+//! coordinates, never of storage layout:
+//!
+//! * **write faults** are keyed by `(base seed, bank, offset)` — rewriting
+//!   a word replays the same weak-cell failure pattern, and bulk loads can
+//!   be split across any partition of the address space without changing a
+//!   single stored bit;
+//! * **snapshot corruption** is keyed by `(snapshot seed, bank)` — one
+//!   independent stream per bank, so banks can corrupt in parallel;
+//! * **owned reads** ([`SynapticMemory::read`]) are keyed by
+//!   `(base seed, read counter)` — fresh per-access fault bits that depend
+//!   only on call order;
+//! * **shared reads** ([`SynapticMemory::read_shared`]) draw from a
+//!   caller-provided RNG — the serving layer owns the randomness.
+//!
+//! This contract is what makes the bank-parallel
+//! [`ShardedMemory`](crate::sharded::ShardedMemory) *bit-identical* to this
+//! monolithic reference at any shard count: no stream ever crosses an
+//! address-range boundary. The stream helpers live in [`streams`] and are
+//! shared by both implementations.
 
-use crate::organization::SynapticMemoryMap;
+use crate::organization::{SynapticMemoryMap, WordAddress};
 use fault_inject::injector::{geometric_indices, sample_read_mask, InjectionStats};
 use fault_inject::model::{WordFailureModel, WORD_BITS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seed-stream derivation shared by the monolithic [`SynapticMemory`]
+/// reference and the sharded production store.
+///
+/// Domain constants keep the write, owned-read, and bulk-read streams of
+/// one base seed disjoint; each stream is then expanded per logical
+/// coordinate with [`sram_exec::derive_seed`].
+pub mod streams {
+    use fault_inject::model::{WordFailureModel, WORD_BITS};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sram_exec::derive_seed;
+
+    /// Domain tag of the per-word write-fault streams.
+    const DOMAIN_WRITE: u64 = 0x0057_5249_5445_u64; // "WRITE"
+    /// Domain tag of the owned-read (call-order) stream.
+    const DOMAIN_READ: u64 = 0x5245_4144u64; // "READ"
+    /// Domain tag of the per-bank bulk-read streams.
+    const DOMAIN_BULK: u64 = 0x4255_4C4Bu64; // "BULK"
+
+    /// Seed of the write-fault stream of word `(bank, offset)`: a pure
+    /// function of the logical address, so loads split across shards (or
+    /// replayed in any order) corrupt identically.
+    pub fn word_write_seed(base_seed: u64, bank: usize, offset: usize) -> u64 {
+        derive_seed(
+            derive_seed(derive_seed(base_seed, DOMAIN_WRITE), bank as u64),
+            offset as u64,
+        )
+    }
+
+    /// Seed of the `n`-th owned (single-owner) read of a memory rooted at
+    /// `base_seed`.
+    pub fn owned_read_seed(base_seed: u64, read_number: u64) -> u64 {
+        derive_seed(derive_seed(base_seed, DOMAIN_READ), read_number)
+    }
+
+    /// Seed of `bank`'s snapshot-corruption stream for one
+    /// `corrupt_snapshot(seed)` pass.
+    pub fn snapshot_bank_seed(snapshot_seed: u64, bank: usize) -> u64 {
+        derive_seed(snapshot_seed, bank as u64)
+    }
+
+    /// Seed of `bank`'s stream for one `read_bulk(seed)` sweep.
+    pub fn bulk_bank_seed(bulk_seed: u64, bank: usize) -> u64 {
+        derive_seed(derive_seed(bulk_seed, DOMAIN_BULK), bank as u64)
+    }
+
+    /// The persistent write-fault mask of word `(bank, offset)` under
+    /// `model`: bit i of the result is set when storing bit i fails.
+    /// Deterministic — the same weak cell corrupts every rewrite.
+    pub fn write_mask(model: &WordFailureModel, base_seed: u64, bank: usize, offset: usize) -> u8 {
+        let mut rng = StdRng::seed_from_u64(word_write_seed(base_seed, bank, offset));
+        let mut mask = 0u8;
+        for bit in 0..WORD_BITS {
+            let p = model.write_probability(bit);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                mask |= 1 << bit;
+            }
+        }
+        mask
+    }
+}
 
 /// Access counters for energy accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,39 +115,172 @@ pub struct AccessCounts {
     pub writes: usize,
 }
 
+impl AccessCounts {
+    /// Component-wise sum (used to aggregate per-shard counters).
+    pub fn merged(self, other: AccessCounts) -> AccessCounts {
+        AccessCounts {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+        }
+    }
+}
+
 /// Interior-mutable access counters: shared-state reads
 /// ([`SynapticMemory::read_shared`]) bump them through `&self` from many
 /// serving workers at once, so they are atomics rather than plain fields.
 /// Relaxed ordering suffices — the counts feed energy accounting, never
 /// synchronization.
 #[derive(Debug, Default)]
-struct AtomicAccessCounts {
-    reads: AtomicUsize,
-    writes: AtomicUsize,
+pub(crate) struct AtomicAccessCounts {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+}
+
+impl AtomicAccessCounts {
+    pub(crate) fn snapshot(&self) -> AccessCounts {
+        AccessCounts {
+            reads: self.reads.load(Ordering::Relaxed) as usize,
+            writes: self.writes.load(Ordering::Relaxed) as usize,
+        }
+    }
 }
 
 impl Clone for AtomicAccessCounts {
     fn clone(&self) -> Self {
         Self {
-            reads: AtomicUsize::new(self.reads.load(Ordering::Relaxed)),
-            writes: AtomicUsize::new(self.writes.load(Ordering::Relaxed)),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+            writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
         }
     }
 }
 
-/// A synaptic memory with per-bank failure models.
+/// Per-bank fault-model state shared by the monolithic and sharded stores:
+/// the failure models plus pre-resolved "does this bank fault at all"
+/// flags, so ideal banks skip RNG construction entirely on the hot paths.
+#[derive(Debug, Clone)]
+pub(crate) struct BankModels {
+    pub(crate) models: Vec<WordFailureModel>,
+    /// `true` when the bank's model can corrupt a write.
+    write_faulty: Vec<bool>,
+    /// `true` when the bank's model can corrupt a read.
+    read_faulty: Vec<bool>,
+}
+
+impl BankModels {
+    pub(crate) fn new(models: Vec<WordFailureModel>) -> Self {
+        let write_faulty = models
+            .iter()
+            .map(|m| (0..WORD_BITS).any(|b| m.write_probability(b) > 0.0))
+            .collect();
+        let read_faulty = models
+            .iter()
+            .map(|m| (0..WORD_BITS).any(|b| m.read_probability(b) > 0.0))
+            .collect();
+        Self {
+            models,
+            write_faulty,
+            read_faulty,
+        }
+    }
+
+    /// The write-fault mask of word `(bank, offset)` (0 for ideal banks,
+    /// without touching an RNG).
+    pub(crate) fn write_mask(&self, base_seed: u64, addr: WordAddress) -> u8 {
+        if !self.write_faulty[addr.bank] {
+            return 0;
+        }
+        streams::write_mask(&self.models[addr.bank], base_seed, addr.bank, addr.offset)
+    }
+
+    /// The read-fault mask of an owned read numbered `read_number` landing
+    /// on `bank`.
+    pub(crate) fn owned_read_mask(&self, base_seed: u64, read_number: u64, bank: usize) -> u8 {
+        if !self.read_faulty[bank] {
+            return 0;
+        }
+        let mut rng = StdRng::seed_from_u64(streams::owned_read_seed(base_seed, read_number));
+        sample_read_mask(&self.models[bank], &mut rng)
+    }
+
+    /// One bank's snapshot-corruption pass: flips `(offset, bit)` pairs in
+    /// `bank_words` words with the bank's per-bit read probabilities, on
+    /// the bank's own `(snapshot seed, bank)` stream.
+    pub(crate) fn snapshot_bank_flips(
+        &self,
+        snapshot_seed: u64,
+        bank: usize,
+        bank_words: usize,
+    ) -> (Vec<(usize, u8)>, InjectionStats) {
+        let mut flips = Vec::new();
+        let mut stats = InjectionStats::default();
+        if !self.read_faulty[bank] {
+            return (flips, stats);
+        }
+        let mut rng = StdRng::seed_from_u64(streams::snapshot_bank_seed(snapshot_seed, bank));
+        let model = &self.models[bank];
+        for bit in 0..WORD_BITS {
+            let p = model.read_probability(bit);
+            if p <= 0.0 {
+                continue;
+            }
+            for off in geometric_indices(bank_words, p, &mut rng) {
+                flips.push((off, 1 << bit));
+                stats.flips_per_bit[bit] += 1;
+                stats.read_flips += 1;
+            }
+        }
+        (flips, stats)
+    }
+
+    /// One bank's slice of a bulk faulty read: word `off` of the bank is
+    /// `src(off) ^ mask`, with per-word masks drawn from the bank's own
+    /// `(bulk seed, bank)` stream. Returns the read-out bytes plus the
+    /// number of injected fault bits.
+    pub(crate) fn bulk_read_bank(
+        &self,
+        bulk_seed: u64,
+        bank: usize,
+        bank_words: usize,
+        src: impl Fn(usize) -> u8,
+    ) -> (Vec<u8>, u64) {
+        let mut out = Vec::with_capacity(bank_words);
+        let mut fault_bits = 0u64;
+        if !self.read_faulty[bank] {
+            out.extend((0..bank_words).map(src));
+            return (out, fault_bits);
+        }
+        let mut rng = StdRng::seed_from_u64(streams::bulk_bank_seed(bulk_seed, bank));
+        let model = &self.models[bank];
+        for off in 0..bank_words {
+            let mask = sample_read_mask(model, &mut rng);
+            fault_bits += u64::from(mask.count_ones());
+            out.push(src(off) ^ mask);
+        }
+        (out, fault_bits)
+    }
+}
+
+/// A synaptic memory with per-bank failure models — the monolithic,
+/// single-array *reference implementation* of the address-keyed randomness
+/// contract (see the [module docs](self)).
+///
+/// Production code scales past one array with
+/// [`ShardedMemory`](crate::sharded::ShardedMemory), which is pinned
+/// bit-identical to this type by the shard-equivalence property tests.
 #[derive(Debug, Clone)]
 pub struct SynapticMemory {
     map: SynapticMemoryMap,
-    /// Failure model per bank (parallel to `map.banks()`).
-    models: Vec<WordFailureModel>,
+    banks: BankModels,
     words: Vec<u8>,
-    rng: StdRng,
+    base_seed: u64,
+    /// Owned reads served so far — the key of the owned-read fault stream.
+    reads_served: u64,
     counts: AtomicAccessCounts,
 }
 
 impl SynapticMemory {
-    /// Creates a zero-filled memory.
+    /// Creates a zero-filled memory whose fault streams are rooted at
+    /// `seed`.
     ///
     /// # Panics
     ///
@@ -76,9 +294,10 @@ impl SynapticMemory {
         let words = vec![0u8; map.total_words()];
         Self {
             map,
-            models,
+            banks: BankModels::new(models),
             words,
-            rng: StdRng::seed_from_u64(seed),
+            base_seed: seed,
+            reads_served: 0,
             counts: AtomicAccessCounts::default(),
         }
     }
@@ -88,12 +307,14 @@ impl SynapticMemory {
         &self.map
     }
 
+    /// The per-bank failure models (parallel to `map().banks()`).
+    pub fn models(&self) -> &[WordFailureModel] {
+        &self.banks.models
+    }
+
     /// Accesses served so far.
     pub fn counts(&self) -> AccessCounts {
-        AccessCounts {
-            reads: self.counts.reads.load(Ordering::Relaxed),
-            writes: self.counts.writes.load(Ordering::Relaxed),
-        }
+        self.counts.snapshot()
     }
 
     /// Capacity in words.
@@ -107,28 +328,23 @@ impl SynapticMemory {
     }
 
     /// Writes one word; write failures may corrupt stored bits persistently.
+    /// The corruption is keyed by the word's logical address, so rewriting
+    /// a word replays the same weak-cell pattern.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn write(&mut self, index: usize, value: u8) {
-        let bank = self.map.locate(index).bank;
-        let model = &self.models[bank];
-        let mut stored = value;
-        for bit in 0..WORD_BITS {
-            let p = model.write_probability(bit);
-            if p > 0.0 && self.rng.gen::<f64>() < p {
-                stored ^= 1 << bit;
-            }
-        }
-        self.words[index] = stored;
+        let addr = self.map.locate(index);
+        self.words[index] = value ^ self.banks.write_mask(self.base_seed, addr);
         *self.counts.writes.get_mut() += 1;
     }
 
     /// Reads one word; read faults flip returned bits without altering the
     /// stored value.
     ///
-    /// Draws its fault bits from the memory's own RNG stream; use
+    /// Draws its fault bits from the owned-read stream (keyed by the number
+    /// of owned reads served so far); use
     /// [`read_shared`](Self::read_shared) when the memory is shared
     /// read-only state and the caller owns the randomness.
     ///
@@ -137,7 +353,10 @@ impl SynapticMemory {
     /// Panics if `index` is out of range.
     pub fn read(&mut self, index: usize) -> u8 {
         let bank = self.map.locate(index).bank;
-        let mask = sample_read_mask(&self.models[bank], &mut self.rng);
+        let mask = self
+            .banks
+            .owned_read_mask(self.base_seed, self.reads_served, bank);
+        self.reads_served += 1;
         *self.counts.reads.get_mut() += 1;
         self.words[index] ^ mask
     }
@@ -157,7 +376,7 @@ impl SynapticMemory {
     /// Panics if `index` is out of range.
     pub fn read_shared<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> (u8, u8) {
         let bank = self.map.locate(index).bank;
-        let mask = sample_read_mask(&self.models[bank], rng);
+        let mask = sample_read_mask(&self.banks.models[bank], rng);
         self.counts.reads.fetch_add(1, Ordering::Relaxed);
         (self.words[index] ^ mask, mask)
     }
@@ -183,29 +402,42 @@ impl SynapticMemory {
         }
     }
 
+    /// Reads the whole memory once through the faulty read path: every
+    /// word gets a fresh per-access mask from its bank's `(seed, bank)`
+    /// bulk stream. Returns the read-out image and the number of injected
+    /// fault bits; read counters advance by the word count.
+    pub fn read_bulk(&mut self, seed: u64) -> (Vec<u8>, u64) {
+        let mut image = Vec::with_capacity(self.words.len());
+        let mut fault_bits = 0u64;
+        let mut start = 0usize;
+        for (bank, b) in self.map.banks().iter().enumerate() {
+            let words = &self.words;
+            let (out, faults) = self
+                .banks
+                .bulk_read_bank(seed, bank, b.words, |off| words[start + off]);
+            image.extend_from_slice(&out);
+            fault_bits += faults;
+            start += b.words;
+        }
+        *self.counts.reads.get_mut() += self.words.len() as u64;
+        (image, fault_bits)
+    }
+
     /// Produces a snapshot image of the memory as read once through the
     /// faulty read path — the paper's "perturb the weights, then evaluate"
-    /// shortcut. The stored content is unchanged; statistics are returned
-    /// alongside.
-    pub fn corrupt_snapshot(&mut self, seed: u64) -> (Vec<u8>, InjectionStats) {
-        let mut rng = StdRng::seed_from_u64(seed);
+    /// shortcut. Each bank corrupts on its own `(seed, bank)` stream; the
+    /// stored content is unchanged and statistics are returned alongside.
+    pub fn corrupt_snapshot(&self, seed: u64) -> (Vec<u8>, InjectionStats) {
         let mut image = self.words.clone();
         let mut stats = InjectionStats::default();
-        // Per bank, per bit: geometric sampling over the bank's word range.
         let mut start = 0usize;
-        for (bank, model) in self.map.banks().iter().zip(&self.models) {
-            for bit in 0..WORD_BITS {
-                let p = model.read_probability(bit);
-                if p <= 0.0 {
-                    continue;
-                }
-                for off in geometric_indices(bank.words, p, &mut rng) {
-                    image[start + off] ^= 1 << bit;
-                    stats.flips_per_bit[bit] += 1;
-                    stats.read_flips += 1;
-                }
+        for (bank, b) in self.map.banks().iter().enumerate() {
+            let (flips, bank_stats) = self.banks.snapshot_bank_flips(seed, bank, b.words);
+            for (off, bit_mask) in flips {
+                image[start + off] ^= bit_mask;
             }
-            start += bank.words;
+            stats.merge(&bank_stats);
+            start += b.words;
         }
         (image, stats)
     }
@@ -281,6 +513,24 @@ mod tests {
     }
 
     #[test]
+    fn write_faults_are_address_keyed() {
+        // Rewriting a word replays the same weak-cell mask; loading in a
+        // different order corrupts identically.
+        let mut a = faulty_memory(500, 0.0, 0.25, 0);
+        a.load(&vec![0u8; 500]);
+        let image_a: Vec<u8> = (0..500).map(|i| a.read_raw(i)).collect();
+        let mut b = faulty_memory(500, 0.0, 0.25, 0);
+        for i in (0..500).rev() {
+            b.write(i, 0);
+        }
+        let image_b: Vec<u8> = (0..500).map(|i| b.read_raw(i)).collect();
+        assert_eq!(image_a, image_b, "write faults must not depend on order");
+        // Rewriting leaves the corruption unchanged.
+        a.write(3, 0);
+        assert_eq!(a.read_raw(3), image_a[3]);
+    }
+
+    #[test]
     fn protected_msbs_survive() {
         let mut m = faulty_memory(4000, 0.3, 0.3, 3);
         m.load(&vec![0u8; 4000]);
@@ -318,9 +568,9 @@ mod tests {
     }
 
     #[test]
-    fn shared_reads_match_owned_reads_for_the_same_stream() {
+    fn shared_reads_sample_exactly_the_callers_stream() {
         // `read_shared` with an external RNG must sample exactly the fault
-        // stream `read` would have drawn from the internal one: same model
+        // stream the model walk would draw from a twin RNG: same model
         // walk, same draws.
         let mut owned = faulty_memory(512, 0.15, 0.0, 2);
         owned.load(&(0..=255).cycle().take(512).collect::<Vec<u8>>());
@@ -329,8 +579,10 @@ mod tests {
         let mut rng_twin = StdRng::seed_from_u64(1234);
         for i in 0..512 {
             let (value, mask) = shared.read_shared(i, &mut rng);
-            let expected_mask =
-                sample_read_mask(&shared.models[shared.map.locate(i).bank], &mut rng_twin);
+            let expected_mask = sample_read_mask(
+                &shared.banks.models[shared.map.locate(i).bank],
+                &mut rng_twin,
+            );
             assert_eq!(mask, expected_mask);
             assert_eq!(value, shared.read_raw(i) ^ mask);
             assert_eq!(value & 0xC0, shared.read_raw(i) & 0xC0, "protected MSBs");

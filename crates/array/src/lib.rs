@@ -3,8 +3,9 @@
 //! Array and bank [`organization`] of the synaptic memory (256×256
 //! sub-arrays, one bank per ANN layer for the sensitivity-driven
 //! architecture of paper Fig. 3c), the array-level [`power`] and [`area`]
-//! rollups behind Figs. 7b/8b/8c/9, and a [`behavioral`] fault-injecting
-//! memory model that the system level reads weights through.
+//! rollups behind Figs. 7b/8b/8c/9, a [`behavioral`] fault-injecting
+//! memory model (the monolithic reference), and the [`sharded`]
+//! bank-parallel store the system level reads weights through at scale.
 //!
 //! # Examples
 //!
@@ -23,12 +24,15 @@
 //! assert!((overhead - 0.1387).abs() < 1e-3, "paper Fig. 8c: 13.9 %");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod area;
 pub mod behavioral;
 pub mod organization;
 pub mod periphery;
 pub mod power;
 pub mod redundancy;
+pub mod sharded;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -42,4 +46,5 @@ pub mod prelude {
     pub use crate::redundancy::{
         effective_failure_probability, simulate_repair, RedundancyConfig, RepairOutcome,
     };
+    pub use crate::sharded::{ShardRange, ShardedMemory};
 }

@@ -1,0 +1,722 @@
+//! Sharded, bank-parallel synaptic memory for million-synapse networks.
+//!
+//! The paper evaluates one small array; the production system serves
+//! traffic out of a store that must scale past one monolithic bank. A
+//! [`ShardedMemory`] splits the global word range into `N` contiguous,
+//! independently counted shards:
+//!
+//! ```text
+//!  global words   0 ────────────────────────────────▶ total_words
+//!                 ├── shard 0 ──┼── shard 1 ──┼── shard N-1 ──┤
+//!  logical banks  ├ bank 0 (layer 0) ┼ bank 1 ┼ bank 2 ... ───┤
+//! ```
+//!
+//! Shards are a *physical* partition (the unit of parallel loads, bulk
+//! reads, and per-shard access/power accounting); banks remain the
+//! *logical* partition (one per ANN layer, each with its own significance
+//! band and failure model). A shard boundary may cut through a bank —
+//! nothing observable depends on where the cut lands, because every fault
+//! stream follows the address-keyed randomness contract of
+//! [`behavioral::streams`](crate::behavioral::streams): write faults are
+//! keyed by `(seed, bank, offset)`, snapshot/bulk-read corruption by
+//! `(seed, bank)`, and shared reads draw from the caller's RNG. The
+//! shard-equivalence property tests pin a `ShardedMemory` at any shard
+//! count **bit-identical** to the monolithic
+//! [`SynapticMemory`](crate::behavioral::SynapticMemory) reference —
+//! stored image, fault masks, and access counts alike.
+//!
+//! Bulk operations ([`ShardedMemory::load`], [`ShardedMemory::read_bulk`],
+//! [`ShardedMemory::corrupt_snapshot`]) fan out per shard or per bank on
+//! the `sram_exec` pool, so a multi-core host loads and sweeps a
+//! million-synapse image in parallel; the `scale_bench` workload and the
+//! `cargo xtask scale-report` CI gate measure exactly that scaling.
+
+use crate::behavioral::{AccessCounts, BankModels};
+use crate::organization::{SynapticMemoryMap, WordAddress};
+use fault_inject::injector::{sample_read_mask, InjectionStats};
+use fault_inject::model::WordFailureModel;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard: a contiguous slice of the global word range with its own
+/// storage and access counters.
+#[derive(Debug)]
+struct Shard {
+    /// Global word index of the shard's first word.
+    start: usize,
+    words: Vec<u8>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl Clone for Shard {
+    fn clone(&self) -> Self {
+        Self {
+            start: self.start,
+            words: self.words.clone(),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+            writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Address range of one shard (for layout-aware consumers such as the
+/// per-shard drowsy policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Shard index.
+    pub shard: usize,
+    /// Global word index of the first word.
+    pub start: usize,
+    /// Words in the shard.
+    pub words: usize,
+}
+
+/// The sharded synaptic store: `N` independent banks of words behind one
+/// address space, bit-identical to the monolithic
+/// [`SynapticMemory`](crate::behavioral::SynapticMemory) at every shard
+/// count (see the [module docs](self)).
+///
+/// # Examples
+///
+/// Shared reads route to the owning shard and bump its counter, while the
+/// fault mask comes from the caller's RNG — identical at any shard count:
+///
+/// ```
+/// use fault_inject::model::WordFailureModel;
+/// use fault_inject::protection::ProtectionPolicy;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+/// use sram_array::sharded::ShardedMemory;
+///
+/// let map = SynapticMemoryMap::new(&[64], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
+/// let mut memory = ShardedMemory::new(map, vec![WordFailureModel::ideal()], 7, 4);
+/// memory.load(&[0xA5; 64]);
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let (value, fault_mask) = memory.read_shared(9, &mut rng);
+/// assert_eq!((value, fault_mask), (0xA5, 0), "ideal cells never fault");
+/// assert_eq!(memory.counts().reads, 1);
+/// assert_eq!(memory.shard_counts()[0].reads, 1, "word 9 lives in shard 0 of 4");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedMemory {
+    map: SynapticMemoryMap,
+    banks: BankModels,
+    /// Cumulative bank end addresses, for O(log B) bank lookup.
+    bank_ends: Vec<usize>,
+    base_seed: u64,
+    /// Words per shard (every shard but the last holds exactly this many).
+    chunk: usize,
+    shards: Vec<Shard>,
+    /// Owned reads served so far — the key of the owned-read fault stream.
+    reads_served: u64,
+}
+
+impl ShardedMemory {
+    /// Creates a zero-filled memory split into at most `shards` contiguous
+    /// address-range shards. Every shard holds at least one word: when the
+    /// word count cannot fill `shards` equal-width chunks (e.g. 10 words
+    /// over 7 shards), the trailing would-be-empty shards are dropped and
+    /// [`shard_count`](Self::shard_count) reports the effective number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or if `models.len()` differs from the bank
+    /// count.
+    pub fn new(
+        map: SynapticMemoryMap,
+        models: Vec<WordFailureModel>,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        assert_eq!(
+            models.len(),
+            map.banks().len(),
+            "one failure model per bank required"
+        );
+        let total = map.total_words();
+        let shards = shards.min(total.max(1));
+        let chunk = total.div_ceil(shards).max(1);
+        // Uniform chunking can strand empty trailing shards (10 words over
+        // 7 shards → chunk 2 → only 5 real shards); drop them so every
+        // shard is a live power/accounting domain.
+        let shards = total.div_ceil(chunk).max(1);
+        let shard_vec = (0..shards)
+            .map(|s| {
+                let start = s * chunk;
+                let len = chunk.min(total - start.min(total));
+                Shard {
+                    start,
+                    words: vec![0u8; len],
+                    reads: AtomicU64::new(0),
+                    writes: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let bank_ends = map
+            .banks()
+            .iter()
+            .scan(0usize, |acc, b| {
+                *acc += b.words;
+                Some(*acc)
+            })
+            .collect();
+        Self {
+            map,
+            banks: BankModels::new(models),
+            bank_ends,
+            base_seed: seed,
+            chunk,
+            shards: shard_vec,
+            reads_served: 0,
+        }
+    }
+
+    /// A single-shard memory — the layout the monolithic reference models.
+    pub fn monolithic(map: SynapticMemoryMap, models: Vec<WordFailureModel>, seed: u64) -> Self {
+        Self::new(map, models, seed, 1)
+    }
+
+    /// The memory map.
+    pub fn map(&self) -> &SynapticMemoryMap {
+        &self.map
+    }
+
+    /// The per-bank failure models (parallel to `map().banks()`).
+    pub fn models(&self) -> &[WordFailureModel] {
+        &self.banks.models
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard address ranges, in shard order.
+    pub fn shard_ranges(&self) -> Vec<ShardRange> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardRange {
+                shard,
+                start: s.start,
+                words: s.words.len(),
+            })
+            .collect()
+    }
+
+    /// Per-shard accesses served so far, in shard order.
+    pub fn shard_counts(&self) -> Vec<AccessCounts> {
+        self.shards
+            .iter()
+            .map(|s| AccessCounts {
+                reads: s.reads.load(Ordering::Relaxed) as usize,
+                writes: s.writes.load(Ordering::Relaxed) as usize,
+            })
+            .collect()
+    }
+
+    /// Accesses served so far, aggregated across shards.
+    pub fn counts(&self) -> AccessCounts {
+        self.shard_counts()
+            .into_iter()
+            .fold(AccessCounts::default(), AccessCounts::merged)
+    }
+
+    /// Capacity in words.
+    pub fn len(&self) -> usize {
+        self.map.total_words()
+    }
+
+    /// `true` when the memory holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shard index owning global word `index`.
+    pub fn shard_of(&self, index: usize) -> usize {
+        (index / self.chunk).min(self.shards.len() - 1)
+    }
+
+    /// Bank index owning global word `index` (O(log banks)).
+    fn bank_of(&self, index: usize) -> usize {
+        debug_assert!(index < self.len());
+        self.bank_ends.partition_point(|&end| end <= index)
+    }
+
+    /// The address of `index` without the monolith's linear bank walk.
+    fn locate(&self, index: usize) -> WordAddress {
+        let bank = self.bank_of(index);
+        let bank_start = if bank == 0 {
+            0
+        } else {
+            self.bank_ends[bank - 1]
+        };
+        WordAddress {
+            bank,
+            offset: index - bank_start,
+        }
+    }
+
+    /// Writes one word; write failures may corrupt stored bits
+    /// persistently, keyed by the word's logical address exactly as in the
+    /// monolithic reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn write(&mut self, index: usize, value: u8) {
+        assert!(index < self.len(), "word index {index} out of range");
+        let addr = self.locate(index);
+        let mask = self.banks.write_mask(self.base_seed, addr);
+        let shard = self.shard_of(index);
+        let s = &mut self.shards[shard];
+        s.words[index - s.start] = value ^ mask;
+        *s.writes.get_mut() += 1;
+    }
+
+    /// Reads one word through the owned-read fault stream (keyed by the
+    /// number of owned reads served so far, like the monolithic reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read(&mut self, index: usize) -> u8 {
+        assert!(index < self.len(), "word index {index} out of range");
+        let bank = self.bank_of(index);
+        let mask = self
+            .banks
+            .owned_read_mask(self.base_seed, self.reads_served, bank);
+        self.reads_served += 1;
+        let shard = self.shard_of(index);
+        let s = &mut self.shards[shard];
+        *s.reads.get_mut() += 1;
+        s.words[index - s.start] ^ mask
+    }
+
+    /// Reads one word through `&self`, sampling the read-fault bits from a
+    /// caller-provided RNG — the shared-state entry point the serving
+    /// layer funnels every weight fetch through.
+    ///
+    /// Returns `(value, fault_mask)`; the owning shard's read counter is
+    /// bumped atomically.
+    ///
+    /// # Examples
+    ///
+    /// The fault mask is a pure function of the caller's RNG stream and
+    /// the bank's failure model — never of the shard layout — so replaying
+    /// a request's seed replays its faults exactly:
+    ///
+    /// ```
+    /// use fault_inject::model::{BitErrorRates, WordFailureModel};
+    /// use fault_inject::protection::{CellAssignment, ProtectionPolicy};
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    /// use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+    /// use sram_array::sharded::ShardedMemory;
+    ///
+    /// let rates = BitErrorRates { read_6t: 0.5, write_6t: 0.0, read_8t: 0.0, write_8t: 0.0 };
+    /// let model = WordFailureModel::new(&rates, &CellAssignment::msb_protected(4));
+    /// let build = |shards| {
+    ///     let map = SynapticMemoryMap::new(
+    ///         &[32],
+    ///         &ProtectionPolicy::MsbProtected { msb_8t: 4 },
+    ///         SubArrayDims::PAPER,
+    ///     );
+    ///     let mut m = ShardedMemory::new(map, vec![model.clone()], 3, shards);
+    ///     m.load(&[0u8; 32]);
+    ///     m
+    /// };
+    /// let (one, four) = (build(1), build(4));
+    /// let mut rng_a = StdRng::seed_from_u64(9);
+    /// let mut rng_b = StdRng::seed_from_u64(9);
+    /// for word in 0..32 {
+    ///     let (value, mask) = one.read_shared(word, &mut rng_a);
+    ///     assert_eq!((value, mask), four.read_shared(word, &mut rng_b));
+    ///     assert_eq!(mask & 0xF0, 0, "8T-protected MSBs never fault");
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read_shared<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> (u8, u8) {
+        assert!(index < self.len(), "word index {index} out of range");
+        let bank = self.bank_of(index);
+        let mask = sample_read_mask(&self.banks.models[bank], rng);
+        let s = &self.shards[self.shard_of(index)];
+        s.reads.fetch_add(1, Ordering::Relaxed);
+        (s.words[index - s.start] ^ mask, mask)
+    }
+
+    /// Reads one word without fault injection (debug/verification path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read_raw(&self, index: usize) -> u8 {
+        assert!(index < self.len(), "word index {index} out of range");
+        let s = &self.shards[self.shard_of(index)];
+        s.words[index - s.start]
+    }
+
+    /// Bulk-loads `data` through the faulty write path starting at word 0,
+    /// fanning out **per shard** on the `sram_exec` pool: write-fault masks
+    /// are a pure function of each word's logical address, so shard loads
+    /// are independent and the stored image is bit-identical to a
+    /// sequential monolithic load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the capacity.
+    pub fn load(&mut self, data: &[u8]) {
+        assert!(data.len() <= self.len(), "data exceeds capacity");
+        let banks = &self.banks;
+        let base_seed = self.base_seed;
+        let ranges: Vec<(usize, usize)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.start,
+                    s.words.len().min(data.len().saturating_sub(s.start)),
+                )
+            })
+            .collect();
+        let map = &self.map;
+        let loaded: Vec<Vec<u8>> = sram_exec::par_map_indexed(self.shards.len(), |si| {
+            let (start, len) = ranges[si];
+            let mut stored = Vec::with_capacity(len);
+            if len == 0 {
+                return stored;
+            }
+            // Walk banks cumulatively instead of re-locating every word.
+            let mut addr = map.locate(start);
+            let mut bank_words = map.banks()[addr.bank].words;
+            for &value in &data[start..start + len] {
+                // `while`, not `if`: zero-word banks must be stepped over,
+                // or every later word would key its mask to the wrong bank.
+                while addr.offset == bank_words {
+                    addr.bank += 1;
+                    addr.offset = 0;
+                    bank_words = map.banks()[addr.bank].words;
+                }
+                stored.push(value ^ banks.write_mask(base_seed, addr));
+                addr.offset += 1;
+            }
+            stored
+        });
+        for (shard, stored) in self.shards.iter_mut().zip(loaded) {
+            *shard.writes.get_mut() += stored.len() as u64;
+            shard.words[..stored.len()].copy_from_slice(&stored);
+        }
+    }
+
+    /// Reads the whole memory once through the faulty read path, fanning
+    /// out **per bank** on the `sram_exec` pool: each bank draws per-word
+    /// masks from its own `(seed, bank)` bulk stream. Returns the read-out
+    /// image and the number of injected fault bits; every shard's read
+    /// counter advances by its word count.
+    pub fn read_bulk(&self, seed: u64) -> (Vec<u8>, u64) {
+        let bank_words: Vec<usize> = self.map.banks().iter().map(|b| b.words).collect();
+        let banks = &self.banks;
+        let mut bank_start = 0usize;
+        let starts: Vec<usize> = bank_words
+            .iter()
+            .map(|&w| {
+                let s = bank_start;
+                bank_start += w;
+                s
+            })
+            .collect();
+        let per_bank: Vec<(Vec<u8>, u64)> = sram_exec::par_map_indexed(bank_words.len(), |bank| {
+            banks.bulk_read_bank(seed, bank, bank_words[bank], |off| {
+                self.read_raw(starts[bank] + off)
+            })
+        });
+        let mut image = Vec::with_capacity(self.len());
+        let mut fault_bits = 0u64;
+        for (out, faults) in per_bank {
+            image.extend_from_slice(&out);
+            fault_bits += faults;
+        }
+        for shard in &self.shards {
+            shard
+                .reads
+                .fetch_add(shard.words.len() as u64, Ordering::Relaxed);
+        }
+        (image, fault_bits)
+    }
+
+    /// Produces a snapshot image of the memory as read once through the
+    /// faulty read path — the paper's functional-simulator shortcut —
+    /// fanning the corruption out **per bank** on the `sram_exec` pool.
+    /// Bit-identical to the monolithic reference's sequential pass: each
+    /// bank owns the `(seed, bank)` stream and statistics merge in bank
+    /// order.
+    pub fn corrupt_snapshot(&self, seed: u64) -> (Vec<u8>, InjectionStats) {
+        let mut image = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            image.extend_from_slice(&shard.words);
+        }
+        let bank_words: Vec<usize> = self.map.banks().iter().map(|b| b.words).collect();
+        let banks = &self.banks;
+        let per_bank: Vec<(Vec<(usize, u8)>, InjectionStats)> =
+            sram_exec::par_map_indexed(bank_words.len(), |bank| {
+                banks.snapshot_bank_flips(seed, bank, bank_words[bank])
+            });
+        let mut stats = InjectionStats::default();
+        let mut start = 0usize;
+        for (bank, (flips, bank_stats)) in per_bank.into_iter().enumerate() {
+            for (off, bit_mask) in flips {
+                image[start + off] ^= bit_mask;
+            }
+            stats.merge(&bank_stats);
+            start += bank_words[bank];
+        }
+        (image, stats)
+    }
+
+    /// The stored image, shard slices concatenated (no fault injection).
+    pub fn raw_image(&self) -> Vec<u8> {
+        let mut image = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            image.extend_from_slice(&shard.words);
+        }
+        image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::SynapticMemory;
+    use crate::organization::SubArrayDims;
+    use fault_inject::model::BitErrorRates;
+    use fault_inject::protection::{CellAssignment, ProtectionPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn models_for(
+        policy: &ProtectionPolicy,
+        banks: usize,
+        read_p: f64,
+        write_p: f64,
+    ) -> Vec<WordFailureModel> {
+        let rates = BitErrorRates {
+            read_6t: read_p,
+            write_6t: write_p,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        (0..banks)
+            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+            .collect()
+    }
+
+    fn pair(
+        bank_words: &[usize],
+        read_p: f64,
+        write_p: f64,
+        seed: u64,
+        shards: usize,
+    ) -> (SynapticMemory, ShardedMemory) {
+        let policy = ProtectionPolicy::MsbProtected { msb_8t: 2 };
+        let map = SynapticMemoryMap::new(bank_words, &policy, SubArrayDims::PAPER);
+        let models = models_for(&policy, bank_words.len(), read_p, write_p);
+        (
+            SynapticMemory::new(map.clone(), models.clone(), seed),
+            ShardedMemory::new(map, models, seed, shards),
+        )
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_address_space() {
+        let policy = ProtectionPolicy::Uniform6T;
+        let map = SynapticMemoryMap::new(&[100, 50, 25], &policy, SubArrayDims::PAPER);
+        for shards in [1usize, 2, 3, 4, 7, 175, 400] {
+            let m = ShardedMemory::new(map.clone(), vec![WordFailureModel::ideal(); 3], 1, shards);
+            let ranges = m.shard_ranges();
+            assert_eq!(m.shard_count(), shards.min(175));
+            assert_eq!(ranges[0].start, 0);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next += r.words;
+            }
+            assert_eq!(next, 175);
+            for idx in [0usize, 99, 100, 174] {
+                let s = m.shard_of(idx);
+                assert!(ranges[s].start <= idx && idx < ranges[s].start + ranges[s].words);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_load_matches_monolith_at_every_shard_count() {
+        let data: Vec<u8> = (0..=255).cycle().take(330).collect();
+        for shards in [1usize, 2, 4, 7] {
+            let (mut mono, mut sharded) = pair(&[140, 120, 70], 0.0, 0.2, 99, shards);
+            mono.load(&data);
+            sharded.load(&data);
+            let mono_image: Vec<u8> = (0..330).map(|i| mono.read_raw(i)).collect();
+            assert_eq!(sharded.raw_image(), mono_image, "{shards} shards");
+            assert_eq!(sharded.counts(), mono.counts());
+        }
+    }
+
+    #[test]
+    fn zero_word_banks_do_not_derail_the_load_walk() {
+        // A zero-word bank sits between two real banks; the cumulative
+        // bank walk in `load` must step over it or every later word keys
+        // its write mask to the wrong bank.
+        let policy = ProtectionPolicy::MsbProtected { msb_8t: 2 };
+        let map = SynapticMemoryMap::new(&[4, 0, 4], &policy, SubArrayDims::PAPER);
+        let models = models_for(&policy, 3, 0.0, 0.5);
+        let data = [0u8; 8];
+        let mut mono = SynapticMemory::new(map.clone(), models.clone(), 9);
+        mono.load(&data);
+        let mono_image: Vec<u8> = (0..8).map(|i| mono.read_raw(i)).collect();
+        for shards in [1usize, 2, 3] {
+            let mut sharded = ShardedMemory::new(map.clone(), models.clone(), 9, shards);
+            sharded.load(&data);
+            assert_eq!(sharded.raw_image(), mono_image, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn awkward_shard_counts_never_produce_empty_shards() {
+        // 10 words over 7 requested shards: uniform chunking would strand
+        // two empty trailing shards; the constructor drops them.
+        let map = SynapticMemoryMap::new(&[10], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
+        let m = ShardedMemory::new(map, vec![WordFailureModel::ideal()], 1, 7);
+        assert_eq!(m.shard_count(), 5);
+        for range in m.shard_ranges() {
+            assert!(range.words > 0, "shard {} is empty", range.shard);
+        }
+        assert_eq!(m.shard_ranges().iter().map(|r| r.words).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn sharded_owned_reads_match_monolith() {
+        let data = vec![0x5Au8; 200];
+        let (mut mono, mut sharded) = pair(&[120, 80], 0.1, 0.0, 5, 3);
+        mono.load(&data);
+        sharded.load(&data);
+        // Same access pattern → same owned-read streams.
+        let pattern: Vec<usize> = (0..200).rev().chain(0..200).collect();
+        for &i in &pattern {
+            assert_eq!(mono.read(i), sharded.read(i), "word {i}");
+        }
+    }
+
+    #[test]
+    fn sharded_shared_reads_match_monolith_for_the_same_rng() {
+        let data = vec![0xC3u8; 150];
+        let (mut mono, mut sharded) = pair(&[90, 60], 0.2, 0.05, 11, 4);
+        mono.load(&data);
+        sharded.load(&data);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        for i in 0..150 {
+            assert_eq!(
+                mono.read_shared(i, &mut rng_a),
+                sharded.read_shared(i, &mut rng_b)
+            );
+        }
+        assert_eq!(sharded.counts().reads, 150);
+    }
+
+    #[test]
+    fn snapshot_and_bulk_read_match_monolith_at_every_shard_count() {
+        let data: Vec<u8> = (0..250).map(|i| (i * 13) as u8).collect();
+        let (mut mono, _) = pair(&[130, 120], 0.08, 0.01, 21, 1);
+        mono.load(&data);
+        let (mono_snap, mono_stats) = mono.corrupt_snapshot(77);
+        let (mono_bulk, mono_faults) = mono.read_bulk(88);
+        for shards in [1usize, 2, 4, 7] {
+            let (_, mut sharded) = pair(&[130, 120], 0.08, 0.01, 21, shards);
+            sharded.load(&data);
+            let (snap, stats) = sharded.corrupt_snapshot(77);
+            assert_eq!(snap, mono_snap, "{shards}-shard snapshot");
+            assert_eq!(stats, mono_stats);
+            let (bulk, faults) = sharded.read_bulk(88);
+            assert_eq!(bulk, mono_bulk, "{shards}-shard bulk read");
+            assert_eq!(faults, mono_faults);
+        }
+    }
+
+    #[test]
+    fn per_shard_counters_account_bulk_operations() {
+        let (_, mut sharded) = pair(&[64, 64], 0.1, 0.0, 3, 4);
+        sharded.load(&[0u8; 128]);
+        let _ = sharded.read_bulk(9);
+        let per_shard = sharded.shard_counts();
+        assert_eq!(per_shard.len(), 4);
+        for (counts, range) in per_shard.iter().zip(sharded.shard_ranges()) {
+            assert_eq!(counts.reads, range.words);
+            assert_eq!(counts.writes, range.words);
+        }
+        assert_eq!(sharded.counts().reads, 128);
+        assert_eq!(sharded.counts().writes, 128);
+    }
+
+    #[test]
+    fn shard_counters_are_thread_safe() {
+        let (_, mut sharded) = pair(&[64], 0.1, 0.0, 3, 2);
+        sharded.load(&[0x3C; 64]);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let m = &sharded;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    for i in 0..64 {
+                        let _ = m.read_shared(i, &mut rng);
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.counts().reads, 4 * 64);
+        let per_shard = sharded.shard_counts();
+        assert_eq!(per_shard[0].reads + per_shard[1].reads, 4 * 64);
+        assert_eq!(per_shard[0].reads, 4 * 32);
+    }
+
+    #[test]
+    fn protected_msbs_survive_in_every_shard() {
+        let policy = ProtectionPolicy::MsbProtected { msb_8t: 3 };
+        let map = SynapticMemoryMap::new(&[400], &policy, SubArrayDims::PAPER);
+        let model = WordFailureModel::new(
+            &BitErrorRates {
+                read_6t: 0.3,
+                write_6t: 0.3,
+                read_8t: 0.0,
+                write_8t: 0.0,
+            },
+            &CellAssignment::msb_protected(3),
+        );
+        let mut m = ShardedMemory::new(map, vec![model], 13, 5);
+        m.load(&vec![0u8; 400]);
+        for i in 0..400 {
+            assert_eq!(m.read(i) & 0xE0, 0, "protected MSBs must never flip");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let map = SynapticMemoryMap::new(&[4], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
+        let _ = ShardedMemory::new(map, vec![WordFailureModel::ideal()], 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let map = SynapticMemoryMap::new(&[4], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
+        let m = ShardedMemory::new(map, vec![WordFailureModel::ideal()], 0, 2);
+        let _ = m.read_raw(4);
+    }
+}

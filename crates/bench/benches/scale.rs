@@ -1,0 +1,33 @@
+//! Sharded-store scaling benches: the million-synapse scale fixture's bulk
+//! load at 1/2/4 shards. The rows land in `BENCH.json` as
+//! `scale/load_{N}shard`, so the committed baseline records the per-shard
+//! parallel-load trajectory next to the serving numbers (on a single-core
+//! recording machine the three are expected to be close; CI's `scale` job
+//! gates the multi-core speedup *and* the cross-shard-count digest
+//! equality via `cargo xtask scale-report`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use neuro_system::layout;
+use sram_serve::fixture::{million_synapse_network, scale_memory};
+
+fn bench_scale(c: &mut Criterion) {
+    let network = million_synapse_network();
+    let image = layout::flatten(&network);
+    let mut group = c.benchmark_group("scale");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Bytes(image.len() as u64));
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("load_{shards}shard"), |b| {
+            b.iter(|| {
+                let mut memory = scale_memory(&network, 0x5CA1_EB01, shards);
+                memory.load(&image);
+                memory.counts().writes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

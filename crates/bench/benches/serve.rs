@@ -12,8 +12,8 @@ use fault_inject::protection::ProtectionPolicy;
 use neuro_system::controller::NeuromorphicSystem;
 use neuro_system::layout;
 use neuro_system::npe::Npe;
-use sram_array::behavioral::SynapticMemory;
 use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_array::sharded::ShardedMemory;
 use sram_serve::fixture::{request_stream, trained_digit_network};
 use sram_serve::{InferenceServer, ServeOptions};
 
@@ -33,7 +33,7 @@ fn build_server() -> (InferenceServer, Vec<Vec<f32>>) {
     let models: Vec<WordFailureModel> = (0..words.len())
         .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
         .collect();
-    let memory = SynapticMemory::new(map, models, 29);
+    let memory = ShardedMemory::new(map, models, 29, 2);
     let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
     let requests = request_stream(&test_set, REQUESTS);
     (

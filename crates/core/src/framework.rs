@@ -14,9 +14,9 @@ use neural::eval::accuracy;
 use neural::quant::QuantizedMlp;
 use neuro_system::layout;
 use sram_array::area::area_overhead_vs_all_6t;
-use sram_array::behavioral::SynapticMemory;
 use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
 use sram_array::power::{memory_power, MemoryPowerReport, PowerConvention};
+use sram_array::sharded::ShardedMemory;
 use sram_bitcell::characterize::{
     characterize_paper_cells_cached, CellCharacterization, CharacterizationOptions,
 };
@@ -124,16 +124,38 @@ impl Framework {
     }
 
     /// A loaded behavioral memory for the configuration (weights written
-    /// through the faulty write path).
+    /// through the faulty write path), sharded one shard per ANN layer —
+    /// the natural bank-parallel layout of paper Fig. 3c.
+    ///
+    /// The shard count never changes an observable bit (the store is
+    /// pinned bit-identical to the monolithic reference at any count);
+    /// use [`build_memory_sharded`](Self::build_memory_sharded) to pick a
+    /// different throughput/parallelism trade-off.
     pub fn build_memory(
         &self,
         network: &QuantizedMlp,
         config: &MemoryConfig,
         seed: u64,
-    ) -> SynapticMemory {
+    ) -> ShardedMemory {
+        self.build_memory_sharded(network, config, seed, network.layer_count().max(1))
+    }
+
+    /// [`build_memory`](Self::build_memory) with an explicit shard count;
+    /// the bulk load fans out per shard on the `sram_exec` pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn build_memory_sharded(
+        &self,
+        network: &QuantizedMlp,
+        config: &MemoryConfig,
+        seed: u64,
+        shards: usize,
+    ) -> ShardedMemory {
         let map = self.memory_map(network, config);
         let models = self.failure_models(network, config);
-        let mut memory = SynapticMemory::new(map, models, seed);
+        let mut memory = ShardedMemory::new(map, models, seed, shards);
         memory.load(&layout::flatten(network));
         memory
     }
@@ -164,7 +186,7 @@ impl Framework {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(t as u64);
             // Write faults land at load time; read faults in the snapshot.
-            let mut memory = self.build_memory(network, config, trial_seed);
+            let memory = self.build_memory(network, config, trial_seed);
             let (image, _stats) = memory.corrupt_snapshot(trial_seed ^ 0xABCD_EF01);
             let corrupted = layout::unflatten(network, &image);
             accuracy(&corrupted.to_mlp(), test)

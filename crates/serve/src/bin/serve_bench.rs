@@ -187,6 +187,28 @@ fn main() {
         "micro-batches      {} (largest {})",
         report.batches, report.max_batch_observed
     );
+    println!(
+        "memory shards      {} (reads/shard {:?})",
+        server.system().memory().shard_count(),
+        report.shard_reads
+    );
+    // Per-shard drowsy accounting: shards the request stream touched stay
+    // at the serving supply, idle shards retain at their own DRV-derived
+    // voltages.
+    let hot_standby = server.drowsy_plan().map(|plan| {
+        let retention = plan.shard_retention(server.system().memory());
+        let awake: Vec<bool> = report.shard_reads.iter().map(|&r| r > 0).collect();
+        let scale = plan.partial_standby_scale(&retention, &awake);
+        (power.leakage_power.watts() * scale, awake)
+    });
+    if let Some((watts, awake)) = &hot_standby {
+        println!(
+            "hot-shard standby  {:.3} µW ({}/{} shards awake)",
+            watts * 1e6,
+            awake.iter().filter(|&&a| a).count(),
+            awake.len()
+        );
+    }
     println!("prediction digest  {digest:016x}");
 
     if let Some(path) = &args.report {
@@ -194,7 +216,7 @@ fn main() {
             "workers={}\nrequests={}\nwall_ns={}\nthroughput_rps={:.3}\n\
              p50_ns={}\np99_ns={}\nenergy_per_inference_j={:.6e}\n\
              standby_leakage_w={:.6e}\nfault_bits={}\nwords_read={}\n\
-             observed_ber={:.6e}\nbatches={}\nmax_batch_observed={}\ndigest={:016x}\n",
+             observed_ber={:.6e}\nbatches={}\nmax_batch_observed={}\nshards={}\ndigest={:016x}\n",
             report.workers,
             report.requests(),
             report.wall.as_nanos(),
@@ -208,8 +230,13 @@ fn main() {
             report.observed_bit_error_rate(),
             report.batches,
             report.max_batch_observed,
+            server.system().memory().shard_count(),
             digest,
         );
+        let text = match &hot_standby {
+            Some((watts, _)) => format!("{text}hot_shard_standby_w={watts:.6e}\n"),
+            None => text,
+        };
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("could not write report {path}: {e}");
             std::process::exit(1);

@@ -6,10 +6,15 @@
 //! for tests and benches — because *what* the memory corrupts is the
 //! variable under test; *what* is being classified must not be.
 
+use fault_inject::model::{BitErrorRates, WordFailureModel};
+use fault_inject::protection::ProtectionPolicy;
 use neural::dataset::{synth, Dataset};
 use neural::network::Mlp;
 use neural::quant::{Encoding, QuantizedMlp};
 use neural::train::{train, TrainOptions};
+use neuro_system::layout;
+use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_array::sharded::ShardedMemory;
 
 /// Trains the fixture classifier (784-24-10 on the synthetic digit set)
 /// and returns it quantized, along with the held-out test split the
@@ -37,4 +42,36 @@ pub fn request_stream(test_set: &Dataset, n: usize) -> Vec<Vec<f32>> {
     (0..n)
         .map(|i| test_set.image(i % test_set.len()).to_vec())
         .collect()
+}
+
+/// The scale fixture: a synthetic 784-1200-64-10 MLP holding ~1.02 million
+/// synaptic words — three orders of magnitude past the paper's network.
+/// Untrained (random but seeded init): the scale workload measures the
+/// *memory*, so what the weights classify is irrelevant; what matters is
+/// that every byte is deterministic.
+pub fn million_synapse_network() -> QuantizedMlp {
+    QuantizedMlp::from_mlp(
+        &Mlp::new(&[784, 1200, 64, 10], 11),
+        Encoding::TwosComplement,
+    )
+}
+
+/// A sharded hybrid (3,5) memory sized for `network` with hand-set fault
+/// rates (no circuit characterization — the scale workload exercises the
+/// store, not the solver stack). Returned empty; callers time the
+/// [`load`](ShardedMemory::load) themselves.
+pub fn scale_memory(network: &QuantizedMlp, seed: u64, shards: usize) -> ShardedMemory {
+    let words = layout::bank_words(network);
+    let policy = ProtectionPolicy::MsbProtected { msb_8t: 3 };
+    let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+    let rates = BitErrorRates {
+        read_6t: 0.01,
+        write_6t: 0.002,
+        read_8t: 0.0,
+        write_8t: 0.0,
+    };
+    let models: Vec<WordFailureModel> = (0..words.len())
+        .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+        .collect();
+    ShardedMemory::new(map, models, seed, shards)
 }

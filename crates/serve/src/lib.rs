@@ -26,13 +26,16 @@
 //! The `serve_bench` binary is the load generator (`cargo run --release -p
 //! sram_serve --bin serve_bench`), and `cargo xtask serve-report` turns two
 //! runs of it into the throughput/latency/energy table CI gates and
-//! archives.
+//! archives; `scale_bench` + `cargo xtask scale-report` do the same for
+//! the sharded store's million-synapse scaling.
+
+#![warn(missing_docs)]
 
 pub mod fixture;
 pub mod metrics;
 pub mod policy;
 pub mod server;
 
-pub use metrics::{prediction_digest, LatencyHistogram};
-pub use policy::{drowsy_plan, BandVoltage, DrowsyPlan, DrowsyPolicy};
+pub use metrics::{byte_digest, prediction_digest, LatencyHistogram};
+pub use policy::{drowsy_plan, BandVoltage, DrowsyPlan, DrowsyPolicy, ShardRetention};
 pub use server::{InferenceServer, ServeOptions, ServeReport};

@@ -173,6 +173,18 @@ pub fn prediction_digest(predictions: &[usize]) -> u64 {
     hash
 }
 
+/// FNV-1a fingerprint of a byte image (memory contents, bulk-read sweeps);
+/// the `scale_bench` shard-equivalence gate compares these across shard
+/// counts.
+pub fn byte_digest(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,7 @@ use fault_inject::model::WORD_BITS;
 use hybrid_sram::config::MemoryConfig;
 use neural::quant::QuantizedMlp;
 use neuro_system::layout;
+use sram_array::sharded::ShardedMemory;
 use sram_bitcell::retention::retention_voltage;
 use sram_bitcell::topology::{SixTCell, SixTSizing};
 use sram_device::process::Technology;
@@ -74,6 +75,42 @@ pub struct DrowsyPlan {
     pub bands: Vec<BandVoltage>,
 }
 
+/// Drowsy retention state of one *shard* of the sharded store: the shard's
+/// 8T/6T bit composition (computed from its overlap with the logical
+/// banks) plus the retention voltages its two bands drop to when the shard
+/// drowses. Shards are independent power domains — each one retains at its
+/// own DRV-derived voltages and wakes on its own traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRetention {
+    /// Shard index.
+    pub shard: usize,
+    /// Words in the shard.
+    pub words: usize,
+    /// 8T (significant-band) bits in the shard.
+    pub bits_8t: usize,
+    /// 6T (insignificant-band) bits in the shard.
+    pub bits_6t: usize,
+    /// Drowsy voltage of the shard's 6T bits.
+    pub drowsy_6t: Volt,
+    /// Drowsy voltage of the shard's 8T bits.
+    pub drowsy_8t: Volt,
+}
+
+impl ShardRetention {
+    /// Leakage of this shard relative to holding it at `active_vdd`
+    /// (first-order `I_leak ∝ VDD` proxy), when drowsed.
+    fn drowsy_leakage_weight(&self, active_vdd: Volt) -> f64 {
+        let active = active_vdd.volts();
+        self.bits_8t as f64 * (self.drowsy_8t.volts() / active).min(1.0)
+            + self.bits_6t as f64 * (self.drowsy_6t.volts() / active).min(1.0)
+    }
+
+    /// Total bits in the shard.
+    fn bits(&self) -> usize {
+        self.bits_8t + self.bits_6t
+    }
+}
+
 impl DrowsyPlan {
     /// Standby leakage relative to holding everything at `active_vdd`,
     /// using the first-order `I_leak ∝ VDD` proxy, weighted by bit count
@@ -89,6 +126,99 @@ impl DrowsyPlan {
             weighted += n8 * (band.drowsy_8t.volts() / active).min(1.0);
             weighted += n6 * (band.drowsy_6t.volts() / active).min(1.0);
             bits += n8 + n6;
+        }
+        if bits == 0.0 {
+            1.0
+        } else {
+            weighted / bits
+        }
+    }
+
+    /// Projects the per-bank plan onto the physical shard layout of
+    /// `memory`: each shard's 8T/6T bit composition is the union of its
+    /// overlaps with the logical banks, and its retention voltages are the
+    /// worst case (maximum) over the overlapped banks, since the shard
+    /// drowses as one power domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's bank layout does not match the memory map.
+    pub fn shard_retention(&self, memory: &ShardedMemory) -> Vec<ShardRetention> {
+        let bank_words: Vec<usize> = memory.map().banks().iter().map(|b| b.words).collect();
+        assert_eq!(
+            bank_words,
+            self.bands.iter().map(|b| b.words).collect::<Vec<_>>(),
+            "drowsy plan banks do not match the memory map"
+        );
+        // Cumulative bank start addresses.
+        let mut bank_starts = Vec::with_capacity(self.bands.len());
+        let mut acc = 0usize;
+        for words in &bank_words {
+            bank_starts.push(acc);
+            acc += words;
+        }
+        memory
+            .shard_ranges()
+            .into_iter()
+            .map(|range| {
+                let shard_end = range.start + range.words;
+                let mut r = ShardRetention {
+                    shard: range.shard,
+                    words: range.words,
+                    bits_8t: 0,
+                    bits_6t: 0,
+                    drowsy_6t: Volt::new(0.0),
+                    drowsy_8t: Volt::new(0.0),
+                };
+                for (band, (&bstart, &bwords)) in
+                    self.bands.iter().zip(bank_starts.iter().zip(&bank_words))
+                {
+                    let overlap = shard_end
+                        .min(bstart + bwords)
+                        .saturating_sub(range.start.max(bstart));
+                    if overlap == 0 {
+                        continue;
+                    }
+                    r.bits_8t += overlap * band.bits_8t;
+                    r.bits_6t += overlap * (WORD_BITS - band.bits_8t);
+                    r.drowsy_6t = Volt::new(r.drowsy_6t.volts().max(band.drowsy_6t.volts()));
+                    r.drowsy_8t = Volt::new(r.drowsy_8t.volts().max(band.drowsy_8t.volts()));
+                }
+                r
+            })
+            .collect()
+    }
+
+    /// Standby leakage scale when only some shards drowse: shards marked
+    /// awake hold `active_vdd` (weight 1.0), the rest retain at their own
+    /// band voltages. With every shard drowsy this equals
+    /// [`standby_leakage_scale`](Self::standby_leakage_scale) when all
+    /// banks share one retention voltage per cell flavor (the common
+    /// case); where a shard spans banks with *different* voltages,
+    /// [`shard_retention`](Self::shard_retention) holds the whole shard at
+    /// the worst-case voltage, so the per-shard scale is ≥ the per-band
+    /// one — a shard drowses as one power domain and cannot split a bank's
+    /// voltage mid-range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `awake.len()` differs from `retention.len()`.
+    pub fn partial_standby_scale(&self, retention: &[ShardRetention], awake: &[bool]) -> f64 {
+        assert_eq!(
+            retention.len(),
+            awake.len(),
+            "one awake flag per shard required"
+        );
+        let mut weighted = 0.0;
+        let mut bits = 0.0;
+        for (shard, &is_awake) in retention.iter().zip(awake) {
+            let n = shard.bits() as f64;
+            weighted += if is_awake {
+                n
+            } else {
+                shard.drowsy_leakage_weight(self.active_vdd)
+            };
+            bits += n;
         }
         if bits == 0.0 {
             1.0
@@ -123,6 +253,28 @@ fn cached_drvs(tech: &Technology) -> (Volt, Volt) {
 /// `config`: every bank's 8T and 6T bands retain at
 /// `max(policy.floor, DRV + policy.guard_margin)`, clamped to the active
 /// supply.
+///
+/// # Examples
+///
+/// Idle banks retain below the serving supply, so drowsy standby always
+/// saves leakage (DRVs are memoized process-wide — repeated calls are
+/// cheap):
+///
+/// ```
+/// use hybrid_sram::config::MemoryConfig;
+/// use neural::network::Mlp;
+/// use neural::quant::{Encoding, QuantizedMlp};
+/// use sram_device::process::Technology;
+/// use sram_device::units::Volt;
+/// use sram_serve::{drowsy_plan, DrowsyPolicy};
+///
+/// let q = QuantizedMlp::from_mlp(&Mlp::new(&[12, 8, 4], 2), Encoding::TwosComplement);
+/// let config = MemoryConfig::Hybrid { msb_8t: 3, vdd: Volt::new(0.85) };
+/// let plan = drowsy_plan(&Technology::ptm_22nm(), &q, &config, &DrowsyPolicy::default());
+/// assert_eq!(plan.bands.len(), 2, "one band set per weight layer");
+/// let scale = plan.standby_leakage_scale();
+/// assert!(scale > 0.0 && scale < 1.0, "drowsy retention must save standby leakage");
+/// ```
 ///
 /// # Panics
 ///
@@ -243,6 +395,53 @@ mod tests {
         assert!(plan.bands.iter().all(|b| b.bits_8t == 0));
         let scale = plan.standby_leakage_scale();
         assert!(scale > 0.0 && scale <= 1.0);
+    }
+
+    #[test]
+    fn shard_retention_covers_the_layout_and_mirrors_the_full_scale() {
+        use fault_inject::model::WordFailureModel;
+        let tech = Technology::ptm_22nm();
+        let q = small_network();
+        let config = MemoryConfig::Hybrid {
+            msb_8t: 3,
+            vdd: Volt::new(0.80),
+        };
+        let plan = drowsy_plan(&tech, &q, &config, &DrowsyPolicy::default());
+        let map = sram_array::organization::SynapticMemoryMap::new(
+            &neuro_system::layout::bank_words(&q),
+            &config.policy(),
+            sram_array::organization::SubArrayDims::PAPER,
+        );
+        let models = vec![WordFailureModel::ideal(); 2];
+        for shards in [1usize, 2, 3, 5] {
+            let memory = ShardedMemory::new(map.clone(), models.clone(), 1, shards);
+            let retention = plan.shard_retention(&memory);
+            assert_eq!(retention.len(), memory.shard_count());
+            let total_bits: usize = retention.iter().map(|r| r.bits()).sum();
+            assert_eq!(total_bits, map.total_words() * WORD_BITS);
+            // All-drowsy partial scale equals the per-band full scale:
+            // every bank here shares one (3,5) assignment, so the shard
+            // projection loses nothing.
+            let awake = vec![false; retention.len()];
+            let partial = plan.partial_standby_scale(&retention, &awake);
+            assert!(
+                (partial - plan.standby_leakage_scale()).abs() < 1e-12,
+                "{shards} shards: {partial} vs {}",
+                plan.standby_leakage_scale()
+            );
+            // Waking every shard costs full leakage; waking some sits in
+            // between.
+            assert!(
+                (plan.partial_standby_scale(&retention, &vec![true; retention.len()]) - 1.0).abs()
+                    < 1e-12
+            );
+            if retention.len() > 1 {
+                let mut one_awake = vec![false; retention.len()];
+                one_awake[0] = true;
+                let mixed = plan.partial_standby_scale(&retention, &one_awake);
+                assert!(mixed > partial && mixed < 1.0, "mixed {mixed}");
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! ```text
 //!  requests ──▶ admission queue ──▶ worker 0 ─┐
 //!  (id 0..n)    (Mutex<VecDeque>)  worker 1 ─┼─▶ NeuromorphicSystem (&self)
-//!                    ▲             worker W ─┘     └─▶ SynapticMemory::read_shared
-//!                    │ adaptive micro-batch pop          (per-request RNG)
+//!                    ▲             worker W ─┘     └─▶ ShardedMemory::read_shared
+//!                    │ adaptive micro-batch pop          (per-request RNG,
+//!                                                         shard-routed)
 //! ```
 //!
 //! Workers pull *micro-batches* off the queue instead of single requests:
@@ -94,6 +95,9 @@ pub struct ServeReport {
     pub fault_bits: u64,
     /// Memory words read across all requests.
     pub words_read: u64,
+    /// Words read per memory shard during the run (counter deltas; assumes
+    /// no concurrent `serve` call shares the system).
+    pub shard_reads: Vec<u64>,
     /// Per-inference energy/latency model, when configured.
     pub energy_per_inference: Option<SystemEnergyReport>,
     /// Drowsy standby leakage (memory leakage × plan scale), when both the
@@ -228,6 +232,43 @@ impl InferenceServer {
     /// ceiling, and seed stream can be tuned without rebuilding the server
     /// (the loaded memory image is the expensive part).
     ///
+    /// # Examples
+    ///
+    /// Predictions are bit-identical at any worker count and batch size;
+    /// only throughput changes:
+    ///
+    /// ```
+    /// use fault_inject::model::WordFailureModel;
+    /// use fault_inject::protection::ProtectionPolicy;
+    /// use neural::network::Mlp;
+    /// use neural::quant::{Encoding, QuantizedMlp};
+    /// use neuro_system::controller::NeuromorphicSystem;
+    /// use neuro_system::layout;
+    /// use neuro_system::npe::Npe;
+    /// use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+    /// use sram_array::sharded::ShardedMemory;
+    /// use sram_serve::{InferenceServer, ServeOptions};
+    ///
+    /// let q = QuantizedMlp::from_mlp(&Mlp::new(&[8, 6, 3], 1), Encoding::TwosComplement);
+    /// let words = layout::bank_words(&q);
+    /// let map = SynapticMemoryMap::new(&words, &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
+    /// let memory = ShardedMemory::new(map, vec![WordFailureModel::ideal(); 2], 5, 2);
+    /// let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+    /// let server = InferenceServer::new(system, ServeOptions::default());
+    ///
+    /// let requests: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32 / 6.0; 8]).collect();
+    /// let one = server.serve_configured(
+    ///     &requests,
+    ///     &ServeOptions { workers: 1, max_batch: 1, base_seed: 42 },
+    /// );
+    /// let four = server.serve_configured(
+    ///     &requests,
+    ///     &ServeOptions { workers: 4, max_batch: 3, base_seed: 42 },
+    /// );
+    /// assert_eq!(one.predictions, four.predictions);
+    /// assert_eq!(one.words_read, four.words_read);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `options.max_batch` is zero; propagates the first worker
@@ -246,6 +287,13 @@ impl InferenceServer {
         };
         let workers = configured.clamp(1, n.max(1)).min(MAX_WORKERS);
         let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+        let shard_reads_before: Vec<usize> = self
+            .system
+            .memory()
+            .shard_counts()
+            .iter()
+            .map(|c| c.reads)
+            .collect();
         let start = Instant::now();
 
         struct WorkerOutcome {
@@ -335,6 +383,14 @@ impl InferenceServer {
             max_batch_observed = max_batch_observed.max(outcome.max_batch_observed);
         }
         debug_assert!(predictions.iter().all(|&p| p != usize::MAX || n == 0));
+        let shard_reads: Vec<u64> = self
+            .system
+            .memory()
+            .shard_counts()
+            .iter()
+            .zip(&shard_reads_before)
+            .map(|(after, &before)| (after.reads - before) as u64)
+            .collect();
 
         let standby_leakage = match (&self.drowsy, self.memory_leakage) {
             (Some(plan), Some(leak)) => {
@@ -351,6 +407,7 @@ impl InferenceServer {
             max_batch_observed,
             fault_bits,
             words_read,
+            shard_reads,
             energy_per_inference: self.energy,
             standby_leakage,
         }

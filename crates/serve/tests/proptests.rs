@@ -11,8 +11,8 @@ use neuro_system::npe::Npe;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sram_array::behavioral::SynapticMemory;
 use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_array::sharded::ShardedMemory;
 use sram_serve::{InferenceServer, ServeOptions};
 use std::sync::OnceLock;
 
@@ -34,7 +34,7 @@ fn tiny_server() -> &'static InferenceServer {
         let models: Vec<WordFailureModel> = (0..words.len())
             .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
             .collect();
-        let memory = SynapticMemory::new(map, models, 41);
+        let memory = ShardedMemory::new(map, models, 41, 3);
         InferenceServer::new(
             NeuromorphicSystem::new(&q, memory, Npe::new(q.format)),
             ServeOptions::default(),
@@ -89,6 +89,58 @@ proptest! {
         let b = server.serve_configured(&requests, &opts(seed));
         prop_assert_eq!(&a.predictions, &b.predictions);
         prop_assert_eq!(a.fault_bits, b.fault_bits);
+    }
+}
+
+/// The tiny network + faulty-memory fixture at an arbitrary shard count.
+fn tiny_server_sharded(shards: usize) -> InferenceServer {
+    let q = QuantizedMlp::from_mlp(&Mlp::new(&[16, 12, 4], 7), Encoding::TwosComplement);
+    let words = layout::bank_words(&q);
+    let policy = ProtectionPolicy::MsbProtected { msb_8t: 2 };
+    let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+    let rates = BitErrorRates {
+        read_6t: 0.15,
+        write_6t: 0.01,
+        read_8t: 0.0,
+        write_8t: 0.0,
+    };
+    let models: Vec<WordFailureModel> = (0..words.len())
+        .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+        .collect();
+    let memory = ShardedMemory::new(map, models, 41, shards);
+    InferenceServer::new(
+        NeuromorphicSystem::new(&q, memory, Npe::new(q.format)),
+        ServeOptions::default(),
+    )
+}
+
+proptest! {
+    /// Serving out of the sharded store is bit-identical to the
+    /// 1-shard (monolithic-layout) reference for any shard count:
+    /// predictions *and* fault accounting. The shard count is a pure
+    /// throughput knob, invisible to every served byte.
+    #[test]
+    fn shard_count_never_changes_served_outputs(
+        shards in 2usize..10,
+        n in 1usize..24,
+        seed in 0u64..200,
+    ) {
+        let requests = random_requests(n, seed);
+        let options = ServeOptions {
+            workers: 2,
+            max_batch: 4,
+            base_seed: seed ^ 0x5AA5,
+        };
+        let reference = tiny_server_sharded(1).serve_configured(&requests, &options);
+        let sharded = tiny_server_sharded(shards).serve_configured(&requests, &options);
+        prop_assert_eq!(&sharded.predictions, &reference.predictions);
+        prop_assert_eq!(sharded.fault_bits, reference.fault_bits);
+        prop_assert_eq!(sharded.words_read, reference.words_read);
+        // Per-shard reads refine the same total, whatever the partition.
+        prop_assert_eq!(
+            sharded.shard_reads.iter().sum::<u64>(),
+            sharded.words_read
+        );
     }
 }
 

@@ -7,8 +7,8 @@ use fault_inject::protection::ProtectionPolicy;
 use neuro_system::controller::{InferContext, NeuromorphicSystem};
 use neuro_system::layout;
 use neuro_system::npe::Npe;
-use sram_array::behavioral::SynapticMemory;
 use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_array::sharded::ShardedMemory;
 use sram_serve::fixture::{request_stream, trained_digit_network};
 use sram_serve::{InferenceServer, ServeOptions};
 use std::sync::OnceLock;
@@ -41,7 +41,7 @@ fn fixture() -> &'static Fixture {
         let models: Vec<WordFailureModel> = (0..words.len())
             .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
             .collect();
-        let memory = SynapticMemory::new(map, models, 29);
+        let memory = ShardedMemory::new(map, models, 29, 3);
         let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
 
         let requests = request_stream(&test_set, 96);

@@ -25,7 +25,7 @@ use crate::npe::{encode_activation, Npe};
 use neural::quant::QuantizedMlp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sram_array::behavioral::SynapticMemory;
+use sram_array::sharded::ShardedMemory;
 use sram_exec::derive_seed;
 
 /// Base seed of the legacy `&mut self` entry points when none is given.
@@ -94,10 +94,15 @@ impl InferContext {
 }
 
 /// The neuromorphic system: NPE bank + controller + synaptic memory.
+///
+/// The weight store is the bank-parallel [`ShardedMemory`]; since the
+/// sharded store is bit-identical to the monolithic reference at every
+/// shard count, the shard count is a pure throughput knob — predictions
+/// never depend on it.
 #[derive(Debug)]
 pub struct NeuromorphicSystem {
     npe: Npe,
-    memory: SynapticMemory,
+    memory: ShardedMemory,
     shapes: Vec<LayerShape>,
     base_seed: u64,
     /// Requests served through the legacy `&mut self` entry points; each
@@ -113,7 +118,7 @@ impl NeuromorphicSystem {
     ///
     /// Panics if the memory's bank layout does not match the network
     /// (`layout::bank_words`).
-    pub fn new(network: &QuantizedMlp, mut memory: SynapticMemory, npe: Npe) -> Self {
+    pub fn new(network: &QuantizedMlp, mut memory: ShardedMemory, npe: Npe) -> Self {
         let words = layout::bank_words(network);
         let map_words: Vec<usize> = memory.map().banks().iter().map(|b| b.words).collect();
         assert_eq!(
@@ -145,8 +150,9 @@ impl NeuromorphicSystem {
         self
     }
 
-    /// Access to the underlying memory (e.g. for energy accounting).
-    pub fn memory(&self) -> &SynapticMemory {
+    /// Access to the underlying sharded memory (e.g. for energy accounting
+    /// or per-shard traffic attribution).
+    pub fn memory(&self) -> &ShardedMemory {
         &self.memory
     }
 
@@ -301,6 +307,20 @@ mod tests {
     use neural::train::{train, TrainOptions};
     use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
 
+    fn sharded(
+        words: &[usize],
+        policy: &ProtectionPolicy,
+        rates: &BitErrorRates,
+        seed: u64,
+        shards: usize,
+    ) -> ShardedMemory {
+        let map = SynapticMemoryMap::new(words, policy, SubArrayDims::PAPER);
+        let models: Vec<WordFailureModel> = (0..words.len())
+            .map(|b| WordFailureModel::new(rates, &policy.assignment(b)))
+            .collect();
+        ShardedMemory::new(map, models, seed, shards)
+    }
+
     fn trained_small_net() -> (QuantizedMlp, neural::dataset::Dataset) {
         let data = synth::generate_default(400, 21);
         let (train_set, test_set) = data.split(0.75, 3);
@@ -319,11 +339,11 @@ mod tests {
         )
     }
 
-    fn ideal_memory_for(q: &QuantizedMlp) -> SynapticMemory {
+    fn ideal_memory_for(q: &QuantizedMlp) -> ShardedMemory {
         let words = layout::bank_words(q);
         let map = SynapticMemoryMap::new(&words, &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
         let models = vec![WordFailureModel::ideal(); words.len()];
-        SynapticMemory::new(map, models, 17)
+        ShardedMemory::new(map, models, 17, 3)
     }
 
     #[test]
@@ -346,23 +366,59 @@ mod tests {
     }
 
     #[test]
+    fn predictions_are_shard_count_invariant() {
+        let (q, test_set) = trained_small_net();
+        let test_set = test_set.take(40);
+        let words = layout::bank_words(&q);
+        let policy = ProtectionPolicy::MsbProtected { msb_8t: 3 };
+        let rates = BitErrorRates {
+            read_6t: 0.1,
+            write_6t: 0.02,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let mut reference: Option<Vec<usize>> = None;
+        for shards in [1usize, 2, 4, 7] {
+            let memory = sharded(&words, &policy, &rates, 5, shards);
+            assert_eq!(
+                memory.shard_count(),
+                shards,
+                "network must span {shards} shards"
+            );
+            let system = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
+            let predictions: Vec<usize> = (0..test_set.len())
+                .map(|i| {
+                    let mut ctx = InferContext::for_request(77, i as u64);
+                    system.classify_request(test_set.image(i), &mut ctx)
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(predictions),
+                Some(r) => assert_eq!(
+                    &predictions, r,
+                    "{shards}-shard predictions diverged from 1-shard"
+                ),
+            }
+        }
+    }
+
+    #[test]
     fn parallel_accuracy_is_bit_identical_to_the_sequential_fold() {
         let (q, test_set) = trained_small_net();
         let test_set = test_set.take(60);
         let words = layout::bank_words(&q);
         let policy = ProtectionPolicy::MsbProtected { msb_8t: 4 };
-        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
         let rates = BitErrorRates {
             read_6t: 0.08,
             write_6t: 0.01,
             read_8t: 0.0,
             write_8t: 0.0,
         };
-        let models: Vec<WordFailureModel> = (0..words.len())
-            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
-            .collect();
-        let system =
-            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 5), Npe::new(q.format));
+        let system = NeuromorphicSystem::new(
+            &q,
+            sharded(&words, &policy, &rates, 5, 2),
+            Npe::new(q.format),
+        );
         let reference = system.accuracy_sequential(&test_set, 77);
         for threads in [1usize, 2, 4] {
             sram_exec::set_threads(threads);
@@ -380,18 +436,17 @@ mod tests {
         let (q, test_set) = trained_small_net();
         let words = layout::bank_words(&q);
         let policy = ProtectionPolicy::Uniform6T;
-        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
         let rates = BitErrorRates {
             read_6t: 0.2,
             write_6t: 0.0,
             read_8t: 0.0,
             write_8t: 0.0,
         };
-        let models: Vec<WordFailureModel> = (0..words.len())
-            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
-            .collect();
-        let system =
-            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 9), Npe::new(q.format));
+        let system = NeuromorphicSystem::new(
+            &q,
+            sharded(&words, &policy, &rates, 9, 4),
+            Npe::new(q.format),
+        );
         let img = test_set.image(0);
 
         // Fresh context vs a context warmed on other requests then reset:
@@ -435,27 +490,20 @@ mod tests {
         let words = layout::bank_words(&q);
         // LSB-only faults (hybrid with every bit but bit0 protected).
         let policy = ProtectionPolicy::MsbProtected { msb_8t: 7 };
-        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
         let rates = BitErrorRates {
             read_6t: 0.3,
             write_6t: 0.0,
             read_8t: 0.0,
             write_8t: 0.0,
         };
-        let models: Vec<WordFailureModel> = (0..words.len())
-            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
-            .collect();
         let lsb_system =
-            NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 3), npe.clone());
+            NeuromorphicSystem::new(&q, sharded(&words, &policy, &rates, 3, 2), npe.clone());
         let lsb_acc = lsb_system.accuracy(&test_set, 3);
 
         // Uniform faults at the same rate (MSBs exposed).
         let policy = ProtectionPolicy::Uniform6T;
-        let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
-        let models: Vec<WordFailureModel> = (0..words.len())
-            .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
-            .collect();
-        let uniform_system = NeuromorphicSystem::new(&q, SynapticMemory::new(map, models, 3), npe);
+        let uniform_system =
+            NeuromorphicSystem::new(&q, sharded(&words, &policy, &rates, 3, 2), npe);
         let uniform_acc = uniform_system.accuracy(&test_set, 3);
 
         assert!(
@@ -487,7 +535,7 @@ mod tests {
     fn mismatched_memory_panics() {
         let (q, _) = trained_small_net();
         let map = SynapticMemoryMap::new(&[10], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
-        let memory = SynapticMemory::new(map, vec![WordFailureModel::ideal()], 0);
+        let memory = ShardedMemory::new(map, vec![WordFailureModel::ideal()], 0, 2);
         let _ = NeuromorphicSystem::new(&q, memory, Npe::new(q.format));
     }
 }

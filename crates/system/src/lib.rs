@@ -12,6 +12,8 @@
 //! the `system_inference` example at the workspace root classifies synthetic
 //! digits through a voltage-scaled memory.
 
+#![warn(missing_docs)]
+
 pub mod controller;
 pub mod energy;
 pub mod layout;

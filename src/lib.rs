@@ -15,15 +15,17 @@
 //! * [`bitcell`] — 6T/8T characterization and Monte Carlo failure analysis;
 //! * [`array`](mod@array) — sub-array/bank organization, power/area rollups
 //!   (with optional periphery), redundancy repair, the behavioral
-//!   fault-injecting memory;
+//!   fault-injecting memory (monolithic reference) and the sharded
+//!   bank-parallel store;
 //! * [`ecc`] — SECDED Hamming codes and overhead models (the ECC baseline);
 //! * [`ann`] — the from-scratch MLP, datasets, quantization, evaluation;
 //! * [`faults`] — bit-level fault models and protection policies;
 //! * [`system`] — NPEs, controller, per-inference energy, voltage-frequency
 //!   scaling;
 //! * [`serve`] — the concurrent batched inference serving layer (admission
-//!   queue, adaptive micro-batching, latency/energy metrics, drowsy
-//!   voltage policy) with its `serve_bench` load generator;
+//!   queue, adaptive micro-batching, latency/energy metrics, per-shard
+//!   drowsy voltage policy) with its `serve_bench` and `scale_bench`
+//!   load generators;
 //! * [`core`] — the paper's contribution: configurations, the
 //!   circuit-to-system framework, the allocation optimizer, and every
 //!   experiment (Table I, Figs. 5-9, plus the extension studies).

@@ -22,6 +22,16 @@
 //!   should gate without it). Both runs execute back-to-back in one job
 //!   on one machine, so the ratio is machine-normalized by construction.
 //!
+//! * **`scale-report`** — runs the `scale_bench` million-synapse workload
+//!   (one process, shard counts 1/2/4 back-to-back) and renders the shard
+//!   scaling table (written to `--out`, default `target/scale-report.txt`).
+//!   With `--gate`, exits non-zero when the per-shard-count digests differ
+//!   (the sharded store diverged from the monolithic reference — a
+//!   correctness failure, never acceptable) or when the widest shard
+//!   count loads more than [`SERVE_SLOWDOWN_FACTOR`]× slower than one
+//!   shard; `--min-speedup X` additionally requires a genuine ≥X× load
+//!   speedup on known multi-core runners.
+//!
 //! The committed baseline was recorded on a different machine than CI's
 //! shared runners, so raw wall-clock ratios would gate hardware speed, not
 //! code. Ratios are therefore normalized by the [`CALIBRATION`] kernel —
@@ -48,6 +58,9 @@ const TRACKED: &[&str] = &[
     "read_snm",
     "fig7/fig7_accuracy_vs_vdd",
     "fig8/fig8_hybrid_sweep",
+    "scale/load_1shard",
+    "scale/load_2shard",
+    "scale/load_4shard",
 ];
 
 /// A tracked kernel fails the diff when its machine-normalized ratio
@@ -71,11 +84,13 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench-diff") => bench_diff(&args[1..]),
         Some("serve-report") => serve_report(&args[1..]),
+        Some("scale-report") => scale_report(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask bench-diff [--no-run] [--current <path>]");
             eprintln!(
                 "       cargo xtask serve-report [--gate] [--min-speedup X] [--requests N] [--out <path>]"
             );
+            eprintln!("       cargo xtask scale-report [--gate] [--min-speedup X] [--out <path>]");
             ExitCode::FAILURE
         }
     }
@@ -233,6 +248,162 @@ fn read_kv_report(path: &std::path::Path) -> Option<std::collections::BTreeMap<S
         }
     }
     Some(map)
+}
+
+/// Shard counts `scale-report` asks `scale_bench` for (ascending; the
+/// scaling gate compares the last against the first).
+const SCALE_SHARDS: &[usize] = &[1, 2, 4];
+
+fn scale_report(args: &[String]) -> ExitCode {
+    let mut gate = false;
+    let mut out_path = "target/scale-report.txt".to_string();
+    let mut min_speedup: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--min-speedup" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 && x.is_finite() => min_speedup = Some(x),
+                _ => {
+                    eprintln!("--min-speedup requires a positive factor, e.g. 1.3");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown scale-report argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_default();
+    let target = cwd.join("target");
+    let _ = std::fs::create_dir_all(&target);
+    let report_path = target.join("scale-bench.txt");
+    let _ = std::fs::remove_file(&report_path);
+    let shard_list = SCALE_SHARDS
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    eprintln!("running scale_bench (shards {shard_list})...");
+    let status = Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "sram_serve",
+            "--bin",
+            "scale_bench",
+            "--",
+            "--shards",
+            &shard_list,
+            "--report",
+            &report_path.display().to_string(),
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("scale_bench failed: {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("could not launch scale_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(kv) = read_kv_report(&report_path) else {
+        eprintln!("no report at {}", report_path.display());
+        return ExitCode::FAILURE;
+    };
+
+    let get_ns = |key: &str| kv.get(key).and_then(|v| v.parse::<f64>().ok());
+    let mut table = String::new();
+    table.push_str(&format!(
+        "scale-report — {} synaptic words through the sharded store ({} threads)\n\n",
+        kv.get("words").map(String::as_str).unwrap_or("?"),
+        kv.get("threads").map(String::as_str).unwrap_or("?"),
+    ));
+    table.push_str(&format!(
+        "{:<8} {:>12} {:>12} {:>12}  digest\n",
+        "shards", "load", "bulk read", "snapshot"
+    ));
+    for &shards in SCALE_SHARDS {
+        table.push_str(&format!(
+            "{shards:<8} {:>12} {:>12} {:>12}  {}\n",
+            format_ns(get_ns(&format!("load_ns_{shards}")).unwrap_or(f64::NAN)),
+            format_ns(get_ns(&format!("bulk_ns_{shards}")).unwrap_or(f64::NAN)),
+            format_ns(get_ns(&format!("snapshot_ns_{shards}")).unwrap_or(f64::NAN)),
+            kv.get(&format!("digest_{shards}"))
+                .map(String::as_str)
+                .unwrap_or("-"),
+        ));
+    }
+
+    let first = SCALE_SHARDS[0];
+    let last = SCALE_SHARDS[SCALE_SHARDS.len() - 1];
+    let speedup = get_ns(&format!("load_ns_{first}")).unwrap_or(f64::NAN)
+        / get_ns(&format!("load_ns_{last}")).unwrap_or(f64::NAN);
+    let digests: Vec<Option<&String>> = SCALE_SHARDS
+        .iter()
+        .map(|s| kv.get(&format!("digest_{s}")))
+        .collect();
+    let identical = digests.iter().all(|d| d.is_some()) && digests.windows(2).all(|w| w[0] == w[1]);
+    table.push_str(&format!(
+        "\n{last}-shard load speedup: {speedup:.2}x\nimages across shard counts: {}\n",
+        if identical { "IDENTICAL" } else { "DIVERGED" },
+    ));
+
+    print!("{table}");
+    if let Err(e) = std::fs::write(&out_path, &table) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("scale report written to {out_path}");
+
+    if gate {
+        let mut failed = false;
+        if !identical {
+            eprintln!(
+                "GATE FAILED: sharded images diverge across shard counts \
+                 (the store is no longer bit-identical to the monolithic reference)"
+            );
+            failed = true;
+        }
+        if !(speedup.is_finite() && speedup > 0.0) {
+            eprintln!("GATE FAILED: could not compute the {last}-shard load speedup");
+            failed = true;
+        } else if speedup < 1.0 / SERVE_SLOWDOWN_FACTOR {
+            eprintln!(
+                "GATE FAILED: {last} shards load {:.2}x slower than 1 shard \
+                 (allowed: {SERVE_SLOWDOWN_FACTOR}x)",
+                1.0 / speedup
+            );
+            failed = true;
+        } else if let Some(floor) = min_speedup {
+            if speedup < floor {
+                eprintln!(
+                    "GATE FAILED: {last}-shard load speedup {speedup:.2}x is below the \
+                     required {floor:.2}x (--min-speedup)"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!("scale gate passed: images identical, {last}-shard load speedup {speedup:.2}x");
+    }
+    ExitCode::SUCCESS
 }
 
 fn serve_report(args: &[String]) -> ExitCode {
