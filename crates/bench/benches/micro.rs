@@ -82,6 +82,47 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rare_event(c: &mut Criterion) {
+    use sram_bitcell::rareevent::{
+        run_6t_tail, run_6t_tail_surrogate, FailureMode, RareEventOptions,
+    };
+
+    let tech = Technology::ptm_22nm();
+    let cell = SixTCell::new(&tech, &SixTSizing::paper_baseline());
+    let cell8 = EightTCell::new(
+        &tech,
+        &SixTSizing::write_optimized(),
+        &ReadStackSizing::paper_baseline(),
+    );
+    let env = ColumnEnvironment::rows_256();
+    let variation = VariationModel::new(&tech);
+    // 1.20 V puts the 6T read-access boundary ~5.9 sigmas out (p ≈ 1.6e-9):
+    // the importance sampler resolves a tail 10^7× below the brute-force
+    // kernel's floor, in less wall time than its 100 nominal samples.
+    let vdd = Volt::new(1.20);
+    let budget = TimingBudget::from_nominal_split(&cell, &cell8, vdd, &env, 2.0, 2.5);
+    let opts = RareEventOptions::default();
+    let mode = FailureMode::ReadAccess;
+
+    let mut group = c.benchmark_group("rare");
+    group.sample_size(10);
+    group.bench_function("is_6t_tail", |b| {
+        b.iter(|| {
+            black_box(run_6t_tail(
+                &cell, &variation, vdd, &budget, &env, mode, &opts,
+            ))
+        })
+    });
+    group.bench_function("surrogate_6t_tail", |b| {
+        b.iter(|| {
+            black_box(run_6t_tail_surrogate(
+                &cell, &variation, vdd, &budget, &env, mode, &opts,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_injection(c: &mut Criterion) {
     let rates = BitErrorRates {
         read_6t: 0.01,
@@ -119,6 +160,7 @@ criterion_group!(
     bench_device,
     bench_cell_metrics,
     bench_monte_carlo,
+    bench_rare_event,
     bench_injection,
     bench_forward_pass
 );

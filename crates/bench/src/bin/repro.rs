@@ -16,8 +16,12 @@
 //!   Results are bit-identical at every worker count.
 //!
 //! Paper experiments: `table1 fig5 fig6 fig7 fig8 fig9 iso quant`.
-//! Extensions/ablations: `knee conventions ecc redundancy periphery system
-//! optimize workload`. Default: `all`.
+//! Extensions/ablations: `fig5ext knee conventions ecc redundancy periphery
+//! system optimize workload`. Default: `all`.
+//!
+//! `fig5ext` re-traces the Fig. 5 failure curves with the rare-event
+//! importance sampler over the extended 0.60-1.20 V grid (tails to 1e-9)
+//! and writes the dataset to `target/fig5-extension.csv`.
 
 use hybrid_sram::prelude::*;
 use neural::prelude::{accuracy, Encoding, QuantizedMlp};
@@ -82,6 +86,25 @@ fn main() {
                 &ChartOptions::log("Fig. 5 — 6T failure rate vs VDD (log)"),
             )
         );
+    }
+    if want("fig5ext") {
+        // The rare-event extension: importance-sampled failure curves over
+        // the extended supply grid, down to the 1e-9 regime. `quick` keeps
+        // the sample caps small; `paper` lets the RSE stopping rule govern.
+        let options = match profile {
+            "paper" => fig5ext::Fig5ExtOptions::default(),
+            _ => fig5ext::Fig5ExtOptions {
+                vdds: fig5ext::extended_vdd_grid(),
+                ..fig5ext::Fig5ExtOptions::quick()
+            },
+        };
+        let f = fig5ext::run(&ctx, &options);
+        println!("{f}\n");
+        let csv_path = Path::new("target/fig5-extension.csv");
+        match std::fs::write(csv_path, f.to_csv()) {
+            Ok(()) => println!("wrote {}\n", csv_path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}\n", csv_path.display()),
+        }
     }
     if want("fig6") {
         println!("{}\n", fig6::run(&ctx));

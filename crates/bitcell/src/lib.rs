@@ -24,6 +24,7 @@
 //! let snm = static_noise_margin(&cell, Volt::new(0.95), SnmCondition::Read);
 //! assert!((snm.millivolts() - 195.0).abs() < 30.0, "paper anchor");
 //! ```
+#![warn(missing_docs)]
 
 pub mod area;
 pub mod cell_ops;
@@ -32,6 +33,7 @@ pub mod margins;
 pub mod montecarlo;
 pub mod netlists;
 pub mod power;
+pub mod rareevent;
 pub mod retention;
 pub mod snm;
 pub mod solve;
@@ -52,6 +54,12 @@ pub mod prelude {
     };
     pub use crate::netlists::{eight_t_circuit, six_t_circuit, CellBias};
     pub use crate::power::{CellPower, PowerModel, EIGHT_T_BITLINE_SCALE};
+    pub use crate::rareevent::{
+        brute_force, find_failure_point, fit_surrogate, importance_sample,
+        importance_sample_surrogate, likelihood_ratio, run_6t_tail, run_6t_tail_surrogate,
+        run_8t_tail, FailureMode, FailurePoint, QuadraticSurrogate, RareEventEstimate,
+        RareEventOptions,
+    };
     pub use crate::retention::{retention_statistics, retention_voltage, RetentionStatistics};
     pub use crate::snm::{
         inverter_trip_point, inverter_vtc, snm_grid, static_noise_margin, SnmCondition, Vtc,

@@ -1,0 +1,977 @@
+//! Rare-event failure estimation: mean-shifted importance sampling and a
+//! quadratic response-surface surrogate over the ΔVT space.
+//!
+//! The paper's Fig. 5 failure curves — and every hybrid-allocation decision
+//! built on them — live in the distribution *tail*: a production memory
+//! cares about bit-failure rates of 1e-6…1e-9, where brute-force Monte
+//! Carlo over the nominal ΔVT distribution is blind (100 nominal samples
+//! cannot resolve anything below ~1e-2). This module estimates those tails
+//! directly, using the standard SRAM-yield machinery:
+//!
+//! 1. **Limit state.** Each failure mechanism is expressed as a scalar
+//!    *limit-state function* `g(z)` over the normalized ΔVT vector
+//!    (`z_i = ΔVT_i / σ_i`, so `z ~ N(0, I)` under the Pelgrom model):
+//!    `g > 0` is a working cell, `g ≤ 0` a failing one. Delays enter in the
+//!    log domain (`g = ln t_limit − ln t`), margins in volts.
+//! 2. **Most-probable failure point.** [`find_failure_point`] locates the
+//!    minimum-norm point of the failure region by iterating a
+//!    finite-difference gradient descent direction with a bracketed Brent
+//!    line search ([`crate::solve::find_root_decreasing`]) along each ray —
+//!    the HL-RF scheme of first-order reliability analysis. Its norm `β`
+//!    already yields the FORM estimate `Q(β)`.
+//! 3. **Mean-shifted importance sampling.** [`importance_sample`] draws
+//!    `z ~ N(shift, I)` centred on the failure point (the device layer's
+//!    [`VtSampler::sample_shifted_into`]), counts failures weighted by the
+//!    exact Gaussian likelihood ratio ([`likelihood_ratio`]), and stops when
+//!    the relative standard error of the estimate drops below the target.
+//!    Failures are no longer rare under the proposal, so tails at 1e-9
+//!    resolve with a few hundred samples instead of 1e10.
+//! 4. **Response-surface surrogate.** [`fit_surrogate`] fits a full
+//!    quadratic `g̃(z)` around the failure point;
+//!    [`importance_sample_surrogate`] then confines the expensive circuit
+//!    evaluations to the samples the surrogate places near the predicted
+//!    failure boundary (within its calibrated guard band) and classifies
+//!    the rest by the surrogate's sign alone.
+//!
+//! Sampling fans out on the `sram_exec` pool with per-sample seed streams
+//! (`VtSampler::fork(seed, k)`), so every estimate is **bit-identical at
+//! any worker count**; the failure-point search and surrogate fit are
+//! deterministic (no RNG at all). `docs/METHODS.md` carries the full
+//! derivation, including the weight algebra and the stopping rule.
+
+use crate::montecarlo::q_function;
+use crate::snm::{static_noise_margin, SnmCondition};
+use crate::timing::{read_access_time_6t, read_access_time_8t, write_time, TimingBudget};
+use crate::topology::{EightTCell, SixTCell};
+use sram_device::units::Volt;
+use sram_device::variation::{VariationModel, VtSampler};
+
+/// Limit-state value assigned to *hard* failures — corners where the metric
+/// does not exist at all (unwritable cell, stalled read). Finite so the
+/// bracketed solvers can interpolate across it, far enough below zero that
+/// no soft metric value ever reaches it (delays are log-domain slacks of at
+/// most a few units; margins are fractions of a volt).
+pub const HARD_FAILURE_G: f64 = -6.0;
+
+/// Which failure mechanism a limit state describes (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureMode {
+    /// Bitline develops the sense margin too slowly (`t_read > limit`).
+    ReadAccess,
+    /// Storage node cannot be flipped within the write window.
+    Write,
+    /// Read static noise margin collapses to zero.
+    ReadDisturb,
+    /// Cell loses bistability even without an access.
+    Hold,
+}
+
+impl FailureMode {
+    /// Short lower-case name used in tables and CSV dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureMode::ReadAccess => "read_access",
+            FailureMode::Write => "write",
+            FailureMode::ReadDisturb => "read_disturb",
+            FailureMode::Hold => "hold",
+        }
+    }
+}
+
+/// Builds the 6T limit-state function `g(z)` for one mechanism.
+///
+/// `z` is the normalized ΔVT vector in [`crate::topology::CellTransistor::CORE`]
+/// order (6 components); `sigmas` are the per-transistor Pelgrom sigmas of
+/// the same cell, so `ΔVT_i = z_i · σ_i`. Working cells have `g > 0`,
+/// failures `g ≤ 0`, hard failures [`HARD_FAILURE_G`].
+pub fn limit_state_6t<'a>(
+    cell: &'a SixTCell,
+    sigmas: &'a [Volt],
+    vdd: Volt,
+    budget: &'a TimingBudget,
+    env: &'a crate::timing::ColumnEnvironment,
+    mode: FailureMode,
+) -> impl Fn(&[f64]) -> f64 + Sync + 'a {
+    move |z: &[f64]| {
+        let mut deltas = [Volt::new(0.0); 6];
+        for i in 0..6 {
+            deltas[i] = Volt::new(z[i] * sigmas[i].volts());
+        }
+        let mut sample = cell.clone();
+        sample.apply_variation(&deltas);
+        match mode {
+            FailureMode::ReadAccess => read_access_time_6t(&sample, vdd, env)
+                .map(|t| budget.t_read_limit.seconds().ln() - t.seconds().ln())
+                .unwrap_or(HARD_FAILURE_G),
+            FailureMode::Write => write_time(&sample, vdd)
+                .map(|t| budget.t_write_limit.seconds().ln() - t.seconds().ln())
+                .unwrap_or(HARD_FAILURE_G),
+            FailureMode::ReadDisturb => {
+                static_noise_margin(&sample, vdd, SnmCondition::Read).volts()
+            }
+            FailureMode::Hold => static_noise_margin(&sample, vdd, SnmCondition::Hold).volts(),
+        }
+    }
+}
+
+/// Builds the 8T limit-state function `g(z)` for one mechanism.
+///
+/// `z` has 8 components (core order, then RG, RA). The decoupled read stack
+/// means [`FailureMode::ReadDisturb`] measures the hold margin under read —
+/// identical to [`FailureMode::Hold`] — matching the brute-force estimator.
+pub fn limit_state_8t<'a>(
+    cell: &'a EightTCell,
+    sigmas: &'a [Volt],
+    vdd: Volt,
+    budget: &'a TimingBudget,
+    env: &'a crate::timing::ColumnEnvironment,
+    mode: FailureMode,
+) -> impl Fn(&[f64]) -> f64 + Sync + 'a {
+    move |z: &[f64]| {
+        let mut deltas = [Volt::new(0.0); 8];
+        for i in 0..8 {
+            deltas[i] = Volt::new(z[i] * sigmas[i].volts());
+        }
+        let mut sample = cell.clone();
+        sample.apply_variation(&deltas);
+        match mode {
+            FailureMode::ReadAccess => read_access_time_8t(&sample, vdd, env)
+                .map(|t| budget.t_read_limit.seconds().ln() - t.seconds().ln())
+                .unwrap_or(HARD_FAILURE_G),
+            FailureMode::Write => write_time(&sample.core, vdd)
+                .map(|t| budget.t_write_limit.seconds().ln() - t.seconds().ln())
+                .unwrap_or(HARD_FAILURE_G),
+            FailureMode::ReadDisturb | FailureMode::Hold => {
+                static_noise_margin(&sample.core, vdd, SnmCondition::Hold).volts()
+            }
+        }
+    }
+}
+
+/// The most-probable failure point (MPFP) of a limit state: the point of
+/// the failure region closest to the origin in normalized ΔVT space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailurePoint {
+    /// The point itself (normalized sigma units, `g(z) ≈ 0`).
+    pub z: Vec<f64>,
+    /// Its Euclidean norm — the reliability index β. `Q(beta)` is the
+    /// first-order (FORM) estimate of the failure probability.
+    pub beta: f64,
+    /// Limit-state evaluations spent finding it.
+    pub evaluations: usize,
+}
+
+/// Finds the minimum-norm failure point of `g` by iterated steepest-descent
+/// ray searches (the HL-RF scheme of first-order reliability analysis).
+///
+/// Each iteration estimates the gradient of `g` by central differences,
+/// walks the degrading ray in unit-β steps until the limit state changes
+/// sign, and refines the crossing with Brent's method
+/// ([`crate::solve::find_root_decreasing`]). The next iteration re-linearizes
+/// at the crossing, so a curved failure boundary converges to its true
+/// nearest point in 2–3 rounds.
+///
+/// Returns `None` when no failure exists within `max_beta` sigmas along any
+/// probed ray (the mechanism is unresolvably robust at this voltage: `p ≲
+/// Q(max_beta)`) or when `g` is flat at the origin. A `beta` of `0.0` means
+/// the *nominal* cell already fails, and importance sampling degenerates to
+/// plain Monte Carlo (zero shift).
+pub fn find_failure_point(
+    g: impl Fn(&[f64]) -> f64,
+    dim: usize,
+    max_beta: f64,
+) -> Option<FailurePoint> {
+    assert!(dim > 0 && max_beta > 0.0);
+    let mut evals = 0usize;
+    let mut eval = |z: &[f64]| {
+        evals += 1;
+        g(z)
+    };
+
+    let origin = vec![0.0; dim];
+    if eval(&origin) <= 0.0 {
+        return Some(FailurePoint {
+            z: origin,
+            beta: 0.0,
+            evaluations: evals,
+        });
+    }
+
+    /// Central-difference step in sigma units: small enough to resolve the
+    /// local slope, large enough to ride over solver-tolerance noise.
+    const GRAD_H: f64 = 0.25;
+    let gradient = |eval: &mut dyn FnMut(&[f64]) -> f64, at: &[f64]| -> Vec<f64> {
+        let mut grad = vec![0.0; dim];
+        let mut probe = at.to_vec();
+        for (i, gi) in grad.iter_mut().enumerate() {
+            probe[i] = at[i] + GRAD_H;
+            let plus = eval(&probe);
+            probe[i] = at[i] - GRAD_H;
+            let minus = eval(&probe);
+            probe[i] = at[i];
+            *gi = (plus - minus) / (2.0 * GRAD_H);
+        }
+        grad
+    };
+
+    let mut at = origin;
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for _ in 0..4 {
+        let grad = gradient(&mut eval, &at);
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            break; // flat limit state: no informative direction here
+        }
+        // Steepest descent of g: the direction in which the cell degrades
+        // fastest per unit of (normalized) variation.
+        let dir: Vec<f64> = grad.iter().map(|g| -g / norm).collect();
+
+        // Walk the ray in unit-β steps until the limit state goes negative,
+        // then Brent-refine the first crossing inside that bracket.
+        let along = |eval: &mut dyn FnMut(&[f64]) -> f64, t: f64| -> f64 {
+            let z: Vec<f64> = dir.iter().map(|d| d * t).collect();
+            eval(&z)
+        };
+        let mut t_lo = 0.0f64;
+        let mut crossing = None;
+        let mut t = 1.0f64;
+        while t <= max_beta + 1e-9 {
+            let gt = along(&mut eval, t);
+            if gt <= 0.0 {
+                crossing = Some((t_lo, t));
+                break;
+            }
+            t_lo = t;
+            t += 1.0;
+        }
+        let Some((lo, hi)) = crossing else {
+            break; // no failure within max_beta along this ray
+        };
+        let beta = crate::solve::find_root_decreasing(|t| along(&mut eval, t), lo, hi);
+        let z: Vec<f64> = dir.iter().map(|d| d * beta).collect();
+        let improved = best.as_ref().is_none_or(|(_, b)| beta < *b - 1e-3);
+        if best.as_ref().is_none() || beta < best.as_ref().expect("checked").1 {
+            best = Some((z.clone(), beta));
+        }
+        if !improved {
+            break; // converged: re-linearizing no longer shortens the point
+        }
+        at = z;
+    }
+
+    best.map(|(z, beta)| FailurePoint {
+        z,
+        beta,
+        evaluations: evals,
+    })
+}
+
+/// Options for a rare-event estimation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RareEventOptions {
+    /// RNG seed; estimates are deterministic for a given seed.
+    pub seed: u64,
+    /// Samples evaluated per adaptive batch (the stopping rule is checked
+    /// between batches, so the sample count — and hence the estimate — is a
+    /// pure function of the options, never of the worker count).
+    pub batch: usize,
+    /// Hard cap on total samples.
+    pub max_samples: usize,
+    /// Target relative standard error; sampling stops once the estimate's
+    /// RSE drops to this level (with at least [`RareEventOptions::MIN_FAILURES`]
+    /// failures observed, so a lucky early batch cannot stop the run).
+    pub target_rse: f64,
+    /// Scale applied to the failure-point shift (1.0 = shift exactly onto
+    /// the MPFP, the standard choice).
+    pub shift_scale: f64,
+    /// Search radius of the failure-point hunt, in sigmas. Mechanisms with
+    /// no failure inside this radius report `probability = 0` with the
+    /// `Q(max_beta)` FORM value as the resolution bound.
+    pub max_beta: f64,
+}
+
+impl RareEventOptions {
+    /// Weighted failures required before the RSE stopping rule may fire.
+    pub const MIN_FAILURES: usize = 8;
+}
+
+impl Default for RareEventOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0x7A11_5EED,
+            batch: 256,
+            max_samples: 4096,
+            target_rse: 0.2,
+            shift_scale: 1.0,
+            max_beta: 10.0,
+        }
+    }
+}
+
+/// A rare-event probability estimate with its convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RareEventEstimate {
+    /// The estimated failure probability (importance-weighted mean).
+    pub probability: f64,
+    /// Relative standard error of the estimate (`∞` when no failure was
+    /// observed — the probability is then below this run's resolution).
+    pub rse: f64,
+    /// Samples drawn from the proposal distribution.
+    pub samples: usize,
+    /// Samples that landed in the failure region.
+    pub failures: usize,
+    /// Exact limit-state evaluations spent (equals `samples` for plain
+    /// importance sampling; fewer when a surrogate filtered the boundary).
+    pub exact_evals: usize,
+    /// Reliability index of the shift point (‖shift‖ before scaling).
+    pub beta: f64,
+    /// First-order reliability (FORM) estimate `Q(beta)` — an analytic
+    /// anchor the sampled estimate should sit within a small factor of for
+    /// near-linear failure boundaries.
+    pub form_estimate: f64,
+    /// The mean shift actually applied, in normalized sigma units.
+    pub shift: Vec<f64>,
+}
+
+impl RareEventEstimate {
+    /// Whether the estimate converged: at least one failure observed and
+    /// the RSE is finite.
+    pub fn resolved(&self) -> bool {
+        self.failures > 0 && self.rse.is_finite()
+    }
+
+    /// An estimate for a mechanism with no failure point within `max_beta`
+    /// sigmas: probability indistinguishable from zero at this resolution.
+    fn below_resolution(dim: usize, max_beta: f64) -> Self {
+        Self {
+            probability: 0.0,
+            rse: f64::INFINITY,
+            samples: 0,
+            failures: 0,
+            exact_evals: 0,
+            beta: max_beta,
+            form_estimate: q_function(max_beta),
+            shift: vec![0.0; dim],
+        }
+    }
+}
+
+/// The exact Gaussian likelihood ratio `φ(z) / φ(z − shift)` of a
+/// mean-shifted proposal, evaluated in one exponential:
+///
+/// ```text
+/// w(z) = exp( ‖shift‖²/2 − shift · z )
+/// ```
+///
+/// This is the importance-sampling weight that makes the shifted estimator
+/// unbiased: `E_shifted[w · 1{fail}] = P(fail)` exactly, and
+/// `E_shifted[w] = 1` (the weights are normalized in expectation).
+///
+/// # Examples
+///
+/// ```
+/// use sram_bitcell::rareevent::likelihood_ratio;
+///
+/// // At the proposal mean (z == shift) the weight is exp(-|s|^2/2) < 1:
+/// let s = [3.0, 0.0];
+/// let w = likelihood_ratio(&s, &s);
+/// assert!((w - (-4.5f64).exp()).abs() < 1e-15);
+/// // With no shift the proposal is the nominal density: weight 1 always.
+/// assert_eq!(likelihood_ratio(&[0.0, 0.0], &[1.7, -0.3]), 1.0);
+/// ```
+pub fn likelihood_ratio(shift: &[f64], z: &[f64]) -> f64 {
+    let mut exponent = 0.0;
+    for (&s, &zi) in shift.iter().zip(z.iter()) {
+        exponent += 0.5 * s * s - s * zi;
+    }
+    exponent.exp()
+}
+
+/// Accumulates weighted failure indicators in sample order and evaluates
+/// the estimator's stopping statistics.
+struct WeightTally {
+    sum_w: f64,
+    sum_w2: f64,
+    failures: usize,
+    samples: usize,
+}
+
+impl WeightTally {
+    fn new() -> Self {
+        Self {
+            sum_w: 0.0,
+            sum_w2: 0.0,
+            failures: 0,
+            samples: 0,
+        }
+    }
+
+    fn push(&mut self, weight: Option<f64>) {
+        self.samples += 1;
+        if let Some(w) = weight {
+            self.sum_w += w;
+            self.sum_w2 += w * w;
+            self.failures += 1;
+        }
+    }
+
+    fn probability(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_w / self.samples as f64
+        }
+    }
+
+    /// Relative standard error of the weighted-mean estimate.
+    fn rse(&self) -> f64 {
+        let n = self.samples as f64;
+        let p = self.probability();
+        if p <= 0.0 || self.samples < 2 {
+            return f64::INFINITY;
+        }
+        let var = ((self.sum_w2 - self.sum_w * self.sum_w / n) / (n - 1.0)).max(0.0);
+        (var / n).sqrt() / p
+    }
+}
+
+/// Runs mean-shifted importance sampling of an arbitrary limit state.
+///
+/// `point` is the failure point the proposal is centred on (scaled by
+/// `options.shift_scale`); `g` is evaluated on every sample, a failure
+/// being `g(z) ≤ 0`. Samples fan out on the `sram_exec` pool with one
+/// forked RNG stream per sample index, and the tally folds in index order —
+/// the estimate is bit-identical at any worker count. Sampling stops at the
+/// end of the first batch where the relative standard error reaches
+/// `options.target_rse` (with at least
+/// [`RareEventOptions::MIN_FAILURES`] failures), or at `options.max_samples`.
+pub fn importance_sample(
+    g: impl Fn(&[f64]) -> f64 + Sync,
+    point: &FailurePoint,
+    options: &RareEventOptions,
+) -> RareEventEstimate {
+    sample_loop(&g, None, point, options)
+}
+
+/// Like [`importance_sample`], but with the expensive limit-state calls
+/// confined to the surrogate's predicted failure boundary.
+///
+/// Each sample first evaluates the (cheap) quadratic surrogate: samples it
+/// places further than its guard band from the boundary are classified by
+/// the surrogate's sign alone; only the ambiguous band pays for an exact
+/// `g` evaluation. The returned estimate's `exact_evals` reports how many
+/// circuit evaluations were actually spent.
+pub fn importance_sample_surrogate(
+    g: impl Fn(&[f64]) -> f64 + Sync,
+    surrogate: &QuadraticSurrogate,
+    point: &FailurePoint,
+    options: &RareEventOptions,
+) -> RareEventEstimate {
+    sample_loop(&g, Some(surrogate), point, options)
+}
+
+fn sample_loop(
+    g: &(impl Fn(&[f64]) -> f64 + Sync),
+    surrogate: Option<&QuadraticSurrogate>,
+    point: &FailurePoint,
+    options: &RareEventOptions,
+) -> RareEventEstimate {
+    assert!(options.batch > 0 && options.max_samples > 0);
+    let dim = point.z.len();
+    let shift: Vec<f64> = point.z.iter().map(|z| z * options.shift_scale).collect();
+
+    let mut tally = WeightTally::new();
+    let mut exact_evals = 0usize;
+    while tally.samples < options.max_samples {
+        let batch = options.batch.min(options.max_samples - tally.samples);
+        let start = tally.samples;
+        // (weight-if-failed, paid-an-exact-eval) per sample; index-ordered.
+        let results: Vec<(Option<f64>, bool)> = sram_exec::par_map_indexed(batch, |i| {
+            let k = (start + i) as u64;
+            let (mut sampler, mut rng) = VtSampler::fork(options.seed, k);
+            let mut z = vec![0.0; dim];
+            sampler.sample_shifted_into(&mut rng, &shift, &mut z);
+            let (failed, exact) = match surrogate {
+                Some(s) => match s.classify(&z) {
+                    Some(failed) => (failed, false),
+                    None => (g(&z) <= 0.0, true),
+                },
+                None => (g(&z) <= 0.0, true),
+            };
+            (failed.then(|| likelihood_ratio(&shift, &z)), exact)
+        });
+        for (weight, exact) in results {
+            tally.push(weight);
+            exact_evals += usize::from(exact);
+        }
+        if tally.failures >= RareEventOptions::MIN_FAILURES && tally.rse() <= options.target_rse {
+            break;
+        }
+    }
+
+    RareEventEstimate {
+        probability: tally.probability().clamp(0.0, 1.0),
+        rse: tally.rse(),
+        samples: tally.samples,
+        failures: tally.failures,
+        exact_evals,
+        beta: point.beta,
+        form_estimate: q_function(point.beta),
+        shift,
+    }
+}
+
+/// Brute-force Monte Carlo over the same limit state (zero shift, unit
+/// weights) — the reference estimator the importance sampler is
+/// cross-validated against in the overlap regime (`p ≥ 1e-2`).
+///
+/// Uses the same per-sample seed streams as [`importance_sample`], so a
+/// brute-force run and a zero-shift importance run of the same seed see
+/// identical ΔVT draws.
+pub fn brute_force(
+    g: impl Fn(&[f64]) -> f64 + Sync,
+    dim: usize,
+    samples: usize,
+    seed: u64,
+) -> RareEventEstimate {
+    assert!(samples > 0);
+    let origin = FailurePoint {
+        z: vec![0.0; dim],
+        beta: 0.0,
+        evaluations: 0,
+    };
+    let options = RareEventOptions {
+        seed,
+        batch: samples,
+        max_samples: samples,
+        target_rse: 0.0,
+        shift_scale: 0.0,
+        ..RareEventOptions::default()
+    };
+    sample_loop(&g, None, &origin, &options)
+}
+
+/// Estimates one 6T failure mechanism's tail probability by mean-shifted
+/// importance sampling: failure-point search, shift, weighted sampling.
+///
+/// Returns a zero-probability estimate (with `beta = options.max_beta` as
+/// the resolution bound) when no failure point exists within the search
+/// radius — the mechanism's probability is below `Q(max_beta)` at this
+/// voltage, indistinguishable from zero for any practical memory.
+pub fn run_6t_tail(
+    cell: &SixTCell,
+    variation: &VariationModel,
+    vdd: Volt,
+    budget: &TimingBudget,
+    env: &crate::timing::ColumnEnvironment,
+    mode: FailureMode,
+    options: &RareEventOptions,
+) -> RareEventEstimate {
+    let sigmas = cell.sigmas(variation);
+    let g = limit_state_6t(cell, &sigmas, vdd, budget, env, mode);
+    match find_failure_point(&g, 6, options.max_beta) {
+        Some(point) => importance_sample(&g, &point, options),
+        None => RareEventEstimate::below_resolution(6, options.max_beta),
+    }
+}
+
+/// Like [`run_6t_tail`] but with the quadratic response-surface surrogate
+/// filtering the exact circuit evaluations to the failure boundary.
+pub fn run_6t_tail_surrogate(
+    cell: &SixTCell,
+    variation: &VariationModel,
+    vdd: Volt,
+    budget: &TimingBudget,
+    env: &crate::timing::ColumnEnvironment,
+    mode: FailureMode,
+    options: &RareEventOptions,
+) -> RareEventEstimate {
+    let sigmas = cell.sigmas(variation);
+    let g = limit_state_6t(cell, &sigmas, vdd, budget, env, mode);
+    match find_failure_point(&g, 6, options.max_beta) {
+        Some(point) => {
+            let surrogate = fit_surrogate(&g, &point);
+            importance_sample_surrogate(&g, &surrogate, &point, options)
+        }
+        None => RareEventEstimate::below_resolution(6, options.max_beta),
+    }
+}
+
+/// Estimates one 8T failure mechanism's tail probability (8-dimensional
+/// ΔVT space: core plus read stack). See [`run_6t_tail`].
+pub fn run_8t_tail(
+    cell: &EightTCell,
+    variation: &VariationModel,
+    vdd: Volt,
+    budget: &TimingBudget,
+    env: &crate::timing::ColumnEnvironment,
+    mode: FailureMode,
+    options: &RareEventOptions,
+) -> RareEventEstimate {
+    let sigmas = cell.sigmas(variation);
+    let g = limit_state_8t(cell, &sigmas, vdd, budget, env, mode);
+    match find_failure_point(&g, 8, options.max_beta) {
+        Some(point) => importance_sample(&g, &point, options),
+        None => RareEventEstimate::below_resolution(8, options.max_beta),
+    }
+}
+
+/// A full quadratic response surface `g̃(z) = c₀ + b·z + z·C·z` fitted to
+/// the limit state around its failure point, with a calibrated guard band
+/// for boundary classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticSurrogate {
+    dim: usize,
+    c0: f64,
+    lin: Vec<f64>,
+    /// Upper-triangle (row-major, including diagonal) quadratic
+    /// coefficients, `dim · (dim + 1) / 2` of them.
+    quad: Vec<f64>,
+    band: f64,
+    residual_rms: f64,
+}
+
+impl QuadraticSurrogate {
+    /// Evaluates the fitted surface at `z`.
+    pub fn eval(&self, z: &[f64]) -> f64 {
+        debug_assert_eq!(z.len(), self.dim);
+        let mut v = self.c0;
+        for (i, &zi) in z.iter().enumerate() {
+            v += self.lin[i] * zi;
+        }
+        let mut k = 0;
+        for i in 0..self.dim {
+            for j in i..self.dim {
+                v += self.quad[k] * z[i] * z[j];
+                k += 1;
+            }
+        }
+        v
+    }
+
+    /// Classifies a sample by the surrogate alone: `Some(failed)` when the
+    /// surface places it further than the guard band from the boundary,
+    /// `None` when it is ambiguous and needs an exact evaluation.
+    pub fn classify(&self, z: &[f64]) -> Option<bool> {
+        let v = self.eval(z);
+        if v > self.band {
+            Some(false)
+        } else if v < -self.band {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// The guard band: samples with `|g̃| ≤ band` pay for an exact
+    /// limit-state evaluation.
+    pub fn band(&self) -> f64 {
+        self.band
+    }
+
+    /// Root-mean-square residual of the fit over its design points.
+    pub fn residual_rms(&self) -> f64 {
+        self.residual_rms
+    }
+}
+
+/// Fits a full quadratic response surface to `g` around the failure point.
+///
+/// The design spans a central composite layout in normalized ΔVT space —
+/// centre, axial points at ±1σ and ±2σ, all pairwise face points — plus
+/// five points along the failure ray (0.5β…1.5β), all evaluated in
+/// parallel on the `sram_exec` pool (deterministically: the design is
+/// fixed, no RNG). Coefficients come from the least-squares normal
+/// equations; the guard band is calibrated to `3×` the fit's RMS residual,
+/// so the surrogate only classifies samples it places well clear of the
+/// boundary.
+pub fn fit_surrogate(g: impl Fn(&[f64]) -> f64 + Sync, point: &FailurePoint) -> QuadraticSurrogate {
+    let dim = point.z.len();
+    let mut design: Vec<Vec<f64>> = Vec::new();
+    design.push(vec![0.0; dim]);
+    for i in 0..dim {
+        for h in [-2.0, -1.0, 1.0, 2.0] {
+            let mut p = vec![0.0; dim];
+            p[i] = h;
+            design.push(p);
+        }
+    }
+    for i in 0..dim {
+        for j in (i + 1)..dim {
+            for (si, sj) in [(1.0, 1.0), (1.0, -1.0)] {
+                let mut p = vec![0.0; dim];
+                p[i] = si;
+                p[j] = sj;
+                design.push(p);
+            }
+        }
+    }
+    if point.beta > 0.0 {
+        for scale in [0.5, 0.75, 1.0, 1.25, 1.5] {
+            design.push(point.z.iter().map(|z| z * scale).collect());
+        }
+    }
+
+    let values = sram_exec::par_map(&design, |p| g(p));
+
+    // Least squares on the monomial basis [1, z_i, z_i z_j (i <= j)].
+    let n_quad = dim * (dim + 1) / 2;
+    let n_params = 1 + dim + n_quad;
+    let basis = |z: &[f64]| -> Vec<f64> {
+        let mut row = Vec::with_capacity(n_params);
+        row.push(1.0);
+        row.extend_from_slice(z);
+        for i in 0..dim {
+            for j in i..dim {
+                row.push(z[i] * z[j]);
+            }
+        }
+        row
+    };
+
+    // Normal equations XᵀX θ = Xᵀy.
+    let mut ata = vec![0.0; n_params * n_params];
+    let mut aty = vec![0.0; n_params];
+    for (p, &y) in design.iter().zip(values.iter()) {
+        let row = basis(p);
+        for (a, &ra) in row.iter().enumerate() {
+            aty[a] += ra * y;
+            for (b, &rb) in row.iter().enumerate() {
+                ata[a * n_params + b] += ra * rb;
+            }
+        }
+    }
+    let theta = solve_dense(&mut ata, &mut aty, n_params);
+
+    let mut s = QuadraticSurrogate {
+        dim,
+        c0: theta[0],
+        lin: theta[1..1 + dim].to_vec(),
+        quad: theta[1 + dim..].to_vec(),
+        band: 0.0,
+        residual_rms: 0.0,
+    };
+    let mse = design
+        .iter()
+        .zip(values.iter())
+        .map(|(p, &y)| {
+            let r = s.eval(p) - y;
+            r * r
+        })
+        .sum::<f64>()
+        / design.len() as f64;
+    s.residual_rms = mse.sqrt();
+    // 3x the fit residual, floored to keep a sliver of exact evaluation
+    // even for an exactly-quadratic limit state (the cross-validation
+    // surface the estimator's correctness rests on).
+    s.band = (3.0 * s.residual_rms).max(1e-9);
+    s
+}
+
+/// Solves the dense symmetric system `A x = b` (row-major `A`, `n × n`) by
+/// Gaussian elimination with partial pivoting. `A` and `b` are consumed as
+/// scratch.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    debug_assert_eq!(a.len(), n * n);
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        if diag.abs() < 1e-300 {
+            continue; // singular column: leave as zero contribution
+        }
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col * n + k] * x[k];
+        }
+        let diag = a[col * n + col];
+        x[col] = if diag.abs() < 1e-300 { 0.0 } else { acc / diag };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linear limit state `g(z) = beta − d·z` with unit `d`: the exact
+    /// failure probability is `Q(beta)` and the MPFP is `beta·d`.
+    fn linear_g(beta: f64, dir: Vec<f64>) -> impl Fn(&[f64]) -> f64 + Sync {
+        let norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt();
+        let unit: Vec<f64> = dir.iter().map(|d| d / norm).collect();
+        move |z: &[f64]| beta - unit.iter().zip(z.iter()).map(|(d, z)| d * z).sum::<f64>()
+    }
+
+    #[test]
+    fn failure_point_recovers_linear_beta() {
+        let g = linear_g(3.0, vec![1.0, 2.0, -1.0, 0.5]);
+        let fp = find_failure_point(&g, 4, 10.0).expect("failure exists");
+        assert!((fp.beta - 3.0).abs() < 1e-3, "beta {}", fp.beta);
+        // The point itself sits on the boundary.
+        assert!(g(&fp.z).abs() < 1e-3);
+    }
+
+    #[test]
+    fn failure_point_handles_failing_origin() {
+        let g = |_z: &[f64]| -1.0;
+        let fp = find_failure_point(g, 3, 10.0).expect("origin fails");
+        assert_eq!(fp.beta, 0.0);
+        assert_eq!(fp.z, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn failure_point_reports_unreachable_failure() {
+        let g = |_z: &[f64]| 1.0; // never fails, flat
+        assert!(find_failure_point(g, 4, 10.0).is_none());
+        let g = |z: &[f64]| 50.0 - z[0]; // fails only beyond 10 sigma
+        assert!(find_failure_point(g, 2, 10.0).is_none());
+    }
+
+    #[test]
+    fn importance_sampling_matches_exact_linear_tail() {
+        // Q(4) ≈ 3.17e-5: far beyond a 2048-sample brute-force run, easily
+        // resolved by the shifted estimator.
+        let g = linear_g(4.0, vec![1.0, -1.0, 0.3, 0.0, 2.0, 1.0]);
+        let fp = find_failure_point(&g, 6, 10.0).expect("failure exists");
+        let est = importance_sample(&g, &fp, &RareEventOptions::default());
+        let exact = q_function(4.0);
+        assert!(est.resolved());
+        assert!(est.rse <= 0.2, "rse {}", est.rse);
+        let sigma = est.probability * est.rse;
+        assert!(
+            (est.probability - exact).abs() < 5.0 * sigma + 1e-9,
+            "IS {} vs exact {exact} (rse {})",
+            est.probability,
+            est.rse
+        );
+        assert_eq!(est.exact_evals, est.samples);
+    }
+
+    #[test]
+    fn zero_shift_reduces_to_brute_force() {
+        // p = Q(1) ≈ 0.159: both estimators resolve it; with the same seed
+        // and a zero shift they must agree exactly (same draws, unit
+        // weights).
+        let g = linear_g(1.0, vec![1.0, 1.0]);
+        let brute = brute_force(&g, 2, 512, 99);
+        let origin = FailurePoint {
+            z: vec![0.0; 2],
+            beta: 0.0,
+            evaluations: 0,
+        };
+        let opts = RareEventOptions {
+            seed: 99,
+            batch: 512,
+            max_samples: 512,
+            target_rse: 0.0,
+            shift_scale: 1.0,
+            ..RareEventOptions::default()
+        };
+        let shifted = importance_sample(&g, &origin, &opts);
+        assert_eq!(brute.probability, shifted.probability);
+        assert_eq!(brute.failures, shifted.failures);
+    }
+
+    #[test]
+    fn below_resolution_estimate_is_inert() {
+        let est = RareEventEstimate::below_resolution(6, 10.0);
+        assert_eq!(est.probability, 0.0);
+        assert!(!est.resolved());
+        assert!(est.form_estimate < 1e-20);
+    }
+
+    #[test]
+    fn weight_tally_statistics() {
+        let mut t = WeightTally::new();
+        for _ in 0..50 {
+            t.push(Some(2.0));
+        }
+        for _ in 0..50 {
+            t.push(None);
+        }
+        assert_eq!(t.probability(), 1.0);
+        // Equal-weight Bernoulli(0.5) scaled by 2: rse = sqrt(var/n)/p.
+        assert!(t.rse() > 0.0 && t.rse() < 1.0);
+    }
+
+    #[test]
+    fn surrogate_reproduces_exact_quadratic() {
+        let g = |z: &[f64]| 2.0 - z[0] - 0.5 * z[1] + 0.25 * z[0] * z[1] - 0.1 * z[1] * z[1];
+        let fp = find_failure_point(g, 2, 10.0).expect("failure exists");
+        let s = fit_surrogate(g, &fp);
+        assert!(s.residual_rms() < 1e-8, "rms {}", s.residual_rms());
+        for z in [[0.3, -1.2], [2.0, 2.0], [-1.0, 0.5]] {
+            assert!((s.eval(&z) - g(&z)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn surrogate_filter_matches_plain_is_on_smooth_state() {
+        let g = linear_g(3.0, vec![1.0, 0.5, -0.5, 1.0]);
+        let fp = find_failure_point(&g, 4, 10.0).expect("failure exists");
+        let opts = RareEventOptions {
+            seed: 5,
+            ..RareEventOptions::default()
+        };
+        let plain = importance_sample(&g, &fp, &opts);
+        let s = fit_surrogate(&g, &fp);
+        let filtered = importance_sample_surrogate(&g, &s, &fp, &opts);
+        // A near-exact surrogate classifies almost everything itself...
+        assert!(
+            filtered.exact_evals < filtered.samples / 10,
+            "exact {} of {}",
+            filtered.exact_evals,
+            filtered.samples
+        );
+        // ...and the estimates agree to statistical precision.
+        let sigma = plain.probability * plain.rse + filtered.probability * filtered.rse;
+        assert!(
+            (plain.probability - filtered.probability).abs() <= 5.0 * sigma + 1e-12,
+            "plain {} vs filtered {}",
+            plain.probability,
+            filtered.probability
+        );
+    }
+
+    #[test]
+    fn solve_dense_inverts_small_system() {
+        // [[2, 1], [1, 3]] x = [5, 10] -> x = [1, 3].
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        let x = solve_dense(&mut a, &mut b, 2);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(FailureMode::ReadAccess.name(), "read_access");
+        assert_eq!(FailureMode::Write.name(), "write");
+        assert_eq!(FailureMode::ReadDisturb.name(), "read_disturb");
+        assert_eq!(FailureMode::Hold.name(), "hold");
+    }
+}

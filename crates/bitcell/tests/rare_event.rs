@@ -1,0 +1,313 @@
+//! Integration and property tests for the rare-event estimator.
+//!
+//! Three contracts are pinned here, matching `docs/METHODS.md`:
+//!
+//! 1. **Weight algebra.** The likelihood ratio is the exact density ratio
+//!    `φ(z)/φ(z − s)` for *arbitrary* shift vectors — finite, positive,
+//!    and normalized (`E_shifted[w] = 1`) — so the shifted estimator is
+//!    unbiased by construction, not by tuning.
+//! 2. **Cross-validation in the overlap regime.** Wherever brute-force
+//!    Monte Carlo can still resolve the probability (p ≥ 1e-2), the
+//!    importance-sampled estimate agrees within its confidence interval —
+//!    on analytic limit states (exact answer known) and on the real 6T
+//!    circuit at the paper's lowest voltage.
+//! 3. **Determinism.** Estimates are bit-identical at 1, 2 and 4 workers —
+//!    the `sram_exec` reproducibility guarantee holds through the adaptive
+//!    batching and the surrogate filter.
+
+use proptest::prelude::*;
+use sram_bitcell::montecarlo::q_function;
+use sram_bitcell::prelude::*;
+use sram_bitcell::rareevent::{
+    brute_force, find_failure_point, importance_sample, likelihood_ratio, run_6t_tail,
+    run_6t_tail_surrogate, FailureMode, FailurePoint, RareEventOptions,
+};
+use sram_device::prelude::*;
+use sram_device::variation::VariationModel;
+
+/// Log-density of the standard normal at `z` (up to the constant, which
+/// cancels in the ratio).
+fn log_phi(z: &[f64]) -> f64 {
+    -0.5 * z.iter().map(|x| x * x).sum::<f64>()
+}
+
+proptest! {
+    /// The one-exponential weight equals the explicit density ratio
+    /// `φ(z)/φ(z − s)` for arbitrary shifts and sample points.
+    #[test]
+    fn weight_is_the_exact_density_ratio(
+        s in prop::collection::vec(-5.0f64..5.0, 1..8),
+        u in prop::collection::vec(-4.0f64..4.0, 8),
+    ) {
+        let z: Vec<f64> = s.iter().zip(u.iter()).map(|(s, u)| s + u).collect();
+        let w = likelihood_ratio(&s, &z);
+        let centered: Vec<f64> = z.iter().zip(s.iter()).map(|(z, s)| z - s).collect();
+        let explicit = (log_phi(&z) - log_phi(&centered)).exp();
+        prop_assert!(w.is_finite() && w > 0.0, "w = {w}");
+        prop_assert!(
+            (w - explicit).abs() <= 1e-9 * explicit.max(1.0),
+            "one-exponential {w} vs explicit ratio {explicit}"
+        );
+    }
+
+    /// Weights stay finite and strictly positive even for extreme shift
+    /// vectors (the estimator may be *inefficient* there, never invalid).
+    #[test]
+    fn weights_finite_for_arbitrary_shifts(
+        s in prop::collection::vec(-12.0f64..12.0, 1..9),
+        u in prop::collection::vec(-5.0f64..5.0, 9),
+    ) {
+        let z: Vec<f64> = s.iter().zip(u.iter()).map(|(s, u)| s + u).collect();
+        let w = likelihood_ratio(&s, &z);
+        prop_assert!(w.is_finite(), "w = {w} for shift {s:?}");
+        prop_assert!(w > 0.0, "w = {w} for shift {s:?}");
+    }
+
+    /// Normalization: the empirical mean weight over draws from the
+    /// *shifted* proposal converges to 1 (moderate shifts, where the weight
+    /// variance e^{|s|²} − 1 keeps the 4096-sample mean testable).
+    #[test]
+    fn weights_are_normalized_in_expectation(
+        s in prop::collection::vec(-0.6f64..0.6, 1..7),
+        seed in 0u64..1u64 << 48,
+    ) {
+        let dim = s.len();
+        let n = 4096usize;
+        let mut sum = 0.0;
+        for k in 0..n {
+            let (mut sampler, mut rng) =
+                sram_device::variation::VtSampler::fork(seed, k as u64);
+            let mut z = vec![0.0; dim];
+            sampler.sample_shifted_into(&mut rng, &s, &mut z);
+            sum += likelihood_ratio(&s, &z);
+        }
+        let mean = sum / n as f64;
+        // Var(w) = e^{|s|²} − 1 ≤ e^{2.16} − 1 ≈ 7.7 for |s_i| ≤ 0.6, dim ≤ 6:
+        // a 5-sigma band on the 4096-sample mean stays within ~0.22 of 1.
+        let var = (s.iter().map(|x| x * x).sum::<f64>().exp() - 1.0).max(1e-12);
+        let band = 5.0 * (var / n as f64).sqrt() + 1e-6;
+        prop_assert!((mean - 1.0).abs() < band, "E[w] = {mean}, band {band}, s {s:?}");
+    }
+
+    /// On a linear limit state the exact tail is Q(beta); the full pipeline
+    /// (failure-point search + shifted sampling) must reproduce it within
+    /// its own reported confidence interval.
+    #[test]
+    fn pipeline_matches_exact_linear_tail(
+        beta in 2.0f64..5.5,
+        dir in prop::collection::vec(0.2f64..2.0, 2..7),
+        seed in 0u64..1u64 << 48,
+    ) {
+        let norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt();
+        let unit: Vec<f64> = dir.iter().map(|d| d / norm).collect();
+        let dim = unit.len();
+        let g = move |z: &[f64]| {
+            beta - unit.iter().zip(z.iter()).map(|(d, z)| d * z).sum::<f64>()
+        };
+        let fp = find_failure_point(&g, dim, 10.0).expect("linear state always fails");
+        prop_assert!((fp.beta - beta).abs() < 2e-3, "beta {} vs {beta}", fp.beta);
+        let opts = RareEventOptions { seed, ..RareEventOptions::default() };
+        let est = importance_sample(&g, &fp, &opts);
+        let exact = q_function(beta);
+        prop_assert!(est.resolved());
+        let sigma = est.probability * est.rse;
+        prop_assert!(
+            (est.probability - exact).abs() < 6.0 * sigma + 1e-12,
+            "IS {} (rse {}) vs exact {exact}",
+            est.probability, est.rse
+        );
+    }
+
+    /// Overlap-regime cross-validation on analytic states: where p ≥ 1e-2,
+    /// brute-force MC and the shifted estimator agree within their combined
+    /// confidence intervals.
+    #[test]
+    fn matches_brute_force_in_overlap_regime(
+        beta in 0.5f64..2.3, // Q(2.3) ≈ 1.1e-2: stays in the overlap regime
+        seed in 0u64..1u64 << 48,
+    ) {
+        let g = move |z: &[f64]| beta - z[0];
+        let exact = q_function(beta);
+        prop_assert!(exact >= 1e-2);
+        let brute = brute_force(g, 2, 4096, seed);
+        let fp = find_failure_point(g, 2, 10.0).expect("failure exists");
+        let est = importance_sample(
+            g,
+            &fp,
+            &RareEventOptions { seed, target_rse: 0.05, ..RareEventOptions::default() },
+        );
+        let sigma = (brute.probability * brute.rse).hypot(est.probability * est.rse);
+        prop_assert!(
+            (brute.probability - est.probability).abs() < 6.0 * sigma + 1e-12,
+            "brute {} (rse {}) vs IS {} (rse {})",
+            brute.probability, brute.rse, est.probability, est.rse
+        );
+    }
+}
+
+/// Shared fixture: paper 6T cell, variation model, 256-row column.
+fn fixture() -> (SixTCell, VariationModel, ColumnEnvironment, EightTCell) {
+    let tech = Technology::ptm_22nm();
+    let (cell6, cell8) = paper_cells(&tech);
+    let variation = VariationModel::new(&tech);
+    (cell6, variation, ColumnEnvironment::rows_256(), cell8)
+}
+
+/// Cheap test options: read-access only needs ~tens of µs per evaluation,
+/// so a few hundred samples stay fast even in debug builds.
+fn quick_options(seed: u64) -> RareEventOptions {
+    RareEventOptions {
+        seed,
+        batch: 64,
+        max_samples: 256,
+        ..RareEventOptions::default()
+    }
+}
+
+#[test]
+fn real_circuit_overlap_cross_validation() {
+    // At 0.60 V the 6T read-access failure rate is ~4e-2 — squarely in the
+    // brute-force regime. The two estimators sample the *same* limit state
+    // with independent strategies and must agree within combined CIs.
+    let (cell6, variation, env, cell8) = fixture();
+    let vdd = Volt::new(0.60);
+    let budget = TimingBudget::from_nominal_split(&cell6, &cell8, vdd, &env, 2.0, 2.5);
+    let sigmas = cell6.sigmas(&variation);
+    let g = sram_bitcell::rareevent::limit_state_6t(
+        &cell6,
+        &sigmas,
+        vdd,
+        &budget,
+        &env,
+        FailureMode::ReadAccess,
+    );
+    let brute = brute_force(&g, 6, 512, 7);
+    let est = run_6t_tail(
+        &cell6,
+        &variation,
+        vdd,
+        &budget,
+        &env,
+        FailureMode::ReadAccess,
+        &quick_options(7),
+    );
+    assert!(
+        brute.probability >= 1e-2,
+        "not in overlap: {}",
+        brute.probability
+    );
+    assert!(est.resolved());
+    let sigma = (brute.probability * brute.rse).hypot(est.probability * est.rse);
+    assert!(
+        (brute.probability - est.probability).abs() < 5.0 * sigma,
+        "brute {} (rse {}) vs IS {} (rse {})",
+        brute.probability,
+        brute.rse,
+        est.probability,
+        est.rse
+    );
+}
+
+#[test]
+fn real_circuit_reaches_1e9_tail_with_bounded_error() {
+    // The acceptance bar: a 1e-9-scale tail probability with RSE ≤ 0.2.
+    // At 1.20 V the 6T read-access boundary sits ~5.9 sigmas out.
+    let (cell6, variation, env, cell8) = fixture();
+    let vdd = Volt::new(1.20);
+    let budget = TimingBudget::from_nominal_split(&cell6, &cell8, vdd, &env, 2.0, 2.5);
+    let est = run_6t_tail(
+        &cell6,
+        &variation,
+        vdd,
+        &budget,
+        &env,
+        FailureMode::ReadAccess,
+        &RareEventOptions::default(),
+    );
+    assert!(est.resolved(), "{est:?}");
+    assert!(est.probability > 1e-10 && est.probability < 1e-8, "{est:?}");
+    assert!(est.rse <= 0.2, "rse {}", est.rse);
+    // The sampled estimate and the analytic FORM anchor agree to a small
+    // factor (the boundary is near-linear at this distance).
+    let ratio = est.probability / est.form_estimate;
+    assert!((0.2..5.0).contains(&ratio), "IS/FORM ratio {ratio}");
+}
+
+#[test]
+fn surrogate_agrees_with_plain_is_on_real_circuit() {
+    let (cell6, variation, env, cell8) = fixture();
+    let vdd = Volt::new(0.70);
+    let budget = TimingBudget::from_nominal_split(&cell6, &cell8, vdd, &env, 2.0, 2.5);
+    let opts = quick_options(21);
+    let mode = FailureMode::ReadAccess;
+    let plain = run_6t_tail(&cell6, &variation, vdd, &budget, &env, mode, &opts);
+    let filtered = run_6t_tail_surrogate(&cell6, &variation, vdd, &budget, &env, mode, &opts);
+    assert!(plain.resolved() && filtered.resolved());
+    // The surrogate must actually save circuit evaluations...
+    assert!(
+        filtered.exact_evals < filtered.samples,
+        "surrogate filtered nothing: {} of {}",
+        filtered.exact_evals,
+        filtered.samples
+    );
+    // ...without moving the estimate beyond combined statistical error.
+    let sigma = (plain.probability * plain.rse).hypot(filtered.probability * filtered.rse);
+    assert!(
+        (plain.probability - filtered.probability).abs() < 5.0 * sigma,
+        "plain {} vs surrogate-filtered {}",
+        plain.probability,
+        filtered.probability
+    );
+}
+
+#[test]
+fn estimates_bit_identical_across_worker_counts() {
+    // The sram_exec contract carried through the whole estimator: same
+    // options → byte-for-byte identical estimate at 1, 2 and 4 workers.
+    let (cell6, variation, env, cell8) = fixture();
+    let vdd = Volt::new(0.65);
+    let budget = TimingBudget::from_nominal_split(&cell6, &cell8, vdd, &env, 2.0, 2.5);
+    let opts = quick_options(3);
+    let run = || {
+        run_6t_tail(
+            &cell6,
+            &variation,
+            vdd,
+            &budget,
+            &env,
+            FailureMode::ReadAccess,
+            &opts,
+        )
+    };
+    let mut estimates = Vec::new();
+    for workers in [1usize, 2, 4] {
+        sram_exec::set_threads(workers);
+        estimates.push(run());
+    }
+    sram_exec::clear_threads();
+    assert_eq!(estimates[0], estimates[1], "1 vs 2 workers");
+    assert_eq!(estimates[0], estimates[2], "1 vs 4 workers");
+}
+
+#[test]
+fn brute_force_shares_the_sample_stream_with_zero_shift_is() {
+    // brute_force(seed) and a zero-shift importance run of the same seed
+    // draw identical ΔVT vectors, so their estimates match exactly.
+    let g = |z: &[f64]| 1.5 - z[0] - 0.5 * z[1];
+    let brute = brute_force(g, 2, 1024, 13);
+    let origin = FailurePoint {
+        z: vec![0.0; 2],
+        beta: 0.0,
+        evaluations: 0,
+    };
+    let opts = RareEventOptions {
+        seed: 13,
+        batch: 1024,
+        max_samples: 1024,
+        target_rse: 0.0,
+        ..RareEventOptions::default()
+    };
+    let shifted = importance_sample(g, &origin, &opts);
+    assert_eq!(brute.probability, shifted.probability);
+    assert_eq!(brute.failures, shifted.failures);
+}

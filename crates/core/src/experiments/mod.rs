@@ -6,6 +6,7 @@
 pub mod conventions;
 pub mod ecc;
 pub mod fig5;
+pub mod fig5ext;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

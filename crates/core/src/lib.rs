@@ -37,7 +37,7 @@ pub mod sensitivity;
 pub mod prelude {
     pub use crate::config::MemoryConfig;
     pub use crate::experiments::{
-        conventions, ecc, fig5, fig6, fig7, fig8, fig9, knee, paper_vdd_grid, periphery,
+        conventions, ecc, fig5, fig5ext, fig6, fig7, fig8, fig9, knee, paper_vdd_grid, periphery,
         redundancy, system_energy, table1, workload, ExperimentContext,
     };
     pub use crate::framework::{AccuracyStats, Framework};

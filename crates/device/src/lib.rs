@@ -29,6 +29,7 @@
 //! assert!(i_on.amps() / i_off.amps() > 1e4);
 //! # Ok::<(), sram_device::error::DeviceError>(())
 //! ```
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod mosfet;

@@ -160,6 +160,77 @@ impl VtSampler {
             *slot = self.sample_delta_vt(rng, s);
         }
     }
+
+    /// Fills `z` with **mean-shifted** standard-normal draws: `z[i] =
+    /// shift[i] + N(0, 1)`.
+    ///
+    /// This is the sampling primitive behind mean-shifted importance
+    /// sampling (`sram_bitcell::rareevent`): the proposal distribution is a
+    /// unit-variance Gaussian centred on the most-probable failure point in
+    /// normalized ΔVT space instead of on the origin. The underlying
+    /// standard-normal stream is *identical* to the unshifted one — with a
+    /// zero shift this draws exactly what [`VtSampler::sample_cell_into`]
+    /// would scale, so shifted and nominal runs of the same `(seed, stream)`
+    /// share their randomness and differ only by the deterministic offset.
+    ///
+    /// Draws exactly `z.len().min(shift.len())` values.
+    pub fn sample_shifted_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        shift: &[f64],
+        z: &mut [f64],
+    ) {
+        for (slot, &s) in z.iter_mut().zip(shift.iter()) {
+            *slot = s + self.standard_normal(rng);
+        }
+    }
+
+    /// Draws a whole cell's ΔVT vector from the **mean-shifted** proposal:
+    /// `z[i] = shift[i] + N(0, 1)` in normalized space, `deltas[i] = z[i] ·
+    /// sigmas[i]` in volts.
+    ///
+    /// `shift` is expressed in per-device sigma units, so the same shift
+    /// vector applies across cells whose transistors are sized (and hence
+    /// Pelgrom-scaled) differently. The realized normalized draws are
+    /// returned through `z` because the importance-sampling weight — the
+    /// exact Gaussian likelihood ratio `φ(z)/φ(z − shift)` — is a function
+    /// of `z`, not of the voltage-domain deltas.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_device::units::Volt;
+    /// use sram_device::variation::VtSampler;
+    ///
+    /// let sigmas = [Volt::from_millivolts(40.0); 6];
+    /// let shift = [2.5, 0.0, 0.0, 0.0, 0.0, 0.0];
+    /// let (mut sampler, mut rng) = VtSampler::fork(7, 0);
+    /// let mut deltas = [Volt::new(0.0); 6];
+    /// let mut z = [0.0f64; 6];
+    /// sampler.sample_cell_shifted_into(&mut rng, &sigmas, &shift, &mut deltas, &mut z);
+    /// // The voltage-domain delta is the normalized draw scaled by sigma...
+    /// assert!((deltas[0].volts() - z[0] * 0.040).abs() < 1e-15);
+    /// // ...and a zero shift replays the unshifted stream exactly.
+    /// let (mut nominal, mut rng2) = VtSampler::fork(7, 0);
+    /// let mut plain = [Volt::new(0.0); 6];
+    /// nominal.sample_cell_into(&mut rng2, &sigmas, &mut plain);
+    /// assert_eq!(deltas[1], plain[1]); // shift[1] == 0.0
+    /// ```
+    pub fn sample_cell_shifted_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        sigmas: &[Volt],
+        shift: &[f64],
+        deltas: &mut [Volt],
+        z: &mut [f64],
+    ) {
+        let n = sigmas.len().min(shift.len()).min(deltas.len()).min(z.len());
+        for i in 0..n {
+            let draw = shift[i] + self.standard_normal(rng);
+            z[i] = draw;
+            deltas[i] = Volt::new(draw * sigmas[i].volts());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +335,45 @@ mod tests {
             .map(|_| sampler.sample_delta_vt(&mut sequential, sigma))
             .collect();
         assert_ne!(draw(0), base);
+    }
+
+    #[test]
+    fn shifted_draws_share_the_nominal_stream() {
+        let sigmas = [Volt::from_millivolts(40.0); 6];
+        let shift = [1.5, -2.0, 0.0, 3.0, 0.0, -0.5];
+        let (mut shifted, mut rng_s) = VtSampler::fork(31, 4);
+        let mut deltas = [Volt::new(0.0); 6];
+        let mut z = [0.0f64; 6];
+        shifted.sample_cell_shifted_into(&mut rng_s, &sigmas, &shift, &mut deltas, &mut z);
+
+        let (mut nominal, mut rng_n) = VtSampler::fork(31, 4);
+        let mut plain = [Volt::new(0.0); 6];
+        nominal.sample_cell_into(&mut rng_n, &sigmas, &mut plain);
+
+        for i in 0..6 {
+            // z is the nominal standard draw plus the deterministic shift...
+            let u = plain[i].volts() / sigmas[i].volts();
+            assert!((z[i] - (u + shift[i])).abs() < 1e-12, "component {i}");
+            // ...and the voltage delta is z scaled back by sigma.
+            assert!((deltas[i].volts() - z[i] * sigmas[i].volts()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn shifted_sample_mean_tracks_the_shift() {
+        let mut sampler = VtSampler::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let shift = [2.0, -1.0];
+        let mut sum = [0.0f64; 2];
+        let n = 50_000;
+        for _ in 0..n {
+            let mut z = [0.0f64; 2];
+            sampler.sample_shifted_into(&mut rng, &shift, &mut z);
+            sum[0] += z[0];
+            sum[1] += z[1];
+        }
+        assert!((sum[0] / n as f64 - 2.0).abs() < 0.02);
+        assert!((sum[1] / n as f64 + 1.0).abs() < 0.02);
     }
 
     #[test]

@@ -51,6 +51,8 @@ const BASELINE: &str = "crates/bench/BENCH.json";
 /// when results shift within solver tolerance).
 const TRACKED: &[&str] = &[
     "monte_carlo/mc_6t_100_samples",
+    "rare/is_6t_tail",
+    "rare/surrogate_6t_tail",
     "read_access_time_6t",
     "read_access_time_8t",
     "write_margin",
