@@ -285,17 +285,22 @@ impl Mlp {
         trace
     }
 
-    /// Predicted class per batch row: arg-max of the output activations.
+    /// Predicted class per batch row: arg-max of the output activations,
+    /// ties broken to the **lowest** class index (so the float evaluator
+    /// and the fixed-point serving datapath agree on tied rows).
     pub fn predict(&self, inputs: &Matrix) -> Vec<usize> {
         let out = self.forward(inputs);
         (0..out.rows())
             .map(|r| {
                 let row = out.row(r);
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("activations are finite"))
-                    .map(|(i, _)| i)
-                    .expect("non-empty output row")
+                assert!(!row.is_empty(), "non-empty output row");
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
             })
             .collect()
     }
@@ -304,6 +309,19 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn predict_ties_break_to_the_lowest_index() {
+        // Zero weights and biases: every output is sigmoid(0) = 0.5, an
+        // exact many-way tie. The argmax must pick class 0 for every row
+        // (a last-max argmax would report the final class instead),
+        // matching the fixed-point serving datapath's tie-break.
+        let mlp = Mlp {
+            layers: vec![DenseLayer::zeros(4, 3)],
+        };
+        let inputs = Matrix::from_vec(2, 4, vec![0.1, 0.9, 0.4, 0.2, 0.7, 0.3, 0.8, 0.5]);
+        assert_eq!(mlp.predict(&inputs), vec![0, 0]);
+    }
 
     #[test]
     fn sigmoid_anchors() {

@@ -41,7 +41,8 @@ use crate::organization::{SynapticMemoryMap, WordAddress};
 use fault_inject::injector::{geometric_indices, sample_read_mask, InjectionStats};
 use fault_inject::model::{WordFailureModel, WORD_BITS};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+use sram_exec::derive_seed;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Seed-stream derivation shared by the monolithic [`SynapticMemory`]
@@ -90,6 +91,13 @@ pub mod streams {
         derive_seed(derive_seed(bulk_seed, DOMAIN_BULK), bank as u64)
     }
 
+    /// Seed of the `(base seed, bank)` write-fault stream family — the two
+    /// outer derivations of [`word_write_seed`], hoisted so bulk row loads
+    /// do one derivation per word instead of three.
+    pub fn bank_write_seed(base_seed: u64, bank: usize) -> u64 {
+        derive_seed(derive_seed(base_seed, DOMAIN_WRITE), bank as u64)
+    }
+
     /// The persistent write-fault mask of word `(bank, offset)` under
     /// `model`: bit i of the result is set when storing bit i fails.
     /// Deterministic — the same weak cell corrupts every rewrite.
@@ -104,6 +112,37 @@ pub mod streams {
         }
         mask
     }
+}
+
+/// `2⁵³` as an `f64` — the scale of the workspace RNG's 53-bit uniform
+/// draw `(next_u64() >> 11) · 2⁻⁵³`.
+const F64_DRAW_SCALE: f64 = (1u64 << 53) as f64;
+
+/// The integer comparison threshold that replays `rng.gen::<f64>() < p`
+/// exactly: the 53-bit draw `x = next_u64() >> 11` is an exact integer,
+/// scaling it by `2⁻⁵³` is exact, and an integer is below a real threshold
+/// iff it is below that threshold's ceiling, so
+/// `x · 2⁻⁵³ < p  ⟺  x < ceil(p · 2⁵³)` bit-for-bit. Multiplying a
+/// probability in `[0, 1]` by a power of two is itself exact in `f64`, so
+/// the precomputed threshold carries no rounding at all.
+fn draw_threshold(p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    (p * F64_DRAW_SCALE).ceil() as u64
+}
+
+/// The active fault bits of one bank for one access direction: `(bit mask,
+/// integer draw threshold)` per bit with positive probability, in bit
+/// order — exactly the bits (and the order) the scalar per-bit sampling
+/// loops draw for.
+type ActiveBits = Vec<(u8, u64)>;
+
+fn active_bits(probability: impl Fn(usize) -> f64) -> ActiveBits {
+    (0..WORD_BITS)
+        .filter_map(|bit| {
+            let p = probability(bit);
+            (p > 0.0).then(|| (1u8 << bit, draw_threshold(p)))
+        })
+        .collect()
 }
 
 /// Access counters for energy accounting.
@@ -164,22 +203,132 @@ pub(crate) struct BankModels {
     write_faulty: Vec<bool>,
     /// `true` when the bank's model can corrupt a read.
     read_faulty: Vec<bool>,
+    /// Per-bank integer draw thresholds for read faults, active bits only.
+    read_thresholds: Vec<ActiveBits>,
+    /// Per-bank integer draw thresholds for write faults, active bits only.
+    write_thresholds: Vec<ActiveBits>,
+    /// `true` when any bank can corrupt a read.
+    any_read_faulty: bool,
 }
 
 impl BankModels {
     pub(crate) fn new(models: Vec<WordFailureModel>) -> Self {
-        let write_faulty = models
+        let read_thresholds: Vec<ActiveBits> = models
             .iter()
-            .map(|m| (0..WORD_BITS).any(|b| m.write_probability(b) > 0.0))
+            .map(|m| active_bits(|b| m.read_probability(b)))
             .collect();
-        let read_faulty = models
+        let write_thresholds: Vec<ActiveBits> = models
             .iter()
-            .map(|m| (0..WORD_BITS).any(|b| m.read_probability(b) > 0.0))
+            .map(|m| active_bits(|b| m.write_probability(b)))
             .collect();
+        let write_faulty: Vec<bool> = write_thresholds.iter().map(|t| !t.is_empty()).collect();
+        let read_faulty: Vec<bool> = read_thresholds.iter().map(|t| !t.is_empty()).collect();
+        let any_read_faulty = read_faulty.iter().any(|&f| f);
         Self {
             models,
             write_faulty,
             read_faulty,
+            read_thresholds,
+            write_thresholds,
+            any_read_faulty,
+        }
+    }
+
+    /// `true` when no bank can corrupt a read — reads then draw zero
+    /// randomness and return stored bytes verbatim, which is what lets the
+    /// serving layer share one physical row fetch across a whole
+    /// micro-batch without perturbing any request's fault stream.
+    pub(crate) fn read_fault_free(&self) -> bool {
+        !self.any_read_faulty
+    }
+
+    /// Samples read-fault masks for `out.len()` consecutive words of
+    /// `bank` from `rng`, filling `out` and returning the number of set
+    /// fault bits.
+    ///
+    /// Draw-for-draw identical to `out.len()` calls of
+    /// [`sample_read_mask`] against the bank's model: one 53-bit draw per
+    /// active bit per word, in bit order, compared against the
+    /// [`draw_threshold`] integer image of `rng.gen::<f64>() < p`. Banks
+    /// with no faulting bits consume no randomness at all, exactly like
+    /// the scalar path.
+    pub(crate) fn sample_read_masks_into<R: Rng + ?Sized>(
+        &self,
+        bank: usize,
+        rng: &mut R,
+        out: &mut [u8],
+    ) -> u64 {
+        if !self.read_faulty[bank] {
+            out.fill(0);
+            return 0;
+        }
+        let bits = &self.read_thresholds[bank];
+        let mut fault_bits = 0u64;
+        for slot in out.iter_mut() {
+            let mut mask = 0u8;
+            for &(bit_mask, threshold) in bits {
+                if (rng.next_u64() >> 11) < threshold {
+                    mask |= bit_mask;
+                }
+            }
+            fault_bits += u64::from(mask.count_ones());
+            *slot = mask;
+        }
+        fault_bits
+    }
+
+    /// XORs the persistent write-fault masks of the consecutive words
+    /// `offset_start..offset_start + words.len()` of `bank` into `words`.
+    ///
+    /// Byte-identical to calling [`streams::write_mask`] per word: each
+    /// word's mask comes from its own address-keyed `StdRng`, so the
+    /// four-lane interleave below is unobservable — it only converts the
+    /// serial seed→draw chain into four independent chains the CPU can
+    /// overlap. The outer two seed derivations are hoisted into
+    /// [`streams::bank_write_seed`] (one derivation per word, not three).
+    pub(crate) fn xor_write_masks(
+        &self,
+        base_seed: u64,
+        bank: usize,
+        offset_start: usize,
+        words: &mut [u8],
+    ) {
+        if !self.write_faulty[bank] {
+            return;
+        }
+        let bits = &self.write_thresholds[bank];
+        let bank_seed = streams::bank_write_seed(base_seed, bank);
+        let word_rng = |offset: usize| StdRng::seed_from_u64(derive_seed(bank_seed, offset as u64));
+        let mut offset = offset_start;
+        let mut chunks = words.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let mut lanes = [
+                word_rng(offset),
+                word_rng(offset + 1),
+                word_rng(offset + 2),
+                word_rng(offset + 3),
+                word_rng(offset + 4),
+                word_rng(offset + 5),
+                word_rng(offset + 6),
+                word_rng(offset + 7),
+            ];
+            for &(bit_mask, threshold) in bits {
+                for (lane, word) in lanes.iter_mut().zip(chunk.iter_mut()) {
+                    if (lane.next_u64() >> 11) < threshold {
+                        *word ^= bit_mask;
+                    }
+                }
+            }
+            offset += 8;
+        }
+        for word in chunks.into_remainder() {
+            let mut rng = word_rng(offset);
+            for &(bit_mask, threshold) in bits {
+                if (rng.next_u64() >> 11) < threshold {
+                    *word ^= bit_mask;
+                }
+            }
+            offset += 1;
         }
     }
 
@@ -317,6 +466,12 @@ impl SynapticMemory {
         self.counts.snapshot()
     }
 
+    /// `true` when no bank can corrupt a read: every read returns stored
+    /// bytes verbatim and draws zero randomness from the caller's RNG.
+    pub fn read_fault_free(&self) -> bool {
+        self.banks.read_fault_free()
+    }
+
     /// Capacity in words.
     pub fn len(&self) -> usize {
         self.words.len()
@@ -381,6 +536,59 @@ impl SynapticMemory {
         (self.words[index] ^ mask, mask)
     }
 
+    /// Reads the contiguous row `start..start + len` through `&self` in one
+    /// pass, appending the faulted values to `words` and the per-word fault
+    /// masks to `masks` (both are cleared first). Returns the number of
+    /// injected fault bits.
+    ///
+    /// Stream-equivalent to `len` scalar [`read_shared`](Self::read_shared)
+    /// calls on the same RNG — masks are drawn per word in address order,
+    /// each word sampling exactly the draws [`sample_read_mask`] would make
+    /// against its bank's model — but the read counter advances with a
+    /// single bump of `len` and bank boundaries are handled by segment
+    /// walking instead of a per-word address resolve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds the capacity.
+    pub fn read_row_shared<R: Rng + ?Sized>(
+        &self,
+        start: usize,
+        len: usize,
+        rng: &mut R,
+        words: &mut Vec<u8>,
+        masks: &mut Vec<u8>,
+    ) -> u64 {
+        assert!(
+            start
+                .checked_add(len)
+                .is_some_and(|end| end <= self.words.len()),
+            "row read out of range"
+        );
+        words.clear();
+        masks.clear();
+        words.extend_from_slice(&self.words[start..start + len]);
+        masks.resize(len, 0);
+        let mut fault_bits = 0u64;
+        let mut pos = 0usize;
+        while pos < len {
+            let addr = self.map.locate(start + pos);
+            let bank_words = self.map.banks()[addr.bank].words;
+            let seg = (bank_words - addr.offset).min(len - pos);
+            fault_bits +=
+                self.banks
+                    .sample_read_masks_into(addr.bank, rng, &mut masks[pos..pos + seg]);
+            pos += seg;
+        }
+        if fault_bits > 0 {
+            for (w, &m) in words.iter_mut().zip(masks.iter()) {
+                *w ^= m;
+            }
+        }
+        self.counts.reads.fetch_add(len as u64, Ordering::Relaxed);
+        fault_bits
+    }
+
     /// Reads one word without fault injection (debug/verification path).
     ///
     /// # Panics
@@ -397,9 +605,21 @@ impl SynapticMemory {
     /// Panics if `data` exceeds the capacity.
     pub fn load(&mut self, data: &[u8]) {
         assert!(data.len() <= self.words.len(), "data exceeds capacity");
-        for (i, &b) in data.iter().enumerate() {
-            self.write(i, b);
+        self.words[..data.len()].copy_from_slice(data);
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = self.map.locate(pos);
+            let bank_words = self.map.banks()[addr.bank].words;
+            let seg = (bank_words - addr.offset).min(data.len() - pos);
+            self.banks.xor_write_masks(
+                self.base_seed,
+                addr.bank,
+                addr.offset,
+                &mut self.words[pos..pos + seg],
+            );
+            pos += seg;
         }
+        *self.counts.writes.get_mut() += data.len() as u64;
     }
 
     /// Reads the whole memory once through the faulty read path: every
@@ -592,6 +812,51 @@ mod tests {
         for i in 0..512 {
             assert_eq!(shared.read_raw(i), owned.read_raw(i));
         }
+    }
+
+    #[test]
+    fn row_reads_replay_the_scalar_shared_stream() {
+        // A row read must be byte-for-byte the stream of `len` scalar
+        // `read_shared` calls: same values, same masks, same counter
+        // advance, same RNG state afterwards.
+        let mut m = faulty_memory(512, 0.15, 0.05, 2);
+        m.load(&(0..=255).cycle().take(512).collect::<Vec<u8>>());
+        let scalar = m.clone();
+        let mut row_rng = StdRng::seed_from_u64(0xD00D);
+        let mut scalar_rng = StdRng::seed_from_u64(0xD00D);
+        let mut words = Vec::new();
+        let mut masks = Vec::new();
+        for (start, len) in [(0usize, 512usize), (3, 17), (500, 12), (7, 0)] {
+            let fault_bits = m.read_row_shared(start, len, &mut row_rng, &mut words, &mut masks);
+            let mut expect_bits = 0u64;
+            for (k, i) in (start..start + len).enumerate() {
+                let (value, mask) = scalar.read_shared(i, &mut scalar_rng);
+                assert_eq!(words[k], value, "word {i}");
+                assert_eq!(masks[k], mask, "mask {i}");
+                expect_bits += u64::from(mask.count_ones());
+            }
+            assert_eq!(fault_bits, expect_bits);
+            assert_eq!(words.len(), len);
+            assert_eq!(masks.len(), len);
+        }
+        assert_eq!(row_rng, scalar_rng, "RNG streams must stay in lockstep");
+        assert_eq!(m.counts().reads, scalar.counts().reads);
+    }
+
+    #[test]
+    fn row_reads_on_ideal_banks_draw_no_randomness() {
+        let mut m = ideal_memory(64);
+        m.load(&[0x5Au8; 64]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let pristine = rng.clone();
+        let mut words = Vec::new();
+        let mut masks = Vec::new();
+        let fault_bits = m.read_row_shared(0, 64, &mut rng, &mut words, &mut masks);
+        assert_eq!(fault_bits, 0);
+        assert_eq!(words, vec![0x5Au8; 64]);
+        assert_eq!(masks, vec![0u8; 64]);
+        assert_eq!(rng, pristine, "fault-free banks must not consume draws");
+        assert!(m.read_fault_free());
     }
 
     #[test]

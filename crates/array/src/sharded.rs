@@ -352,6 +352,105 @@ impl ShardedMemory {
         (s.words[index - s.start] ^ mask, mask)
     }
 
+    /// Reads the contiguous row `start..start + len` through `&self` in one
+    /// pass, appending the faulted values to `words` and the per-word fault
+    /// masks to `masks` (both are cleared first). Returns the number of
+    /// injected fault bits.
+    ///
+    /// Stream-equivalent to `len` scalar [`read_shared`](Self::read_shared)
+    /// calls on the same RNG: the mask pass walks *bank* segments drawing
+    /// per-word masks in address order (each word exactly the draws
+    /// [`sample_read_mask`] would make), and the value pass walks *shard*
+    /// segments copying stored bytes with one atomic counter bump per
+    /// segment instead of one per word. Shard and bank boundaries may cut
+    /// the row anywhere — neither affects a single drawn bit, because mask
+    /// streams are keyed by bank and values by address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds the capacity.
+    pub fn read_row_shared<R: Rng + ?Sized>(
+        &self,
+        start: usize,
+        len: usize,
+        rng: &mut R,
+        words: &mut Vec<u8>,
+        masks: &mut Vec<u8>,
+    ) -> u64 {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len()),
+            "row read out of range"
+        );
+        words.clear();
+        masks.clear();
+        masks.resize(len, 0);
+        // Mask pass: bank segments, caller's RNG in address order.
+        let mut fault_bits = 0u64;
+        let mut pos = 0usize;
+        while pos < len {
+            let idx = start + pos;
+            let bank = self.bank_of(idx);
+            let seg = (self.bank_ends[bank] - idx).min(len - pos);
+            fault_bits += self
+                .banks
+                .sample_read_masks_into(bank, rng, &mut masks[pos..pos + seg]);
+            pos += seg;
+        }
+        // Value pass: shard segments, one counter bump per segment.
+        let mut pos = 0usize;
+        while pos < len {
+            let idx = start + pos;
+            let s = &self.shards[self.shard_of(idx)];
+            let local = idx - s.start;
+            let seg = (s.words.len() - local).min(len - pos);
+            words.extend_from_slice(&s.words[local..local + seg]);
+            s.reads.fetch_add(seg as u64, Ordering::Relaxed);
+            pos += seg;
+        }
+        if fault_bits > 0 {
+            for (w, &m) in words.iter_mut().zip(masks.iter()) {
+                *w ^= m;
+            }
+        }
+        fault_bits
+    }
+
+    /// `true` when no bank can corrupt a read: every read returns stored
+    /// bytes verbatim and draws zero randomness from the caller's RNG.
+    /// This is the condition under which the serving layer may feed one
+    /// physical row fetch to a whole micro-batch — with nothing drawn, all
+    /// per-request fault streams stay untouched and replay identically.
+    pub fn read_fault_free(&self) -> bool {
+        self.banks.read_fault_free()
+    }
+
+    /// Bills read counters as if every word of `start..start + len` had
+    /// been read `copies` more times, without touching storage or
+    /// randomness — the accounting half of a batch-amortized row fetch,
+    /// where one physical read feeds many requests but each logical
+    /// request is still charged its reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds the capacity.
+    pub fn charge_reads(&self, start: usize, len: usize, copies: usize) {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len()),
+            "row read out of range"
+        );
+        if copies == 0 {
+            return;
+        }
+        let mut pos = 0usize;
+        while pos < len {
+            let idx = start + pos;
+            let s = &self.shards[self.shard_of(idx)];
+            let seg = (s.words.len() - (idx - s.start)).min(len - pos);
+            s.reads.fetch_add((seg * copies) as u64, Ordering::Relaxed);
+            pos += seg;
+        }
+    }
+
     /// Reads one word without fault injection (debug/verification path).
     ///
     /// # Panics
@@ -389,23 +488,33 @@ impl ShardedMemory {
         let map = &self.map;
         let loaded: Vec<Vec<u8>> = sram_exec::par_map_indexed(self.shards.len(), |si| {
             let (start, len) = ranges[si];
-            let mut stored = Vec::with_capacity(len);
+            let mut stored = data[start..start + len].to_vec();
             if len == 0 {
                 return stored;
             }
-            // Walk banks cumulatively instead of re-locating every word.
+            // Walk bank segments instead of re-locating every word; the
+            // per-segment mask kernel interleaves four address-keyed RNG
+            // chains, bit-identical to the word-at-a-time reference.
             let mut addr = map.locate(start);
-            let mut bank_words = map.banks()[addr.bank].words;
-            for &value in &data[start..start + len] {
-                // `while`, not `if`: zero-word banks must be stepped over,
-                // or every later word would key its mask to the wrong bank.
-                while addr.offset == bank_words {
+            let mut pos = 0usize;
+            while pos < len {
+                let bank_words = map.banks()[addr.bank].words;
+                // Zero-word banks must be stepped over, or every later
+                // word would key its mask to the wrong bank.
+                if addr.offset == bank_words {
                     addr.bank += 1;
                     addr.offset = 0;
-                    bank_words = map.banks()[addr.bank].words;
+                    continue;
                 }
-                stored.push(value ^ banks.write_mask(base_seed, addr));
-                addr.offset += 1;
+                let seg = (bank_words - addr.offset).min(len - pos);
+                banks.xor_write_masks(
+                    base_seed,
+                    addr.bank,
+                    addr.offset,
+                    &mut stored[pos..pos + seg],
+                );
+                addr.offset += seg;
+                pos += seg;
             }
             stored
         });

@@ -131,6 +131,90 @@ proptest! {
         prop_assert_eq!(sharded.counts(), mono.counts());
     }
 
+    /// A row read over an arbitrary `(start, len)` span — straddling any
+    /// number of bank and shard boundaries — is byte-for-byte the stream
+    /// of `len` scalar `read_shared` calls on both stores: same values,
+    /// same masks, same fault-bit total, same counters, and the caller's
+    /// RNG ends in the same state.
+    #[test]
+    fn row_reads_replay_the_scalar_stream_across_boundaries(
+        banks in arb_banks(),
+        msb in 0usize..=8,
+        rates in arb_rates(),
+        seed in 0u64..1000,
+        shards in 1usize..10,
+        span in (any::<u16>(), any::<u16>()),
+        rng_seed in 0u64..1000,
+    ) {
+        let (mut mono, mut sharded) = build_pair(&banks, msb, &rates, seed, shards);
+        let total: usize = banks.iter().sum();
+        let data: Vec<u8> = (0..total).map(|i| (i * 31) as u8).collect();
+        mono.load(&data);
+        sharded.load(&data);
+        let start = span.0 as usize % total;
+        let len = span.1 as usize % (total - start + 1);
+
+        // Scalar reference: `len` read_shared calls against the monolith.
+        let mut rng_scalar = StdRng::seed_from_u64(rng_seed);
+        let mut scalar_words = Vec::with_capacity(len);
+        let mut scalar_masks = Vec::with_capacity(len);
+        let mut scalar_bits = 0u64;
+        for i in start..start + len {
+            let (value, mask) = mono.read_shared(i, &mut rng_scalar);
+            scalar_words.push(value);
+            scalar_masks.push(mask);
+            scalar_bits += u64::from(mask.count_ones());
+        }
+
+        // Row read on the sharded store, same RNG seed.
+        let mut rng_row = StdRng::seed_from_u64(rng_seed);
+        let mut words = Vec::new();
+        let mut masks = Vec::new();
+        let fault_bits = sharded.read_row_shared(start, len, &mut rng_row, &mut words, &mut masks);
+        prop_assert_eq!(&words, &scalar_words);
+        prop_assert_eq!(&masks, &scalar_masks);
+        prop_assert_eq!(fault_bits, scalar_bits);
+        prop_assert_eq!(rng_row, rng_scalar);
+        prop_assert_eq!(sharded.counts(), mono.counts());
+
+        // And the monolith's own row read replays itself too.
+        let mut rng_mono_row = StdRng::seed_from_u64(rng_seed);
+        let mut mono_words = Vec::new();
+        let mut mono_masks = Vec::new();
+        let mono_bits =
+            mono.read_row_shared(start, len, &mut rng_mono_row, &mut mono_words, &mut mono_masks);
+        prop_assert_eq!(mono_words, scalar_words);
+        prop_assert_eq!(mono_masks, scalar_masks);
+        prop_assert_eq!(mono_bits, scalar_bits);
+    }
+
+    /// `charge_reads` bills exactly `len * copies` reads to exactly the
+    /// shards that own the span, matching a loop of scalar reads.
+    #[test]
+    fn charged_reads_match_scalar_accounting(
+        banks in arb_banks(),
+        shards in 1usize..10,
+        span in (any::<u16>(), any::<u16>()),
+        copies in 0usize..4,
+    ) {
+        let policy = ProtectionPolicy::Uniform6T;
+        let map = SynapticMemoryMap::new(&banks, &policy, SubArrayDims::PAPER);
+        let total = map.total_words();
+        let models = vec![WordFailureModel::ideal(); banks.len()];
+        let charged = ShardedMemory::new(map.clone(), models.clone(), 1, shards);
+        let scalar = ShardedMemory::new(map, models, 1, shards);
+        let start = span.0 as usize % total;
+        let len = span.1 as usize % (total - start + 1);
+        charged.charge_reads(start, len, copies);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..copies {
+            for i in start..start + len {
+                let _ = scalar.read_shared(i, &mut rng);
+            }
+        }
+        prop_assert_eq!(charged.shard_counts(), scalar.shard_counts());
+    }
+
     /// The shard partition itself is sound: ranges tile the address space
     /// and per-shard counters sum to the aggregate.
     #[test]

@@ -18,14 +18,25 @@ use sram_serve::fixture::{request_stream, trained_digit_network};
 use sram_serve::{InferenceServer, ServeOptions};
 
 const REQUESTS: usize = 64;
+const BASE_SEED: u64 = 0xBE7C_4ED0;
 
 fn build_server() -> (InferenceServer, Vec<Vec<f32>>) {
+    build_server_with_read_rate(0.02)
+}
+
+/// Same fixture with read faults disabled — the regime where the serving
+/// layer may amortize one physical row fetch across a whole micro-batch.
+fn build_amortized_server() -> (InferenceServer, Vec<Vec<f32>>) {
+    build_server_with_read_rate(0.0)
+}
+
+fn build_server_with_read_rate(read_6t: f64) -> (InferenceServer, Vec<Vec<f32>>) {
     let (q, test_set) = trained_digit_network();
     let words = layout::bank_words(&q);
     let policy = ProtectionPolicy::MsbProtected { msb_8t: 3 };
     let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
     let rates = BitErrorRates {
-        read_6t: 0.02,
+        read_6t,
         write_6t: 0.002,
         read_8t: 0.0,
         write_8t: 0.0,
@@ -52,7 +63,7 @@ fn bench_serve(c: &mut Criterion) {
         let options = ServeOptions {
             workers,
             max_batch: 16,
-            base_seed: 0xBE7C_4ED0,
+            base_seed: BASE_SEED,
         };
         group.bench_function(name, |b| {
             b.iter(|| server.serve_configured(&requests, &options))
@@ -61,5 +72,43 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve);
+/// One end-to-end classification through the fused bulk-read datapath
+/// (row-granular fault sampling + 8-lane MAC), warm context, faulting
+/// memory — the per-request inner loop every serving bench sits on.
+fn bench_infer(c: &mut Criterion) {
+    let (server, requests) = build_server();
+    let system = server.system();
+    let mut ctx = system.make_context(BASE_SEED, 0);
+    let mut group = c.benchmark_group("infer");
+    group.bench_function("forward_row_path", |b| {
+        b.iter(|| {
+            ctx.reset(BASE_SEED, 7);
+            system.classify_request(&requests[0], &mut ctx)
+        })
+    });
+    group.finish();
+}
+
+/// The batch-amortized serving path on a read-fault-free memory: one row
+/// fetch feeds the whole micro-batch. Throughput is in memory words
+/// delivered (logical copies billed), matching `ServeReport::words_per_sec`.
+fn bench_words_per_sec(c: &mut Criterion) {
+    let (server, requests) = build_amortized_server();
+    let words = (REQUESTS * server.system().reads_per_inference()) as u64;
+    let options = ServeOptions {
+        workers: 1,
+        max_batch: 16,
+        base_seed: BASE_SEED,
+    };
+    let mut group = c.benchmark_group("serve");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(words));
+    group.bench_function("words_per_sec", |b| {
+        b.iter(|| server.serve_configured(&requests, &options))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_infer, bench_words_per_sec);
 criterion_main!(benches);

@@ -173,6 +173,7 @@ fn main() {
         format_ns(report.wall.as_nanos() as u64)
     );
     println!("throughput         {:.1} req/s", report.throughput_rps());
+    println!("read bandwidth     {:.3e} words/s", report.words_per_sec());
     println!("latency p50        {}", format_ns(report.latency.p50_ns()));
     println!("latency p99        {}", format_ns(report.latency.p99_ns()));
     println!("energy/inference   {:.3} nJ", energy_per_inf * 1e9);
@@ -214,6 +215,7 @@ fn main() {
     if let Some(path) = &args.report {
         let text = format!(
             "workers={}\nrequests={}\nwall_ns={}\nthroughput_rps={:.3}\n\
+             words_per_sec={:.3}\n\
              p50_ns={}\np99_ns={}\nenergy_per_inference_j={:.6e}\n\
              standby_leakage_w={:.6e}\nfault_bits={}\nwords_read={}\n\
              observed_ber={:.6e}\nbatches={}\nmax_batch_observed={}\nshards={}\ndigest={:016x}\n",
@@ -221,6 +223,7 @@ fn main() {
             report.requests(),
             report.wall.as_nanos(),
             report.throughput_rps(),
+            report.words_per_sec(),
             report.latency.p50_ns(),
             report.latency.p99_ns(),
             energy_per_inf,

@@ -31,6 +31,19 @@ use sram_exec::derive_seed;
 /// Base seed of the legacy `&mut self` entry points when none is given.
 const DEFAULT_BASE_SEED: u64 = 0x001F_E25E_EDD0;
 
+/// Index of the largest code, ties broken to the **lowest** index (a plain
+/// `max_by_key` keeps the *last* maximum, which would make serving
+/// tie-breaks disagree with the float evaluator's argmax).
+fn argmax_lowest(codes: &[u8]) -> Option<usize> {
+    let mut best = 0usize;
+    for (i, &code) in codes.iter().enumerate().skip(1) {
+        if code > codes[best] {
+            best = i;
+        }
+    }
+    (!codes.is_empty()).then_some(best)
+}
+
 /// Shape of one layer as seen by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct LayerShape {
@@ -51,6 +64,7 @@ struct LayerShape {
 pub struct InferContext {
     rng: StdRng,
     weight_buf: Vec<u8>,
+    mask_buf: Vec<u8>,
     activations: Vec<u8>,
     next: Vec<u8>,
     fault_bits: u64,
@@ -61,10 +75,15 @@ impl InferContext {
     /// A context for request `request_id` of the stream rooted at
     /// `base_seed`; the fault randomness is `derive_seed(base_seed,
     /// request_id)` — independent of worker, order, and batch placement.
+    ///
+    /// Scratch buffers start empty and grow on first use; prefer
+    /// [`NeuromorphicSystem::make_context`], which pre-sizes them from the
+    /// layer shapes so no request ever reallocates.
     pub fn for_request(base_seed: u64, request_id: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(derive_seed(base_seed, request_id)),
             weight_buf: Vec::new(),
+            mask_buf: Vec::new(),
             activations: Vec::new(),
             next: Vec::new(),
             fault_bits: 0,
@@ -156,6 +175,27 @@ impl NeuromorphicSystem {
         &self.memory
     }
 
+    /// A context for request `request_id` of the stream rooted at
+    /// `base_seed`, with every scratch buffer pre-sized from this system's
+    /// layer shapes — the warm path never reallocates, not even on the
+    /// first request. Behaviorally identical to
+    /// [`InferContext::for_request`].
+    pub fn make_context(&self, base_seed: u64, request_id: u64) -> InferContext {
+        let mut ctx = InferContext::for_request(base_seed, request_id);
+        let row = self.shapes.iter().map(|s| s.inputs).max().unwrap_or(0);
+        let width = self
+            .shapes
+            .iter()
+            .map(|s| s.inputs.max(s.outputs))
+            .max()
+            .unwrap_or(0);
+        ctx.weight_buf.reserve_exact(row);
+        ctx.mask_buf.reserve_exact(row);
+        ctx.activations.reserve_exact(width);
+        ctx.next.reserve_exact(width);
+        ctx
+    }
+
     /// Weight + bias words one full forward pass reads.
     pub fn reads_per_inference(&self) -> usize {
         self.shapes
@@ -171,6 +211,14 @@ impl NeuromorphicSystem {
 
     /// Runs a full forward pass on shared state; returns the output
     /// activation codes (borrowed from the context's scratch).
+    ///
+    /// Each neuron's weight row is fetched in one
+    /// [`read_row_shared`](ShardedMemory::read_row_shared) call into the
+    /// context's scratch (no per-word address resolve or push churn), then
+    /// accumulated by the NPE's fused 8-lane MAC. Stream-equivalent to the
+    /// word-at-a-time datapath: the row fetch draws the same masks in the
+    /// same order as `inputs` scalar reads, and the per-neuron bias read
+    /// keeps its place in the stream right after its weight row.
     ///
     /// # Panics
     ///
@@ -188,13 +236,14 @@ impl NeuromorphicSystem {
         for shape in &self.shapes {
             ctx.next.clear();
             for neuron in 0..shape.outputs {
-                ctx.weight_buf.clear();
                 let row_start = bank_base + layout::weight_offset(shape.inputs, neuron, 0);
-                for k in 0..shape.inputs {
-                    let (w, mask) = self.memory.read_shared(row_start + k, &mut ctx.rng);
-                    ctx.fault_bits += u64::from(mask.count_ones());
-                    ctx.weight_buf.push(w);
-                }
+                ctx.fault_bits += self.memory.read_row_shared(
+                    row_start,
+                    shape.inputs,
+                    &mut ctx.rng,
+                    &mut ctx.weight_buf,
+                    &mut ctx.mask_buf,
+                );
                 let (bias, mask) = self.memory.read_shared(
                     bank_base + layout::bias_offset(shape.inputs, shape.outputs, neuron),
                     &mut ctx.rng,
@@ -211,19 +260,93 @@ impl NeuromorphicSystem {
     }
 
     /// Classifies one input sample on shared state; returns the predicted
-    /// class index.
+    /// class index. Ties break to the **lowest** class index, matching the
+    /// float evaluator's argmax.
     ///
     /// # Panics
     ///
     /// Panics if the feature count does not match the input layer.
     pub fn classify_request(&self, features: &[f32], ctx: &mut InferContext) -> usize {
         let outputs = self.infer_request(features, ctx);
-        outputs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &code)| code)
-            .map(|(i, _)| i)
-            .expect("non-empty output layer")
+        argmax_lowest(outputs).expect("non-empty output layer")
+    }
+
+    /// Classifies a micro-batch sharing one physical row fetch per neuron
+    /// across all requests — the batch-amortized datapath the serving
+    /// layer uses when the memory is read-fault-free.
+    ///
+    /// On such a memory the scalar datapath draws **zero** randomness, so
+    /// feeding every request from one fetch perturbs nothing: outputs,
+    /// fault accounting (all zeros), per-context read counts, and each
+    /// context's RNG state are byte-identical to running
+    /// [`classify_request`](Self::classify_request) per request. Shard
+    /// read counters are kept identical too, by billing the shared fetch
+    /// once per request via
+    /// [`charge_reads`](ShardedMemory::charge_reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory can fault a read, if `batch` and `ctxs`
+    /// lengths differ, or on a feature-width mismatch.
+    pub fn classify_batch(&self, batch: &[&[f32]], ctxs: &mut [InferContext]) -> Vec<usize> {
+        assert!(
+            self.memory.read_fault_free(),
+            "batch-amortized path requires a read-fault-free memory"
+        );
+        assert_eq!(batch.len(), ctxs.len(), "one context per request");
+        for (features, ctx) in batch.iter().zip(ctxs.iter_mut()) {
+            assert_eq!(
+                features.len(),
+                self.shapes[0].inputs,
+                "input width mismatch"
+            );
+            ctx.activations.clear();
+            ctx.activations
+                .extend(features.iter().map(|&f| encode_activation(f)));
+        }
+        let copies = batch.len();
+        // The shared row scratch; the RNG is never drawn from on a
+        // read-fault-free memory, it only satisfies the fetch signature.
+        let mut row = Vec::new();
+        let mut row_masks = Vec::new();
+        let mut no_draws = StdRng::seed_from_u64(0);
+        let mut bank_base = 0usize;
+        for shape in &self.shapes {
+            for ctx in ctxs.iter_mut() {
+                ctx.next.clear();
+            }
+            for neuron in 0..shape.outputs {
+                let row_start = bank_base + layout::weight_offset(shape.inputs, neuron, 0);
+                let faults = self.memory.read_row_shared(
+                    row_start,
+                    shape.inputs,
+                    &mut no_draws,
+                    &mut row,
+                    &mut row_masks,
+                );
+                debug_assert_eq!(faults, 0, "read-fault-free memory faulted");
+                self.memory
+                    .charge_reads(row_start, shape.inputs, copies - 1);
+                let bias_index =
+                    bank_base + layout::bias_offset(shape.inputs, shape.outputs, neuron);
+                let (bias, _) = self.memory.read_shared(bias_index, &mut no_draws);
+                self.memory.charge_reads(bias_index, 1, copies - 1);
+                for ctx in ctxs.iter_mut() {
+                    ctx.next.push(self.npe.neuron(&row, bias, &ctx.activations));
+                }
+            }
+            bank_base += shape.inputs * shape.outputs + shape.outputs;
+            for ctx in ctxs.iter_mut() {
+                std::mem::swap(&mut ctx.activations, &mut ctx.next);
+            }
+        }
+        let reads = self.reads_per_inference() as u64;
+        ctxs.iter_mut()
+            .map(|ctx| {
+                ctx.reads += reads;
+                argmax_lowest(&ctx.activations).expect("non-empty output layer")
+            })
+            .collect()
     }
 
     /// Classifies one input sample (features in `[0, 1]`); returns the
@@ -528,6 +651,105 @@ mod tests {
         // On an ideal memory the legacy path matches the shared path.
         let mut ctx = InferContext::for_request(0, 0);
         assert_eq!(class, system.classify_request(test_set.image(0), &mut ctx));
+    }
+
+    #[test]
+    fn argmax_ties_break_to_the_lowest_index() {
+        assert_eq!(argmax_lowest(&[3, 7, 7, 2]), Some(1));
+        assert_eq!(argmax_lowest(&[9]), Some(0));
+        assert_eq!(argmax_lowest(&[0, 0, 0]), Some(0));
+        assert_eq!(argmax_lowest(&[1, 2, 3, 3]), Some(2));
+        assert_eq!(argmax_lowest(&[255, 255]), Some(0));
+        assert_eq!(argmax_lowest(&[]), None);
+    }
+
+    #[test]
+    fn make_context_pre_sizes_all_scratch() {
+        let (q, test_set) = trained_small_net();
+        let system = NeuromorphicSystem::new(&q, ideal_memory_for(&q), Npe::new(q.format));
+        let mut warm = system.make_context(7, 0);
+        let caps = (
+            warm.weight_buf.capacity(),
+            warm.mask_buf.capacity(),
+            warm.activations.capacity(),
+            warm.next.capacity(),
+        );
+        assert!(caps.0 >= 784, "weight scratch {} < widest row", caps.0);
+        assert!(caps.1 >= 784, "mask scratch {} < widest row", caps.1);
+        assert!(
+            caps.2 >= 784,
+            "activation scratch {} < widest layer",
+            caps.2
+        );
+        assert!(caps.3 >= 784, "next scratch {} < widest layer", caps.3);
+        for id in 0..3u64 {
+            warm.reset(7, id);
+            let _ = system.infer_request(test_set.image(id as usize), &mut warm);
+        }
+        let after = (
+            warm.weight_buf.capacity(),
+            warm.mask_buf.capacity(),
+            warm.activations.capacity(),
+            warm.next.capacity(),
+        );
+        assert_eq!(after, caps, "warm requests must never grow the scratch");
+
+        // A pre-sized context behaves exactly like a fresh unsized one.
+        let mut fresh = InferContext::for_request(7, 5);
+        let out_fresh = system.infer_request(test_set.image(5), &mut fresh).to_vec();
+        warm.reset(7, 5);
+        let out_warm = system.infer_request(test_set.image(5), &mut warm).to_vec();
+        assert_eq!(out_fresh, out_warm);
+        assert_eq!(fresh.reads(), warm.reads());
+    }
+
+    #[test]
+    fn batch_path_is_byte_identical_to_scalar_requests() {
+        let (q, test_set) = trained_small_net();
+        let batch_sys = NeuromorphicSystem::new(&q, ideal_memory_for(&q), Npe::new(q.format));
+        let scalar_sys = NeuromorphicSystem::new(&q, ideal_memory_for(&q), Npe::new(q.format));
+        assert!(batch_sys.memory().read_fault_free());
+        let n = 8usize;
+        let batch: Vec<&[f32]> = (0..n).map(|i| test_set.image(i)).collect();
+        let mut ctxs: Vec<InferContext> = (0..n)
+            .map(|i| batch_sys.make_context(5, i as u64))
+            .collect();
+        let predictions = batch_sys.classify_batch(&batch, &mut ctxs);
+        for i in 0..n {
+            let mut ctx = scalar_sys.make_context(5, i as u64);
+            let scalar = scalar_sys.classify_request(test_set.image(i), &mut ctx);
+            assert_eq!(predictions[i], scalar, "request {i}");
+            assert_eq!(ctxs[i].reads(), ctx.reads(), "request {i} read accounting");
+            assert_eq!(ctxs[i].fault_bits(), 0);
+            assert_eq!(ctxs[i].rng, ctx.rng, "request {i} stream was perturbed");
+        }
+        assert_eq!(
+            batch_sys.memory().shard_counts(),
+            scalar_sys.memory().shard_counts(),
+            "shared fetches must bill identical shard traffic"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read-fault-free")]
+    fn batch_path_rejects_faulting_memories() {
+        let (q, test_set) = trained_small_net();
+        let words = layout::bank_words(&q);
+        let policy = ProtectionPolicy::Uniform6T;
+        let rates = BitErrorRates {
+            read_6t: 0.1,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let system = NeuromorphicSystem::new(
+            &q,
+            sharded(&words, &policy, &rates, 1, 2),
+            Npe::new(q.format),
+        );
+        let batch: Vec<&[f32]> = vec![test_set.image(0)];
+        let mut ctxs = vec![system.make_context(0, 0)];
+        let _ = system.classify_batch(&batch, &mut ctxs);
     }
 
     #[test]

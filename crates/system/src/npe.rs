@@ -17,6 +17,26 @@ const LUT_SIZE: usize = 256;
 /// The LUT covers pre-activations in `[-LUT_RANGE, +LUT_RANGE)`.
 const LUT_RANGE: f32 = 8.0;
 
+/// Fused 8-lane multiply-accumulate over weight and activation codes.
+/// Integer addition is associative, so the lane restructure is
+/// bit-identical to a scalar left fold while letting the compiler keep
+/// eight independent accumulator chains in flight.
+fn mac(weights: &[u8], activations: &[u8]) -> i64 {
+    let mut lanes = [0i64; 8];
+    let mut w_chunks = weights.chunks_exact(8);
+    let mut a_chunks = activations.chunks_exact(8);
+    for (w, a) in (&mut w_chunks).zip(&mut a_chunks) {
+        for ((lane, &wi), &ai) in lanes.iter_mut().zip(w).zip(a) {
+            *lane += (wi as i8) as i64 * ai as i64;
+        }
+    }
+    let mut acc: i64 = lanes.iter().sum();
+    for (&w, &a) in w_chunks.remainder().iter().zip(a_chunks.remainder()) {
+        acc += (w as i8) as i64 * a as i64;
+    }
+    acc
+}
+
 /// Quantizes an activation in `[0, 1]` to its U0.8 code.
 pub fn encode_activation(a: f32) -> u8 {
     (a.clamp(0.0, 1.0) * 255.0).round() as u8
@@ -77,12 +97,8 @@ impl Npe {
             activations.len(),
             "weight/activation fan-in mismatch"
         );
-        let mut acc: i64 = 0;
-        for (&w, &a) in weights.iter().zip(activations) {
-            acc += (w as i8) as i64 * a as i64;
-        }
         // Bias enters at full activation (a = 1.0 -> code 255).
-        acc += (bias as i8) as i64 * 255;
+        let acc = mac(weights, activations) + (bias as i8) as i64 * 255;
         // Scale: weight lsb / 255 per product unit.
         let z = acc as f32 * self.format.lsb() / 255.0;
         self.sigmoid_lut(z)
@@ -158,5 +174,21 @@ mod tests {
     fn fan_in_mismatch_panics() {
         let n = npe();
         let _ = n.neuron(&[0, 0], 0, &[0]);
+    }
+
+    #[test]
+    fn lane_mac_matches_the_scalar_fold() {
+        // The 8-lane restructure must be bit-identical to the scalar left
+        // fold at every length, including ragged remainders.
+        for len in [0usize, 1, 7, 8, 9, 16, 23, 784] {
+            let weights: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let acts: Vec<u8> = (0..len).map(|i| (i * 101 + 3) as u8).collect();
+            let scalar: i64 = weights
+                .iter()
+                .zip(&acts)
+                .map(|(&w, &a)| (w as i8) as i64 * a as i64)
+                .sum();
+            assert_eq!(mac(&weights, &acts), scalar, "fan-in {len}");
+        }
     }
 }

@@ -15,8 +15,10 @@
 //!   workers and emits a throughput/latency/energy comparison table
 //!   (written to `--out`, default `target/serve-report.txt`). With
 //!   `--gate`, exits non-zero when the two runs' predictions differ
-//!   (determinism under load broken) or when the 4-worker run is slower
-//!   than the 1-worker run by more than [`SERVE_SLOWDOWN_FACTOR`]×;
+//!   (determinism under load broken), when either run fails to emit a
+//!   positive `words_per_sec` read-bandwidth figure, or when the 4-worker
+//!   run is slower than the 1-worker run by more than
+//!   [`SERVE_SLOWDOWN_FACTOR`]×;
 //!   `--min-speedup X` additionally requires a genuine ≥X× speedup (used
 //!   by CI, whose runners are known multi-core — a single-core dev box
 //!   should gate without it). Both runs execute back-to-back in one job
@@ -63,6 +65,10 @@ const TRACKED: &[&str] = &[
     "scale/load_1shard",
     "scale/load_2shard",
     "scale/load_4shard",
+    "infer/forward_row_path",
+    "serve/throughput_1w",
+    "serve/throughput_4w",
+    "serve/words_per_sec",
 ];
 
 /// A tracked kernel fails the diff when its machine-normalized ratio
@@ -506,14 +512,15 @@ fn serve_report(args: &[String]) -> ExitCode {
         "serve-report — {requests} requests through the hybrid 8T-6T serving layer\n\n"
     ));
     table.push_str(&format!(
-        "{:<8} {:>14} {:>12} {:>12} {:>14} {:>14} {:>12}  digest\n",
-        "workers", "throughput", "p50", "p99", "energy/inf", "standby", "BER"
+        "{:<8} {:>14} {:>15} {:>12} {:>12} {:>14} {:>14} {:>12}  digest\n",
+        "workers", "throughput", "read bw", "p50", "p99", "energy/inf", "standby", "BER"
     ));
     for (workers, kv, _) in &reports {
         let row = format!(
-            "{:<8} {:>10.1} r/s {:>12} {:>12} {:>11.3} nJ {:>11.3} µW {:>12}  {}\n",
+            "{:<8} {:>10.1} r/s {:>9.3e} w/s {:>12} {:>12} {:>11.3} nJ {:>11.3} µW {:>12}  {}\n",
             workers,
             get_f64(kv, "throughput_rps").unwrap_or(0.0),
+            get_f64(kv, "words_per_sec").unwrap_or(0.0),
             format_ns(get_f64(kv, "p50_ns").unwrap_or(0.0)),
             format_ns(get_f64(kv, "p99_ns").unwrap_or(0.0)),
             get_f64(kv, "energy_per_inference_j").unwrap_or(0.0) * 1e9,
@@ -552,6 +559,20 @@ fn serve_report(args: &[String]) -> ExitCode {
                  (determinism under load is broken)"
             );
             failed = true;
+        }
+        // The bulk-read datapath's bandwidth figure must actually be
+        // emitted (and be a positive rate) by every run.
+        for (workers, kv, _) in &reports {
+            match get_f64(kv, "words_per_sec") {
+                Some(wps) if wps > 0.0 => {}
+                _ => {
+                    eprintln!(
+                        "GATE FAILED: {workers}-worker report is missing a positive \
+                         words_per_sec field"
+                    );
+                    failed = true;
+                }
+            }
         }
         if !(speedup.is_finite() && speedup > 0.0) {
             eprintln!("GATE FAILED: could not compute the 4-worker speedup");
