@@ -63,6 +63,10 @@ pub mod streams {
     const DOMAIN_READ: u64 = 0x5245_4144u64; // "READ"
     /// Domain tag of the per-bank bulk-read streams.
     const DOMAIN_BULK: u64 = 0x4255_4C4Bu64; // "BULK"
+    /// Domain tag of the per-bank BIST read streams.
+    const DOMAIN_BIST: u64 = 0x4249_5354u64; // "BIST"
+    /// Domain tag of the per-word degradation (chaos corruption) streams.
+    const DOMAIN_DEGRADE: u64 = 0x4445_4752u64; // "DEGR"
 
     /// Seed of the write-fault stream of word `(bank, offset)`: a pure
     /// function of the logical address, so loads split across shards (or
@@ -89,6 +93,24 @@ pub mod streams {
     /// Seed of `bank`'s stream for one `read_bulk(seed)` sweep.
     pub fn bulk_bank_seed(bulk_seed: u64, bank: usize) -> u64 {
         derive_seed(derive_seed(bulk_seed, DOMAIN_BULK), bank as u64)
+    }
+
+    /// Seed of `bank`'s read stream for pass `pass` of one BIST march
+    /// rooted at `bist_seed`. Keyed purely by logical coordinates, so the
+    /// weak-cell map a march produces is invariant under sharding and
+    /// worker count like every other stream.
+    pub fn bist_pass_seed(bist_seed: u64, bank: usize, pass: usize) -> u64 {
+        derive_seed(
+            derive_seed(derive_seed(bist_seed, DOMAIN_BIST), bank as u64),
+            pass as u64,
+        )
+    }
+
+    /// Seed of global word `index`'s stream for one chaos degradation
+    /// event rooted at `event_seed` — persistent corruption keyed by the
+    /// global address, never by shard layout.
+    pub fn degrade_word_seed(event_seed: u64, index: usize) -> u64 {
+        derive_seed(derive_seed(event_seed, DOMAIN_DEGRADE), index as u64)
     }
 
     /// Seed of the `(base seed, bank)` write-fault stream family — the two

@@ -4,8 +4,11 @@
 //! sub-arrays, one bank per ANN layer for the sensitivity-driven
 //! architecture of paper Fig. 3c), the array-level [`power`] and [`area`]
 //! rollups behind Figs. 7b/8b/8c/9, a [`behavioral`] fault-injecting
-//! memory model (the monolithic reference), and the [`sharded`]
-//! bank-parallel store the system level reads weights through at scale.
+//! memory model (the monolithic reference), the [`sharded`]
+//! bank-parallel store the system level reads weights through at scale,
+//! and the runtime-resilience layers over it: a march-test [`bist`] that
+//! maps weak cells at boot and an online ECC [`scrub`]ber that sweeps the
+//! store between serving batches.
 //!
 //! # Examples
 //!
@@ -28,16 +31,19 @@
 
 pub mod area;
 pub mod behavioral;
+pub mod bist;
 pub mod organization;
 pub mod periphery;
 pub mod power;
 pub mod redundancy;
+pub mod scrub;
 pub mod sharded;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::area::{area_overhead_vs_all_6t, memory_area};
     pub use crate::behavioral::{AccessCounts, SynapticMemory};
+    pub use crate::bist::{run_bist, BistReport, WeakWord};
     pub use crate::organization::{MemoryBank, SubArrayDims, SynapticMemoryMap, WordAddress};
     pub use crate::periphery::{PeripheryEnergy, PeripheryModel};
     pub use crate::power::{
@@ -46,5 +52,6 @@ pub mod prelude {
     pub use crate::redundancy::{
         effective_failure_probability, simulate_repair, RedundancyConfig, RepairOutcome,
     };
-    pub use crate::sharded::{ShardRange, ShardedMemory};
+    pub use crate::scrub::{scrub_pass, EccSidecar, ScrubOutcome};
+    pub use crate::sharded::{ShardRange, ShardedMemory, StuckRange};
 }

@@ -1,0 +1,371 @@
+//! Online ECC scrubbing of a sharded synaptic store.
+//!
+//! The store keeps an [`EccSidecar`]: for every stored word, the 5 check
+//! bits of the (13, 8) SECDED weight code
+//! ([`SecdedCode::for_weights`](sram_ecc::hamming::SecdedCode::for_weights)),
+//! compacted to one byte. Between serving batches the scrubber sweeps the
+//! whole address space: each word is read through the sensing path
+//! (spare rows and stuck masks included, transient faults excluded — a
+//! maintenance port read), recombined with its check bits into the full
+//! 13-bit codeword, and decoded. Single-bit upsets are corrected in place
+//! through the ordinary faulty write path; words the write path cannot
+//! hold (persistent write faults, stuck cells) come back *stubborn* and
+//! their rows are flagged for spare-row repair, as are rows holding
+//! uncorrectable (≥ 2-flip) words.
+//!
+//! The sidecar is built from the **post-load observed image** — the
+//! reference the serving accuracy baseline is measured against — so a
+//! scrub of a healthy store is a no-op: baseline write faults are part of
+//! the protected image, not errors to heal. ECC protects against
+//! *degradation after load* (retention failures, particle strikes, chaos
+//! events), which is exactly the paper's separation between designed-in
+//! approximation and uncontrolled failure.
+//!
+//! Scrubbing draws no randomness at all, so the outcome is a pure
+//! function of the observed image and the sidecar — bit-identical at any
+//! shard or worker count.
+
+use crate::behavioral::streams;
+use crate::sharded::ShardedMemory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sram_ecc::hamming::{Decoded, SecdedCode};
+
+/// The compacted SECDED check bits protecting every word of a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EccSidecar {
+    code: SecdedCode,
+    /// One compact check byte (5 live bits) per protected word.
+    checks: Vec<u8>,
+}
+
+impl EccSidecar {
+    /// Builds the sidecar over the current observed image of `memory` —
+    /// one encode per word, check bits compacted to a byte. Call after
+    /// loading (and after any boot-time repair): the image protected is
+    /// the image served.
+    pub fn protect(memory: &ShardedMemory) -> Self {
+        let code = SecdedCode::for_weights().expect("(13,8) weight code is always constructible");
+        let checks = (0..memory.len())
+            .map(|i| {
+                let word = code
+                    .encode(u64::from(memory.read_raw(i)))
+                    .expect("byte payload is in range");
+                code.compact_checks(word).expect("own codeword is in range") as u8
+            })
+            .collect();
+        Self { code, checks }
+    }
+
+    /// The protecting code.
+    pub fn code(&self) -> &SecdedCode {
+        &self.code
+    }
+
+    /// Number of protected words.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// `true` when no words are protected.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Flips each stored check bit of words `start..start + words` with
+    /// probability `per_bit` — the sidecar lives in the same degrading
+    /// silicon as the data. Keyed by `(seed, global word)` like
+    /// [`ShardedMemory::corrupt_stored_range`], so the damage is identical
+    /// at any shard count. Returns the number of flipped check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `per_bit` is not a
+    /// probability.
+    pub fn corrupt_checks(&mut self, start: usize, words: usize, seed: u64, per_bit: f64) -> u64 {
+        assert!(
+            start
+                .checked_add(words)
+                .is_some_and(|end| end <= self.checks.len()),
+            "corruption range out of bounds"
+        );
+        assert!(
+            (0.0..=1.0).contains(&per_bit) && per_bit.is_finite(),
+            "per_bit = {per_bit} is not a probability"
+        );
+        if per_bit <= 0.0 {
+            return 0;
+        }
+        let live = self.code.check_bits();
+        let mut flipped = 0u64;
+        for index in start..start + words {
+            let mut rng = StdRng::seed_from_u64(streams::degrade_word_seed(seed, index));
+            let mut mask = 0u8;
+            for bit in 0..live {
+                if rng.gen::<f64>() < per_bit {
+                    mask |= 1 << bit;
+                }
+            }
+            if mask != 0 {
+                flipped += u64::from(mask.count_ones());
+                self.checks[index] ^= mask;
+            }
+        }
+        flipped
+    }
+}
+
+/// Counters from one scrub sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScrubOutcome {
+    /// Words decoded (the whole store).
+    pub words_scanned: usize,
+    /// Words whose codeword decoded clean.
+    pub clean_words: usize,
+    /// Words with a corrected single-bit error (data or check bit).
+    pub corrected_words: usize,
+    /// Total corrected bits (1 per corrected word).
+    pub corrected_bits: u64,
+    /// Words whose codeword was detectably uncorrectable (≥ 2 flips).
+    pub uncorrectable_words: usize,
+    /// Corrective writes issued (fix mode only).
+    pub rewrites: usize,
+    /// Corrective writes the array refused to hold — the write-back read
+    /// differently than written (persistent write faults, stuck cells).
+    pub stubborn_words: usize,
+    /// Row starts needing spare-row repair: rows holding uncorrectable or
+    /// stubborn words, deduplicated, in address order.
+    pub flagged_rows: Vec<usize>,
+    /// Corrected bits attributed to each shard, in shard order — the
+    /// per-shard BER signal the drowsy governor feeds on. Projection
+    /// only; the global counters never depend on the shard layout.
+    pub per_shard_corrected_bits: Vec<u64>,
+}
+
+impl ScrubOutcome {
+    /// Corrected-bit error rate over the scanned data bits — the BER
+    /// estimate fed back into retention-voltage policy.
+    pub fn corrected_ber(&self) -> f64 {
+        if self.words_scanned == 0 {
+            return 0.0;
+        }
+        self.corrected_bits as f64 / (self.words_scanned as f64 * 8.0)
+    }
+}
+
+/// Sweeps the whole store once, decoding every word against `sidecar`.
+/// With `fix` set, corrected data is written back through the ordinary
+/// (faulty) write path and verified, and corrupted check bits are
+/// refreshed in the sidecar; without it the sweep only counts (the
+/// bench/estimation mode). Rows that cannot be healed in place are
+/// returned in [`ScrubOutcome::flagged_rows`] for the repair stage.
+///
+/// # Panics
+///
+/// Panics if `sidecar` does not cover `memory` exactly.
+pub fn scrub_pass(memory: &mut ShardedMemory, sidecar: &mut EccSidecar, fix: bool) -> ScrubOutcome {
+    assert_eq!(
+        sidecar.len(),
+        memory.len(),
+        "sidecar must cover the store exactly"
+    );
+    let code = sidecar.code;
+    let mut out = ScrubOutcome {
+        words_scanned: memory.len(),
+        per_shard_corrected_bits: vec![0u64; memory.shard_count()],
+        ..ScrubOutcome::default()
+    };
+    let flag_row = |out: &mut ScrubOutcome, row_start: usize| {
+        if out.flagged_rows.last() != Some(&row_start) {
+            out.flagged_rows.push(row_start);
+        }
+    };
+    for index in 0..memory.len() {
+        let observed = memory.read_raw(index);
+        let received = code
+            .place_data(u64::from(observed))
+            .expect("byte payload is in range")
+            | code
+                .expand_checks(u64::from(sidecar.checks[index]))
+                .expect("compact checks are in range");
+        match code.decode(received).expect("codeword is in range") {
+            Decoded::Clean { .. } => out.clean_words += 1,
+            Decoded::Corrected { data, .. } => {
+                out.corrected_words += 1;
+                out.corrected_bits += 1;
+                out.per_shard_corrected_bits[memory.shard_of(index)] += 1;
+                if !fix {
+                    continue;
+                }
+                let data = data as u8;
+                if data != observed {
+                    memory.write(index, data);
+                    out.rewrites += 1;
+                    if memory.read_raw(index) != data {
+                        out.stubborn_words += 1;
+                        flag_row(&mut out, memory.row_span(index).0);
+                    }
+                }
+                let expect = code
+                    .compact_checks(code.encode(u64::from(data)).expect("byte payload"))
+                    .expect("own codeword") as u8;
+                if sidecar.checks[index] != expect {
+                    sidecar.checks[index] = expect;
+                }
+            }
+            Decoded::Uncorrectable { .. } => {
+                out.uncorrectable_words += 1;
+                flag_row(&mut out, memory.row_span(index).0);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::{SubArrayDims, SynapticMemoryMap};
+    use fault_inject::model::{BitErrorRates, WordFailureModel};
+    use fault_inject::protection::ProtectionPolicy;
+
+    fn loaded_memory(write_p: f64, shards: usize) -> ShardedMemory {
+        let policy = ProtectionPolicy::Uniform6T;
+        let map = SynapticMemoryMap::new(&[256], &policy, SubArrayDims::PAPER);
+        let rates = BitErrorRates {
+            read_6t: 0.0,
+            write_6t: write_p,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let model = WordFailureModel::new(&rates, &policy.assignment(0));
+        let mut m = ShardedMemory::new(map, vec![model], 23, shards);
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        m.load(&data);
+        m
+    }
+
+    #[test]
+    fn healthy_store_scrubs_clean() {
+        // Even with baseline write faults in the image: the sidecar
+        // protects the observed image, so nothing is an "error".
+        let mut m = loaded_memory(0.05, 3);
+        let mut sidecar = EccSidecar::protect(&m);
+        let image = m.raw_image();
+        let out = scrub_pass(&mut m, &mut sidecar, true);
+        assert_eq!(out.clean_words, 256);
+        assert_eq!(out.corrected_words, 0);
+        assert_eq!(out.uncorrectable_words, 0);
+        assert_eq!(out.rewrites, 0);
+        assert!(out.flagged_rows.is_empty());
+        assert_eq!(m.raw_image(), image, "no-op sweep leaves storage alone");
+    }
+
+    #[test]
+    fn single_bit_upsets_are_corrected_in_place() {
+        let mut m = loaded_memory(0.0, 2);
+        let mut sidecar = EccSidecar::protect(&m);
+        let reference = m.raw_image();
+        // Flip one data bit in each of three words.
+        for &i in &[5usize, 100, 200] {
+            let v = m.read_raw(i);
+            m.write(i, v ^ 0x10);
+        }
+        let out = scrub_pass(&mut m, &mut sidecar, true);
+        assert_eq!(out.corrected_words, 3);
+        assert_eq!(out.corrected_bits, 3);
+        assert_eq!(out.rewrites, 3);
+        assert_eq!(out.stubborn_words, 0);
+        assert_eq!(out.uncorrectable_words, 0);
+        assert_eq!(m.raw_image(), reference, "upsets healed");
+        // Second sweep is clean.
+        let again = scrub_pass(&mut m, &mut sidecar, true);
+        assert_eq!(again.clean_words, 256);
+    }
+
+    #[test]
+    fn corrupted_check_bits_are_refreshed_without_touching_data() {
+        let mut m = loaded_memory(0.0, 2);
+        let mut sidecar = EccSidecar::protect(&m);
+        let image = m.raw_image();
+        let flipped = sidecar.corrupt_checks(0, 256, 0x5EED, 0.02);
+        assert!(flipped > 0);
+        let out = scrub_pass(&mut m, &mut sidecar, true);
+        assert!(out.corrected_words > 0);
+        assert_eq!(out.rewrites, 0, "data was never wrong");
+        assert_eq!(m.raw_image(), image);
+        // Correctable (single-flip) check bytes were refreshed; words that
+        // took two check flips stay uncorrectable until row repair.
+        let again = scrub_pass(&mut m, &mut sidecar, true);
+        assert_eq!(again.corrected_words, 0, "checks were refreshed");
+        assert_eq!(again.clean_words + again.uncorrectable_words, 256);
+        assert_eq!(again.uncorrectable_words, out.uncorrectable_words);
+    }
+
+    #[test]
+    fn double_flips_flag_rows_instead_of_healing() {
+        let mut m = loaded_memory(0.0, 2);
+        let mut sidecar = EccSidecar::protect(&m);
+        let v = m.read_raw(40);
+        m.write(40, v ^ 0x21); // two data bits in one word
+        let out = scrub_pass(&mut m, &mut sidecar, true);
+        assert_eq!(out.uncorrectable_words, 1);
+        assert_eq!(out.flagged_rows, vec![m.row_span(40).0]);
+        assert_eq!(m.read_raw(40), v ^ 0x21, "uncorrectable words untouched");
+    }
+
+    #[test]
+    fn stuck_words_come_back_stubborn_and_flagged() {
+        let mut m = loaded_memory(0.0, 2);
+        let mut sidecar = EccSidecar::protect(&m);
+        // Stick one bit high in a word where the reference has it low.
+        let victim = 64usize;
+        assert_eq!(m.read_raw(victim) & 0x01, 0);
+        m.inject_stuck_range(victim, 1, 0x01, 0xFF);
+        let out = scrub_pass(&mut m, &mut sidecar, true);
+        assert_eq!(out.corrected_words, 1);
+        assert_eq!(out.stubborn_words, 1, "stuck bits defeat the write-back");
+        assert_eq!(out.flagged_rows, vec![m.row_span(victim).0]);
+    }
+
+    #[test]
+    fn outcome_is_invariant_across_shard_counts() {
+        let run = |shards: usize| {
+            let mut m = loaded_memory(0.0, shards);
+            let mut sidecar = EccSidecar::protect(&m);
+            m.corrupt_stored_range(0, 256, 0xBAD, 0.004);
+            sidecar.corrupt_checks(0, 256, 0xC0DE, 0.004);
+            let out = scrub_pass(&mut m, &mut sidecar, true);
+            (out, m.raw_image())
+        };
+        let (reference, image) = run(1);
+        assert!(reference.corrected_words > 0, "corruption must register");
+        for shards in [2usize, 4, 7] {
+            let (out, img) = run(shards);
+            assert_eq!(out.words_scanned, reference.words_scanned);
+            assert_eq!(out.clean_words, reference.clean_words);
+            assert_eq!(out.corrected_words, reference.corrected_words);
+            assert_eq!(out.corrected_bits, reference.corrected_bits);
+            assert_eq!(out.uncorrectable_words, reference.uncorrectable_words);
+            assert_eq!(out.rewrites, reference.rewrites);
+            assert_eq!(out.stubborn_words, reference.stubborn_words);
+            assert_eq!(out.flagged_rows, reference.flagged_rows);
+            assert_eq!(
+                out.per_shard_corrected_bits.iter().sum::<u64>(),
+                reference.corrected_bits
+            );
+            assert_eq!(img, image, "{shards}-shard healed image");
+        }
+    }
+
+    #[test]
+    fn corrected_ber_scales_with_corrected_bits() {
+        let out = ScrubOutcome {
+            words_scanned: 1000,
+            corrected_bits: 40,
+            ..ScrubOutcome::default()
+        };
+        assert!((out.corrected_ber() - 40.0 / 8000.0).abs() < 1e-15);
+        assert_eq!(ScrubOutcome::default().corrected_ber(), 0.0);
+    }
+}

@@ -31,11 +31,13 @@
 //! million-synapse image in parallel; the `scale_bench` workload and the
 //! `cargo xtask scale-report` CI gate measure exactly that scaling.
 
-use crate::behavioral::{AccessCounts, BankModels};
+use crate::behavioral::{streams, AccessCounts, BankModels};
 use crate::organization::{SynapticMemoryMap, WordAddress};
 use fault_inject::injector::{sample_read_mask, InjectionStats};
-use fault_inject::model::WordFailureModel;
-use rand::Rng;
+use fault_inject::model::{WordFailureModel, WORD_BITS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One shard: a contiguous slice of the global word range with its own
@@ -57,6 +59,43 @@ impl Clone for Shard {
             reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
             writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
         }
+    }
+}
+
+/// A span of words whose cells latch to fixed values: every read of the
+/// span observes `(stored | or_mask) & and_mask`. Stuck cells are a
+/// *sensing* defect — they corrupt what reads return without drawing any
+/// randomness, so the batch-amortized serving path stays valid and every
+/// per-request fault stream is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckRange {
+    /// First global word of the span.
+    pub start: usize,
+    /// Words in the span.
+    pub words: usize,
+    /// Bits forced to one.
+    pub or_mask: u8,
+    /// Bits forced to zero (set bits pass through).
+    pub and_mask: u8,
+}
+
+/// Runtime degradation and repair state layered over the stored image.
+///
+/// Kept out of the hot loop when empty: every read path checks
+/// [`Overlays::is_empty`] once and takes the original fast path.
+#[derive(Debug, Clone, Default)]
+struct Overlays {
+    /// Stuck-at spans, sorted by start, non-overlapping.
+    stuck: Vec<StuckRange>,
+    /// Spare-row contents keyed by the global start of the remapped row.
+    /// Spare rows are robust cells: reads bypass storage *and* stuck masks,
+    /// writes land verbatim (no write-fault stream).
+    repairs: BTreeMap<usize, Vec<u8>>,
+}
+
+impl Overlays {
+    fn is_empty(&self) -> bool {
+        self.stuck.is_empty() && self.repairs.is_empty()
     }
 }
 
@@ -112,6 +151,8 @@ pub struct ShardedMemory {
     shards: Vec<Shard>,
     /// Owned reads served so far — the key of the owned-read fault stream.
     reads_served: u64,
+    /// Stuck-at spans and spare-row repairs (empty in a healthy store).
+    overlays: Overlays,
 }
 
 impl ShardedMemory {
@@ -172,6 +213,7 @@ impl ShardedMemory {
             chunk,
             shards: shard_vec,
             reads_served: 0,
+            overlays: Overlays::default(),
         }
     }
 
@@ -188,6 +230,18 @@ impl ShardedMemory {
     /// The per-bank failure models (parallel to `map().banks()`).
     pub fn models(&self) -> &[WordFailureModel] {
         &self.banks.models
+    }
+
+    /// The base seed every internal fault stream is rooted at.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The shared per-bank fault-model state (for in-crate consumers such
+    /// as the BIST march, which replays the write and read streams without
+    /// touching storage).
+    pub(crate) fn bank_models(&self) -> &BankModels {
+        &self.banks
     }
 
     /// Number of shards.
@@ -261,15 +315,244 @@ impl ShardedMemory {
         }
     }
 
+    /// Words per physical row (`cols / 8` of the sub-array geometry) — the
+    /// granularity of stuck-at spans and spare-row repair.
+    pub fn words_per_row(&self) -> usize {
+        (self.map.dims().cols / 8).max(1)
+    }
+
+    /// The row-aligned span `(start, words)` containing global word
+    /// `index`. Rows never cross bank boundaries; a bank's last row may be
+    /// short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn row_span(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.len(), "word index {index} out of range");
+        let bank = self.bank_of(index);
+        let bank_start = if bank == 0 {
+            0
+        } else {
+            self.bank_ends[bank - 1]
+        };
+        let wpr = self.words_per_row();
+        let offset = index - bank_start;
+        let start = bank_start + offset - offset % wpr;
+        (start, wpr.min(self.bank_ends[bank] - start))
+    }
+
+    /// Marks `start..start + words` stuck: every subsequent read of the
+    /// span observes `(stored | or_mask) & and_mask`. Stuck sensing draws
+    /// no randomness, so every fault stream (and the batch-amortized
+    /// serving path) is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or overlaps an existing stuck
+    /// span.
+    pub fn inject_stuck_range(&mut self, start: usize, words: usize, or_mask: u8, and_mask: u8) {
+        assert!(
+            start
+                .checked_add(words)
+                .is_some_and(|end| end <= self.len()),
+            "stuck range out of bounds"
+        );
+        if words == 0 {
+            return;
+        }
+        let range = StuckRange {
+            start,
+            words,
+            or_mask,
+            and_mask,
+        };
+        let at = self.overlays.stuck.partition_point(|r| r.start < start);
+        let clear_before = at == 0 || {
+            let prev = &self.overlays.stuck[at - 1];
+            prev.start + prev.words <= start
+        };
+        let clear_after =
+            at == self.overlays.stuck.len() || start + words <= self.overlays.stuck[at].start;
+        assert!(clear_before && clear_after, "stuck ranges must not overlap");
+        self.overlays.stuck.insert(at, range);
+    }
+
+    /// The stuck-at spans currently in effect, sorted by start.
+    pub fn stuck_ranges(&self) -> &[StuckRange] {
+        &self.overlays.stuck
+    }
+
+    /// Remaps the row starting at `start` onto a spare row holding `data`.
+    /// Reads of the span return the spare contents verbatim — bypassing
+    /// storage and stuck masks; only the per-access transient read faults
+    /// of the sensing path still apply. Re-repairing a row refreshes its
+    /// spare contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a row start (see
+    /// [`row_span`](Self::row_span)) or `data` does not match the row
+    /// length.
+    pub fn repair_row(&mut self, start: usize, data: &[u8]) {
+        let (row_start, row_words) = self.row_span(start);
+        assert_eq!(start, row_start, "repair must target a row start");
+        assert_eq!(data.len(), row_words, "spare data must fill the row");
+        self.overlays.repairs.insert(start, data.to_vec());
+    }
+
+    /// The repaired rows as `(start, words)` spans, in address order.
+    pub fn repaired_rows(&self) -> Vec<(usize, usize)> {
+        self.overlays
+            .repairs
+            .iter()
+            .map(|(&start, data)| (start, data.len()))
+            .collect()
+    }
+
+    /// `true` when the row containing `index` has been remapped to a spare.
+    pub fn is_repaired(&self, index: usize) -> bool {
+        self.repaired_byte(index).is_some()
+    }
+
+    /// Flips each stored bit of `start..start + words` with probability
+    /// `per_bit` — persistent corruption of the *array* (chaos events:
+    /// elevated BER, retention-voltage drops). Keyed by `(seed, global
+    /// word)`, so the damage is identical at any shard count. Rows already
+    /// remapped to spares keep their storage bits flipped too, but reads
+    /// never see them (spares are robust). Returns the number of flipped
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `per_bit` is not a
+    /// probability.
+    pub fn corrupt_stored_range(
+        &mut self,
+        start: usize,
+        words: usize,
+        seed: u64,
+        per_bit: f64,
+    ) -> u64 {
+        assert!(
+            start
+                .checked_add(words)
+                .is_some_and(|end| end <= self.len()),
+            "corruption range out of bounds"
+        );
+        assert!(
+            (0.0..=1.0).contains(&per_bit) && per_bit.is_finite(),
+            "per_bit = {per_bit} is not a probability"
+        );
+        if per_bit <= 0.0 {
+            return 0;
+        }
+        let mut flipped = 0u64;
+        for index in start..start + words {
+            let mut rng = StdRng::seed_from_u64(streams::degrade_word_seed(seed, index));
+            let mut mask = 0u8;
+            for bit in 0..WORD_BITS {
+                if rng.gen::<f64>() < per_bit {
+                    mask |= 1 << bit;
+                }
+            }
+            if mask != 0 {
+                flipped += u64::from(mask.count_ones());
+                let shard = (index / self.chunk).min(self.shards.len() - 1);
+                let s = &mut self.shards[shard];
+                s.words[index - s.start] ^= mask;
+            }
+        }
+        flipped
+    }
+
+    /// The spare-row byte backing `index`, if its row is repaired.
+    fn repaired_byte(&self, index: usize) -> Option<u8> {
+        if self.overlays.repairs.is_empty() {
+            return None;
+        }
+        let wpr = self.words_per_row();
+        let from = index.saturating_sub(wpr.saturating_sub(1));
+        self.overlays
+            .repairs
+            .range(from..=index)
+            .next_back()
+            .and_then(|(&start, data)| data.get(index - start).copied())
+    }
+
+    /// The stored byte as the sensing path observes it: spare contents for
+    /// repaired rows, stuck masks applied otherwise. Equal to the raw
+    /// stored byte whenever no overlay covers the word.
+    fn observe(&self, index: usize) -> u8 {
+        if let Some(byte) = self.repaired_byte(index) {
+            return byte;
+        }
+        let s = &self.shards[self.shard_of(index)];
+        let stored = s.words[index - s.start];
+        let at = self
+            .overlays
+            .stuck
+            .partition_point(|r| r.start + r.words <= index);
+        match self.overlays.stuck.get(at) {
+            Some(r) if r.start <= index => (stored | r.or_mask) & r.and_mask,
+            _ => stored,
+        }
+    }
+
+    /// Applies stuck masks and spare-row repairs to the observed bytes of
+    /// `start..start + out.len()` (already copied from storage into `out`).
+    fn apply_overlays(&self, start: usize, out: &mut [u8]) {
+        let end = start + out.len();
+        let first = self
+            .overlays
+            .stuck
+            .partition_point(|r| r.start + r.words <= start);
+        for r in &self.overlays.stuck[first..] {
+            if r.start >= end {
+                break;
+            }
+            let lo = r.start.max(start);
+            let hi = (r.start + r.words).min(end);
+            for w in &mut out[lo - start..hi - start] {
+                *w = (*w | r.or_mask) & r.and_mask;
+            }
+        }
+        let wpr = self.words_per_row();
+        let from = start.saturating_sub(wpr.saturating_sub(1));
+        for (&row_start, data) in self.overlays.repairs.range(from..end) {
+            let row_end = row_start + data.len();
+            if row_end <= start {
+                continue;
+            }
+            let lo = row_start.max(start);
+            let hi = row_end.min(end);
+            out[lo - start..hi - start].copy_from_slice(&data[lo - row_start..hi - row_start]);
+        }
+    }
+
     /// Writes one word; write failures may corrupt stored bits
     /// persistently, keyed by the word's logical address exactly as in the
-    /// monolithic reference.
+    /// monolithic reference. Writes to a repaired row land verbatim in the
+    /// spare (robust cells, no write-fault stream).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn write(&mut self, index: usize, value: u8) {
         assert!(index < self.len(), "word index {index} out of range");
+        if !self.overlays.repairs.is_empty() {
+            let wpr = self.words_per_row();
+            let from = index.saturating_sub(wpr.saturating_sub(1));
+            if let Some((&start, data)) = self.overlays.repairs.range_mut(from..=index).next_back()
+            {
+                if index - start < data.len() {
+                    data[index - start] = value;
+                    let shard = (index / self.chunk).min(self.shards.len() - 1);
+                    *self.shards[shard].writes.get_mut() += 1;
+                    return;
+                }
+            }
+        }
         let addr = self.locate(index);
         let mask = self.banks.write_mask(self.base_seed, addr);
         let shard = self.shard_of(index);
@@ -291,10 +574,15 @@ impl ShardedMemory {
             .banks
             .owned_read_mask(self.base_seed, self.reads_served, bank);
         self.reads_served += 1;
+        let stored = if self.overlays.is_empty() {
+            let s = &self.shards[self.shard_of(index)];
+            s.words[index - s.start]
+        } else {
+            self.observe(index)
+        };
         let shard = self.shard_of(index);
-        let s = &mut self.shards[shard];
-        *s.reads.get_mut() += 1;
-        s.words[index - s.start] ^ mask
+        *self.shards[shard].reads.get_mut() += 1;
+        stored ^ mask
     }
 
     /// Reads one word through `&self`, sampling the read-fault bits from a
@@ -349,7 +637,12 @@ impl ShardedMemory {
         let mask = sample_read_mask(&self.banks.models[bank], rng);
         let s = &self.shards[self.shard_of(index)];
         s.reads.fetch_add(1, Ordering::Relaxed);
-        (s.words[index - s.start] ^ mask, mask)
+        let stored = if self.overlays.is_empty() {
+            s.words[index - s.start]
+        } else {
+            self.observe(index)
+        };
+        (stored ^ mask, mask)
     }
 
     /// Reads the contiguous row `start..start + len` through `&self` in one
@@ -407,6 +700,9 @@ impl ShardedMemory {
             s.reads.fetch_add(seg as u64, Ordering::Relaxed);
             pos += seg;
         }
+        if !self.overlays.is_empty() {
+            self.apply_overlays(start, words);
+        }
         if fault_bits > 0 {
             for (w, &m) in words.iter_mut().zip(masks.iter()) {
                 *w ^= m;
@@ -451,15 +747,22 @@ impl ShardedMemory {
         }
     }
 
-    /// Reads one word without fault injection (debug/verification path).
+    /// Reads one word without transient fault injection — what a perfect
+    /// sense amplifier would observe: spare contents for repaired rows and
+    /// stuck masks applied, raw storage otherwise (debug, verification,
+    /// and scrubber path).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn read_raw(&self, index: usize) -> u8 {
         assert!(index < self.len(), "word index {index} out of range");
-        let s = &self.shards[self.shard_of(index)];
-        s.words[index - s.start]
+        if self.overlays.is_empty() {
+            let s = &self.shards[self.shard_of(index)];
+            s.words[index - s.start]
+        } else {
+            self.observe(index)
+        }
     }
 
     /// Bulk-loads `data` through the faulty write path starting at word 0,
@@ -571,6 +874,9 @@ impl ShardedMemory {
         for shard in &self.shards {
             image.extend_from_slice(&shard.words);
         }
+        if !self.overlays.is_empty() {
+            self.apply_overlays(0, &mut image);
+        }
         let bank_words: Vec<usize> = self.map.banks().iter().map(|b| b.words).collect();
         let banks = &self.banks;
         let per_bank: Vec<(Vec<(usize, u8)>, InjectionStats)> =
@@ -589,7 +895,9 @@ impl ShardedMemory {
         (image, stats)
     }
 
-    /// The stored image, shard slices concatenated (no fault injection).
+    /// The stored image, shard slices concatenated — raw array contents,
+    /// *without* stuck masks or spare-row repairs (those are sensing-path
+    /// overlays; see [`read_raw`](Self::read_raw) for the observed view).
     pub fn raw_image(&self) -> Vec<u8> {
         let mut image = Vec::with_capacity(self.len());
         for shard in &self.shards {
@@ -827,5 +1135,140 @@ mod tests {
         let map = SynapticMemoryMap::new(&[4], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
         let m = ShardedMemory::new(map, vec![WordFailureModel::ideal()], 0, 2);
         let _ = m.read_raw(4);
+    }
+
+    fn ideal_memory(bank_words: &[usize], shards: usize) -> ShardedMemory {
+        let map = SynapticMemoryMap::new(
+            bank_words,
+            &ProtectionPolicy::Uniform6T,
+            SubArrayDims::PAPER,
+        );
+        let models = vec![WordFailureModel::ideal(); bank_words.len()];
+        ShardedMemory::new(map, models, 7, shards)
+    }
+
+    #[test]
+    fn row_span_is_row_aligned_and_bank_bounded() {
+        // PAPER dims: 256 cols → 32 words per row. Bank 0 holds 70 words:
+        // rows [0,32), [32,64), and a short tail [64,70). Bank 1 starts a
+        // fresh row at word 70 regardless of global alignment.
+        let m = ideal_memory(&[70, 40], 3);
+        assert_eq!(m.words_per_row(), 32);
+        assert_eq!(m.row_span(0), (0, 32));
+        assert_eq!(m.row_span(31), (0, 32));
+        assert_eq!(m.row_span(32), (32, 32));
+        assert_eq!(m.row_span(69), (64, 6), "bank tail row is short");
+        assert_eq!(m.row_span(70), (70, 32), "banks restart row alignment");
+        assert_eq!(m.row_span(109), (102, 8));
+    }
+
+    #[test]
+    fn stuck_ranges_corrupt_reads_but_not_storage() {
+        let mut m = ideal_memory(&[64], 2);
+        m.load(&[0x0Fu8; 64]);
+        m.inject_stuck_range(10, 4, 0xC0, 0xFE);
+        for i in 0..64 {
+            let expect = if (10..14).contains(&i) { 0xCE } else { 0x0F };
+            assert_eq!(m.read_raw(i), expect, "word {i}");
+        }
+        assert_eq!(m.raw_image(), vec![0x0F; 64], "storage itself is intact");
+        // Row reads observe the same overlay as scalar reads.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut words, mut masks) = (Vec::new(), Vec::new());
+        let faults = m.read_row_shared(0, 64, &mut rng, &mut words, &mut masks);
+        assert_eq!(faults, 0);
+        let scalar: Vec<u8> = (0..64).map(|i| m.read_raw(i)).collect();
+        assert_eq!(words, scalar);
+        // Snapshot and bulk reads see it too.
+        let (snap, _) = m.corrupt_snapshot(5);
+        assert_eq!(snap, scalar);
+        let (bulk, _) = m.read_bulk(6);
+        assert_eq!(bulk, scalar);
+    }
+
+    #[test]
+    fn repaired_rows_override_storage_and_stuck_masks() {
+        let mut m = ideal_memory(&[64], 3);
+        m.load(&[0x55u8; 64]);
+        m.inject_stuck_range(32, 32, 0xFF, 0xFF); // whole second row stuck at 1
+        let spare = vec![0xA7u8; 32];
+        m.repair_row(32, &spare);
+        for i in 32..64 {
+            assert_eq!(m.read_raw(i), 0xA7, "spare bypasses the stuck cells");
+            assert!(m.is_repaired(i));
+        }
+        assert!(!m.is_repaired(31));
+        assert_eq!(m.repaired_rows(), vec![(32, 32)]);
+        // Row-path observation agrees with the scalar path across the
+        // repair boundary.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut words, mut masks) = (Vec::new(), Vec::new());
+        m.read_row_shared(16, 32, &mut rng, &mut words, &mut masks);
+        let scalar: Vec<u8> = (16..48).map(|i| m.read_raw(i)).collect();
+        assert_eq!(words, scalar);
+    }
+
+    #[test]
+    fn writes_to_repaired_rows_land_in_the_spare() {
+        // Heavy write faults everywhere; the spare row must be immune.
+        let (_, mut m) = pair(&[64], 0.0, 0.5, 3, 2);
+        m.load(&[0u8; 64]);
+        m.repair_row(0, &[0u8; 32]);
+        for i in 0..32 {
+            m.write(i, 0x3C);
+            assert_eq!(m.read_raw(i), 0x3C, "spare writes are fault-free");
+        }
+        let writes_before = m.counts().writes;
+        m.write(5, 0x99);
+        assert_eq!(m.counts().writes, writes_before + 1, "spare writes billed");
+    }
+
+    #[test]
+    fn corrupt_stored_range_is_deterministic_and_shard_invariant() {
+        let build = |shards| {
+            let mut m = ideal_memory(&[200], shards);
+            m.load(&[0x11u8; 200]);
+            m
+        };
+        let mut reference = build(1);
+        let flipped = reference.corrupt_stored_range(40, 100, 0xDEAD, 0.05);
+        assert!(flipped > 0, "5% of 800 bits should flip at least once");
+        for shards in [2usize, 4, 7] {
+            let mut m = build(shards);
+            assert_eq!(m.corrupt_stored_range(40, 100, 0xDEAD, 0.05), flipped);
+            assert_eq!(m.raw_image(), reference.raw_image(), "{shards} shards");
+        }
+        // Untouched words keep their contents.
+        assert_eq!(reference.read_raw(39), 0x11);
+        assert_eq!(reference.read_raw(140), 0x11);
+    }
+
+    #[test]
+    fn overlay_free_reads_take_the_fast_path_unchanged() {
+        // With no overlays installed the observed image is the raw image —
+        // the baseline equivalence tests above all run through this path.
+        let mut m = ideal_memory(&[64], 2);
+        m.load(&[0x77u8; 64]);
+        assert!(m.stuck_ranges().is_empty());
+        assert!(m.repaired_rows().is_empty());
+        assert_eq!(
+            m.raw_image(),
+            (0..64).map(|i| m.read_raw(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_stuck_ranges_panic() {
+        let mut m = ideal_memory(&[64], 1);
+        m.inject_stuck_range(0, 10, 0xFF, 0xFF);
+        m.inject_stuck_range(5, 10, 0xFF, 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "row start")]
+    fn repair_must_target_a_row_start() {
+        let mut m = ideal_memory(&[64], 1);
+        m.repair_row(5, &[0u8; 32]);
     }
 }

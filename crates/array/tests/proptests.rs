@@ -4,7 +4,9 @@ use fault_inject::model::{BitErrorRates, WordFailureModel};
 use fault_inject::protection::ProtectionPolicy;
 use proptest::prelude::*;
 use sram_array::behavioral::SynapticMemory;
+use sram_array::bist::run_bist;
 use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_array::sharded::ShardedMemory;
 
 fn arb_banks() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..5000, 1..6)
@@ -100,5 +102,46 @@ proptest! {
             "flips {} vs expected {expected}",
             stats.total()
         );
+    }
+
+    /// The BIST weak-cell map is a pure function of (bank layout, fault
+    /// rates, base seed, bist seed): bit-identical at every shard count
+    /// and every worker count, for arbitrary layouts and seeds.
+    #[test]
+    fn bist_map_invariant_across_shards_and_workers(
+        banks in prop::collection::vec(64usize..1500, 1..5),
+        msb in 0usize..=3,
+        write_p in 0.01f64..0.25,
+        read_p in 0.0f64..0.05,
+        base_seed in 0u64..1_000,
+        bist_seed in 0u64..1_000,
+    ) {
+        let build = |shards: usize| {
+            let policy = ProtectionPolicy::MsbProtected { msb_8t: msb };
+            let map = SynapticMemoryMap::new(&banks, &policy, SubArrayDims::PAPER);
+            let rates = BitErrorRates {
+                read_6t: read_p,
+                write_6t: write_p,
+                read_8t: 0.0,
+                write_8t: 0.0,
+            };
+            let models = (0..banks.len())
+                .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+                .collect();
+            ShardedMemory::new(map, models, base_seed, shards)
+        };
+        let reference = run_bist(&build(1), bist_seed);
+        for shards in [1usize, 2, 4, 7] {
+            for workers in [1usize, 2, 4] {
+                sram_exec::set_threads(workers);
+                let report = run_bist(&build(shards), bist_seed);
+                sram_exec::clear_threads();
+                prop_assert_eq!(
+                    &report, &reference,
+                    "map diverged at {} shards / {} workers", shards, workers
+                );
+                prop_assert_eq!(report.digest(), reference.digest());
+            }
+        }
     }
 }

@@ -1,0 +1,100 @@
+//! Statistical cross-check: the online scrubber's observed corrected /
+//! uncorrectable counters must agree with `sram_ecc`'s analytic SECDED
+//! channel model.
+//!
+//! Setup: an ideal (fault-free) uniform-6T store protected by an
+//! [`EccSidecar`], then every one of the 13 codeword bits (8 data in the
+//! store, 5 checks in the sidecar) is flipped independently with
+//! probability `p` through the address-keyed degradation streams — exactly
+//! the i.i.d. channel [`EccChannel`] models. One `scrub_pass` then
+//! classifies every word, and its counters are compared against the
+//! channel's closed forms:
+//!
+//! - corrected  ≈ P(odd #flips ≥ 1): single-bit upsets plus the rare
+//!   odd-weight (3+) patterns SECDED *miscorrects* as if single-bit;
+//! - uncorrectable ≈ P(even #flips ≥ 2): double-detect patterns;
+//! - `analytic_failure_probability()` = P(#flips ≥ 2) = uncorrectable
+//!   fraction + the odd-weight ≥3 slice.
+//!
+//! Each comparison allows a 6σ binomial band, so the test is a genuine
+//! distribution check, not a golden-value pin.
+
+use fault_inject::model::WordFailureModel;
+use fault_inject::protection::ProtectionPolicy;
+use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_array::scrub::{scrub_pass, EccSidecar};
+use sram_array::sharded::ShardedMemory;
+use sram_ecc::channel::EccChannel;
+use sram_ecc::hamming::SecdedCode;
+
+/// C(n, k) in f64 — n is tiny (13), no overflow concerns.
+fn binomial(n: u64, k: u64) -> f64 {
+    (0..k).fold(1.0, |acc, i| acc * (n - i) as f64 / (i + 1) as f64)
+}
+
+/// P(exactly k of 13 codeword bits flip) at per-bit probability `p`.
+fn p_flips(k: u64, p: f64) -> f64 {
+    binomial(13, k) * p.powi(k as i32) * (1.0 - p).powi(13 - k as i32)
+}
+
+#[test]
+fn scrub_counters_match_the_analytic_secded_channel() {
+    let n = 40_000usize;
+    let p = 0.01f64;
+    let map = SynapticMemoryMap::new(&[n], &ProtectionPolicy::Uniform6T, SubArrayDims::PAPER);
+    let mut memory = ShardedMemory::new(map, vec![WordFailureModel::ideal()], 11, 4);
+    memory.load(&vec![0x5Au8; n]);
+
+    let mut sidecar = EccSidecar::protect(&memory);
+    // Independent address-keyed streams for the 8 data bits and the 5
+    // check bits: together, 13 i.i.d. Bernoulli(p) flips per codeword.
+    memory.corrupt_stored_range(0, n, 0xDA7A_5EED, p);
+    sidecar.corrupt_checks(0, n, 0xC3EC_5EED, p);
+    let outcome = scrub_pass(&mut memory, &mut sidecar, false);
+    assert_eq!(outcome.words_scanned, n);
+
+    let channel =
+        EccChannel::new(SecdedCode::for_weights().expect("(13,8) code"), p).expect("valid p");
+    let analytic_fail = channel.analytic_failure_probability();
+
+    // Odd-weight ≥3 patterns decode as (mis)corrections, even-weight ≥2 as
+    // uncorrectable double detections.
+    let p_odd_3_up: f64 = (3..=13).step_by(2).map(|k| p_flips(k, p)).sum();
+    let p_even_2_up: f64 = (2..=12).step_by(2).map(|k| p_flips(k, p)).sum();
+    let p_corrected = p_flips(1, p) + p_odd_3_up;
+
+    let sigma = |q: f64| (n as f64 * q * (1.0 - q)).sqrt();
+    let corrected = outcome.corrected_words as f64;
+    let uncorrectable = outcome.uncorrectable_words as f64;
+
+    let expect_corrected = n as f64 * p_corrected;
+    assert!(
+        (corrected - expect_corrected).abs() <= 6.0 * sigma(p_corrected),
+        "corrected {corrected} vs analytic {expect_corrected:.1}"
+    );
+    let expect_uncorrectable = n as f64 * p_even_2_up;
+    assert!(
+        (uncorrectable - expect_uncorrectable).abs() <= 6.0 * sigma(p_even_2_up),
+        "uncorrectable {uncorrectable} vs analytic {expect_uncorrectable:.1}"
+    );
+
+    // The channel's failure probability is the uncorrectable slice plus
+    // the miscorrected odd-weight tail: the observed uncorrectable count
+    // must bracket it from below within the same band.
+    let expect_fail = n as f64 * analytic_fail;
+    assert!(
+        uncorrectable <= expect_fail + 6.0 * sigma(analytic_fail),
+        "uncorrectable {uncorrectable} exceeds analytic failure bound {expect_fail:.1}"
+    );
+    assert!(
+        uncorrectable + n as f64 * p_odd_3_up >= expect_fail - 6.0 * sigma(analytic_fail),
+        "uncorrectable {uncorrectable} + miscorrection slice falls short of {expect_fail:.1}"
+    );
+    // Sanity: the decomposition used above reconstructs the analytic form.
+    assert!((p_even_2_up + p_odd_3_up - analytic_fail).abs() < 1e-12);
+
+    // Single-bit corrections carry exactly one bit each, so the corrected
+    // BER tracks corrected_bits / (8 * words); miscorrections keep it
+    // within the same band.
+    assert!(outcome.corrected_bits >= outcome.corrected_words as u64);
+}

@@ -242,6 +242,102 @@ impl SecdedCode {
         }
     }
 
+    /// Number of non-data bits in a codeword: the Hamming parity bits plus
+    /// the overall parity. For the (13, 8) weight code this is 5 — the
+    /// check bits an ECC sidecar stores alongside each byte.
+    #[inline]
+    pub fn check_bits(&self) -> u32 {
+        self.parity_bits + 1
+    }
+
+    /// Scatters a payload into its codeword positions without computing any
+    /// parity: bit `i` of `data` lands on the `i`-th non-power-of-two
+    /// codeword position. Combined with [`expand_checks`](Self::expand_checks)
+    /// this reconstructs a *received* codeword from an observed data word
+    /// and separately stored check bits, which is exactly what an online
+    /// scrubber holds: the array yields the (possibly corrupted) data byte,
+    /// the sidecar yields the check bits encoded at write time.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::DataOutOfRange`] if `data` has bits set at or above
+    /// [`SecdedCode::data_bits`].
+    pub fn place_data(&self, data: u64) -> Result<u64, EccError> {
+        if self.data_bits < 64 && data >> self.data_bits != 0 {
+            return Err(EccError::DataOutOfRange {
+                data,
+                data_bits: self.data_bits,
+            });
+        }
+        let mut word = 0u64;
+        let mut next_data_bit = 0u32;
+        for position in 1..=u64::from(self.hamming_bits()) {
+            if position.is_power_of_two() {
+                continue;
+            }
+            if (data >> next_data_bit) & 1 == 1 {
+                word |= 1 << (position - 1);
+            }
+            next_data_bit += 1;
+        }
+        Ok(word)
+    }
+
+    /// Gathers a codeword's non-data bits (Hamming parity at power-of-two
+    /// positions, then the overall parity) into a compact value of
+    /// [`check_bits`](Self::check_bits) bits, LSB-first in position order.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::CodewordOutOfRange`] if `code` has bits set at or above
+    /// [`SecdedCode::code_bits`].
+    pub fn compact_checks(&self, code: u64) -> Result<u64, EccError> {
+        if self.code_bits() < 64 && code >> self.code_bits() != 0 {
+            return Err(EccError::CodewordOutOfRange {
+                code,
+                code_bits: self.code_bits(),
+            });
+        }
+        let mut compact = 0u64;
+        for j in 0..self.parity_bits {
+            let position = 1u64 << j;
+            if (code >> (position - 1)) & 1 == 1 {
+                compact |= 1 << j;
+            }
+        }
+        if (code >> self.hamming_bits()) & 1 == 1 {
+            compact |= 1 << self.parity_bits;
+        }
+        Ok(compact)
+    }
+
+    /// Inverse of [`compact_checks`](Self::compact_checks): scatters a
+    /// compact check value back onto its codeword positions.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::CodewordOutOfRange`] if `compact` has bits set at or
+    /// above [`check_bits`](Self::check_bits).
+    pub fn expand_checks(&self, compact: u64) -> Result<u64, EccError> {
+        if compact >> self.check_bits() != 0 {
+            return Err(EccError::CodewordOutOfRange {
+                code: compact,
+                code_bits: self.check_bits(),
+            });
+        }
+        let mut word = 0u64;
+        for j in 0..self.parity_bits {
+            if (compact >> j) & 1 == 1 {
+                let position = 1u64 << j;
+                word |= 1 << (position - 1);
+            }
+        }
+        if (compact >> self.parity_bits) & 1 == 1 {
+            word |= 1 << self.hamming_bits();
+        }
+        Ok(word)
+    }
+
     /// Gathers the data bits out of a Hamming word (no correction).
     fn extract(&self, hamming_part: u64) -> u64 {
         let mut data = 0u64;
@@ -394,6 +490,36 @@ mod tests {
         assert!(w8 > w16 && w16 > w32);
         assert!((w8 - 0.625).abs() < 1e-12);
         assert!((w32 - 7.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placement_and_checks_partition_the_codeword() {
+        // place_data(data) | expand_checks(compact_checks(word)) must
+        // reassemble every encoded byte exactly — the sidecar invariant.
+        let code = weight_code();
+        assert_eq!(code.check_bits(), 5);
+        for data in 0..=255u64 {
+            let word = code.encode(data).unwrap();
+            let placed = code.place_data(data).unwrap();
+            let checks = code.compact_checks(word).unwrap();
+            assert!(checks < 32, "byte {data}: checks must fit 5 bits");
+            let expanded = code.expand_checks(checks).unwrap();
+            assert_eq!(placed & expanded, 0, "byte {data}: positions disjoint");
+            assert_eq!(placed | expanded, word, "byte {data}: reassembly");
+            // A single-bit-corrupted observation reassembles into a received
+            // word the decoder corrects back to the written payload.
+            let observed = data ^ 0x40;
+            let received = code.place_data(observed).unwrap() | expanded;
+            assert_eq!(code.decode(received).unwrap().data(), data);
+        }
+    }
+
+    #[test]
+    fn placement_helpers_reject_out_of_range_inputs() {
+        let code = weight_code();
+        assert!(code.place_data(0x100).is_err());
+        assert!(code.compact_checks(1 << 13).is_err());
+        assert!(code.expand_checks(1 << 5).is_err());
     }
 
     #[test]

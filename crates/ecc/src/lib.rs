@@ -43,6 +43,8 @@
 //! # Ok::<(), sram_ecc::EccError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod channel;
 pub mod error;
 pub mod hamming;

@@ -1,0 +1,238 @@
+//! Seeded degradation schedules for chaos-testing the serving stack.
+//!
+//! A [`ChaosSchedule`] describes *when* (which request wave) and *where*
+//! (which global word range) a memory degrades mid-load, plus *how*:
+//! elevated persistent bit-error rate, stuck-at rows, or a whole region
+//! dropped to retention voltage. The schedule is pure data — applying an
+//! event to a store lives with the store — so this crate stays
+//! representation-agnostic.
+//!
+//! Every event is keyed by **canonical global addresses**: the degraded
+//! region is a shard of a fixed reference partition of the address space,
+//! chosen once from the schedule seed. The store under test may be split
+//! into any number of physical shards; the schedule never mentions them,
+//! which is what keeps chaos runs bit-identical across shard counts (the
+//! same determinism contract every other fault stream follows).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// One way a memory region degrades.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosEvent {
+    /// Persistent random bit flips across the region — the signature of a
+    /// marginal supply or particle-strike burst. Each stored bit of
+    /// `start..start + words` flips with probability `per_bit`, keyed by
+    /// `seed` and the global word address.
+    ElevatedBer {
+        /// First global word of the region.
+        start: usize,
+        /// Words in the region.
+        words: usize,
+        /// Per-bit flip probability.
+        per_bit: f64,
+        /// Seed of the address-keyed corruption stream.
+        seed: u64,
+    },
+    /// Rows whose cells latch to a fixed value: every read of
+    /// `start..start + words` observes `(stored | or_mask) & and_mask`.
+    StuckRows {
+        /// First global word of the stuck span.
+        start: usize,
+        /// Words in the span.
+        words: usize,
+        /// Bits forced to one.
+        or_mask: u8,
+        /// Bits forced to zero (set bits pass through).
+        and_mask: u8,
+    },
+    /// The region's supply collapses to retention voltage: a burst of
+    /// persistent flips at the retention-level error rate. The BER-fed
+    /// drowsy governor is expected to react by raising the region's
+    /// retention voltage.
+    RetentionDrop {
+        /// First global word of the region.
+        start: usize,
+        /// Words in the region.
+        words: usize,
+        /// Per-bit flip probability of the retention burst.
+        per_bit: f64,
+        /// Seed of the address-keyed corruption stream.
+        seed: u64,
+    },
+}
+
+impl ChaosEvent {
+    /// The global word range the event touches.
+    pub fn range(&self) -> (usize, usize) {
+        match *self {
+            ChaosEvent::ElevatedBer { start, words, .. }
+            | ChaosEvent::StuckRows { start, words, .. }
+            | ChaosEvent::RetentionDrop { start, words, .. } => (start, words),
+        }
+    }
+}
+
+/// A [`ChaosEvent`] pinned to the request wave it strikes during.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledEvent {
+    /// Wave index (0-based) after whose start the event is applied.
+    pub wave: usize,
+    /// The degradation itself.
+    pub event: ChaosEvent,
+}
+
+/// A deterministic mid-load degradation scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSchedule {
+    /// Events in application order (sorted by wave).
+    pub events: Vec<ScheduledEvent>,
+}
+
+impl ChaosSchedule {
+    /// The standard "one shard degrades mid-load" scenario the chaos gate
+    /// runs: one shard of a canonical `canonical_shards`-way partition of
+    /// `total_words` is chosen from `seed`, then hit in three strikes —
+    /// elevated BER at wave 1, stuck-at-one rows at wave 2, and a drop to
+    /// retention voltage (a second, stronger corruption burst) at wave 3
+    /// (clamped to `waves - 1`). `row_words` is the physical row width in
+    /// words; the stuck span covers `stuck_rows` whole rows.
+    ///
+    /// The returned schedule names only canonical global addresses, so it
+    /// is identical regardless of how the store under test is sharded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_words`, `canonical_shards`, `waves`, or `row_words`
+    /// is zero.
+    pub fn degraded_shard(
+        seed: u64,
+        total_words: usize,
+        canonical_shards: usize,
+        waves: usize,
+        row_words: usize,
+        stuck_rows: usize,
+    ) -> Self {
+        assert!(total_words > 0, "empty memory cannot degrade");
+        assert!(canonical_shards > 0, "canonical partition needs shards");
+        assert!(waves > 0, "at least one wave required");
+        assert!(row_words > 0, "rows must hold words");
+        let chunk = total_words.div_ceil(canonical_shards).max(1);
+        let shards = total_words.div_ceil(chunk);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim = (rng.next_u64() as usize) % shards;
+        let start = victim * chunk;
+        let words = chunk.min(total_words - start);
+        let ber_seed = rng.next_u64();
+        let drop_seed = rng.next_u64();
+        // Stuck rows land at the front of the victim region, row-aligned.
+        let stuck_start = start.div_ceil(row_words) * row_words;
+        let stuck_words =
+            (stuck_rows * row_words).min(start + words - stuck_start.min(start + words));
+        let mut events = vec![ScheduledEvent {
+            wave: 1.min(waves - 1),
+            event: ChaosEvent::ElevatedBer {
+                start,
+                words,
+                per_bit: 8e-3,
+                seed: ber_seed,
+            },
+        }];
+        if stuck_words > 0 {
+            events.push(ScheduledEvent {
+                wave: 2.min(waves - 1),
+                event: ChaosEvent::StuckRows {
+                    start: stuck_start,
+                    words: stuck_words,
+                    or_mask: 0xFF,
+                    and_mask: 0xFF,
+                },
+            });
+        }
+        events.push(ScheduledEvent {
+            wave: 3.min(waves - 1),
+            event: ChaosEvent::RetentionDrop {
+                start,
+                words,
+                per_bit: 2e-2,
+                seed: drop_seed,
+            },
+        });
+        events.sort_by_key(|e| e.wave);
+        Self { events }
+    }
+
+    /// The events striking during `wave`, in schedule order.
+    pub fn events_at(&self, wave: usize) -> impl Iterator<Item = &ChaosEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.wave == wave)
+            .map(|e| &e.event)
+    }
+
+    /// The last wave any event strikes in (`None` for an empty schedule).
+    pub fn last_wave(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.wave).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_shard_is_deterministic_and_canonical() {
+        let a = ChaosSchedule::degraded_shard(0xC4A0_5EED, 19_090, 4, 4, 32, 48);
+        let b = ChaosSchedule::degraded_shard(0xC4A0_5EED, 19_090, 4, 4, 32, 48);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = ChaosSchedule::degraded_shard(0xC4A0_5EEE, 19_090, 4, 4, 32, 48);
+        assert!(a != c, "different seed must move the scenario");
+        // Three strike kinds, all inside the address space, sorted by wave.
+        assert_eq!(a.events.len(), 3);
+        let mut last = 0usize;
+        for e in &a.events {
+            assert!(e.wave >= last);
+            last = e.wave;
+            let (start, words) = e.event.range();
+            assert!(start + words <= 19_090, "event spills past the memory");
+            assert!(words > 0);
+        }
+    }
+
+    #[test]
+    fn events_at_filters_by_wave() {
+        let s = ChaosSchedule::degraded_shard(7, 4_000, 4, 4, 32, 8);
+        assert_eq!(s.events_at(0).count(), 0, "wave 0 serves healthy");
+        assert_eq!(s.events_at(1).count(), 1);
+        assert_eq!(s.last_wave(), Some(3));
+        let total: usize = (0..4).map(|w| s.events_at(w).count()).sum();
+        assert_eq!(total, s.events.len());
+    }
+
+    #[test]
+    fn single_wave_schedules_clamp_to_the_only_wave() {
+        let s = ChaosSchedule::degraded_shard(3, 1_000, 4, 1, 32, 4);
+        assert!(s.events.iter().all(|e| e.wave == 0));
+    }
+
+    #[test]
+    fn stuck_span_is_row_aligned() {
+        let s = ChaosSchedule::degraded_shard(11, 50_000, 4, 4, 32, 16);
+        let stuck = s
+            .events
+            .iter()
+            .find_map(|e| match e.event {
+                ChaosEvent::StuckRows { start, words, .. } => Some((start, words)),
+                _ => None,
+            })
+            .expect("schedule must contain stuck rows");
+        assert_eq!(stuck.0 % 32, 0, "stuck span starts on a row boundary");
+        assert_eq!(stuck.1, 16 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty memory")]
+    fn empty_memory_panics() {
+        let _ = ChaosSchedule::degraded_shard(1, 0, 4, 4, 32, 4);
+    }
+}

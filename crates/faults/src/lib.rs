@@ -23,12 +23,16 @@
 //! assert_eq!(stats.flips_per_bit[7], 0, "MSB is protected");
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod chaos;
 pub mod injector;
 pub mod model;
 pub mod protection;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::chaos::{ChaosEvent, ChaosSchedule, ScheduledEvent};
     pub use crate::injector::{
         corrupt_words, geometric_indices, sample_read_mask, FlipKind, InjectionStats,
     };

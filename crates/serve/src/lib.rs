@@ -34,8 +34,15 @@
 pub mod fixture;
 pub mod metrics;
 pub mod policy;
+pub mod resilience;
 pub mod server;
 
 pub use metrics::{byte_digest, prediction_digest, LatencyHistogram};
-pub use policy::{drowsy_plan, BandVoltage, DrowsyPlan, DrowsyPolicy, ShardRetention};
+pub use policy::{
+    apply_ber_feedback, drowsy_plan, BandVoltage, DrowsyPlan, DrowsyPolicy, ShardRetention,
+};
+pub use resilience::{
+    apply_chaos_event, BerGovernorConfig, ResilienceConfig, ResilienceController,
+    ResilienceCounters,
+};
 pub use server::{InferenceServer, ServeOptions, ServeReport};

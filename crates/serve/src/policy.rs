@@ -228,6 +228,46 @@ impl DrowsyPlan {
     }
 }
 
+/// Applies the BER-fed feedback of the resilience governor to a per-shard
+/// retention plan: each shard's drowsy voltages rise by `boosts[shard]`
+/// steps of `step`, capped at `active_vdd`. A shard whose scrubber keeps
+/// correcting retention upsets is held further above its DRV (paying
+/// leakage for integrity); after enough quiet scrub windows the governor
+/// walks the boost back down and the shard re-earns its deep-drowsy
+/// savings.
+///
+/// # Panics
+///
+/// Panics if `boosts.len()` differs from `retention.len()` or `step` is
+/// negative.
+pub fn apply_ber_feedback(
+    retention: &[ShardRetention],
+    boosts: &[u32],
+    step: Volt,
+    active_vdd: Volt,
+) -> Vec<ShardRetention> {
+    assert_eq!(
+        retention.len(),
+        boosts.len(),
+        "one boost level per shard required"
+    );
+    assert!(step.volts() >= 0.0, "negative boost step");
+    retention
+        .iter()
+        .zip(boosts)
+        .map(|(r, &level)| {
+            let raise = |v: Volt| {
+                Volt::new((v.volts() + f64::from(level) * step.volts()).min(active_vdd.volts()))
+            };
+            ShardRetention {
+                drowsy_6t: raise(r.drowsy_6t),
+                drowsy_8t: raise(r.drowsy_8t),
+                ..r.clone()
+            }
+        })
+        .collect()
+}
+
 /// Nominal DRVs of the paper's two cells, memoized per technology (the
 /// bisection runs ~33 hold-SNM solves; every consumer shares one run).
 fn cached_drvs(tech: &Technology) -> (Volt, Volt) {
@@ -442,6 +482,46 @@ mod tests {
                 assert!(mixed > partial && mixed < 1.0, "mixed {mixed}");
             }
         }
+    }
+
+    #[test]
+    fn ber_feedback_raises_boosted_shards_and_caps_at_active() {
+        let base = ShardRetention {
+            shard: 0,
+            words: 100,
+            bits_8t: 300,
+            bits_6t: 500,
+            drowsy_6t: Volt::new(0.40),
+            drowsy_8t: Volt::new(0.45),
+        };
+        let retention = vec![
+            base.clone(),
+            ShardRetention {
+                shard: 1,
+                ..base.clone()
+            },
+        ];
+        let active = Volt::new(0.65);
+        let out = apply_ber_feedback(&retention, &[0, 2], Volt::new(0.05), active);
+        assert_eq!(out[0].drowsy_6t, Volt::new(0.40), "unboosted shard intact");
+        assert!((out[1].drowsy_6t.volts() - 0.50).abs() < 1e-12);
+        assert!((out[1].drowsy_8t.volts() - 0.55).abs() < 1e-12);
+        // Enough boosts saturate at the active supply.
+        let maxed = apply_ber_feedback(&retention, &[0, 100], Volt::new(0.05), active);
+        assert_eq!(maxed[1].drowsy_6t, active);
+        assert_eq!(maxed[1].drowsy_8t, active);
+        // Boosted retention always leaks at least as much.
+        let awake = vec![false; 2];
+        let plan = DrowsyPlan {
+            active_vdd: active,
+            drv_6t: Volt::new(0.2),
+            drv_8t: Volt::new(0.2),
+            bands: vec![],
+        };
+        assert!(
+            plan.partial_standby_scale(&out, &awake)
+                >= plan.partial_standby_scale(&retention, &awake)
+        );
     }
 
     #[test]

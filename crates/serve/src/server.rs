@@ -32,6 +32,7 @@
 
 use crate::metrics::{prediction_digest, LatencyHistogram};
 use crate::policy::DrowsyPlan;
+use crate::resilience::{ResilienceController, ResilienceCounters};
 use fault_inject::model::WORD_BITS;
 use neuro_system::controller::{InferContext, NeuromorphicSystem};
 use neuro_system::energy::SystemEnergyReport;
@@ -103,6 +104,9 @@ pub struct ServeReport {
     /// Drowsy standby leakage (memory leakage × plan scale), when both the
     /// energy model and a drowsy plan are configured.
     pub standby_leakage: Option<Watt>,
+    /// Resilience-loop counters (BIST/scrub/repair/governor), when a
+    /// [`ResilienceController`] is attached. Snapshot at report time.
+    pub resilience: Option<ResilienceCounters>,
 }
 
 impl ServeReport {
@@ -164,6 +168,9 @@ pub struct InferenceServer {
     /// Memory leakage power at the serving voltage (for drowsy standby
     /// reporting), from the array power rollup.
     memory_leakage: Option<Watt>,
+    /// The resilience loop (BIST map, ECC sidecar, spare budget, BER
+    /// governor), when attached.
+    resilience: Option<ResilienceController>,
 }
 
 impl InferenceServer {
@@ -176,6 +183,7 @@ impl InferenceServer {
             energy: None,
             drowsy: None,
             memory_leakage: None,
+            resilience: None,
         }
     }
 
@@ -193,9 +201,38 @@ impl InferenceServer {
         self
     }
 
+    /// Attaches a booted resilience controller (builder style). The
+    /// controller must have been built over this server's memory (after
+    /// [`NeuromorphicSystem::new`] loaded it).
+    pub fn with_resilience(mut self, controller: ResilienceController) -> Self {
+        self.resilience = Some(controller);
+        self
+    }
+
     /// The wrapped system.
     pub fn system(&self) -> &NeuromorphicSystem {
         &self.system
+    }
+
+    /// Mutable access to the wrapped system — the maintenance port chaos
+    /// injection degrades the store through.
+    pub fn system_mut(&mut self) -> &mut NeuromorphicSystem {
+        &mut self.system
+    }
+
+    /// The attached resilience controller, when any.
+    pub fn resilience(&self) -> Option<&ResilienceController> {
+        self.resilience.as_ref()
+    }
+
+    /// Runs one maintenance window (scrub sweep → spare-row repair → BER
+    /// governor update) when a resilience controller is attached. Call
+    /// between serving batches; the request path itself never mutates the
+    /// store.
+    pub fn maintain(&mut self) {
+        if let Some(controller) = self.resilience.as_mut() {
+            controller.maintain(self.system.memory_mut());
+        }
     }
 
     /// The configured options.
@@ -448,6 +485,7 @@ impl InferenceServer {
             shard_reads,
             energy_per_inference: self.energy,
             standby_leakage,
+            resilience: self.resilience.as_ref().map(|r| r.counters()),
         }
     }
 }

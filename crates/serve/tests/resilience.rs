@@ -1,0 +1,268 @@
+//! Resilience-loop integration: the chaos scenario (BIST boot, per-wave
+//! scrub + spare-row repair, BER-fed governor) must be bit-identical at
+//! any worker count and any shard count, and protection must measurably
+//! beat no-protection under the same degradation schedule.
+
+use fault_inject::chaos::ChaosSchedule;
+use fault_inject::model::{BitErrorRates, WordFailureModel};
+use fault_inject::protection::ProtectionPolicy;
+use neural::dataset::Dataset;
+use neural::quant::QuantizedMlp;
+use neuro_system::controller::NeuromorphicSystem;
+use neuro_system::layout;
+use neuro_system::npe::Npe;
+use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
+use sram_array::sharded::ShardedMemory;
+use sram_serve::fixture::{request_stream, trained_digit_network};
+use sram_serve::{
+    apply_chaos_event, prediction_digest, InferenceServer, ResilienceConfig, ResilienceController,
+    ResilienceCounters, ServeOptions,
+};
+use std::sync::OnceLock;
+
+const BASE_SEED: u64 = 0x2E51_71E1;
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+const WAVES: usize = 2;
+
+struct Fixture {
+    network: QuantizedMlp,
+    test_set: Dataset,
+    requests: Vec<Vec<f32>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (network, test_set) = trained_digit_network();
+        let requests = request_stream(&test_set, 128);
+        Fixture {
+            network,
+            test_set,
+            requests,
+        }
+    })
+}
+
+/// A lightly faulty hybrid store for the trained network, built without
+/// the characterization framework (rates pinned, not derived) so the test
+/// costs milliseconds per build.
+fn build_memory(network: &QuantizedMlp, shards: usize) -> ShardedMemory {
+    let words = layout::bank_words(network);
+    let policy = ProtectionPolicy::MsbProtected { msb_8t: 3 };
+    let map = SynapticMemoryMap::new(&words, &policy, SubArrayDims::PAPER);
+    let rates = BitErrorRates {
+        read_6t: 0.02,
+        write_6t: 0.002,
+        read_8t: 0.0,
+        write_8t: 0.0,
+    };
+    let models: Vec<WordFailureModel> = (0..words.len())
+        .map(|b| WordFailureModel::new(&rates, &policy.assignment(b)))
+        .collect();
+    ShardedMemory::new(map, models, 29, shards)
+}
+
+fn schedule_for(network: &QuantizedMlp) -> ChaosSchedule {
+    let total_words: usize = layout::bank_words(network).iter().sum();
+    let row_words = build_memory(network, 1).words_per_row();
+    ChaosSchedule::degraded_shard(CHAOS_SEED, total_words, 4, WAVES, row_words, 12)
+}
+
+struct Outcome {
+    predictions: Vec<usize>,
+    accuracy: f64,
+    counters: Option<ResilienceCounters>,
+    victim_mismatch: usize,
+}
+
+/// Serves the shared request stream in `WAVES` waves, striking the
+/// schedule's events at each wave boundary; `protected` adds the
+/// resilience controller (BIST boot + per-wave maintenance).
+fn run_scenario(shards: usize, schedule: Option<&ChaosSchedule>, protected: bool) -> Outcome {
+    let fx = fixture();
+    let golden = layout::flatten(&fx.network);
+    let mut system = NeuromorphicSystem::new(
+        &fx.network,
+        build_memory(&fx.network, shards),
+        Npe::new(fx.network.format),
+    );
+    let controller = protected.then(|| {
+        ResilienceController::new(system.memory_mut(), &golden, ResilienceConfig::default())
+    });
+    let mut server = InferenceServer::new(
+        system,
+        ServeOptions {
+            workers: 0,
+            max_batch: 8,
+            base_seed: BASE_SEED,
+        },
+    );
+    if let Some(controller) = controller {
+        server = server.with_resilience(controller);
+    }
+
+    let n = fx.requests.len();
+    let chunk = n.div_ceil(WAVES);
+    let mut predictions = Vec::with_capacity(n);
+    for wave in 0..WAVES {
+        if let Some(schedule) = schedule {
+            for event in schedule.events_at(wave) {
+                apply_chaos_event(server.system_mut().memory_mut(), event);
+            }
+        }
+        if protected {
+            server.maintain();
+        }
+        let lo = (wave * chunk).min(n);
+        let hi = ((wave + 1) * chunk).min(n);
+        let report = server.serve_configured(
+            &fx.requests[lo..hi],
+            &ServeOptions {
+                workers: 0,
+                max_batch: 8,
+                base_seed: sram_exec::derive_seed(BASE_SEED, wave as u64),
+            },
+        );
+        predictions.extend_from_slice(&report.predictions);
+    }
+    let correct = predictions
+        .iter()
+        .enumerate()
+        .filter(|&(i, &p)| p == fx.test_set.label(i % fx.test_set.len()))
+        .count();
+    // Residual persistent damage in the victim region after the run:
+    // observed bytes that differ from the golden image there.
+    let victim_mismatch = schedule
+        .map(|s| {
+            let memory = server.system().memory();
+            s.events
+                .iter()
+                .flat_map(|e| {
+                    let (start, words) = e.event.range();
+                    (start..start + words).map(|i| (memory.read_raw(i) != golden[i]) as usize)
+                })
+                .sum()
+        })
+        .unwrap_or(0);
+    Outcome {
+        accuracy: correct as f64 / n as f64,
+        counters: server.resilience().map(|r| r.counters()),
+        predictions,
+        victim_mismatch,
+    }
+}
+
+#[test]
+fn chaos_scenario_is_identical_across_worker_counts() {
+    let schedule = schedule_for(&fixture().network);
+    sram_exec::set_threads(1);
+    let reference = run_scenario(3, Some(&schedule), true);
+    for workers in [2usize, 4] {
+        sram_exec::set_threads(workers);
+        let run = run_scenario(3, Some(&schedule), true);
+        assert_eq!(
+            prediction_digest(&run.predictions),
+            prediction_digest(&reference.predictions),
+            "{workers} workers"
+        );
+        assert_eq!(run.counters, reference.counters, "{workers} workers");
+    }
+    sram_exec::clear_threads();
+}
+
+#[test]
+fn scrub_and_repair_decisions_are_invariant_across_shard_counts() {
+    let schedule = schedule_for(&fixture().network);
+    let reference = run_scenario(1, Some(&schedule), true);
+    let rc = reference.counters.as_ref().unwrap();
+    for shards in [3usize, 5] {
+        let run = run_scenario(shards, Some(&schedule), true);
+        assert_eq!(
+            prediction_digest(&run.predictions),
+            prediction_digest(&reference.predictions),
+            "{shards} shards"
+        );
+        let c = run.counters.as_ref().unwrap();
+        // Everything the bank-keyed streams decide is shard-invariant; the
+        // governor's per-shard boosts legitimately re-partition.
+        assert_eq!(c.bist_digest, rc.bist_digest, "{shards} shards");
+        assert_eq!(c.bist_weak_bits, rc.bist_weak_bits);
+        assert_eq!(c.corrected_words, rc.corrected_words, "{shards} shards");
+        assert_eq!(c.corrected_bits, rc.corrected_bits);
+        assert_eq!(c.uncorrectable_words, rc.uncorrectable_words);
+        assert_eq!(c.rows_repaired, rc.rows_repaired, "{shards} shards");
+        assert_eq!(c.spare_rows_free, rc.spare_rows_free);
+    }
+}
+
+#[test]
+fn protection_beats_no_protection_under_the_same_schedule() {
+    let schedule = schedule_for(&fixture().network);
+    let healthy = run_scenario(3, None, false);
+    let protected = run_scenario(3, Some(&schedule), true);
+    let unprotected = run_scenario(3, Some(&schedule), false);
+
+    // The maintenance loop actually worked: scrub corrected words, spares
+    // were spent, and the governor reacted to the elevated BER.
+    let c = protected.counters.as_ref().unwrap();
+    assert!(c.scrub_sweeps >= WAVES as u64);
+    assert!(c.corrected_words > 0, "scrub corrected nothing");
+    assert!(c.rows_repaired > 0, "no spare rows were spent");
+    assert!(c.governor_boosts > 0, "governor ignored the BER spike");
+
+    // Repair + scrub leave strictly less persistent damage in the victim
+    // region than riding the degradation out.
+    assert!(
+        protected.victim_mismatch < unprotected.victim_mismatch,
+        "protected {} vs unprotected {} mismatched victim bytes",
+        protected.victim_mismatch,
+        unprotected.victim_mismatch
+    );
+    // And that shows up end to end: protected accuracy stays near healthy,
+    // unprotected pays for the damage (all three runs are fully seeded, so
+    // these are deterministic comparisons, not statistical ones).
+    assert!(
+        protected.accuracy >= healthy.accuracy - 0.02,
+        "protected {} vs healthy {}",
+        protected.accuracy,
+        healthy.accuracy
+    );
+    assert!(
+        unprotected.accuracy <= protected.accuracy,
+        "unprotected {} vs protected {}",
+        unprotected.accuracy,
+        protected.accuracy
+    );
+}
+
+#[test]
+fn serve_report_exposes_resilience_counters_only_when_attached() {
+    let fx = fixture();
+    let system = NeuromorphicSystem::new(
+        &fx.network,
+        build_memory(&fx.network, 2),
+        Npe::new(fx.network.format),
+    );
+    let opts = ServeOptions {
+        workers: 1,
+        max_batch: 8,
+        base_seed: BASE_SEED,
+    };
+    let bare = InferenceServer::new(system, opts.clone());
+    let report = bare.serve(&fx.requests[..8]);
+    assert!(report.resilience.is_none());
+
+    let golden = layout::flatten(&fx.network);
+    let mut system = NeuromorphicSystem::new(
+        &fx.network,
+        build_memory(&fx.network, 2),
+        Npe::new(fx.network.format),
+    );
+    let controller =
+        ResilienceController::new(system.memory_mut(), &golden, ResilienceConfig::default());
+    let server = InferenceServer::new(system, opts).with_resilience(controller);
+    let report = server.serve(&fx.requests[..8]);
+    let counters = report.resilience.expect("controller attached");
+    assert!(counters.bist_digest != 0);
+    assert_eq!(counters.scrub_sweeps, 0, "no maintenance ran yet");
+}

@@ -175,6 +175,14 @@ impl NeuromorphicSystem {
         &self.memory
     }
 
+    /// Mutable access to the underlying sharded memory — the maintenance
+    /// port the resilience layer scrubs, repairs, and degrades through.
+    /// Serving itself never needs this: all request-path reads go through
+    /// `&self`.
+    pub fn memory_mut(&mut self) -> &mut ShardedMemory {
+        &mut self.memory
+    }
+
     /// A context for request `request_id` of the stream rooted at
     /// `base_seed`, with every scratch buffer pre-sized from this system's
     /// layer shapes — the warm path never reallocates, not even on the

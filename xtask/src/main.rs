@@ -34,6 +34,18 @@
 //!   shard; `--min-speedup X` additionally requires a genuine ≥X× load
 //!   speedup on known multi-core runners.
 //!
+//! * **`chaos-report`** — runs `serve_bench --chaos` (healthy / protected /
+//!   unprotected over a seeded mid-load degradation schedule) at 1 and 4
+//!   workers and renders the resilience comparison table (written to
+//!   `--out`, default `target/chaos-report.txt`). With `--gate`, exits
+//!   non-zero when any scenario's prediction digest or any resilience
+//!   counter differs between the two worker counts, when the protected
+//!   run's accuracy drops more than [`CHAOS_ACCURACY_DROP`] below healthy
+//!   or its p99 exceeds [`CHAOS_P99_FACTOR`]× healthy, or when the
+//!   *unprotected* run fails to violate the accuracy bound — the
+//!   degradation must be strong enough that surviving it is evidence the
+//!   scrub/repair loop works, not that the chaos was toothless.
+//!
 //! The committed baseline was recorded on a different machine than CI's
 //! shared runners, so raw wall-clock ratios would gate hardware speed, not
 //! code. Ratios are therefore normalized by the [`CALIBRATION`] kernel —
@@ -69,6 +81,8 @@ const TRACKED: &[&str] = &[
     "serve/throughput_1w",
     "serve/throughput_4w",
     "serve/words_per_sec",
+    "chaos/degraded_p99",
+    "chaos/scrub_sweep",
 ];
 
 /// A tracked kernel fails the diff when its machine-normalized ratio
@@ -87,18 +101,31 @@ const CALIBRATION: &str = "mosfet_drain_current";
 /// *slower* than 1).
 const SERVE_SLOWDOWN_FACTOR: f64 = 1.5;
 
+/// `chaos-report --gate` allows the protected run at most this absolute
+/// accuracy drop below the healthy baseline — and requires the
+/// *unprotected* run to exceed it, proving the injected degradation had
+/// teeth.
+const CHAOS_ACCURACY_DROP: f64 = 0.02;
+
+/// `chaos-report --gate` allows the protected run's p99 latency at most
+/// this factor of the healthy run's (scrub + repair overhead amortizes
+/// across waves; a blowup here means maintenance is on the request path).
+const CHAOS_P99_FACTOR: f64 = 2.0;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-diff") => bench_diff(&args[1..]),
         Some("serve-report") => serve_report(&args[1..]),
         Some("scale-report") => scale_report(&args[1..]),
+        Some("chaos-report") => chaos_report(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask bench-diff [--no-run] [--current <path>]");
             eprintln!(
                 "       cargo xtask serve-report [--gate] [--min-speedup X] [--requests N] [--out <path>]"
             );
             eprintln!("       cargo xtask scale-report [--gate] [--min-speedup X] [--out <path>]");
+            eprintln!("       cargo xtask chaos-report [--gate] [--requests N] [--out <path>]");
             ExitCode::FAILURE
         }
     }
@@ -600,6 +627,225 @@ fn serve_report(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("serve-load gate passed: predictions identical, 4-worker speedup {speedup:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The resilience counters `chaos-report` requires to be bit-identical
+/// across worker counts (everything the scrub/repair/governor loop
+/// decides, plus each scenario's prediction digest).
+const CHAOS_INVARIANT_KEYS: &[&str] = &[
+    "healthy_digest",
+    "protected_digest",
+    "unprotected_digest",
+    "healthy_accuracy",
+    "protected_accuracy",
+    "unprotected_accuracy",
+    "bist_weak_words",
+    "bist_weak_bits",
+    "bist_digest",
+    "scrub_sweeps",
+    "corrected_words",
+    "corrected_bits",
+    "uncorrectable_words",
+    "rows_repaired",
+    "spare_rows_free",
+    "governor_boosts",
+];
+
+fn chaos_report(args: &[String]) -> ExitCode {
+    let mut gate = false;
+    let mut requests = 512usize;
+    let mut out_path = "target/chaos-report.txt".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => {
+                    eprintln!("--requests requires a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown chaos-report argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_default();
+    let target = cwd.join("target");
+    let _ = std::fs::create_dir_all(&target);
+    let worker_counts = [1usize, 4];
+    let mut reports = Vec::new();
+    for &workers in &worker_counts {
+        let report_path = target.join(format!("chaos-{workers}w.txt"));
+        let _ = std::fs::remove_file(&report_path);
+        eprintln!("running serve_bench --chaos at {workers} worker(s)...");
+        let status = Command::new(env!("CARGO"))
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "sram_serve",
+                "--bin",
+                "serve_bench",
+                "--",
+                "--chaos",
+                "--requests",
+                &requests.to_string(),
+                "--threads",
+                &workers.to_string(),
+                "--report",
+                &report_path.display().to_string(),
+            ])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("serve_bench --chaos failed at {workers} workers: {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("could not launch serve_bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let Some(kv) = read_kv_report(&report_path) else {
+            eprintln!("no report at {}", report_path.display());
+            return ExitCode::FAILURE;
+        };
+        reports.push((workers, kv));
+    }
+
+    let kv = &reports[0].1;
+    let get_f64 = |key: &str| kv.get(key).and_then(|v| v.parse::<f64>().ok());
+    let get_str = |key: &str| kv.get(key).map(String::as_str).unwrap_or("-");
+    let mut table = String::new();
+    table.push_str(&format!(
+        "chaos-report — {requests} requests, one shard degraded mid-load over {} waves\n\n",
+        get_str("waves"),
+    ));
+    table.push_str(&format!(
+        "{:<14} {:>9} {:>12}  digest\n",
+        "scenario", "accuracy", "p99"
+    ));
+    for scenario in ["healthy", "protected", "unprotected"] {
+        table.push_str(&format!(
+            "{scenario:<14} {:>9.3} {:>12}  {}\n",
+            get_f64(&format!("{scenario}_accuracy")).unwrap_or(f64::NAN),
+            format_ns(get_f64(&format!("{scenario}_p99_ns")).unwrap_or(f64::NAN)),
+            get_str(&format!("{scenario}_digest")),
+        ));
+    }
+    table.push_str(&format!(
+        "\nbist: {} weak words / {} weak bits (digest {})\n\
+         scrub: {} sweeps, {} corrected words / {} bits, {} uncorrectable\n\
+         repair: {} rows remapped, {} spares free; governor boosts {}\n",
+        get_str("bist_weak_words"),
+        get_str("bist_weak_bits"),
+        get_str("bist_digest"),
+        get_str("scrub_sweeps"),
+        get_str("corrected_words"),
+        get_str("corrected_bits"),
+        get_str("uncorrectable_words"),
+        get_str("rows_repaired"),
+        get_str("spare_rows_free"),
+        get_str("governor_boosts"),
+    ));
+
+    let diverged: Vec<&str> = CHAOS_INVARIANT_KEYS
+        .iter()
+        .copied()
+        .filter(|key| reports[0].1.get(*key) != reports[1].1.get(*key))
+        .collect();
+    table.push_str(&format!(
+        "\nresilience decisions across worker counts: {}\n",
+        if diverged.is_empty() {
+            "IDENTICAL".to_string()
+        } else {
+            format!("DIVERGED ({})", diverged.join(", "))
+        },
+    ));
+
+    print!("{table}");
+    if let Err(e) = std::fs::write(&out_path, &table) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("chaos report written to {out_path}");
+
+    if gate {
+        let mut failed = false;
+        if !diverged.is_empty() {
+            eprintln!(
+                "GATE FAILED: resilience outcomes differ between 1 and 4 workers: {}",
+                diverged.join(", ")
+            );
+            failed = true;
+        }
+        let healthy_acc = get_f64("healthy_accuracy");
+        let protected_acc = get_f64("protected_accuracy");
+        let unprotected_acc = get_f64("unprotected_accuracy");
+        let healthy_p99 = get_f64("healthy_p99_ns");
+        let protected_p99 = get_f64("protected_p99_ns");
+        match (healthy_acc, protected_acc, unprotected_acc) {
+            (Some(h), Some(p), Some(u)) => {
+                if p < h - CHAOS_ACCURACY_DROP {
+                    eprintln!(
+                        "GATE FAILED: protected accuracy {p:.3} dropped more than \
+                         {CHAOS_ACCURACY_DROP} below healthy {h:.3}"
+                    );
+                    failed = true;
+                }
+                if u >= h - CHAOS_ACCURACY_DROP {
+                    eprintln!(
+                        "GATE FAILED: unprotected accuracy {u:.3} survived within \
+                         {CHAOS_ACCURACY_DROP} of healthy {h:.3} — the degradation \
+                         schedule is too weak to exercise the resilience loop"
+                    );
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!("GATE FAILED: report is missing scenario accuracies");
+                failed = true;
+            }
+        }
+        match (healthy_p99, protected_p99) {
+            (Some(h), Some(p)) if h > 0.0 => {
+                if p > h * CHAOS_P99_FACTOR {
+                    eprintln!(
+                        "GATE FAILED: protected p99 {} exceeds {CHAOS_P99_FACTOR}x \
+                         healthy p99 {}",
+                        format_ns(p),
+                        format_ns(h)
+                    );
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!("GATE FAILED: report is missing scenario p99 latencies");
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "chaos gate passed: decisions identical across workers, protected run held \
+             the accuracy and p99 bounds, unprotected run measurably failed"
+        );
     }
     ExitCode::SUCCESS
 }
