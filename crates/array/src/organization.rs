@@ -114,6 +114,31 @@ impl SynapticMemoryMap {
         Self { banks, dims }
     }
 
+    /// Concatenates several maps into one: the banks of each map follow
+    /// the banks of the previous one, keeping their per-bank cell
+    /// assignments. This is how a multi-tenant store is laid out — each
+    /// tenant's per-layer banks (under that tenant's significance policy)
+    /// occupy a contiguous bank window of the shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator or when the maps disagree on sub-array
+    /// dimensions.
+    pub fn concat<I: IntoIterator<Item = SynapticMemoryMap>>(maps: I) -> Self {
+        let mut iter = maps.into_iter();
+        let first = iter.next().expect("concat of zero maps");
+        let dims = first.dims;
+        let mut banks = first.banks;
+        for map in iter {
+            assert_eq!(
+                map.dims, dims,
+                "concatenated maps must share sub-array dimensions"
+            );
+            banks.extend(map.banks);
+        }
+        Self { banks, dims }
+    }
+
     /// The banks, input-side layer first.
     pub fn banks(&self) -> &[MemoryBank] {
         &self.banks
@@ -290,6 +315,35 @@ mod tests {
             assignment: CellAssignment::all_6t(),
         };
         assert_eq!(b.subarrays(SubArrayDims::PAPER), 2);
+    }
+
+    #[test]
+    fn concat_preserves_bank_order_and_assignments() {
+        let a = map();
+        let b = SynapticMemoryMap::new(
+            &[40, 10],
+            &ProtectionPolicy::PerBank { msb_8t: vec![5, 1] },
+            SubArrayDims::PAPER,
+        );
+        let joined = SynapticMemoryMap::concat([a.clone(), b.clone()]);
+        assert_eq!(joined.banks().len(), 5);
+        assert_eq!(joined.total_words(), a.total_words() + b.total_words());
+        assert_eq!(&joined.banks()[..3], a.banks());
+        assert_eq!(&joined.banks()[3..], b.banks());
+        // Addressing past the first map's words lands in the second map's
+        // banks, offsets intact.
+        let addr = joined.locate(a.total_words());
+        assert_eq!(addr, WordAddress { bank: 3, offset: 0 });
+        assert_eq!(
+            joined.locate(a.total_words() + 41),
+            WordAddress { bank: 4, offset: 1 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "concat of zero maps")]
+    fn concat_of_nothing_panics() {
+        let _ = SynapticMemoryMap::concat(std::iter::empty());
     }
 
     #[test]

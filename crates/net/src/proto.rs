@@ -1,0 +1,471 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by that many payload bytes. Requests and responses share the
+//! frame layer; their payloads differ:
+//!
+//! ```text
+//! request  payload = [version u8][opcode u8][tenant u16 LE][request_id u64 LE][body]
+//!          Ping     body = (empty)
+//!          Classify body = [n u32 LE][n × f32 LE]
+//! response payload = [version u8][status u8][request_id u64 LE][body]
+//!          Ok(Classify) body = [prediction u16 LE][fault_bits u32 LE]
+//!                              [queue_ns u64 LE][service_ns u64 LE]
+//!          otherwise    body = (empty)
+//! ```
+//!
+//! Decoding is total: any byte string either yields a message or a
+//! [`ProtoError`] — never a panic, and never an allocation larger than the
+//! bytes actually received (a bit-flipped feature count cannot balloon a
+//! buffer, because the count is validated against the payload length
+//! before anything is allocated). Oversized declared lengths are caught at
+//! the frame layer ([`FrameDecoder`]) before any buffering happens.
+
+/// Protocol version carried in every payload.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame payload. The largest legitimate payload is a
+/// million-synapse classify request (784 features ≈ 3.2 KiB); 64 KiB
+/// leaves headroom for wider inputs while keeping a hostile length prefix
+/// from reserving gigabytes.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Ceiling on the feature count of one classify request (consistent with
+/// [`MAX_FRAME`]: `4 + 4 × MAX_FEATURES ≤ MAX_FRAME`).
+pub const MAX_FEATURES: usize = 16_000;
+
+/// Request operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; answered from the IO thread, never queued.
+    Ping = 0,
+    /// Classify a feature vector on the addressed tenant's network.
+    Classify = 1,
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Request served; a classify response carries a body.
+    Ok = 0,
+    /// Shed by admission control: the in-flight queue is at its bound.
+    Overloaded = 1,
+    /// The addressed tenant is not resident.
+    UnknownTenant = 2,
+    /// Structurally valid frame, semantically invalid request (bad
+    /// version/opcode, wrong feature width, malformed body).
+    BadRequest = 3,
+    /// The declared frame length exceeds [`MAX_FRAME`]; the server answers
+    /// this and closes the connection.
+    FrameTooLarge = 4,
+}
+
+impl Status {
+    fn from_u8(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Overloaded),
+            2 => Ok(Status::UnknownTenant),
+            3 => Ok(Status::BadRequest),
+            4 => Ok(Status::FrameTooLarge),
+            other => Err(ProtoError::BadStatus(other)),
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Tenant index in the server's model registry.
+    pub tenant: u16,
+    /// Caller-chosen request id; seeds the fault stream and routes the
+    /// response, so replaying an id replays its faults bit for bit.
+    pub request_id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe.
+    Ping,
+    /// Classify `features` (values in `[0, 1]`, one per input neuron).
+    Classify(Vec<f32>),
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Response {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Present on `Ok` classify responses.
+    pub reply: Option<ClassifyReply>,
+}
+
+/// The served result of a classify request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifyReply {
+    /// Predicted class index.
+    pub prediction: u16,
+    /// Read-fault bits the request's fault stream injected.
+    pub fault_bits: u32,
+    /// Admission → worker-pop wait, server-side.
+    pub queue_ns: u64,
+    /// Worker-pop → completion service time, server-side.
+    pub service_ns: u64,
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Payload ended before the fixed header or declared body.
+    Truncated,
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown status byte.
+    BadStatus(u8),
+    /// Declared element count disagrees with the payload length, or
+    /// exceeds [`MAX_FEATURES`].
+    LengthMismatch,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtoError::BadStatus(s) => write!(f, "unknown status {s}"),
+            ProtoError::LengthMismatch => write!(f, "declared length disagrees with payload"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Little-endian cursor over a payload; every take is bounds-checked.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+/// Encodes a request as a full frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let body_len = match &req.body {
+        RequestBody::Ping => 0,
+        RequestBody::Classify(features) => 4 + 4 * features.len(),
+    };
+    let payload_len = 12 + body_len;
+    let mut out = Vec::with_capacity(4 + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.push(match req.body {
+        RequestBody::Ping => Opcode::Ping as u8,
+        RequestBody::Classify(_) => Opcode::Classify as u8,
+    });
+    out.extend_from_slice(&req.tenant.to_le_bytes());
+    out.extend_from_slice(&req.request_id.to_le_bytes());
+    if let RequestBody::Classify(features) = &req.body {
+        out.extend_from_slice(&(features.len() as u32).to_le_bytes());
+        for f in features {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a request payload (frame prefix already stripped).
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let opcode = c.u8()?;
+    let tenant = c.u16()?;
+    let request_id = c.u64()?;
+    let body = match opcode {
+        0 => {
+            if c.remaining() != 0 {
+                return Err(ProtoError::LengthMismatch);
+            }
+            RequestBody::Ping
+        }
+        1 => {
+            let n = c.u32()? as usize;
+            if n > MAX_FEATURES || c.remaining() != 4 * n {
+                return Err(ProtoError::LengthMismatch);
+            }
+            let mut features = Vec::with_capacity(n);
+            for _ in 0..n {
+                features.push(c.f32()?);
+            }
+            RequestBody::Classify(features)
+        }
+        other => return Err(ProtoError::BadOpcode(other)),
+    };
+    Ok(Request {
+        tenant,
+        request_id,
+        body,
+    })
+}
+
+/// Encodes a response as a full frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let body_len = if resp.reply.is_some() { 22 } else { 0 };
+    let payload_len = 10 + body_len;
+    let mut out = Vec::with_capacity(4 + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.push(resp.status as u8);
+    out.extend_from_slice(&resp.request_id.to_le_bytes());
+    if let Some(reply) = &resp.reply {
+        out.extend_from_slice(&reply.prediction.to_le_bytes());
+        out.extend_from_slice(&reply.fault_bits.to_le_bytes());
+        out.extend_from_slice(&reply.queue_ns.to_le_bytes());
+        out.extend_from_slice(&reply.service_ns.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a response payload (frame prefix already stripped).
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let status = Status::from_u8(c.u8()?)?;
+    let request_id = c.u64()?;
+    let reply = match c.remaining() {
+        0 => None,
+        22 => Some(ClassifyReply {
+            prediction: c.u16()?,
+            fault_bits: c.u32()?,
+            queue_ns: c.u64()?,
+            service_ns: c.u64()?,
+        }),
+        _ => return Err(ProtoError::LengthMismatch),
+    };
+    Ok(Response {
+        status,
+        request_id,
+        reply,
+    })
+}
+
+/// A declared frame length beyond [`MAX_FRAME`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The hostile/corrupt declared payload length.
+    pub declared: usize,
+}
+
+/// Incremental frame reassembly over a byte stream.
+///
+/// Feed arbitrary chunks with [`extend`](Self::extend) and pop complete
+/// payloads with [`next_frame`](Self::next_frame). The decoder never
+/// panics and never buffers more than `4 + MAX_FRAME` bytes per pending
+/// frame: a declared length beyond [`MAX_FRAME`] is rejected before its
+/// body is awaited, which is what defuses a hostile length prefix.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` while one is still
+    /// partial, or [`FrameTooLarge`] when the pending declared length is
+    /// hostile (the stream cannot be resynchronized after that — drop the
+    /// connection).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLarge> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if declared > MAX_FRAME {
+            return Err(FrameTooLarge { declared });
+        }
+        if self.buf.len() < 4 + declared {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + declared].to_vec();
+        self.buf.drain(..4 + declared);
+        Ok(Some(payload))
+    }
+
+    /// Whether a partial frame is pending (used for read-idle timeouts: a
+    /// connection sitting on half a frame is a slow-loris suspect; an
+    /// empty one is just idle).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+}
+
+/// Order-invariant fingerprint contribution of one served response
+/// (splitmix64 finalizer over the packed fields). Accumulate with
+/// `wrapping_add`: the sum is independent of completion order, so client
+/// and server digests match whenever the served sets match — the
+/// cross-run determinism check the `net-load` CI gate pins.
+pub fn response_mix(tenant: u16, request_id: u64, prediction: u16, fault_bits: u32) -> u64 {
+    let mut x = request_id
+        ^ (u64::from(tenant) << 48)
+        ^ (u64::from(prediction) << 32)
+        ^ u64::from(fault_bits);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            tenant: 2,
+            request_id: 0xDEAD_BEEF,
+            body: RequestBody::Classify(vec![0.0, 0.25, 1.0]),
+        };
+        let frame = encode_request(&req);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        let payload = dec.next_frame().unwrap().unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), req);
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn response_roundtrip_with_and_without_body() {
+        for resp in [
+            Response {
+                status: Status::Ok,
+                request_id: 7,
+                reply: Some(ClassifyReply {
+                    prediction: 3,
+                    fault_bits: 12,
+                    queue_ns: 1000,
+                    service_ns: 2000,
+                }),
+            },
+            Response {
+                status: Status::Overloaded,
+                request_id: 9,
+                reply: None,
+            },
+        ] {
+            let frame = encode_response(&resp);
+            let payload = frame[4..].to_vec();
+            assert_eq!(decode_response(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn decoder_reassembles_split_frames() {
+        let req = Request {
+            tenant: 0,
+            request_id: 1,
+            body: RequestBody::Ping,
+        };
+        let frame = encode_request(&req);
+        let mut dec = FrameDecoder::new();
+        for chunk in frame.chunks(3) {
+            assert!(dec.next_frame().unwrap().is_none() || !dec.has_partial());
+            dec.extend(chunk);
+        }
+        let payload = dec.next_frame().unwrap().unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameTooLarge {
+                declared: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn feature_count_is_validated_against_payload_length() {
+        // A frame claiming 1000 features but carrying 1 must not allocate
+        // for 1000.
+        let mut payload = vec![PROTOCOL_VERSION, Opcode::Classify as u8, 0, 0];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        payload.extend_from_slice(&1.0f32.to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(ProtoError::LengthMismatch));
+    }
+
+    #[test]
+    fn response_mix_is_order_invariant_under_addition() {
+        let a = response_mix(0, 1, 2, 3);
+        let b = response_mix(1, 2, 3, 4);
+        assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        assert_ne!(a, b);
+        assert_ne!(response_mix(0, 1, 2, 3), response_mix(0, 1, 3, 3));
+    }
+}

@@ -466,6 +466,16 @@ fn main() {
     println!("read bandwidth     {:.3e} words/s", report.words_per_sec());
     println!("latency p50        {}", format_ns(report.latency.p50_ns()));
     println!("latency p99        {}", format_ns(report.latency.p99_ns()));
+    println!(
+        "queue wait p50/p99 {} / {}",
+        format_ns(report.queue_wait.p50_ns()),
+        format_ns(report.queue_wait.p99_ns())
+    );
+    println!(
+        "service p50/p99    {} / {}",
+        format_ns(report.service.p50_ns()),
+        format_ns(report.service.p99_ns())
+    );
     println!("energy/inference   {:.3} nJ", energy_per_inf * 1e9);
     println!("drowsy standby     {:.3} µW", standby * 1e6);
     println!(
@@ -506,7 +516,9 @@ fn main() {
         let text = format!(
             "workers={}\nrequests={}\nwall_ns={}\nthroughput_rps={:.3}\n\
              words_per_sec={:.3}\n\
-             p50_ns={}\np99_ns={}\nenergy_per_inference_j={:.6e}\n\
+             p50_ns={}\np99_ns={}\n\
+             queue_p50_ns={}\nqueue_p99_ns={}\nservice_p50_ns={}\nservice_p99_ns={}\n\
+             energy_per_inference_j={:.6e}\n\
              standby_leakage_w={:.6e}\nfault_bits={}\nwords_read={}\n\
              observed_ber={:.6e}\nbatches={}\nmax_batch_observed={}\nshards={}\ndigest={:016x}\n",
             report.workers,
@@ -516,6 +528,10 @@ fn main() {
             report.words_per_sec(),
             report.latency.p50_ns(),
             report.latency.p99_ns(),
+            report.queue_wait.p50_ns(),
+            report.queue_wait.p99_ns(),
+            report.service.p50_ns(),
+            report.service.p99_ns(),
             energy_per_inf,
             standby,
             report.fault_bits,

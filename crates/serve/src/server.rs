@@ -84,6 +84,15 @@ pub struct ServeReport {
     pub predictions: Vec<usize>,
     /// End-to-end (admission → completion) latency distribution.
     pub latency: LatencyHistogram,
+    /// Queue-wait distribution: admission (t=0 for this closed-batch
+    /// server) → the moment a worker starts processing the request. Kept
+    /// separate from [`service`](Self::service) so backlog and datapath
+    /// cost are not conflated in one histogram.
+    pub queue_wait: LatencyHistogram,
+    /// Service-time distribution: processing start → completion. For a
+    /// batch-amortized pop the batch's members share one fetch, so they
+    /// record the batch's service span each.
+    pub service: LatencyHistogram,
     /// Wall time of the whole run.
     pub wall: Duration,
     /// Worker threads used.
@@ -349,6 +358,8 @@ impl InferenceServer {
             /// live in the histogram.
             results: Vec<(usize, usize)>,
             histogram: LatencyHistogram,
+            queue_wait: LatencyHistogram,
+            service: LatencyHistogram,
             fault_bits: u64,
             words_read: u64,
             batches: usize,
@@ -365,6 +376,8 @@ impl InferenceServer {
             let mut out = WorkerOutcome {
                 results: Vec::new(),
                 histogram: LatencyHistogram::new(),
+                queue_wait: LatencyHistogram::new(),
+                service: LatencyHistogram::new(),
                 fault_bits: 0,
                 words_read: 0,
                 batches: 0,
@@ -396,9 +409,13 @@ impl InferenceServer {
                         c.reset(options.base_seed, id as u64);
                         features.push(requests[id].as_ref());
                     }
+                    let popped_ns = start.elapsed().as_nanos() as u64;
                     let predictions = self.system.classify_batch(&features, ctxs);
+                    let done_ns = start.elapsed().as_nanos() as u64;
                     for ((&id, c), prediction) in batch.iter().zip(ctxs.iter()).zip(predictions) {
-                        out.histogram.record(start.elapsed().as_nanos() as u64);
+                        out.histogram.record(done_ns);
+                        out.queue_wait.record(popped_ns);
+                        out.service.record(done_ns.saturating_sub(popped_ns));
                         out.fault_bits += c.fault_bits();
                         out.words_read += c.reads();
                         out.results.push((id, prediction));
@@ -406,10 +423,14 @@ impl InferenceServer {
                 } else {
                     for &id in &batch {
                         ctx.reset(options.base_seed, id as u64);
+                        let begun_ns = start.elapsed().as_nanos() as u64;
                         let prediction = self
                             .system
                             .classify_request(requests[id].as_ref(), &mut ctx);
-                        out.histogram.record(start.elapsed().as_nanos() as u64);
+                        let done_ns = start.elapsed().as_nanos() as u64;
+                        out.histogram.record(done_ns);
+                        out.queue_wait.record(begun_ns);
+                        out.service.record(done_ns.saturating_sub(begun_ns));
                         out.fault_bits += ctx.fault_bits();
                         out.words_read += ctx.reads();
                         out.results.push((id, prediction));
@@ -443,6 +464,8 @@ impl InferenceServer {
 
         let mut predictions = vec![usize::MAX; n];
         let mut latency = LatencyHistogram::new();
+        let mut queue_wait = LatencyHistogram::new();
+        let mut service = LatencyHistogram::new();
         let mut fault_bits = 0u64;
         let mut words_read = 0u64;
         let mut batches = 0usize;
@@ -452,6 +475,8 @@ impl InferenceServer {
                 predictions[id] = prediction;
             }
             latency.merge(&outcome.histogram);
+            queue_wait.merge(&outcome.queue_wait);
+            service.merge(&outcome.service);
             fault_bits += outcome.fault_bits;
             words_read += outcome.words_read;
             batches += outcome.batches;
@@ -476,6 +501,8 @@ impl InferenceServer {
         ServeReport {
             predictions,
             latency,
+            queue_wait,
+            service,
             wall,
             workers,
             batches,

@@ -27,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sram_array::sharded::ShardedMemory;
 use sram_exec::derive_seed;
+use std::sync::Arc;
 
 /// Base seed of the legacy `&mut self` entry points when none is given.
 const DEFAULT_BASE_SEED: u64 = 0x001F_E25E_EDD0;
@@ -118,11 +119,20 @@ impl InferContext {
 /// sharded store is bit-identical to the monolithic reference at every
 /// shard count, the shard count is a pure throughput knob — predictions
 /// never depend on it.
+///
+/// The store is held behind an [`Arc`] so several resident systems
+/// (tenants) can share one physical memory, each addressing its own bank
+/// window via [`new_resident`](Self::new_resident). A single-tenant system
+/// built with [`new`](Self::new) owns its `Arc` uniquely, so the
+/// maintenance port ([`memory_mut`](Self::memory_mut)) still works there.
 #[derive(Debug)]
 pub struct NeuromorphicSystem {
     npe: Npe,
-    memory: ShardedMemory,
+    memory: Arc<ShardedMemory>,
     shapes: Vec<LayerShape>,
+    /// Global word index of this system's first weight word inside the
+    /// (possibly shared) store; `0` for a single-tenant store.
+    base_addr: usize,
     base_seed: u64,
     /// Requests served through the legacy `&mut self` entry points; each
     /// gets the next id of the default stream.
@@ -145,21 +155,69 @@ impl NeuromorphicSystem {
             "memory bank layout does not match the network"
         );
         memory.load(&layout::flatten(network));
-        let shapes = network
+        Self {
+            npe,
+            memory: Arc::new(memory),
+            shapes: Self::shapes_of(network),
+            base_addr: 0,
+            base_seed: DEFAULT_BASE_SEED,
+            served: 0,
+        }
+    }
+
+    /// Builds a **resident** system over a shared store: the network's
+    /// weights are assumed to already be loaded into the store's banks
+    /// starting at `first_bank` (the multi-tenant registry loads one
+    /// concatenated image before sharing the `Arc`). No write traffic is
+    /// issued; the system only validates the bank window and computes its
+    /// base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's banks at `first_bank..` do not match the
+    /// network's `layout::bank_words`.
+    pub fn new_resident(
+        network: &QuantizedMlp,
+        store: Arc<ShardedMemory>,
+        first_bank: usize,
+        npe: Npe,
+    ) -> Self {
+        let words = layout::bank_words(network);
+        let banks = store.map().banks();
+        assert!(
+            first_bank + words.len() <= banks.len(),
+            "bank window {first_bank}..{} beyond the store's {} banks",
+            first_bank + words.len(),
+            banks.len()
+        );
+        let window: Vec<usize> = banks[first_bank..first_bank + words.len()]
+            .iter()
+            .map(|b| b.words)
+            .collect();
+        assert_eq!(
+            words, window,
+            "memory bank layout does not match the network"
+        );
+        let base_addr = banks[..first_bank].iter().map(|b| b.words).sum();
+        Self {
+            npe,
+            memory: store,
+            shapes: Self::shapes_of(network),
+            base_addr,
+            base_seed: DEFAULT_BASE_SEED,
+            served: 0,
+        }
+    }
+
+    fn shapes_of(network: &QuantizedMlp) -> Vec<LayerShape> {
+        network
             .layers
             .iter()
             .map(|l| LayerShape {
                 inputs: l.inputs,
                 outputs: l.outputs,
             })
-            .collect();
-        Self {
-            npe,
-            memory,
-            shapes,
-            base_seed: DEFAULT_BASE_SEED,
-            served: 0,
-        }
+            .collect()
     }
 
     /// Sets the base seed of the legacy `&mut self` entry points (builder
@@ -179,8 +237,26 @@ impl NeuromorphicSystem {
     /// port the resilience layer scrubs, repairs, and degrades through.
     /// Serving itself never needs this: all request-path reads go through
     /// `&self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is shared with other resident systems (built
+    /// via [`new_resident`](Self::new_resident) off a still-live `Arc`):
+    /// maintenance on a multi-tenant store goes through the registry,
+    /// which owns the unique handle.
     pub fn memory_mut(&mut self) -> &mut ShardedMemory {
-        &mut self.memory
+        Arc::get_mut(&mut self.memory)
+            .expect("memory_mut on a store shared with other resident systems")
+    }
+
+    /// Feature width of the input layer (what `classify_request` expects).
+    pub fn input_width(&self) -> usize {
+        self.shapes.first().map_or(0, |s| s.inputs)
+    }
+
+    /// Width of the output layer (number of classes).
+    pub fn output_classes(&self) -> usize {
+        self.shapes.last().map_or(0, |s| s.outputs)
     }
 
     /// A context for request `request_id` of the stream rooted at
@@ -240,7 +316,7 @@ impl NeuromorphicSystem {
         ctx.activations.clear();
         ctx.activations
             .extend(features.iter().map(|&f| encode_activation(f)));
-        let mut bank_base = 0usize;
+        let mut bank_base = self.base_addr;
         for shape in &self.shapes {
             ctx.next.clear();
             for neuron in 0..shape.outputs {
@@ -318,7 +394,7 @@ impl NeuromorphicSystem {
         let mut row = Vec::new();
         let mut row_masks = Vec::new();
         let mut no_draws = StdRng::seed_from_u64(0);
-        let mut bank_base = 0usize;
+        let mut bank_base = self.base_addr;
         for shape in &self.shapes {
             for ctx in ctxs.iter_mut() {
                 ctx.next.clear();
@@ -758,6 +834,135 @@ mod tests {
         let batch: Vec<&[f32]> = vec![test_set.image(0)];
         let mut ctxs = vec![system.make_context(0, 0)];
         let _ = system.classify_batch(&batch, &mut ctxs);
+    }
+
+    /// Two tenants laid out back-to-back in one shared store, the way the
+    /// serving registry builds it: concatenated maps, concatenated
+    /// per-bank failure models, one concatenated image load.
+    fn shared_two_tenant_store(
+        qa: &QuantizedMlp,
+        pol_a: &ProtectionPolicy,
+        rates_a: &BitErrorRates,
+        qb: &QuantizedMlp,
+        pol_b: &ProtectionPolicy,
+        rates_b: &BitErrorRates,
+        seed: u64,
+    ) -> Arc<ShardedMemory> {
+        let words_a = layout::bank_words(qa);
+        let words_b = layout::bank_words(qb);
+        let map = SynapticMemoryMap::concat([
+            SynapticMemoryMap::new(&words_a, pol_a, SubArrayDims::PAPER),
+            SynapticMemoryMap::new(&words_b, pol_b, SubArrayDims::PAPER),
+        ]);
+        let mut models: Vec<WordFailureModel> = (0..words_a.len())
+            .map(|b| WordFailureModel::new(rates_a, &pol_a.assignment(b)))
+            .collect();
+        models.extend(
+            (0..words_b.len()).map(|b| WordFailureModel::new(rates_b, &pol_b.assignment(b))),
+        );
+        let mut store = ShardedMemory::new(map, models, seed, 3);
+        let mut image = layout::flatten(qa);
+        image.extend(layout::flatten(qb));
+        store.load(&image);
+        Arc::new(store)
+    }
+
+    #[test]
+    fn resident_tenants_match_their_standalone_systems() {
+        let qa = QuantizedMlp::from_mlp(&Mlp::new(&[12, 8, 4], 11), Encoding::TwosComplement);
+        let qb = QuantizedMlp::from_mlp(&Mlp::new(&[9, 6, 3], 12), Encoding::TwosComplement);
+        let pol_a = ProtectionPolicy::MsbProtected { msb_8t: 3 };
+        let pol_b = ProtectionPolicy::MsbProtected { msb_8t: 5 };
+        // Write-fault-free rates: the stored image is then exact in both
+        // layouts, and read faults are drawn from the request context's
+        // RNG (a pure function of the walk, not of global addresses), so
+        // a resident system at a bank offset must replay its standalone
+        // twin bit for bit.
+        let rates_a = BitErrorRates {
+            read_6t: 0.1,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let rates_b = BitErrorRates {
+            read_6t: 0.25,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let standalone_a = NeuromorphicSystem::new(
+            &qa,
+            sharded(&layout::bank_words(&qa), &pol_a, &rates_a, 31, 3),
+            Npe::new(qa.format),
+        );
+        let standalone_b = NeuromorphicSystem::new(
+            &qb,
+            sharded(&layout::bank_words(&qb), &pol_b, &rates_b, 31, 3),
+            Npe::new(qb.format),
+        );
+        let store = shared_two_tenant_store(&qa, &pol_a, &rates_a, &qb, &pol_b, &rates_b, 31);
+        let first_bank_b = layout::bank_words(&qa).len();
+        let res_a =
+            NeuromorphicSystem::new_resident(&qa, Arc::clone(&store), 0, Npe::new(qa.format));
+        let res_b = NeuromorphicSystem::new_resident(&qb, store, first_bank_b, Npe::new(qb.format));
+        assert_eq!(res_a.input_width(), 12);
+        assert_eq!(res_b.output_classes(), 3);
+        for id in 0..6u64 {
+            let feat_a: Vec<f32> = (0..12)
+                .map(|i| ((i * 37 + id as usize) % 100) as f32 / 100.0)
+                .collect();
+            let feat_b: Vec<f32> = (0..9)
+                .map(|i| ((i * 53 + id as usize) % 100) as f32 / 100.0)
+                .collect();
+            let mut ctx_s = InferContext::for_request(7, id);
+            let mut ctx_r = InferContext::for_request(7, id);
+            assert_eq!(
+                standalone_a.classify_request(&feat_a, &mut ctx_s),
+                res_a.classify_request(&feat_a, &mut ctx_r),
+                "tenant A request {id}"
+            );
+            assert_eq!(
+                ctx_s.fault_bits(),
+                ctx_r.fault_bits(),
+                "tenant A faults {id}"
+            );
+            let mut ctx_s = InferContext::for_request(9, id);
+            let mut ctx_r = InferContext::for_request(9, id);
+            assert_eq!(
+                standalone_b.classify_request(&feat_b, &mut ctx_s),
+                res_b.classify_request(&feat_b, &mut ctx_r),
+                "tenant B request {id}"
+            );
+            assert_eq!(
+                ctx_s.fault_bits(),
+                ctx_r.fault_bits(),
+                "tenant B faults {id}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared with other resident")]
+    fn memory_mut_refuses_shared_stores() {
+        let qa = QuantizedMlp::from_mlp(&Mlp::new(&[6, 4, 2], 1), Encoding::TwosComplement);
+        let qb = QuantizedMlp::from_mlp(&Mlp::new(&[5, 3, 2], 2), Encoding::TwosComplement);
+        let pol = ProtectionPolicy::Uniform6T;
+        let rates = BitErrorRates {
+            read_6t: 0.0,
+            write_6t: 0.0,
+            read_8t: 0.0,
+            write_8t: 0.0,
+        };
+        let store = shared_two_tenant_store(&qa, &pol, &rates, &qb, &pol, &rates, 1);
+        let mut res_a =
+            NeuromorphicSystem::new_resident(&qa, Arc::clone(&store), 0, Npe::new(qa.format));
+        let _res_b = NeuromorphicSystem::new_resident(
+            &qb,
+            store,
+            layout::bank_words(&qa).len(),
+            Npe::new(qb.format),
+        );
+        let _ = res_a.memory_mut();
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   queue, adaptive micro-batching, latency/energy metrics, per-shard
 //!   drowsy voltage policy) with its `serve_bench` and `scale_bench`
 //!   load generators;
+//! * [`net`] — the network-facing tier: a std-only evented TCP server
+//!   with a length-prefixed binary protocol, backpressure and SLO-aware
+//!   admission, a multi-tenant model registry over one shared store, and
+//!   the `net_bench` open-loop load generator;
 //! * [`core`] — the paper's contribution: configurations, the
 //!   circuit-to-system framework, the allocation optimizer, and every
 //!   experiment (Table I, Figs. 5-9, plus the extension studies).
@@ -43,4 +47,5 @@ pub use sram_bitcell as bitcell;
 pub use sram_device as device;
 pub use sram_ecc as ecc;
 pub use sram_exec as exec;
+pub use sram_net as net;
 pub use sram_serve as serve;

@@ -46,6 +46,20 @@
 //!   degradation must be strong enough that surviving it is evidence the
 //!   scrub/repair loop works, not that the chaos was toothless.
 //!
+//! * **`net-report`** — spawns the `sram_net` evented TCP server via the
+//!   `net_bench` open-loop load generator three times: twice at a
+//!   sub-saturation arrival rate with different connection counts (the
+//!   determinism probe) and once in burst mode with tight in-flight caps
+//!   (the overload probe). Renders the arrival-rate/sojourn/shed table
+//!   (written to `--out`, default `target/net-report.txt`). With
+//!   `--gate`, exits non-zero when the two low-rate runs' response
+//!   digests differ (determinism across connection interleavings is
+//!   broken), when either low-rate run sheds, errors, or times out, when
+//!   a low-rate run's client *or* server digest disagree (responses were
+//!   lost or fabricated), when sojourn p99 exceeds `--slo-ms` (default
+//!   [`NET_SLO_MS`]), or when the burst run fails to shed — overload
+//!   must produce explicit `Overloaded` responses, not silence.
+//!
 //! The committed baseline was recorded on a different machine than CI's
 //! shared runners, so raw wall-clock ratios would gate hardware speed, not
 //! code. Ratios are therefore normalized by the [`CALIBRATION`] kernel —
@@ -83,6 +97,8 @@ const TRACKED: &[&str] = &[
     "serve/words_per_sec",
     "chaos/degraded_p99",
     "chaos/scrub_sweep",
+    "net/conn_throughput",
+    "net/open_loop_p99",
 ];
 
 /// A tracked kernel fails the diff when its machine-normalized ratio
@@ -100,6 +116,14 @@ const CALIBRATION: &str = "mosfet_drain_current";
 /// a 2× speedup, but 4 workers must never make serving meaningfully
 /// *slower* than 1).
 const SERVE_SLOWDOWN_FACTOR: f64 = 1.5;
+
+/// `net-report --gate`'s default client-side sojourn p99 bound,
+/// milliseconds, at the sub-saturation arrival rate. Sojourn is measured
+/// from the *scheduled* open-loop arrival, so it includes every queueing
+/// effect; the bound is deliberately loose against shared-runner noise —
+/// it exists to catch the server falling off a latency cliff (seconds,
+/// not milliseconds), and can be tightened per-run with `--slo-ms`.
+const NET_SLO_MS: f64 = 250.0;
 
 /// `chaos-report --gate` allows the protected run at most this absolute
 /// accuracy drop below the healthy baseline — and requires the
@@ -119,6 +143,7 @@ fn main() -> ExitCode {
         Some("serve-report") => serve_report(&args[1..]),
         Some("scale-report") => scale_report(&args[1..]),
         Some("chaos-report") => chaos_report(&args[1..]),
+        Some("net-report") => net_report(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask bench-diff [--no-run] [--current <path>]");
             eprintln!(
@@ -126,6 +151,9 @@ fn main() -> ExitCode {
             );
             eprintln!("       cargo xtask scale-report [--gate] [--min-speedup X] [--out <path>]");
             eprintln!("       cargo xtask chaos-report [--gate] [--requests N] [--out <path>]");
+            eprintln!(
+                "       cargo xtask net-report [--gate] [--requests N] [--rate R] [--slo-ms X] [--out <path>]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -539,17 +567,28 @@ fn serve_report(args: &[String]) -> ExitCode {
         "serve-report — {requests} requests through the hybrid 8T-6T serving layer\n\n"
     ));
     table.push_str(&format!(
-        "{:<8} {:>14} {:>15} {:>12} {:>12} {:>14} {:>14} {:>12}  digest\n",
-        "workers", "throughput", "read bw", "p50", "p99", "energy/inf", "standby", "BER"
+        "{:<8} {:>14} {:>15} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14} {:>12}  digest\n",
+        "workers",
+        "throughput",
+        "read bw",
+        "p50",
+        "p99",
+        "queue p99",
+        "svc p99",
+        "energy/inf",
+        "standby",
+        "BER"
     ));
     for (workers, kv, _) in &reports {
         let row = format!(
-            "{:<8} {:>10.1} r/s {:>9.3e} w/s {:>12} {:>12} {:>11.3} nJ {:>11.3} µW {:>12}  {}\n",
+            "{:<8} {:>10.1} r/s {:>9.3e} w/s {:>12} {:>12} {:>12} {:>12} {:>11.3} nJ {:>11.3} µW {:>12}  {}\n",
             workers,
             get_f64(kv, "throughput_rps").unwrap_or(0.0),
             get_f64(kv, "words_per_sec").unwrap_or(0.0),
             format_ns(get_f64(kv, "p50_ns").unwrap_or(0.0)),
             format_ns(get_f64(kv, "p99_ns").unwrap_or(0.0)),
+            format_ns(get_f64(kv, "queue_p99_ns").unwrap_or(0.0)),
+            format_ns(get_f64(kv, "service_p99_ns").unwrap_or(0.0)),
             get_f64(kv, "energy_per_inference_j").unwrap_or(0.0) * 1e9,
             get_f64(kv, "standby_leakage_w").unwrap_or(0.0) * 1e6,
             kv.get("observed_ber").map(String::as_str).unwrap_or("-"),
@@ -845,6 +884,276 @@ fn chaos_report(args: &[String]) -> ExitCode {
         println!(
             "chaos gate passed: decisions identical across workers, protected run held \
              the accuracy and p99 bounds, unprotected run measurably failed"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The three `net_bench` runs `net-report` drives: two sub-saturation
+/// runs at different connection counts (the determinism probe) and one
+/// burst run with tight in-flight caps (the overload probe).
+struct NetRun {
+    label: &'static str,
+    connections: usize,
+    /// `None` = the configured `--rate`; `Some(0.0)` = burst.
+    rate: Option<f64>,
+    /// Extra `net_bench` flags (in-flight caps for the burst probe).
+    extra: &'static [&'static str],
+}
+
+const NET_RUNS: &[NetRun] = &[
+    NetRun {
+        label: "low/2conn",
+        connections: 2,
+        rate: None,
+        extra: &[],
+    },
+    NetRun {
+        label: "low/8conn",
+        connections: 8,
+        rate: None,
+        extra: &[],
+    },
+    NetRun {
+        label: "burst/4conn",
+        connections: 4,
+        rate: Some(0.0),
+        extra: &["--global-inflight", "64", "--soft-inflight", "32"],
+    },
+];
+
+fn net_report(args: &[String]) -> ExitCode {
+    let mut gate = false;
+    let mut requests = 256usize;
+    let mut rate = 600.0f64;
+    let mut slo_ms = NET_SLO_MS;
+    let mut out_path = "target/net-report.txt".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => {
+                    eprintln!("--requests requires a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rate" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 && r.is_finite() => rate = r,
+                _ => {
+                    eprintln!("--rate requires a positive requests/second figure");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--slo-ms" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 && x.is_finite() => slo_ms = x,
+                _ => {
+                    eprintln!("--slo-ms requires a positive millisecond bound");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown net-report argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_default();
+    let target = cwd.join("target");
+    let _ = std::fs::create_dir_all(&target);
+    let mut reports = Vec::new();
+    for run in NET_RUNS {
+        let run_rate = run.rate.unwrap_or(rate);
+        let report_path = target.join(format!("net-{}.txt", run.label.replace('/', "-")));
+        let _ = std::fs::remove_file(&report_path);
+        eprintln!(
+            "running net_bench {} ({} req, rate {}, {} connections)...",
+            run.label,
+            requests,
+            if run_rate > 0.0 {
+                format!("{run_rate:.0}/s")
+            } else {
+                "burst".to_string()
+            },
+            run.connections
+        );
+        let mut cmd = Command::new(env!("CARGO"));
+        cmd.args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "sram_net",
+            "--bin",
+            "net_bench",
+            "--",
+            "--tenants",
+            "2",
+            "--requests",
+            &requests.to_string(),
+            "--rate",
+            &run_rate.to_string(),
+            "--connections",
+            &run.connections.to_string(),
+            "--report",
+            &report_path.display().to_string(),
+        ]);
+        cmd.args(run.extra);
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("net_bench {} failed: {s}", run.label);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("could not launch net_bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let Some(kv) = read_kv_report(&report_path) else {
+            eprintln!("no report at {}", report_path.display());
+            return ExitCode::FAILURE;
+        };
+        reports.push((run, kv));
+    }
+
+    let get_f64 = |kv: &std::collections::BTreeMap<String, String>, key: &str| {
+        kv.get(key).and_then(|v| v.parse::<f64>().ok())
+    };
+    fn get_str<'a>(kv: &'a std::collections::BTreeMap<String, String>, key: &str) -> &'a str {
+        kv.get(key).map(String::as_str).unwrap_or("-")
+    }
+    let mut table = String::new();
+    table.push_str(&format!(
+        "net-report — {requests} open-loop requests over real sockets, 2 resident tenants\n\n"
+    ));
+    table.push_str(&format!(
+        "{:<12} {:>6} {:>6} {:>6} {:>5} {:>12} {:>12} {:>12}  digest\n",
+        "run", "sent", "ok", "shed", "err", "sojourn p50", "sojourn p99", "service p99"
+    ));
+    for (run, kv) in &reports {
+        table.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>6} {:>5} {:>12} {:>12} {:>12}  {}\n",
+            run.label,
+            get_str(kv, "sent"),
+            get_str(kv, "ok"),
+            get_str(kv, "shed"),
+            get_str(kv, "errors"),
+            format_ns(get_f64(kv, "sojourn_p50_ns").unwrap_or(f64::NAN)),
+            format_ns(get_f64(kv, "sojourn_p99_ns").unwrap_or(f64::NAN)),
+            format_ns(get_f64(kv, "service_p99_ns").unwrap_or(f64::NAN)),
+            get_str(kv, "digest"),
+        ));
+    }
+
+    let low = &reports[0];
+    let low_alt = &reports[1];
+    let burst = &reports[2];
+    let digests_match =
+        low.1.contains_key("digest") && low.1.get("digest") == low_alt.1.get("digest");
+    table.push_str(&format!(
+        "\ndigests across connection counts: {}\n",
+        if digests_match {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        },
+    ));
+    table.push_str(&format!(
+        "burst probe: {} shed of {} sent ({} degrade events, {} served drowsy)\n",
+        get_str(&burst.1, "shed"),
+        get_str(&burst.1, "sent"),
+        get_str(&burst.1, "degrade_events"),
+        get_str(&burst.1, "drowsy_served"),
+    ));
+
+    print!("{table}");
+    if let Err(e) = std::fs::write(&out_path, &table) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("net report written to {out_path}");
+
+    if gate {
+        let mut failed = false;
+        if !digests_match {
+            eprintln!(
+                "GATE FAILED: response digests differ between {} and {} \
+                 (determinism across connection interleavings is broken)",
+                low.0.label, low_alt.0.label
+            );
+            failed = true;
+        }
+        for (run, kv) in [low, low_alt] {
+            // Sub-saturation runs must serve everything: any shed, error,
+            // or timeout at this rate is a capacity/liveness regression —
+            // and the digest comparison is only meaningful at zero shed.
+            for key in ["shed", "errors"] {
+                if get_f64(kv, key).unwrap_or(f64::NAN) != 0.0 {
+                    eprintln!(
+                        "GATE FAILED: {} run has nonzero {key} at the sub-saturation rate",
+                        run.label
+                    );
+                    failed = true;
+                }
+            }
+            if kv.get("timed_out").map(String::as_str) != Some("false") {
+                eprintln!("GATE FAILED: {} run timed out draining", run.label);
+                failed = true;
+            }
+            if kv.get("digest") != kv.get("server_digest") {
+                eprintln!(
+                    "GATE FAILED: {} run's client and server digests disagree \
+                     (responses were lost or fabricated)",
+                    run.label
+                );
+                failed = true;
+            }
+            match get_f64(kv, "sojourn_p99_ns") {
+                Some(p99) if p99 > 0.0 => {
+                    if p99 > slo_ms * 1e6 {
+                        eprintln!(
+                            "GATE FAILED: {} sojourn p99 {} exceeds the {slo_ms} ms SLO",
+                            run.label,
+                            format_ns(p99)
+                        );
+                        failed = true;
+                    }
+                }
+                _ => {
+                    eprintln!("GATE FAILED: {} run is missing sojourn_p99_ns", run.label);
+                    failed = true;
+                }
+            }
+        }
+        // The burst probe must actually overload: explicit sheds prove the
+        // admission path answers under pressure instead of hanging.
+        if get_f64(&burst.1, "shed").unwrap_or(0.0) <= 0.0 {
+            eprintln!(
+                "GATE FAILED: burst run shed nothing — the overload probe no longer \
+                 exercises admission control"
+            );
+            failed = true;
+        }
+        if get_f64(&burst.1, "errors").unwrap_or(f64::NAN) != 0.0 {
+            eprintln!("GATE FAILED: burst run has errors (overload must shed, not break)");
+            failed = true;
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "net gate passed: digests identical across connection counts, zero shed at \
+             {rate:.0}/s, sojourn p99 within {slo_ms} ms, burst probe shed explicitly"
         );
     }
     ExitCode::SUCCESS
