@@ -1,0 +1,72 @@
+//! Typed generator errors.
+//!
+//! The spec front end is *total*: every input — hostile, truncated,
+//! overflow-sized — maps to one of these variants, never a panic. Errors
+//! carry the line number (parse stage) or key path (validation stage) so a
+//! failing spec file is diagnosable from the message alone.
+
+use std::fmt;
+
+/// Everything that can go wrong between a byte stream and a built report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// TOML syntax error: unterminated string, bad escape, malformed
+    /// section header, unparseable value.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A key the schema does not know (typo or unsupported feature) —
+    /// specs fail closed instead of silently ignoring configuration.
+    UnknownKey {
+        /// Full dotted key path, e.g. `array.colums`.
+        key: String,
+        /// 1-based line number where the key appears.
+        line: usize,
+    },
+    /// A key the schema requires but the document lacks.
+    MissingKey {
+        /// Full dotted key path, e.g. `supply.vdd`.
+        key: String,
+    },
+    /// A key is present but its value has the wrong type or is out of
+    /// range (including integer-overflow-sized claims, rejected before
+    /// any allocation).
+    Value {
+        /// Full dotted key path.
+        key: String,
+        /// What is wrong with the value.
+        message: String,
+    },
+    /// Cross-field constraint violation (mux vs columns, per-bank list
+    /// length vs bank count, total capacity, ...).
+    Geometry {
+        /// Human-readable constraint description.
+        message: String,
+    },
+    /// Netlist emission failed (propagated `nanospice` builder error;
+    /// indicates a generator bug, not bad user input).
+    Netlist {
+        /// The underlying SPICE error rendering.
+        message: String,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::Parse { line, message } => write!(f, "spec line {line}: {message}"),
+            GenError::UnknownKey { key, line } => {
+                write!(f, "spec line {line}: unknown key `{key}`")
+            }
+            GenError::MissingKey { key } => write!(f, "spec is missing required key `{key}`"),
+            GenError::Value { key, message } => write!(f, "spec key `{key}`: {message}"),
+            GenError::Geometry { message } => write!(f, "spec geometry: {message}"),
+            GenError::Netlist { message } => write!(f, "netlist emission: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}

@@ -1,0 +1,35 @@
+//! `sram_gen` — the config-driven SRAM macro generator.
+//!
+//! The paper's hybrid 8T-6T arrays started as hand-wired fixtures; this
+//! crate makes the *design space* the artifact. A TOML spec names the
+//! geometry (rows, columns, column mux), the bank contents (explicit word
+//! counts or an ANN layer topology), the 8T/6T cell-mix policy, the
+//! active/drowsy supply points, and whether the SECDED baseline rides
+//! along. The front end validates totally — typed [`error::GenError`]s,
+//! never a panic, range checks before any geometry-sized allocation — and
+//! [`report::GenReport::build`] emits everything downstream layers consume:
+//!
+//! * the [`sram_array::organization::SynapticMemoryMap`] layout (the same
+//!   type every hand-wired fixture uses, so `concat`, sharding, and the
+//!   multi-tenant registry work unchanged),
+//! * SPICE decks for the generated cells through `nanospice`,
+//! * area/leakage/energy rollups from the existing `area`/`power` models,
+//! * a memoized characterization (margins, timing, Monte Carlo failure
+//!   rates) at exactly the spec's voltages, and
+//! * a fault-injected inference smoke through
+//!   [`neuro_system::controller::NeuromorphicSystem`], digested for the
+//!   `design-space` CI gate.
+//!
+//! The `gen_report` binary sweeps committed specs plus a seeded random
+//! sample of the space; `cargo xtask gen-report --gate` turns the sweep
+//! into a CI gate.
+
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod error;
+pub mod netlist;
+pub mod organize;
+pub mod report;
+pub mod spec;
+pub mod toml;

@@ -1,0 +1,108 @@
+//! SPICE netlist emission for a generated sub-array's cells.
+//!
+//! The generator reuses the `sram_bitcell::netlists` builders for the
+//! paper's nominal 6T and 8T cells and adds the *spec-dependent* parts:
+//! bitline loading scaled to the spec's row count and the hold bias at the
+//! spec's active supply. The emitted decks are plain `nanospice` SPICE —
+//! they parse back through [`nanospice::parser::parse_deck`] and their DC
+//! operating points solve (the round-trip test pins both).
+
+use crate::characterize::column_env;
+use crate::error::GenError;
+use crate::spec::SramSpec;
+use nanospice::circuit::NodeId;
+use nanospice::parser::write_deck;
+use sram_bitcell::characterize::paper_cells;
+use sram_bitcell::netlists::{eight_t_circuit, nodes, six_t_circuit, CellBias};
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+
+/// The emitted decks for one generated macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedNetlists {
+    /// 6T cell in its column, hold bias at the active supply.
+    pub six_t: String,
+    /// 8T cell in its column (read port gated off), hold bias.
+    pub eight_t: String,
+}
+
+/// Emits both cell decks for a spec.
+///
+/// # Errors
+///
+/// Propagates circuit-builder failures as [`GenError::Netlist`] (these
+/// indicate a generator bug — the builders only fail on malformed element
+/// wiring, which the spec cannot express).
+pub fn emit(spec: &SramSpec) -> Result<GeneratedNetlists, GenError> {
+    let tech = Technology::ptm_22nm();
+    let (cell6, cell8) = paper_cells(&tech);
+    let vdd = Volt::new(spec.supply.vdd);
+    let env = column_env(spec.dims.rows);
+    let to_gen = |e: nanospice::error::SpiceError| GenError::Netlist {
+        message: e.to_string(),
+    };
+
+    let mut ckt6 = six_t_circuit(&cell6, CellBias::hold(vdd)).map_err(to_gen)?;
+    // Spec-scaled bitline loading: the builders model the bare cell; the
+    // generated sub-array adds one column's worth of capacitance per
+    // bitline (rows x junction load + wire/sense input).
+    let bl = ckt6.node(nodes::BL);
+    let blb = ckt6.node(nodes::BLB);
+    ckt6.capacitor("CBL", bl, NodeId::GROUND, env.c_bitline)
+        .map_err(to_gen)?;
+    ckt6.capacitor("CBLB", blb, NodeId::GROUND, env.c_bitline)
+        .map_err(to_gen)?;
+    let six_t = write_deck(
+        &ckt6,
+        &format!(
+            "{} 6t cell, {}x{} column, hold @ {:.0} mV",
+            spec.name,
+            spec.dims.rows,
+            spec.dims.cols,
+            spec.supply.vdd * 1e3
+        ),
+    );
+
+    // Read port off (RWL grounded): the hold operating point is bistable
+    // and well-conditioned, which is what the round-trip DC check needs.
+    let mut ckt8 = eight_t_circuit(&cell8, CellBias::hold(vdd), Volt::new(0.0), env.c_bitline)
+        .map_err(to_gen)?;
+    let bl = ckt8.node(nodes::BL);
+    let blb = ckt8.node(nodes::BLB);
+    ckt8.capacitor("CBL", bl, NodeId::GROUND, env.c_bitline)
+        .map_err(to_gen)?;
+    ckt8.capacitor("CBLB", blb, NodeId::GROUND, env.c_bitline)
+        .map_err(to_gen)?;
+    let eight_t = write_deck(
+        &ckt8,
+        &format!(
+            "{} 8t cell, {}x{} column, hold @ {:.0} mV",
+            spec.name,
+            spec.dims.rows,
+            spec.dims.cols,
+            spec.supply.vdd * 1e3
+        ),
+    );
+
+    Ok(GeneratedNetlists { six_t, eight_t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SramSpec;
+
+    #[test]
+    fn emitted_decks_name_the_spec_and_scale_with_rows() {
+        let small = SramSpec::from_toml_str(
+            "name = \"tiny\"\n[array]\nrows = 64\ncols = 64\n[banks]\nwords = [10]\n\
+             [supply]\nvdd = 0.8\ndrowsy = 0.5\n",
+        )
+        .expect("valid");
+        let decks = emit(&small).expect("emits");
+        assert!(decks.six_t.contains("tiny 6t cell, 64x64"));
+        assert!(decks.eight_t.contains("tiny 8t cell"));
+        // 64 rows -> 64*0.06 + 4.6 = 8.44 fF lumped bitline load.
+        assert!(decks.six_t.contains("CBL"), "{}", decks.six_t);
+    }
+}

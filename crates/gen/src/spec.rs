@@ -1,0 +1,679 @@
+//! The validated SRAM macro spec and its TOML schema.
+//!
+//! A spec is everything the generator needs to emit a complete macro:
+//! sub-array geometry, column mux, bank contents (explicit word counts or
+//! an ANN layer topology), the 8T/6T cell-mix policy, the active and
+//! drowsy supply voltages, and whether the SECDED baseline rides along.
+//!
+//! Decoding is **total**: [`SramSpec::from_toml_str`] returns a typed
+//! [`GenError`] for any input — truncated files, overflow-sized claims,
+//! unknown keys — and every range check happens on parsed scalars before
+//! any geometry-sized allocation exists.
+//!
+//! ```
+//! use sram_gen::spec::SramSpec;
+//! let spec = SramSpec::from_toml_str(
+//!     "name = \"demo\"\n\
+//!      [array]\nrows = 128\ncols = 128\nmux = 4\n\
+//!      [banks]\nlayers = [16, 8, 4]\n\
+//!      [mix]\npolicy = \"msb\"\nsplit = 0.375\n\
+//!      [supply]\nvdd = 0.7\ndrowsy = 0.45\n",
+//! )
+//! .expect("valid spec");
+//! assert_eq!(spec.bank_count(), 2);
+//! assert_eq!(spec.msb_counts(), vec![3, 3]);
+//! ```
+
+use crate::error::GenError;
+use crate::toml::{Document, Value};
+use fault_inject::protection::ProtectionPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sram_array::organization::SubArrayDims;
+
+/// Smallest accepted sub-array edge.
+pub const MIN_EDGE: usize = 8;
+/// Largest accepted sub-array edge (rows or columns).
+pub const MAX_EDGE: usize = 1024;
+/// Largest accepted column-mux factor.
+pub const MAX_MUX: usize = 32;
+/// Most banks a spec may describe.
+pub const MAX_BANKS: usize = 32;
+/// Most words one bank may hold (fits the million-synapse fixture's
+/// largest layer with headroom).
+pub const MAX_BANK_WORDS: usize = 1 << 21;
+/// Most words a whole spec may hold.
+pub const MAX_TOTAL_WORDS: usize = 1 << 22;
+/// Most ANN layers (including input) a workload topology may have.
+pub const MAX_LAYERS: usize = 6;
+/// Widest accepted ANN layer.
+pub const MAX_LAYER_WIDTH: usize = 4096;
+/// Supply-voltage window the characterization stack is trusted over.
+pub const VDD_RANGE: (f64, f64) = (0.5, 1.1);
+/// Lowest accepted drowsy retention voltage.
+pub const DROWSY_MIN: f64 = 0.3;
+/// Default network-init seed for workload-defined banks.
+pub const DEFAULT_NET_SEED: u64 = 5;
+
+/// What the banks hold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BankSpec {
+    /// Explicit per-bank word counts (a raw storage macro).
+    Words(Vec<usize>),
+    /// An ANN layer topology; banks are derived one-per-weight-layer
+    /// (`inputs*outputs + outputs` words each), enabling the full
+    /// fault-injected inference smoke.
+    Layers {
+        /// Layer widths, input layer first.
+        sizes: Vec<usize>,
+        /// Seed for the deterministic network initialization.
+        seed: u64,
+    },
+}
+
+/// The 8T/6T cell-mix policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixPolicy {
+    /// Everything in 6T cells (the paper's base configuration).
+    Uniform6T,
+    /// The same fraction of MSBs of every word in 8T cells
+    /// (Configuration 1); `split` is the fraction of *bits* protected.
+    Msb {
+        /// Fraction of each word's bits stored in 8T cells.
+        split: f64,
+    },
+    /// Significance-graded protection (Configuration 2 flavor): earlier
+    /// (input-side) banks get proportionally more protected MSBs, with
+    /// the across-bank average pinned to `split`.
+    Graded {
+        /// Average fraction of bits stored in 8T cells.
+        split: f64,
+    },
+    /// Explicit per-bank protected-MSB counts.
+    PerBank {
+        /// Protected MSBs per bank, input-side bank first.
+        msb_8t: Vec<u8>,
+    },
+}
+
+/// Active and drowsy supply points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplySpec {
+    /// Active (read/write) supply voltage.
+    pub vdd: f64,
+    /// Drowsy retention voltage.
+    pub drowsy: f64,
+}
+
+/// A fully validated macro spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramSpec {
+    /// Display name (report rows, CI tables).
+    pub name: String,
+    /// Sub-array geometry.
+    pub dims: SubArrayDims,
+    /// Column-mux factor: `cols / mux` bitline pairs share one sense amp.
+    pub mux: usize,
+    /// Bank contents.
+    pub banks: BankSpec,
+    /// Cell-mix policy.
+    pub mix: MixPolicy,
+    /// Supply points.
+    pub supply: SupplySpec,
+    /// Whether the SECDED(8) baseline's overheads are included.
+    pub ecc: bool,
+}
+
+impl SramSpec {
+    /// Parses and validates a spec from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Any syntax, schema, or range violation returns the corresponding
+    /// [`GenError`]; this function never panics, for any input.
+    pub fn from_toml_str(text: &str) -> Result<Self, GenError> {
+        let mut doc = Document::parse(text)?;
+        let name = take_string(&mut doc, "name")?.unwrap_or_else(|| "spec".to_string());
+        let rows = require(take_usize(&mut doc, "array.rows")?, "array.rows")?;
+        let cols = require(take_usize(&mut doc, "array.cols")?, "array.cols")?;
+        let mux = take_usize(&mut doc, "array.mux")?.unwrap_or(4);
+
+        let words = take_usize_array(&mut doc, "banks.words")?;
+        let layers = take_usize_array(&mut doc, "banks.layers")?;
+        let net_seed = take_u64(&mut doc, "banks.seed")?;
+        let banks = match (words, layers) {
+            (Some(_), Some(_)) => {
+                return Err(GenError::Geometry {
+                    message: "give either banks.words or banks.layers, not both".into(),
+                })
+            }
+            (Some(words), None) => {
+                if net_seed.is_some() {
+                    return Err(GenError::Value {
+                        key: "banks.seed".into(),
+                        message: "only meaningful with banks.layers".into(),
+                    });
+                }
+                BankSpec::Words(words)
+            }
+            (None, Some(sizes)) => BankSpec::Layers {
+                sizes,
+                seed: net_seed.unwrap_or(DEFAULT_NET_SEED),
+            },
+            (None, None) => {
+                return Err(GenError::MissingKey {
+                    key: "banks.words (or banks.layers)".into(),
+                })
+            }
+        };
+
+        let policy_name = take_string(&mut doc, "mix.policy")?.unwrap_or_else(|| "msb".into());
+        let split = take_float(&mut doc, "mix.split")?;
+        let per_bank = take_u8_array(&mut doc, "mix.msb_8t")?;
+        let mix = match policy_name.as_str() {
+            "uniform-6t" => {
+                reject_extra(split.is_some(), "mix.split", "not used by uniform-6t")?;
+                reject_extra(per_bank.is_some(), "mix.msb_8t", "not used by uniform-6t")?;
+                MixPolicy::Uniform6T
+            }
+            "msb" => {
+                reject_extra(per_bank.is_some(), "mix.msb_8t", "not used by msb")?;
+                MixPolicy::Msb {
+                    split: split.unwrap_or(0.375),
+                }
+            }
+            "graded" => {
+                reject_extra(per_bank.is_some(), "mix.msb_8t", "not used by graded")?;
+                MixPolicy::Graded {
+                    split: split.unwrap_or(0.375),
+                }
+            }
+            "per-bank" => {
+                reject_extra(split.is_some(), "mix.split", "not used by per-bank")?;
+                MixPolicy::PerBank {
+                    msb_8t: per_bank.ok_or(GenError::MissingKey {
+                        key: "mix.msb_8t".into(),
+                    })?,
+                }
+            }
+            other => {
+                return Err(GenError::Value {
+                    key: "mix.policy".into(),
+                    message: format!(
+                        "unknown policy `{other}` (expected uniform-6t, msb, graded, per-bank)"
+                    ),
+                })
+            }
+        };
+
+        let vdd = require_f(take_float(&mut doc, "supply.vdd")?, "supply.vdd")?;
+        let drowsy = take_float(&mut doc, "supply.drowsy")?.unwrap_or(vdd);
+        let ecc = take_bool(&mut doc, "ecc.enabled")?.unwrap_or(false);
+
+        if let Some((key, line)) = doc.remaining().into_iter().next() {
+            return Err(GenError::UnknownKey { key, line });
+        }
+
+        let spec = SramSpec {
+            name,
+            dims: SubArrayDims { rows, cols },
+            mux,
+            banks,
+            mix,
+            supply: SupplySpec { vdd, drowsy },
+            ecc,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks every range and cross-field constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a typed error.
+    pub fn validate(&self) -> Result<(), GenError> {
+        let SubArrayDims { rows, cols } = self.dims;
+        if !(MIN_EDGE..=MAX_EDGE).contains(&rows) {
+            return Err(geom(format!(
+                "array.rows = {rows} outside [{MIN_EDGE}, {MAX_EDGE}]"
+            )));
+        }
+        if !(MIN_EDGE..=MAX_EDGE).contains(&cols) {
+            return Err(geom(format!(
+                "array.cols = {cols} outside [{MIN_EDGE}, {MAX_EDGE}]"
+            )));
+        }
+        if cols % 8 != 0 {
+            return Err(geom(format!(
+                "array.cols = {cols} must be a multiple of the 8-bit word"
+            )));
+        }
+        if self.mux == 0 || !self.mux.is_power_of_two() || self.mux > MAX_MUX {
+            return Err(geom(format!(
+                "array.mux = {} must be a power of two in [1, {MAX_MUX}]",
+                self.mux
+            )));
+        }
+        if cols % (8 * self.mux) != 0 {
+            return Err(geom(format!(
+                "array.mux = {} does not divide the {cols}-column word groups (cols must be a \
+                 multiple of 8*mux)",
+                self.mux
+            )));
+        }
+        let bank_words = self.bank_words()?;
+        if bank_words.is_empty() || bank_words.len() > MAX_BANKS {
+            return Err(geom(format!(
+                "{} banks outside [1, {MAX_BANKS}]",
+                bank_words.len()
+            )));
+        }
+        let mut total: usize = 0;
+        for (i, &w) in bank_words.iter().enumerate() {
+            if w == 0 || w > MAX_BANK_WORDS {
+                return Err(geom(format!(
+                    "bank {i} holds {w} words, outside [1, {MAX_BANK_WORDS}]"
+                )));
+            }
+            total = total
+                .checked_add(w)
+                .filter(|&t| t <= MAX_TOTAL_WORDS)
+                .ok_or_else(|| geom(format!("total words exceed {MAX_TOTAL_WORDS}")))?;
+        }
+        match &self.mix {
+            MixPolicy::Uniform6T => {}
+            MixPolicy::Msb { split } | MixPolicy::Graded { split } => {
+                if !split.is_finite() || !(0.0..=1.0).contains(split) {
+                    return Err(GenError::Value {
+                        key: "mix.split".into(),
+                        message: format!("{split} outside [0, 1]"),
+                    });
+                }
+            }
+            MixPolicy::PerBank { msb_8t } => {
+                if msb_8t.len() != bank_words.len() {
+                    return Err(geom(format!(
+                        "mix.msb_8t lists {} banks, spec has {}",
+                        msb_8t.len(),
+                        bank_words.len()
+                    )));
+                }
+                if let Some(&n) = msb_8t.iter().find(|&&n| n > 8) {
+                    return Err(GenError::Value {
+                        key: "mix.msb_8t".into(),
+                        message: format!("{n} protected bits exceed the 8-bit word"),
+                    });
+                }
+            }
+        }
+        let SupplySpec { vdd, drowsy } = self.supply;
+        if !vdd.is_finite() || !(VDD_RANGE.0..=VDD_RANGE.1).contains(&vdd) {
+            return Err(GenError::Value {
+                key: "supply.vdd".into(),
+                message: format!("{vdd} outside [{}, {}]", VDD_RANGE.0, VDD_RANGE.1),
+            });
+        }
+        if !drowsy.is_finite() || drowsy < DROWSY_MIN || drowsy > vdd {
+            return Err(GenError::Value {
+                key: "supply.drowsy".into(),
+                message: format!("{drowsy} outside [{DROWSY_MIN}, vdd = {vdd}]"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of banks the spec describes.
+    pub fn bank_count(&self) -> usize {
+        match &self.banks {
+            BankSpec::Words(words) => words.len(),
+            BankSpec::Layers { sizes, .. } => sizes.len().saturating_sub(1),
+        }
+    }
+
+    /// Per-bank word counts, computed with checked arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a geometry error when a workload layer pair overflows the
+    /// per-bank word cap (checked *before* any allocation of that size).
+    pub fn bank_words(&self) -> Result<Vec<usize>, GenError> {
+        match &self.banks {
+            BankSpec::Words(words) => Ok(words.clone()),
+            BankSpec::Layers { sizes, .. } => {
+                if sizes.len() < 2 || sizes.len() > MAX_LAYERS {
+                    return Err(geom(format!(
+                        "banks.layers has {} entries, need 2..={MAX_LAYERS}",
+                        sizes.len()
+                    )));
+                }
+                if let Some(&w) = sizes.iter().find(|&&w| w == 0 || w > MAX_LAYER_WIDTH) {
+                    return Err(geom(format!(
+                        "layer width {w} outside [1, {MAX_LAYER_WIDTH}]"
+                    )));
+                }
+                sizes
+                    .windows(2)
+                    .map(|pair| {
+                        pair[0]
+                            .checked_mul(pair[1])
+                            .and_then(|w| w.checked_add(pair[1]))
+                            .filter(|&w| w <= MAX_BANK_WORDS)
+                            .ok_or_else(|| {
+                                geom(format!(
+                                    "layer pair {}x{} overflows the {MAX_BANK_WORDS}-word bank cap",
+                                    pair[0], pair[1]
+                                ))
+                            })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Canonical per-bank protected-MSB counts implied by the mix policy.
+    pub fn msb_counts(&self) -> Vec<u8> {
+        let banks = self.bank_count();
+        match &self.mix {
+            MixPolicy::Uniform6T => vec![0; banks],
+            MixPolicy::Msb { split } => vec![round_msb(*split); banks],
+            MixPolicy::Graded { split } => (0..banks)
+                .map(|i| {
+                    // Linear significance taper with the average pinned to
+                    // `split`: weight 2*(B-i)/(B+1) sums to B over banks.
+                    let w = 2.0 * (banks - i) as f64 / (banks + 1) as f64;
+                    ((split * 8.0 * w).round() as i64).clamp(0, 8) as u8
+                })
+                .collect(),
+            MixPolicy::PerBank { msb_8t } => msb_8t.clone(),
+        }
+    }
+
+    /// The [`ProtectionPolicy`] the organization is built with.
+    pub fn policy(&self) -> ProtectionPolicy {
+        match &self.mix {
+            MixPolicy::Uniform6T => ProtectionPolicy::Uniform6T,
+            MixPolicy::Msb { split } => ProtectionPolicy::MsbProtected {
+                msb_8t: round_msb(*split) as usize,
+            },
+            MixPolicy::Graded { .. } | MixPolicy::PerBank { .. } => ProtectionPolicy::PerBank {
+                msb_8t: self.msb_counts().iter().map(|&n| n as usize).collect(),
+            },
+        }
+    }
+
+    /// Renders the spec back to canonical TOML (parsing the result yields
+    /// an equal spec — property-tested).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name = \"{}\"\n\n[array]\n", escape(&self.name)));
+        out.push_str(&format!(
+            "rows = {}\ncols = {}\nmux = {}\n\n[banks]\n",
+            self.dims.rows, self.dims.cols, self.mux
+        ));
+        match &self.banks {
+            BankSpec::Words(words) => out.push_str(&format!("words = {}\n", int_list(words))),
+            BankSpec::Layers { sizes, seed } => {
+                out.push_str(&format!("layers = {}\nseed = {seed}\n", int_list(sizes)));
+            }
+        }
+        out.push_str("\n[mix]\n");
+        match &self.mix {
+            MixPolicy::Uniform6T => out.push_str("policy = \"uniform-6t\"\n"),
+            MixPolicy::Msb { split } => {
+                out.push_str(&format!("policy = \"msb\"\nsplit = {split:?}\n"));
+            }
+            MixPolicy::Graded { split } => {
+                out.push_str(&format!("policy = \"graded\"\nsplit = {split:?}\n"));
+            }
+            MixPolicy::PerBank { msb_8t } => {
+                let list: Vec<usize> = msb_8t.iter().map(|&n| n as usize).collect();
+                out.push_str(&format!(
+                    "policy = \"per-bank\"\nmsb_8t = {}\n",
+                    int_list(&list)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\n[supply]\nvdd = {:?}\ndrowsy = {:?}\n\n[ecc]\nenabled = {}\n",
+            self.supply.vdd, self.supply.drowsy, self.ecc
+        ));
+        out
+    }
+
+    /// Draws a random valid spec from the design space (seeded, so the
+    /// sweep's sample is reproducible). Sampled specs always use a
+    /// workload topology, so every one supports the inference smoke.
+    pub fn sample(seed: u64) -> SramSpec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = [64usize, 128, 256];
+        let rows = edges[rng.gen_range(0..edges.len())];
+        let cols = edges[rng.gen_range(0..edges.len())];
+        let mux = [1usize, 2, 4, 8][rng.gen_range(0..4)];
+        let mut sizes = vec![rng.gen_range(8..=24)];
+        for _ in 0..rng.gen_range(1..=2) {
+            sizes.push(rng.gen_range(4..=16));
+        }
+        sizes.push(rng.gen_range(2..=8));
+        let split = rng.gen_range(1..=5) as f64 / 8.0;
+        let banks = sizes.len() - 1;
+        let mix = match rng.gen_range(0..6) {
+            0 => MixPolicy::Uniform6T,
+            1 | 2 => MixPolicy::Msb { split },
+            3 | 4 => MixPolicy::Graded { split },
+            _ => MixPolicy::PerBank {
+                msb_8t: (0..banks).map(|_| rng.gen_range(0..=8) as u8).collect(),
+            },
+        };
+        let vdd = 0.60 + 0.05 * rng.gen_range(0..=6) as f64;
+        let drowsy_steps = ((vdd - DROWSY_MIN) / 0.05).round() as i64;
+        // `min(vdd)` guards the float-ulp case where the last step lands an
+        // ulp above the rail (0.3 + 0.05*6 > 0.6).
+        let drowsy = (DROWSY_MIN + 0.05 * rng.gen_range(0..=drowsy_steps.max(0)) as f64).min(vdd);
+        let spec = SramSpec {
+            name: format!("rand-{seed:08x}"),
+            dims: SubArrayDims { rows, cols },
+            mux,
+            banks: BankSpec::Layers {
+                sizes,
+                seed: rng.gen_range(1..1 << 20),
+            },
+            mix,
+            supply: SupplySpec { vdd, drowsy },
+            ecc: rng.gen_bool(0.3),
+        };
+        debug_assert!(spec.validate().is_ok());
+        spec
+    }
+}
+
+/// Rounds a bit fraction to a protected-MSB count.
+fn round_msb(split: f64) -> u8 {
+    ((split * 8.0).round() as i64).clamp(0, 8) as u8
+}
+
+fn geom(message: String) -> GenError {
+    GenError::Geometry { message }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn int_list(values: &[usize]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn require(v: Option<usize>, key: &str) -> Result<usize, GenError> {
+    v.ok_or_else(|| GenError::MissingKey { key: key.into() })
+}
+
+fn require_f(v: Option<f64>, key: &str) -> Result<f64, GenError> {
+    v.ok_or_else(|| GenError::MissingKey { key: key.into() })
+}
+
+fn reject_extra(present: bool, key: &str, message: &str) -> Result<(), GenError> {
+    if present {
+        return Err(GenError::Value {
+            key: key.into(),
+            message: message.into(),
+        });
+    }
+    Ok(())
+}
+
+fn value_err(key: &str, message: impl Into<String>) -> GenError {
+    GenError::Value {
+        key: key.into(),
+        message: message.into(),
+    }
+}
+
+fn take_string(doc: &mut Document, key: &str) -> Result<Option<String>, GenError> {
+    match doc.take(key) {
+        None => Ok(None),
+        Some((Value::Str(s), _)) => Ok(Some(s)),
+        Some((other, _)) => Err(value_err(
+            key,
+            format!("expected a string, found {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_bool(doc: &mut Document, key: &str) -> Result<Option<bool>, GenError> {
+    match doc.take(key) {
+        None => Ok(None),
+        Some((Value::Bool(b), _)) => Ok(Some(b)),
+        Some((other, _)) => Err(value_err(
+            key,
+            format!("expected a boolean, found {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_float(doc: &mut Document, key: &str) -> Result<Option<f64>, GenError> {
+    match doc.take(key) {
+        None => Ok(None),
+        Some((Value::Float(f), _)) => Ok(Some(f)),
+        Some((Value::Int(i), _)) => Ok(Some(i as f64)),
+        Some((other, _)) => Err(value_err(
+            key,
+            format!("expected a number, found {}", other.type_name()),
+        )),
+    }
+}
+
+fn int_to_usize(key: &str, i: i64) -> Result<usize, GenError> {
+    usize::try_from(i).map_err(|_| value_err(key, format!("{i} is negative")))
+}
+
+fn take_usize(doc: &mut Document, key: &str) -> Result<Option<usize>, GenError> {
+    match doc.take(key) {
+        None => Ok(None),
+        Some((Value::Int(i), _)) => int_to_usize(key, i).map(Some),
+        Some((other, _)) => Err(value_err(
+            key,
+            format!("expected an integer, found {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_u64(doc: &mut Document, key: &str) -> Result<Option<u64>, GenError> {
+    match doc.take(key) {
+        None => Ok(None),
+        Some((Value::Int(i), _)) => u64::try_from(i)
+            .map(Some)
+            .map_err(|_| value_err(key, format!("{i} is negative"))),
+        Some((other, _)) => Err(value_err(
+            key,
+            format!("expected an integer, found {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_usize_array(doc: &mut Document, key: &str) -> Result<Option<Vec<usize>>, GenError> {
+    match doc.take(key) {
+        None => Ok(None),
+        Some((Value::Array(items), _)) => items
+            .into_iter()
+            .map(|item| match item {
+                Value::Int(i) => int_to_usize(key, i),
+                other => Err(value_err(
+                    key,
+                    format!("expected integer elements, found {}", other.type_name()),
+                )),
+            })
+            .collect::<Result<Vec<usize>, GenError>>()
+            .map(Some),
+        Some((other, _)) => Err(value_err(
+            key,
+            format!("expected an array, found {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_u8_array(doc: &mut Document, key: &str) -> Result<Option<Vec<u8>>, GenError> {
+    match take_usize_array(doc, key)? {
+        None => Ok(None),
+        Some(items) => items
+            .into_iter()
+            .map(|n| u8::try_from(n).map_err(|_| value_err(key, format!("{n} exceeds a byte"))))
+            .collect::<Result<Vec<u8>, GenError>>()
+            .map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_digits_spec_parses() {
+        let spec = SramSpec::from_toml_str(
+            "name = \"digits\"\n[array]\nrows = 256\ncols = 256\nmux = 8\n\
+             [banks]\nlayers = [784, 24, 10]\nseed = 5\n\
+             [mix]\npolicy = \"msb\"\nsplit = 0.375\n\
+             [supply]\nvdd = 0.7\ndrowsy = 0.45\n[ecc]\nenabled = false\n",
+        )
+        .expect("valid");
+        assert_eq!(spec.dims, SubArrayDims::PAPER);
+        assert_eq!(
+            spec.bank_words().unwrap(),
+            vec![784 * 24 + 24, 24 * 10 + 10]
+        );
+        assert_eq!(spec.policy(), ProtectionPolicy::MsbProtected { msb_8t: 3 });
+    }
+
+    #[test]
+    fn graded_counts_average_to_split_and_taper() {
+        let spec = SramSpec {
+            mix: MixPolicy::Graded { split: 0.5 },
+            ..SramSpec::sample(1)
+        };
+        let counts = spec.msb_counts();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+        let avg = counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        assert!((avg - 4.0).abs() <= 1.0, "{counts:?}");
+    }
+
+    #[test]
+    fn sampled_specs_round_trip_through_toml() {
+        for seed in 0..32 {
+            let spec = SramSpec::sample(seed);
+            let back = SramSpec::from_toml_str(&spec.to_toml())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", spec.to_toml()));
+            assert_eq!(spec, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn overflow_rows_are_rejected_without_allocation() {
+        let err = SramSpec::from_toml_str(
+            "[array]\nrows = 4611686018427387904\ncols = 256\n[banks]\nwords = [10]\n\
+             [supply]\nvdd = 0.7\n",
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, GenError::Geometry { .. }), "{err}");
+    }
+}

@@ -1,0 +1,399 @@
+//! A minimal, total TOML-subset parser.
+//!
+//! The build environment is offline (see `shims/README.md`), so the spec
+//! front end cannot pull a TOML crate; it parses the subset the spec schema
+//! needs by hand: `[section]` headers, `key = value` pairs with integer,
+//! float, boolean, string, and single-line array values, and `#` comments.
+//! Unsupported TOML (nested tables, inline tables, multi-line arrays,
+//! array-of-tables) is rejected with a typed [`GenError::Parse`] carrying
+//! the line number — never a panic.
+//!
+//! The parser stores only scalars: nothing here allocates proportionally
+//! to any *claimed* size in the document, which is what lets the spec
+//! layer range-check hostile values (e.g. `rows = 9000000000`) before any
+//! geometry-sized buffer exists.
+
+use crate::error::GenError;
+use std::collections::BTreeMap;
+
+/// Maximum array nesting depth the value grammar accepts.
+const MAX_DEPTH: usize = 3;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer literal (anything that fits an `i64`; larger literals
+    /// parse as floats and then fail integer-typed key lookups).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Basic (double-quoted) string.
+    Str(String),
+    /// Single-line array.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Human name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// A flat view of a parsed document: dotted key path → (value, line).
+#[derive(Debug, Default)]
+pub struct Document {
+    entries: BTreeMap<String, (Value, usize)>,
+}
+
+impl Document {
+    /// Parses `text` into a flat key map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Parse`] on any syntax the subset does not
+    /// accept, including duplicate keys and truncated constructs.
+    pub fn parse(text: &str) -> Result<Self, GenError> {
+        let mut doc = Document::default();
+        let mut prefix = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let stripped = strip_comment(raw, line)?;
+            let trimmed = stripped.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix('[') {
+                if rest.starts_with('[') {
+                    return Err(parse_err(line, "array-of-tables is not supported"));
+                }
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| parse_err(line, "unterminated section header"))?
+                    .trim();
+                if !is_bare_key(name) {
+                    return Err(parse_err(
+                        line,
+                        format!("invalid section name `{name}` (nested tables unsupported)"),
+                    ));
+                }
+                prefix = name.to_string();
+                continue;
+            }
+            let (key, value_text) = trimmed
+                .split_once('=')
+                .ok_or_else(|| parse_err(line, "expected `key = value` or `[section]`"))?;
+            let key = key.trim();
+            if !is_bare_key(key) {
+                return Err(parse_err(line, format!("invalid key `{key}`")));
+            }
+            let value = parse_value(value_text.trim(), line, 0)?;
+            let full = if prefix.is_empty() {
+                key.to_string()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            if doc.entries.insert(full.clone(), (value, line)).is_some() {
+                return Err(parse_err(line, format!("duplicate key `{full}`")));
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Removes and returns the entry at `key`, if present.
+    pub fn take(&mut self, key: &str) -> Option<(Value, usize)> {
+        self.entries.remove(key)
+    }
+
+    /// Keys that were never consumed, with their line numbers (ordered by
+    /// line so the first surplus key in the file is reported first).
+    pub fn remaining(&self) -> Vec<(String, usize)> {
+        let mut keys: Vec<(String, usize)> = self
+            .entries
+            .iter()
+            .map(|(k, (_, line))| (k.clone(), *line))
+            .collect();
+        keys.sort_by_key(|(_, line)| *line);
+        keys
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> GenError {
+    GenError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Cuts a trailing `#` comment, honoring `#` inside string literals.
+fn strip_comment(raw: &str, line: usize) -> Result<String, GenError> {
+    let mut out = String::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in raw.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '#' => return Ok(out),
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    if in_string {
+        return Err(parse_err(line, "unterminated string"));
+    }
+    Ok(out)
+}
+
+fn parse_value(s: &str, line: usize, depth: usize) -> Result<Value, GenError> {
+    if s.is_empty() {
+        return Err(parse_err(line, "missing value after `=`"));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if s.starts_with('"') {
+        return parse_string(s, line);
+    }
+    if s.starts_with('[') {
+        if depth >= MAX_DEPTH {
+            return Err(parse_err(line, "arrays nested too deeply"));
+        }
+        return parse_array(s, line, depth);
+    }
+    if s.starts_with('{') {
+        return Err(parse_err(line, "inline tables are not supported"));
+    }
+    parse_number(s, line)
+}
+
+fn parse_string(s: &str, line: usize) -> Result<Value, GenError> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    if chars.next() != Some('"') {
+        return Err(parse_err(line, "expected string"));
+    }
+    loop {
+        match chars.next() {
+            None => return Err(parse_err(line, "unterminated string")),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    return Err(parse_err(line, format!("unsupported escape `\\{other}`")))
+                }
+                None => return Err(parse_err(line, "unterminated string escape")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+    let rest: String = chars.collect();
+    if !rest.trim().is_empty() {
+        return Err(parse_err(
+            line,
+            format!("unexpected trailing text `{}` after string", rest.trim()),
+        ));
+    }
+    Ok(Value::Str(out))
+}
+
+fn parse_array(s: &str, line: usize, depth: usize) -> Result<Value, GenError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| parse_err(line, "unterminated array (arrays must be single-line)"))?;
+    let mut elements = Vec::new();
+    for part in split_top_level(inner, line)? {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(parse_err(line, "empty array element"));
+        }
+        elements.push(parse_value(part, line, depth + 1)?);
+    }
+    Ok(Value::Array(elements))
+}
+
+/// Splits `inner` on commas outside brackets and strings; a trailing comma
+/// is allowed (TOML permits it).
+fn split_top_level(inner: &str, line: usize) -> Result<Vec<String>, GenError> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut bracket_depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in inner.chars() {
+        if in_string {
+            current.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                current.push(c);
+            }
+            '[' => {
+                bracket_depth += 1;
+                current.push(c);
+            }
+            ']' => {
+                bracket_depth = bracket_depth
+                    .checked_sub(1)
+                    .ok_or_else(|| parse_err(line, "unbalanced `]` in array"))?;
+                current.push(c);
+            }
+            ',' if bracket_depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if bracket_depth != 0 || in_string {
+        return Err(parse_err(line, "unterminated array element"));
+    }
+    // Empty tail = trailing comma (or empty array): nothing to push.
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    Ok(parts)
+}
+
+fn parse_number(s: &str, line: usize) -> Result<Value, GenError> {
+    if s.contains('_') {
+        return Err(parse_err(
+            line,
+            "underscore digit separators are not supported",
+        ));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if f.is_finite()
+            && !s.eq_ignore_ascii_case("nan")
+            && !s.to_ascii_lowercase().contains("inf")
+        {
+            return Ok(Value::Float(f));
+        }
+        return Err(parse_err(line, format!("non-finite number `{s}`")));
+    }
+    Err(parse_err(line, format!("unparseable value `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let mut doc = Document::parse(
+            "name = \"demo\"\n# comment\n[array]\nrows = 256 # trailing\ncols = 128\n\
+             [banks]\nlayers = [784, 24, 10]\n[supply]\nvdd = 0.7\nok = true\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.take("name").map(|(v, _)| v),
+            Some(Value::Str("demo".into()))
+        );
+        assert_eq!(
+            doc.take("array.rows").map(|(v, _)| v),
+            Some(Value::Int(256))
+        );
+        assert_eq!(
+            doc.take("array.cols").map(|(v, _)| v),
+            Some(Value::Int(128))
+        );
+        assert_eq!(
+            doc.take("banks.layers").map(|(v, _)| v),
+            Some(Value::Array(vec![
+                Value::Int(784),
+                Value::Int(24),
+                Value::Int(10)
+            ]))
+        );
+        assert_eq!(
+            doc.take("supply.vdd").map(|(v, _)| v),
+            Some(Value::Float(0.7))
+        );
+        assert_eq!(
+            doc.take("supply.ok").map(|(v, _)| v),
+            Some(Value::Bool(true))
+        );
+        assert!(doc.remaining().is_empty());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let mut doc = Document::parse("name = \"a#b\"\n").expect("parses");
+        assert_eq!(
+            doc.take("name").map(|(v, _)| v),
+            Some(Value::Str("a#b".into()))
+        );
+    }
+
+    #[test]
+    fn oversized_integer_literal_becomes_a_float_not_a_panic() {
+        let mut doc = Document::parse("rows = 99999999999999999999999\n").expect("parses");
+        assert!(matches!(doc.take("rows"), Some((Value::Float(_), _))));
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        for (text, needle) in [
+            ("[array\nrows = 1\n", "unterminated section"),
+            ("x = \"abc\n", "unterminated string"),
+            ("x = [1, 2\n", "unterminated array"),
+            ("x = {a = 1}\n", "inline tables"),
+            ("x = nan\n", "non-finite"),
+            ("x = \n", "missing value"),
+            ("x = 1\nx = 2\n", "duplicate key"),
+            ("[[t]]\n", "array-of-tables"),
+            ("just words\n", "expected `key = value`"),
+        ] {
+            match Document::parse(text) {
+                Err(GenError::Parse { line, message }) => {
+                    assert!(line >= 1, "{text:?}");
+                    assert!(message.contains(needle), "{text:?} -> {message}");
+                }
+                other => panic!("{text:?} should fail to parse, got {other:?}"),
+            }
+        }
+    }
+}

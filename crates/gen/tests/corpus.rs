@@ -1,0 +1,132 @@
+//! Negative-path corpus (issue satellite): every malformed or hostile spec
+//! under `corpus/` must produce a *typed* error — never a panic — and the
+//! front end must reject claimed-size attacks before allocating anything
+//! proportional to the claim.
+
+use sram_gen::error::GenError;
+use sram_gen::spec::SramSpec;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir exists")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_corpus_file_is_rejected_with_a_typed_error() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 8,
+        "corpus should stay adversarial: {files:?}"
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        match SramSpec::from_toml_str(&text) {
+            Err(err) => {
+                // Force the typed surface: Display must render without
+                // panicking and the error must be one of the public kinds.
+                let rendered = err.to_string();
+                assert!(!rendered.is_empty(), "{path:?}");
+            }
+            Ok(spec) => panic!("{path:?} must be rejected, parsed as {spec:?}"),
+        }
+    }
+}
+
+/// A corpus file name paired with the error-kind predicate it must trip.
+type ExpectedKind = (&'static str, fn(&GenError) -> bool);
+
+#[test]
+fn corpus_files_map_to_the_expected_error_kinds() {
+    let expect: &[ExpectedKind] = &[
+        ("overflow-geometry.toml", |e| {
+            matches!(e, GenError::Geometry { .. } | GenError::Value { .. })
+        }),
+        ("zero-banks.toml", |e| {
+            matches!(e, GenError::Geometry { .. })
+        }),
+        ("split-above-one.toml", |e| {
+            matches!(e, GenError::Value { .. })
+        }),
+        (
+            "unknown-key.toml",
+            |e| matches!(e, GenError::UnknownKey { key, .. } if key.contains("colums")),
+        ),
+        ("truncated.toml", |e| matches!(e, GenError::Parse { .. })),
+        ("negative-rows.toml", |e| {
+            matches!(e, GenError::Value { .. })
+        }),
+        ("bad-mux.toml", |e| matches!(e, GenError::Geometry { .. })),
+        ("drowsy-above-vdd.toml", |e| {
+            matches!(e, GenError::Value { .. })
+        }),
+        ("overflow-layers.toml", |e| {
+            matches!(e, GenError::Geometry { .. })
+        }),
+        (
+            "missing-supply.toml",
+            |e| matches!(e, GenError::MissingKey { key } if key.contains("vdd")),
+        ),
+    ];
+    for (name, matches_kind) in expect {
+        let path = corpus_dir().join(name);
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let err = SramSpec::from_toml_str(&text).expect_err(name);
+        assert!(matches_kind(&err), "{name}: unexpected error {err:?}");
+    }
+}
+
+#[test]
+fn hostile_claimed_sizes_are_rejected_before_any_allocation() {
+    // Specs that *claim* petaword geometries must be range-checked from
+    // scalar values alone. A front end that sized buffers from the claim
+    // would OOM or stall; typed rejection must be near-instant.
+    let hostile = [
+        "[array]\nrows = 4611686018427387904\ncols = 256\n[banks]\nwords = [8]\n[supply]\nvdd = 0.7\n",
+        "[array]\nrows = 256\ncols = 256\n[banks]\nwords = [4611686018427387904, 4611686018427387904]\n[supply]\nvdd = 0.7\n",
+        "[array]\nrows = 256\ncols = 256\n[banks]\nlayers = [4096, 4096, 4096, 4096, 4096, 4096]\n[supply]\nvdd = 0.7\n",
+        "[array]\nrows = 999999999999999999\ncols = 999999999999999999\n[banks]\nwords = [999999999999999999]\n[supply]\nvdd = 0.7\n",
+    ];
+    let start = Instant::now();
+    for text in hostile {
+        let err = SramSpec::from_toml_str(text).expect_err("hostile claim must be rejected");
+        assert!(
+            matches!(err, GenError::Geometry { .. } | GenError::Value { .. }),
+            "unexpected error for hostile claim: {err:?}"
+        );
+    }
+    // Generous even for a debug build under load; a geometry-sized
+    // allocation of 2^62 words would never come back at all.
+    assert!(
+        start.elapsed().as_secs() < 5,
+        "hostile claims took {:?} — validation is allocating?",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn truncated_prefixes_of_a_valid_spec_never_panic() {
+    // Every byte-prefix of a committed spec is either valid (only once the
+    // file is complete enough) or a typed error — exercised to make sure
+    // mid-token truncation can't panic the parser.
+    let full = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("specs/digits.toml"),
+    )
+    .expect("committed spec readable");
+    for end in 0..=full.len() {
+        if !full.is_char_boundary(end) {
+            continue;
+        }
+        let _ = SramSpec::from_toml_str(&full[..end]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Netlist round-trip (issue satellite): the decks the generator emits are
+//! real SPICE — they parse back through `nanospice::parser`, their DC
+//! operating points solve, and the solved storage node agrees with the
+//! behavioral cell model evaluated at the same voltages.
+
+use nanospice::dc::DcSolver;
+use nanospice::parser::parse_deck;
+use sram_array::organization::SubArrayDims;
+use sram_bitcell::cell_ops::qb_equilibrium;
+use sram_bitcell::characterize::paper_cells;
+use sram_bitcell::netlists::nodes;
+use sram_device::process::Technology;
+use sram_device::units::Volt;
+use sram_gen::netlist::emit;
+use sram_gen::spec::{BankSpec, MixPolicy, SramSpec, SupplySpec};
+
+fn small_spec(vdd: f64) -> SramSpec {
+    let spec = SramSpec {
+        name: "roundtrip".into(),
+        dims: SubArrayDims { rows: 64, cols: 64 },
+        mux: 2,
+        banks: BankSpec::Words(vec![256, 64]),
+        mix: MixPolicy::Msb { split: 0.375 },
+        supply: SupplySpec { vdd, drowsy: vdd },
+        ecc: false,
+    };
+    spec.validate().expect("test spec is valid");
+    spec
+}
+
+#[test]
+fn emitted_six_t_deck_parses_solves_and_matches_the_behavioral_model() {
+    let vdd = 0.8;
+    let decks = emit(&small_spec(vdd)).expect("emit");
+    let tech = Technology::ptm_22nm();
+    let deck = parse_deck(&decks.six_t, &tech).expect("emitted 6T deck parses back");
+    assert!(deck.title.contains("roundtrip"));
+    assert!(deck.title.contains("64x64"));
+
+    let ckt = &deck.circuit;
+    let q = ckt.find_node(nodes::Q).expect("Q survives the round trip");
+    let qb = ckt
+        .find_node(nodes::QB)
+        .expect("QB survives the round trip");
+    // The spec-scaled bitline loads must survive the round trip too.
+    assert!(ckt.element("CBL").is_some() && ckt.element("CBLB").is_some());
+
+    let (cell6, _) = paper_cells(&tech);
+    for (q_guess, qb_guess) in [(vdd, 0.0), (0.0, vdd)] {
+        let op = DcSolver::new(ckt)
+            .guess(q, Volt::new(q_guess))
+            .guess(qb, Volt::new(qb_guess))
+            .solve()
+            .expect("hold operating point solves");
+        let q_v = op.voltage(q).volts();
+        let qb_v = op.voltage(qb).volts();
+        // Bistable hold states near the rails.
+        assert!(
+            (q_v - q_guess).abs() < 0.05,
+            "Q = {q_v} from guess {q_guess}"
+        );
+        assert!(
+            (qb_v - qb_guess).abs() < 0.05,
+            "QB = {qb_v} from guess {qb_guess}"
+        );
+        // Cross-check: the behavioral model's QB equilibrium for the solved
+        // Q (wordline off in hold, so no bitline term) agrees with SPICE.
+        let qb_behavioral = qb_equilibrium(&cell6, q_v, vdd, 0.0, None);
+        assert!(
+            (qb_behavioral - qb_v).abs() < 0.05,
+            "behavioral QB {qb_behavioral} vs SPICE QB {qb_v} at Q = {q_v}"
+        );
+    }
+}
+
+#[test]
+fn emitted_eight_t_deck_parses_and_holds_with_the_read_port_off() {
+    let vdd = 0.7;
+    let decks = emit(&small_spec(vdd)).expect("emit");
+    let tech = Technology::ptm_22nm();
+    let deck = parse_deck(&decks.eight_t, &tech).expect("emitted 8T deck parses back");
+
+    let ckt = &deck.circuit;
+    let q = ckt.find_node(nodes::Q).expect("node");
+    let qb = ckt.find_node(nodes::QB).expect("node");
+    let rwl = ckt
+        .find_node(nodes::RWL)
+        .expect("read wordline round-trips");
+    let op = DcSolver::new(ckt)
+        .guess(q, Volt::new(vdd))
+        .guess(qb, Volt::new(0.0))
+        .solve()
+        .expect("8T hold operating point solves");
+    assert!(op.voltage(q).volts() > vdd - 0.05);
+    assert!(op.voltage(qb).volts() < 0.05);
+    // The generator grounds the read wordline (hold): the source card must
+    // have round-tripped as 0 V.
+    assert!(op.voltage(rwl).volts().abs() < 1e-9);
+}
+
+#[test]
+fn deck_scales_bitline_load_with_spec_rows() {
+    // Two specs differing only in rows emit different CBL values: the deck
+    // carries the spec's geometry, not a fixed template.
+    let mut tall = small_spec(0.8);
+    tall.dims = SubArrayDims {
+        rows: 256,
+        cols: 64,
+    };
+    let short = emit(&small_spec(0.8)).expect("emit");
+    let taller = emit(&tall).expect("emit");
+    assert_ne!(short.six_t, taller.six_t);
+    let tech = Technology::ptm_22nm();
+    for text in [&short.six_t, &taller.six_t] {
+        parse_deck(text, &tech).expect("both decks stay parseable");
+    }
+}

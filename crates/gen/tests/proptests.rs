@@ -1,0 +1,143 @@
+//! Property tests over arbitrary valid specs (issue satellite).
+//!
+//! The generator's output — a [`SynapticMemoryMap`] plus per-bank cell
+//! assignments — must satisfy structural invariants for *any* point in the
+//! spec space, not just the committed configs. The spec space is explored
+//! through [`SramSpec::sample`], the same seeded sampler the design-space
+//! sweep gate uses, so every seed here is a spec the gate could draw.
+
+use proptest::prelude::*;
+use sram_array::organization::{SynapticMemoryMap, WordAddress};
+use sram_bitcell::topology::BitcellKind;
+use sram_gen::organize::{layout_digest, GeneratedOrganization};
+use sram_gen::spec::{MixPolicy, SramSpec};
+
+/// Seeds covering the sampled spec space.
+fn arb_seed() -> impl Strategy<Value = u64> {
+    0u64..1_000_000
+}
+
+proptest! {
+    /// `locate` and `global_index` are inverse bijections over the whole
+    /// generated memory, and every located address is in range.
+    #[test]
+    fn locate_global_index_round_trip(seed in arb_seed(), probe in 0usize..1 << 22) {
+        let spec = SramSpec::sample(seed);
+        let org = GeneratedOrganization::build(&spec).expect("sampled specs build");
+        let total = org.map.total_words();
+        prop_assert!(total > 0);
+        let global = probe % total;
+        let addr = org.map.locate(global);
+        prop_assert!(addr.bank < org.map.banks().len());
+        prop_assert!(addr.offset < org.map.banks()[addr.bank].words);
+        prop_assert_eq!(org.map.global_index(addr), global);
+        // And the other direction: bank starts map back to themselves.
+        let first = WordAddress { bank: addr.bank, offset: 0 };
+        prop_assert_eq!(org.map.locate(org.map.global_index(first)), first);
+    }
+
+    /// Per-bank cell accounting: every word is 8 bits, each bit is exactly
+    /// one of 8T or 6T, and the bank totals sum to the map totals.
+    #[test]
+    fn per_bank_cell_accounting(seed in arb_seed()) {
+        let spec = SramSpec::sample(seed);
+        let org = GeneratedOrganization::build(&spec).expect("sampled specs build");
+        let mut sum_8t = 0usize;
+        let mut sum_6t = 0usize;
+        for bank in org.map.banks() {
+            prop_assert_eq!(bank.cells_8t() + bank.cells_6t(), bank.words * 8);
+            prop_assert_eq!(bank.cells_8t(), bank.words * bank.assignment.protected_count());
+            sum_8t += bank.cells_8t();
+            sum_6t += bank.cells_6t();
+        }
+        prop_assert_eq!(org.map.total_cells(BitcellKind::EightT), sum_8t);
+        prop_assert_eq!(org.map.total_cells(BitcellKind::SixT), sum_6t);
+        prop_assert_eq!(sum_8t + sum_6t, org.map.total_words() * 8);
+    }
+
+    /// For the `msb` policy the per-bank 8T share lands within one word's
+    /// worth of bits (i.e. half-a-bit-per-word rounding) of the spec
+    /// fraction, for any split and any sampled geometry.
+    #[test]
+    fn msb_split_within_one_word_rounding(seed in arb_seed(), eighths in 0u32..=8) {
+        let split = f64::from(eighths) / 8.0;
+        let mut spec = SramSpec::sample(seed);
+        spec.mix = MixPolicy::Msb { split };
+        spec.validate().expect("msb split in [0, 1] is valid");
+        let org = GeneratedOrganization::build(&spec).expect("builds");
+        for bank in org.map.banks() {
+            let ideal = split * (bank.words * 8) as f64;
+            let actual = bank.cells_8t() as f64;
+            // round(split * 8) perturbs each word by at most half a bit.
+            prop_assert!(
+                (actual - ideal).abs() <= 0.5 * bank.words as f64 + 1e-9,
+                "split {} bank {} words: ideal {} actual {}",
+                split,
+                bank.words,
+                ideal,
+                actual
+            );
+        }
+    }
+
+    /// The graded policy tapers monotonically from the first (input-side)
+    /// bank and never protects more than a whole word.
+    #[test]
+    fn graded_policy_tapers_monotonically(seed in arb_seed(), eighths in 0u32..=8) {
+        let mut spec = SramSpec::sample(seed);
+        spec.mix = MixPolicy::Graded { split: f64::from(eighths) / 8.0 };
+        spec.validate().expect("graded split in [0, 1] is valid");
+        let counts = spec.msb_counts();
+        prop_assert_eq!(counts.len(), spec.bank_count());
+        for pair in counts.windows(2) {
+            prop_assert!(pair[0] >= pair[1], "graded counts must taper: {counts:?}");
+        }
+        for &c in &counts {
+            prop_assert!(c <= 8);
+        }
+    }
+
+    /// `concat` of two generated tenants preserves each tenant's bank
+    /// sizes and per-bank cell assignments, in order, and the combined
+    /// address space is the disjoint union of the two.
+    #[test]
+    fn concat_preserves_per_bank_assignments(seed_a in arb_seed(), seed_b in arb_seed()) {
+        let spec_a = SramSpec::sample(seed_a);
+        let mut spec_b = SramSpec::sample(seed_b);
+        // Tenants share one physical array; pin both to the same dims/mux
+        // the way the serving registry does.
+        spec_b.dims = spec_a.dims;
+        spec_b.mux = spec_a.mux;
+        let a = GeneratedOrganization::build(&spec_a).expect("builds");
+        let b = GeneratedOrganization::build(&spec_b).expect("builds");
+        let joined = SynapticMemoryMap::concat([a.map.clone(), b.map.clone()]);
+
+        prop_assert_eq!(joined.banks().len(), a.map.banks().len() + b.map.banks().len());
+        for (i, bank) in joined.banks().iter().enumerate() {
+            let source = if i < a.map.banks().len() {
+                &a.map.banks()[i]
+            } else {
+                &b.map.banks()[i - a.map.banks().len()]
+            };
+            prop_assert_eq!(bank.words, source.words);
+            prop_assert_eq!(bank.assignment.mask(), source.assignment.mask());
+        }
+        prop_assert_eq!(joined.total_words(), a.map.total_words() + b.map.total_words());
+        // First word of tenant B lands in B's first bank with B's mask.
+        let addr = joined.locate(a.map.total_words());
+        prop_assert_eq!(addr.bank, a.map.banks().len());
+        prop_assert_eq!(addr.offset, 0);
+    }
+
+    /// The canonical TOML render round-trips: parse(to_toml(spec)) yields
+    /// a spec with the identical layout digest and characterization key.
+    #[test]
+    fn to_toml_round_trips_layout(seed in arb_seed()) {
+        let spec = SramSpec::sample(seed);
+        let reparsed = SramSpec::from_toml_str(&spec.to_toml()).expect("canonical render parses");
+        let original = GeneratedOrganization::build(&spec).expect("builds");
+        let round_trip = GeneratedOrganization::build(&reparsed).expect("builds");
+        prop_assert_eq!(layout_digest(&original.map), layout_digest(&round_trip.map));
+        prop_assert_eq!(original.map, round_trip.map);
+    }
+}

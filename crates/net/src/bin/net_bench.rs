@@ -22,6 +22,11 @@
 //! `net-load` CI job runs this binary twice at different `--connections`
 //! and fails when the response digests diverge.
 //!
+//! The digits and spectra tenants are built from the committed generator
+//! specs (`crates/gen/specs/*.toml`) via [`TenantSpec::from_generated`]:
+//! policy, serving voltage, characterized bit-error rates, and drowsy
+//! scale all come from the spec file. The million-synapse tenant keeps
+//! hand-set Fig.5-ballpark rates (its geometry has no committed spec).
 //! Energy figures use a behavioral per-tenant model (MAC + read energy
 //! scaled by the tenant's serving Vdd squared) so the bench stays fast;
 //! the characterized path lives in `serve_bench`/the framework.
@@ -153,23 +158,23 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
-/// Behavioral per-inference energy: 50 fJ/MAC + 150 fJ/read, scaled by
-/// (vdd / 0.9)² — the dynamic-energy voltage square law, normalized to
-/// the paper's nominal 0.9 V supply.
-fn behavioral_energy_j(network: &QuantizedMlp, vdd: f64) -> f64 {
-    let macs: usize = network.layers.iter().map(|l| l.inputs * l.outputs).sum();
-    let reads: usize = network
-        .layers
-        .iter()
-        .map(|l| l.inputs * l.outputs + l.outputs)
-        .sum();
-    let scale = (vdd / 0.9) * (vdd / 0.9);
-    (macs as f64 * 50e-15 + reads as f64 * 150e-15) * scale
+/// Monte-Carlo depth for the spec-characterized tenants: enough for
+/// stable Fig.5-band rates, small enough that bench startup stays quick
+/// (the tables are memoized process-wide anyway).
+const TENANT_MC_SAMPLES: usize = 96;
+
+/// Builds a tenant from a committed generator spec plus its trained
+/// network — the one-line-spec path the generated design space uses.
+fn generated_tenant(toml: &str, network: QuantizedMlp) -> TenantSpec {
+    let spec = sram_gen::spec::SramSpec::from_toml_str(toml).expect("committed spec parses");
+    let cfg = sram_gen::characterize::CharacterizeConfig {
+        mc_samples: TENANT_MC_SAMPLES,
+    };
+    TenantSpec::from_generated(&spec, network, &cfg).expect("committed spec matches its network")
 }
 
-/// A tenant's serving contract: significance split, voltage, and the
-/// bit-error rates that voltage implies (hand-set Fig.5-ballpark values;
-/// the characterized path is `serve_bench`).
+/// A tenant's serving contract with hand-set Fig.5-ballpark rates — kept
+/// for the million-synapse tenant, whose geometry has no committed spec.
 fn tenant_spec(
     name: &str,
     network: QuantizedMlp,
@@ -178,7 +183,7 @@ fn tenant_spec(
     read_6t: f64,
     drowsy_scale: f64,
 ) -> TenantSpec {
-    let energy = behavioral_energy_j(&network, vdd);
+    let energy = sram_net::registry::behavioral_energy_j(&network, vdd);
     TenantSpec {
         name: name.to_string(),
         network,
@@ -246,7 +251,10 @@ fn main() {
             .map(|i| digits_test.image(i).to_vec())
             .collect(),
     });
-    specs.push(tenant_spec("digits", digits_q, 3, 0.70, 2e-3, 0.45));
+    specs.push(generated_tenant(
+        include_str!("../../../gen/specs/digits.toml"),
+        digits_q,
+    ));
     // Tenant 1 — spectra: one more protected bit, milder voltage.
     if args.tenants >= 2 {
         let (spectra_q, spectra_test) = trained_spectra_network();
@@ -256,7 +264,10 @@ fn main() {
                 .map(|i| spectra_test.image(i).to_vec())
                 .collect(),
         });
-        specs.push(tenant_spec("spectra", spectra_q, 4, 0.75, 5e-4, 0.55));
+        specs.push(generated_tenant(
+            include_str!("../../../gen/specs/spectra.toml"),
+            spectra_q,
+        ));
     }
     // Tenant 2 — million-synapse: near-nominal supply, cheap protection.
     if args.tenants >= 3 {

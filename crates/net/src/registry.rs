@@ -28,6 +28,7 @@ use neuro_system::npe::Npe;
 use sram_array::organization::{SubArrayDims, SynapticMemoryMap};
 use sram_array::sharded::ShardedMemory;
 use sram_exec::derive_seed;
+use sram_gen::error::GenError;
 use std::sync::Arc;
 
 /// Everything one tenant contributes to the shared store.
@@ -50,6 +51,80 @@ pub struct TenantSpec {
     /// (`1.0` = never drowsy, lower = deeper retention savings while
     /// degraded).
     pub drowsy_scale: f64,
+}
+
+impl TenantSpec {
+    /// Builds a tenant's full serving contract from a generated macro
+    /// spec: the significance policy, the characterized bit-error rates
+    /// at the spec's serving voltage, the behavioral energy model, and a
+    /// drowsy-leakage scale from the voltage-square law — everything the
+    /// hand-wired tenants used to set by eye becomes one committed TOML
+    /// file plus a trained network.
+    ///
+    /// `network` is the tenant's (typically trained) model; the spec only
+    /// describes the macro it lives in, so the two must agree on per-bank
+    /// word counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GenError`] when the spec fails validation, its
+    /// sub-array is not the paper's 256x256 geometry (the registry lays
+    /// all tenants out on [`SubArrayDims::PAPER`]), or its bank layout
+    /// does not match `network`.
+    pub fn from_generated(
+        spec: &sram_gen::spec::SramSpec,
+        network: QuantizedMlp,
+        cfg: &sram_gen::characterize::CharacterizeConfig,
+    ) -> Result<Self, GenError> {
+        spec.validate()?;
+        if spec.dims != SubArrayDims::PAPER {
+            return Err(GenError::Geometry {
+                message: format!(
+                    "registry tenants share {}x{} sub-arrays, spec asks for {}x{}",
+                    SubArrayDims::PAPER.rows,
+                    SubArrayDims::PAPER.cols,
+                    spec.dims.rows,
+                    spec.dims.cols
+                ),
+            });
+        }
+        let expected = spec.bank_words()?;
+        let actual = layout::bank_words(&network);
+        if expected != actual {
+            return Err(GenError::Geometry {
+                message: format!(
+                    "spec banks {expected:?} do not match the tenant network's {actual:?}"
+                ),
+            });
+        }
+        let rates = sram_gen::characterize::serving_rates(spec, cfg);
+        let vdd = spec.supply.vdd;
+        let energy = behavioral_energy_j(&network, vdd);
+        Ok(TenantSpec {
+            name: spec.name.clone(),
+            policy: spec.policy(),
+            rates,
+            vdd,
+            energy_per_inference_j: energy,
+            // Voltage-square law for the retention tier's standby leakage.
+            drowsy_scale: (spec.supply.drowsy / vdd) * (spec.supply.drowsy / vdd),
+            network,
+        })
+    }
+}
+
+/// Behavioral per-inference energy: 50 fJ/MAC + 150 fJ/read, scaled by
+/// (vdd / 0.9)² — the dynamic-energy voltage square law, normalized to
+/// the paper's nominal 0.9 V supply.
+pub fn behavioral_energy_j(network: &QuantizedMlp, vdd: f64) -> f64 {
+    let macs: usize = network.layers.iter().map(|l| l.inputs * l.outputs).sum();
+    let reads: usize = network
+        .layers
+        .iter()
+        .map(|l| l.inputs * l.outputs + l.outputs)
+        .sum();
+    let scale = (vdd / 0.9) * (vdd / 0.9);
+    (macs as f64 * 50e-15 + reads as f64 * 150e-15) * scale
 }
 
 /// One resident tenant.
@@ -234,6 +309,48 @@ mod tests {
         let mut ctx2 = reg2.make_context(1);
         assert_eq!(reg2.classify(1, &feats_b, 7, &mut ctx2), first_b);
         assert_eq!(reg2.classify(0, &feats_a, 7, &mut ctx2), first_a);
+    }
+
+    #[test]
+    fn from_generated_derives_the_contract_from_the_spec() {
+        let toml = "name = \"gen-tenant\"\n[array]\nrows = 256\ncols = 256\nmux = 8\n\
+                    [banks]\nlayers = [8, 4, 2]\nseed = 1\n\
+                    [mix]\npolicy = \"msb\"\nsplit = 0.375\n\
+                    [supply]\nvdd = 0.7\ndrowsy = 0.35\n";
+        let spec = sram_gen::spec::SramSpec::from_toml_str(toml).expect("parses");
+        let network = QuantizedMlp::from_mlp(&Mlp::new(&[8, 4, 2], 1), Encoding::TwosComplement);
+        let cfg = sram_gen::characterize::CharacterizeConfig { mc_samples: 16 };
+        let tenant =
+            TenantSpec::from_generated(&spec, network.clone(), &cfg).expect("spec matches net");
+        assert_eq!(tenant.name, "gen-tenant");
+        assert_eq!(tenant.policy, ProtectionPolicy::MsbProtected { msb_8t: 3 });
+        assert_eq!(tenant.vdd, 0.7);
+        assert!((tenant.drowsy_scale - 0.25).abs() < 1e-12);
+        assert_eq!(
+            tenant.energy_per_inference_j,
+            behavioral_energy_j(&network, 0.7)
+        );
+        // 8T cells at the serving voltage must be at least as reliable as
+        // the 6T majority — the premise of the significance split.
+        assert!(tenant.rates.read_8t <= tenant.rates.read_6t);
+        // A registry accepts the generated tenant as-is.
+        let reg = ModelRegistry::new(vec![tenant], 7, 2);
+        assert_eq!(reg.input_width(0), 8);
+
+        // Mismatched network: typed geometry error, not a later panic.
+        let other = QuantizedMlp::from_mlp(&Mlp::new(&[9, 4, 2], 1), Encoding::TwosComplement);
+        assert!(matches!(
+            TenantSpec::from_generated(&spec, other, &cfg),
+            Err(GenError::Geometry { .. })
+        ));
+
+        // Non-paper sub-array: rejected (the registry lays out PAPER dims).
+        let mut small = spec.clone();
+        small.dims = SubArrayDims { rows: 64, cols: 64 };
+        assert!(matches!(
+            TenantSpec::from_generated(&small, network, &cfg),
+            Err(GenError::Geometry { .. })
+        ));
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   with a length-prefixed binary protocol, backpressure and SLO-aware
 //!   admission, a multi-tenant model registry over one shared store, and
 //!   the `net_bench` open-loop load generator;
+//! * [`gen`] — the config-driven SRAM macro generator: a TOML spec front
+//!   end that validates totally (typed errors, no panics) and emits a
+//!   complete organization — layout, SPICE netlists, area/power rollups,
+//!   memoized characterization, and a fault-injected inference smoke —
+//!   with its `gen_report` design-space sweep binary;
 //! * [`core`] — the paper's contribution: configurations, the
 //!   circuit-to-system framework, the allocation optimizer, and every
 //!   experiment (Table I, Figs. 5-9, plus the extension studies).
@@ -47,5 +52,6 @@ pub use sram_bitcell as bitcell;
 pub use sram_device as device;
 pub use sram_ecc as ecc;
 pub use sram_exec as exec;
+pub use sram_gen as gen;
 pub use sram_net as net;
 pub use sram_serve as serve;

@@ -60,6 +60,18 @@
 //!   [`NET_SLO_MS`]), or when the burst run fails to shed — overload
 //!   must produce explicit `Overloaded` responses, not silence.
 //!
+//! * **`gen-report`** — runs the `sram_gen` design-space sweep
+//!   (`gen_report`: every committed spec under `crates/gen/specs/`, a
+//!   seeded random sample of the spec space, and the malformed corpus
+//!   under `crates/gen/corpus/`) twice at different worker-thread counts
+//!   and renders the per-spec digest table (written to `--out`, default
+//!   `target/gen-report.txt`). With `--gate`, exits non-zero when any
+//!   spec fails to build/characterize/smoke, when any digest differs
+//!   across worker counts (sweep observables must be pure functions of
+//!   the spec), when the generated `digits` layout stops matching the
+//!   paper's hand-wired fixture, when any corpus file is *accepted*, or
+//!   when fewer than the floor of random specs sweep cleanly.
+//!
 //! The committed baseline was recorded on a different machine than CI's
 //! shared runners, so raw wall-clock ratios would gate hardware speed, not
 //! code. Ratios are therefore normalized by the [`CALIBRATION`] kernel —
@@ -144,6 +156,7 @@ fn main() -> ExitCode {
         Some("scale-report") => scale_report(&args[1..]),
         Some("chaos-report") => chaos_report(&args[1..]),
         Some("net-report") => net_report(&args[1..]),
+        Some("gen-report") => gen_report(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask bench-diff [--no-run] [--current <path>]");
             eprintln!(
@@ -154,6 +167,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "       cargo xtask net-report [--gate] [--requests N] [--rate R] [--slo-ms X] [--out <path>]"
             );
+            eprintln!("       cargo xtask gen-report [--gate] [--random N] [--out <path>]");
             ExitCode::FAILURE
         }
     }
@@ -1154,6 +1168,225 @@ fn net_report(args: &[String]) -> ExitCode {
         println!(
             "net gate passed: digests identical across connection counts, zero shed at \
              {rate:.0}/s, sojourn p99 within {slo_ms} ms, burst probe shed explicitly"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Worker counts `gen-report` sweeps the design space at; every digest in
+/// the report must be identical across them (observables are functions of
+/// the spec and seeds, never of scheduling).
+const GEN_THREADS: &[usize] = &[1, 4];
+
+/// Random specs per `gen-report` run (the issue's sweep floor).
+const GEN_RANDOM_SPECS: usize = 8;
+
+fn gen_report(args: &[String]) -> ExitCode {
+    let mut gate = false;
+    let mut out_path = "target/gen-report.txt".to_string();
+    let mut random = GEN_RANDOM_SPECS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--random" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => random = n,
+                _ => {
+                    eprintln!("--random requires a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown gen-report argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_default();
+    let target = cwd.join("target");
+    let _ = std::fs::create_dir_all(&target);
+    let mut reports = Vec::new();
+    for &threads in GEN_THREADS {
+        let report_path = target.join(format!("gen-report-{threads}t.txt"));
+        let _ = std::fs::remove_file(&report_path);
+        eprintln!("sweeping the design space ({random} random specs, {threads} worker threads)...");
+        let status = Command::new(env!("CARGO"))
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "sram_gen",
+                "--bin",
+                "gen_report",
+                "--",
+                "--specs-dir",
+                "crates/gen/specs",
+                "--corpus-dir",
+                "crates/gen/corpus",
+                "--random",
+                &random.to_string(),
+                "--threads",
+                &threads.to_string(),
+                "--report",
+                &report_path.display().to_string(),
+            ])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("gen_report ({threads} threads) failed: {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("could not launch gen_report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let Some(kv) = read_kv_report(&report_path) else {
+            eprintln!("no report at {}", report_path.display());
+            return ExitCode::FAILURE;
+        };
+        reports.push((threads, kv));
+    }
+
+    let base = &reports[0].1;
+    let get = |key: &str| base.get(key).map(String::as_str).unwrap_or("-");
+    let mut table = String::new();
+    table.push_str(&format!(
+        "gen-report — design-space sweep: {} committed specs, {} random specs, \
+         {} corpus files\n\n",
+        get("specs_total"),
+        get("random_total"),
+        get("corpus_total"),
+    ));
+    table.push_str(&format!(
+        "{:<18} {:>9} {:>7} {:>18} {:>18}\n",
+        "spec", "words", "banks", "layout digest", "report digest"
+    ));
+    let mut spec_keys: Vec<String> = base
+        .keys()
+        .filter_map(|k| k.strip_suffix("_report_digest").map(str::to_string))
+        .collect();
+    spec_keys.sort();
+    for prefix in &spec_keys {
+        table.push_str(&format!(
+            "{:<18} {:>9} {:>7} {:>18} {:>18}\n",
+            prefix.strip_prefix("spec_").unwrap_or(prefix),
+            get(&format!("{prefix}_words")),
+            get(&format!("{prefix}_banks")),
+            get(&format!("{prefix}_layout_digest")),
+            get(&format!("{prefix}_report_digest")),
+        ));
+    }
+    table.push_str(&format!(
+        "\npaper fixture layout match: {}\ncorpus: {} of {} rejected\nfailures: {}\n",
+        get("paper_fixture_match"),
+        get("corpus_rejected"),
+        get("corpus_total"),
+        get("failures"),
+    ));
+
+    // Digest stability across worker counts.
+    let digest_keys: Vec<&String> = base.keys().filter(|k| k.ends_with("_digest")).collect();
+    let mut diverged: Vec<&str> = Vec::new();
+    for (_, kv) in &reports[1..] {
+        for key in &digest_keys {
+            if kv.get(*key) != base.get(*key) {
+                diverged.push(key);
+            }
+        }
+    }
+    table.push_str(&format!(
+        "digests across {GEN_THREADS:?} worker threads: {}\n",
+        if diverged.is_empty() {
+            "IDENTICAL"
+        } else {
+            "DIVERGED"
+        },
+    ));
+
+    print!("{table}");
+    if let Err(e) = std::fs::write(&out_path, &table) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("gen report written to {out_path}");
+
+    if gate {
+        let mut failed = false;
+        if !diverged.is_empty() {
+            eprintln!(
+                "GATE FAILED: {} digest(s) differ across worker counts (e.g. {}) — \
+                 sweep observables depend on scheduling",
+                diverged.len(),
+                diverged[0]
+            );
+            failed = true;
+        }
+        for (threads, kv) in &reports {
+            // `random_ok` is a count (gated below); every other `*_ok` is
+            // a per-spec boolean.
+            for key in kv
+                .keys()
+                .filter(|k| k.ends_with("_ok") && k.as_str() != "random_ok")
+            {
+                if kv.get(key).map(String::as_str) != Some("true") {
+                    eprintln!("GATE FAILED: {key} is not true at {threads} threads");
+                    failed = true;
+                }
+            }
+            if kv.get("paper_fixture_match").map(String::as_str) != Some("true") {
+                eprintln!(
+                    "GATE FAILED: generated digits layout no longer matches the paper's \
+                     hand-wired fixture ({threads} threads)"
+                );
+                failed = true;
+            }
+            if kv.get("corpus_total").is_none()
+                || kv.get("corpus_rejected") != kv.get("corpus_total")
+            {
+                eprintln!(
+                    "GATE FAILED: malformed corpus not fully rejected at {threads} threads \
+                     ({} of {})",
+                    kv.get("corpus_rejected").map(String::as_str).unwrap_or("-"),
+                    kv.get("corpus_total").map(String::as_str).unwrap_or("-"),
+                );
+                failed = true;
+            }
+            let random_ok = kv.get("random_ok").and_then(|v| v.parse::<usize>().ok());
+            if random_ok != kv.get("random_total").and_then(|v| v.parse().ok())
+                || random_ok.unwrap_or(0) < GEN_RANDOM_SPECS.min(random)
+            {
+                eprintln!(
+                    "GATE FAILED: only {} of {} random specs swept cleanly at {threads} threads",
+                    kv.get("random_ok").map(String::as_str).unwrap_or("-"),
+                    kv.get("random_total").map(String::as_str).unwrap_or("-"),
+                );
+                failed = true;
+            }
+            if kv.get("failures").map(String::as_str) != Some("0") {
+                eprintln!(
+                    "GATE FAILED: gen_report counted {} failure(s) at {threads} threads",
+                    kv.get("failures").map(String::as_str).unwrap_or("-")
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "design-space gate passed: every spec built and characterized, digests \
+             identical across worker counts, paper fixture matched, corpus fully rejected"
         );
     }
     ExitCode::SUCCESS
